@@ -1,0 +1,53 @@
+// Command lsexp regenerates the experiment tables of the reproduction suite
+// (see DESIGN.md §4 and EXPERIMENTS.md): one experiment per theorem of
+// "What can be sampled locally?".
+//
+// Usage:
+//
+//	lsexp            # run everything (full parameters)
+//	lsexp -quick     # run everything with reduced parameters
+//	lsexp E3 E4 E8   # run selected experiments
+//	lsexp -list      # list experiment IDs and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"locsample/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced parameter sets (faster, same shapes)")
+	list := flag.Bool("list", false, "list experiments (E1–E14) and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if args := flag.Args(); len(args) > 0 {
+		for _, id := range args {
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "lsexp: unknown experiment %q (use -list)\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	} else {
+		selected = experiments.All()
+	}
+
+	for _, e := range selected {
+		if err := e.Run(os.Stdout, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "lsexp: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+}

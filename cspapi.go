@@ -1,0 +1,63 @@
+package locsample
+
+import (
+	"fmt"
+
+	"locsample/internal/csp"
+	"locsample/internal/dist"
+	"locsample/internal/localmodel"
+)
+
+// CSPModel is a weighted local CSP (factor graph, §2.2 of the paper):
+// constraints (f_c, S_c) with per-vertex activities. It generalizes Model
+// to multivariate constraints; both of the paper's chains extend to it
+// (§3 and §4 remarks).
+type CSPModel = csp.CSP
+
+// CSPConstraint is one weighted constraint: a scope and a non-negative
+// function over it.
+type CSPConstraint = csp.Constraint
+
+// NewDominatingSet returns the uniform distribution over dominating sets of
+// g as a CSP (one cover constraint per inclusive neighborhood).
+func NewDominatingSet(g *Graph) *CSPModel { return csp.DominatingSet(g) }
+
+// NewWeightedDominatingSet weights dominating sets by λ^|S|.
+func NewWeightedDominatingSet(g *Graph, lambda float64) *CSPModel {
+	return csp.WeightedDominatingSet(g, lambda)
+}
+
+// NewCSP assembles a custom weighted local CSP; see csp.New for validation
+// rules (constraint arities are enumerated to normalize the factors, so
+// keep them small).
+func NewCSP(n, q int, vertexActivities [][]float64, cons []CSPConstraint) (*CSPModel, error) {
+	return csp.New(n, q, vertexActivities, cons)
+}
+
+// SampleCSP draws one configuration approximately distributed as the CSP's
+// Gibbs distribution using the hypergraph LubyGlauber chain (§3 remark).
+// When distributed is true the chain runs as a LOCAL protocol on network g
+// (two communication rounds per chain iteration; constraints must have
+// scope radius ≤ 1 on g, as cover constraints do). init must be feasible;
+// rounds > 0 is required (no general theory budget exists for arbitrary
+// CSPs).
+func SampleCSP(g *Graph, c *CSPModel, init []int, rounds int, seed uint64, distributed bool) ([]int, Stats, error) {
+	if rounds <= 0 {
+		return nil, Stats{}, fmt.Errorf("locsample: SampleCSP needs rounds > 0")
+	}
+	if len(init) != c.N {
+		return nil, Stats{}, fmt.Errorf("locsample: init length %d for %d vertices", len(init), c.N)
+	}
+	if !c.Feasible(init) {
+		return nil, Stats{}, fmt.Errorf("locsample: initial configuration is infeasible")
+	}
+	if distributed {
+		return dist.RunCSPLubyGlauber(g, c, init, seed, rounds)
+	}
+	x := append([]int(nil), init...)
+	marg := make([]float64, c.Q)
+	for k := 0; k < rounds; k++ {
+		csp.LubyGlauberRoundPRF(c, x, seed, k, marg)
+	}
+	return x, localmodel.Stats{Rounds: rounds}, nil
+}

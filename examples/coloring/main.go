@@ -1,0 +1,50 @@
+// Coloring: the headline comparison of the paper — LubyGlauber needs
+// Θ(Δ log n) rounds while LocalMetropolis needs O(log n) rounds regardless
+// of Δ. This example sweeps the maximum degree on random regular graphs at
+// fixed q/Δ and prints both the theory budgets and measured coalescence
+// rounds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"locsample"
+	"locsample/internal/chains"
+	"locsample/internal/coupling"
+	"locsample/internal/mrf"
+)
+
+func main() {
+	const n = 96
+	fmt.Println("random n=96 regular graphs, q = 4Δ (both algorithms in proved regimes)")
+	fmt.Println("Δ    q    theory(LubyGlauber)  theory(LocalMetropolis)  measured(LG)  measured(LM)")
+
+	for _, d := range []int{3, 4, 6, 8, 10} {
+		g, err := locsample.RandomRegularGraph(n, d, uint64(d))
+		if err != nil {
+			log.Fatal(err)
+		}
+		q := 4 * d
+		model := locsample.NewColoring(g, q)
+
+		tLG, err := locsample.TheoryRounds(model, locsample.LubyGlauber, 0.01)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tLM, err := locsample.TheoryRounds(model, locsample.LocalMetropolis, 0.01)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		m := mrf.Coloring(g, q)
+		mLG, _ := coupling.MixingEstimate(m, chains.LubyGlauber, 7, 100000, uint64(d)*11)
+		mLM, _ := coupling.MixingEstimate(m, chains.LocalMetropolis, 7, 100000, uint64(d)*13)
+
+		fmt.Printf("%-4d %-4d %-20d %-24d %-13d %d\n", d, q, tLG, tLM, mLG, mLM)
+	}
+
+	fmt.Println()
+	fmt.Println("shape check (Theorems 1.1 vs 1.2): the LubyGlauber columns grow with Δ,")
+	fmt.Println("the LocalMetropolis columns stay flat — full parallelism wins at scale.")
+}

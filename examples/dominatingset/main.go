@@ -1,0 +1,76 @@
+// Dominatingset: sampling uniform dominating sets — a weighted local CSP
+// beyond MRFs (§2.2 "Dominating sets" and the §3 remark) — with the
+// hypergraph LubyGlauber chain running as a genuine LOCAL protocol. Because
+// the "cover" constraints live on inclusive neighborhoods, the hypergraph
+// neighborhood reaches distance 2 and each chain iteration costs two
+// communication rounds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"locsample/internal/csp"
+	"locsample/internal/dist"
+	"locsample/internal/exact"
+	"locsample/internal/graph"
+)
+
+func main() {
+	// Sample on a 5x5 grid over the message-passing runtime.
+	g := graph.Grid(5, 5)
+	c := csp.DominatingSet(g)
+	init := make([]int, g.N())
+	for i := range init {
+		init[i] = 1 // the full vertex set always dominates
+	}
+
+	out, stats, err := dist.RunCSPLubyGlauber(g, c, init, 2017, 400)
+	if err != nil {
+		log.Fatal(err)
+	}
+	size := 0
+	for _, x := range out {
+		size += x
+	}
+	fmt.Printf("5x5 grid: sampled dominating set of size %d (valid: %v)\n",
+		size, g.IsDominatingSet(out))
+	fmt.Printf("protocol: %d LOCAL rounds (2 per chain iteration), max message %d bytes\n\n",
+		stats.Rounds, stats.MaxMessageBytes)
+
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if out[i*5+j] == 1 {
+				fmt.Print(" ■")
+			} else {
+				fmt.Print(" ·")
+			}
+		}
+		fmt.Println()
+	}
+
+	// On a small instance, verify the sampler against exact enumeration.
+	fmt.Println("\nvalidation on C5 against exact enumeration:")
+	small := graph.Cycle(5)
+	cs := csp.DominatingSet(small)
+	mu, err := exact.Enumerate(cs.N, cs.Q, cs.Weight, 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := make([]float64, len(mu.P))
+	const samples = 3000
+	initSmall := []int{1, 1, 1, 1, 1}
+	for s := 0; s < samples; s++ {
+		conf, _, err := dist.RunCSPLubyGlauber(small, cs, initSmall, uint64(s)+1, 60)
+		if err != nil {
+			log.Fatal(err)
+		}
+		counts[exact.Index(cs.Q, conf)]++
+	}
+	for i := range counts {
+		counts[i] /= samples
+	}
+	fmt.Printf("TV(empirical over %d distributed runs, exact uniform) = %.4f\n",
+		samples, exact.TV(counts, mu.P))
+	fmt.Println("(sampling noise for 16 feasible states at this sample size is ≈ 0.02)")
+}

@@ -1,0 +1,47 @@
+// Ising: distributed Gibbs sampling of the Ising model on a torus across a
+// temperature sweep, measuring the magnetization statistic. Demonstrates
+// the library on a soft-constraint (all configurations feasible) MRF.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"locsample"
+)
+
+func main() {
+	g := locsample.TorusGraph(12, 12)
+	fmt.Println("Ising model on a 12x12 torus via distributed LubyGlauber")
+	fmt.Println("(β > 1 ferromagnetic: spins align as β grows)")
+	fmt.Println()
+	fmt.Println("β       E[|magnetization|]")
+
+	for _, beta := range []float64{0.8, 1.0, 1.2, 1.5, 2.0, 3.0} {
+		model := locsample.NewIsing(g, beta, 1)
+		const samples = 30
+		sum := 0.0
+		for s := 0; s < samples; s++ {
+			res, err := locsample.Sample(model,
+				locsample.WithAlgorithm(locsample.LubyGlauber),
+				locsample.WithSeed(uint64(s)*997+1),
+				locsample.WithRounds(600),
+				locsample.Distributed())
+			if err != nil {
+				log.Fatal(err)
+			}
+			up := 0
+			for _, x := range res.Sample {
+				up += x
+			}
+			// Magnetization in [-1, 1]: (up - down)/n.
+			mag := float64(2*up-g.N()) / float64(g.N())
+			sum += math.Abs(mag)
+		}
+		fmt.Printf("%-7.2f %.3f\n", beta, sum/samples)
+	}
+
+	fmt.Println("\n|m| stays near 0 at small β (disorder) and approaches 1 at large β")
+	fmt.Println("(ferromagnetic order) — the expected sigmoid shape.")
+}

@@ -1,0 +1,63 @@
+// Lowerbound: a runnable demonstration of Theorem 5.2's Ω(diam) argument.
+// We build the paper's lifted even cycle H^G from a random bipartite
+// gadget, compute the exact antipodal phase correlation of the hardcore
+// Gibbs distribution by transfer matrices, and compare it against what a
+// t-round LOCAL protocol actually outputs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"locsample/internal/lowerbound"
+)
+
+func main() {
+	// A Prop 5.3 gadget: n=5 per side, 2 terminals per side, Δ=3, λ=6 > λ_c(3)=4.
+	gd, _, tries, err := lowerbound.FindGoodGadget(5, 2, 3, 6.0, 1.0, 100.0, 500, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gadget found after %d tries: %d vertices, Δ=%d terminals per side=%d\n",
+		tries, gd.G.N(), gd.Delta, gd.K)
+
+	const m = 6 // cycle length; m/2 = 3 odd, so antipodal max-cut phases differ
+	lc, err := lowerbound.BuildLiftedCycle(gd, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := lowerbound.ComputeTransfer(gd, 6.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	diam := lc.G.Diameter()
+	fmt.Printf("lifted cycle H^G: %d vertices, 3-regular, diameter %d\n\n", lc.G.N(), diam)
+
+	p1, p2, total := tr.MaxCutMass(m)
+	fmt.Printf("exact Gibbs phase-vector mass: max-cut #1 = %.4f, #2 = %.4f (sum %.4f)\n", p1, p2, total)
+
+	joint, err := tr.PairPhaseProb(m, 0, m/2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gibbsCorr := lowerbound.PhaseCorrelation(joint)
+	fmt.Printf("exact antipodal phase correlation under Gibbs: %+.4f (anti-correlated)\n\n", gibbsCorr)
+
+	fmt.Println("LocalMetropolis protocol phase correlation after T rounds (4000 runs each):")
+	for _, T := range []int{1, diam / 4, diam / 2, diam, 2 * diam} {
+		if T < 1 {
+			T = 1
+		}
+		pj := lowerbound.ProtocolPhaseJoint(lc, 6.0, T, 4000, uint64(T)*31+7, 0, m/2)
+		corr := lowerbound.PhaseCorrelation(pj)
+		note := ""
+		if T < diam/2 {
+			note = "  <- locality forces independence (Eq. 27)"
+		}
+		fmt.Printf("  T = %-4d corr = %+.4f%s\n", T, corr, note)
+	}
+
+	fmt.Println("\nany correct ε-sampler must reproduce the negative Gibbs correlation;")
+	fmt.Println("a t-round protocol with t < 0.49·diam provably cannot — Theorem 5.2's Ω(diam).")
+}

@@ -1,0 +1,46 @@
+// Quickstart: sample a uniform proper coloring of a grid with the
+// LocalMetropolis algorithm running as a genuine LOCAL-model protocol, and
+// verify the output.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"locsample"
+)
+
+func main() {
+	// A 16×16 grid network: 256 processors, Δ = 4.
+	g := locsample.GridGraph(16, 16)
+
+	// The model: uniform proper q-colorings with q = 4Δ (inside the
+	// q > (2+√2)Δ regime of Theorem 1.2, so O(log n) rounds suffice).
+	q := 4 * g.MaxDeg()
+	model := locsample.NewColoring(g, q)
+
+	res, err := locsample.Sample(model,
+		locsample.WithAlgorithm(locsample.LocalMetropolis),
+		locsample.WithEpsilon(0.01),
+		locsample.WithSeed(2017), // PODC 2017
+		locsample.Distributed(),  // run on the message-passing runtime
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("sampled a %d-coloring of the %d-vertex grid in %d rounds\n",
+		q, g.N(), res.Rounds)
+	fmt.Printf("proper: %v\n", g.IsProperColoring(res.Sample))
+	fmt.Printf("communication: %d messages, max message %d bytes (O(log n + log q) bits)\n",
+		res.Stats.Messages, res.Stats.MaxMessageBytes)
+
+	// Print a corner of the coloring.
+	fmt.Println("top-left 8x8 corner:")
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			fmt.Printf("%3d", res.Sample[i*16+j])
+		}
+		fmt.Println()
+	}
+}

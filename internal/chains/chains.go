@@ -1,0 +1,379 @@
+// Package chains implements the Markov chains studied in the paper as
+// centralized simulations: the sequential single-site Glauber dynamics (§3),
+// the LubyGlauber chain (Algorithm 1), the LocalMetropolis chain
+// (Algorithm 2), and two classical baselines (systematic scan and the
+// chromatic-scheduler parallel Glauber of [28], both discussed in §3).
+//
+// All randomness is derived from a single seed via the PRF in internal/rng,
+// keyed by (tag, vertex/edge, round). Consequently a chain trajectory is a
+// pure function of (model, initial configuration, seed) — and the
+// distributed protocols in internal/dist, which derive the same variates
+// from the same keys, reproduce centralized trajectories bit-for-bit. That
+// equivalence is an integration test, not an accident.
+package chains
+
+import (
+	"fmt"
+
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+	"locsample/internal/rng"
+)
+
+// PRF key tags. Distinct tags separate the randomness consumed by different
+// parts of a round.
+const (
+	TagBeta   = 0x1001 // Luby-step IDs β_v
+	TagUpdate = 0x1002 // resampling / proposal uniforms per vertex
+	TagCoin   = 0x1003 // per-edge filter coins
+	TagPick   = 0x1004 // Glauber vertex choice
+)
+
+// Algorithm selects a chain.
+type Algorithm int
+
+const (
+	// Glauber is the sequential single-site heat-bath dynamics; one Step is
+	// one single-site update (n Steps ≈ one parallel round of work).
+	Glauber Algorithm = iota
+	// LubyGlauber is Algorithm 1: Luby-step independent set + parallel
+	// heat-bath resampling.
+	LubyGlauber
+	// LocalMetropolis is Algorithm 2: simultaneous proposals + per-edge
+	// filtering.
+	LocalMetropolis
+	// SystematicScan resamples vertices in fixed round-robin order
+	// (the classical scan baseline of [17, 18]).
+	SystematicScan
+	// ChromaticGlauber partitions V by a greedy proper coloring and updates
+	// one color class per round (the chromatic scheduler of [28]).
+	ChromaticGlauber
+)
+
+// String returns the algorithm name.
+func (a Algorithm) String() string {
+	switch a {
+	case Glauber:
+		return "Glauber"
+	case LubyGlauber:
+		return "LubyGlauber"
+	case LocalMetropolis:
+		return "LocalMetropolis"
+	case SystematicScan:
+		return "SystematicScan"
+	case ChromaticGlauber:
+		return "ChromaticGlauber"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options configure a Sampler.
+type Options struct {
+	// DropRule3 removes the third factor Ã_e(σ_u, X_v) from the
+	// LocalMetropolis edge filter — for colorings, exactly the paper's
+	// "at first glance redundant" rule 3 (§4.2). The resulting chain is NOT
+	// reversible and its stationary distribution is biased; experiment E4
+	// quantifies the damage. It only affects LocalMetropolis.
+	DropRule3 bool
+}
+
+// Sampler owns a chain state and advances it deterministically from a seed.
+type Sampler struct {
+	M    *mrf.MRF
+	X    []int
+	Alg  Algorithm
+	Opts Options
+
+	seed  uint64
+	round int
+
+	classes [][]int // chromatic scheduler color classes
+	scratch *Scratch
+}
+
+// Scratch holds the per-step working buffers shared by the round functions.
+type Scratch struct {
+	beta []float64
+	marg []float64
+	prop []int
+	pass []bool
+}
+
+// NewScratch returns buffers sized for model m.
+func NewScratch(m *mrf.MRF) *Scratch {
+	return &Scratch{
+		beta: make([]float64, m.G.N()),
+		marg: make([]float64, m.Q),
+		prop: make([]int, m.G.N()),
+		pass: make([]bool, m.G.M()),
+	}
+}
+
+// NewSampler returns a Sampler starting from init (copied).
+func NewSampler(m *mrf.MRF, init []int, seed uint64, alg Algorithm, opts Options) *Sampler {
+	if len(init) != m.G.N() {
+		panic("chains: initial configuration has wrong length")
+	}
+	s := &Sampler{
+		M:       m,
+		X:       append([]int(nil), init...),
+		Alg:     alg,
+		Opts:    opts,
+		seed:    seed,
+		scratch: NewScratch(m),
+	}
+	if alg == ChromaticGlauber {
+		colors, used := m.G.GreedyColoring()
+		s.classes = make([][]int, used)
+		for v, c := range colors {
+			s.classes[c] = append(s.classes[c], v)
+		}
+	}
+	return s
+}
+
+// Round returns the number of steps taken so far.
+func (s *Sampler) Round() int { return s.round }
+
+// Step advances the chain by one step (one single-site update for Glauber
+// and SystematicScan; one full parallel round otherwise).
+func (s *Sampler) Step() {
+	switch s.Alg {
+	case Glauber:
+		GlauberStep(s.M, s.X, s.seed, s.round, s.scratch)
+	case LubyGlauber:
+		LubyGlauberRound(s.M, s.X, s.seed, s.round, s.scratch)
+	case LocalMetropolis:
+		LocalMetropolisRound(s.M, s.X, s.seed, s.round, s.Opts.DropRule3, s.scratch)
+	case SystematicScan:
+		scanStep(s.M, s.X, s.seed, s.round, s.scratch)
+	case ChromaticGlauber:
+		chromaticRound(s.M, s.X, s.seed, s.round, s.classes, s.scratch)
+	default:
+		panic("chains: unknown algorithm")
+	}
+	s.round++
+}
+
+// Run advances the chain by t steps.
+func (s *Sampler) Run(t int) {
+	for i := 0; i < t; i++ {
+		s.Step()
+	}
+}
+
+// GlauberStep performs one single-site heat-bath update: pick a uniform
+// vertex, resample it from the conditional marginal (2). If the marginal is
+// undefined at the current configuration the vertex keeps its value (the §3
+// assumption rules this out for the models we run).
+func GlauberStep(m *mrf.MRF, x []int, seed uint64, round int, sc *Scratch) {
+	n := m.G.N()
+	v := int(rng.PRF(seed, TagPick, uint64(round)) % uint64(n))
+	if m.MarginalInto(v, x, sc.marg) {
+		u := rng.PRFFloat64(seed, TagUpdate, uint64(v), uint64(round))
+		x[v] = rng.CategoricalU(sc.marg, u)
+	}
+}
+
+// scanStep resamples vertex (round mod n) — systematic scan.
+func scanStep(m *mrf.MRF, x []int, seed uint64, round int, sc *Scratch) {
+	v := round % m.G.N()
+	if m.MarginalInto(v, x, sc.marg) {
+		u := rng.PRFFloat64(seed, TagUpdate, uint64(v), uint64(round))
+		x[v] = rng.CategoricalU(sc.marg, u)
+	}
+}
+
+// chromaticRound resamples every vertex of one greedy color class in
+// parallel (the [28] chromatic scheduler). Vertices in a class are pairwise
+// non-adjacent, so in-place updates are exact.
+func chromaticRound(m *mrf.MRF, x []int, seed uint64, round int, classes [][]int, sc *Scratch) {
+	class := classes[round%len(classes)]
+	for _, v := range class {
+		if m.MarginalInto(v, x, sc.marg) {
+			u := rng.PRFFloat64(seed, TagUpdate, uint64(v), uint64(round))
+			x[v] = rng.CategoricalU(sc.marg, u)
+		}
+	}
+}
+
+// LubyStep computes the Luby-step random independent set of round `round`:
+// β_v = PRF(seed, TagBeta, v, round) and v ∈ I iff β_v strictly exceeds
+// every neighbor's β (Algorithm 1, lines 3–4). It fills sc.beta and returns
+// the indicator in the provided slice (allocated if nil).
+func LubyStep(g *graph.Graph, seed uint64, round int, sc *Scratch, inI []bool) []bool {
+	n := g.N()
+	if inI == nil {
+		inI = make([]bool, n)
+	}
+	for v := 0; v < n; v++ {
+		sc.beta[v] = rng.PRFFloat64(seed, TagBeta, uint64(v), uint64(round))
+	}
+	for v := 0; v < n; v++ {
+		isMax := true
+		for _, u := range g.Adj(v) {
+			if sc.beta[u] >= sc.beta[v] {
+				isMax = false
+				break
+			}
+		}
+		inI[v] = isMax
+	}
+	return inI
+}
+
+// LubyGlauberRound performs one round of Algorithm 1: select the Luby-step
+// independent set I, then resample every v ∈ I from its conditional
+// marginal, in parallel. Because I is independent, no resampled vertex
+// reads another resampled vertex, so sequential in-place iteration realizes
+// the parallel update exactly.
+func LubyGlauberRound(m *mrf.MRF, x []int, seed uint64, round int, sc *Scratch) {
+	g := m.G
+	n := g.N()
+	for v := 0; v < n; v++ {
+		sc.beta[v] = rng.PRFFloat64(seed, TagBeta, uint64(v), uint64(round))
+	}
+	for v := 0; v < n; v++ {
+		isMax := true
+		for _, u := range g.Adj(v) {
+			if sc.beta[u] >= sc.beta[v] {
+				isMax = false
+				break
+			}
+		}
+		if !isMax {
+			continue
+		}
+		if m.MarginalInto(v, x, sc.marg) {
+			u := rng.PRFFloat64(seed, TagUpdate, uint64(v), uint64(round))
+			x[v] = rng.CategoricalU(sc.marg, u)
+		}
+	}
+}
+
+// LocalMetropolisRound performs one round of Algorithm 2:
+//
+//  1. every vertex v proposes σ_v with probability ∝ b_v(σ_v);
+//  2. every edge e = uv passes its check independently with probability
+//     Ã_e(σ_u,σ_v)·Ã_e(X_u,σ_v)·Ã_e(σ_u,X_v), using the shared coin
+//     PRF(seed, TagCoin, e, round);
+//  3. v accepts σ_v iff all incident edges passed.
+//
+// With dropRule3 the factor Ã_e(σ_u, X_v) is omitted (E4 ablation; the
+// resulting chain is biased).
+func LocalMetropolisRound(m *mrf.MRF, x []int, seed uint64, round int, dropRule3 bool, sc *Scratch) {
+	g := m.G
+	n := g.N()
+	for v := 0; v < n; v++ {
+		m.ProposalDistInto(v, sc.marg)
+		u := rng.PRFFloat64(seed, TagUpdate, uint64(v), uint64(round))
+		sc.prop[v] = rng.CategoricalU(sc.marg, u)
+	}
+	for id, e := range g.Edges() {
+		p := edgePassProb(m, id, x[e.U], x[e.V], sc.prop[e.U], sc.prop[e.V], dropRule3)
+		coin := rng.PRFFloat64(seed, TagCoin, uint64(id), uint64(round))
+		sc.pass[id] = coin < p
+	}
+	for v := 0; v < n; v++ {
+		ok := true
+		for _, id := range g.Inc(v) {
+			if !sc.pass[id] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			x[v] = sc.prop[v]
+		}
+	}
+}
+
+func edgePassProb(m *mrf.MRF, id, xu, xv, su, sv int, dropRule3 bool) float64 {
+	a := m.NormalizedEdge(id)
+	p := a.At(su, sv) * a.At(xu, sv)
+	if !dropRule3 {
+		p *= a.At(su, xv)
+	}
+	return p
+}
+
+// ColoringLocalMetropolisRound is the specialized proper-q-coloring fast
+// path of Algorithm 2 (§4.2): uniform proposals and the three deterministic
+// filter rules
+//
+//	reject at v if ∃u∈Γ(v): c_v = X_u  (rule 1),
+//	                        c_v = c_u  (rule 2),
+//	                        X_v = c_u  (rule 3).
+//
+// It consumes the PRF keys in exactly the same pattern as
+// LocalMetropolisRound, so both functions produce identical trajectories on
+// coloring models (tested), but this one does no floating-point activity
+// arithmetic on the hot path.
+func ColoringLocalMetropolisRound(m *mrf.MRF, x []int, seed uint64, round int, dropRule3 bool, sc *Scratch) {
+	g := m.G
+	n := g.N()
+	q := m.Q
+	for v := 0; v < n; v++ {
+		u := rng.PRFFloat64(seed, TagUpdate, uint64(v), uint64(round))
+		sc.prop[v] = int(u * float64(q))
+	}
+	for id, e := range g.Edges() {
+		cu, cv := sc.prop[e.U], sc.prop[e.V]
+		ok := cu != cv && cv != x[e.U]
+		if !dropRule3 {
+			ok = ok && cu != x[e.V]
+		}
+		sc.pass[id] = ok
+	}
+	for v := 0; v < n; v++ {
+		ok := true
+		for _, id := range g.Inc(v) {
+			if !sc.pass[id] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			x[v] = sc.prop[v]
+		}
+	}
+}
+
+// GreedyFeasible constructs a feasible starting configuration by assigning
+// vertices in index order, each to the value maximizing its conditional
+// activity given already-assigned neighbors. For colorings with q ≥ Δ+1
+// this is greedy coloring; for hardcore it returns the empty set. Returns
+// an error if some vertex has no positive-activity value.
+func GreedyFeasible(m *mrf.MRF) ([]int, error) {
+	n := m.G.N()
+	x := make([]int, n)
+	assigned := make([]bool, n)
+	for v := 0; v < n; v++ {
+		bestC, bestW := -1, 0.0
+		for c := 0; c < m.Q; c++ {
+			w := m.VertexB[v][c]
+			if w == 0 {
+				continue
+			}
+			adj, inc := m.G.Adj(v), m.G.Inc(v)
+			for i, u := range adj {
+				if assigned[u] {
+					w *= m.EdgeA[inc[i]].At(c, x[u])
+					if w == 0 {
+						break
+					}
+				}
+			}
+			if w > bestW {
+				bestW, bestC = w, c
+			}
+		}
+		if bestC < 0 {
+			return nil, fmt.Errorf("chains: greedy construction stuck at vertex %d", v)
+		}
+		x[v] = bestC
+		assigned[v] = true
+	}
+	return x, nil
+}

@@ -1,0 +1,397 @@
+package chains
+
+import (
+	"math"
+	"testing"
+
+	"locsample/internal/exact"
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+	"locsample/internal/rng"
+)
+
+func TestGreedyFeasible(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *mrf.MRF
+	}{
+		{"coloring", mrf.Coloring(graph.Cycle(7), 4)},
+		{"hardcore", mrf.Hardcore(graph.Grid(3, 3), 1.5)},
+		{"ising", mrf.Ising(graph.Path(5), 2, 1)},
+		{"vertexcover", mrf.VertexCover(graph.Cycle(5))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			x, err := GreedyFeasible(tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tc.m.Feasible(x) {
+				t.Fatalf("greedy configuration infeasible: %v", x)
+			}
+		})
+	}
+	// Hardcore greedy prefers occupation when λ > 1 but must stay feasible.
+	m := mrf.Hardcore(graph.Cycle(6), 3)
+	x, err := GreedyFeasible(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.G.IsIndependentSet(x) {
+		t.Fatal("hardcore greedy produced dependent set")
+	}
+}
+
+func TestGreedyFeasibleFailure(t *testing.T) {
+	// q = 2 coloring of a triangle is impossible.
+	m := mrf.Coloring(graph.Cycle(3), 2)
+	if _, err := GreedyFeasible(m); err == nil {
+		t.Fatal("impossible model did not error")
+	}
+}
+
+func TestSamplerDeterminism(t *testing.T) {
+	m := mrf.Coloring(graph.Grid(4, 4), 5)
+	init, _ := GreedyFeasible(m)
+	for _, alg := range []Algorithm{Glauber, LubyGlauber, LocalMetropolis, SystematicScan, ChromaticGlauber} {
+		a := NewSampler(m, init, 99, alg, Options{})
+		b := NewSampler(m, init, 99, alg, Options{})
+		a.Run(50)
+		b.Run(50)
+		for v := range a.X {
+			if a.X[v] != b.X[v] {
+				t.Fatalf("%v: trajectories diverged at vertex %d", alg, v)
+			}
+		}
+		c := NewSampler(m, init, 100, alg, Options{})
+		c.Run(50)
+		same := true
+		for v := range a.X {
+			if a.X[v] != c.X[v] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%v: different seeds produced identical states (suspicious)", alg)
+		}
+	}
+}
+
+func TestFeasibilityAbsorbing(t *testing.T) {
+	// Once feasible, every chain stays feasible (the paper's absorption
+	// argument in Prop 3.1 / Thm 4.1).
+	models := []struct {
+		name string
+		m    *mrf.MRF
+	}{
+		{"coloring", mrf.Coloring(graph.Grid(3, 4), 5)},
+		{"hardcore", mrf.Hardcore(graph.Cycle(8), 1.2)},
+	}
+	for _, tc := range models {
+		init, err := GreedyFeasible(tc.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range []Algorithm{Glauber, LubyGlauber, LocalMetropolis, SystematicScan, ChromaticGlauber} {
+			s := NewSampler(tc.m, init, 7, alg, Options{})
+			for i := 0; i < 200; i++ {
+				s.Step()
+				if !tc.m.Feasible(s.X) {
+					t.Fatalf("%s/%v: infeasible after %d steps", tc.name, alg, i+1)
+				}
+			}
+		}
+	}
+}
+
+func TestAbsorptionFromInfeasible(t *testing.T) {
+	// Starting from an infeasible all-zeros coloring with q >= Δ+2, both
+	// parallel chains must reach feasibility (§3 and §4 absorption).
+	m := mrf.Coloring(graph.Cycle(6), 4)
+	init := make([]int, 6) // all color 0: infeasible
+	for _, alg := range []Algorithm{LubyGlauber, LocalMetropolis} {
+		s := NewSampler(m, init, 3, alg, Options{})
+		feasibleAt := -1
+		for i := 0; i < 500; i++ {
+			s.Step()
+			if m.Feasible(s.X) {
+				feasibleAt = i
+				break
+			}
+		}
+		if feasibleAt < 0 {
+			t.Fatalf("%v: never absorbed into feasible states", alg)
+		}
+	}
+}
+
+func TestLubyStepIndependence(t *testing.T) {
+	g := graph.Grid(5, 5)
+	sc := NewScratch(mrf.Coloring(g, 6))
+	inI := make([]bool, g.N())
+	for round := 0; round < 100; round++ {
+		LubyStep(g, 42, round, sc, inI)
+		sigma := make([]int, g.N())
+		count := 0
+		for v, in := range inI {
+			if in {
+				sigma[v] = 1
+				count++
+			}
+		}
+		if !g.IsIndependentSet(sigma) {
+			t.Fatalf("Luby step round %d produced dependent set", round)
+		}
+		if count == 0 {
+			t.Fatalf("Luby step round %d selected nobody (the global max always joins)", round)
+		}
+	}
+}
+
+func TestLubyGlauberOnlyUpdatesIndependentSet(t *testing.T) {
+	m := mrf.Coloring(graph.Grid(4, 4), 6)
+	init, _ := GreedyFeasible(m)
+	x := append([]int(nil), init...)
+	sc := NewScratch(m)
+	prev := make([]int, len(x))
+	for round := 0; round < 50; round++ {
+		copy(prev, x)
+		LubyGlauberRound(m, x, 5, round, sc)
+		changed := make([]int, len(x))
+		for v := range x {
+			if x[v] != prev[v] {
+				changed[v] = 1
+			}
+		}
+		if !m.G.IsIndependentSet(changed) {
+			t.Fatalf("round %d changed a dependent set of vertices", round)
+		}
+	}
+}
+
+func TestColoringFastPathMatchesGeneral(t *testing.T) {
+	// The specialized coloring round must equal the general-MRF round
+	// trajectory bit-for-bit (same PRF keys).
+	r := rng.New(31)
+	for trial := 0; trial < 5; trial++ {
+		g := graph.Gnp(12, 0.3, r)
+		q := g.MaxDeg() + 3
+		m := mrf.Coloring(g, q)
+		init, err := GreedyFeasible(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, drop := range []bool{false, true} {
+			xg := append([]int(nil), init...)
+			xc := append([]int(nil), init...)
+			scg, scc := NewScratch(m), NewScratch(m)
+			for round := 0; round < 60; round++ {
+				LocalMetropolisRound(m, xg, 77, round, drop, scg)
+				ColoringLocalMetropolisRound(m, xc, 77, round, drop, scc)
+				for v := range xg {
+					if xg[v] != xc[v] {
+						t.Fatalf("trial %d drop=%v: fast path diverged at round %d vertex %d", trial, drop, round, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// empiricalStepDist runs many independent one-step transitions from x0 with
+// different seeds and returns the empirical distribution over states.
+func empiricalStepDist(m *mrf.MRF, x0 []int, step func(x []int, seed uint64), samples int) []float64 {
+	states := 1
+	for range x0 {
+		states *= m.Q
+	}
+	counts := make([]float64, states)
+	x := make([]int, len(x0))
+	for s := 0; s < samples; s++ {
+		copy(x, x0)
+		step(x, uint64(s)+1)
+		counts[exact.Index(m.Q, x)]++
+	}
+	for i := range counts {
+		counts[i] /= float64(samples)
+	}
+	return counts
+}
+
+func TestLubyGlauberStepMatchesExactMatrix(t *testing.T) {
+	// The implemented round, averaged over seeds, must match the analytic
+	// transition matrix row. This validates the sampler against the same
+	// matrix that was proved reversible in internal/exact.
+	m := mrf.Coloring(graph.Path(4), 3)
+	P, err := exact.LubyGlauberMatrix(m, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := []int{0, 1, 0, 1}
+	sc := NewScratch(m)
+	emp := empiricalStepDist(m, x0, func(x []int, seed uint64) {
+		LubyGlauberRound(m, x, seed, 0, sc)
+	}, 200000)
+	row := P.Row(exact.Index(m.Q, x0))
+	if tv := exact.TV(emp, row); tv > 0.01 {
+		t.Fatalf("empirical one-step TV from exact row: %v", tv)
+	}
+}
+
+func TestLocalMetropolisStepMatchesExactMatrix(t *testing.T) {
+	m := mrf.Coloring(graph.Path(3), 4)
+	for _, drop := range []bool{false, true} {
+		P, err := exact.LocalMetropolisMatrix(m, drop, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x0 := []int{0, 1, 2}
+		sc := NewScratch(m)
+		emp := empiricalStepDist(m, x0, func(x []int, seed uint64) {
+			LocalMetropolisRound(m, x, seed, 0, drop, sc)
+		}, 200000)
+		row := P.Row(exact.Index(m.Q, x0))
+		if tv := exact.TV(emp, row); tv > 0.01 {
+			t.Fatalf("drop=%v: empirical one-step TV from exact row: %v", drop, tv)
+		}
+	}
+}
+
+func TestGlauberStepMatchesExactMatrix(t *testing.T) {
+	m := mrf.Hardcore(graph.Cycle(4), 1.5)
+	P, err := exact.GlauberMatrix(m, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := []int{1, 0, 1, 0}
+	sc := NewScratch(m)
+	emp := empiricalStepDist(m, x0, func(x []int, seed uint64) {
+		GlauberStep(m, x, seed, 0, sc)
+	}, 200000)
+	row := P.Row(exact.Index(m.Q, x0))
+	if tv := exact.TV(emp, row); tv > 0.01 {
+		t.Fatalf("empirical one-step TV from exact row: %v", tv)
+	}
+}
+
+func TestScanStepMatchesSingleSiteMatrix(t *testing.T) {
+	// scanStep at round r resamples vertex r mod n: its empirical one-step
+	// law must match the exact single-site matrix at that vertex.
+	m := mrf.Ising(graph.Path(3), 1.5, 0.8)
+	const v = 1
+	P, err := exact.SingleSiteMatrix(m, v, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := []int{0, 1, 0}
+	emp := empiricalStepDist(m, x0, func(x []int, seed uint64) {
+		s := NewSampler(m, x, seed, SystematicScan, Options{})
+		// Advance the sampler's internal round to v so scanStep hits it.
+		s.round = v
+		s.Step()
+		copy(x, s.X)
+	}, 150000)
+	row := P.Row(exact.Index(m.Q, x0))
+	if tv := exact.TV(emp, row); tv > 0.01 {
+		t.Fatalf("scan one-step TV from exact single-site row: %v", tv)
+	}
+}
+
+// longRunTV runs a chain, collects thinned samples, and compares the
+// empirical distribution against exact Gibbs.
+func longRunTV(t *testing.T, m *mrf.MRF, alg Algorithm, burn, thin, samples int) float64 {
+	t.Helper()
+	mu, err := exact.Enumerate(m.G.N(), m.Q, m.Weight, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init, err := GreedyFeasible(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSampler(m, init, 12345, alg, Options{})
+	s.Run(burn)
+	counts := make([]float64, len(mu.P))
+	for i := 0; i < samples; i++ {
+		s.Run(thin)
+		counts[exact.Index(m.Q, s.X)]++
+	}
+	for i := range counts {
+		counts[i] /= float64(samples)
+	}
+	return exact.TV(counts, mu.P)
+}
+
+func TestLongRunDistributions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-run distribution test")
+	}
+	m := mrf.Coloring(graph.Cycle(4), 3) // 18 feasible states
+	for _, alg := range []Algorithm{Glauber, LubyGlauber, LocalMetropolis, SystematicScan, ChromaticGlauber} {
+		tv := longRunTV(t, m, alg, 2000, 12, 60000)
+		// Statistical noise for 18 states at 60k samples is about 0.01.
+		if tv > 0.04 {
+			t.Errorf("%v: long-run TV from Gibbs = %v", alg, tv)
+		}
+	}
+}
+
+func TestRule3AblationBiasEmpirical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-run distribution test")
+	}
+	// E4 companion: with rule 3 dropped the long-run distribution is
+	// measurably wrong even though the chain still moves.
+	m := mrf.Coloring(graph.Path(3), 4)
+	mu, _ := exact.Enumerate(3, 4, m.Weight, 1<<20)
+	P, _ := exact.LocalMetropolisMatrix(m, true, 1<<20)
+	biased := P.Stationary(200000, 1e-14)
+	wantTV := exact.TV(biased, mu.P)
+
+	init, _ := GreedyFeasible(m)
+	s := NewSampler(m, init, 5, LocalMetropolis, Options{DropRule3: true})
+	s.Run(2000)
+	counts := make([]float64, len(mu.P))
+	const samples = 60000
+	for i := 0; i < samples; i++ {
+		s.Run(8)
+		counts[exact.Index(m.Q, s.X)]++
+	}
+	for i := range counts {
+		counts[i] /= samples
+	}
+	gotTV := exact.TV(counts, mu.P)
+	if math.Abs(gotTV-wantTV) > 0.03 {
+		t.Fatalf("empirical ablation bias %v differs from analytic %v", gotTV, wantTV)
+	}
+	if gotTV < 1e-3 {
+		t.Fatal("ablated chain looks unbiased; rule 3 should matter")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	names := map[Algorithm]string{
+		Glauber:          "Glauber",
+		LubyGlauber:      "LubyGlauber",
+		LocalMetropolis:  "LocalMetropolis",
+		SystematicScan:   "SystematicScan",
+		ChromaticGlauber: "ChromaticGlauber",
+		Algorithm(99):    "Algorithm(99)",
+	}
+	for alg, want := range names {
+		if alg.String() != want {
+			t.Errorf("String() = %q, want %q", alg.String(), want)
+		}
+	}
+}
+
+func TestSamplerPanicsOnBadInit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-length init did not panic")
+		}
+	}()
+	m := mrf.Coloring(graph.Path(3), 3)
+	NewSampler(m, []int{0}, 1, Glauber, Options{})
+}

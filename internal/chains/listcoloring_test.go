@@ -1,0 +1,109 @@
+package chains
+
+import (
+	"testing"
+
+	"locsample/internal/exact"
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+	"locsample/internal/rng"
+)
+
+// Corollary 3.4: LubyGlauber samples list colorings whenever every list
+// satisfies q_v ≥ (2+δ)d_v. These tests exercise the list-coloring model
+// end to end: feasibility, correct stationary distribution on small
+// instances, and heterogeneous lists.
+
+func randomLists(g *graph.Graph, q int, slack int, r *rng.Source) [][]int {
+	lists := make([][]int, g.N())
+	for v := range lists {
+		size := 2*g.Deg(v) + slack
+		if size > q {
+			size = q
+		}
+		perm := r.Perm(q)
+		lists[v] = append([]int(nil), perm[:size]...)
+	}
+	return lists
+}
+
+func TestListColoringChainStaysInLists(t *testing.T) {
+	r := rng.New(5)
+	g := graph.Grid(4, 4)
+	q := 2*g.MaxDeg() + 4
+	lists := randomLists(g, q, 3, r)
+	m, err := mrf.ListColoring(g, q, lists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init, err := GreedyFeasible(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{LubyGlauber, LocalMetropolis} {
+		s := NewSampler(m, init, 9, alg, Options{})
+		for k := 0; k < 300; k++ {
+			s.Step()
+			for v, c := range s.X {
+				ok := false
+				for _, a := range lists[v] {
+					if a == c {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("%v: vertex %d left its list at round %d", alg, v, k)
+				}
+			}
+			if !m.Feasible(s.X) {
+				t.Fatalf("%v: infeasible at round %d", alg, k)
+			}
+		}
+	}
+}
+
+func TestListColoringExactStationarity(t *testing.T) {
+	// Exact transition-matrix verification with heterogeneous lists — the
+	// full Corollary 3.4 setting at verifiable scale.
+	g := graph.Path(3)
+	lists := [][]int{{0, 1, 2}, {1, 2, 3}, {0, 2, 3}}
+	m, err := mrf.ListColoring(g, 4, lists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, err := exact.Enumerate(3, 4, m.Weight, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	P, err := exact.LubyGlauberMatrix(m, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := P.DetailedBalanceErr(mu.P); e > 1e-12 {
+		t.Fatalf("list-coloring LubyGlauber detailed balance violated by %v", e)
+	}
+	Plm, err := exact.LocalMetropolisMatrix(m, false, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := Plm.DetailedBalanceErr(mu.P); e > 1e-12 {
+		t.Fatalf("list-coloring LocalMetropolis detailed balance violated by %v", e)
+	}
+}
+
+func TestListColoringDobrushinBudget(t *testing.T) {
+	// The §3.2 condition uses per-vertex list sizes: q_v ≥ (2+δ)d_v keeps
+	// α < 1 even when the global q is large.
+	g := graph.Star(6) // center degree 5
+	qs := []int{13, 3, 3, 3, 3, 3}
+	alpha := mrf.DobrushinAlphaColoring(g, qs)
+	if alpha >= 1 {
+		t.Fatalf("alpha %v, want < 1 under Corollary 3.4's condition", alpha)
+	}
+	// Violating the condition at one vertex blows α up.
+	qs[0] = 6 // center: d=5, q_v−d_v = 1 → α = 5
+	if a := mrf.DobrushinAlphaColoring(g, qs); a < 1 {
+		t.Fatalf("alpha %v, want >= 1 when the condition fails", a)
+	}
+}

@@ -1,0 +1,192 @@
+// Package core is the facade of the library: it ties a model, an algorithm
+// choice, and theory-derived round budgets into a single Sample call.
+//
+// The round budgets come from the paper's theorems:
+//
+//   - LubyGlauber (Theorem 3.2): with Luby-step selection probability
+//     γ = 1/(Δ+1) and total influence α < 1, choosing
+//     T₁ = ⌈(1/γ)·ln(4n/ε)⌉ and T₂ = ⌈1/((1−α)γ)·ln(2n/ε)⌉ gives
+//     d_TV ≤ ε after T₁+T₂ rounds.
+//   - LocalMetropolis for colorings (Theorem 4.2 via Lemma 4.3): with
+//     one-step contraction margin δ (the LHS of (13) or (26), whichever is
+//     positive and larger), τ(ε) ≤ ln(nΔ/ε)/δ since diam(Ω) ≤ nΔ in the
+//     degree-weighted path-coupling metric.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"locsample/internal/chains"
+	"locsample/internal/coupling"
+	"locsample/internal/dist"
+	"locsample/internal/exact"
+	"locsample/internal/localmodel"
+	"locsample/internal/mrf"
+)
+
+// Config selects an algorithm and its parameters for Sample.
+type Config struct {
+	// Algorithm picks the chain (default LocalMetropolis).
+	Algorithm chains.Algorithm
+	// Epsilon is the total-variation target used by the automatic round
+	// budget (default 1/e² ≈ 0.135; any value in (0,1)).
+	Epsilon float64
+	// Rounds overrides the automatic budget when positive.
+	Rounds int
+	// Seed drives all randomness. Two runs with equal seeds coincide.
+	Seed uint64
+	// Distributed executes the protocol on the LOCAL-model runtime instead
+	// of the (trajectory-identical) centralized replay, and reports
+	// communication statistics. Only LubyGlauber and LocalMetropolis have
+	// distributed implementations.
+	Distributed bool
+	// DropRule3 enables the E4 ablation for LocalMetropolis.
+	DropRule3 bool
+	// Init supplies the starting configuration; when nil a greedy feasible
+	// configuration is constructed.
+	Init []int
+}
+
+// Result is a sample plus its provenance.
+type Result struct {
+	// Sample is the output configuration, one spin per vertex.
+	Sample []int
+	// Rounds is the number of chain iterations executed.
+	Rounds int
+	// TheoryRounds is the bound the automatic budget used (0 when the
+	// caller supplied Rounds explicitly).
+	TheoryRounds int
+	// Stats reports communication costs for distributed runs.
+	Stats localmodel.Stats
+}
+
+// LubyGlauberRounds returns the Theorem 3.2 round budget T₁+T₂ for total
+// influence alpha < 1 on a graph with n vertices and maximum degree maxDeg.
+func LubyGlauberRounds(n, maxDeg int, alpha, eps float64) (int, error) {
+	if alpha >= 1 || alpha < 0 {
+		return 0, fmt.Errorf("core: Dobrushin condition needs 0 <= α < 1, got %v", alpha)
+	}
+	if eps <= 0 || eps >= 1 {
+		return 0, fmt.Errorf("core: need 0 < ε < 1, got %v", eps)
+	}
+	gamma := 1 / float64(maxDeg+1)
+	t1 := math.Ceil(math.Log(4*float64(n)/eps) / gamma)
+	t2 := math.Ceil(math.Log(2*float64(n)/eps) / ((1 - alpha) * gamma))
+	return int(t1 + t2), nil
+}
+
+// LocalMetropolisRoundsColoring returns the Theorem 4.2 / Lemma 4.3 round
+// budget for proper q-colorings: ln(nΔ/ε)/δ with δ the best positive
+// contraction margin among (13) and (26). It errors when neither margin is
+// positive (q too small for the proved regime).
+func LocalMetropolisRoundsColoring(n, maxDeg, q int, eps float64) (int, error) {
+	if eps <= 0 || eps >= 1 {
+		return 0, fmt.Errorf("core: need 0 < ε < 1, got %v", eps)
+	}
+	if maxDeg == 0 {
+		return 1, nil
+	}
+	delta := math.Max(coupling.Analytic13(q, maxDeg), coupling.Analytic26(q, maxDeg))
+	if delta <= 0 {
+		return 0, fmt.Errorf("core: no proved contraction for q=%d, Δ=%d (need q ⪆ (2+√2)Δ)", q, maxDeg)
+	}
+	t := math.Ceil(math.Log(float64(n)*float64(maxDeg)/eps) / delta)
+	return int(t), nil
+}
+
+// AutoRounds picks a round budget for the given model and algorithm. For
+// colorings it uses the paper's bounds; for other models it falls back to a
+// Dobrushin-style estimate from the exact influence matrix when the model
+// is small enough, and otherwise to a generous heuristic Θ(Δ log(n/ε)) (for
+// LubyGlauber) or Θ(log(n/ε)) (for LocalMetropolis) budget.
+func AutoRounds(m *mrf.MRF, alg chains.Algorithm, eps float64) (int, error) {
+	n, maxDeg := m.G.N(), m.G.MaxDeg()
+	if m.IsColoringModel() {
+		switch alg {
+		case chains.LocalMetropolis:
+			if t, err := LocalMetropolisRoundsColoring(n, maxDeg, m.Q, eps); err == nil {
+				return t, nil
+			}
+			// Outside the proved regime: fall through to the heuristic.
+		default:
+			alpha := mrf.DobrushinAlphaColoring(m.G, mrf.UniformQs(n, m.Q))
+			if alpha < 1 {
+				return LubyGlauberRounds(n, maxDeg, alpha, eps)
+			}
+		}
+	}
+	// Exact influence for small models.
+	if rho, err := exact.InfluenceMatrix(m, 1<<16); err == nil {
+		if alpha := exact.TotalInfluence(rho); alpha < 1 {
+			return LubyGlauberRounds(n, maxDeg, alpha, eps)
+		}
+	}
+	// Heuristic budget, clearly flagged as such by not being a theorem.
+	logTerm := math.Log(float64(n)/eps) + 1
+	switch alg {
+	case chains.LocalMetropolis:
+		return int(math.Ceil(20 * logTerm)), nil
+	default:
+		return int(math.Ceil(4 * float64(maxDeg+1) * logTerm)), nil
+	}
+}
+
+// Sample draws one configuration whose distribution is within the
+// configured ε of the Gibbs distribution (when the model is in a proved
+// regime; see AutoRounds).
+func Sample(m *mrf.MRF, cfg Config) (*Result, error) {
+	eps := cfg.Epsilon
+	if eps == 0 {
+		eps = math.Exp(-2)
+	}
+	res := &Result{}
+	rounds := cfg.Rounds
+	if rounds <= 0 {
+		t, err := AutoRounds(m, cfg.Algorithm, eps)
+		if err != nil {
+			return nil, err
+		}
+		rounds = t
+		res.TheoryRounds = t
+	}
+	init := cfg.Init
+	if init == nil {
+		var err error
+		init, err = chains.GreedyFeasible(m)
+		if err != nil {
+			return nil, fmt.Errorf("core: no feasible initial configuration: %w", err)
+		}
+	} else if len(init) != m.G.N() {
+		return nil, fmt.Errorf("core: init length %d for %d vertices", len(init), m.G.N())
+	}
+
+	if cfg.Distributed {
+		switch cfg.Algorithm {
+		case chains.LubyGlauber:
+			out, stats, err := dist.RunLubyGlauber(m, init, cfg.Seed, rounds)
+			if err != nil {
+				return nil, err
+			}
+			res.Sample, res.Rounds, res.Stats = out, rounds, stats
+			return res, nil
+		case chains.LocalMetropolis:
+			r := localmodel.New(m.G, localmodel.Config{SharedSeed: cfg.Seed},
+				dist.NewLocalMetropolisFactory(m, init, cfg.Seed, rounds, cfg.DropRule3))
+			out, stats, err := r.Run(rounds + 1)
+			if err != nil {
+				return nil, err
+			}
+			res.Sample, res.Rounds, res.Stats = out, rounds, stats
+			return res, nil
+		default:
+			return nil, fmt.Errorf("core: %v has no distributed implementation", cfg.Algorithm)
+		}
+	}
+
+	s := chains.NewSampler(m, init, cfg.Seed, cfg.Algorithm, chains.Options{DropRule3: cfg.DropRule3})
+	s.Run(rounds)
+	res.Sample = append([]int(nil), s.X...)
+	res.Rounds = rounds
+	return res, nil
+}

@@ -1,0 +1,449 @@
+// Package coupling implements the coupling machinery behind the paper's
+// mixing analyses, both as measurement tools and as faithful reproductions
+// of the proofs' constructions:
+//
+//   - coalescence of two chain copies driven by identical randomness — the
+//     mixing-time proxy used in the E1/E2 scaling experiments;
+//   - one-step path-coupling contraction measurement for LocalMetropolis on
+//     proper q-colorings, under the two couplings of §4.2: the
+//     identical-proposal local coupling of Lemma 4.4 and the permuted
+//     BFS/percolation coupling of §4.2.3 (Lemma 4.5);
+//   - the analytic contraction quantities (13) and (26) and the thresholds
+//     α* ≈ 3.634 (root of α = 2e^{1/α}+1) and 2+√2 they predict.
+package coupling
+
+import (
+	"math"
+
+	"locsample/internal/chains"
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+	"locsample/internal/rng"
+)
+
+// TagPermute keys the shared color permutations of the permutation grand
+// coupling (distinct from the chains.Tag* space).
+const TagPermute = 0x2001
+
+// CoalescenceTime runs two copies of a chain from init1 and init2 under a
+// grand coupling and returns the first round at which they agree, or -1 if
+// they fail to coalesce within maxT rounds.
+//
+// For LubyGlauber on coloring models the coupling resamples winners with a
+// shared random color permutation ("pick the first color unused by your
+// neighbors") — the same chain law as heat-bath resampling but a far
+// stronger coupling: the inverse-CDF coupling stops coalescing at large Δ
+// because shifted available-color sets map the same uniform to different
+// colors at every site. All other combinations use identical PRF
+// randomness through the standard samplers.
+func CoalescenceTime(m *mrf.MRF, alg chains.Algorithm, init1, init2 []int, seed uint64, maxT int) int {
+	if alg == chains.LubyGlauber && m.IsColoringModel() {
+		return coloringLubyCoalescence(m, init1, init2, seed, maxT)
+	}
+	a := chains.NewSampler(m, init1, seed, alg, chains.Options{})
+	b := chains.NewSampler(m, init2, seed, alg, chains.Options{})
+	if equal(a.X, b.X) {
+		return 0
+	}
+	for t := 1; t <= maxT; t++ {
+		a.Step()
+		b.Step()
+		if equal(a.X, b.X) {
+			return t
+		}
+	}
+	return -1
+}
+
+func coloringLubyCoalescence(m *mrf.MRF, init1, init2 []int, seed uint64, maxT int) int {
+	g := m.G
+	x := append([]int(nil), init1...)
+	y := append([]int(nil), init2...)
+	if equal(x, y) {
+		return 0
+	}
+	n := g.N()
+	beta := make([]float64, n)
+	perm := make([]int, m.Q)
+	for t := 1; t <= maxT; t++ {
+		round := t - 1
+		for v := 0; v < n; v++ {
+			beta[v] = rng.PRFFloat64(seed, chains.TagBeta, uint64(v), uint64(round))
+		}
+		for v := 0; v < n; v++ {
+			isMax := true
+			for _, u := range g.Adj(v) {
+				if beta[u] >= beta[v] {
+					isMax = false
+					break
+				}
+			}
+			if !isMax {
+				continue
+			}
+			r := rng.Derive(seed, TagPermute, uint64(v), uint64(round))
+			for i := range perm {
+				perm[i] = i
+			}
+			r.Shuffle(perm)
+			x[v] = firstAvailable(g, m.Q, x, v, perm)
+			y[v] = firstAvailable(g, m.Q, y, v, perm)
+		}
+		if equal(x, y) {
+			return t
+		}
+	}
+	return -1
+}
+
+// firstAvailable returns the first color in the permuted order not used by
+// a neighbor of v; a uniformly random permutation makes the result uniform
+// over the available set (the heat-bath law for colorings). If no color is
+// available (q ≤ deg), the vertex keeps its value, matching the samplers'
+// undefined-marginal behaviour.
+func firstAvailable(g *graph.Graph, q int, x []int, v int, perm []int) int {
+	for _, c := range perm {
+		used := false
+		for _, u := range g.Adj(v) {
+			if x[u] == c {
+				used = true
+				break
+			}
+		}
+		if !used {
+			return c
+		}
+	}
+	return x[v]
+}
+
+func equal(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MixingEstimate estimates a mixing-time proxy for colorings: the median
+// over trials of the coalescence time between two chains started from
+// different feasible configurations (a greedy coloring and an independently
+// randomized one). Returns -1 if any trial fails to coalesce within maxT.
+func MixingEstimate(m *mrf.MRF, alg chains.Algorithm, trials, maxT int, seed uint64) (median int, times []int) {
+	init1, err := chains.GreedyFeasible(m)
+	if err != nil {
+		return -1, nil
+	}
+	times = make([]int, 0, trials)
+	for trial := 0; trial < trials; trial++ {
+		// Randomize the second start by evolving the chain with a
+		// trial-specific seed.
+		s2 := chains.NewSampler(m, init1, seed+uint64(trial)*7919+1, alg, chains.Options{})
+		s2.Run(20)
+		t := CoalescenceTime(m, alg, init1, s2.X, seed+uint64(trial)*104729+13, maxT)
+		if t < 0 {
+			return -1, times
+		}
+		times = append(times, t)
+	}
+	sorted := append([]int(nil), times...)
+	insertionSort(sorted)
+	return sorted[len(sorted)/2], times
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+// --- One-step path coupling for coloring LocalMetropolis -------------------
+
+// Kind selects the coupling construction of §4.2.
+type Kind int
+
+const (
+	// Identical couples the two chains through identical proposals
+	// (§4.2.2, Lemma 4.4): disagreement cannot leave Γ⁺(v0).
+	Identical Kind = iota
+	// Permuted is the global coupling of §4.2.3 (Lemma 4.5): unblocked
+	// vertices on the boundary of the disagreement percolation propose
+	// through the transposition (X_v0 Y_v0), letting disagreement spread
+	// along strongly self-avoiding walks but at geometric cost.
+	Permuted
+)
+
+// lmApply runs the coloring LocalMetropolis filter on (x, proposals) and
+// writes the next state into out.
+func lmApply(g *graph.Graph, x, prop, out []int) {
+	n := g.N()
+	for v := 0; v < n; v++ {
+		out[v] = x[v]
+	}
+	for v := 0; v < n; v++ {
+		cv := prop[v]
+		ok := true
+		for _, u := range g.Adj(v) {
+			if cv == x[u] || cv == prop[u] || x[v] == prop[u] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out[v] = cv
+		}
+	}
+}
+
+// Phi returns the weighted Hamming distance Φ of Definition 4.1:
+// Σ_{u: X_u ≠ Y_u} deg(u).
+func Phi(g *graph.Graph, x, y []int) float64 {
+	d := 0.0
+	for v := 0; v < g.N(); v++ {
+		if x[v] != y[v] {
+			d += float64(g.Deg(v))
+		}
+	}
+	return d
+}
+
+// OneStep performs one coupled LocalMetropolis step for proper q-colorings
+// from a pair (x, y) differing only at v0, under the selected coupling, and
+// returns (x', y'). The slices x and y are not modified.
+func OneStep(g *graph.Graph, q int, x, y []int, v0 int, kind Kind, r *rng.Source) (xp, yp []int) {
+	n := g.N()
+	cx := make([]int, n)
+	cy := make([]int, n)
+	switch kind {
+	case Identical:
+		for v := 0; v < n; v++ {
+			cx[v] = r.Intn(q)
+			cy[v] = cx[v]
+		}
+	case Permuted:
+		samplePermutedProposals(g, q, x, y, v0, r, cx, cy)
+	default:
+		panic("coupling: unknown kind")
+	}
+	xp = make([]int, n)
+	yp = make([]int, n)
+	lmApply(g, x, cx, xp)
+	lmApply(g, y, cy, yp)
+	return xp, yp
+}
+
+// samplePermutedProposals implements the §4.2.3 recursive construction.
+//
+// Vertices u ≠ v0 with X_u = Y_u ∈ {X_v0, Y_v0} "block" their inclusive
+// neighborhood minus v0; all other u ≠ v0 are unblocked. The pair
+// (c^X_v0, c^Y_v0) is sampled consistently. Unblocked neighbors of v0
+// sample from the permuted distribution (c^Y = φ(c^X) with φ the
+// transposition of {X_v0, Y_v0}). Then the disagreement set S≠ grows in a
+// breadth-first percolation: every unblocked un-sampled vertex adjacent to
+// S≠ samples permuted, joining simultaneously; when the boundary is empty,
+// all remaining vertices sample consistently.
+func samplePermutedProposals(g *graph.Graph, q int, x, y []int, v0 int, r *rng.Source, cx, cy []int) {
+	n := g.N()
+	a, b := x[v0], y[v0]
+	phi := func(c int) int {
+		switch c {
+		case a:
+			return b
+		case b:
+			return a
+		default:
+			return c
+		}
+	}
+	blocked := make([]bool, n)
+	for u := 0; u < n; u++ {
+		if u == v0 || x[u] != y[u] {
+			continue
+		}
+		if x[u] == a || x[u] == b {
+			// u blocks Γ⁺(u) ∖ {v0}.
+			if u != v0 {
+				blocked[u] = true
+			}
+			for _, w := range g.Adj(u) {
+				if int(w) != v0 {
+					blocked[w] = true
+				}
+			}
+		}
+	}
+	// v0 is special: neither blocked nor unblocked.
+	blocked[v0] = false
+
+	const (
+		unsampled = 0
+		sampled   = 1
+	)
+	state := make([]int, n)
+	disagree := make([]bool, n)
+
+	// v0 samples consistently.
+	cx[v0] = r.Intn(q)
+	cy[v0] = cx[v0]
+	state[v0] = sampled
+
+	samplePermuted := func(u int) {
+		cx[u] = r.Intn(q)
+		cy[u] = phi(cx[u])
+		state[u] = sampled
+		disagree[u] = cx[u] != cy[u]
+	}
+
+	// Unblocked neighbors of v0 sample permuted.
+	frontierSet := map[int]struct{}{}
+	for _, u32 := range g.Adj(v0) {
+		u := int(u32)
+		if u != v0 && !blocked[u] && state[u] == unsampled {
+			frontierSet[u] = struct{}{}
+		}
+	}
+	for len(frontierSet) > 0 {
+		// Sample the whole frontier simultaneously.
+		frontier := make([]int, 0, len(frontierSet))
+		for u := range frontierSet {
+			frontier = append(frontier, u)
+		}
+		// Deterministic order for reproducibility.
+		insertionSort(frontier)
+		for _, u := range frontier {
+			samplePermuted(u)
+		}
+		// Next frontier: unblocked unsampled vertices adjacent to a
+		// disagreeing sampled vertex.
+		frontierSet = map[int]struct{}{}
+		for _, u := range frontier {
+			if !disagree[u] {
+				continue
+			}
+			for _, w32 := range g.Adj(u) {
+				w := int(w32)
+				if w != v0 && !blocked[w] && state[w] == unsampled {
+					frontierSet[w] = struct{}{}
+				}
+			}
+		}
+	}
+	// Everyone else: consistent.
+	for u := 0; u < n; u++ {
+		if state[u] == unsampled {
+			cx[u] = r.Intn(q)
+			cy[u] = cx[u]
+			state[u] = sampled
+		}
+	}
+}
+
+// ContractionEstimate measures the average one-step contraction ratio
+// E[Φ(X',Y')]/Φ(X,Y) for coloring LocalMetropolis on g with q colors under
+// the given coupling. Pairs (X, Y) are generated by evolving the chain for
+// `burn` rounds from a greedy coloring (so X is a plausible chain state) and
+// recoloring a random vertex in Y. Returns the mean ratio over trials.
+func ContractionEstimate(g *graph.Graph, q int, kind Kind, trials, burn int, seed uint64) float64 {
+	m := mrf.Coloring(g, q)
+	init, err := chains.GreedyFeasible(m)
+	if err != nil {
+		return math.NaN()
+	}
+	r := rng.New(seed)
+	sum := 0.0
+	count := 0
+	x := append([]int(nil), init...)
+	sc := chains.NewScratch(m)
+	for trial := 0; trial < trials; trial++ {
+		// Refresh X occasionally by running the real chain.
+		if trial%16 == 0 {
+			copy(x, init)
+			for k := 0; k < burn; k++ {
+				chains.ColoringLocalMetropolisRound(m, x, seed+uint64(trial), k, false, sc)
+			}
+		}
+		v0 := r.Intn(g.N())
+		if g.Deg(v0) == 0 {
+			continue
+		}
+		y := append([]int(nil), x...)
+		// Recolor v0 to a uniformly random different color (the path
+		// coupling considers all adjacent pairs; Y need not be proper).
+		c := r.Intn(q - 1)
+		if c >= x[v0] {
+			c++
+		}
+		y[v0] = c
+		xp, yp := OneStep(g, q, x, y, v0, kind, r)
+		sum += Phi(g, xp, yp) / float64(g.Deg(v0))
+		count++
+	}
+	if count == 0 {
+		return math.NaN()
+	}
+	return sum / float64(count)
+}
+
+// --- Analytic quantities ---------------------------------------------------
+
+// Analytic13 evaluates the contraction margin of inequality (13)
+// (Lemma 4.4, identical-proposal coupling):
+//
+//	(1 − Δ/q)(1 − 3/q)^Δ − (2Δ/q)(1 − 2/q)^Δ.
+//
+// Positive margin ⇒ one-step contraction.
+func Analytic13(q, delta int) float64 {
+	qf, df := float64(q), float64(delta)
+	return (1-df/qf)*math.Pow(1-3/qf, df) - (2*df/qf)*math.Pow(1-2/qf, df)
+}
+
+// Analytic26 evaluates the contraction margin of inequality (26)
+// (Lemma 4.5, permuted coupling):
+//
+//	(1 − Δ/q)(1 − 2/q)^Δ − Δ/(q − 2Δ + 2)·(1 − 2/q)^(Δ−1).
+//
+// Positive margin ⇒ one-step contraction.
+func Analytic26(q, delta int) float64 {
+	qf, df := float64(q), float64(delta)
+	if qf-2*df+2 <= 0 {
+		return math.Inf(-1)
+	}
+	return (1-df/qf)*math.Pow(1-2/qf, df) - df/(qf-2*df+2)*math.Pow(1-2/qf, df-1)
+}
+
+// IdealCouplingExpectation evaluates the §4.2.1 ideal-coupling bound on the
+// expected number of disagreeing vertices after one step on a Δ-regular
+// tree:
+//
+//	1 − (1 − Δ/q)(1 − 2/q)^Δ + Δ/(q−2Δ)·(1 − 2/q)^(Δ−1).
+//
+// Below 1 ⇒ contraction; as Δ → ∞ with q = αΔ the threshold is α > 2+√2.
+func IdealCouplingExpectation(q, delta int) float64 {
+	qf, df := float64(q), float64(delta)
+	if qf-2*df <= 0 {
+		return math.Inf(1)
+	}
+	return 1 - (1-df/qf)*math.Pow(1-2/qf, df) + df/(qf-2*df)*math.Pow(1-2/qf, df-1)
+}
+
+// AlphaStar returns the positive root of α = 2e^{1/α} + 1 ≈ 3.634…, the
+// asymptotic threshold of the identical-proposal coupling (§4.2.2).
+func AlphaStar() float64 {
+	lo, hi := 3.0, 4.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if mid-2*math.Exp(1/mid)-1 < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// AlphaIdeal returns 2+√2, the asymptotic threshold of the ideal/permuted
+// coupling (Theorem 4.2).
+func AlphaIdeal() float64 { return 2 + math.Sqrt2 }

@@ -1,0 +1,285 @@
+package coupling
+
+import (
+	"math"
+	"testing"
+
+	"locsample/internal/chains"
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+	"locsample/internal/rng"
+)
+
+func TestCoalescenceIdenticalStarts(t *testing.T) {
+	m := mrf.Coloring(graph.Cycle(6), 5)
+	init, _ := chains.GreedyFeasible(m)
+	if c := CoalescenceTime(m, chains.LubyGlauber, init, init, 1, 100); c != 0 {
+		t.Fatalf("identical starts coalesce at %d, want 0", c)
+	}
+}
+
+func TestCoalescenceHappens(t *testing.T) {
+	m := mrf.Coloring(graph.Cycle(8), 6)
+	init1, _ := chains.GreedyFeasible(m)
+	s := chains.NewSampler(m, init1, 99, chains.LocalMetropolis, chains.Options{})
+	s.Run(30)
+	init2 := s.X
+	for _, alg := range []chains.Algorithm{chains.LubyGlauber, chains.LocalMetropolis} {
+		c := CoalescenceTime(m, alg, init1, init2, 7, 5000)
+		if c <= 0 {
+			t.Fatalf("%v: no coalescence within budget", alg)
+		}
+	}
+}
+
+func TestCoalescenceBudget(t *testing.T) {
+	// With maxT = 0 and different starts, coalescence must report failure.
+	m := mrf.Coloring(graph.Cycle(6), 5)
+	init1, _ := chains.GreedyFeasible(m)
+	init2 := append([]int(nil), init1...)
+	init2[0] = (init2[0] + 1) % 5
+	if c := CoalescenceTime(m, chains.LubyGlauber, init1, init2, 3, 0); c != -1 {
+		t.Fatalf("budget 0 returned %d", c)
+	}
+}
+
+func TestMixingEstimateOrdering(t *testing.T) {
+	// LubyGlauber needs more rounds on higher-degree graphs at fixed q/Δ;
+	// LocalMetropolis should not. Here we only check the estimator returns
+	// something sane and monotone in ε-free terms.
+	m := mrf.Coloring(graph.Torus(4, 4), 12) // Δ=4, q=3Δ
+	med, times := MixingEstimate(m, chains.LocalMetropolis, 8, 10000, 5)
+	if med < 0 || len(times) != 8 {
+		t.Fatalf("mixing estimate failed: med=%d times=%v", med, times)
+	}
+	for _, x := range times {
+		if x < 0 || x > 10000 {
+			t.Fatalf("weird coalescence time %d", x)
+		}
+	}
+}
+
+func TestPhi(t *testing.T) {
+	g := graph.Star(4)
+	x := []int{0, 1, 2, 3}
+	y := []int{1, 1, 2, 0}
+	// Disagreements at center (deg 3) and leaf 3 (deg 1): Φ = 4.
+	if p := Phi(g, x, y); p != 4 {
+		t.Fatalf("Phi = %v, want 4", p)
+	}
+	if p := Phi(g, x, x); p != 0 {
+		t.Fatalf("Phi(x,x) = %v", p)
+	}
+}
+
+func TestLMApplyMatchesChainStep(t *testing.T) {
+	// lmApply with the chain's own proposals must equal the chain round.
+	r := rng.New(42)
+	g := graph.Gnp(10, 0.35, r)
+	q := 3*g.MaxDeg() + 1
+	m := mrf.Coloring(g, q)
+	init, err := chains.GreedyFeasible(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := append([]int(nil), init...)
+	sc := chains.NewScratch(m)
+	// One chain round via the package under test: replicate proposals
+	// from the same PRF keys used by ColoringLocalMetropolisRound.
+	prop := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		u := rng.PRFFloat64(7, chains.TagUpdate, uint64(v), 0)
+		prop[v] = int(u * float64(q))
+	}
+	out := make([]int, g.N())
+	lmApply(g, x, prop, out)
+	chains.ColoringLocalMetropolisRound(m, x, 7, 0, false, sc)
+	for v := range x {
+		if out[v] != x[v] {
+			t.Fatalf("lmApply disagrees with chain round at %d", v)
+		}
+	}
+}
+
+func TestOneStepIdenticalConfinesDisagreement(t *testing.T) {
+	// Lemma 4.4's key structural fact: under the identical-proposal
+	// coupling, X' and Y' may differ only inside Γ⁺(v0).
+	r := rng.New(3)
+	g := graph.Grid(4, 4)
+	q := 14
+	m := mrf.Coloring(g, q)
+	init, _ := chains.GreedyFeasible(m)
+	for trial := 0; trial < 200; trial++ {
+		x := append([]int(nil), init...)
+		v0 := r.Intn(g.N())
+		y := append([]int(nil), x...)
+		y[v0] = (y[v0] + 1 + r.Intn(q-1)) % q
+		xp, yp := OneStep(g, q, x, y, v0, Identical, r)
+		for v := range xp {
+			if xp[v] != yp[v] {
+				if v != v0 && !g.HasEdge(v, v0) {
+					t.Fatalf("disagreement escaped Γ⁺(%d) to %d under identical coupling", v0, v)
+				}
+			}
+		}
+	}
+}
+
+func TestOneStepPreservesMarginalLaw(t *testing.T) {
+	// Each side of the coupling must individually follow the chain law: the
+	// X-side of OneStep must have the same one-step distribution as the
+	// plain chain. We compare empirical next-state distributions on a tiny
+	// graph.
+	g := graph.Path(3)
+	q := 4
+	m := mrf.Coloring(g, q)
+	x0 := []int{0, 1, 2}
+	y0 := []int{1, 1, 2} // differs at v0 = 0
+	const trials = 100000
+	countCoupled := map[[3]int]int{}
+	countPlain := map[[3]int]int{}
+	r := rng.New(11)
+	sc := chains.NewScratch(m)
+	for i := 0; i < trials; i++ {
+		xp, _ := OneStep(g, q, x0, y0, 0, Permuted, r)
+		var kc [3]int
+		copy(kc[:], xp)
+		countCoupled[kc]++
+
+		x := append([]int(nil), x0...)
+		chains.ColoringLocalMetropolisRound(m, x, uint64(i)+1, 0, false, sc)
+		var kp [3]int
+		copy(kp[:], x)
+		countPlain[kp]++
+	}
+	// Compare the two empirical distributions in TV.
+	keys := map[[3]int]bool{}
+	for k := range countCoupled {
+		keys[k] = true
+	}
+	for k := range countPlain {
+		keys[k] = true
+	}
+	tv := 0.0
+	for k := range keys {
+		tv += math.Abs(float64(countCoupled[k])-float64(countPlain[k])) / trials
+	}
+	tv /= 2
+	if tv > 0.01 {
+		t.Fatalf("X-marginal of permuted coupling deviates from chain law: TV = %v", tv)
+	}
+}
+
+func TestPermutedCouplingYMarginal(t *testing.T) {
+	// Symmetrically, the Y side must follow the chain law started from Y.
+	g := graph.Path(3)
+	q := 4
+	m := mrf.Coloring(g, q)
+	x0 := []int{0, 1, 2}
+	y0 := []int{3, 1, 2}
+	const trials = 100000
+	countCoupled := map[[3]int]int{}
+	countPlain := map[[3]int]int{}
+	r := rng.New(13)
+	sc := chains.NewScratch(m)
+	for i := 0; i < trials; i++ {
+		_, yp := OneStep(g, q, x0, y0, 0, Permuted, r)
+		var kc [3]int
+		copy(kc[:], yp)
+		countCoupled[kc]++
+
+		y := append([]int(nil), y0...)
+		chains.ColoringLocalMetropolisRound(m, y, uint64(i)+0xabcdef, 0, false, sc)
+		var kp [3]int
+		copy(kp[:], y)
+		countPlain[kp]++
+	}
+	keys := map[[3]int]bool{}
+	for k := range countCoupled {
+		keys[k] = true
+	}
+	for k := range countPlain {
+		keys[k] = true
+	}
+	tv := 0.0
+	for k := range keys {
+		tv += math.Abs(float64(countCoupled[k])-float64(countPlain[k])) / trials
+	}
+	tv /= 2
+	if tv > 0.01 {
+		t.Fatalf("Y-marginal of permuted coupling deviates from chain law: TV = %v", tv)
+	}
+}
+
+func TestContractionHighQ(t *testing.T) {
+	// At very large q (deep in the contraction regime) both couplings must
+	// contract clearly.
+	r := rng.New(5)
+	g, err := graph.RandomRegular(40, 6, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []Kind{Identical, Permuted} {
+		ratio := ContractionEstimate(g, 6*8, kind, 2000, 30, 17)
+		if math.IsNaN(ratio) || ratio >= 0.9 {
+			t.Fatalf("kind %v: contraction ratio %v at q=8Δ, want < 0.9", kind, ratio)
+		}
+	}
+}
+
+func TestAnalyticThresholds(t *testing.T) {
+	// α* solves α = 2e^{1/α}+1.
+	as := AlphaStar()
+	if math.Abs(as-2*math.Exp(1/as)-1) > 1e-9 {
+		t.Fatalf("AlphaStar() = %v does not solve the fixpoint", as)
+	}
+	if math.Abs(as-3.634) > 5e-3 {
+		t.Fatalf("AlphaStar() = %v, want ≈ 3.634", as)
+	}
+	if math.Abs(AlphaIdeal()-3.41421356) > 1e-6 {
+		t.Fatalf("AlphaIdeal() = %v", AlphaIdeal())
+	}
+
+	// The (13) margin flips sign near α* as Δ grows (q = αΔ + 3).
+	const delta = 500
+	qBelow := int(3.5*delta) + 3
+	qAbove := int(3.8*delta) + 3
+	if Analytic13(qBelow, delta) >= 0 {
+		t.Fatalf("Analytic13 positive below α*: %v", Analytic13(qBelow, delta))
+	}
+	if Analytic13(qAbove, delta) <= 0 {
+		t.Fatalf("Analytic13 negative above α*: %v", Analytic13(qAbove, delta))
+	}
+
+	// The (26) margin flips near 2+√2.
+	qBelow26 := int(3.30 * delta)
+	qAbove26 := int(3.55 * delta)
+	if Analytic26(qBelow26, delta) >= 0 {
+		t.Fatalf("Analytic26 positive below 2+√2: %v", Analytic26(qBelow26, delta))
+	}
+	if Analytic26(qAbove26, delta) <= 0 {
+		t.Fatalf("Analytic26 negative above 2+√2: %v", Analytic26(qAbove26, delta))
+	}
+
+	// The permuted threshold strictly improves on the identical one: at
+	// α = 3.5 (between 2+√2 and α*), (26) contracts while (13) does not.
+	q35 := int(3.5 * delta)
+	if !(Analytic26(q35, delta) > 0 && Analytic13(q35, delta) < 0) {
+		t.Fatalf("thresholds not ordered: 13=%v 26=%v",
+			Analytic13(q35, delta), Analytic26(q35, delta))
+	}
+}
+
+func TestIdealCouplingExpectation(t *testing.T) {
+	// §4.2.1: for q = α⋆Δ with α⋆ slightly above 2+√2 the expectation dips
+	// below 1 for large Δ; below the threshold it exceeds 1.
+	const delta = 2000
+	above := IdealCouplingExpectation(int(3.55*delta), delta)
+	below := IdealCouplingExpectation(int(3.30*delta), delta)
+	if above >= 1 {
+		t.Fatalf("ideal coupling expectation %v at α=3.55, want < 1", above)
+	}
+	if below <= 1 {
+		t.Fatalf("ideal coupling expectation %v at α=3.30, want > 1", below)
+	}
+}

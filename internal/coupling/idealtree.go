@@ -1,0 +1,200 @@
+package coupling
+
+import (
+	"math"
+
+	"locsample/internal/graph"
+	"locsample/internal/rng"
+)
+
+// IdealTreeOutcome summarizes a Monte-Carlo run of the §4.2.1 ideal
+// coupling on a rooted tree.
+type IdealTreeOutcome struct {
+	// RootDisagree estimates Pr[X'_v0 ≠ Y'_v0].
+	RootDisagree float64
+	// LevelDisagree[ℓ] estimates the per-vertex disagreement probability at
+	// depth ℓ (ℓ ≥ 1).
+	LevelDisagree []float64
+	// ExpectedPhi estimates E[#disagreeing vertices] after one step.
+	ExpectedPhi float64
+}
+
+// IdealTreeBoundRoot is the paper's bound for the root:
+// Pr[X'_v0 ≠ Y'_v0] ≤ 1 − (1 − Δ/q)(1 − 2/q)^Δ.
+func IdealTreeBoundRoot(q, delta int) float64 {
+	qf, df := float64(q), float64(delta)
+	return 1 - (1-df/qf)*math.Pow(1-2/qf, df)
+}
+
+// IdealTreeBoundLevel is the paper's bound for a depth-ℓ vertex:
+// Pr[X'_u ≠ Y'_u] ≤ (1/2)(1 − 2/q)^(Δ−1)(2/q)^ℓ.
+func IdealTreeBoundLevel(q, delta, level int) float64 {
+	qf, df := float64(q), float64(delta)
+	return 0.5 * math.Pow(1-2/qf, df-1) * math.Pow(2/qf, float64(level))
+}
+
+// SimulateIdealTreeCoupling reproduces the §4.2.1 setting by Monte Carlo:
+// a rooted complete tree in which the root has delta children and every
+// internal vertex delta−1 children (so internal degrees are Δ = delta,
+// matching the Δ-regular tree locally), initial colorings X, Y that agree
+// everywhere except the root, with all non-root vertices colored by a
+// common color c∗ ∉ {X_root, Y_root}, and the breadth-first permuted
+// proposal coupling:
+//
+//  1. the root proposes the same color in both chains;
+//  2. a child of the root proposes the same color unless it drew one of
+//     {X_root, Y_root}, in which case the two colors switch roles in Y;
+//  3. any deeper vertex switches the roles of {X_root, Y_root} iff its
+//     parent proposed differently in the two chains.
+//
+// Both chains then apply the LocalMetropolis coloring filter. The outcome
+// estimates are compared against the paper's closed-form bounds in tests.
+func SimulateIdealTreeCoupling(q, delta, depth, trials int, seed uint64) IdealTreeOutcome {
+	// Build the tree: root 0 with delta children; deeper internal vertices
+	// have delta−1 children each.
+	b := treeBuilder{deltaRoot: delta, deltaInner: delta - 1, depth: depth}
+	g, levels := b.build()
+	n := g.N()
+
+	a0, b0 := 0, 1 // X_root = a0, Y_root = b0
+	cStar := 2     // common color elsewhere; q >= 3 required
+	if q < 3 {
+		panic("coupling: ideal tree needs q >= 3")
+	}
+
+	x := make([]int, n)
+	y := make([]int, n)
+	cx := make([]int, n)
+	cy := make([]int, n)
+	xp := make([]int, n)
+	yp := make([]int, n)
+
+	r := rng.New(seed)
+	var rootDis float64
+	levelDis := make([]float64, depth+1)
+	var phi float64
+
+	for trial := 0; trial < trials; trial++ {
+		for v := 0; v < n; v++ {
+			x[v] = cStar
+			y[v] = cStar
+		}
+		x[0], y[0] = a0, b0
+
+		// X-side proposals are i.i.d. uniform; Y-side follows the coupling
+		// rules, resolved top-down (level-order numbering guarantees
+		// parents precede children).
+		cx[0] = r.Intn(q)
+		cy[0] = cx[0]
+		for v := 1; v < n; v++ {
+			cx[v] = r.Intn(q)
+		}
+		for v := 1; v < n; v++ {
+			p := b.parent(v)
+			switchRoles := false
+			if p == 0 {
+				// Child of the root: switch iff it proposed a special color.
+				switchRoles = cx[v] == a0 || cx[v] == b0
+			} else {
+				switchRoles = cx[p] != cy[p]
+			}
+			if switchRoles {
+				cy[v] = transpose(cx[v], a0, b0)
+			} else {
+				cy[v] = cx[v]
+			}
+		}
+
+		lmApply(g, x, cx, xp)
+		lmApply(g, y, cy, yp)
+
+		if xp[0] != yp[0] {
+			rootDis++
+		}
+		for v := 1; v < n; v++ {
+			if xp[v] != yp[v] {
+				levelDis[levels[v]]++
+				phi++
+			}
+		}
+		if xp[0] != yp[0] {
+			phi++
+		}
+	}
+
+	out := IdealTreeOutcome{
+		RootDisagree:  rootDis / float64(trials),
+		LevelDisagree: make([]float64, depth+1),
+		ExpectedPhi:   phi / float64(trials),
+	}
+	counts := make([]float64, depth+1)
+	for v := 1; v < n; v++ {
+		counts[levels[v]]++
+	}
+	for l := 1; l <= depth; l++ {
+		if counts[l] > 0 {
+			out.LevelDisagree[l] = levelDis[l] / (float64(trials) * counts[l])
+		}
+	}
+	return out
+}
+
+func transpose(c, a, b int) int {
+	switch c {
+	case a:
+		return b
+	case b:
+		return a
+	default:
+		return c
+	}
+}
+
+// treeBuilder constructs the root-delta / inner-(delta−1) tree with
+// level-order numbering and O(1) parent lookup.
+type treeBuilder struct {
+	deltaRoot, deltaInner, depth int
+	parents                      []int32
+}
+
+func (t *treeBuilder) build() (*graph.Graph, []int) {
+	// Level sizes: 1, deltaRoot, deltaRoot·deltaInner, …
+	sizes := []int{1}
+	for l := 1; l <= t.depth; l++ {
+		prev := sizes[l-1]
+		if l == 1 {
+			sizes = append(sizes, t.deltaRoot)
+		} else {
+			sizes = append(sizes, prev*t.deltaInner)
+		}
+	}
+	n := 0
+	for _, s := range sizes {
+		n += s
+	}
+	b := graph.NewBuilder(n)
+	t.parents = make([]int32, n)
+	levels := make([]int, n)
+	next := 1
+	frontier := []int{0}
+	for l := 1; l <= t.depth; l++ {
+		var newFrontier []int
+		kids := t.deltaInner
+		if l == 1 {
+			kids = t.deltaRoot
+		}
+		for _, p := range frontier {
+			for c := 0; c < kids; c++ {
+				b.AddEdge(p, next)
+				t.parents[next] = int32(p)
+				levels[next] = l
+				newFrontier = append(newFrontier, next)
+				next++
+			}
+		}
+		frontier = newFrontier
+	}
+	return b.Build(), levels
+}
+
+func (t *treeBuilder) parent(v int) int { return int(t.parents[v]) }

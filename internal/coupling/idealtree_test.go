@@ -1,0 +1,82 @@
+package coupling
+
+import (
+	"math"
+	"testing"
+)
+
+// The simulated §4.2.1 ideal coupling must respect the paper's closed-form
+// bounds: the root disagreement probability is at most
+// 1 − (1−Δ/q)(1−2/q)^Δ, and depth-ℓ disagreement at most
+// (1/2)(1−2/q)^(Δ−1)(2/q)^ℓ (both up to Monte-Carlo error).
+func TestIdealTreeCouplingBounds(t *testing.T) {
+	const (
+		q      = 24 // α = 4 at Δ = 6
+		delta  = 6
+		depth  = 3
+		trials = 150000
+	)
+	out := SimulateIdealTreeCoupling(q, delta, depth, trials, 33)
+
+	rootBound := IdealTreeBoundRoot(q, delta)
+	if out.RootDisagree > rootBound+0.01 {
+		t.Fatalf("root disagreement %v exceeds bound %v", out.RootDisagree, rootBound)
+	}
+	// The bound should not be wildly loose either: the ideal analysis is
+	// tight in this setting up to lower-order terms.
+	if out.RootDisagree < rootBound/3 {
+		t.Fatalf("root disagreement %v far below bound %v — wrong coupling?", out.RootDisagree, rootBound)
+	}
+
+	for l := 1; l <= depth; l++ {
+		bound := IdealTreeBoundLevel(q, delta, l)
+		// Monte-Carlo error per level shrinks with the level population;
+		// allow 3 standard errors plus the bound.
+		if out.LevelDisagree[l] > bound+0.005 {
+			t.Fatalf("level %d disagreement %v exceeds bound %v", l, out.LevelDisagree[l], bound)
+		}
+	}
+	// Disagreement decays geometrically with depth.
+	if out.LevelDisagree[2] > out.LevelDisagree[1] {
+		t.Fatalf("level disagreement not decaying: %v", out.LevelDisagree)
+	}
+}
+
+// Above the 2+√2 threshold the expected disagreement count after one step
+// must drop below 1 (the path-coupling contraction condition); below the
+// threshold the ideal-coupling expectation formula exceeds 1.
+func TestIdealTreeContractionThreshold(t *testing.T) {
+	const delta, depth, trials = 6, 3, 80000
+	// α = 4 > 2+√2: contraction.
+	qHigh := 4 * delta
+	outHigh := SimulateIdealTreeCoupling(qHigh, delta, depth, trials, 7)
+	if outHigh.ExpectedPhi >= 1 {
+		t.Fatalf("E[#disagreements] = %v at α=4, want < 1", outHigh.ExpectedPhi)
+	}
+	// α = 2.5 < 2+√2: the formula predicts expansion; the simulation on a
+	// finite tree should show clearly more disagreement than at α = 4.
+	qLow := 5 * delta / 2
+	outLow := SimulateIdealTreeCoupling(qLow, delta, depth, trials, 8)
+	if outLow.ExpectedPhi <= outHigh.ExpectedPhi {
+		t.Fatalf("disagreement should grow as q shrinks: %v (α=2.5) vs %v (α=4)",
+			outLow.ExpectedPhi, outHigh.ExpectedPhi)
+	}
+}
+
+// The analytic ideal-coupling expectation of §4.2.1 equals
+// 1 − (1−Δ/q)(1−2/q)^Δ + Δ/(q−2Δ)(1−2/q)^(Δ−1) in the large-depth limit;
+// the root and level bounds must be consistent with it: root bound +
+// Σ_ℓ Δℓ·level bound(ℓ) telescopes to the expectation.
+func TestIdealTreeFormulaConsistency(t *testing.T) {
+	q, delta := 40, 8
+	sum := IdealTreeBoundRoot(q, delta)
+	for l := 1; l <= 60; l++ {
+		perVertex := IdealTreeBoundLevel(q, delta, l)
+		vertices := math.Pow(float64(delta), float64(l))
+		sum += perVertex * vertices
+	}
+	want := IdealCouplingExpectation(q, delta)
+	if math.Abs(sum-want) > 1e-6 {
+		t.Fatalf("telescoped bound %v vs closed form %v", sum, want)
+	}
+}

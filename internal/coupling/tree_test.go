@@ -1,0 +1,83 @@
+package coupling
+
+import (
+	"testing"
+
+	"locsample/internal/graph"
+	"locsample/internal/rng"
+)
+
+// §4.2.1 analyses the ideal coupling on a Δ-regular tree; complete trees
+// are its finite stand-in. The permuted coupling should contract strictly
+// better than the identical-proposal coupling there, because trees realize
+// the worst case of the identical coupling's neighborhood damage.
+func TestTreeCouplingOrdering(t *testing.T) {
+	g := graph.CompleteTree(4, 3) // 85 vertices, Δ = 5
+	q := 4 * 5
+	idRatio := ContractionEstimate(g, q, Identical, 4000, 30, 21)
+	permRatio := ContractionEstimate(g, q, Permuted, 4000, 30, 22)
+	if permRatio >= idRatio {
+		t.Fatalf("permuted coupling (%v) should beat identical (%v) on trees", permRatio, idRatio)
+	}
+	if idRatio >= 1 {
+		t.Fatalf("identical coupling not contracting at q = 4Δ: %v", idRatio)
+	}
+}
+
+// The §4.2.1 ideal-coupling expectation formula must upper-bound 1 exactly
+// at the regime boundaries it was derived for.
+func TestIdealCouplingFiniteDelta(t *testing.T) {
+	// At Δ = 9 (the theorem's minimum degree), q = 3.7Δ should contract.
+	if e := IdealCouplingExpectation(33, 9); e >= 1 {
+		t.Fatalf("ideal expectation %v at Δ=9, q=33; want < 1", e)
+	}
+	// q = 2Δ cannot (formula diverges or exceeds 1).
+	if e := IdealCouplingExpectation(18, 9); e < 1 {
+		t.Fatalf("ideal expectation %v at q=2Δ; want >= 1", e)
+	}
+}
+
+// Disagreement percolation: under the permuted coupling the disagreement
+// set can leave Γ⁺(v0) (unlike the identical coupling), but only along
+// paths of proposals hitting {X_v0, Y_v0} — rare at large q. Verify both
+// facts statistically.
+func TestPermutedPercolationIsRareButPossible(t *testing.T) {
+	g := graph.Path(30)
+	q := 6
+	r := rng.New(17)
+	x := make([]int, g.N())
+	for i := range x {
+		x[i] = i % 3 // proper 3-coloring pattern of the path, within [q]
+	}
+	v0 := 15
+	escaped, trials := 0, 20000
+	for trial := 0; trial < trials; trial++ {
+		y := append([]int(nil), x...)
+		y[v0] = (x[v0] + 1 + r.Intn(q-1)) % q
+		xp, yp := OneStep(g, q, x, y, v0, Permuted, r)
+		for v := range xp {
+			if xp[v] != yp[v] && v != v0 && !g.HasEdge(v, v0) {
+				escaped++
+				break
+			}
+		}
+	}
+	rate := float64(escaped) / float64(trials)
+	// Escapes require a length-2 path of disagreement: probability O(1/q²)
+	// per neighbor pair — small but positive.
+	if rate > 0.1 {
+		t.Fatalf("disagreement escapes too often under permuted coupling: %v", rate)
+	}
+}
+
+// Phi must weight disagreements by degree (Definition 4.1): recoloring a
+// hub counts more than recoloring a leaf.
+func TestPhiDegreeWeighting(t *testing.T) {
+	g := graph.Star(5)
+	x := []int{0, 1, 1, 1, 1}
+	yHub := []int{2, 1, 1, 1, 1}
+	yLeaf := []int{0, 2, 1, 1, 1}
+	if Phi(g, x, yHub) <= Phi(g, x, yLeaf) {
+		t.Fatal("hub disagreement should outweigh leaf disagreement")
+	}
+}

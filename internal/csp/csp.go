@@ -1,0 +1,559 @@
+// Package csp implements weighted local constraint satisfaction problems
+// (factor graphs) as defined in §2.2 of the paper: a collection C of
+// constraints c = (f_c, S_c), where f_c : [q]^{S_c} → R≥0 is a non-negative
+// constraint function with scope S_c ⊆ V, plus per-vertex activities. A
+// configuration σ ∈ [q]^V has weight
+//
+//	w(σ) = Π_{c∈C} f_c(σ|_{S_c}) · Π_v b_v(σ_v),
+//
+// and the Gibbs distribution is proportional to w. Boolean-valued f_c give
+// the uniform distribution over CSP solutions. MRFs are the special case of
+// unary and binary symmetric constraints.
+//
+// The package also implements the hypergraph generalizations of both chains
+// described in the paper's remarks:
+//
+//   - LubyGlauber over CSPs (§3 remark): the neighborhood is overridden to
+//     Γ(v) = {u ≠ v : ∃c, {u,v} ⊆ S_c} and the Luby step selects a strongly
+//     independent set of the constraint hypergraph.
+//   - LocalMetropolis over CSPs (§4 remark): a k-ary constraint passes its
+//     check with probability Π f̃_c(τ) over the 2^k − 1 mixings τ of the
+//     proposals σ_{S_c} with the current values X_{S_c}, excluding X_{S_c}
+//     itself.
+package csp
+
+import (
+	"fmt"
+	"math"
+
+	"locsample/internal/graph"
+	"locsample/internal/rng"
+)
+
+// Constraint is a weighted local constraint (f_c, S_c). F must be
+// non-negative, and its maximum over [q]^|Scope| must be positive; Norm
+// must be set to that maximum (New computes it).
+type Constraint struct {
+	// Scope lists the distinct vertices the constraint reads, in a fixed
+	// order matching F's argument order.
+	Scope []int32
+	// F evaluates the constraint on values aligned with Scope.
+	F func(vals []int) float64
+	// Norm is max F, filled in by New; F/Norm is the normalized factor f̃_c.
+	Norm float64
+}
+
+// CSP is a weighted local CSP over n vertices with spin domain [q].
+type CSP struct {
+	N int
+	Q int
+	// VertexB[v] is the vertex activity (length Q, non-negative, positive
+	// total mass).
+	VertexB [][]float64
+	Cons    []Constraint
+	// vcons[v] lists the constraint indices whose scope contains v.
+	vcons [][]int32
+	// nbr[v] is the hypergraph neighborhood Γ(v) (distinct, sorted).
+	nbr [][]int32
+}
+
+// New validates and assembles a CSP. It evaluates each constraint over its
+// full domain to compute the normalizing maximum, so constraint arities must
+// stay small (q^arity is enumerated); the paper's local CSPs have
+// constant-diameter scopes, hence constant arity on bounded-degree graphs.
+func New(n, q int, vertexB [][]float64, cons []Constraint) (*CSP, error) {
+	if n < 1 || q < 2 {
+		return nil, fmt.Errorf("csp: need n >= 1 and q >= 2, got n=%d q=%d", n, q)
+	}
+	if len(vertexB) != n {
+		return nil, fmt.Errorf("csp: %d vertex activities for %d vertices", len(vertexB), n)
+	}
+	for v, b := range vertexB {
+		if len(b) != q {
+			return nil, fmt.Errorf("csp: vertex %d activity has length %d, want %d", v, len(b), q)
+		}
+		total := 0.0
+		for _, x := range b {
+			if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("csp: vertex %d activity entry invalid: %v", v, x)
+			}
+			total += x
+		}
+		if total <= 0 {
+			return nil, fmt.Errorf("csp: vertex %d activity has zero mass", v)
+		}
+	}
+	c := &CSP{N: n, Q: q, VertexB: vertexB, Cons: make([]Constraint, len(cons))}
+	copy(c.Cons, cons)
+	for i := range c.Cons {
+		con := &c.Cons[i]
+		if len(con.Scope) == 0 {
+			return nil, fmt.Errorf("csp: constraint %d has empty scope", i)
+		}
+		seen := map[int32]bool{}
+		for _, v := range con.Scope {
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("csp: constraint %d scope vertex %d out of range", i, v)
+			}
+			if seen[v] {
+				return nil, fmt.Errorf("csp: constraint %d has duplicate scope vertex %d", i, v)
+			}
+			seen[v] = true
+		}
+		norm, err := maxOverDomain(con.F, len(con.Scope), q)
+		if err != nil {
+			return nil, fmt.Errorf("csp: constraint %d: %w", i, err)
+		}
+		if norm <= 0 {
+			return nil, fmt.Errorf("csp: constraint %d is identically zero", i)
+		}
+		con.Norm = norm
+	}
+	c.buildIndexes()
+	return c, nil
+}
+
+// MustNew is New, panicking on error.
+func MustNew(n, q int, vertexB [][]float64, cons []Constraint) *CSP {
+	c, err := New(n, q, vertexB, cons)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func maxOverDomain(f func([]int) float64, arity, q int) (float64, error) {
+	if arity > 12 {
+		return 0, fmt.Errorf("arity %d too large to normalize", arity)
+	}
+	vals := make([]int, arity)
+	total := 1
+	for i := 0; i < arity; i++ {
+		total *= q
+		if total > 1<<24 {
+			return 0, fmt.Errorf("domain q^%d too large to normalize", arity)
+		}
+	}
+	best := math.Inf(-1)
+	for s := 0; s < total; s++ {
+		t := s
+		for i := 0; i < arity; i++ {
+			vals[i] = t % q
+			t /= q
+		}
+		w := f(vals)
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return 0, fmt.Errorf("constraint value invalid: %v", w)
+		}
+		if w > best {
+			best = w
+		}
+	}
+	return best, nil
+}
+
+func (c *CSP) buildIndexes() {
+	c.vcons = make([][]int32, c.N)
+	nbrSets := make([]map[int32]struct{}, c.N)
+	for v := range nbrSets {
+		nbrSets[v] = map[int32]struct{}{}
+	}
+	for i, con := range c.Cons {
+		for _, v := range con.Scope {
+			c.vcons[v] = append(c.vcons[v], int32(i))
+			for _, u := range con.Scope {
+				if u != v {
+					nbrSets[v][u] = struct{}{}
+				}
+			}
+		}
+	}
+	c.nbr = make([][]int32, c.N)
+	for v, set := range nbrSets {
+		lst := make([]int32, 0, len(set))
+		for u := range set {
+			lst = append(lst, u)
+		}
+		sortInt32(lst)
+		c.nbr[v] = lst
+	}
+}
+
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+// Neighborhood returns the hypergraph neighborhood Γ(v) (§3 remark). The
+// caller must not modify it.
+func (c *CSP) Neighborhood(v int) []int32 { return c.nbr[v] }
+
+// ConstraintsOf returns the indices of the constraints containing v. The
+// caller must not modify it.
+func (c *CSP) ConstraintsOf(v int) []int32 { return c.vcons[v] }
+
+// Weight returns w(σ).
+func (c *CSP) Weight(sigma []int) float64 {
+	w := 1.0
+	buf := make([]int, 8)
+	for i := range c.Cons {
+		con := &c.Cons[i]
+		w *= c.eval(con, sigma, &buf)
+		if w == 0 {
+			return 0
+		}
+	}
+	for v := 0; v < c.N; v++ {
+		w *= c.VertexB[v][sigma[v]]
+		if w == 0 {
+			return 0
+		}
+	}
+	return w
+}
+
+// Feasible reports whether w(σ) > 0.
+func (c *CSP) Feasible(sigma []int) bool { return c.Weight(sigma) > 0 }
+
+func (c *CSP) eval(con *Constraint, sigma []int, buf *[]int) float64 {
+	if cap(*buf) < len(con.Scope) {
+		*buf = make([]int, len(con.Scope))
+	}
+	vals := (*buf)[:len(con.Scope)]
+	for i, v := range con.Scope {
+		vals[i] = sigma[v]
+	}
+	return con.F(vals)
+}
+
+// MarginalInto fills out with the conditional marginal of v given the rest
+// of sigma: µ_v(a | σ_{V∖v}) ∝ b_v(a) · Π_{c ∋ v} f_c(σ with σ_v = a).
+// Returns false when the total mass is zero.
+func (c *CSP) MarginalInto(v int, sigma []int, out []float64) bool {
+	saved := sigma[v]
+	defer func() { sigma[v] = saved }()
+	buf := make([]int, 8)
+	total := 0.0
+	for a := 0; a < c.Q; a++ {
+		w := c.VertexB[v][a]
+		if w > 0 {
+			sigma[v] = a
+			for _, ci := range c.vcons[v] {
+				w *= c.eval(&c.Cons[ci], sigma, &buf)
+				if w == 0 {
+					break
+				}
+			}
+		}
+		out[a] = w
+		total += w
+	}
+	if total <= 0 {
+		return false
+	}
+	inv := 1 / total
+	for a := 0; a < c.Q; a++ {
+		out[a] *= inv
+	}
+	return true
+}
+
+// CheckProb returns the LocalMetropolis pass probability of constraint ci
+// (§4 remark): the product of the normalized factors f̃_c(τ) over the
+// 2^k − 1 vectors τ obtained by replacing each subset of scope positions of
+// the proposal vector prop with the current vector cur — every mixing except
+// cur itself.
+func (c *CSP) CheckProb(ci int, cur, prop []int) float64 {
+	con := &c.Cons[ci]
+	k := len(con.Scope)
+	curV := make([]int, k)
+	propV := make([]int, k)
+	for i, v := range con.Scope {
+		curV[i] = cur[v]
+		propV[i] = prop[v]
+	}
+	tau := make([]int, k)
+	p := 1.0
+	// mask bit i set means position i takes the current value; the all-ones
+	// mask is the excluded X_{S_c}.
+	for mask := 0; mask < (1<<k)-1; mask++ {
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) != 0 {
+				tau[i] = curV[i]
+			} else {
+				tau[i] = propV[i]
+			}
+		}
+		p *= con.F(tau) / con.Norm
+		if p == 0 {
+			return 0
+		}
+	}
+	return p
+}
+
+// ProposalDistInto fills out with the normalized vertex activity of v.
+func (c *CSP) ProposalDistInto(v int, out []float64) {
+	total := 0.0
+	for a := 0; a < c.Q; a++ {
+		out[a] = c.VertexB[v][a]
+		total += out[a]
+	}
+	inv := 1 / total
+	for a := 0; a < c.Q; a++ {
+		out[a] *= inv
+	}
+}
+
+// --- Chains over CSPs -------------------------------------------------
+
+// Sampler runs the hypergraph chains on a CSP. Create one with NewSampler;
+// it owns its configuration and scratch space.
+type Sampler struct {
+	C *CSP
+	X []int
+	r *rng.Source
+
+	beta  []float64
+	marg  []float64
+	prop  []int
+	pass  []bool
+	coins []float64
+}
+
+// NewSampler returns a Sampler with the given initial configuration (copied)
+// and seed.
+func NewSampler(c *CSP, init []int, seed uint64) *Sampler {
+	if len(init) != c.N {
+		panic("csp: initial configuration has wrong length")
+	}
+	s := &Sampler{
+		C:     c,
+		X:     append([]int(nil), init...),
+		r:     rng.New(seed),
+		beta:  make([]float64, c.N),
+		marg:  make([]float64, c.Q),
+		prop:  make([]int, c.N),
+		pass:  make([]bool, len(c.Cons)),
+		coins: make([]float64, len(c.Cons)),
+	}
+	return s
+}
+
+// GlauberStep performs one single-site heat-bath update at a uniformly
+// random vertex (the sequential baseline).
+func (s *Sampler) GlauberStep() {
+	v := s.r.Intn(s.C.N)
+	if s.C.MarginalInto(v, s.X, s.marg) {
+		s.X[v] = s.r.Categorical(s.marg)
+	}
+}
+
+// LubyGlauberStep performs one round of the hypergraph LubyGlauber chain:
+// every vertex draws β_v ∈ [0,1]; vertices that are strict local maxima over
+// their hypergraph neighborhood Γ(v) form a strongly independent set and
+// resample from their conditional marginals simultaneously.
+func (s *Sampler) LubyGlauberStep() {
+	c := s.C
+	for v := 0; v < c.N; v++ {
+		s.beta[v] = s.r.Float64()
+	}
+	// Strongly independent vertices never share a constraint, so no updated
+	// vertex reads another updated vertex: in-place resampling is exact.
+	for v := 0; v < c.N; v++ {
+		isMax := true
+		for _, u := range c.nbr[v] {
+			if s.beta[u] >= s.beta[v] {
+				isMax = false
+				break
+			}
+		}
+		if !isMax {
+			continue
+		}
+		if c.MarginalInto(v, s.X, s.marg) {
+			s.X[v] = s.r.Categorical(s.marg)
+		}
+	}
+}
+
+// LocalMetropolisStep performs one round of the CSP LocalMetropolis chain:
+// all vertices propose independently from their normalized activities, each
+// constraint passes its check with probability CheckProb, and a vertex
+// accepts its proposal iff all constraints containing it pass.
+func (s *Sampler) LocalMetropolisStep() {
+	c := s.C
+	for v := 0; v < c.N; v++ {
+		c.ProposalDistInto(v, s.marg)
+		s.prop[v] = s.r.Categorical(s.marg)
+	}
+	for ci := range c.Cons {
+		s.coins[ci] = s.r.Float64()
+		s.pass[ci] = s.coins[ci] < c.CheckProb(ci, s.X, s.prop)
+	}
+	for v := 0; v < c.N; v++ {
+		ok := true
+		for _, ci := range c.vcons[v] {
+			if !s.pass[ci] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			s.X[v] = s.prop[v]
+		}
+	}
+}
+
+// --- PRF-keyed rounds ----------------------------------------------------
+
+// PRF key tags for the deterministic round functions (distinct from the
+// chains package tags so MRF and CSP streams never collide).
+const (
+	TagBeta   = 0x3001
+	TagUpdate = 0x3002
+	TagCoin   = 0x3003
+)
+
+// LubyGlauberRoundPRF advances x by one hypergraph LubyGlauber round with
+// randomness derived from (seed, round) — the replayable form used by the
+// distributed protocol in internal/dist. Winners are strict local maxima of
+// β over the hypergraph neighborhood; because winners are strongly
+// independent (no two share a constraint), in-place resampling is exact.
+func LubyGlauberRoundPRF(c *CSP, x []int, seed uint64, round int, marg []float64) {
+	n := c.N
+	beta := make([]float64, n)
+	for v := 0; v < n; v++ {
+		beta[v] = rng.PRFFloat64(seed, TagBeta, uint64(v), uint64(round))
+	}
+	for v := 0; v < n; v++ {
+		isMax := true
+		for _, u := range c.nbr[v] {
+			if beta[u] >= beta[v] {
+				isMax = false
+				break
+			}
+		}
+		if !isMax {
+			continue
+		}
+		if c.MarginalInto(v, x, marg) {
+			u := rng.PRFFloat64(seed, TagUpdate, uint64(v), uint64(round))
+			x[v] = rng.CategoricalU(marg, u)
+		}
+	}
+}
+
+// LocalMetropolisRoundPRF advances x by one CSP LocalMetropolis round with
+// PRF randomness: proposals keyed by (TagUpdate, v, round), constraint coins
+// by (TagCoin, constraint, round).
+func LocalMetropolisRoundPRF(c *CSP, x []int, seed uint64, round int, marg []float64, prop []int, pass []bool) {
+	n := c.N
+	for v := 0; v < n; v++ {
+		c.ProposalDistInto(v, marg)
+		u := rng.PRFFloat64(seed, TagUpdate, uint64(v), uint64(round))
+		prop[v] = rng.CategoricalU(marg, u)
+	}
+	for ci := range c.Cons {
+		coin := rng.PRFFloat64(seed, TagCoin, uint64(ci), uint64(round))
+		pass[ci] = coin < c.CheckProb(ci, x, prop)
+	}
+	for v := 0; v < n; v++ {
+		ok := true
+		for _, ci := range c.vcons[v] {
+			if !pass[ci] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			x[v] = prop[v]
+		}
+	}
+}
+
+// --- Models ------------------------------------------------------------
+
+// DominatingSet returns the uniform distribution over dominating sets of g
+// (spin 1 = in the set): one "cover" constraint per inclusive neighborhood
+// Γ⁺(v) requiring at least one chosen vertex (§2.2, "Dominating sets").
+func DominatingSet(g *graph.Graph) *CSP {
+	return WeightedDominatingSet(g, 1)
+}
+
+// WeightedDominatingSet is DominatingSet with weight λ^|S| on set S.
+func WeightedDominatingSet(g *graph.Graph, lambda float64) *CSP {
+	n := g.N()
+	cons := make([]Constraint, 0, n)
+	for v := 0; v < n; v++ {
+		scope := make([]int32, 0, g.Deg(v)+1)
+		scope = append(scope, int32(v))
+		scope = append(scope, g.SimpleNeighbors(v)...)
+		cons = append(cons, Constraint{
+			Scope: scope,
+			F: func(vals []int) float64 {
+				for _, x := range vals {
+					if x == 1 {
+						return 1
+					}
+				}
+				return 0
+			},
+		})
+	}
+	b := make([][]float64, n)
+	vec := []float64{1, lambda}
+	for i := range b {
+		b[i] = vec
+	}
+	return MustNew(n, 2, b, cons)
+}
+
+// NotAllEqual returns the uniform distribution over [q]^V configurations in
+// which no listed scope is monochromatic (hypergraph coloring / NAE-SAT
+// style constraints).
+func NotAllEqual(n, q int, scopes [][]int32) *CSP {
+	cons := make([]Constraint, 0, len(scopes))
+	for _, sc := range scopes {
+		cons = append(cons, Constraint{
+			Scope: sc,
+			F: func(vals []int) float64 {
+				for _, x := range vals[1:] {
+					if x != vals[0] {
+						return 1
+					}
+				}
+				return 0
+			},
+		})
+	}
+	b := make([][]float64, n)
+	ones := make([]float64, q)
+	for i := range ones {
+		ones[i] = 1
+	}
+	for i := range b {
+		b[i] = ones
+	}
+	return MustNew(n, q, b, cons)
+}
+
+// FromMRF converts an MRF-style model into an equivalent CSP: one binary
+// constraint per edge. Both chains on the CSP must then agree with their MRF
+// counterparts — the cross-validation used in the E10 experiments.
+func FromMRF(g *graph.Graph, q int, edgeF func(edgeID int, a, b int) float64, vertexB [][]float64) *CSP {
+	cons := make([]Constraint, 0, g.M())
+	for id, e := range g.Edges() {
+		id := id
+		cons = append(cons, Constraint{
+			Scope: []int32{e.U, e.V},
+			F: func(vals []int) float64 {
+				return edgeF(id, vals[0], vals[1])
+			},
+		})
+	}
+	return MustNew(g.N(), q, vertexB, cons)
+}

@@ -1,0 +1,267 @@
+package csp
+
+import (
+	"math"
+	"testing"
+
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+)
+
+func uniformB(n, q int) [][]float64 {
+	b := make([][]float64, n)
+	ones := make([]float64, q)
+	for i := range ones {
+		ones[i] = 1
+	}
+	for i := range b {
+		b[i] = ones
+	}
+	return b
+}
+
+func TestNewValidation(t *testing.T) {
+	okCon := Constraint{Scope: []int32{0, 1}, F: func(v []int) float64 { return 1 }}
+	if _, err := New(0, 2, nil, nil); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := New(2, 1, uniformB(2, 1), nil); err == nil {
+		t.Error("q=1 accepted")
+	}
+	if _, err := New(2, 2, uniformB(3, 2), nil); err == nil {
+		t.Error("wrong activity count accepted")
+	}
+	if _, err := New(2, 2, uniformB(2, 2), []Constraint{{Scope: nil, F: okCon.F}}); err == nil {
+		t.Error("empty scope accepted")
+	}
+	if _, err := New(2, 2, uniformB(2, 2), []Constraint{{Scope: []int32{0, 0}, F: okCon.F}}); err == nil {
+		t.Error("duplicate scope vertex accepted")
+	}
+	if _, err := New(2, 2, uniformB(2, 2), []Constraint{{Scope: []int32{0, 5}, F: okCon.F}}); err == nil {
+		t.Error("out-of-range scope accepted")
+	}
+	zero := Constraint{Scope: []int32{0}, F: func(v []int) float64 { return 0 }}
+	if _, err := New(2, 2, uniformB(2, 2), []Constraint{zero}); err == nil {
+		t.Error("identically-zero constraint accepted")
+	}
+	neg := Constraint{Scope: []int32{0}, F: func(v []int) float64 { return -1 }}
+	if _, err := New(2, 2, uniformB(2, 2), []Constraint{neg}); err == nil {
+		t.Error("negative constraint accepted")
+	}
+	if _, err := New(2, 2, uniformB(2, 2), []Constraint{okCon}); err != nil {
+		t.Errorf("valid CSP rejected: %v", err)
+	}
+}
+
+func TestNormComputed(t *testing.T) {
+	c := MustNew(2, 3, uniformB(2, 3), []Constraint{{
+		Scope: []int32{0, 1},
+		F:     func(v []int) float64 { return float64(v[0] + v[1]) },
+	}})
+	if c.Cons[0].Norm != 4 {
+		t.Fatalf("Norm=%v, want 4", c.Cons[0].Norm)
+	}
+}
+
+func TestDominatingSetWeights(t *testing.T) {
+	g := graph.Path(4)
+	c := DominatingSet(g)
+	sigma := make([]int, 4)
+	for s := 0; s < 16; s++ {
+		for i := range sigma {
+			sigma[i] = (s >> i) & 1
+		}
+		want := g.IsDominatingSet(sigma)
+		if got := c.Feasible(sigma); got != want {
+			t.Fatalf("dominating-set feasibility mismatch at %v: got %v want %v", sigma, got, want)
+		}
+	}
+}
+
+func TestWeightedDominatingSet(t *testing.T) {
+	g := graph.Path(3)
+	c := WeightedDominatingSet(g, 2)
+	// {0,1,0} is dominating with one occupied vertex: weight 2.
+	if w := c.Weight([]int{0, 1, 0}); w != 2 {
+		t.Fatalf("weight %v, want 2", w)
+	}
+	if w := c.Weight([]int{1, 1, 1}); w != 8 {
+		t.Fatalf("weight %v, want 8", w)
+	}
+	if w := c.Weight([]int{1, 0, 0}); w != 0 {
+		t.Fatalf("non-dominating weight %v, want 0", w)
+	}
+}
+
+func TestHypergraphNeighborhood(t *testing.T) {
+	// Dominating set on a path 0-1-2-3: constraint scopes are
+	// Γ+(0)={0,1}, Γ+(1)={1,0,2}, Γ+(2)={2,1,3}, Γ+(3)={3,2}.
+	// Hypergraph neighborhood of 0 is {1,2}: it shares a constraint with 2
+	// via Γ+(1).
+	c := DominatingSet(graph.Path(4))
+	nbr := c.Neighborhood(0)
+	if len(nbr) != 2 || nbr[0] != 1 || nbr[1] != 2 {
+		t.Fatalf("Γ(0) = %v, want [1 2]", nbr)
+	}
+	nbr1 := c.Neighborhood(1)
+	if len(nbr1) != 3 {
+		t.Fatalf("Γ(1) = %v, want 3 vertices", nbr1)
+	}
+}
+
+func TestMarginal(t *testing.T) {
+	g := graph.Path(3)
+	c := DominatingSet(g)
+	out := make([]float64, 2)
+	// With X = {1, 0, ?}: vertex 2's options: X2=0 gives {1,0,0} which fails
+	// (vertex 2 not dominated: Γ+(2)={2,1} both 0). X2=1 gives {1,0,1},
+	// dominating. So marginal at 2 is (0, 1).
+	x := []int{1, 0, 0}
+	if !c.MarginalInto(2, x, out) {
+		t.Fatal("marginal undefined")
+	}
+	if out[0] != 0 || out[1] != 1 {
+		t.Fatalf("marginal %v, want [0 1]", out)
+	}
+	// MarginalInto must restore sigma[v].
+	if x[2] != 0 {
+		t.Fatal("MarginalInto mutated sigma")
+	}
+}
+
+func TestCheckProbMatchesMRF(t *testing.T) {
+	// For a binary constraint the 2^k−1 = 3 mixings are (σu,σv), (Xu,σv),
+	// (σu,Xv) — exactly the MRF LocalMetropolis filter (Algorithm 2).
+	g := graph.Path(2)
+	m := mrf.Coloring(g, 3)
+	c := FromMRF(g, 3, func(id, a, b int) float64 {
+		return m.EdgeA[id].At(a, b)
+	}, uniformB(2, 3))
+
+	for xu := 0; xu < 3; xu++ {
+		for xv := 0; xv < 3; xv++ {
+			for su := 0; su < 3; su++ {
+				for sv := 0; sv < 3; sv++ {
+					want := m.EdgeCheckProb(0, xu, xv, su, sv)
+					got := c.CheckProb(0, []int{xu, xv}, []int{su, sv})
+					if math.Abs(got-want) > 1e-15 {
+						t.Fatalf("CheckProb(X=%d,%d σ=%d,%d) = %v, want %v", xu, xv, su, sv, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCheckProbTernary(t *testing.T) {
+	// Ternary soft constraint: verify the 7-factor product by hand.
+	f := func(v []int) float64 {
+		// Soft NAE on {0,1}^3 with weight 0.5 for monochromatic.
+		if v[0] == v[1] && v[1] == v[2] {
+			return 0.5
+		}
+		return 1
+	}
+	c := MustNew(3, 2, uniformB(3, 2), []Constraint{{Scope: []int32{0, 1, 2}, F: f}})
+	cur := []int{0, 0, 0}
+	prop := []int{1, 1, 1}
+	// Mixings (mask over scope positions taking current value), excluding
+	// all-current: masks 0..6. mask 0 → (1,1,1): 0.5. masks 1..6: mixed
+	// vectors, each has both a 0 and a 1 → 1. So product = 0.5.
+	if got := c.CheckProb(0, cur, prop); math.Abs(got-0.5) > 1e-15 {
+		t.Fatalf("ternary CheckProb = %v, want 0.5", got)
+	}
+	// prop = cur: every mixing is (0,0,0) with weight 0.5 → 0.5^7.
+	if got := c.CheckProb(0, cur, cur); math.Abs(got-math.Pow(0.5, 7)) > 1e-15 {
+		t.Fatalf("ternary CheckProb = %v, want 0.5^7", got)
+	}
+}
+
+func TestNotAllEqual(t *testing.T) {
+	c := NotAllEqual(3, 2, [][]int32{{0, 1, 2}})
+	if c.Feasible([]int{0, 0, 0}) || c.Feasible([]int{1, 1, 1}) {
+		t.Fatal("monochromatic configuration accepted")
+	}
+	if !c.Feasible([]int{0, 1, 0}) {
+		t.Fatal("valid NAE configuration rejected")
+	}
+}
+
+func TestGlauberStepPreservesFeasibility(t *testing.T) {
+	g := graph.Cycle(6)
+	c := DominatingSet(g)
+	s := NewSampler(c, []int{1, 1, 1, 1, 1, 1}, 42)
+	for i := 0; i < 500; i++ {
+		s.GlauberStep()
+		if !c.Feasible(s.X) {
+			t.Fatalf("infeasible after %d Glauber steps: %v", i, s.X)
+		}
+	}
+}
+
+func TestLubyGlauberStepPreservesFeasibility(t *testing.T) {
+	g := graph.Grid(3, 3)
+	c := DominatingSet(g)
+	init := make([]int, 9)
+	for i := range init {
+		init[i] = 1
+	}
+	s := NewSampler(c, init, 7)
+	for i := 0; i < 300; i++ {
+		s.LubyGlauberStep()
+		if !c.Feasible(s.X) {
+			t.Fatalf("infeasible after %d LubyGlauber rounds: %v", i, s.X)
+		}
+	}
+}
+
+func TestLocalMetropolisStepPreservesFeasibility(t *testing.T) {
+	g := graph.Grid(3, 3)
+	c := DominatingSet(g)
+	init := make([]int, 9)
+	for i := range init {
+		init[i] = 1
+	}
+	s := NewSampler(c, init, 11)
+	for i := 0; i < 300; i++ {
+		s.LocalMetropolisStep()
+		if !c.Feasible(s.X) {
+			t.Fatalf("infeasible after %d LocalMetropolis rounds: %v", i, s.X)
+		}
+	}
+}
+
+func TestSamplerVisitsManyStates(t *testing.T) {
+	// Sanity: the chains actually move around the solution space.
+	g := graph.Cycle(5)
+	c := DominatingSet(g)
+	init := []int{1, 1, 1, 1, 1}
+	for name, step := range map[string]func(*Sampler){
+		"glauber":         (*Sampler).GlauberStep,
+		"lubyglauber":     (*Sampler).LubyGlauberStep,
+		"localmetropolis": (*Sampler).LocalMetropolisStep,
+	} {
+		s := NewSampler(c, init, 13)
+		seen := map[[5]int]bool{}
+		for i := 0; i < 2000; i++ {
+			step(s)
+			var key [5]int
+			copy(key[:], s.X)
+			seen[key] = true
+		}
+		// C5 has 11 dominating sets of size >= 2... at minimum many states.
+		if len(seen) < 5 {
+			t.Errorf("%s: visited only %d states", name, len(seen))
+		}
+	}
+}
+
+func TestNewSamplerCopiesInit(t *testing.T) {
+	c := DominatingSet(graph.Path(3))
+	init := []int{1, 1, 1}
+	s := NewSampler(c, init, 1)
+	s.X[0] = 0
+	if init[0] != 1 {
+		t.Fatal("NewSampler aliased the initial configuration")
+	}
+}

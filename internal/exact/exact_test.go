@@ -1,0 +1,470 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"locsample/internal/csp"
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+)
+
+// cspDomSet returns a small dominating-set CSP shared by tests.
+func cspDomSet(t *testing.T) *csp.CSP {
+	t.Helper()
+	return csp.DominatingSet(graph.Cycle(5))
+}
+
+func TestEnumerateColoringCounts(t *testing.T) {
+	// Proper 3-colorings of C4: chromatic polynomial (q-1)^n + (q-1)(-1)^n
+	// = 2^4 + 2 = 18.
+	g := graph.Cycle(4)
+	m := mrf.Coloring(g, 3)
+	d, err := Enumerate(4, 3, m.Weight, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Z-18) > 1e-9 {
+		t.Fatalf("Z = %v, want 18", d.Z)
+	}
+	// All feasible states equally likely.
+	for s, p := range d.P {
+		if p != 0 && math.Abs(p-1.0/18) > 1e-12 {
+			t.Fatalf("state %d probability %v, want 1/18", s, p)
+		}
+	}
+}
+
+func TestEnumerateHardcoreZ(t *testing.T) {
+	// Independent sets of P3 (path 0-1-2): {}, {0}, {1}, {2}, {0,2} → 5.
+	// With λ=2: 1 + 2 + 2 + 2 + 4 = 11.
+	g := graph.Path(3)
+	m := mrf.Hardcore(g, 2)
+	d, err := Enumerate(3, 2, m.Weight, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Z-11) > 1e-9 {
+		t.Fatalf("Z = %v, want 11", d.Z)
+	}
+}
+
+func TestIndexDecodeRoundTrip(t *testing.T) {
+	sigma := make([]int, 5)
+	for idx := 0; idx < 243; idx++ {
+		DecodeInto(idx, 3, sigma)
+		if got := Index(3, sigma); got != idx {
+			t.Fatalf("round trip %d → %v → %d", idx, sigma, got)
+		}
+	}
+}
+
+func TestMarginalUniformColoring(t *testing.T) {
+	// By color symmetry every vertex's marginal is uniform.
+	g := graph.Path(4)
+	m := mrf.Coloring(g, 3)
+	d, err := Enumerate(4, 3, m.Weight, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 4; v++ {
+		marg := d.Marginal(v)
+		for c, p := range marg {
+			if math.Abs(p-1.0/3) > 1e-12 {
+				t.Fatalf("vertex %d color %d marginal %v", v, c, p)
+			}
+		}
+	}
+}
+
+func TestConditionalMarginal(t *testing.T) {
+	// Path 0-1-2, q=3, condition on σ_0 = 0: vertex 1 is uniform on {1,2}.
+	g := graph.Path(3)
+	m := mrf.Coloring(g, 3)
+	d, err := Enumerate(3, 3, m.Weight, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond, err := d.ConditionalMarginal(1, map[int]int{0: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0.5, 0.5}
+	for c := range want {
+		if math.Abs(cond[c]-want[c]) > 1e-12 {
+			t.Fatalf("conditional %v, want %v", cond, want)
+		}
+	}
+	if _, err := d.ConditionalMarginal(1, map[int]int{0: 0, 1: 0}); err == nil {
+		t.Fatal("zero-probability conditioning accepted")
+	}
+}
+
+func TestJointMarginalProductForDistantVertices(t *testing.T) {
+	// Endpoints of a long path are nearly independent; same vertex joint is
+	// diagonal. Just verify JointMarginal sums to 1 and matches Marginal.
+	g := graph.Path(4)
+	m := mrf.Coloring(g, 3)
+	d, _ := Enumerate(4, 3, m.Weight, 1<<20)
+	joint := d.JointMarginal([]int{0, 3})
+	sum := 0.0
+	for _, p := range joint {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("joint sums to %v", sum)
+	}
+	// Marginalize out vertex 3.
+	m0 := make([]float64, 3)
+	for j := 0; j < 3; j++ {
+		for i := 0; i < 3; i++ {
+			m0[i] += joint[j*3+i]
+		}
+	}
+	want := d.Marginal(0)
+	for c := range want {
+		if math.Abs(m0[c]-want[c]) > 1e-12 {
+			t.Fatalf("joint marginalization mismatch: %v vs %v", m0, want)
+		}
+	}
+}
+
+func TestTVBasics(t *testing.T) {
+	if tv := TV([]float64{1, 0}, []float64{0, 1}); tv != 1 {
+		t.Fatalf("TV of disjoint point masses %v, want 1", tv)
+	}
+	if tv := TV([]float64{0.5, 0.5}, []float64{0.5, 0.5}); tv != 0 {
+		t.Fatalf("TV of equal dists %v, want 0", tv)
+	}
+	if tv := TV([]float64{0.75, 0.25}, []float64{0.25, 0.75}); math.Abs(tv-0.5) > 1e-15 {
+		t.Fatalf("TV %v, want 0.5", tv)
+	}
+}
+
+func TestProduct(t *testing.T) {
+	p := []float64{0.3, 0.7}
+	q := []float64{0.4, 0.6}
+	pr := Product(p, q)
+	if math.Abs(pr[0]-0.12) > 1e-15 || math.Abs(pr[3]-0.42) > 1e-15 {
+		t.Fatalf("product %v", pr)
+	}
+}
+
+// --- Transition matrices -------------------------------------------------
+
+func TestGlauberMatrixReversible(t *testing.T) {
+	g := graph.Cycle(4)
+	m := mrf.Coloring(g, 3)
+	mu, _ := Enumerate(4, 3, m.Weight, 1<<20)
+	P, err := GlauberMatrix(m, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := P.RowStochasticErr(); e > 1e-12 {
+		t.Fatalf("row sums off by %v", e)
+	}
+	if e := P.DetailedBalanceErr(mu.P); e > 1e-12 {
+		t.Fatalf("detailed balance violated by %v", e)
+	}
+	if e := P.StationaryErr(mu.P); e > 1e-10 {
+		t.Fatalf("µ not stationary: residual %v", e)
+	}
+}
+
+func TestGlauberMatrixHardcore(t *testing.T) {
+	g := graph.Star(4)
+	m := mrf.Hardcore(g, 1.7)
+	mu, _ := Enumerate(4, 2, m.Weight, 1<<20)
+	P, err := GlauberMatrix(m, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := P.DetailedBalanceErr(mu.P); e > 1e-12 {
+		t.Fatalf("detailed balance violated by %v", e)
+	}
+}
+
+func TestLubyISDistribution(t *testing.T) {
+	// On P2 (single edge): I = {argmax β}, so {0} and {1} each with
+	// probability 1/2; the empty set and {0,1} are impossible.
+	g := graph.Path(2)
+	dist, err := LubyISDistribution(2, func(v int) []int32 { return g.Adj(v) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dist[1]-0.5) > 1e-12 || math.Abs(dist[2]-0.5) > 1e-12 {
+		t.Fatalf("Luby IS dist on edge: %v", dist)
+	}
+	if dist[0] != 0 || dist[3] != 0 {
+		t.Fatalf("impossible sets have mass: %v", dist)
+	}
+
+	// On P3: orderings of {β0,β1,β2}. I always contains the global max.
+	// Possible sets: {1}, {0,2}, {0}, {2}... vertex 1 in I iff β1 > β0,β2
+	// (prob 1/3). {0,2} iff β0>β1 and β2>β1 (prob 1/3). {0} alone iff
+	// β0>β1>β2... then 2 not max (β1>β2 blocks): {0} has prob 1/6; {2} 1/6.
+	g3 := graph.Path(3)
+	dist3, err := LubyISDistribution(3, func(v int) []int32 { return g3.Adj(v) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint32]float64{
+		0b010: 1.0 / 3, // {1}
+		0b101: 1.0 / 3, // {0,2}
+		0b001: 1.0 / 6, // {0}
+		0b100: 1.0 / 6, // {2}
+	}
+	for mask, w := range want {
+		if math.Abs(dist3[mask]-w) > 1e-12 {
+			t.Fatalf("Luby IS dist on P3: mask %03b = %v, want %v", mask, dist3[mask], w)
+		}
+	}
+	// Every sampled set must be independent and the probabilities sum to 1.
+	total := 0.0
+	for mask, w := range dist3 {
+		total += w
+		sigma := []int{int(mask) & 1, int(mask >> 1 & 1), int(mask >> 2 & 1)}
+		if !g3.IsIndependentSet(sigma) {
+			t.Fatalf("Luby step produced dependent set %03b", mask)
+		}
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("Luby IS distribution sums to %v", total)
+	}
+}
+
+func TestLubyGlauberMatrixReversible(t *testing.T) {
+	// Proposition 3.1, exactly: reversible w.r.t. µ for several models.
+	cases := []struct {
+		name string
+		m    *mrf.MRF
+	}{
+		{"coloring-C4-q3", mrf.Coloring(graph.Cycle(4), 3)},
+		{"coloring-P4-q3", mrf.Coloring(graph.Path(4), 3)},
+		{"hardcore-star-1.5", mrf.Hardcore(graph.Star(4), 1.5)},
+		{"ising-P3", mrf.Ising(graph.Path(3), 2.0, 0.8)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, q := tc.m.G.N(), tc.m.Q
+			mu, err := Enumerate(n, q, tc.m.Weight, 1<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			P, err := LubyGlauberMatrix(tc.m, 1<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := P.RowStochasticErr(); e > 1e-10 {
+				t.Fatalf("row sums off by %v", e)
+			}
+			if e := P.DetailedBalanceErr(mu.P); e > 1e-10 {
+				t.Fatalf("detailed balance violated by %v", e)
+			}
+		})
+	}
+}
+
+func TestLocalMetropolisMatrixReversible(t *testing.T) {
+	// Theorem 4.1, exactly: reversible w.r.t. µ.
+	cases := []struct {
+		name string
+		m    *mrf.MRF
+	}{
+		{"coloring-P3-q4", mrf.Coloring(graph.Path(3), 4)},
+		{"coloring-C4-q4", mrf.Coloring(graph.Cycle(4), 4)},
+		{"hardcore-P4-2.0", mrf.Hardcore(graph.Path(4), 2.0)},
+		{"ising-C4", mrf.Ising(graph.Cycle(4), 1.6, 1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, q := tc.m.G.N(), tc.m.Q
+			mu, err := Enumerate(n, q, tc.m.Weight, 1<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			P, err := LocalMetropolisMatrix(tc.m, false, 1<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e := P.RowStochasticErr(); e > 1e-10 {
+				t.Fatalf("row sums off by %v", e)
+			}
+			if e := P.DetailedBalanceErr(mu.P); e > 1e-10 {
+				t.Fatalf("detailed balance violated by %v", e)
+			}
+			if e := P.StationaryErr(mu.P); e > 1e-9 {
+				t.Fatalf("µ not stationary: residual %v", e)
+			}
+		})
+	}
+}
+
+func TestLocalMetropolisRule3Ablation(t *testing.T) {
+	// E4: dropping filter rule 3 breaks detailed balance and biases the
+	// stationary distribution measurably.
+	m := mrf.Coloring(graph.Path(3), 4)
+	mu, _ := Enumerate(3, 4, m.Weight, 1<<20)
+	P, err := LocalMetropolisMatrix(m, true, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := P.RowStochasticErr(); e > 1e-10 {
+		t.Fatalf("ablated chain rows off by %v", e)
+	}
+	if e := P.DetailedBalanceErr(mu.P); e < 1e-6 {
+		t.Fatalf("ablated chain still satisfies detailed balance (err %v)", e)
+	}
+	pi := P.Stationary(100000, 1e-14)
+	if tv := TV(pi, mu.P); tv < 1e-3 {
+		t.Fatalf("ablated stationary distribution too close to µ: TV = %v", tv)
+	}
+}
+
+func TestMixingTimeGlauberPath(t *testing.T) {
+	m := mrf.Coloring(graph.Path(3), 3)
+	mu, _ := Enumerate(3, 3, m.Weight, 1<<20)
+	P, _ := GlauberMatrix(m, 1<<20)
+	tmix, d := P.MixingTime(mu.P, 0.25, 2000)
+	if tmix <= 0 {
+		t.Fatalf("Glauber on P3 did not mix within budget (final TV %v)", d)
+	}
+	// Tighter ε needs more steps.
+	tmix2, _ := P.MixingTime(mu.P, 0.01, 5000)
+	if tmix2 <= tmix {
+		t.Fatalf("τ(0.01)=%d should exceed τ(0.25)=%d", tmix2, tmix)
+	}
+}
+
+func TestDistributionAfterConverges(t *testing.T) {
+	m := mrf.Coloring(graph.Cycle(4), 4)
+	mu, _ := Enumerate(4, 4, m.Weight, 1<<22)
+	P, err := LocalMetropolisMatrix(m, false, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start from a proper coloring and iterate; TV must shrink geometrically.
+	// q = 2Δ here is below the 2+√2 threshold, so convergence is guaranteed
+	// (Theorem 4.1) but not fast — allow a generous horizon.
+	x0 := Index(4, []int{0, 1, 0, 1})
+	d5 := TV(P.DistributionAfter(x0, 5), mu.P)
+	d40 := TV(P.DistributionAfter(x0, 40), mu.P)
+	d160 := TV(P.DistributionAfter(x0, 160), mu.P)
+	if d40 > d5 || d160 > d40 {
+		t.Fatalf("TV not decreasing: %v → %v → %v", d5, d40, d160)
+	}
+	if d160 > 1e-3 {
+		t.Fatalf("LocalMetropolis on C4 not converged after 160 rounds: TV %v", d160)
+	}
+}
+
+func TestStationaryMatchesEnumeration(t *testing.T) {
+	m := mrf.Hardcore(graph.Path(4), 1.3)
+	mu, _ := Enumerate(4, 2, m.Weight, 1<<20)
+	P, _ := GlauberMatrix(m, 1<<20)
+	pi := P.Stationary(100000, 1e-14)
+	if tv := TV(pi, mu.P); tv > 1e-8 {
+		t.Fatalf("power-iteration stationary differs from µ by %v", tv)
+	}
+}
+
+// --- Influence -----------------------------------------------------------
+
+func TestInfluenceMatrixColoring(t *testing.T) {
+	g := graph.Path(3)
+	m := mrf.Coloring(g, 3)
+	rho, err := InfluenceMatrix(m, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MRF conditional independence: non-neighbors have zero influence.
+	if w := MaxOffNeighborInfluence(m, rho); w > 0 {
+		t.Fatalf("non-neighbor influence %v", w)
+	}
+	// Influence is bounded by the paper's formula.
+	alpha := TotalInfluence(rho)
+	bound := ColoringInfluenceBound(m, []int{3, 3, 3})
+	if alpha > bound+1e-12 {
+		t.Fatalf("exact influence %v exceeds bound %v", alpha, bound)
+	}
+	if alpha <= 0 {
+		t.Fatal("influence should be positive for q=3 on a path")
+	}
+}
+
+func TestInfluenceShrinksWithQ(t *testing.T) {
+	g := graph.Cycle(4)
+	a3 := mustAlpha(t, mrf.Coloring(g, 3))
+	a5 := mustAlpha(t, mrf.Coloring(g, 5))
+	a8 := mustAlpha(t, mrf.Coloring(g, 8))
+	if !(a8 < a5 && a5 < a3) {
+		t.Fatalf("influence not decreasing in q: %v %v %v", a3, a5, a8)
+	}
+	// Dobrushin holds comfortably at q = 2Δ+1 = 5.
+	if a5 >= 1 {
+		t.Fatalf("alpha(q=5) = %v, want < 1", a5)
+	}
+}
+
+func mustAlpha(t *testing.T, m *mrf.MRF) float64 {
+	t.Helper()
+	rho, err := InfluenceMatrix(m, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return TotalInfluence(rho)
+}
+
+func TestCSPGlauberMatrixReversible(t *testing.T) {
+	c := cspDomSet(t)
+	mu, err := Enumerate(c.N, c.Q, c.Weight, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	P, err := CSPGlauberMatrix(c, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := P.RowStochasticErr(); e > 1e-12 {
+		t.Fatalf("rows off by %v", e)
+	}
+	if e := P.DetailedBalanceErr(mu.P); e > 1e-12 {
+		t.Fatalf("CSP Glauber detailed balance violated by %v", e)
+	}
+}
+
+func TestInfluenceIsingSingleEdge(t *testing.T) {
+	// On a single edge, the Ising influence has the closed form
+	// ρ = |β−1|/(β+1): the marginal at one endpoint is (β, 1)/(β+1) or
+	// (1, β)/(β+1) depending on the neighbor's spin.
+	for _, beta := range []float64{0.5, 1.0, 2.0, 4.0} {
+		m := mrf.Ising(graph.Path(2), beta, 1)
+		rho, err := InfluenceMatrix(m, 1<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Abs(beta-1) / (beta + 1)
+		if math.Abs(rho[0][1]-want) > 1e-12 || math.Abs(rho[1][0]-want) > 1e-12 {
+			t.Fatalf("β=%v: ρ = %v/%v, want %v", beta, rho[0][1], rho[1][0], want)
+		}
+	}
+}
+
+func TestBudgets(t *testing.T) {
+	big := mrf.Coloring(graph.Cycle(30), 3)
+	if _, err := Enumerate(30, 3, big.Weight, 1000); err == nil {
+		t.Fatal("budget not enforced in Enumerate")
+	}
+	if _, err := GlauberMatrix(big, 1000); err == nil {
+		t.Fatal("budget not enforced in GlauberMatrix")
+	}
+	if _, err := LubyGlauberMatrix(big, 1000); err == nil {
+		t.Fatal("budget not enforced in LubyGlauberMatrix")
+	}
+	if _, err := LocalMetropolisMatrix(big, false, 1000); err == nil {
+		t.Fatal("budget not enforced in LocalMetropolisMatrix")
+	}
+	if _, err := LubyISDistribution(12, nil); err == nil {
+		t.Fatal("LubyISDistribution accepted n > 10")
+	}
+}

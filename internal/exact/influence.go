@@ -1,0 +1,114 @@
+package exact
+
+import (
+	"math"
+
+	"locsample/internal/mrf"
+)
+
+// InfluenceMatrix computes the exact Dobrushin influence matrix of
+// Definition 3.1: ρ_{i,j} is the maximum total variation distance between
+// the conditional marginals µ_i^σ and µ_i^τ over all pairs of *feasible*
+// configurations σ, τ that agree everywhere except at j. The computation
+// enumerates all feasible configurations; exponential in n.
+func InfluenceMatrix(model *mrf.MRF, budget int) ([][]float64, error) {
+	n, q := model.G.N(), model.Q
+	states, err := States(n, q, budget)
+	if err != nil {
+		return nil, err
+	}
+	rho := make([][]float64, n)
+	for i := range rho {
+		rho[i] = make([]float64, n)
+	}
+	sigma := make([]int, n)
+	tau := make([]int, n)
+	mi := make([]float64, q)
+	mj := make([]float64, q)
+	for s := 0; s < states; s++ {
+		DecodeInto(s, q, sigma)
+		if !model.Feasible(sigma) {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			copy(tau, sigma)
+			for a := sigma[j] + 1; a < q; a++ {
+				// Consider each unordered pair {σ, τ} once (a > σ_j).
+				tau[j] = a
+				if !model.Feasible(tau) {
+					continue
+				}
+				for i := 0; i < n; i++ {
+					if i == j {
+						continue
+					}
+					okS := model.MarginalInto(i, sigma, mi)
+					okT := model.MarginalInto(i, tau, mj)
+					if !okS || !okT {
+						continue
+					}
+					d := TV(mi, mj)
+					if d > rho[i][j] {
+						rho[i][j] = d
+					}
+				}
+			}
+		}
+	}
+	return rho, nil
+}
+
+// TotalInfluence returns α = max_i Σ_j ρ_{i,j} (Definition 3.2). The
+// Dobrushin condition is α < 1.
+func TotalInfluence(rho [][]float64) float64 {
+	alpha := 0.0
+	for _, row := range rho {
+		sum := 0.0
+		for _, x := range row {
+			sum += x
+		}
+		if sum > alpha {
+			alpha = sum
+		}
+	}
+	return alpha
+}
+
+// MaxOffNeighborInfluence returns the largest ρ_{i,j} over pairs i, j that
+// are NOT adjacent in the model's graph. For an MRF this must be zero
+// (conditional independence) — a structural sanity check used in tests.
+func MaxOffNeighborInfluence(model *mrf.MRF, rho [][]float64) float64 {
+	worst := 0.0
+	n := model.G.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || model.G.HasEdge(i, j) {
+				continue
+			}
+			if rho[i][j] > worst {
+				worst = rho[i][j]
+			}
+		}
+	}
+	return worst
+}
+
+// ColoringInfluenceBound returns the paper's §3.2 bound on the total
+// influence for (list) colorings, max_v d_v/(q_v − d_v), given list sizes
+// qs. (+Inf when q_v ≤ d_v.)
+func ColoringInfluenceBound(model *mrf.MRF, qs []int) float64 {
+	alpha := 0.0
+	for v := 0; v < model.G.N(); v++ {
+		d := model.G.Deg(v)
+		if d == 0 {
+			continue
+		}
+		if qs[v] <= d {
+			return math.Inf(1)
+		}
+		if a := float64(d) / float64(qs[v]-d); a > alpha {
+			alpha = a
+		}
+	}
+	return alpha
+}

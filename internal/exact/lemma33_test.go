@@ -1,0 +1,157 @@
+package exact
+
+import (
+	"testing"
+
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+)
+
+// Lemma 3.3 of the paper: for any random pair (X, Y) of feasible
+// configurations and any vertex i,
+//
+//	E[d_TV(µ_i^X, µ_i^Y)] ≤ Σ_k ρ_{i,k} · Pr[X_k ≠ Y_k].
+//
+// We verify it exactly for a concrete coupling: X ~ µ and Y obtained from X
+// by resampling a uniformly random vertex from its conditional marginal
+// (one Glauber step), enumerating the full joint law.
+func TestLemma33Exact(t *testing.T) {
+	models := []*mrf.MRF{
+		mrf.Coloring(graph.Cycle(4), 3),
+		mrf.Hardcore(graph.Path(4), 1.5),
+		mrf.Ising(graph.Cycle(4), 1.7, 0.8),
+	}
+	for mi, m := range models {
+		n, q := m.G.N(), m.Q
+		mu, err := Enumerate(n, q, m.Weight, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rho, err := InfluenceMatrix(m, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Enumerate the joint law of (X, Y).
+		lhs := make([]float64, n)      // E[d_TV(µ_i^X, µ_i^Y)] per i
+		disagree := make([]float64, n) // Pr[X_k ≠ Y_k] per k
+		x := make([]int, n)
+		y := make([]int, n)
+		margJ := make([]float64, q)
+		mi1 := make([]float64, q)
+		mi2 := make([]float64, q)
+		for s, px := range mu.P {
+			if px == 0 {
+				continue
+			}
+			DecodeInto(s, q, x)
+			for j := 0; j < n; j++ {
+				if !m.MarginalInto(j, x, margJ) {
+					continue
+				}
+				for c := 0; c < q; c++ {
+					pj := margJ[c]
+					if pj == 0 {
+						continue
+					}
+					copy(y, x)
+					y[j] = c
+					pPair := px * pj / float64(n)
+					if c != x[j] {
+						disagree[j] += pPair
+					}
+					for i := 0; i < n; i++ {
+						ok1 := m.MarginalInto(i, x, mi1)
+						ok2 := m.MarginalInto(i, y, mi2)
+						if ok1 && ok2 {
+							lhs[i] += pPair * TV(mi1, mi2)
+						}
+					}
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			rhs := 0.0
+			for k := 0; k < n; k++ {
+				rhs += rho[i][k] * disagree[k]
+			}
+			if lhs[i] > rhs+1e-12 {
+				t.Fatalf("model %d vertex %d: Lemma 3.3 violated: %v > %v", mi, i, lhs[i], rhs)
+			}
+		}
+	}
+}
+
+// Global Markov property (the Hammersley–Clifford direction the paper's
+// conditional-independence arguments rely on): on a path, conditioning on a
+// middle vertex makes the two sides independent.
+func TestGlobalMarkovPropertyOnPath(t *testing.T) {
+	m := mrf.Hardcore(graph.Path(5), 1.7)
+	mu, err := Enumerate(5, 2, m.Weight, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Condition on σ_2 = a; then (σ_0, σ_4) must factorize.
+	for a := 0; a < 2; a++ {
+		cond := map[int]int{2: a}
+		c0, err := mu.ConditionalMarginal(0, cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c4, err := mu.ConditionalMarginal(4, cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Joint conditional of (σ_0, σ_4) by direct summation.
+		joint := make([]float64, 4)
+		total := 0.0
+		sigma := make([]int, 5)
+		for s, p := range mu.P {
+			if p == 0 {
+				continue
+			}
+			DecodeInto(s, 2, sigma)
+			if sigma[2] != a {
+				continue
+			}
+			joint[sigma[4]*2+sigma[0]] += p
+			total += p
+		}
+		for i := range joint {
+			joint[i] /= total
+		}
+		prod := Product(c0, c4)
+		if tv := TV(joint, prod); tv > 1e-12 {
+			t.Fatalf("conditioned sides not independent (a=%d): TV %v", a, tv)
+		}
+	}
+	// Control: WITHOUT conditioning the sides are dependent (at this size).
+	m0 := mu.Marginal(0)
+	m4 := mu.Marginal(4)
+	joint := mu.JointMarginal([]int{0, 4})
+	if tv := TV(joint, Product(m0, m4)); tv < 1e-6 {
+		t.Fatalf("unconditioned endpoints look independent (TV %v) — control broken", tv)
+	}
+}
+
+// The influence matrix of a DISCONNECTED model is block-diagonal: vertices
+// in different components never influence each other.
+func TestInfluenceRespectsComponents(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	m := mrf.Ising(g, 2.5, 1)
+	rho, err := InfluenceMatrix(m, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]int{{0, 2}, {0, 3}, {1, 2}, {1, 3}} {
+		if rho[pair[0]][pair[1]] != 0 || rho[pair[1]][pair[0]] != 0 {
+			t.Fatalf("cross-component influence ρ[%d][%d] = %v", pair[0], pair[1], rho[pair[0]][pair[1]])
+		}
+	}
+	if rho[0][1] <= 0 {
+		t.Fatal("within-component influence should be positive for β=2.5")
+	}
+}

@@ -1,0 +1,664 @@
+package exact
+
+import (
+	"fmt"
+	"math"
+
+	"locsample/internal/csp"
+	"locsample/internal/mrf"
+)
+
+// Matrix is a dense row-stochastic transition matrix over S states.
+type Matrix struct {
+	S int
+	P []float64 // row-major, length S*S
+}
+
+// NewMatrix returns a zero S×S matrix.
+func NewMatrix(s int) *Matrix {
+	return &Matrix{S: s, P: make([]float64, s*s)}
+}
+
+// At returns P(x → y).
+func (m *Matrix) At(x, y int) float64 { return m.P[x*m.S+y] }
+
+// Add accumulates p into entry (x, y).
+func (m *Matrix) Add(x, y int, p float64) { m.P[x*m.S+y] += p }
+
+// Row returns the x-th row (a view, not a copy).
+func (m *Matrix) Row(x int) []float64 { return m.P[x*m.S : (x+1)*m.S] }
+
+// RowStochasticErr returns max_x |Σ_y P(x,y) − 1|.
+func (m *Matrix) RowStochasticErr() float64 {
+	worst := 0.0
+	for x := 0; x < m.S; x++ {
+		sum := 0.0
+		for _, p := range m.Row(x) {
+			sum += p
+		}
+		if e := math.Abs(sum - 1); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// DetailedBalanceErr returns max_{x,y} |π_x P(x,y) − π_y P(y,x)| — zero for
+// a chain reversible with respect to π.
+func (m *Matrix) DetailedBalanceErr(pi []float64) float64 {
+	worst := 0.0
+	for x := 0; x < m.S; x++ {
+		for y := x + 1; y < m.S; y++ {
+			if e := math.Abs(pi[x]*m.At(x, y) - pi[y]*m.At(y, x)); e > worst {
+				worst = e
+			}
+		}
+	}
+	return worst
+}
+
+// StationaryErr returns the L1 residual ‖πP − π‖₁, zero when π is
+// stationary.
+func (m *Matrix) StationaryErr(pi []float64) float64 {
+	res := 0.0
+	for y := 0; y < m.S; y++ {
+		acc := 0.0
+		for x := 0; x < m.S; x++ {
+			acc += pi[x] * m.At(x, y)
+		}
+		res += math.Abs(acc - pi[y])
+	}
+	return res
+}
+
+// Stationary computes the stationary distribution by power iteration from
+// the uniform distribution, stopping when successive iterates differ by at
+// most tol in L1 or after maxIter steps.
+func (m *Matrix) Stationary(maxIter int, tol float64) []float64 {
+	cur := make([]float64, m.S)
+	next := make([]float64, m.S)
+	for i := range cur {
+		cur[i] = 1 / float64(m.S)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for x := 0; x < m.S; x++ {
+			px := cur[x]
+			if px == 0 {
+				continue
+			}
+			row := m.Row(x)
+			for y, p := range row {
+				next[y] += px * p
+			}
+		}
+		diff := 0.0
+		for i := range cur {
+			diff += math.Abs(next[i] - cur[i])
+		}
+		cur, next = next, cur
+		if diff <= tol {
+			break
+		}
+	}
+	return cur
+}
+
+// MixingTime returns the exact mixing time τ(ε) = min{t : max_x
+// TV(P^t(x,·), π) ≤ ε}, computed by iterating the full matrix power. It
+// returns -1 if the bound is not reached within tmax steps, together with
+// the final worst-case TV distance.
+func (m *Matrix) MixingTime(pi []float64, eps float64, tmax int) (int, float64) {
+	// cur = P^t, advanced one multiplication per step.
+	cur := make([]float64, len(m.P))
+	copy(cur, m.P)
+	next := make([]float64, len(m.P))
+	worst := func(mat []float64) float64 {
+		w := 0.0
+		for x := 0; x < m.S; x++ {
+			row := mat[x*m.S : (x+1)*m.S]
+			d := 0.0
+			for y := 0; y < m.S; y++ {
+				d += math.Abs(row[y] - pi[y])
+			}
+			if d/2 > w {
+				w = d / 2
+			}
+		}
+		return w
+	}
+	d := worst(cur)
+	if d <= eps {
+		return 1, d
+	}
+	for t := 2; t <= tmax; t++ {
+		// next = cur × P.
+		for i := range next {
+			next[i] = 0
+		}
+		for x := 0; x < m.S; x++ {
+			curRow := cur[x*m.S : (x+1)*m.S]
+			nextRow := next[x*m.S : (x+1)*m.S]
+			for k := 0; k < m.S; k++ {
+				c := curRow[k]
+				if c == 0 {
+					continue
+				}
+				pRow := m.Row(k)
+				for y := 0; y < m.S; y++ {
+					nextRow[y] += c * pRow[y]
+				}
+			}
+		}
+		cur, next = next, cur
+		d = worst(cur)
+		if d <= eps {
+			return t, d
+		}
+	}
+	return -1, d
+}
+
+// DistributionAfter returns the distribution of X^(t) started from the
+// deterministic state x0.
+func (m *Matrix) DistributionAfter(x0, t int) []float64 {
+	cur := make([]float64, m.S)
+	next := make([]float64, m.S)
+	cur[x0] = 1
+	for step := 0; step < t; step++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for x := 0; x < m.S; x++ {
+			px := cur[x]
+			if px == 0 {
+				continue
+			}
+			row := m.Row(x)
+			for y, p := range row {
+				next[y] += px * p
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// --- Glauber -----------------------------------------------------------
+
+// GlauberMatrix builds the exact transition matrix of the single-site
+// heat-bath Glauber dynamics on m (uniform vertex choice, conditional
+// resampling per Eq. (2)). States where a chosen vertex's marginal is
+// undefined keep their value (matching internal/chains).
+func GlauberMatrix(model *mrf.MRF, budget int) (*Matrix, error) {
+	n, q := model.G.N(), model.Q
+	states, err := States(n, q, budget)
+	if err != nil {
+		return nil, err
+	}
+	P := NewMatrix(states)
+	sigma := make([]int, n)
+	marg := make([]float64, q)
+	pv := 1 / float64(n)
+	for x := 0; x < states; x++ {
+		DecodeInto(x, q, sigma)
+		for v := 0; v < n; v++ {
+			if !model.MarginalInto(v, sigma, marg) {
+				P.Add(x, x, pv)
+				continue
+			}
+			saved := sigma[v]
+			for c := 0; c < q; c++ {
+				if marg[c] == 0 {
+					continue
+				}
+				sigma[v] = c
+				P.Add(x, Index(q, sigma), pv*marg[c])
+			}
+			sigma[v] = saved
+		}
+	}
+	return P, nil
+}
+
+// --- LubyGlauber ---------------------------------------------------------
+
+// LubyISDistribution enumerates the distribution of the Luby-step
+// independent set: each vertex draws an i.i.d. uniform ID and joins I iff it
+// is the strict maximum over its inclusive neighborhood. Since only the
+// relative order matters, the distribution is computed exactly by
+// enumerating all n! orderings. neighbors[v] lists the (hyper)graph
+// neighborhood of v. Requires n <= 10.
+func LubyISDistribution(n int, neighbors func(v int) []int32) (map[uint32]float64, error) {
+	if n > 10 {
+		return nil, fmt.Errorf("exact: LubyISDistribution needs n <= 10, got %d", n)
+	}
+	dist := map[uint32]float64{}
+	perm := make([]int, n)
+	rank := make([]int, n)
+	var rec func(depth int, count *int)
+	total := 0
+	rec = func(depth int, count *int) {
+		if depth == n {
+			for v := 0; v < n; v++ {
+				rank[perm[v]] = v
+			}
+			var mask uint32
+			for v := 0; v < n; v++ {
+				isMax := true
+				for _, u := range neighbors(v) {
+					if rank[u] > rank[v] {
+						isMax = false
+						break
+					}
+				}
+				if isMax {
+					mask |= 1 << v
+				}
+			}
+			dist[mask]++
+			*count++
+			return
+		}
+		for i := depth; i < n; i++ {
+			perm[depth], perm[i] = perm[i], perm[depth]
+			rec(depth+1, count)
+			perm[depth], perm[i] = perm[i], perm[depth]
+		}
+	}
+	for i := range perm {
+		perm[i] = i
+	}
+	rec(0, &total)
+	inv := 1 / float64(total)
+	for k := range dist {
+		dist[k] *= inv
+	}
+	return dist, nil
+}
+
+// LubyGlauberMatrix builds the exact transition matrix of Algorithm 1:
+// average over the Luby independent-set distribution of the product of
+// per-vertex heat-bath updates.
+func LubyGlauberMatrix(model *mrf.MRF, budget int) (*Matrix, error) {
+	n, q := model.G.N(), model.Q
+	states, err := States(n, q, budget)
+	if err != nil {
+		return nil, err
+	}
+	isDist, err := LubyISDistribution(n, func(v int) []int32 { return model.G.Adj(v) })
+	if err != nil {
+		return nil, err
+	}
+	P := NewMatrix(states)
+	sigma := make([]int, n)
+	work := make([]int, n)
+	margs := make([][]float64, n)
+	for x := 0; x < states; x++ {
+		DecodeInto(x, q, sigma)
+		for mask, pmask := range isDist {
+			// Vertices in I resample independently given X (I is
+			// independent, so each uses only old neighbor values).
+			var members []int
+			for v := 0; v < n; v++ {
+				if mask&(1<<v) != 0 {
+					members = append(members, v)
+				}
+			}
+			copy(work, sigma)
+			for _, v := range members {
+				if margs[v] == nil {
+					margs[v] = make([]float64, q)
+				}
+				if !model.MarginalInto(v, sigma, margs[v]) {
+					// Undefined marginal: v keeps its value.
+					for i := range margs[v] {
+						margs[v][i] = 0
+					}
+					margs[v][sigma[v]] = 1
+				}
+			}
+			// Enumerate joint outcomes over members.
+			var rec func(i int, p float64)
+			rec = func(i int, p float64) {
+				if p == 0 {
+					return
+				}
+				if i == len(members) {
+					P.Add(x, Index(q, work), pmask*p)
+					return
+				}
+				v := members[i]
+				for c := 0; c < q; c++ {
+					if margs[v][c] == 0 {
+						continue
+					}
+					work[v] = c
+					rec(i+1, p*margs[v][c])
+				}
+				work[v] = sigma[v]
+			}
+			rec(0, 1)
+		}
+	}
+	return P, nil
+}
+
+// --- LocalMetropolis -----------------------------------------------------
+
+// LocalMetropolisMatrix builds the exact transition matrix of Algorithm 2 by
+// enumerating all proposal vectors σ ∈ [q]^V and all edge-coin outcomes
+// C ∈ {0,1}^E. dropRule3 reproduces the E4 ablation (omit the Ã_e(σ_u, X_v)
+// factor).
+func LocalMetropolisMatrix(model *mrf.MRF, dropRule3 bool, budget int) (*Matrix, error) {
+	g := model.G
+	n, q, mEdges := g.N(), model.Q, g.M()
+	states, err := States(n, q, budget)
+	if err != nil {
+		return nil, err
+	}
+	if mEdges > 20 {
+		return nil, fmt.Errorf("exact: LocalMetropolisMatrix needs m <= 20 edges, got %d", mEdges)
+	}
+	P := NewMatrix(states)
+	sigma := make([]int, n)
+	prop := make([]int, n)
+	out := make([]int, n)
+	propDist := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		propDist[v] = make([]float64, q)
+		model.ProposalDistInto(v, propDist[v])
+	}
+	passP := make([]float64, mEdges)
+	for x := 0; x < states; x++ {
+		DecodeInto(x, q, sigma)
+		// Enumerate proposals.
+		propStates := states // same [q]^n space
+		for ps := 0; ps < propStates; ps++ {
+			DecodeInto(ps, q, prop)
+			pProp := 1.0
+			for v := 0; v < n; v++ {
+				pProp *= propDist[v][prop[v]]
+				if pProp == 0 {
+					break
+				}
+			}
+			if pProp == 0 {
+				continue
+			}
+			for id, e := range g.Edges() {
+				a := model.NormalizedEdge(id)
+				p := a.At(prop[e.U], prop[e.V]) * a.At(sigma[e.U], prop[e.V])
+				if !dropRule3 {
+					p *= a.At(prop[e.U], sigma[e.V])
+				}
+				passP[id] = p
+			}
+			// Enumerate coin outcomes.
+			for cmask := 0; cmask < 1<<mEdges; cmask++ {
+				pC := pProp
+				for id := 0; id < mEdges; id++ {
+					if cmask&(1<<id) != 0 {
+						pC *= passP[id]
+					} else {
+						pC *= 1 - passP[id]
+					}
+					if pC == 0 {
+						break
+					}
+				}
+				if pC == 0 {
+					continue
+				}
+				for v := 0; v < n; v++ {
+					accept := true
+					for _, id := range g.Inc(v) {
+						if cmask&(1<<uint(id)) == 0 {
+							accept = false
+							break
+						}
+					}
+					if accept {
+						out[v] = prop[v]
+					} else {
+						out[v] = sigma[v]
+					}
+				}
+				P.Add(x, Index(q, out), pC)
+			}
+		}
+	}
+	return P, nil
+}
+
+// SynchronousGlauberMatrix builds the transition matrix of the NAIVE fully
+// synchronous heat-bath dynamics: every vertex simultaneously resamples from
+// its conditional marginal given the previous round,
+//
+//	P(X, Y) = Π_v µ_v(Y_v | X_{Γ(v)}).
+//
+// This is the "update all variables simultaneously" strawman behind the
+// paper's motivating question in §1.1: it is generally NOT reversible and
+// its stationary distribution is NOT µ (experiment E14 quantifies the
+// bias); LubyGlauber avoids it by scheduling an independent set, and
+// LocalMetropolis by filtering proposals.
+func SynchronousGlauberMatrix(model *mrf.MRF, budget int) (*Matrix, error) {
+	n, q := model.G.N(), model.Q
+	states, err := States(n, q, budget)
+	if err != nil {
+		return nil, err
+	}
+	P := NewMatrix(states)
+	sigma := make([]int, n)
+	out := make([]int, n)
+	margs := make([][]float64, n)
+	for v := range margs {
+		margs[v] = make([]float64, q)
+	}
+	for x := 0; x < states; x++ {
+		DecodeInto(x, q, sigma)
+		for v := 0; v < n; v++ {
+			if !model.MarginalInto(v, sigma, margs[v]) {
+				for c := range margs[v] {
+					margs[v][c] = 0
+				}
+				margs[v][sigma[v]] = 1
+			}
+		}
+		var rec func(v int, p float64)
+		rec = func(v int, p float64) {
+			if p == 0 {
+				return
+			}
+			if v == n {
+				P.Add(x, Index(q, out), p)
+				return
+			}
+			for c := 0; c < q; c++ {
+				if margs[v][c] == 0 {
+					continue
+				}
+				out[v] = c
+				rec(v+1, p*margs[v][c])
+			}
+		}
+		rec(0, 1)
+	}
+	return P, nil
+}
+
+// --- CSP chains ----------------------------------------------------------
+
+// CSPGlauberMatrix builds the exact transition matrix of single-site
+// Glauber dynamics on a CSP (uniform vertex choice, heat-bath resampling
+// from the CSP conditional marginal).
+func CSPGlauberMatrix(c *csp.CSP, budget int) (*Matrix, error) {
+	n, q := c.N, c.Q
+	states, err := States(n, q, budget)
+	if err != nil {
+		return nil, err
+	}
+	P := NewMatrix(states)
+	sigma := make([]int, n)
+	marg := make([]float64, q)
+	pv := 1 / float64(n)
+	for x := 0; x < states; x++ {
+		DecodeInto(x, q, sigma)
+		for v := 0; v < n; v++ {
+			if !c.MarginalInto(v, sigma, marg) {
+				P.Add(x, x, pv)
+				continue
+			}
+			saved := sigma[v]
+			for a := 0; a < q; a++ {
+				if marg[a] == 0 {
+					continue
+				}
+				sigma[v] = a
+				P.Add(x, Index(q, sigma), pv*marg[a])
+			}
+			sigma[v] = saved
+		}
+	}
+	return P, nil
+}
+
+// CSPLubyGlauberMatrix builds the exact transition matrix of the hypergraph
+// LubyGlauber chain on a CSP (Luby step over hypergraph neighborhoods,
+// heat-bath resampling from CSP conditional marginals).
+func CSPLubyGlauberMatrix(c *csp.CSP, budget int) (*Matrix, error) {
+	n, q := c.N, c.Q
+	states, err := States(n, q, budget)
+	if err != nil {
+		return nil, err
+	}
+	isDist, err := LubyISDistribution(n, c.Neighborhood)
+	if err != nil {
+		return nil, err
+	}
+	P := NewMatrix(states)
+	sigma := make([]int, n)
+	work := make([]int, n)
+	margs := make([][]float64, n)
+	for x := 0; x < states; x++ {
+		DecodeInto(x, q, sigma)
+		for mask, pmask := range isDist {
+			var members []int
+			for v := 0; v < n; v++ {
+				if mask&(1<<v) != 0 {
+					members = append(members, v)
+				}
+			}
+			for _, v := range members {
+				if margs[v] == nil {
+					margs[v] = make([]float64, q)
+				}
+				if !c.MarginalInto(v, sigma, margs[v]) {
+					for i := range margs[v] {
+						margs[v][i] = 0
+					}
+					margs[v][sigma[v]] = 1
+				}
+			}
+			copy(work, sigma)
+			var rec func(i int, p float64)
+			rec = func(i int, p float64) {
+				if p == 0 {
+					return
+				}
+				if i == len(members) {
+					P.Add(x, Index(q, work), pmask*p)
+					return
+				}
+				v := members[i]
+				for a := 0; a < q; a++ {
+					if margs[v][a] == 0 {
+						continue
+					}
+					work[v] = a
+					rec(i+1, p*margs[v][a])
+				}
+				work[v] = sigma[v]
+			}
+			rec(0, 1)
+		}
+	}
+	return P, nil
+}
+
+// CSPLocalMetropolisMatrix builds the exact transition matrix of the CSP
+// LocalMetropolis chain (2^k−1-mixing filter per constraint).
+func CSPLocalMetropolisMatrix(c *csp.CSP, budget int) (*Matrix, error) {
+	n, q := c.N, c.Q
+	nCons := len(c.Cons)
+	states, err := States(n, q, budget)
+	if err != nil {
+		return nil, err
+	}
+	if nCons > 20 {
+		return nil, fmt.Errorf("exact: CSPLocalMetropolisMatrix needs <= 20 constraints, got %d", nCons)
+	}
+	P := NewMatrix(states)
+	sigma := make([]int, n)
+	prop := make([]int, n)
+	out := make([]int, n)
+	propDist := make([][]float64, n)
+	for v := 0; v < n; v++ {
+		propDist[v] = make([]float64, q)
+		c.ProposalDistInto(v, propDist[v])
+	}
+	passP := make([]float64, nCons)
+	for x := 0; x < states; x++ {
+		DecodeInto(x, q, sigma)
+		for ps := 0; ps < states; ps++ {
+			DecodeInto(ps, q, prop)
+			pProp := 1.0
+			for v := 0; v < n; v++ {
+				pProp *= propDist[v][prop[v]]
+				if pProp == 0 {
+					break
+				}
+			}
+			if pProp == 0 {
+				continue
+			}
+			for ci := 0; ci < nCons; ci++ {
+				passP[ci] = c.CheckProb(ci, sigma, prop)
+			}
+			for cmask := 0; cmask < 1<<nCons; cmask++ {
+				pC := pProp
+				for ci := 0; ci < nCons; ci++ {
+					if cmask&(1<<ci) != 0 {
+						pC *= passP[ci]
+					} else {
+						pC *= 1 - passP[ci]
+					}
+					if pC == 0 {
+						break
+					}
+				}
+				if pC == 0 {
+					continue
+				}
+				for v := 0; v < n; v++ {
+					accept := true
+					for _, ci := range c.ConstraintsOf(v) {
+						if cmask&(1<<uint(ci)) == 0 {
+							accept = false
+							break
+						}
+					}
+					if accept {
+						out[v] = prop[v]
+					} else {
+						out[v] = sigma[v]
+					}
+				}
+				P.Add(x, Index(q, out), pC)
+			}
+		}
+	}
+	return P, nil
+}

@@ -1,0 +1,183 @@
+package exact
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+	"locsample/internal/rng"
+)
+
+// Index/Decode round-trip over random (n, q, index) triples.
+func TestIndexDecodeQuick(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw, qRaw uint8) bool {
+		n := int(nRaw%6) + 1
+		q := int(qRaw%4) + 2
+		states := 1
+		for i := 0; i < n; i++ {
+			states *= q
+		}
+		idx := int(rng.Derive(seed).Intn(states))
+		sigma := make([]int, n)
+		DecodeInto(idx, q, sigma)
+		return Index(q, sigma) == idx
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Enumerate normalizes any valid weight function.
+func TestEnumerateNormalizesQuick(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.Derive(seed)
+		g := graph.Gnp(4, 0.5, r)
+		lambda := 0.2 + 2*r.Float64()
+		m := mrf.Hardcore(g, lambda)
+		d, err := Enumerate(4, 2, m.Weight, 1<<20)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, p := range d.P {
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-12
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TV is a metric: symmetric, zero iff equal, triangle inequality.
+func TestTVMetricQuick(t *testing.T) {
+	randDist := func(r *rng.Source, k int) []float64 {
+		d := make([]float64, k)
+		total := 0.0
+		for i := range d {
+			d[i] = r.Float64()
+			total += d[i]
+		}
+		for i := range d {
+			d[i] /= total
+		}
+		return d
+	}
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.Derive(seed)
+		const k = 6
+		p, q, s := randDist(r, k), randDist(r, k), randDist(r, k)
+		if math.Abs(TV(p, q)-TV(q, p)) > 1e-12 {
+			return false
+		}
+		if TV(p, p) != 0 {
+			return false
+		}
+		if TV(p, q) > TV(p, s)+TV(s, q)+1e-12 {
+			return false
+		}
+		return TV(p, q) >= 0 && TV(p, q) <= 1
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// All exact transition matrices are row-stochastic for random small models.
+func TestMatricesRowStochasticQuick(t *testing.T) {
+	err := quick.Check(func(seed uint64, which uint8) bool {
+		r := rng.Derive(seed)
+		g := graph.Gnp(3, 0.6, r)
+		beta := 0.3 + 2*r.Float64()
+		m := mrf.Ising(g, beta, 0.5+r.Float64())
+		var P *Matrix
+		var err error
+		switch which % 3 {
+		case 0:
+			P, err = GlauberMatrix(m, 1<<16)
+		case 1:
+			P, err = LubyGlauberMatrix(m, 1<<16)
+		default:
+			P, err = LocalMetropolisMatrix(m, false, 1<<16)
+		}
+		if err != nil {
+			return false
+		}
+		return P.RowStochasticErr() < 1e-10
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Soft models (everywhere-positive activities) give reversible
+// LocalMetropolis for arbitrary parameters — the general Theorem 4.1,
+// by random instance.
+func TestSoftModelReversibilityQuick(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.Derive(seed)
+		g := graph.Cycle(3)
+		// Random symmetric positive activity, random positive fields.
+		a := mrf.NewMat(2)
+		x00, x01, x11 := 0.2+r.Float64(), 0.2+r.Float64(), 0.2+r.Float64()
+		a.Set(0, 0, x00)
+		a.Set(0, 1, x01)
+		a.Set(1, 0, x01)
+		a.Set(1, 1, x11)
+		acts := []*mrf.Mat{a, a, a}
+		b := [][]float64{
+			{0.5 + r.Float64(), 0.5 + r.Float64()},
+			{0.5 + r.Float64(), 0.5 + r.Float64()},
+			{0.5 + r.Float64(), 0.5 + r.Float64()},
+		}
+		m, err := mrf.New(g, 2, acts, b)
+		if err != nil {
+			return false
+		}
+		mu, err := Enumerate(3, 2, m.Weight, 1<<16)
+		if err != nil {
+			return false
+		}
+		P, err := LocalMetropolisMatrix(m, false, 1<<16)
+		if err != nil {
+			return false
+		}
+		return P.DetailedBalanceErr(mu.P) < 1e-12
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Marginals of the enumerated distribution sum to 1 and match conditional
+// reconstruction: µ(σ_v = c) = Σ_{c'} µ(σ_u = c') µ(σ_v = c | σ_u = c').
+func TestMarginalConsistency(t *testing.T) {
+	g := graph.Path(4)
+	m := mrf.Coloring(g, 3)
+	d, err := Enumerate(4, 3, m.Weight, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv := d.Marginal(2)
+	mu := d.Marginal(0)
+	recon := make([]float64, 3)
+	for cu := 0; cu < 3; cu++ {
+		if mu[cu] == 0 {
+			continue
+		}
+		cond, err := d.ConditionalMarginal(2, map[int]int{0: cu})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < 3; c++ {
+			recon[c] += mu[cu] * cond[c]
+		}
+	}
+	for c := 0; c < 3; c++ {
+		if math.Abs(recon[c]-mv[c]) > 1e-12 {
+			t.Fatalf("law of total probability violated: %v vs %v", recon, mv)
+		}
+	}
+}

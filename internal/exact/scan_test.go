@@ -1,0 +1,148 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+)
+
+func TestSingleSiteMatrixStationary(t *testing.T) {
+	m := mrf.Coloring(graph.Cycle(4), 3)
+	mu, _ := Enumerate(4, 3, m.Weight, 1<<20)
+	for v := 0; v < 4; v++ {
+		P, err := SingleSiteMatrix(m, v, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := P.RowStochasticErr(); e > 1e-12 {
+			t.Fatalf("v=%d rows off by %v", v, e)
+		}
+		// Each single-site heat-bath factor is reversible w.r.t. µ.
+		if e := P.DetailedBalanceErr(mu.P); e > 1e-12 {
+			t.Fatalf("v=%d detailed balance violated by %v", v, e)
+		}
+	}
+}
+
+func TestScanStationaryButNotReversible(t *testing.T) {
+	// The scan sweep preserves µ (composition of µ-preserving factors) but
+	// is NOT reversible — the classical contrast with Glauber (§3, [17,18]).
+	m := mrf.Coloring(graph.Path(3), 3)
+	mu, _ := Enumerate(3, 3, m.Weight, 1<<20)
+	P, err := SystematicScanMatrix(m, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := P.RowStochasticErr(); e > 1e-12 {
+		t.Fatalf("rows off by %v", e)
+	}
+	if e := P.StationaryErr(mu.P); e > 1e-10 {
+		t.Fatalf("µ not stationary for scan: %v", e)
+	}
+	if e := P.DetailedBalanceErr(mu.P); e < 1e-6 {
+		t.Fatalf("scan sweep unexpectedly reversible (residual %v)", e)
+	}
+}
+
+func TestChromaticSweepStationary(t *testing.T) {
+	m := mrf.Hardcore(graph.Cycle(4), 1.5)
+	mu, _ := Enumerate(4, 2, m.Weight, 1<<20)
+	P, err := ChromaticSweepMatrix(m, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := P.StationaryErr(mu.P); e > 1e-10 {
+		t.Fatalf("µ not stationary for chromatic sweep: %v", e)
+	}
+	// Long-run distribution from a point mass reaches µ.
+	d := TV(P.DistributionAfter(0, 200), mu.P)
+	if d > 1e-6 {
+		t.Fatalf("chromatic sweep not converged: TV %v", d)
+	}
+}
+
+func TestComposeAgainstDistribution(t *testing.T) {
+	// Composing Glauber with itself equals two steps of DistributionAfter.
+	m := mrf.Hardcore(graph.Path(3), 1.0)
+	P, _ := GlauberMatrix(m, 1<<20)
+	P2 := Compose(P, P)
+	from := 3
+	viaCompose := P2.Row(from)
+	viaIterate := P.DistributionAfter(from, 2)
+	for y := range viaIterate {
+		if math.Abs(viaCompose[y]-viaIterate[y]) > 1e-12 {
+			t.Fatalf("compose mismatch at %d: %v vs %v", y, viaCompose[y], viaIterate[y])
+		}
+	}
+}
+
+func TestComposePanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch did not panic")
+		}
+	}()
+	Compose(NewMatrix(2), NewMatrix(3))
+}
+
+func TestSpectralGapMatchesMixing(t *testing.T) {
+	// For a reversible chain, τ(ε) ≈ ln(1/(ε·πmin))/gap. Check the gap
+	// estimate brackets the exact mixing time within a loose factor.
+	m := mrf.Coloring(graph.Cycle(4), 3)
+	mu, _ := Enumerate(4, 3, m.Weight, 1<<20)
+	P, _ := GlauberMatrix(m, 1<<20)
+	gap := SpectralGap(P, mu.P, 3000)
+	if gap <= 0 || gap >= 1 {
+		t.Fatalf("gap %v out of range", gap)
+	}
+	tmix, _ := P.MixingTime(mu.P, 0.25, 5000)
+	if tmix <= 0 {
+		t.Fatal("no mixing")
+	}
+	// Relaxation-time sandwich: (1/gap − 1)·ln 2 ≤ τ(1/4) ≤ ln(4/πmin)/gap.
+	piMin := math.Inf(1)
+	for _, p := range mu.P {
+		if p > 0 && p < piMin {
+			piMin = p
+		}
+	}
+	upper := math.Log(4/piMin) / gap
+	lower := (1/gap - 1) * math.Log(2)
+	if float64(tmix) > upper+1 {
+		t.Fatalf("τ(1/4)=%d exceeds spectral upper bound %v", tmix, upper)
+	}
+	if float64(tmix) < lower-1 {
+		t.Fatalf("τ(1/4)=%d below spectral lower bound %v", tmix, lower)
+	}
+}
+
+func TestSpectralGapOrdering(t *testing.T) {
+	// More colors ⇒ faster chain ⇒ larger gap.
+	g := graph.Cycle(4)
+	mu3, _ := Enumerate(4, 3, mrf.Coloring(g, 3).Weight, 1<<20)
+	P3, _ := GlauberMatrix(mrf.Coloring(g, 3), 1<<20)
+	mu4, _ := Enumerate(4, 4, mrf.Coloring(g, 4).Weight, 1<<20)
+	P4, _ := GlauberMatrix(mrf.Coloring(g, 4), 1<<20)
+	g3 := SpectralGap(P3, mu3.P, 600)
+	g4 := SpectralGap(P4, mu4.P, 600)
+	if g4 <= g3 {
+		t.Fatalf("gap should grow with q: %v (q=3) vs %v (q=4)", g3, g4)
+	}
+}
+
+func TestLubyGlauberGapBeatsGlauber(t *testing.T) {
+	// Parallel updates make strictly faster progress per step: the
+	// LubyGlauber sweep gap exceeds the single-site Glauber gap (Θ(n/Δ)
+	// speedup, Theorem 3.2).
+	m := mrf.Coloring(graph.Cycle(4), 4)
+	mu, _ := Enumerate(4, 4, m.Weight, 1<<20)
+	Pg, _ := GlauberMatrix(m, 1<<20)
+	Pl, _ := LubyGlauberMatrix(m, 1<<20)
+	gg := SpectralGap(Pg, mu.P, 600)
+	gl := SpectralGap(Pl, mu.P, 600)
+	if gl <= gg {
+		t.Fatalf("LubyGlauber gap %v should exceed Glauber gap %v", gl, gg)
+	}
+}

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"locsample/internal/chains"
+	"locsample/internal/csp"
+	"locsample/internal/dist"
+	"locsample/internal/exact"
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+)
+
+// CSPCheck is one row of E10.
+type CSPCheck struct {
+	Graph       string
+	States      int
+	LGDetBal    float64 // hypergraph LubyGlauber detailed-balance residual
+	LMDetBal    float64 // CSP LocalMetropolis detailed-balance residual
+	LGLongRunTV float64 // empirical long-run TV to exact uniform
+	LMLongRunTV float64
+}
+
+// CSPDominatingSetChecks verifies both hypergraph chains on uniform
+// dominating sets, exactly (transition matrices) and empirically (long
+// runs).
+func CSPDominatingSetChecks(quick bool) ([]CSPCheck, error) {
+	cases := []struct {
+		Name string
+		G    *graph.Graph
+	}{
+		{"path P4", graph.Path(4)},
+		{"cycle C5", graph.Cycle(5)},
+	}
+	samples := 40000
+	if quick {
+		samples = 15000
+	}
+	var out []CSPCheck
+	for _, tc := range cases {
+		c := csp.DominatingSet(tc.G)
+		mu, err := exact.Enumerate(c.N, c.Q, c.Weight, 1<<20)
+		if err != nil {
+			return nil, err
+		}
+		plg, err := exact.CSPLubyGlauberMatrix(c, 1<<20)
+		if err != nil {
+			return nil, err
+		}
+		plm, err := exact.CSPLocalMetropolisMatrix(c, 1<<20)
+		if err != nil {
+			return nil, err
+		}
+		check := CSPCheck{
+			Graph:    tc.Name,
+			States:   len(mu.P),
+			LGDetBal: plg.DetailedBalanceErr(mu.P),
+			LMDetBal: plm.DetailedBalanceErr(mu.P),
+		}
+		// Long-run empirical distributions.
+		init := make([]int, c.N)
+		for i := range init {
+			init[i] = 1
+		}
+		for _, alg := range []string{"lg", "lm"} {
+			s := csp.NewSampler(c, init, 99)
+			counts := make([]float64, len(mu.P))
+			step := s.LubyGlauberStep
+			if alg == "lm" {
+				step = s.LocalMetropolisStep
+			}
+			for k := 0; k < 500; k++ {
+				step()
+			}
+			for i := 0; i < samples; i++ {
+				for k := 0; k < 4; k++ {
+					step()
+				}
+				counts[exact.Index(c.Q, s.X)]++
+			}
+			for i := range counts {
+				counts[i] /= float64(samples)
+			}
+			tv := exact.TV(counts, mu.P)
+			if alg == "lg" {
+				check.LGLongRunTV = tv
+			} else {
+				check.LMLongRunTV = tv
+			}
+		}
+		out = append(out, check)
+	}
+	return out, nil
+}
+
+// RunE10 prints the weighted-CSP verification table.
+func RunE10(w io.Writer, quick bool) error {
+	header(w, "E10", "Hypergraph chains on weighted local CSPs: uniform dominating sets")
+	checks, err := CSPDominatingSetChecks(quick)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  graph      states  LubyGlauber:detBal  LocalMetropolis:detBal  longRunTV(LG)  longRunTV(LM)")
+	for _, c := range checks {
+		fmt.Fprintf(w, "  %-10s %-7d %-19.1e %-23.1e %-14.4f %.4f\n",
+			c.Graph, c.States, c.LGDetBal, c.LMDetBal, c.LGLongRunTV, c.LMLongRunTV)
+	}
+	fmt.Fprintln(w, "  paper (§3, §4 remarks): LubyGlauber extends via strongly independent sets of")
+	fmt.Fprintln(w, "  the constraint hypergraph; LocalMetropolis via the 2^k−1-mixing filter. Both")
+	fmt.Fprintln(w, "  are exactly reversible w.r.t. the CSP Gibbs distribution.")
+	return nil
+}
+
+// InfluenceRow is one row of E11.
+type InfluenceRow struct {
+	Model       string
+	ExactAlpha  float64
+	Bound       float64 // coloring formula max d/(q−d), or NaN
+	OffNeighbor float64 // must be 0 for MRFs
+}
+
+// InfluenceChecks computes exact influence matrices for a model suite.
+func InfluenceChecks() ([]InfluenceRow, error) {
+	type tc struct {
+		name  string
+		m     *mrf.MRF
+		bound float64
+	}
+	g := graph.Cycle(4)
+	p := graph.Path(4)
+	cases := []tc{
+		{"coloring C4 q=3", mrf.Coloring(g, 3), 2.0 / (3 - 2)},
+		{"coloring C4 q=5", mrf.Coloring(g, 5), 2.0 / (5 - 2)},
+		{"coloring C4 q=8", mrf.Coloring(g, 8), 2.0 / (8 - 2)},
+		{"coloring P4 q=4", mrf.Coloring(p, 4), 2.0 / (4 - 2)},
+		{"hardcore C4 λ=0.5", mrf.Hardcore(g, 0.5), -1},
+		{"ising P4 β=1.5", mrf.Ising(p, 1.5, 1), -1},
+	}
+	var out []InfluenceRow
+	for _, c := range cases {
+		rho, err := exact.InfluenceMatrix(c.m, 1<<20)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, InfluenceRow{
+			Model:       c.name,
+			ExactAlpha:  exact.TotalInfluence(rho),
+			Bound:       c.bound,
+			OffNeighbor: exact.MaxOffNeighborInfluence(c.m, rho),
+		})
+	}
+	return out, nil
+}
+
+// RunE11 prints the influence table.
+func RunE11(w io.Writer, quick bool) error {
+	header(w, "E11", "Dobrushin influence matrices: exact α vs the §3.2 coloring bound")
+	rows, err := InfluenceChecks()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  model               exact α   coloring bound d/(q−d)   off-neighbor ρ")
+	for _, r := range rows {
+		bound := "—"
+		if r.Bound >= 0 {
+			bound = fmt.Sprintf("%.4f", r.Bound)
+		}
+		fmt.Fprintf(w, "  %-19s %-9.4f %-24s %.1e\n", r.Model, r.ExactAlpha, bound, r.OffNeighbor)
+	}
+	fmt.Fprintln(w, "  paper: α < 1 (Dobrushin) drives Theorem 3.2; the coloring formula upper-bounds")
+	fmt.Fprintln(w, "  the exact influence; ρ_{i,j} = 0 for non-adjacent i,j (conditional independence).")
+	return nil
+}
+
+// MessageRow is one row of E12.
+type MessageRow struct {
+	N              int
+	LubyMaxBytes   int
+	LMMaxBytes     int
+	LubyTotalBytes int64
+	LMTotalBytes   int64
+}
+
+// MessageSizes measures protocol message sizes across network sizes.
+func MessageSizes(ns []int, rounds int, seed uint64) ([]MessageRow, error) {
+	var out []MessageRow
+	for _, n := range ns {
+		g := graph.Cycle(n)
+		m := mrf.Coloring(g, 5)
+		init, err := chains.GreedyFeasible(m)
+		if err != nil {
+			return nil, err
+		}
+		_, st1, err := dist.RunLubyGlauber(m, init, seed, rounds)
+		if err != nil {
+			return nil, err
+		}
+		_, st2, err := dist.RunLocalMetropolis(m, init, seed, rounds)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MessageRow{
+			N:              n,
+			LubyMaxBytes:   st1.MaxMessageBytes,
+			LMMaxBytes:     st2.MaxMessageBytes,
+			LubyTotalBytes: st1.Bytes,
+			LMTotalBytes:   st2.Bytes,
+		})
+	}
+	return out, nil
+}
+
+// RunE12 prints the message-size table.
+func RunE12(w io.Writer, quick bool) error {
+	header(w, "E12", "Neither algorithm abuses the LOCAL model: O(log n)-bit messages")
+	ns := []int{64, 256, 1024, 4096}
+	if quick {
+		ns = []int{64, 256, 1024}
+	}
+	rows, err := MessageSizes(ns, 10, 7007)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  n        LubyGlauber max msg  LocalMetropolis max msg  (bytes; 10 rounds)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-8d %-20d %-23d\n", r.N, r.LubyMaxBytes, r.LMMaxBytes)
+	}
+	fmt.Fprintln(w, "  paper: messages are O(log n) bits for q = poly(n). Here: 10 bytes (64-bit")
+	fmt.Fprintln(w, "  Luby ID + 16-bit spin) resp. 4 bytes (two 16-bit spins), constant in n.")
+	return nil
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"locsample/internal/exact"
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+)
+
+// TVCurve is the exact distance-to-stationarity trajectory of one chain:
+// d_TV(X^(t), µ) for t = 0..len(TV)-1, started from the worst initial
+// point-mass state among the feasible configurations.
+type TVCurve struct {
+	Chain string
+	TV    []float64
+}
+
+// ExactTVCurves computes d_TV(X^(t), µ) curves for all five chains on a
+// small model, using exact transition matrices. Sequential chains are
+// measured per sweep (n single-site steps) so all curves share the
+// "one parallel round of work" time axis.
+func ExactTVCurves(m *mrf.MRF, tmax int) ([]TVCurve, error) {
+	mu, err := exact.Enumerate(m.G.N(), m.Q, m.Weight, 1<<20)
+	if err != nil {
+		return nil, err
+	}
+	glauber, err := exact.GlauberMatrix(m, 1<<20)
+	if err != nil {
+		return nil, err
+	}
+	// One sweep = n single-site steps.
+	sweep := glauber
+	for i := 1; i < m.G.N(); i++ {
+		sweep = exact.Compose(sweep, glauber)
+	}
+	luby, err := exact.LubyGlauberMatrix(m, 1<<20)
+	if err != nil {
+		return nil, err
+	}
+	lm, err := exact.LocalMetropolisMatrix(m, false, 1<<20)
+	if err != nil {
+		return nil, err
+	}
+	scan, err := exact.SystematicScanMatrix(m, 1<<20)
+	if err != nil {
+		return nil, err
+	}
+	chrom, err := exact.ChromaticSweepMatrix(m, 1<<20)
+	if err != nil {
+		return nil, err
+	}
+	// Worst feasible start: maximize d_TV(X^(1), µ) over feasible states.
+	worstStart := func(P *exact.Matrix) int {
+		best, bestTV := 0, -1.0
+		for s := range mu.P {
+			if mu.P[s] == 0 {
+				continue
+			}
+			tv := exact.TV(P.Row(s), mu.P)
+			if tv > bestTV {
+				best, bestTV = s, tv
+			}
+		}
+		return best
+	}
+	curves := []struct {
+		name string
+		P    *exact.Matrix
+	}{
+		{"Glauber(sweep)", sweep},
+		{"LubyGlauber", luby},
+		{"LocalMetropolis", lm},
+		{"SystematicScan(sweep)", scan},
+		{"Chromatic(sweep)", chrom},
+	}
+	var out []TVCurve
+	for _, c := range curves {
+		start := worstStart(c.P)
+		tv := make([]float64, tmax+1)
+		for t := 0; t <= tmax; t++ {
+			tv[t] = exact.TV(c.P.DistributionAfter(start, t), mu.P)
+		}
+		out = append(out, TVCurve{Chain: c.name, TV: tv})
+	}
+	return out, nil
+}
+
+// RunE13 prints the exact convergence curves — the "figure" form of
+// Theorems 3.2 and 4.2 at verifiable scale.
+func RunE13(w io.Writer, quick bool) error {
+	header(w, "E13", "Exact d_TV(X_t, µ) decay curves for all five chains")
+	m := mrf.Coloring(graph.Cycle(4), 4)
+	tmax := 40
+	if quick {
+		tmax = 25
+	}
+	curves, err := ExactTVCurves(m, tmax)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "coloring of C4 with q=4, worst feasible start, one parallel round per column:")
+	fmt.Fprintf(w, "  %-22s", "t =")
+	for _, t := range []int{0, 1, 2, 4, 8, 16, tmax} {
+		fmt.Fprintf(w, " %-8d", t)
+	}
+	fmt.Fprintln(w)
+	for _, c := range curves {
+		fmt.Fprintf(w, "  %-22s", c.Chain)
+		for _, t := range []int{0, 1, 2, 4, 8, 16, tmax} {
+			fmt.Fprintf(w, " %-8.5f", c.TV[t])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "  all five curves decay geometrically to 0 (stationarity is µ in every case).")
+	fmt.Fprintln(w, "  Caveats for reading the time axis: a sequential \"sweep\" is n single-site")
+	fmt.Fprintln(w, "  steps and is NOT one LOCAL round — it is shown for equal-work comparison;")
+	fmt.Fprintln(w, "  and q = 2Δ here is below LocalMetropolis's 2+√2 threshold, so its curve is")
+	fmt.Fprintln(w, "  honest but slow — its regime (Theorem 1.2) is large Δ with q ≥ 3.42Δ, where")
+	fmt.Fprintln(w, "  every sweep-based chain pays Θ(Δ) more rounds (see E2's head-to-head).")
+	return nil
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"locsample/internal/chains"
+	"locsample/internal/coupling"
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+	"locsample/internal/rng"
+	"locsample/internal/stats"
+)
+
+// MixingPoint is one measurement of the coalescence-based mixing proxy.
+type MixingPoint struct {
+	N, Delta, Q int
+	Rounds      float64 // median coalescence rounds
+}
+
+// MixingVsN measures coalescence rounds of a chain on cycles of growing
+// size with q colors per vertex degree ratio fixed.
+func MixingVsN(alg chains.Algorithm, ns []int, q int, trials int, seed uint64) ([]MixingPoint, error) {
+	var out []MixingPoint
+	for _, n := range ns {
+		g := graph.Cycle(n)
+		m := mrf.Coloring(g, q)
+		med, _ := coupling.MixingEstimate(m, alg, trials, 200000, seed+uint64(n))
+		if med < 0 {
+			return nil, fmt.Errorf("experiments: no coalescence at n=%d", n)
+		}
+		out = append(out, MixingPoint{N: n, Delta: 2, Q: q, Rounds: float64(med)})
+	}
+	return out, nil
+}
+
+// MixingVsDelta measures coalescence rounds on random regular graphs of
+// fixed size and growing degree, with q = ceil(ratio·Δ) colors.
+func MixingVsDelta(alg chains.Algorithm, n int, deltas []int, ratio float64, trials int, seed uint64) ([]MixingPoint, error) {
+	var out []MixingPoint
+	for _, d := range deltas {
+		g, err := graph.RandomRegular(n, d, rng.New(seed+uint64(d)))
+		if err != nil {
+			return nil, err
+		}
+		q := int(ratio*float64(d)) + 1
+		m := mrf.Coloring(g, q)
+		med, _ := coupling.MixingEstimate(m, alg, trials, 500000, seed+uint64(d)*31)
+		if med < 0 {
+			return nil, fmt.Errorf("experiments: no coalescence at Δ=%d", d)
+		}
+		out = append(out, MixingPoint{N: n, Delta: d, Q: q, Rounds: float64(med)})
+	}
+	return out, nil
+}
+
+// RunE1 prints the LubyGlauber scaling tables: rounds vs n (log fit) and
+// rounds vs Δ (linear fit). Paper claim: τ(ε) = O(Δ/(1−α)·log(n/ε)).
+func RunE1(w io.Writer, quick bool) error {
+	header(w, "E1", "LubyGlauber mixing: rounds vs n and vs Δ (q = 2.5Δ)")
+	ns := []int{32, 64, 128, 256, 512}
+	deltas := []int{3, 5, 7, 9, 12}
+	trials := 9
+	if quick {
+		ns = []int{32, 64, 128}
+		deltas = []int{3, 5, 7}
+		trials = 5
+	}
+	ptsN, err := MixingVsN(chains.LubyGlauber, ns, 5, trials, 1001)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "cycles, q=5 (q=2.5Δ):")
+	fmt.Fprintln(w, "  n      rounds(median)")
+	var xs, ys []float64
+	for _, p := range ptsN {
+		fmt.Fprintf(w, "  %-6d %.0f\n", p.N, p.Rounds)
+		xs = append(xs, float64(p.N))
+		ys = append(ys, p.Rounds)
+	}
+	if _, b, err := stats.LogXFit(xs, ys); err == nil {
+		fmt.Fprintf(w, "  log-fit: rounds ≈ a + %.1f·ln n   (paper: Θ(Δ log n))\n", b)
+	}
+
+	n := 48
+	if !quick {
+		n = 96
+	}
+	ptsD, err := MixingVsDelta(chains.LubyGlauber, n, deltas, 2.5, trials, 2002)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "random %d-vertex regular graphs, q = ⌈2.5Δ⌉:\n", n)
+	fmt.Fprintln(w, "  Δ      q    rounds(median)")
+	xs, ys = nil, nil
+	for _, p := range ptsD {
+		fmt.Fprintf(w, "  %-6d %-4d %.0f\n", p.Delta, p.Q, p.Rounds)
+		xs = append(xs, float64(p.Delta))
+		ys = append(ys, p.Rounds)
+	}
+	if _, b, err := stats.LinFit(xs, ys); err == nil {
+		fmt.Fprintf(w, "  linear fit: rounds ≈ a + %.1f·Δ   (paper: linear in Δ)\n", b)
+	}
+	return nil
+}
+
+// RunE2 prints the LocalMetropolis scaling tables plus the head-to-head
+// with LubyGlauber. Paper claim: τ(ε) = O(log(n/ε)) independent of Δ.
+func RunE2(w io.Writer, quick bool) error {
+	header(w, "E2", "LocalMetropolis mixing: rounds vs n and vs Δ (q = 3.6Δ)")
+	ns := []int{32, 64, 128, 256, 512}
+	deltas := []int{3, 5, 7, 9, 12}
+	trials := 9
+	if quick {
+		ns = []int{32, 64, 128}
+		deltas = []int{3, 5, 7}
+		trials = 5
+	}
+	ptsN, err := MixingVsN(chains.LocalMetropolis, ns, 8, trials, 3003)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "cycles, q=8 (q=4Δ):")
+	fmt.Fprintln(w, "  n      rounds(median)")
+	var xs, ys []float64
+	for _, p := range ptsN {
+		fmt.Fprintf(w, "  %-6d %.0f\n", p.N, p.Rounds)
+		xs = append(xs, float64(p.N))
+		ys = append(ys, p.Rounds)
+	}
+	if _, b, err := stats.LogXFit(xs, ys); err == nil {
+		fmt.Fprintf(w, "  log-fit: rounds ≈ a + %.1f·ln n   (paper: Θ(log n))\n", b)
+	}
+
+	n := 48
+	if !quick {
+		n = 96
+	}
+	ptsD, err := MixingVsDelta(chains.LocalMetropolis, n, deltas, 3.6, trials, 4004)
+	if err != nil {
+		return err
+	}
+	lubyD, err := MixingVsDelta(chains.LubyGlauber, n, deltas, 3.6, trials, 4004)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "random %d-vertex regular graphs, q = ⌈3.6Δ⌉ (head-to-head):\n", n)
+	fmt.Fprintln(w, "  Δ      q    LocalMetropolis  LubyGlauber")
+	var xsD, ysD []float64
+	for i, p := range ptsD {
+		fmt.Fprintf(w, "  %-6d %-4d %-16.0f %.0f\n", p.Delta, p.Q, p.Rounds, lubyD[i].Rounds)
+		xsD = append(xsD, float64(p.Delta))
+		ysD = append(ysD, p.Rounds)
+	}
+	if _, b, err := stats.LinFit(xsD, ysD); err == nil {
+		fmt.Fprintf(w, "  LocalMetropolis slope vs Δ: %.2f   (paper: ≈ 0, Δ-free)\n", b)
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"locsample/internal/exact"
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+)
+
+// ExactCheck is the result of exact transition-matrix verification for one
+// model/chain pair.
+type ExactCheck struct {
+	Model         string
+	States        int
+	RowErr        float64 // max |row sum − 1|
+	DetailedBal   float64 // max detailed-balance residual
+	StationaryErr float64 // ‖µP − µ‖₁
+	MixingT25     int     // exact τ(0.25)
+	MixingT01     int     // exact τ(0.01)
+}
+
+func e3Models() []struct {
+	Name string
+	M    *mrf.MRF
+} {
+	return []struct {
+		Name string
+		M    *mrf.MRF
+	}{
+		{"coloring C4 q=3", mrf.Coloring(graph.Cycle(4), 3)},
+		{"coloring P4 q=3", mrf.Coloring(graph.Path(4), 3)},
+		{"hardcore star5 λ=1.5", mrf.Hardcore(graph.Star(5), 1.5)},
+		{"hardcore C4 λ=2", mrf.Hardcore(graph.Cycle(4), 2)},
+		{"ising P4 β=1.8 h=0.7", mrf.Ising(graph.Path(4), 1.8, 0.7)},
+		{"potts C4 q=3 β=0.6", mrf.Potts(graph.Cycle(4), 3, 0.6)},
+	}
+}
+
+// ExactLubyGlauberChecks verifies Proposition 3.1 exactly on a fixed model
+// suite.
+func ExactLubyGlauberChecks() ([]ExactCheck, error) {
+	var out []ExactCheck
+	for _, tc := range e3Models() {
+		mu, err := exact.Enumerate(tc.M.G.N(), tc.M.Q, tc.M.Weight, 1<<20)
+		if err != nil {
+			return nil, err
+		}
+		P, err := exact.LubyGlauberMatrix(tc.M, 1<<20)
+		if err != nil {
+			return nil, err
+		}
+		t25, _ := P.MixingTime(mu.P, 0.25, 5000)
+		t01, _ := P.MixingTime(mu.P, 0.01, 5000)
+		out = append(out, ExactCheck{
+			Model:         tc.Name,
+			States:        len(mu.P),
+			RowErr:        P.RowStochasticErr(),
+			DetailedBal:   P.DetailedBalanceErr(mu.P),
+			StationaryErr: P.StationaryErr(mu.P),
+			MixingT25:     t25,
+			MixingT01:     t01,
+		})
+	}
+	return out, nil
+}
+
+// RunE3 prints the exact LubyGlauber verification table.
+func RunE3(w io.Writer, quick bool) error {
+	header(w, "E3", "Exact verification of Prop 3.1: LubyGlauber reversible w.r.t. µ")
+	checks, err := ExactLubyGlauberChecks()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  model                    states  rowErr    detBalErr  statErr    τ(.25) τ(.01)")
+	for _, c := range checks {
+		fmt.Fprintf(w, "  %-24s %-7d %-9.1e %-10.1e %-10.1e %-6d %d\n",
+			c.Model, c.States, c.RowErr, c.DetailedBal, c.StationaryErr, c.MixingT25, c.MixingT01)
+	}
+	fmt.Fprintln(w, "  paper: detailed balance holds exactly; d_TV(µ_LG, µ) → 0 as T → ∞")
+	return nil
+}
+
+// E4Result reports the rule-3 ablation numbers for one model.
+type E4Result struct {
+	Model string
+	// Full chain (Algorithm 2 as published).
+	FullDetBal, FullStatErr float64
+	// Ablated chain (third factor dropped).
+	AblatedDetBal float64
+	// TV between the ablated chain's stationary distribution and µ.
+	AblatedBiasTV float64
+}
+
+// ExactLocalMetropolisChecks verifies Theorem 4.1 exactly and quantifies
+// the rule-3 ablation bias.
+func ExactLocalMetropolisChecks() ([]E4Result, error) {
+	models := []struct {
+		Name string
+		M    *mrf.MRF
+	}{
+		{"coloring P3 q=4", mrf.Coloring(graph.Path(3), 4)},
+		{"coloring C4 q=4", mrf.Coloring(graph.Cycle(4), 4)},
+		{"hardcore P4 λ=2", mrf.Hardcore(graph.Path(4), 2)},
+		{"ising C4 β=1.6", mrf.Ising(graph.Cycle(4), 1.6, 1)},
+	}
+	var out []E4Result
+	for _, tc := range models {
+		mu, err := exact.Enumerate(tc.M.G.N(), tc.M.Q, tc.M.Weight, 1<<20)
+		if err != nil {
+			return nil, err
+		}
+		full, err := exact.LocalMetropolisMatrix(tc.M, false, 1<<20)
+		if err != nil {
+			return nil, err
+		}
+		ablated, err := exact.LocalMetropolisMatrix(tc.M, true, 1<<20)
+		if err != nil {
+			return nil, err
+		}
+		biased := ablated.Stationary(200000, 1e-14)
+		out = append(out, E4Result{
+			Model:         tc.Name,
+			FullDetBal:    full.DetailedBalanceErr(mu.P),
+			FullStatErr:   full.StationaryErr(mu.P),
+			AblatedDetBal: ablated.DetailedBalanceErr(mu.P),
+			AblatedBiasTV: exact.TV(biased, mu.P),
+		})
+	}
+	return out, nil
+}
+
+// RunE4 prints the exact LocalMetropolis verification and ablation table.
+func RunE4(w io.Writer, quick bool) error {
+	header(w, "E4", "Exact verification of Thm 4.1 + filter rule-3 ablation")
+	res, err := ExactLocalMetropolisChecks()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  model              full:detBal  full:statErr  ablated:detBal  ablated:biasTV")
+	for _, r := range res {
+		fmt.Fprintf(w, "  %-18s %-12.1e %-13.1e %-15.2e %.4f\n",
+			r.Model, r.FullDetBal, r.FullStatErr, r.AblatedDetBal, r.AblatedBiasTV)
+	}
+	fmt.Fprintln(w, "  paper: rule 3 \"looks redundant\" but is necessary for reversibility (§4.2);")
+	fmt.Fprintln(w, "  the ablated chain is measurably biased (biasTV ≫ 0).")
+	return nil
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"locsample/internal/coupling"
+	"locsample/internal/graph"
+	"locsample/internal/rng"
+)
+
+// ContractionPoint is one row of the E5 sweep.
+type ContractionPoint struct {
+	Alpha     float64 // q/Δ
+	Q         int
+	Identical float64 // measured one-step ratio under the §4.2.2 coupling
+	Permuted  float64 // measured one-step ratio under the §4.2.3 coupling
+	Margin13  float64 // analytic LHS of (13)
+	Margin26  float64 // analytic LHS of (26)
+}
+
+// ContractionSweep measures both couplings across a range of α = q/Δ on a
+// random Δ-regular graph.
+func ContractionSweep(n, delta int, alphas []float64, trials int, seed uint64) ([]ContractionPoint, error) {
+	g, err := graph.RandomRegular(n, delta, rng.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	var out []ContractionPoint
+	for _, a := range alphas {
+		q := int(a*float64(delta) + 0.5)
+		p := ContractionPoint{
+			Alpha:    a,
+			Q:        q,
+			Margin13: coupling.Analytic13(q, delta),
+			Margin26: coupling.Analytic26(q, delta),
+		}
+		p.Identical = coupling.ContractionEstimate(g, q, coupling.Identical, trials, 40, seed+uint64(q))
+		p.Permuted = coupling.ContractionEstimate(g, q, coupling.Permuted, trials, 40, seed+uint64(q)*3)
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// RunE5 prints the contraction sweep table.
+func RunE5(w io.Writer, quick bool) error {
+	header(w, "E5", "One-step path-coupling contraction for coloring LocalMetropolis")
+	n, delta, trials := 64, 6, 4000
+	if quick {
+		n, trials = 32, 1000
+	}
+	alphas := []float64{3.0, 3.2, 3.414, 3.634, 3.8, 4.0, 4.5}
+	pts, err := ContractionSweep(n, delta, alphas, trials, 5005)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "random %d-vertex %d-regular graph; ratio = E[Φ']/Φ (< 1 ⇒ contraction)\n", n, delta)
+	fmt.Fprintln(w, "  α=q/Δ  q    identical  permuted   margin(13)  margin(26)")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %-6.3f %-4d %-10.4f %-10.4f %-11.4f %-11.4f\n",
+			p.Alpha, p.Q, p.Identical, p.Permuted, p.Margin13, p.Margin26)
+	}
+	fmt.Fprintf(w, "  asymptotic thresholds: identical α* = %.4f (root of α=2e^{1/α}+1),\n", coupling.AlphaStar())
+	fmt.Fprintf(w, "  permuted/ideal 2+√2 = %.4f (Theorem 4.2); measured ratios cross 1 accordingly.\n", coupling.AlphaIdeal())
+	fmt.Fprintln(w, "  (At finite Δ the analytic margins are conservative: they can be negative")
+	fmt.Fprintln(w, "  while the measured ratio on a random regular graph already contracts.)")
+	return nil
+}

@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"locsample/internal/chains"
+	"locsample/internal/dist"
+	"locsample/internal/exact"
+	"locsample/internal/graph"
+	"locsample/internal/lowerbound"
+	"locsample/internal/mrf"
+	"locsample/internal/stats"
+)
+
+// RunE6 prints the path-coloring correlation tables behind Theorem 5.1.
+func RunE6(w io.Writer, quick bool) error {
+	header(w, "E6", "Ω(log n) on paths: exponential correlation vs protocol locality")
+	fmt.Fprintln(w, "exact correlation decay d_TV(µ_v(·|σ_u), µ_v(·|σ'_u)) on a path:")
+	fmt.Fprintln(w, "  q    d=1      d=2      d=4      d=8      measured η   analytic 1/(q−1)")
+	for _, q := range []int{3, 4, 5} {
+		var xs, ys []float64
+		row := fmt.Sprintf("  %-4d", q)
+		for _, d := range []int{1, 2, 4, 8} {
+			tv := lowerbound.PathCorrelationTV(q, d)
+			row += fmt.Sprintf(" %-8.5f", tv)
+		}
+		for d := 1; d <= 8; d++ {
+			xs = append(xs, float64(d))
+			ys = append(ys, lowerbound.PathCorrelationTV(q, d))
+		}
+		eta, err := stats.GeometricDecayRate(xs, ys)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s %-12.5f %.5f\n", row, eta, lowerbound.PathEta(q))
+	}
+	fmt.Fprintln(w, "\nimplied round lower bounds (distance with η^d ≥ n^{-1/2}, rounds ≥ ⌊(d−1)/2⌋):")
+	fmt.Fprintln(w, "  n        q=3: dist rounds    q=4: dist rounds")
+	for _, n := range []int{64, 1024, 1 << 14, 1 << 20} {
+		d3, r3, err := lowerbound.LogLowerBound(3, n)
+		if err != nil {
+			return err
+		}
+		d4, r4, err := lowerbound.LogLowerBound(4, n)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-8d %6d %6d       %6d %6d\n", n, d3, r3, d4, r4)
+	}
+	fmt.Fprintln(w, "\nGibbs joint-vs-product TV at distance d (q=3) — what a sampler must achieve,")
+	fmt.Fprintln(w, "while any t-round protocol is exactly independent beyond d = 2t (Eq. 27):")
+	for _, d := range []int{2, 4, 6, 8} {
+		fmt.Fprintf(w, "  d=%-3d TV=%.6f  (needs t ≥ %d)\n",
+			d, lowerbound.PathJointProductTV(3, d), lowerbound.MinRoundsForCorrelation(d))
+	}
+
+	// Protocol side: the measured joint-vs-product TV of actual
+	// LocalMetropolis outputs, against the independence horizon.
+	runs := 20000
+	if quick {
+		runs = 6000
+	}
+	fmt.Fprintf(w, "\nmeasured LocalMetropolis outputs on a 17-vertex path (q=3, %d runs):\n", runs)
+	fmt.Fprintln(w, "  t    dist   joint-vs-product TV   (2t vs dist)")
+	for _, tc := range []struct{ t, d int }{{2, 12}, {3, 12}, {3, 4}, {6, 4}} {
+		tv, err := PathProtocolDependence(17, 3, tc.t, tc.d, runs, 909)
+		if err != nil {
+			return err
+		}
+		marker := "independent by Eq. 27"
+		if 2*tc.t >= tc.d {
+			marker = "dependence allowed"
+		}
+		fmt.Fprintf(w, "  %-4d %-6d %-21.4f %s\n", tc.t, tc.d, tv, marker)
+	}
+	return nil
+}
+
+// PathProtocolDependence measures the joint-vs-product TV of a t-round
+// LocalMetropolis protocol's outputs at two path vertices at the given
+// distance (centered in an n-vertex path).
+func PathProtocolDependence(n, q, t, d, runs int, seed uint64) (float64, error) {
+	if d >= n-2 {
+		return 0, fmt.Errorf("experiments: distance %d too large for n=%d", d, n)
+	}
+	g := graph.Path(n)
+	m := mrf.Coloring(g, q)
+	init, err := chains.GreedyFeasible(m)
+	if err != nil {
+		return 0, err
+	}
+	u := (n - d) / 2
+	v := u + d
+	joint := make([]float64, q*q)
+	margU := make([]float64, q)
+	margV := make([]float64, q)
+	conf := make([]int, n)
+	sc := chains.NewScratch(m)
+	for run := 0; run < runs; run++ {
+		copy(conf, init)
+		s := seed + uint64(run)*2654435761
+		for k := 0; k < t; k++ {
+			chains.ColoringLocalMetropolisRound(m, conf, s, k, false, sc)
+		}
+		joint[conf[v]*q+conf[u]] += 1.0 / float64(runs)
+		margU[conf[u]] += 1.0 / float64(runs)
+		margV[conf[v]] += 1.0 / float64(runs)
+	}
+	return exact.TV(joint, exact.Product(margU, margV)), nil
+}
+
+// GadgetReport is the E7 data.
+type GadgetReport struct {
+	N, K, Delta int
+	Lambda      float64
+	Tries       int
+	Stats       *lowerbound.GadgetStats
+	Diam        int
+	ThetaGamma  float64
+}
+
+// GoodGadgetReport finds a Proposition 5.3 gadget and reports its exact
+// statistics.
+func GoodGadgetReport(n, k, delta int, lambda float64, seed uint64) (*GadgetReport, error) {
+	gd, st, tries, err := lowerbound.FindGoodGadget(n, k, delta, lambda, 0.12, 0.5, 500, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &GadgetReport{
+		N: n, K: k, Delta: delta, Lambda: lambda,
+		Tries: tries, Stats: st, Diam: gd.G.Diameter(),
+		ThetaGamma: lowerbound.ThetaGammaRatio(st.QPlus, st.QMinus),
+	}, nil
+}
+
+// RunE7 prints the gadget verification table.
+func RunE7(w io.Writer, quick bool) error {
+	header(w, "E7", "Random bipartite gadget G_n^k at λ > λ_c(Δ) (Prop 5.3)")
+	fmt.Fprintf(w, "  λ_c(3) = %.3f, λ_c(4) = %.3f, λ_c(6) = %.3f; uniform IS (λ=1) is non-unique iff Δ ≥ 6\n",
+		mrf.LambdaC(3), mrf.LambdaC(4), mrf.LambdaC(6))
+	cases := []struct {
+		n, k, delta int
+		lambda      float64
+	}{
+		{8, 1, 3, 6}, {10, 1, 3, 6},
+	}
+	if !quick {
+		cases = append(cases, struct {
+			n, k, delta int
+			lambda      float64
+		}{10, 1, 4, 3})
+	}
+	fmt.Fprintln(w, "  n   k  Δ  λ    tries  Pr[+]   Pr[−]   Pr[tie]  q⁺      q⁻      ratio∈        Θ/Γ    diam")
+	for _, tc := range cases {
+		rep, err := GoodGadgetReport(tc.n, tc.k, tc.delta, tc.lambda, 7)
+		if err != nil {
+			return err
+		}
+		st := rep.Stats
+		fmt.Fprintf(w, "  %-3d %-2d %-2d %-4.0f %-6d %-7.3f %-7.3f %-8.3f %-7.3f %-7.3f [%.2f, %.2f]  %-6.2f %d\n",
+			rep.N, rep.K, rep.Delta, rep.Lambda, rep.Tries,
+			st.PhaseProb[lowerbound.PhasePlus], st.PhaseProb[lowerbound.PhaseMinus],
+			st.PhaseProb[lowerbound.PhaseTie], st.QPlus, st.QMinus,
+			st.RatioLo, st.RatioHi, rep.ThetaGamma, rep.Diam)
+	}
+	fmt.Fprintln(w, "  paper: balanced phases, terminal spins ≈ product measure given the phase,")
+	fmt.Fprintln(w, "  Θ/Γ > 1 in non-uniqueness (the Lemma 5.5 engine), diam = O(log n).")
+	return nil
+}
+
+// LiftReport is the E8 data.
+type LiftReport struct {
+	M, Diam          int
+	MaxCut1, MaxCut2 float64
+	MaxCutTotal      float64
+	GibbsCorr        float64
+	ProtocolCorrs    []float64 // indexed by round budgets
+	RoundBudgets     []int
+}
+
+// LiftedCycleReport builds a lifted cycle from a small gadget and computes
+// the exact phase-vector facts plus the protocol correlations at several
+// round budgets.
+func LiftedCycleReport(m int, runs int, seed uint64) (*LiftReport, error) {
+	gd, _, _, err := lowerbound.FindGoodGadget(5, 2, 3, 6.0, 1.0, 100.0, 500, seed)
+	if err != nil {
+		return nil, err
+	}
+	lc, err := lowerbound.BuildLiftedCycle(gd, m)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := lowerbound.ComputeTransfer(gd, 6.0)
+	if err != nil {
+		return nil, err
+	}
+	p1, p2, total := tr.MaxCutMass(m)
+	joint, err := tr.PairPhaseProb(m, 0, m/2)
+	if err != nil {
+		return nil, err
+	}
+	rep := &LiftReport{
+		M:           m,
+		Diam:        lc.G.Diameter(),
+		MaxCut1:     p1,
+		MaxCut2:     p2,
+		MaxCutTotal: total,
+		GibbsCorr:   lowerbound.PhaseCorrelation(joint),
+	}
+	diam := rep.Diam
+	budgets := []int{1, diam / 4, diam / 2, diam, 2 * diam}
+	for _, T := range budgets {
+		if T < 1 {
+			T = 1
+		}
+		pj := lowerbound.ProtocolPhaseJoint(lc, 6.0, T, runs, seed+uint64(T)*17, 0, m/2)
+		rep.RoundBudgets = append(rep.RoundBudgets, T)
+		rep.ProtocolCorrs = append(rep.ProtocolCorrs, lowerbound.PhaseCorrelation(pj))
+	}
+	return rep, nil
+}
+
+// RunE8 prints the lifted-cycle tables.
+func RunE8(w io.Writer, quick bool) error {
+	header(w, "E8", "Lifted even cycle H^G: max-cut phases and the Ω(diam) gap")
+	ms := []int{6, 10}
+	runs := 3000
+	if quick {
+		ms = []int{6}
+		runs = 1200
+	}
+	for _, m := range ms {
+		rep, err := LiftedCycleReport(m, runs, 11)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "m=%d gadget copies, diam=%d (grows with m):\n", rep.M, rep.Diam)
+		fmt.Fprintf(w, "  exact Pr[max-cut 1] = %.4f, Pr[max-cut 2] = %.4f (equal by symmetry), sum = %.4f\n",
+			rep.MaxCut1, rep.MaxCut2, rep.MaxCutTotal)
+		fmt.Fprintf(w, "  exact antipodal phase correlation under Gibbs: %.4f (m/2 odd ⇒ anti-correlated)\n",
+			rep.GibbsCorr)
+		fmt.Fprintln(w, "  LocalMetropolis protocol phase correlation after T rounds:")
+		for i, T := range rep.RoundBudgets {
+			marker := ""
+			if T < rep.Diam/2 {
+				marker = "   (T < diam/2: locality forces ≈ 0)"
+			}
+			fmt.Fprintf(w, "    T=%-5d corr=%+.4f%s\n", T, rep.ProtocolCorrs[i], marker)
+		}
+	}
+	fmt.Fprintln(w, "  paper: any ε-sampler must reproduce the negative correlation, but a t-round")
+	fmt.Fprintln(w, "  protocol's antipodal outputs are independent for t < 0.49·diam ⇒ Ω(diam) rounds.")
+	fmt.Fprintln(w, "  (The chain's own slow mixing in non-uniqueness keeps even large-T correlations")
+	fmt.Fprintln(w, "  near 0 — consistent with the regime being hard for MCMC too.)")
+	return nil
+}
+
+// SeparationPoint is one row of E9.
+type SeparationPoint struct {
+	N         int
+	MISRounds float64
+	Diam      int
+	SampleLB  int // Ω(diam) scale: 0.49·diam
+}
+
+// SeparationData measures Luby MIS rounds (labeling) against the sampling
+// lower-bound scale on path-of-gadgets style graphs (cycles for simplicity).
+func SeparationData(ns []int, trials int, seed uint64) ([]SeparationPoint, error) {
+	var out []SeparationPoint
+	for _, n := range ns {
+		g := graph.Cycle(n)
+		total := 0.0
+		for tr := 0; tr < trials; tr++ {
+			_, st, err := dist.RunMIS(g, seed+uint64(tr), 10000)
+			if err != nil {
+				return nil, err
+			}
+			total += float64(st.Rounds)
+		}
+		diam := n / 2
+		out = append(out, SeparationPoint{
+			N:         n,
+			MISRounds: total / float64(trials),
+			Diam:      diam,
+			SampleLB:  int(0.49 * float64(diam)),
+		})
+	}
+	return out, nil
+}
+
+// RunE9 prints the labeling-vs-sampling separation table.
+func RunE9(w io.Writer, quick bool) error {
+	header(w, "E9", "Separation: constructing an IS is easy, sampling one is Ω(diam)")
+	ns := []int{64, 256, 1024, 4096}
+	trials := 5
+	if quick {
+		ns = []int{64, 256, 1024}
+		trials = 3
+	}
+	pts, err := SeparationData(ns, trials, 6006)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "cycles C_n (diam = n/2); uniform-IS sampling needs Ω(diam) rounds for Δ ≥ 6")
+	fmt.Fprintln(w, "(Theorem 1.3 via the H^G reduction of E8), while:")
+	fmt.Fprintln(w, "  n        Luby MIS rounds   diam     sampling LB scale (0.49·diam)")
+	var xs, ys []float64
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %-8d %-17.1f %-8d %d\n", p.N, p.MISRounds, p.Diam, p.SampleLB)
+		xs = append(xs, float64(p.N))
+		ys = append(ys, p.MISRounds)
+	}
+	if _, b, err := stats.LogXFit(xs, ys); err == nil {
+		fmt.Fprintf(w, "  MIS log-fit: rounds ≈ a + %.2f·ln n (labeling is O(log n));\n", b)
+	}
+	fmt.Fprintln(w, "  the trivial labeling (∅ is an independent set) needs 0 rounds, yet sampling")
+	fmt.Fprintln(w, "  scales linearly with diam — an exponential separation.")
+	return nil
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"locsample/internal/chains"
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+)
+
+func TestRegistry(t *testing.T) {
+	exps := All()
+	if len(exps) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, ok := ByID("E7"); !ok {
+		t.Fatal("ByID(E7) failed")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("ByID(E99) should fail")
+	}
+	if len(IDs()) != 14 {
+		t.Fatal("IDs() wrong length")
+	}
+}
+
+// The full quick suite is exercised one experiment at a time so failures
+// localize; these are integration smoke tests over real computations.
+func runQuick(t *testing.T, id string) string {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("no experiment %s", id)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf, true); err != nil {
+		t.Fatalf("%s failed: %v", id, err)
+	}
+	out := buf.String()
+	if len(out) < 50 {
+		t.Fatalf("%s output suspiciously short:\n%s", id, out)
+	}
+	return out
+}
+
+func TestE3Quick(t *testing.T) {
+	out := runQuick(t, "E3")
+	if !strings.Contains(out, "coloring C4 q=3") {
+		t.Fatalf("E3 output missing models:\n%s", out)
+	}
+}
+
+func TestE4Quick(t *testing.T) {
+	out := runQuick(t, "E4")
+	if !strings.Contains(out, "ablated") {
+		t.Fatalf("E4 output missing ablation:\n%s", out)
+	}
+}
+
+func TestE6Quick(t *testing.T) {
+	out := runQuick(t, "E6")
+	if !strings.Contains(out, "0.50000") { // η for q=3 at d=1 is 1/2
+		t.Fatalf("E6 output missing decay values:\n%s", out)
+	}
+}
+
+func TestE7Quick(t *testing.T)  { runQuick(t, "E7") }
+func TestE11Quick(t *testing.T) { runQuick(t, "E11") }
+func TestE12Quick(t *testing.T) { runQuick(t, "E12") }
+
+func TestE13Quick(t *testing.T) {
+	out := runQuick(t, "E13")
+	if !strings.Contains(out, "LocalMetropolis") {
+		t.Fatalf("E13 missing chains:\n%s", out)
+	}
+}
+
+func TestE14SyncAblation(t *testing.T) {
+	rows, err := SyncAblationChecks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	biasedSomewhere := false
+	for _, r := range rows {
+		if r.LubyDetBal > 1e-9 || r.LMDetBal > 1e-9 {
+			t.Fatalf("%s: the paper's chains must stay reversible (%v, %v)",
+				r.Model, r.LubyDetBal, r.LMDetBal)
+		}
+		if r.SyncBiasTV > 1e-3 {
+			biasedSomewhere = true
+		}
+	}
+	if !biasedSomewhere {
+		t.Fatal("synchronous heat-bath showed no bias on any model — ablation broken")
+	}
+}
+
+func TestE13CurvesDecay(t *testing.T) {
+	m := mrf.Coloring(graph.Cycle(4), 4)
+	curves, err := ExactTVCurves(m, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 5 {
+		t.Fatalf("%d curves", len(curves))
+	}
+	for _, c := range curves {
+		last := c.TV[len(c.TV)-1]
+		// q = 2Δ is below LocalMetropolis's proved threshold: it converges
+		// (Theorem 4.1) but slowly; the others should be well mixed.
+		limit := 0.05
+		if c.Chain == "LocalMetropolis" {
+			limit = 0.45
+		}
+		if last > limit {
+			t.Fatalf("%s: TV after 30 rounds is %v", c.Chain, last)
+		}
+		if c.TV[20] > c.TV[5]+1e-9 {
+			t.Fatalf("%s: TV grew from t=5 (%v) to t=20 (%v)", c.Chain, c.TV[5], c.TV[20])
+		}
+	}
+}
+
+func TestMixingVsNShape(t *testing.T) {
+	// E1/E2 data functions: rounds grow sublinearly in n for both chains.
+	pts, err := MixingVsN(chains.LubyGlauber, []int{16, 64, 256}, 5, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points %v", pts)
+	}
+	growth := pts[2].Rounds / math.Max(pts[0].Rounds, 1)
+	if growth > 16 {
+		t.Fatalf("rounds grew %vx over 16x n — not logarithmic", growth)
+	}
+}
+
+func TestExactChecksThresholds(t *testing.T) {
+	// The E3/E4 numbers must meet the DESIGN.md acceptance thresholds.
+	e3, err := ExactLubyGlauberChecks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range e3 {
+		if c.DetailedBal > 1e-9 || c.RowErr > 1e-9 {
+			t.Fatalf("%s: detBal %v rowErr %v", c.Model, c.DetailedBal, c.RowErr)
+		}
+		if c.MixingT25 <= 0 || c.MixingT01 < c.MixingT25 {
+			t.Fatalf("%s: mixing times %d, %d", c.Model, c.MixingT25, c.MixingT01)
+		}
+	}
+	e4, err := ExactLocalMetropolisChecks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range e4 {
+		if r.FullDetBal > 1e-9 {
+			t.Fatalf("%s: full chain detBal %v", r.Model, r.FullDetBal)
+		}
+		if r.AblatedDetBal < 1e-6 {
+			t.Fatalf("%s: ablation did not break detailed balance (%v)", r.Model, r.AblatedDetBal)
+		}
+		if r.AblatedBiasTV < 1e-3 {
+			t.Fatalf("%s: ablation bias %v too small", r.Model, r.AblatedBiasTV)
+		}
+	}
+}
+
+func TestCSPChecksThresholds(t *testing.T) {
+	checks, err := CSPDominatingSetChecks(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range checks {
+		if c.LGDetBal > 1e-9 || c.LMDetBal > 1e-9 {
+			t.Fatalf("%s: CSP chains not reversible: %v, %v", c.Graph, c.LGDetBal, c.LMDetBal)
+		}
+		if c.LGLongRunTV > 0.05 || c.LMLongRunTV > 0.05 {
+			t.Fatalf("%s: long-run TV too big: %v, %v", c.Graph, c.LGLongRunTV, c.LMLongRunTV)
+		}
+	}
+}
+
+func TestInfluenceThresholds(t *testing.T) {
+	rows, err := InfluenceChecks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.OffNeighbor > 0 {
+			t.Fatalf("%s: off-neighbor influence %v", r.Model, r.OffNeighbor)
+		}
+		if r.Bound >= 0 && r.ExactAlpha > r.Bound+1e-9 {
+			t.Fatalf("%s: exact α %v exceeds bound %v", r.Model, r.ExactAlpha, r.Bound)
+		}
+	}
+}
+
+func TestMessageSizesConstantInN(t *testing.T) {
+	rows, err := MessageSizes([]int{32, 128, 512}, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].LubyMaxBytes != rows[0].LubyMaxBytes || rows[i].LMMaxBytes != rows[0].LMMaxBytes {
+			t.Fatalf("message sizes vary with n: %+v", rows)
+		}
+	}
+}
+
+func TestGoodGadgetReportThresholds(t *testing.T) {
+	rep, err := GoodGadgetReport(8, 1, 3, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ThetaGamma <= 1 {
+		t.Fatalf("Θ/Γ = %v, want > 1", rep.ThetaGamma)
+	}
+	if rep.Stats.RatioLo < 0.5 || rep.Stats.RatioHi > 1.5 {
+		t.Fatalf("ratios [%v, %v]", rep.Stats.RatioLo, rep.Stats.RatioHi)
+	}
+}
+
+func TestSeparationDataShape(t *testing.T) {
+	pts, err := SeparationData([]int{32, 256}, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MIS rounds grow far slower than the sampling lower-bound scale.
+	if pts[1].MISRounds >= float64(pts[1].SampleLB) {
+		t.Fatalf("no separation at n=256: MIS %v vs LB %d", pts[1].MISRounds, pts[1].SampleLB)
+	}
+}

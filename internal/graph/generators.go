@@ -1,0 +1,265 @@
+package graph
+
+import (
+	"fmt"
+
+	"locsample/internal/rng"
+)
+
+// Path returns the path P_n on n vertices (n-1 edges). Theorem 5.1's
+// Ω(log n) sampling lower bound lives on this family.
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle C_n on n vertices (n >= 3). Even cycles are the
+// base graph H of the §5.1.2 max-cut reduction.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: Cycle needs n >= 3")
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+// Star returns the star K_{1,n-1} with center 0.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, i)
+	}
+	return b.Build()
+}
+
+// Grid returns the r×c grid graph (vertices numbered row-major).
+func Grid(r, c int) *Graph {
+	b := NewBuilder(r * c)
+	id := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				b.AddEdge(id(i, j), id(i, j+1))
+			}
+			if i+1 < r {
+				b.AddEdge(id(i, j), id(i+1, j))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Torus returns the r×c toroidal grid (4-regular when r, c >= 3).
+func Torus(r, c int) *Graph {
+	if r < 3 || c < 3 {
+		panic("graph: Torus needs r, c >= 3")
+	}
+	b := NewBuilder(r * c)
+	id := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			b.AddEdge(id(i, j), id(i, (j+1)%c))
+			b.AddEdge(id(i, j), id((i+1)%r, j))
+		}
+	}
+	return b.Build()
+}
+
+// CompleteBipartite returns K_{a,b} with parts {0..a-1} and {a..a+b-1}.
+func CompleteBipartite(a, b int) *Graph {
+	bld := NewBuilder(a + b)
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			bld.AddEdge(i, a+j)
+		}
+	}
+	return bld.Build()
+}
+
+// CompleteTree returns the rooted complete d-ary tree of the given depth
+// (depth 0 is a single vertex). The §4.2.1 ideal coupling is analysed on
+// (d+1)-regular trees; finite complete trees are their finite stand-in.
+func CompleteTree(d, depth int) *Graph {
+	if d < 1 {
+		panic("graph: CompleteTree needs arity >= 1")
+	}
+	// Count vertices: 1 + d + d^2 + ... + d^depth.
+	n := 1
+	pow := 1
+	for i := 0; i < depth; i++ {
+		pow *= d
+		n += pow
+	}
+	b := NewBuilder(n)
+	// Vertices are numbered level by level; children of v start at
+	// firstChild(v) = d*v + 1 only for full d-ary indexing, which matches
+	// level-order numbering of a complete d-ary tree.
+	for v := 0; v < n; v++ {
+		for c := 0; c < d; c++ {
+			child := d*v + 1 + c
+			if child >= n {
+				break
+			}
+			b.AddEdge(v, child)
+		}
+	}
+	return b.Build()
+}
+
+// Hypercube returns the k-dimensional hypercube Q_k on 2^k vertices.
+func Hypercube(k int) *Graph {
+	if k < 0 || k > 30 {
+		panic("graph: Hypercube dimension out of range")
+	}
+	n := 1 << k
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for i := 0; i < k; i++ {
+			u := v ^ (1 << i)
+			if u > v {
+				b.AddEdge(v, u)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Gnp returns an Erdős–Rényi G(n, p) sample.
+func Gnp(n int, p float64, r *rng.Source) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Bernoulli(p) {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RandomRegular returns a random simple d-regular graph on n vertices via
+// the configuration model followed by double-edge-swap repair of self-loops
+// and parallel edges (the standard practical construction; the result is
+// asymptotically uniform and exactly d-regular). It requires n*d even and
+// d < n.
+func RandomRegular(n, d int, r *rng.Source) (*Graph, error) {
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: RandomRegular(%d,%d): n*d must be even", n, d)
+	}
+	if d >= n {
+		return nil, fmt.Errorf("graph: RandomRegular(%d,%d): need d < n", n, d)
+	}
+	if d == 0 {
+		return NewBuilder(n).Build(), nil
+	}
+	const maxRestarts = 100
+	for attempt := 0; attempt < maxRestarts; attempt++ {
+		if g, ok := tryRegularWithRepair(n, d, r); ok {
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("graph: RandomRegular(%d,%d): repair failed after %d restarts", n, d, maxRestarts)
+}
+
+// tryRegularWithRepair draws one configuration-model pairing and repairs
+// defects (self-loops, parallel edges) with random double-edge swaps. Each
+// swap preserves all degrees; a swap is applied only if it strictly reduces
+// the number of defective edges or keeps it while re-randomizing.
+func tryRegularWithRepair(n, d int, r *rng.Source) (*Graph, bool) {
+	stubs := make([]int, n*d)
+	for i := range stubs {
+		stubs[i] = i / d
+	}
+	r.Shuffle(stubs)
+	m := len(stubs) / 2
+	us := make([]int, m)
+	vs := make([]int, m)
+	for i := 0; i < m; i++ {
+		us[i], vs[i] = stubs[2*i], stubs[2*i+1]
+	}
+
+	type pair struct{ a, b int }
+	norm := func(a, b int) pair {
+		if a > b {
+			a, b = b, a
+		}
+		return pair{a, b}
+	}
+	count := make(map[pair]int, m)
+	defect := func(i int) bool {
+		return us[i] == vs[i] || count[norm(us[i], vs[i])] > 1
+	}
+	for i := 0; i < m; i++ {
+		if us[i] != vs[i] {
+			count[norm(us[i], vs[i])]++
+		}
+	}
+	remove := func(k int) {
+		if us[k] != vs[k] {
+			count[norm(us[k], vs[k])]--
+		}
+	}
+	add := func(k int) {
+		if us[k] != vs[k] {
+			count[norm(us[k], vs[k])]++
+		}
+	}
+
+	// Each pass swaps every defective edge with a random partner; defects
+	// shrink geometrically, so a few hundred passes is ample slack.
+	const maxPasses = 1000
+	for pass := 0; pass < maxPasses; pass++ {
+		clean := true
+		for i := 0; i < m; i++ {
+			if !defect(i) {
+				continue
+			}
+			clean = false
+			j := r.Intn(m)
+			if j == i {
+				continue
+			}
+			remove(i)
+			remove(j)
+			if r.Bool() {
+				vs[i], vs[j] = vs[j], vs[i]
+			} else {
+				vs[i], us[j] = us[j], vs[i]
+			}
+			add(i)
+			add(j)
+		}
+		if clean {
+			b := NewBuilder(n)
+			for i := 0; i < m; i++ {
+				b.AddEdge(us[i], vs[i])
+			}
+			return b.Build(), true
+		}
+	}
+	return nil, false
+}
+
+// PerfectMatching returns a uniform random perfect matching between two
+// equal-size vertex sets, given as a permutation: side-B partner of the i-th
+// A vertex. Used by the §5.1.1 gadget construction.
+func PerfectMatching(k int, r *rng.Source) []int {
+	return r.Perm(k)
+}

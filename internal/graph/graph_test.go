@@ -1,0 +1,364 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"locsample/internal/rng"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(4)
+	id0 := b.AddEdge(0, 1)
+	id1 := b.AddEdge(1, 2)
+	id2 := b.AddEdge(1, 2) // parallel edge
+	g := b.Build()
+
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("N=%d M=%d, want 4, 3", g.N(), g.M())
+	}
+	if id0 != 0 || id1 != 1 || id2 != 2 {
+		t.Fatalf("edge ids %d %d %d", id0, id1, id2)
+	}
+	if g.Deg(1) != 3 {
+		t.Fatalf("Deg(1)=%d with parallel edge, want 3", g.Deg(1))
+	}
+	if g.Deg(3) != 0 {
+		t.Fatalf("Deg(3)=%d, want 0", g.Deg(3))
+	}
+	if g.MaxDeg() != 3 {
+		t.Fatalf("MaxDeg=%d, want 3", g.MaxDeg())
+	}
+	if !g.HasEdge(1, 2) || g.HasEdge(0, 3) {
+		t.Fatal("HasEdge wrong")
+	}
+	if got := g.SimpleNeighbors(1); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("SimpleNeighbors(1)=%v, want [0 2]", got)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewBuilder(-1) },
+		func() { NewBuilder(2).AddEdge(0, 0) },
+		func() { NewBuilder(2).AddEdge(0, 2) },
+		func() { NewBuilder(2).AddEdge(-1, 0) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestIncidenceAlignment(t *testing.T) {
+	g := Cycle(5)
+	for v := 0; v < g.N(); v++ {
+		adj, inc := g.Adj(v), g.Inc(v)
+		if len(adj) != len(inc) {
+			t.Fatalf("adj/inc length mismatch at %d", v)
+		}
+		for i := range adj {
+			e := g.Edge(int(inc[i]))
+			if e.Other(int32(v)) != adj[i] {
+				t.Fatalf("inc[%d][%d] edge %v does not oppose adj entry %d", v, i, e, adj[i])
+			}
+		}
+	}
+}
+
+func TestPathProperties(t *testing.T) {
+	g := Path(10)
+	if g.M() != 9 || g.MaxDeg() != 2 {
+		t.Fatalf("path: M=%d MaxDeg=%d", g.M(), g.MaxDeg())
+	}
+	if !g.Connected() {
+		t.Fatal("path disconnected")
+	}
+	if d := g.Diameter(); d != 9 {
+		t.Fatalf("path diameter %d, want 9", d)
+	}
+	if d := g.Dist(0, 7); d != 7 {
+		t.Fatalf("Dist(0,7)=%d", d)
+	}
+}
+
+func TestCycleProperties(t *testing.T) {
+	g := Cycle(8)
+	if g.M() != 8 || !g.IsRegular(2) {
+		t.Fatal("cycle structure wrong")
+	}
+	if d := g.Diameter(); d != 4 {
+		t.Fatalf("C8 diameter %d, want 4", d)
+	}
+	g2 := Cycle(7)
+	if d := g2.Diameter(); d != 3 {
+		t.Fatalf("C7 diameter %d, want 3", d)
+	}
+}
+
+func TestCompleteProperties(t *testing.T) {
+	g := Complete(6)
+	if g.M() != 15 || !g.IsRegular(5) || g.Diameter() != 1 {
+		t.Fatalf("K6: M=%d diam=%d", g.M(), g.Diameter())
+	}
+}
+
+func TestStarProperties(t *testing.T) {
+	g := Star(7)
+	if g.Deg(0) != 6 || g.Diameter() != 2 {
+		t.Fatalf("star: deg0=%d diam=%d", g.Deg(0), g.Diameter())
+	}
+}
+
+func TestGridProperties(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("grid N=%d", g.N())
+	}
+	// Edge count: 3*(4-1) horizontal + (3-1)*4 vertical = 9+8=17.
+	if g.M() != 17 {
+		t.Fatalf("grid M=%d, want 17", g.M())
+	}
+	if d := g.Diameter(); d != 5 {
+		t.Fatalf("3x4 grid diameter %d, want 5", d)
+	}
+}
+
+func TestTorusRegular(t *testing.T) {
+	g := Torus(4, 5)
+	if !g.IsRegular(4) {
+		t.Fatalf("torus degree histogram %v", g.DegreeHistogram())
+	}
+	if !g.Connected() {
+		t.Fatal("torus disconnected")
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g := CompleteBipartite(3, 4)
+	if g.N() != 7 || g.M() != 12 {
+		t.Fatalf("K34: N=%d M=%d", g.N(), g.M())
+	}
+	if g.Deg(0) != 4 || g.Deg(3) != 3 {
+		t.Fatalf("K34 degrees: %d %d", g.Deg(0), g.Deg(3))
+	}
+}
+
+func TestCompleteTree(t *testing.T) {
+	g := CompleteTree(3, 2) // 1 + 3 + 9 = 13 vertices
+	if g.N() != 13 || g.M() != 12 {
+		t.Fatalf("tree N=%d M=%d", g.N(), g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("tree disconnected")
+	}
+	if g.Deg(0) != 3 {
+		t.Fatalf("root degree %d", g.Deg(0))
+	}
+	// Internal vertex 1 has parent + 3 children.
+	if g.Deg(1) != 4 {
+		t.Fatalf("internal degree %d", g.Deg(1))
+	}
+	// Leaves have degree 1.
+	if g.Deg(12) != 1 {
+		t.Fatalf("leaf degree %d", g.Deg(12))
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(4)
+	if g.N() != 16 || !g.IsRegular(4) || g.Diameter() != 4 {
+		t.Fatalf("Q4: N=%d diam=%d", g.N(), g.Diameter())
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	dist := g.BFS(0)
+	if dist[1] != 1 || dist[2] != -1 {
+		t.Fatalf("BFS dist %v", dist)
+	}
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if g.Diameter() != -1 {
+		t.Fatal("diameter of disconnected graph should be -1")
+	}
+}
+
+func TestBall(t *testing.T) {
+	g := Path(9)
+	ball := g.Ball(4, 2)
+	want := []int{2, 3, 4, 5, 6}
+	if len(ball) != len(want) {
+		t.Fatalf("Ball=%v", ball)
+	}
+	for i := range want {
+		if ball[i] != want[i] {
+			t.Fatalf("Ball=%v, want %v", ball, want)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	g := Cycle(5)
+	is := []int{1, 0, 1, 0, 0}
+	if !g.IsIndependentSet(is) {
+		t.Fatal("valid IS rejected")
+	}
+	if g.IsIndependentSet([]int{1, 1, 0, 0, 0}) {
+		t.Fatal("adjacent pair accepted as IS")
+	}
+	if !g.IsDominatingSet([]int{1, 0, 1, 0, 0}) {
+		t.Fatal("valid dominating set rejected")
+	}
+	if g.IsDominatingSet([]int{1, 0, 0, 0, 0}) {
+		t.Fatal("non-dominating set accepted")
+	}
+	if !g.IsMaximalIndependentSet([]int{1, 0, 1, 0, 0}) {
+		t.Fatal("valid MIS rejected")
+	}
+	if g.IsMaximalIndependentSet([]int{1, 0, 0, 0, 0}) {
+		t.Fatal("non-maximal IS accepted as MIS")
+	}
+	if !g.IsVertexCover([]int{1, 0, 1, 0, 1}) {
+		t.Fatal("valid cover rejected")
+	}
+	if g.IsVertexCover([]int{1, 0, 0, 1, 0}) {
+		t.Fatal("invalid cover accepted")
+	}
+	if !g.IsProperColoring([]int{0, 1, 0, 1, 2}) {
+		t.Fatal("proper coloring rejected")
+	}
+	if g.IsProperColoring([]int{0, 0, 1, 2, 1}) {
+		t.Fatal("improper coloring accepted")
+	}
+}
+
+func TestGreedyColoringProper(t *testing.T) {
+	r := rng.New(42)
+	for trial := 0; trial < 20; trial++ {
+		g := Gnp(30, 0.2, r)
+		colors, used := g.GreedyColoring()
+		if !g.IsProperColoring(colors) {
+			t.Fatal("greedy coloring not proper")
+		}
+		if used > g.MaxDeg()+1 {
+			t.Fatalf("greedy used %d colors > Δ+1 = %d", used, g.MaxDeg()+1)
+		}
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	r := rng.New(7)
+	for _, tc := range []struct{ n, d int }{{10, 3}, {20, 4}, {16, 6}, {30, 5}} {
+		g, err := RandomRegular(tc.n, tc.d, r)
+		if err != nil {
+			t.Fatalf("RandomRegular(%d,%d): %v", tc.n, tc.d, err)
+		}
+		if !g.IsRegular(tc.d) {
+			t.Fatalf("RandomRegular(%d,%d) not regular: %v", tc.n, tc.d, g.DegreeHistogram())
+		}
+		// Simplicity: no parallel edges.
+		type pair struct{ a, b int32 }
+		seen := map[pair]bool{}
+		for _, e := range g.Edges() {
+			u, v := e.U, e.V
+			if u > v {
+				u, v = v, u
+			}
+			if seen[pair{u, v}] {
+				t.Fatal("parallel edge in RandomRegular")
+			}
+			seen[pair{u, v}] = true
+		}
+	}
+}
+
+func TestRandomRegularErrors(t *testing.T) {
+	r := rng.New(1)
+	if _, err := RandomRegular(5, 3, r); err == nil {
+		t.Fatal("odd n*d accepted")
+	}
+	if _, err := RandomRegular(4, 4, r); err == nil {
+		t.Fatal("d >= n accepted")
+	}
+	g, err := RandomRegular(6, 0, r)
+	if err != nil || g.M() != 0 {
+		t.Fatal("d=0 should give empty graph")
+	}
+}
+
+func TestGnpEdgeCount(t *testing.T) {
+	r := rng.New(3)
+	g := Gnp(100, 0.1, r)
+	// Expected edges: C(100,2)*0.1 = 495. Allow wide slack.
+	if g.M() < 350 || g.M() > 650 {
+		t.Fatalf("Gnp edge count %d far from expectation 495", g.M())
+	}
+}
+
+func TestPerfectMatchingIsPermutation(t *testing.T) {
+	err := quick.Check(func(seed uint64, kRaw uint8) bool {
+		k := int(kRaw%15) + 1
+		m := PerfectMatching(k, rng.Derive(seed))
+		seen := make([]bool, k)
+		for _, v := range m {
+			if v < 0 || v >= k || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BFS distances satisfy the triangle inequality along edges.
+func TestBFSEdgeLipschitz(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 10; trial++ {
+		g := Gnp(40, 0.12, r)
+		dist := g.BFS(0)
+		for _, e := range g.Edges() {
+			du, dv := dist[e.U], dist[e.V]
+			if du >= 0 && dv >= 0 && abs(du-dv) > 1 {
+				t.Fatalf("BFS distances differ by >1 across edge %v: %d vs %d", e, du, dv)
+			}
+			if (du == -1) != (dv == -1) {
+				t.Fatalf("edge %v crosses components", e)
+			}
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestEccentricityMatchesDiameter(t *testing.T) {
+	g := Grid(4, 4)
+	diam := g.Diameter()
+	maxEcc := 0
+	for v := 0; v < g.N(); v++ {
+		if e := g.Eccentricity(v); e > maxEcc {
+			maxEcc = e
+		}
+	}
+	if maxEcc != diam {
+		t.Fatalf("max eccentricity %d != diameter %d", maxEcc, diam)
+	}
+}

@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"locsample/internal/rng"
+)
+
+// Handshake lemma: Σ deg(v) = 2|E| for arbitrary random multigraphs.
+func TestHandshakeLemma(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		m := int(mRaw % 60)
+		r := rng.Derive(seed)
+		b := NewBuilder(n)
+		for i := 0; i < m; i++ {
+			u := r.Intn(n)
+			v := r.Intn(n - 1)
+			if v >= u {
+				v++
+			}
+			b.AddEdge(u, v)
+		}
+		g := b.Build()
+		total := 0
+		for v := 0; v < n; v++ {
+			total += g.Deg(v)
+		}
+		return total == 2*g.M()
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BFS distance is symmetric on undirected graphs.
+func TestBFSSymmetry(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 10; trial++ {
+		g := Gnp(25, 0.15, r)
+		for u := 0; u < g.N(); u += 5 {
+			du := g.BFS(u)
+			for v := 0; v < g.N(); v += 7 {
+				if g.Dist(v, u) != du[v] {
+					t.Fatalf("dist(%d,%d) asymmetric", u, v)
+				}
+			}
+		}
+	}
+}
+
+// Greedy coloring is always proper, on arbitrary random graphs.
+func TestGreedyColoringAlwaysProper(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		g := Gnp(n, 0.3, rng.Derive(seed))
+		colors, used := g.GreedyColoring()
+		return g.IsProperColoring(colors) && used <= g.MaxDeg()+1
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Balls are monotone in radius and eventually cover the component.
+func TestBallMonotone(t *testing.T) {
+	g := Grid(5, 5)
+	prev := 0
+	for r := 0; r <= 8; r++ {
+		ball := g.Ball(12, r)
+		if len(ball) < prev {
+			t.Fatalf("ball shrank at radius %d", r)
+		}
+		prev = len(ball)
+	}
+	if prev != g.N() {
+		t.Fatalf("max-radius ball covers %d of %d", prev, g.N())
+	}
+}
+
+// RandomRegular sums to the right edge count: n·d/2.
+func TestRandomRegularEdgeCount(t *testing.T) {
+	r := rng.New(9)
+	for _, tc := range []struct{ n, d int }{{12, 3}, {20, 6}, {30, 4}} {
+		g, err := RandomRegular(tc.n, tc.d, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.M() != tc.n*tc.d/2 {
+			t.Fatalf("RandomRegular(%d,%d): %d edges", tc.n, tc.d, g.M())
+		}
+	}
+}
+
+// SimpleNeighbors is sorted, deduplicated, and excludes the vertex itself.
+func TestSimpleNeighborsInvariants(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 3)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	nb := g.SimpleNeighbors(0)
+	if len(nb) != 3 || nb[0] != 1 || nb[1] != 2 || nb[2] != 3 {
+		t.Fatalf("SimpleNeighbors = %v", nb)
+	}
+}
+
+// Cycle diameters: ⌊n/2⌋.
+func TestCycleDiameterFormula(t *testing.T) {
+	for n := 3; n <= 12; n++ {
+		if d := Cycle(n).Diameter(); d != n/2 {
+			t.Fatalf("C%d diameter %d, want %d", n, d, n/2)
+		}
+	}
+}
+
+// Grid diameter: (r−1)+(c−1).
+func TestGridDiameterFormula(t *testing.T) {
+	for _, tc := range []struct{ r, c int }{{2, 2}, {3, 5}, {4, 4}, {1, 7}} {
+		if d := Grid(tc.r, tc.c).Diameter(); d != tc.r+tc.c-2 {
+			t.Fatalf("grid %dx%d diameter %d", tc.r, tc.c, d)
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	comp, count := g.ConnectedComponents()
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatalf("first component split: %v", comp)
+	}
+	if comp[3] != comp[4] || comp[3] == comp[0] {
+		t.Fatalf("second component wrong: %v", comp)
+	}
+	if comp[5] == comp[6] || comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Fatalf("isolated vertices wrong: %v", comp)
+	}
+	// Consistency with Connected().
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	cg := Cycle(5)
+	if _, c := cg.ConnectedComponents(); c != 1 {
+		t.Fatalf("cycle components = %d", c)
+	}
+}
+
+// A single vertex graph behaves sanely everywhere.
+func TestSingletonGraph(t *testing.T) {
+	g := NewBuilder(1).Build()
+	if !g.Connected() || g.Diameter() != 0 || g.MaxDeg() != 0 {
+		t.Fatal("singleton graph wrong")
+	}
+	if !g.IsIndependentSet([]int{1}) || !g.IsDominatingSet([]int{1}) {
+		t.Fatal("singleton predicates wrong")
+	}
+	if g.IsDominatingSet([]int{0}) {
+		t.Fatal("empty set dominates nothing")
+	}
+}

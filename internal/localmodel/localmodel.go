@@ -1,0 +1,265 @@
+// Package localmodel simulates Linial's LOCAL model of distributed
+// computation (§2.1): a network of n processors, one per vertex of an
+// undirected graph, computing in synchronized rounds. In each round every
+// processor receives a message of arbitrary size from each neighbor,
+// performs arbitrary local computation, and sends a message of arbitrary
+// size to each neighbor. The output of a t-round protocol at a vertex is a
+// function of the information in its t-neighborhood — the only property the
+// paper's lower bounds use (Eq. 27).
+//
+// Nodes execute concurrently (a pool of goroutines sweeps the vertex set
+// every round), and the runtime accounts for message sizes so experiments
+// can verify the paper's claim that neither algorithm abuses the model
+// ("each message is of O(log n) bits", §1.1).
+//
+// Following §2.1, every node knows n and Δ (upper bounds suffice; they only
+// enter the round budgets of the Monte Carlo protocols). The shared seed
+// models a common random string used for the per-edge coins of
+// LocalMetropolis — both endpoints of an edge evaluate the same PRF, which
+// is how the simulator realizes "the two endpoints u and v access the same
+// random coin" without extra communication.
+package localmodel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"locsample/internal/graph"
+)
+
+// Env is the read-only environment a node sees when the protocol starts.
+type Env struct {
+	// V is the node's unique identifier (its vertex index).
+	V int
+	// Deg is the node's degree; messages are exchanged per incident edge.
+	Deg int
+	// N is (an upper bound on) the network size, known to all nodes (§2.1).
+	N int
+	// MaxDeg is (an upper bound on) the maximum degree Δ, known to all
+	// nodes (§2.1).
+	MaxDeg int
+	// EdgeIDs lists the global identifiers of the node's incident edges,
+	// aligned with neighbor slots 0..Deg-1. Endpoints of an edge see the
+	// same identifier; protocols key shared coins on it. (In a real
+	// deployment the two endpoints would canonically derive a key from
+	// their IDs during setup; the simulator hands out edge indices.)
+	EdgeIDs []int64
+	// IsEdgeU[i] reports whether this node is the canonical first endpoint
+	// of its i-th incident edge. Protocols that evaluate a shared formula
+	// over edge state use it to fix one operand order at both endpoints, so
+	// floating-point products agree bit-for-bit.
+	IsEdgeU []bool
+	// SharedSeed is the common random string for shared PRF coins.
+	SharedSeed uint64
+	// PrivateSeed seeds the node's private randomness.
+	PrivateSeed uint64
+}
+
+// Protocol is a node program. The runtime calls Init once, then Round for
+// t = 0, 1, 2, … until every node halts (or the round budget is exhausted).
+//
+// in[i] is the message the i-th neighbor sent in the previous round (nil in
+// round 0, and nil if that neighbor sent nothing). out[i] is the message to
+// send to the i-th neighbor (nil to send nothing). A node that returns
+// halt = true is not called again and implicitly sends nothing afterwards.
+type Protocol interface {
+	Init(env Env)
+	Round(t int, in [][]byte) (out [][]byte, halt bool)
+	Output() int
+}
+
+// Stats aggregates a run's communication profile.
+type Stats struct {
+	// Rounds is the number of executed rounds.
+	Rounds int
+	// Messages counts non-nil messages delivered.
+	Messages int64
+	// Bytes counts total payload bytes.
+	Bytes int64
+	// MaxMessageBytes is the largest single message payload.
+	MaxMessageBytes int
+}
+
+// Runner executes a Protocol instance per vertex of a graph.
+type Runner struct {
+	g      *graph.Graph
+	protos []Protocol
+	// slot[e] gives, for edge e = (u,v), the index of e in Inc(u) and
+	// Inc(v): messages from u along e land in v's inbox at slot[e][1], and
+	// vice versa.
+	slotU, slotV []int32
+	workers      int
+}
+
+// Config carries the run-wide parameters handed to every node's Env.
+type Config struct {
+	SharedSeed uint64
+	// PrivateSeed(v) returns node v's private seed. If nil, seeds are
+	// derived from SharedSeed and v (convenient and reproducible; the
+	// distinction only matters for lower-bound discussions).
+	PrivateSeed func(v int) uint64
+	// Workers bounds the goroutine pool (default: GOMAXPROCS).
+	Workers int
+}
+
+// New builds a Runner: factory(v) constructs the protocol instance for
+// vertex v, which is immediately initialized with its Env.
+func New(g *graph.Graph, cfg Config, factory func(v int) Protocol) *Runner {
+	r := &Runner{
+		g:       g,
+		protos:  make([]Protocol, g.N()),
+		slotU:   make([]int32, g.M()),
+		slotV:   make([]int32, g.M()),
+		workers: cfg.Workers,
+	}
+	if r.workers <= 0 {
+		r.workers = runtime.GOMAXPROCS(0)
+	}
+	for v := 0; v < g.N(); v++ {
+		for i, id := range g.Inc(v) {
+			e := g.Edge(int(id))
+			if int32(v) == e.U {
+				r.slotU[id] = int32(i)
+			} else {
+				r.slotV[id] = int32(i)
+			}
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		edgeIDs := make([]int64, g.Deg(v))
+		isU := make([]bool, g.Deg(v))
+		for i, id := range g.Inc(v) {
+			edgeIDs[i] = int64(id)
+			isU[i] = g.Edge(int(id)).U == int32(v)
+		}
+		priv := cfg.SharedSeed ^ (0x9e3779b97f4a7c15 * (uint64(v) + 1))
+		if cfg.PrivateSeed != nil {
+			priv = cfg.PrivateSeed(v)
+		}
+		p := factory(v)
+		p.Init(Env{
+			V:           v,
+			Deg:         g.Deg(v),
+			N:           g.N(),
+			MaxDeg:      g.MaxDeg(),
+			EdgeIDs:     edgeIDs,
+			IsEdgeU:     isU,
+			SharedSeed:  cfg.SharedSeed,
+			PrivateSeed: priv,
+		})
+		r.protos[v] = p
+	}
+	return r
+}
+
+// Run executes up to maxRounds rounds and returns each node's output plus
+// communication statistics. It returns an error only if maxRounds < 0.
+func (r *Runner) Run(maxRounds int) ([]int, Stats, error) {
+	if maxRounds < 0 {
+		return nil, Stats{}, fmt.Errorf("localmodel: negative round budget %d", maxRounds)
+	}
+	n := r.g.N()
+	inbox := make([][][]byte, n)
+	outbox := make([][][]byte, n)
+	halted := make([]bool, n)
+	for v := 0; v < n; v++ {
+		inbox[v] = make([][]byte, r.g.Deg(v))
+		outbox[v] = make([][]byte, r.g.Deg(v))
+	}
+
+	var stats Stats
+	type shard struct {
+		messages int64
+		bytes    int64
+		maxMsg   int
+		halted   int
+	}
+
+	for t := 0; t < maxRounds; t++ {
+		shards := make([]shard, r.workers)
+		var wg sync.WaitGroup
+		chunk := (n + r.workers - 1) / r.workers
+		for w := 0; w < r.workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				sh := &shards[w]
+				for v := lo; v < hi; v++ {
+					if halted[v] {
+						sh.halted++
+						for i := range outbox[v] {
+							outbox[v][i] = nil
+						}
+						continue
+					}
+					out, halt := r.protos[v].Round(t, inbox[v])
+					if halt {
+						halted[v] = true
+						sh.halted++
+					}
+					ob := outbox[v]
+					for i := range ob {
+						ob[i] = nil
+					}
+					for i, msg := range out {
+						if i >= len(ob) {
+							break
+						}
+						ob[i] = msg
+						if msg != nil {
+							sh.messages++
+							sh.bytes += int64(len(msg))
+							if len(msg) > sh.maxMsg {
+								sh.maxMsg = len(msg)
+							}
+						}
+					}
+				}
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		stats.Rounds = t + 1
+
+		allHalted := 0
+		for _, sh := range shards {
+			stats.Messages += sh.messages
+			stats.Bytes += sh.bytes
+			if sh.maxMsg > stats.MaxMessageBytes {
+				stats.MaxMessageBytes = sh.maxMsg
+			}
+			allHalted += sh.halted
+		}
+
+		// Deliver: the message v sent on its i-th incident edge arrives at
+		// the opposite endpoint's slot for that edge.
+		for v := 0; v < n; v++ {
+			inc := r.g.Inc(v)
+			for i, id := range inc {
+				e := r.g.Edge(int(id))
+				if int32(v) == e.U {
+					inbox[e.V][r.slotV[id]] = outbox[v][i]
+				} else {
+					inbox[e.U][r.slotU[id]] = outbox[v][i]
+				}
+			}
+		}
+
+		if allHalted == n {
+			break
+		}
+	}
+
+	outputs := make([]int, n)
+	for v := 0; v < n; v++ {
+		outputs[v] = r.protos[v].Output()
+	}
+	return outputs, stats, nil
+}

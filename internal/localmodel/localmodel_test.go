@@ -1,0 +1,329 @@
+package localmodel
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"locsample/internal/graph"
+)
+
+// echoNode broadcasts its ID for `ttl` rounds and records everything heard;
+// its output is the sum of all IDs it has seen (including its own). After t
+// rounds a node must know exactly its t-ball.
+type echoNode struct {
+	env   Env
+	seen  map[int]bool
+	ttl   int
+	relay bool
+}
+
+func (e *echoNode) Init(env Env) {
+	e.env = env
+	e.seen = map[int]bool{env.V: true}
+}
+
+func (e *echoNode) Round(t int, in [][]byte) ([][]byte, bool) {
+	for _, msg := range in {
+		if msg == nil {
+			continue
+		}
+		for i := 0; i+4 <= len(msg); i += 4 {
+			e.seen[int(binary.LittleEndian.Uint32(msg[i:]))] = true
+		}
+	}
+	if t == e.ttl {
+		return nil, true
+	}
+	var payload []byte
+	if e.relay {
+		payload = make([]byte, 0, 4*len(e.seen))
+		for id := range e.seen {
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], uint32(id))
+			payload = append(payload, b[:]...)
+		}
+	} else {
+		payload = make([]byte, 4)
+		binary.LittleEndian.PutUint32(payload, uint32(e.env.V))
+	}
+	out := make([][]byte, e.env.Deg)
+	for i := range out {
+		out[i] = payload
+	}
+	return out, false
+}
+
+func (e *echoNode) Output() int {
+	sum := 0
+	for id := range e.seen {
+		sum += id
+	}
+	return sum
+}
+
+func TestSingleRoundSeesNeighbors(t *testing.T) {
+	g := graph.Star(5) // center 0, leaves 1..4
+	r := New(g, Config{SharedSeed: 1}, func(v int) Protocol { return &echoNode{ttl: 1} })
+	out, stats, err := r.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After 1 round the center saw everyone: 0+1+2+3+4 = 10.
+	if out[0] != 10 {
+		t.Fatalf("center output %d, want 10", out[0])
+	}
+	// Leaf 3 saw only itself and the center: 3.
+	if out[3] != 3 {
+		t.Fatalf("leaf output %d, want 3", out[3])
+	}
+	if stats.Rounds != 2 {
+		t.Fatalf("rounds = %d, want 2 (send round + final halting round)", stats.Rounds)
+	}
+}
+
+func TestTBallVisibility(t *testing.T) {
+	// On a path, a relaying node's knowledge after t rounds is exactly its
+	// t-ball — the locality property (27) the lower bounds rest on.
+	g := graph.Path(9)
+	for _, ttl := range []int{1, 2, 3} {
+		r := New(g, Config{SharedSeed: 1}, func(v int) Protocol { return &echoNode{ttl: ttl, relay: true} })
+		out, _, err := r.Run(ttl + 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Vertex 4's t-ball on the path is {4-ttl, ..., 4+ttl}.
+		want := 0
+		for u := 4 - ttl; u <= 4+ttl; u++ {
+			want += u
+		}
+		if out[4] != want {
+			t.Fatalf("ttl=%d: vertex 4 knows sum %d, want %d", ttl, out[4], want)
+		}
+	}
+}
+
+func TestNoLeakBeyondHorizon(t *testing.T) {
+	// After t rounds, information cannot travel farther than distance t.
+	g := graph.Path(20)
+	r := New(g, Config{SharedSeed: 9}, func(v int) Protocol { return &echoNode{ttl: 3, relay: true} })
+	out, _, err := r.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertex 0 must not know vertex 5 (distance 5 > 3): its knowledge is
+	// {0,1,2,3} summing to 6.
+	if out[0] != 6 {
+		t.Fatalf("vertex 0 output %d, want 6 (knowledge {0,1,2,3})", out[0])
+	}
+}
+
+type statNode struct {
+	env Env
+	t   int
+}
+
+func (s *statNode) Init(env Env) { s.env = env }
+func (s *statNode) Round(t int, in [][]byte) ([][]byte, bool) {
+	s.t = t
+	if t >= 2 {
+		return nil, true
+	}
+	out := make([][]byte, s.env.Deg)
+	for i := range out {
+		out[i] = make([]byte, 7) // 7-byte payload
+	}
+	return out, false
+}
+func (s *statNode) Output() int { return s.t }
+
+func TestStatsAccounting(t *testing.T) {
+	g := graph.Cycle(6) // 6 vertices, 12 directed messages per round
+	r := New(g, Config{SharedSeed: 2}, func(v int) Protocol { return &statNode{} })
+	_, stats, err := r.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rounds 0 and 1 send; round 2 halts. 12 messages × 2 rounds.
+	if stats.Messages != 24 {
+		t.Fatalf("messages = %d, want 24", stats.Messages)
+	}
+	if stats.Bytes != 24*7 {
+		t.Fatalf("bytes = %d, want %d", stats.Bytes, 24*7)
+	}
+	if stats.MaxMessageBytes != 7 {
+		t.Fatalf("max message = %d, want 7", stats.MaxMessageBytes)
+	}
+	if stats.Rounds != 3 {
+		t.Fatalf("rounds = %d, want 3", stats.Rounds)
+	}
+}
+
+func TestEnvFields(t *testing.T) {
+	g := graph.Star(4)
+	envs := make([]Env, g.N())
+	r := New(g, Config{SharedSeed: 77}, func(v int) Protocol {
+		return &envRecorder{sink: &envs[v]}
+	})
+	if _, _, err := r.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if envs[0].Deg != 3 || envs[1].Deg != 1 {
+		t.Fatalf("degrees: %d, %d", envs[0].Deg, envs[1].Deg)
+	}
+	if envs[0].N != 4 || envs[0].MaxDeg != 3 {
+		t.Fatalf("N=%d MaxDeg=%d", envs[0].N, envs[0].MaxDeg)
+	}
+	if envs[0].SharedSeed != 77 {
+		t.Fatal("shared seed not propagated")
+	}
+	if envs[1].PrivateSeed == envs[2].PrivateSeed {
+		t.Fatal("private seeds collide")
+	}
+	// Edge IDs must agree across endpoints: star edges are (0,i).
+	if envs[0].EdgeIDs[0] != envs[1].EdgeIDs[0] {
+		t.Fatal("edge IDs disagree between endpoints")
+	}
+	// Exactly one endpoint of each edge is the canonical U.
+	if envs[0].IsEdgeU[0] == envs[1].IsEdgeU[0] {
+		t.Fatal("both endpoints claim the same edge orientation")
+	}
+}
+
+type envRecorder struct{ sink *Env }
+
+func (e *envRecorder) Init(env Env)                         { *e.sink = env }
+func (e *envRecorder) Round(int, [][]byte) ([][]byte, bool) { return nil, true }
+func (e *envRecorder) Output() int                          { return 0 }
+
+func TestRunErrors(t *testing.T) {
+	g := graph.Path(2)
+	r := New(g, Config{}, func(v int) Protocol { return &statNode{} })
+	if _, _, err := r.Run(-1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+func TestRoundBudgetStops(t *testing.T) {
+	// A protocol that never halts is stopped by the budget.
+	g := graph.Cycle(4)
+	r := New(g, Config{}, func(v int) Protocol { return &foreverNode{} })
+	_, stats, err := r.Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 5 {
+		t.Fatalf("rounds = %d, want 5", stats.Rounds)
+	}
+}
+
+type foreverNode struct{ env Env }
+
+func (f *foreverNode) Init(env Env) { f.env = env }
+func (f *foreverNode) Round(t int, in [][]byte) ([][]byte, bool) {
+	return make([][]byte, f.env.Deg), false
+}
+func (f *foreverNode) Output() int { return 0 }
+
+func TestWorkerCountIndependence(t *testing.T) {
+	// Results must not depend on the worker pool size.
+	g := graph.Grid(4, 5)
+	run := func(workers int) []int {
+		r := New(g, Config{SharedSeed: 5, Workers: workers},
+			func(v int) Protocol { return &echoNode{ttl: 3, relay: true} })
+		out, _, err := r.Run(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b, c := run(1), run(4), run(16)
+	for v := range a {
+		if a[v] != b[v] || a[v] != c[v] {
+			t.Fatalf("outputs differ across worker counts at vertex %d", v)
+		}
+	}
+}
+
+func TestParallelEdgeDelivery(t *testing.T) {
+	// Multigraph: two parallel edges between 0 and 1 give two independent
+	// message slots.
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	r := New(g, Config{}, func(v int) Protocol { return &slotEcho{} })
+	out, _, err := r.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each node received both slot markers: 0*16+0 and 1*16+1 → sum 17.
+	if out[0] != 17 || out[1] != 17 {
+		t.Fatalf("outputs %v, want [17 17]", out)
+	}
+}
+
+// oversizedNode returns more output messages than it has neighbors; the
+// runtime must ignore the extras rather than crash or misdeliver.
+type oversizedNode struct {
+	env Env
+	got int
+}
+
+func (o *oversizedNode) Init(env Env) { o.env = env }
+func (o *oversizedNode) Round(t int, in [][]byte) ([][]byte, bool) {
+	for _, m := range in {
+		if m != nil {
+			o.got++
+		}
+	}
+	if t >= 1 {
+		return nil, true
+	}
+	out := make([][]byte, o.env.Deg+5)
+	for i := range out {
+		out[i] = []byte{1}
+	}
+	return out, false
+}
+func (o *oversizedNode) Output() int { return o.got }
+
+func TestOversizedOutboxIgnored(t *testing.T) {
+	g := graph.Path(3)
+	r := New(g, Config{}, func(v int) Protocol { return &oversizedNode{} })
+	out, stats, err := r.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The middle vertex has 2 neighbors, end vertices 1: received counts.
+	if out[0] != 1 || out[1] != 2 || out[2] != 1 {
+		t.Fatalf("outputs %v", out)
+	}
+	// Only deg-many messages counted: 1+2+1 = 4.
+	if stats.Messages != 4 {
+		t.Fatalf("messages = %d, want 4", stats.Messages)
+	}
+}
+
+// slotEcho sends its slot index on each incident edge and sums what arrives.
+type slotEcho struct {
+	env Env
+	sum int
+}
+
+func (s *slotEcho) Init(env Env) { s.env = env }
+func (s *slotEcho) Round(t int, in [][]byte) ([][]byte, bool) {
+	for slot, msg := range in {
+		if msg != nil {
+			s.sum += int(msg[0])*16 + slot
+		}
+	}
+	if t == 1 {
+		return nil, true
+	}
+	out := make([][]byte, s.env.Deg)
+	for i := range out {
+		out[i] = []byte{byte(i)}
+	}
+	return out, false
+}
+func (s *slotEcho) Output() int { return s.sum }

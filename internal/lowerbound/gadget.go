@@ -1,0 +1,280 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"locsample/internal/graph"
+	"locsample/internal/rng"
+)
+
+// Gadget is an instance of the §5.1.1 random bipartite (multi-)graph G_n^k:
+// two sides V⁺ = U⁺ ⊎ W⁺ and V⁻ = U⁻ ⊎ W⁻ with |V^±| = n and |W^±| = k,
+// joined by Δ−1 random perfect matchings between V⁺ and V⁻ plus one random
+// perfect matching between U⁺ and U⁻. Non-terminal vertices have degree Δ;
+// the 2k terminals have degree Δ−1 (their last slot is reserved for the
+// cross edges of the lifted cycle).
+type Gadget struct {
+	G     *graph.Graph
+	N, K  int
+	Delta int
+	// Vertex numbering: V⁺ = 0..n-1 (terminals last: W⁺ = n-k..n-1),
+	// V⁻ = n..2n-1 (terminals last: W⁻ = 2n-k..2n-1).
+	VPlus, VMinus []int
+	WPlus, WMinus []int
+}
+
+// BuildGadget samples a G_n^k with maximum degree delta. Requires
+// n > 2k >= 0 and delta >= 2.
+func BuildGadget(n, k, delta int, r *rng.Source) (*Gadget, error) {
+	if k < 0 || n <= 2*k {
+		return nil, fmt.Errorf("lowerbound: gadget needs n > 2k, got n=%d k=%d", n, k)
+	}
+	if delta < 2 {
+		return nil, fmt.Errorf("lowerbound: gadget needs Δ >= 2, got %d", delta)
+	}
+	b := graph.NewBuilder(2 * n)
+	// Δ−1 perfect matchings between V⁺ (0..n-1) and V⁻ (n..2n-1).
+	for t := 0; t < delta-1; t++ {
+		match := r.Perm(n)
+		for i := 0; i < n; i++ {
+			b.AddEdge(i, n+match[i])
+		}
+	}
+	// One perfect matching between U⁺ (0..n-k-1) and U⁻ (n..2n-k-1).
+	matchU := r.Perm(n - k)
+	for i := 0; i < n-k; i++ {
+		b.AddEdge(i, n+matchU[i])
+	}
+	g := &Gadget{G: b.Build(), N: n, K: k, Delta: delta}
+	for i := 0; i < n; i++ {
+		g.VPlus = append(g.VPlus, i)
+		g.VMinus = append(g.VMinus, n+i)
+	}
+	for i := n - k; i < n; i++ {
+		g.WPlus = append(g.WPlus, i)
+	}
+	for i := 2*n - k; i < 2*n; i++ {
+		g.WMinus = append(g.WMinus, i)
+	}
+	return g, nil
+}
+
+// Phase values.
+const (
+	PhasePlus  = 0
+	PhaseMinus = 1
+	PhaseTie   = 2
+)
+
+// PhaseOf returns the phase Y(σ) of a configuration on the gadget: + when
+// V⁺ holds more occupied vertices than V⁻, − when fewer, tie otherwise.
+func (gd *Gadget) PhaseOf(sigma []int) int {
+	sp, sm := 0, 0
+	for _, v := range gd.VPlus {
+		sp += sigma[v]
+	}
+	for _, v := range gd.VMinus {
+		sm += sigma[v]
+	}
+	switch {
+	case sp > sm:
+		return PhasePlus
+	case sp < sm:
+		return PhaseMinus
+	default:
+		return PhaseTie
+	}
+}
+
+// HasTerminalAdjacency reports whether some W⁺ terminal is directly matched
+// to a W⁻ terminal. At the paper's scale (k = o(n)) this is rare and the
+// good-gadget event of Proposition 5.3 excludes it; tiny instances must
+// check it explicitly because an adjacent terminal pair forces some
+// boundary configurations to probability zero.
+func (gd *Gadget) HasTerminalAdjacency() bool {
+	isTerm := make(map[int]bool, 2*gd.K)
+	for _, w := range gd.WPlus {
+		isTerm[w] = true
+	}
+	for _, w := range gd.WMinus {
+		isTerm[w] = true
+	}
+	for _, e := range gd.G.Edges() {
+		if isTerm[int(e.U)] && isTerm[int(e.V)] {
+			return true
+		}
+	}
+	return false
+}
+
+// FindGoodGadget searches random gadgets until one satisfies the
+// Proposition 5.3 conditions at fugacity λ: connected, no terminal
+// adjacency, phases balanced within balanceTol, and terminal likelihood
+// ratios within [1−ratioTol, 1+ratioTol]. This is the constructive version
+// of the paper's "by the probabilistic method, there exists a G satisfying
+// the above conditions". Returns the gadget, its stats, and the number of
+// attempts used.
+func FindGoodGadget(n, k, delta int, lambda, balanceTol, ratioTol float64, maxTries int, seed uint64) (*Gadget, *GadgetStats, int, error) {
+	r := rng.New(seed)
+	for try := 1; try <= maxTries; try++ {
+		gd, err := BuildGadget(n, k, delta, r)
+		if err != nil {
+			return nil, nil, try, err
+		}
+		if !gd.G.Connected() || gd.HasTerminalAdjacency() {
+			continue
+		}
+		st, err := ComputeGadgetStats(gd, lambda)
+		if err != nil {
+			return nil, nil, try, err
+		}
+		if math.Abs(st.PhaseProb[PhasePlus]-st.PhaseProb[PhaseMinus]) > balanceTol {
+			continue
+		}
+		if st.RatioLo < 1-ratioTol || st.RatioHi > 1+ratioTol {
+			continue
+		}
+		return gd, st, try, nil
+	}
+	return nil, nil, maxTries, fmt.Errorf("lowerbound: no good gadget in %d tries", maxTries)
+}
+
+// GadgetStats summarizes the exact hardcore Gibbs distribution of a gadget
+// at fugacity λ (Proposition 5.3's quantities).
+type GadgetStats struct {
+	// PhaseProb[p] is the Gibbs probability of phase p (+, −, tie).
+	PhaseProb [3]float64
+	// QPlus and QMinus estimate the per-terminal occupation probabilities
+	// q⁺ (W⁺ terminals under phase +) and q⁻ (W⁻ terminals under phase +).
+	QPlus, QMinus float64
+	// RatioLo and RatioHi bound Pr[σ_W = τ | phase]/Q^{phase}(τ) over all
+	// terminal configurations τ and both non-tie phases — Proposition 5.3's
+	// "phase-correlated almost independence" holds when both are near 1.
+	RatioLo, RatioHi float64
+	// Z is the hardcore partition function.
+	Z float64
+}
+
+// ComputeGadgetStats enumerates all 2^(2n) configurations. Requires
+// 2n <= 24.
+func ComputeGadgetStats(gd *Gadget, lambda float64) (*GadgetStats, error) {
+	nv := gd.G.N()
+	if nv > 24 {
+		return nil, fmt.Errorf("lowerbound: gadget enumeration needs <= 24 vertices, got %d", nv)
+	}
+	edges := gd.G.Edges()
+	sigma := make([]int, nv)
+	stats := &GadgetStats{}
+	// Aggregate per (phase, terminal configuration): weight, and per-phase
+	// occupation sums for the q± estimates.
+	tk := 2 * gd.K
+	termWeight := make([][]float64, 3)
+	for p := range termWeight {
+		termWeight[p] = make([]float64, 1<<tk)
+	}
+	occPlus := [3]float64{}
+	occMinus := [3]float64{}
+
+	powLambda := make([]float64, nv+1)
+	powLambda[0] = 1
+	for i := 1; i <= nv; i++ {
+		powLambda[i] = powLambda[i-1] * lambda
+	}
+
+	for code := 0; code < 1<<nv; code++ {
+		pop := 0
+		for i := 0; i < nv; i++ {
+			sigma[i] = (code >> i) & 1
+			pop += sigma[i]
+		}
+		feasible := true
+		for _, e := range edges {
+			if sigma[e.U] == 1 && sigma[e.V] == 1 {
+				feasible = false
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		w := powLambda[pop]
+		stats.Z += w
+		p := gd.PhaseOf(sigma)
+		stats.PhaseProb[p] += w
+		tau := 0
+		for i, v := range gd.WPlus {
+			tau |= sigma[v] << i
+		}
+		for i, v := range gd.WMinus {
+			tau |= sigma[v] << (gd.K + i)
+		}
+		termWeight[p][tau] += w
+		wp := 0
+		for _, v := range gd.WPlus {
+			wp += sigma[v]
+		}
+		wm := 0
+		for _, v := range gd.WMinus {
+			wm += sigma[v]
+		}
+		occPlus[p] += w * float64(wp)
+		occMinus[p] += w * float64(wm)
+	}
+	if stats.Z <= 0 {
+		return nil, fmt.Errorf("lowerbound: zero partition function")
+	}
+	for p := range stats.PhaseProb {
+		stats.PhaseProb[p] /= stats.Z
+	}
+	// q⁺ = mean occupation of a W⁺ terminal conditioned on phase +;
+	// q⁻ = mean occupation of a W⁻ terminal conditioned on phase +.
+	massPlus := stats.PhaseProb[PhasePlus] * stats.Z
+	if massPlus > 0 && gd.K > 0 {
+		stats.QPlus = occPlus[PhasePlus] / (massPlus * float64(gd.K))
+		stats.QMinus = occMinus[PhasePlus] / (massPlus * float64(gd.K))
+	}
+	// Likelihood ratios against the product measure Q^± (Prop 5.3): under
+	// phase +, W⁺ spins are i.i.d. Bernoulli(q⁺) and W⁻ spins Bernoulli(q⁻);
+	// under phase − the roles swap.
+	stats.RatioLo, stats.RatioHi = math.Inf(1), math.Inf(-1)
+	for _, p := range []int{PhasePlus, PhaseMinus} {
+		mass := stats.PhaseProb[p] * stats.Z
+		if mass <= 0 {
+			continue
+		}
+		qp, qm := stats.QPlus, stats.QMinus
+		if p == PhaseMinus {
+			qp, qm = qm, qp
+		}
+		for tau := 0; tau < 1<<tk; tau++ {
+			prob := termWeight[p][tau] / mass
+			qTau := 1.0
+			for i := 0; i < gd.K; i++ {
+				if tau>>i&1 == 1 {
+					qTau *= qp
+				} else {
+					qTau *= 1 - qp
+				}
+			}
+			for i := 0; i < gd.K; i++ {
+				if tau>>(gd.K+i)&1 == 1 {
+					qTau *= qm
+				} else {
+					qTau *= 1 - qm
+				}
+			}
+			if qTau <= 0 {
+				continue
+			}
+			ratio := prob / qTau
+			if ratio < stats.RatioLo {
+				stats.RatioLo = ratio
+			}
+			if ratio > stats.RatioHi {
+				stats.RatioHi = ratio
+			}
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,487 @@
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"locsample/internal/chains"
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+)
+
+// LiftedCycle is the §5.1.2 graph H^G: m disjoint copies of a gadget G
+// (one per vertex of an even cycle H), with the terminals of adjacent
+// copies joined by perfect matchings so the result is Δ-regular. The
+// gadget's K terminals per side split into a "left" half (matched with the
+// previous copy) and a "right" half (matched with the next copy), so K must
+// be even — the paper's G ∈ G_n^{2k}.
+type LiftedCycle struct {
+	G  *graph.Graph
+	M  int
+	Gd *Gadget
+}
+
+// BuildLiftedCycle assembles H^G from m copies of gd. Requires m >= 4 even
+// and gd.K even and positive. Copy x occupies vertices
+// [x·2n, (x+1)·2n) with gd's internal numbering.
+func BuildLiftedCycle(gd *Gadget, m int) (*LiftedCycle, error) {
+	if m < 4 || m%2 != 0 {
+		return nil, fmt.Errorf("lowerbound: lifted cycle needs even m >= 4, got %d", m)
+	}
+	if gd.K <= 0 || gd.K%2 != 0 {
+		return nil, fmt.Errorf("lowerbound: lifted cycle needs even positive K, got %d", gd.K)
+	}
+	nv := gd.G.N()
+	b := graph.NewBuilder(m * nv)
+	// Internal gadget edges, copied per cycle vertex.
+	for x := 0; x < m; x++ {
+		off := x * nv
+		for _, e := range gd.G.Edges() {
+			b.AddEdge(off+int(e.U), off+int(e.V))
+		}
+	}
+	// Cross matchings: right half of W^± of copy x to left half of W^± of
+	// copy x+1.
+	h := gd.K / 2
+	for x := 0; x < m; x++ {
+		y := (x + 1) % m
+		offX, offY := x*nv, y*nv
+		for i := 0; i < h; i++ {
+			b.AddEdge(offX+gd.WPlus[h+i], offY+gd.WPlus[i])
+			b.AddEdge(offX+gd.WMinus[h+i], offY+gd.WMinus[i])
+		}
+	}
+	return &LiftedCycle{G: b.Build(), M: m, Gd: gd}, nil
+}
+
+// PhaseOfCopy returns the phase of copy x under a configuration of H^G.
+func (lc *LiftedCycle) PhaseOfCopy(sigma []int, x int) int {
+	nv := lc.Gd.G.N()
+	off := x * nv
+	sp, sm := 0, 0
+	for _, v := range lc.Gd.VPlus {
+		sp += sigma[off+v]
+	}
+	for _, v := range lc.Gd.VMinus {
+		sm += sigma[off+v]
+	}
+	switch {
+	case sp > sm:
+		return PhasePlus
+	case sp < sm:
+		return PhaseMinus
+	default:
+		return PhaseTie
+	}
+}
+
+// --- Transfer-matrix machinery ---------------------------------------------
+
+// Transfer holds the phase-resolved transfer matrices of a gadget: the
+// boundary state is the joint configuration of its 2K terminals
+// (bits [0,K): W⁺, bits [K,2K): W⁻), W[p][τ] is the total hardcore weight of
+// internal configurations with phase p and boundary τ, and C(τ,τ′) indicates
+// cross-matching compatibility between consecutive copies.
+type Transfer struct {
+	K    int // terminals per side
+	Dim  int // 2^(2K) boundary states
+	W    [3][]float64
+	C    []float64 // Dim×Dim 0/1, row-major
+	M    [3][]float64
+	MSum []float64 // M[+]+M[−]+M[tie]
+}
+
+// ComputeTransfer enumerates the gadget's 2^(2n) configurations and builds
+// the transfer matrices for fugacity lambda. Requires 2n <= 24 and even K.
+func ComputeTransfer(gd *Gadget, lambda float64) (*Transfer, error) {
+	if gd.K%2 != 0 {
+		return nil, fmt.Errorf("lowerbound: transfer needs even K")
+	}
+	nv := gd.G.N()
+	if nv > 24 {
+		return nil, fmt.Errorf("lowerbound: transfer enumeration needs <= 24 vertices, got %d", nv)
+	}
+	t := &Transfer{K: gd.K, Dim: 1 << (2 * gd.K)}
+	for p := range t.W {
+		t.W[p] = make([]float64, t.Dim)
+	}
+	edges := gd.G.Edges()
+	sigma := make([]int, nv)
+	powLambda := make([]float64, nv+1)
+	powLambda[0] = 1
+	for i := 1; i <= nv; i++ {
+		powLambda[i] = powLambda[i-1] * lambda
+	}
+	for code := 0; code < 1<<nv; code++ {
+		pop := 0
+		for i := 0; i < nv; i++ {
+			sigma[i] = (code >> i) & 1
+			pop += sigma[i]
+		}
+		feasible := true
+		for _, e := range edges {
+			if sigma[e.U] == 1 && sigma[e.V] == 1 {
+				feasible = false
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		p := gd.PhaseOf(sigma)
+		tau := 0
+		for i, v := range gd.WPlus {
+			tau |= sigma[v] << i
+		}
+		for i, v := range gd.WMinus {
+			tau |= sigma[v] << (gd.K + i)
+		}
+		t.W[p][tau] += powLambda[pop]
+	}
+	// Cross compatibility: right half of τ's W⁺ (bits K/2..K-1) against
+	// left half of τ′'s W⁺ (bits 0..K/2-1); same for W⁻.
+	h := gd.K / 2
+	t.C = make([]float64, t.Dim*t.Dim)
+	for tau := 0; tau < t.Dim; tau++ {
+		for tau2 := 0; tau2 < t.Dim; tau2++ {
+			ok := true
+			for i := 0; i < h && ok; i++ {
+				if tau>>(h+i)&1 == 1 && tau2>>i&1 == 1 {
+					ok = false
+				}
+				if tau>>(gd.K+h+i)&1 == 1 && tau2>>(gd.K+i)&1 == 1 {
+					ok = false
+				}
+			}
+			if ok {
+				t.C[tau*t.Dim+tau2] = 1
+			}
+		}
+	}
+	// M[p](τ,τ′) = W[p](τ)·C(τ,τ′).
+	for p := 0; p < 3; p++ {
+		t.M[p] = make([]float64, t.Dim*t.Dim)
+		for tau := 0; tau < t.Dim; tau++ {
+			w := t.W[p][tau]
+			if w == 0 {
+				continue
+			}
+			for tau2 := 0; tau2 < t.Dim; tau2++ {
+				t.M[p][tau*t.Dim+tau2] = w * t.C[tau*t.Dim+tau2]
+			}
+		}
+	}
+	t.MSum = make([]float64, t.Dim*t.Dim)
+	for i := range t.MSum {
+		t.MSum[i] = t.M[0][i] + t.M[1][i] + t.M[2][i]
+	}
+	return t, nil
+}
+
+// mul returns a×b for Dim×Dim row-major matrices.
+func (t *Transfer) mul(a, b []float64) []float64 {
+	d := t.Dim
+	out := make([]float64, d*d)
+	for i := 0; i < d; i++ {
+		arow := a[i*d : (i+1)*d]
+		orow := out[i*d : (i+1)*d]
+		for k := 0; k < d; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b[k*d : (k+1)*d]
+			for j := 0; j < d; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+func (t *Transfer) trace(a []float64) float64 {
+	s := 0.0
+	for i := 0; i < t.Dim; i++ {
+		s += a[i*t.Dim+i]
+	}
+	return s
+}
+
+// identity returns the Dim×Dim identity.
+func (t *Transfer) identity() []float64 {
+	id := make([]float64, t.Dim*t.Dim)
+	for i := 0; i < t.Dim; i++ {
+		id[i*t.Dim+i] = 1
+	}
+	return id
+}
+
+// PhaseVectorWeight returns Z_{H^G}(Y′) (Definition 5.1): the total hardcore
+// weight of configurations whose per-copy phases equal the given vector.
+func (t *Transfer) PhaseVectorWeight(phases []int) float64 {
+	acc := t.identity()
+	for _, p := range phases {
+		acc = t.mul(acc, t.M[p])
+	}
+	return t.trace(acc)
+}
+
+// TotalZ returns the partition function of H^G with m copies.
+func (t *Transfer) TotalZ(m int) float64 {
+	acc := t.identity()
+	for x := 0; x < m; x++ {
+		acc = t.mul(acc, t.MSum)
+	}
+	return t.trace(acc)
+}
+
+// PairPhaseProb returns the exact joint distribution of (Y_x, Y_y) for
+// copies at cyclic positions x < y in an m-copy lifted cycle.
+func (t *Transfer) PairPhaseProb(m, x, y int) (joint [3][3]float64, err error) {
+	if !(0 <= x && x < y && y < m) {
+		return joint, fmt.Errorf("lowerbound: need 0 <= x < y < m")
+	}
+	z := t.TotalZ(m)
+	if z <= 0 {
+		return joint, fmt.Errorf("lowerbound: zero partition function")
+	}
+	// Precompute powers of MSum for the two gaps.
+	gap1 := y - x - 1
+	gap2 := m - (y - x) - 1
+	pow := func(k int) []float64 {
+		acc := t.identity()
+		for i := 0; i < k; i++ {
+			acc = t.mul(acc, t.MSum)
+		}
+		return acc
+	}
+	g1, g2 := pow(gap1), pow(gap2)
+	for a := 0; a < 3; a++ {
+		left := t.mul(t.M[a], g1)
+		for b := 0; b < 3; b++ {
+			prod := t.mul(left, t.M[b])
+			prod = t.mul(prod, g2)
+			joint[a][b] = t.trace(prod) / z
+		}
+	}
+	return joint, nil
+}
+
+// PhaseMarginal returns the exact marginal phase distribution of one copy
+// in an m-copy lifted cycle (positions are exchangeable, so the result is
+// position-independent).
+func (t *Transfer) PhaseMarginal(m int) ([3]float64, error) {
+	var out [3]float64
+	z := t.TotalZ(m)
+	if z <= 0 {
+		return out, fmt.Errorf("lowerbound: zero partition function")
+	}
+	rest := t.identity()
+	for i := 0; i < m-1; i++ {
+		rest = t.mul(rest, t.MSum)
+	}
+	for p := 0; p < 3; p++ {
+		out[p] = t.trace(t.mul(t.M[p], rest)) / z
+	}
+	return out, nil
+}
+
+// MaxCutPhaseVectors returns the two alternating phase vectors of the even
+// cycle (its two maximum cuts).
+func MaxCutPhaseVectors(m int) (a, b []int) {
+	a = make([]int, m)
+	b = make([]int, m)
+	for x := 0; x < m; x++ {
+		if x%2 == 0 {
+			a[x], b[x] = PhasePlus, PhaseMinus
+		} else {
+			a[x], b[x] = PhaseMinus, PhasePlus
+		}
+	}
+	return a, b
+}
+
+// MaxCutMass returns the exact Gibbs probability of each max-cut phase
+// vector and the total phase mass captured by the two of them.
+func (t *Transfer) MaxCutMass(m int) (p1, p2, total float64) {
+	z := t.TotalZ(m)
+	y1, y2 := MaxCutPhaseVectors(m)
+	p1 = t.PhaseVectorWeight(y1) / z
+	p2 = t.PhaseVectorWeight(y2) / z
+	return p1, p2, p1 + p2
+}
+
+// PhaseCorrelation reduces a joint phase distribution to the correlation of
+// the ± indicator (ties contribute zero): E[s_x s_y] − E[s_x]E[s_y] with
+// s = +1 for phase +, −1 for phase −, 0 for tie.
+func PhaseCorrelation(joint [3][3]float64) float64 {
+	sign := [3]float64{+1, -1, 0}
+	var exy, ex, ey float64
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			p := joint[a][b]
+			exy += p * sign[a] * sign[b]
+			ex += p * sign[a]
+			ey += p * sign[b]
+		}
+	}
+	return exy - ex*ey
+}
+
+// --- Protocol side of Theorem 5.2 -------------------------------------------
+
+// ProtocolPhaseJoint runs the (centralized replay of the) LocalMetropolis
+// hardcore protocol on H^G for T rounds from the empty configuration, over
+// `runs` independent seeds, and returns the empirical joint distribution of
+// the phases of copies x and y. Because the distributed protocol reproduces
+// the centralized chain exactly (internal/dist tests), this measures
+// precisely what a T-round LOCAL protocol outputs.
+func ProtocolPhaseJoint(lc *LiftedCycle, lambda float64, T int, runs int, seed uint64, x, y int) (joint [3][3]float64) {
+	m := mrf.Hardcore(lc.G, lambda)
+	n := lc.G.N()
+	init := make([]int, n)
+	conf := make([]int, n)
+	sc := chains.NewScratch(m)
+	for run := 0; run < runs; run++ {
+		copy(conf, init)
+		s := seed + uint64(run)*0x9e3779b97f4a7c15
+		for k := 0; k < T; k++ {
+			chains.LocalMetropolisRound(m, conf, s, k, false, sc)
+		}
+		a := lc.PhaseOfCopy(conf, x)
+		b := lc.PhaseOfCopy(conf, y)
+		joint[a][b] += 1 / float64(runs)
+	}
+	return joint
+}
+
+// GibbsVsProtocolGap packages the E8 headline numbers: the exact antipodal
+// phase correlation under Gibbs, the protocol's correlation after T rounds,
+// and the graph diameter. A correct sampler must reproduce the Gibbs
+// correlation; locality forces the protocol's to ≈ 0 for T < diam/2.
+type GibbsVsProtocolGap struct {
+	Diam          int
+	GibbsCorr     float64
+	ProtocolCorr  float64
+	GibbsJoint    [3][3]float64
+	ProtocolJoint [3][3]float64
+}
+
+// ComputeGap runs both sides for antipodal copies (0, m/2).
+func ComputeGap(lc *LiftedCycle, tr *Transfer, lambda float64, T, runs int, seed uint64) (*GibbsVsProtocolGap, error) {
+	gj, err := tr.PairPhaseProb(lc.M, 0, lc.M/2)
+	if err != nil {
+		return nil, err
+	}
+	pj := ProtocolPhaseJoint(lc, lambda, T, runs, seed, 0, lc.M/2)
+	return &GibbsVsProtocolGap{
+		Diam:          lc.G.Diameter(),
+		GibbsCorr:     PhaseCorrelation(gj),
+		ProtocolCorr:  PhaseCorrelation(pj),
+		GibbsJoint:    gj,
+		ProtocolJoint: pj,
+	}, nil
+}
+
+// CountHardcoreZ computes the exact hardcore partition function
+// Σ_{I independent} λ^|I| of a graph with at most 64 vertices by the
+// classic branching recursion Z(G) = Z(G−v) + λ·Z(G−Γ⁺(v)), branching on a
+// maximum-degree remaining vertex and memoizing on the remaining-vertex
+// bitmask. Used to cross-validate the transfer-matrix pipeline on actual
+// lifted-cycle graphs (too large for configuration enumeration, small
+// enough for IS recursion).
+func CountHardcoreZ(g *graph.Graph, lambda float64) (float64, error) {
+	n := g.N()
+	if n > 64 {
+		return 0, fmt.Errorf("lowerbound: CountHardcoreZ needs <= 64 vertices, got %d", n)
+	}
+	nbr := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		for _, u := range g.Adj(v) {
+			nbr[v] |= 1 << uint(u)
+		}
+	}
+	full := uint64(1)<<uint(n) - 1
+	if n == 64 {
+		full = ^uint64(0)
+	}
+	memo := make(map[uint64]float64, 1<<16)
+	var rec func(rem uint64) float64
+	// component extracts the connected component of v within rem.
+	component := func(rem uint64, v int) uint64 {
+		comp := uint64(1) << uint(v)
+		frontier := comp
+		for frontier != 0 {
+			next := uint64(0)
+			for m := frontier; m != 0; m &= m - 1 {
+				u := trailingZeros(m)
+				next |= nbr[u] & rem &^ comp
+			}
+			comp |= next
+			frontier = next
+		}
+		return comp
+	}
+	rec = func(rem uint64) float64 {
+		if rem == 0 {
+			return 1
+		}
+		if z, ok := memo[rem]; ok {
+			return z
+		}
+		// Split across connected components: Z factorizes, and the memo
+		// hits far more often on small pieces.
+		first := trailingZeros(rem)
+		comp := component(rem, first)
+		if comp != rem {
+			z := rec(comp) * rec(rem&^comp)
+			memo[rem] = z
+			return z
+		}
+		// Branch on the vertex with the most remaining neighbors.
+		best, bestDeg := -1, -1
+		for m := rem; m != 0; m &= m - 1 {
+			v := trailingZeros(m)
+			d := popcount64(nbr[v] & rem)
+			if d > bestDeg {
+				best, bestDeg = v, d
+			}
+		}
+		v := best
+		z := rec(rem &^ (1 << uint(v)))
+		z += lambda * rec(rem&^(nbr[v]|1<<uint(v)))
+		memo[rem] = z
+		return z
+	}
+	return rec(full), nil
+}
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+func popcount64(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// ThetaGammaRatio returns Θ/Γ of Lemma 5.5 for given q⁺, q⁻:
+// Θ = (1 − q⁺q⁻)², Γ = (1 − (q⁺)²)(1 − (q⁻)²). Θ/Γ > 1 in the
+// non-uniqueness regime (q⁺ ≠ q⁻), which is what makes max cuts dominate.
+func ThetaGammaRatio(qPlus, qMinus float64) float64 {
+	theta := (1 - qPlus*qMinus) * (1 - qPlus*qMinus)
+	gamma := (1 - qPlus*qPlus) * (1 - qMinus*qMinus)
+	if gamma == 0 {
+		return math.Inf(1)
+	}
+	return theta / gamma
+}

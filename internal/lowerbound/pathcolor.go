@@ -1,0 +1,131 @@
+// Package lowerbound implements the paper's two sampling lower-bound
+// constructions as executable experiments:
+//
+//   - §5 / Theorem 5.1: the Ω(log n) bound for sampling proper q-colorings
+//     of a path, driven by exact exponential correlation decay (computed
+//     here by transfer matrices) against the exact independence of t-round
+//     protocol outputs beyond distance 2t (Eq. 27).
+//   - §5.1 / Theorems 5.2 and 1.3: the Ω(diam) bound for the hardcore model
+//     in the non-uniqueness regime, via the random bipartite gadget G_n^k
+//     (Proposition 5.3) and the lifted even cycle H^G whose Gibbs
+//     distribution concentrates on the two max-cut phase vectors
+//     (Theorem 5.4). Small instances are analysed exactly: per-gadget
+//     enumeration feeds a transfer-matrix computation of the full
+//     phase-vector distribution along the cycle.
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+)
+
+// PathTransition returns the conditional transition matrix of uniform proper
+// q-colorings along a path: P(a,b) = 1/(q−1) for b ≠ a, 0 otherwise. The
+// sequence of colors along a path is exactly a Markov chain with this
+// kernel, which is what makes the path analysis exact.
+func PathTransition(q int) [][]float64 {
+	p := make([][]float64, q)
+	for a := 0; a < q; a++ {
+		p[a] = make([]float64, q)
+		for b := 0; b < q; b++ {
+			if a != b {
+				p[a][b] = 1 / float64(q-1)
+			}
+		}
+	}
+	return p
+}
+
+// PathConditional returns the exact conditional distribution of the color at
+// distance d from a vertex pinned to color c, computed by iterating the
+// transition kernel d times.
+func PathConditional(q, d, c int) []float64 {
+	cur := make([]float64, q)
+	next := make([]float64, q)
+	cur[c] = 1
+	inv := 1 / float64(q-1)
+	for step := 0; step < d; step++ {
+		for b := 0; b < q; b++ {
+			// next[b] = Σ_{a≠b} cur[a]/(q−1) = (1 − cur[b])/(q−1).
+			next[b] = (1 - cur[b]) * inv
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// PathConditionalClosedForm returns the same distribution via the spectral
+// formula P^d(c,b) = 1/q + (−1/(q−1))^d (1{c=b} − 1/q); used to cross-check
+// the iteration.
+func PathConditionalClosedForm(q, d, c int) []float64 {
+	out := make([]float64, q)
+	eig := math.Pow(-1/float64(q-1), float64(d))
+	for b := 0; b < q; b++ {
+		ind := 0.0
+		if b == c {
+			ind = 1
+		}
+		out[b] = 1/float64(q) + eig*(ind-1/float64(q))
+	}
+	return out
+}
+
+// PathCorrelationTV returns the exact total variation distance between the
+// conditional distributions at distance d given two distinct pinned colors —
+// the quantity in the paper's exponential-correlation property (28). For
+// paths it equals η^d with η = 1/(q−1) exactly.
+func PathCorrelationTV(q, d int) float64 {
+	if q < 3 {
+		panic("lowerbound: path colorings need q >= 3")
+	}
+	p0 := PathConditional(q, d, 0)
+	p1 := PathConditional(q, d, 1)
+	tv := 0.0
+	for b := 0; b < q; b++ {
+		tv += math.Abs(p0[b] - p1[b])
+	}
+	return tv / 2
+}
+
+// PathEta returns the exact correlation decay rate η = 1/(q−1) for proper
+// q-colorings of a path.
+func PathEta(q int) float64 { return 1 / float64(q-1) }
+
+// PathJointProductTV returns the exact TV distance between the Gibbs joint
+// distribution of two path vertices at distance d (deep inside a long path)
+// and the product of their marginals. Any t-round protocol output has TV
+// exactly 0 for d > 2t (Eq. 27); Gibbs keeps this quantity at
+// η^d·(q−1)/q > 0, which is the engine of Theorem 5.1.
+func PathJointProductTV(q, d int) float64 {
+	// Joint: Pr[σ_u = a, σ_v = b] = (1/q)·P^d(a,b); product: 1/q².
+	tv := 0.0
+	for a := 0; a < q; a++ {
+		cond := PathConditional(q, d, a)
+		for b := 0; b < q; b++ {
+			tv += math.Abs(cond[b]/float64(q) - 1/float64(q*q))
+		}
+	}
+	return tv / 2
+}
+
+// MinRoundsForCorrelation returns the smallest t such that a t-round
+// protocol could, in principle, correlate vertices at distance d — namely
+// ⌈d/2⌉ by Eq. (27) — packaged for the experiment tables.
+func MinRoundsForCorrelation(d int) int { return (d + 1) / 2 }
+
+// LogLowerBound evaluates the Theorem 5.1 bookkeeping: to keep per-pair TV
+// at least n^{-1/2} (the proof's threshold) the pinned distance must be at
+// most log(√n)/log(1/η); the lower bound is half that distance. It returns
+// the largest distance d with η^d ≥ n^{-1/2} and the implied round bound.
+func LogLowerBound(q int, n int) (maxDist int, rounds int, err error) {
+	if q < 3 || n < 4 {
+		return 0, 0, fmt.Errorf("lowerbound: need q >= 3, n >= 4")
+	}
+	eta := PathEta(q)
+	target := 1 / math.Sqrt(float64(n))
+	d := int(math.Floor(math.Log(target) / math.Log(eta)))
+	if d < 1 {
+		d = 1
+	}
+	return d, (d - 1) / 2, nil
+}

@@ -1,0 +1,206 @@
+package mrf
+
+import (
+	"fmt"
+	"math"
+
+	"locsample/internal/graph"
+)
+
+// Coloring returns the uniform proper q-coloring MRF on g: A_e(i,i) = 0,
+// A_e(i,j) = 1 for i ≠ j, b_v ≡ 1 (§2.2, "Colorings").
+func Coloring(g *graph.Graph, q int) *MRF {
+	a := colorMat(q)
+	edgeA := make([]*Mat, g.M())
+	for i := range edgeA {
+		edgeA[i] = a
+	}
+	b := make([][]float64, g.N())
+	ones := onesVec(q)
+	for i := range b {
+		b[i] = ones
+	}
+	return MustNew(g, q, edgeA, b)
+}
+
+// ListColoring returns the uniform proper list-coloring MRF: colors come
+// from [q], vertex v may only use colors in lists[v] (b_v is the indicator
+// vector of the list; §2.2, "list colorings").
+func ListColoring(g *graph.Graph, q int, lists [][]int) (*MRF, error) {
+	if len(lists) != g.N() {
+		return nil, fmt.Errorf("mrf: %d lists for %d vertices", len(lists), g.N())
+	}
+	a := colorMat(q)
+	edgeA := make([]*Mat, g.M())
+	for i := range edgeA {
+		edgeA[i] = a
+	}
+	b := make([][]float64, g.N())
+	for v, list := range lists {
+		vec := make([]float64, q)
+		for _, c := range list {
+			if c < 0 || c >= q {
+				return nil, fmt.Errorf("mrf: vertex %d list color %d out of [0,%d)", v, c, q)
+			}
+			vec[c] = 1
+		}
+		b[v] = vec
+	}
+	return New(g, q, edgeA, b)
+}
+
+// Hardcore returns the hardcore (weighted independent set) model with
+// fugacity λ: spins {0, 1}, A_e = [[1,1],[1,0]], b_v = (1, λ). λ = 1 gives
+// the uniform distribution over independent sets (§2.2).
+func Hardcore(g *graph.Graph, lambda float64) *MRF {
+	a := NewMat(2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	edgeA := make([]*Mat, g.M())
+	for i := range edgeA {
+		edgeA[i] = a
+	}
+	b := make([][]float64, g.N())
+	vec := []float64{1, lambda}
+	for i := range b {
+		b[i] = vec
+	}
+	return MustNew(g, 2, edgeA, b)
+}
+
+// UniformIndependentSet returns the uniform distribution over independent
+// sets of g (hardcore at λ = 1) — the model of Theorem 1.3.
+func UniformIndependentSet(g *graph.Graph) *MRF {
+	return Hardcore(g, 1)
+}
+
+// VertexCover returns the uniform distribution over vertex covers of g
+// (spin 1 = in the cover; A_e(0,0) = 0 forbids uncovered edges).
+func VertexCover(g *graph.Graph) *MRF {
+	a := NewMat(2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 1)
+	edgeA := make([]*Mat, g.M())
+	for i := range edgeA {
+		edgeA[i] = a
+	}
+	b := make([][]float64, g.N())
+	ones := onesVec(2)
+	for i := range b {
+		b[i] = ones
+	}
+	return MustNew(g, 2, edgeA, b)
+}
+
+// Potts returns the q-state Potts model with edge parameter β > 0:
+// A_e(i,i) = β, A_e(i,j) = 1 for i ≠ j (§2.2, "Physical model"). β < 1 is
+// antiferromagnetic (β = 0 recovers proper colorings), β > 1 ferromagnetic.
+func Potts(g *graph.Graph, q int, beta float64) *MRF {
+	a := NewMat(q)
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			if i == j {
+				a.Set(i, j, beta)
+			} else {
+				a.Set(i, j, 1)
+			}
+		}
+	}
+	edgeA := make([]*Mat, g.M())
+	for i := range edgeA {
+		edgeA[i] = a
+	}
+	b := make([][]float64, g.N())
+	ones := onesVec(q)
+	for i := range b {
+		b[i] = ones
+	}
+	return MustNew(g, q, edgeA, b)
+}
+
+// Ising returns the two-state Potts (Ising) model with edge parameter β and
+// external field h: b_v = (1, h); h = 1 means no field.
+func Ising(g *graph.Graph, beta, h float64) *MRF {
+	a := NewMat(2)
+	a.Set(0, 0, beta)
+	a.Set(1, 1, beta)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	edgeA := make([]*Mat, g.M())
+	for i := range edgeA {
+		edgeA[i] = a
+	}
+	b := make([][]float64, g.N())
+	vec := []float64{1, h}
+	for i := range b {
+		b[i] = vec
+	}
+	return MustNew(g, 2, edgeA, b)
+}
+
+func colorMat(q int) *Mat {
+	a := NewMat(q)
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			if i != j {
+				a.Set(i, j, 1)
+			}
+		}
+	}
+	return a
+}
+
+func onesVec(q int) []float64 {
+	v := make([]float64, q)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// DobrushinAlphaColoring returns the total influence α = max_v d_v/(q_v−d_v)
+// for (list) colorings (§3.2). qs[v] is the list size of vertex v (q for
+// plain colorings). It returns +Inf if some vertex has q_v <= d_v.
+func DobrushinAlphaColoring(g *graph.Graph, qs []int) float64 {
+	alpha := 0.0
+	for v := 0; v < g.N(); v++ {
+		d := g.Deg(v)
+		if d == 0 {
+			continue
+		}
+		if qs[v] <= d {
+			return math.Inf(1)
+		}
+		a := float64(d) / float64(qs[v]-d)
+		if a > alpha {
+			alpha = a
+		}
+	}
+	return alpha
+}
+
+// UniformQs returns a slice of n copies of q (plain-coloring list sizes for
+// DobrushinAlphaColoring).
+func UniformQs(n, q int) []int {
+	qs := make([]int, n)
+	for i := range qs {
+		qs[i] = q
+	}
+	return qs
+}
+
+// LambdaC returns the hardcore uniqueness threshold
+// λ_c(Δ) = (Δ−1)^(Δ−1) / (Δ−2)^Δ of §5.1. Sampling is tractable below it
+// and Ω(diam)-hard in the LOCAL model above it (Theorem 5.2). Requires
+// Δ >= 3.
+func LambdaC(delta int) float64 {
+	if delta < 3 {
+		panic("mrf: LambdaC requires Δ >= 3")
+	}
+	d := float64(delta)
+	return math.Exp((d-1)*math.Log(d-1) - d*math.Log(d-2))
+}

@@ -1,0 +1,379 @@
+// Package mrf implements Markov random fields (spin systems) exactly as
+// defined in §2.2 of the paper: a graph G(V,E), a spin domain [q], a
+// non-negative symmetric q×q edge activity A_e for every edge, and a
+// non-negative q-vector vertex activity b_v for every vertex. The Gibbs
+// distribution µ assigns each configuration σ ∈ [q]^V probability
+// proportional to
+//
+//	w(σ) = Π_{e=uv∈E} A_e(σ_u,σ_v) · Π_{v∈V} b_v(σ_v).      (Eq. 1)
+//
+// The package provides the conditional marginals of Eq. (2) (the Glauber
+// resampling distribution), the normalized activities Ã_e used by the
+// LocalMetropolis filter, the standard models (colorings, list colorings,
+// hardcore, Ising, Potts, vertex cover), and Dobrushin-condition helpers.
+package mrf
+
+import (
+	"fmt"
+	"math"
+
+	"locsample/internal/graph"
+)
+
+// Mat is a dense q×q matrix of non-negative activities stored row-major.
+type Mat struct {
+	Q int
+	A []float64
+}
+
+// NewMat returns a zero q×q matrix.
+func NewMat(q int) *Mat {
+	return &Mat{Q: q, A: make([]float64, q*q)}
+}
+
+// At returns entry (i, j).
+func (m *Mat) At(i, j int) float64 { return m.A[i*m.Q+j] }
+
+// Set assigns entry (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.A[i*m.Q+j] = v }
+
+// Max returns the maximum entry.
+func (m *Mat) Max() float64 {
+	best := math.Inf(-1)
+	for _, v := range m.A {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// IsSymmetric reports whether the matrix is symmetric.
+func (m *Mat) IsSymmetric() bool {
+	for i := 0; i < m.Q; i++ {
+		for j := i + 1; j < m.Q; j++ {
+			if m.At(i, j) != m.At(j, i) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	c := NewMat(m.Q)
+	copy(c.A, m.A)
+	return c
+}
+
+// MRF is a Markov random field on a network. All fields are read-only after
+// construction via New.
+type MRF struct {
+	G *graph.Graph
+	Q int
+	// EdgeA[id] is the activity matrix of edge id.
+	EdgeA []*Mat
+	// VertexB[v] is the activity vector of vertex v (length Q).
+	VertexB [][]float64
+	// edgeNorm[id] = EdgeA[id] scaled so its maximum entry is 1 (the Ã_e of
+	// Algorithm 2); precomputed for the LocalMetropolis filter.
+	edgeNorm []*Mat
+}
+
+// New validates the activities and assembles an MRF. Every edge matrix must
+// be q×q, symmetric, non-negative, and not identically zero; every vertex
+// vector must have length q, be non-negative, and have positive total mass.
+func New(g *graph.Graph, q int, edgeA []*Mat, vertexB [][]float64) (*MRF, error) {
+	if q < 2 {
+		return nil, fmt.Errorf("mrf: need q >= 2, got %d", q)
+	}
+	if len(edgeA) != g.M() {
+		return nil, fmt.Errorf("mrf: %d edge activities for %d edges", len(edgeA), g.M())
+	}
+	if len(vertexB) != g.N() {
+		return nil, fmt.Errorf("mrf: %d vertex activities for %d vertices", len(vertexB), g.N())
+	}
+	for id, a := range edgeA {
+		if a.Q != q {
+			return nil, fmt.Errorf("mrf: edge %d activity is %dx%d, want %dx%d", id, a.Q, a.Q, q, q)
+		}
+		if !a.IsSymmetric() {
+			return nil, fmt.Errorf("mrf: edge %d activity not symmetric", id)
+		}
+		max := a.Max()
+		if max <= 0 {
+			return nil, fmt.Errorf("mrf: edge %d activity identically zero", id)
+		}
+		for _, v := range a.A {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("mrf: edge %d activity has invalid entry %v", id, v)
+			}
+		}
+	}
+	for v, b := range vertexB {
+		if len(b) != q {
+			return nil, fmt.Errorf("mrf: vertex %d activity has length %d, want %d", v, len(b), q)
+		}
+		total := 0.0
+		for _, x := range b {
+			if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("mrf: vertex %d activity has invalid entry %v", v, x)
+			}
+			total += x
+		}
+		if total <= 0 {
+			return nil, fmt.Errorf("mrf: vertex %d activity has zero mass", v)
+		}
+	}
+	m := &MRF{G: g, Q: q, EdgeA: edgeA, VertexB: vertexB}
+	m.edgeNorm = make([]*Mat, len(edgeA))
+	for id, a := range edgeA {
+		norm := a.Clone()
+		max := a.Max()
+		for i := range norm.A {
+			norm.A[i] /= max
+		}
+		m.edgeNorm[id] = norm
+	}
+	return m, nil
+}
+
+// MustNew is New, panicking on error. Intended for the model constructors
+// in this package, whose inputs are valid by construction.
+func MustNew(g *graph.Graph, q int, edgeA []*Mat, vertexB [][]float64) *MRF {
+	m, err := New(g, q, edgeA, vertexB)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// N returns the number of vertices.
+func (m *MRF) N() int { return m.G.N() }
+
+// NormalizedEdge returns Ã_e = A_e / max(A_e) for the given edge ID.
+func (m *MRF) NormalizedEdge(id int) *Mat { return m.edgeNorm[id] }
+
+// Weight returns w(σ) per Eq. (1). Zero means infeasible.
+func (m *MRF) Weight(sigma []int) float64 {
+	w := 1.0
+	for id, e := range m.G.Edges() {
+		w *= m.EdgeA[id].At(sigma[e.U], sigma[e.V])
+		if w == 0 {
+			return 0
+		}
+	}
+	for v := 0; v < m.G.N(); v++ {
+		w *= m.VertexB[v][sigma[v]]
+		if w == 0 {
+			return 0
+		}
+	}
+	return w
+}
+
+// LogWeight returns ln w(σ), or -Inf for infeasible configurations. Use it
+// on large graphs where Weight would underflow.
+func (m *MRF) LogWeight(sigma []int) float64 {
+	lw := 0.0
+	for id, e := range m.G.Edges() {
+		a := m.EdgeA[id].At(sigma[e.U], sigma[e.V])
+		if a == 0 {
+			return math.Inf(-1)
+		}
+		lw += math.Log(a)
+	}
+	for v := 0; v < m.G.N(); v++ {
+		b := m.VertexB[v][sigma[v]]
+		if b == 0 {
+			return math.Inf(-1)
+		}
+		lw += math.Log(b)
+	}
+	return lw
+}
+
+// Feasible reports whether w(σ) > 0.
+func (m *MRF) Feasible(sigma []int) bool {
+	return m.Weight(sigma) > 0
+}
+
+// MarginalInto fills out (length Q) with the conditional marginal
+// µ_v(· | X_{Γ(v)}) of Eq. (2):
+//
+//	µ_v(c | X) ∝ b_v(c) · Π_{u∈Γ(v)} A_{uv}(c, X_u),
+//
+// normalized to sum to 1. It returns false when the total mass is zero
+// (the marginal is undefined — the Glauber assumption of §3 fails at this
+// configuration), in which case out is left unspecified.
+func (m *MRF) MarginalInto(v int, x []int, out []float64) bool {
+	b := m.VertexB[v]
+	for c := 0; c < m.Q; c++ {
+		out[c] = b[c]
+	}
+	adj, inc := m.G.Adj(v), m.G.Inc(v)
+	for i, u := range adj {
+		a := m.EdgeA[inc[i]]
+		xu := x[u]
+		for c := 0; c < m.Q; c++ {
+			if out[c] != 0 {
+				out[c] *= a.At(c, xu)
+			}
+		}
+	}
+	total := 0.0
+	for c := 0; c < m.Q; c++ {
+		total += out[c]
+	}
+	if total <= 0 {
+		return false
+	}
+	inv := 1 / total
+	for c := 0; c < m.Q; c++ {
+		out[c] *= inv
+	}
+	return true
+}
+
+// EdgeCheckProb returns the LocalMetropolis pass probability of edge id
+// given current spins (xu, xv) and proposals (su, sv):
+//
+//	Ã_e(σ_u,σ_v) · Ã_e(X_u,σ_v) · Ã_e(σ_u,X_v)      (Algorithm 2, line 6)
+func (m *MRF) EdgeCheckProb(id, xu, xv, su, sv int) float64 {
+	a := m.edgeNorm[id]
+	return a.At(su, sv) * a.At(xu, sv) * a.At(su, xv)
+}
+
+// ProposalDistInto fills out with the LocalMetropolis proposal distribution
+// of vertex v: b_v normalized (Algorithm 2, line 4).
+func (m *MRF) ProposalDistInto(v int, out []float64) {
+	b := m.VertexB[v]
+	total := 0.0
+	for c := 0; c < m.Q; c++ {
+		out[c] = b[c]
+		total += b[c]
+	}
+	inv := 1 / total
+	for c := 0; c < m.Q; c++ {
+		out[c] *= inv
+	}
+}
+
+// MarginalsAlwaysDefined exhaustively checks the §3 Glauber assumption: the
+// conditional marginal (2) is well defined at every configuration in [q]^V,
+// feasible or not. Exponential in n; intended for the tiny instances used in
+// exact verification. It panics if q^n overflows the iteration budget.
+func (m *MRF) MarginalsAlwaysDefined(maxStates int) (bool, error) {
+	n := m.G.N()
+	states := 1
+	for i := 0; i < n; i++ {
+		states *= m.Q
+		if states > maxStates {
+			return false, fmt.Errorf("mrf: q^n exceeds budget %d", maxStates)
+		}
+	}
+	sigma := make([]int, n)
+	out := make([]float64, m.Q)
+	for s := 0; s < states; s++ {
+		decode(s, m.Q, sigma)
+		for v := 0; v < n; v++ {
+			if !m.MarginalInto(v, sigma, out) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Condition6Holds exhaustively checks inequality (6) of §4.1, the
+// assumption under which LocalMetropolis converges from arbitrary (possibly
+// infeasible) starting configurations:
+//
+//	Σ_i b_v(i) Π_{u∈Γ(v)} [ A_uv(i, X_u) Σ_j b_u(j) A_uv(X_v, j) A_uv(i, j) ] > 0
+//
+// for every X ∈ [q]^V and every v. Exponential in n; for tiny instances.
+func (m *MRF) Condition6Holds(maxStates int) (bool, error) {
+	n := m.G.N()
+	states := 1
+	for i := 0; i < n; i++ {
+		states *= m.Q
+		if states > maxStates {
+			return false, fmt.Errorf("mrf: q^n exceeds budget %d", maxStates)
+		}
+	}
+	sigma := make([]int, n)
+	for s := 0; s < states; s++ {
+		decode(s, m.Q, sigma)
+		for v := 0; v < n; v++ {
+			if !m.condition6At(v, sigma) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// condition6At evaluates the inner positivity of (6) at vertex v under X.
+func (m *MRF) condition6At(v int, x []int) bool {
+	adj, inc := m.G.Adj(v), m.G.Inc(v)
+	for i := 0; i < m.Q; i++ {
+		term := m.VertexB[v][i]
+		if term == 0 {
+			continue
+		}
+		ok := true
+		for t, u := range adj {
+			a := m.EdgeA[inc[t]]
+			inner := 0.0
+			for j := 0; j < m.Q; j++ {
+				inner += m.VertexB[u][j] * a.At(x[v], j) * a.At(i, j)
+			}
+			if a.At(i, x[u]) == 0 || inner == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// decode writes the base-q digits of s into sigma (least significant digit
+// first, i.e. vertex 0 varies fastest).
+func decode(s, q int, sigma []int) {
+	for i := range sigma {
+		sigma[i] = s % q
+		s /= q
+	}
+}
+
+// IsColoringModel reports whether the MRF is exactly the uniform proper
+// q-coloring model: all vertex activities 1, all edge activities the
+// complement-of-identity 0/1 matrix. Several components specialize on this
+// (fast chain paths, permutation couplings, Theorem 4.2 round budgets).
+func (m *MRF) IsColoringModel() bool {
+	for _, b := range m.VertexB {
+		for _, x := range b {
+			if x != 1 {
+				return false
+			}
+		}
+	}
+	for _, a := range m.EdgeA {
+		for i := 0; i < a.Q; i++ {
+			for j := 0; j < a.Q; j++ {
+				want := 1.0
+				if i == j {
+					want = 0
+				}
+				if a.At(i, j) != want {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

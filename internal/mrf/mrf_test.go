@@ -1,0 +1,434 @@
+package mrf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"locsample/internal/graph"
+	"locsample/internal/rng"
+)
+
+func TestMatBasics(t *testing.T) {
+	m := NewMat(3)
+	m.Set(1, 2, 5)
+	m.Set(2, 1, 5)
+	if m.At(1, 2) != 5 || m.At(0, 0) != 0 {
+		t.Fatal("Mat At/Set broken")
+	}
+	if !m.IsSymmetric() {
+		t.Fatal("symmetric matrix reported asymmetric")
+	}
+	m.Set(0, 1, 3)
+	if m.IsSymmetric() {
+		t.Fatal("asymmetric matrix reported symmetric")
+	}
+	if m.Max() != 5 {
+		t.Fatalf("Max=%v", m.Max())
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	g := graph.Path(3)
+	okMat := colorMat(3)
+	okB := [][]float64{onesVec(3), onesVec(3), onesVec(3)}
+
+	if _, err := New(g, 1, []*Mat{okMat, okMat}, okB); err == nil {
+		t.Error("q=1 accepted")
+	}
+	if _, err := New(g, 3, []*Mat{okMat}, okB); err == nil {
+		t.Error("wrong edge count accepted")
+	}
+	if _, err := New(g, 3, []*Mat{okMat, okMat}, okB[:2]); err == nil {
+		t.Error("wrong vertex count accepted")
+	}
+	bad := NewMat(3)
+	bad.Set(0, 1, 1) // asymmetric
+	if _, err := New(g, 3, []*Mat{bad, okMat}, okB); err == nil {
+		t.Error("asymmetric matrix accepted")
+	}
+	zero := NewMat(3)
+	if _, err := New(g, 3, []*Mat{zero, okMat}, okB); err == nil {
+		t.Error("zero matrix accepted")
+	}
+	neg := colorMat(3)
+	neg.Set(0, 1, -1)
+	neg.Set(1, 0, -1)
+	if _, err := New(g, 3, []*Mat{neg, okMat}, okB); err == nil {
+		t.Error("negative entry accepted")
+	}
+	zb := [][]float64{{0, 0, 0}, onesVec(3), onesVec(3)}
+	if _, err := New(g, 3, []*Mat{okMat, okMat}, zb); err == nil {
+		t.Error("zero-mass vertex activity accepted")
+	}
+	wrongQ := NewMat(2)
+	wrongQ.Set(0, 1, 1)
+	wrongQ.Set(1, 0, 1)
+	if _, err := New(g, 3, []*Mat{wrongQ, okMat}, okB); err == nil {
+		t.Error("wrong-size matrix accepted")
+	}
+}
+
+func TestColoringWeights(t *testing.T) {
+	g := graph.Cycle(4)
+	m := Coloring(g, 3)
+	if w := m.Weight([]int{0, 1, 0, 1}); w != 1 {
+		t.Fatalf("proper coloring weight %v, want 1", w)
+	}
+	if w := m.Weight([]int{0, 0, 1, 2}); w != 0 {
+		t.Fatalf("improper coloring weight %v, want 0", w)
+	}
+	if !m.Feasible([]int{0, 1, 2, 1}) || m.Feasible([]int{1, 1, 1, 1}) {
+		t.Fatal("Feasible wrong")
+	}
+	if lw := m.LogWeight([]int{0, 1, 0, 1}); lw != 0 {
+		t.Fatalf("log-weight %v, want 0", lw)
+	}
+	if lw := m.LogWeight([]int{0, 0, 1, 2}); !math.IsInf(lw, -1) {
+		t.Fatalf("infeasible log-weight %v, want -Inf", lw)
+	}
+}
+
+func TestHardcoreWeights(t *testing.T) {
+	g := graph.Path(3)
+	m := Hardcore(g, 2.0)
+	// {1,0,1} is an independent set with 2 occupied vertices: weight λ².
+	if w := m.Weight([]int{1, 0, 1}); w != 4 {
+		t.Fatalf("hardcore weight %v, want 4", w)
+	}
+	if w := m.Weight([]int{1, 1, 0}); w != 0 {
+		t.Fatalf("blocked pair weight %v, want 0", w)
+	}
+	if w := m.Weight([]int{0, 0, 0}); w != 1 {
+		t.Fatalf("empty set weight %v, want 1", w)
+	}
+}
+
+func TestVertexCoverWeights(t *testing.T) {
+	g := graph.Path(3)
+	m := VertexCover(g)
+	if w := m.Weight([]int{0, 1, 0}); w != 1 {
+		t.Fatalf("cover {1} weight %v", w)
+	}
+	if w := m.Weight([]int{1, 0, 0}); w != 0 {
+		t.Fatalf("non-cover weight %v", w)
+	}
+	// Cross-check against the graph predicate over all configurations.
+	sigma := make([]int, 3)
+	for s := 0; s < 8; s++ {
+		for i := range sigma {
+			sigma[i] = (s >> i) & 1
+		}
+		want := g.IsVertexCover(sigma)
+		if got := m.Feasible(sigma); got != want {
+			t.Fatalf("VertexCover feasibility mismatch at %v: got %v", sigma, got)
+		}
+	}
+}
+
+func TestIndependentSetMatchesPredicate(t *testing.T) {
+	g := graph.Cycle(5)
+	m := UniformIndependentSet(g)
+	sigma := make([]int, 5)
+	for s := 0; s < 32; s++ {
+		for i := range sigma {
+			sigma[i] = (s >> i) & 1
+		}
+		if m.Feasible(sigma) != g.IsIndependentSet(sigma) {
+			t.Fatalf("IS feasibility mismatch at %v", sigma)
+		}
+		if m.Feasible(sigma) && m.Weight(sigma) != 1 {
+			t.Fatalf("uniform IS weight %v at %v", m.Weight(sigma), sigma)
+		}
+	}
+}
+
+func TestPottsAndIsing(t *testing.T) {
+	g := graph.Path(2)
+	p := Potts(g, 3, 2.0)
+	if w := p.Weight([]int{1, 1}); w != 2 {
+		t.Fatalf("Potts equal-spin weight %v", w)
+	}
+	if w := p.Weight([]int{0, 1}); w != 1 {
+		t.Fatalf("Potts unequal-spin weight %v", w)
+	}
+	is := Ising(g, 3.0, 0.5)
+	// {1,1}: edge β=3, fields 0.5*0.5 → 0.75.
+	if w := is.Weight([]int{1, 1}); math.Abs(w-0.75) > 1e-15 {
+		t.Fatalf("Ising weight %v, want 0.75", w)
+	}
+	if w := is.Weight([]int{0, 1}); math.Abs(w-0.5) > 1e-15 {
+		t.Fatalf("Ising weight %v, want 0.5", w)
+	}
+}
+
+func TestListColoring(t *testing.T) {
+	g := graph.Path(3)
+	m, err := ListColoring(g, 3, [][]int{{0, 1}, {1, 2}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Feasible([]int{1, 2, 0}) {
+		t.Fatal("valid list coloring rejected")
+	}
+	if m.Feasible([]int{2, 1, 0}) {
+		t.Fatal("color outside list accepted")
+	}
+	if m.Feasible([]int{0, 0, 0}) {
+		t.Fatal("improper coloring accepted")
+	}
+	if _, err := ListColoring(g, 3, [][]int{{0}, {5}, {0}}); err == nil {
+		t.Fatal("out-of-range list color accepted")
+	}
+	if _, err := ListColoring(g, 3, [][]int{{0}}); err == nil {
+		t.Fatal("wrong list count accepted")
+	}
+}
+
+func TestMarginalColoring(t *testing.T) {
+	// Center of a star with 3 leaves colored {0, 1, 1}: available colors for
+	// the center among q=4 are {2, 3}, each with probability 1/2.
+	g := graph.Star(4)
+	m := Coloring(g, 4)
+	x := []int{9, 0, 1, 1} // center value irrelevant
+	out := make([]float64, 4)
+	x[0] = 0
+	if !m.MarginalInto(0, x, out) {
+		t.Fatal("marginal undefined")
+	}
+	want := []float64{0, 0, 0.5, 0.5}
+	for c := range want {
+		if math.Abs(out[c]-want[c]) > 1e-15 {
+			t.Fatalf("marginal %v, want %v", out, want)
+		}
+	}
+}
+
+func TestMarginalHardcore(t *testing.T) {
+	g := graph.Path(3)
+	m := Hardcore(g, 2.0)
+	out := make([]float64, 2)
+	// Middle vertex with both neighbors empty: P(occupied) = λ/(1+λ) = 2/3.
+	if !m.MarginalInto(1, []int{0, 0, 0}, out) {
+		t.Fatal("marginal undefined")
+	}
+	if math.Abs(out[1]-2.0/3) > 1e-15 {
+		t.Fatalf("marginal %v, want [1/3 2/3]", out)
+	}
+	// Neighbor occupied: P(occupied) = 0.
+	if !m.MarginalInto(1, []int{1, 0, 0}, out) {
+		t.Fatal("marginal undefined")
+	}
+	if out[1] != 0 || out[0] != 1 {
+		t.Fatalf("marginal %v, want [1 0]", out)
+	}
+}
+
+func TestMarginalSumsToOne(t *testing.T) {
+	r := rng.New(5)
+	g := graph.Gnp(8, 0.3, r)
+	m := Coloring(g, g.MaxDeg()+2)
+	out := make([]float64, m.Q)
+	x := make([]int, g.N())
+	for trial := 0; trial < 50; trial++ {
+		for i := range x {
+			x[i] = r.Intn(m.Q)
+		}
+		for v := 0; v < g.N(); v++ {
+			if !m.MarginalInto(v, x, out) {
+				continue
+			}
+			sum := 0.0
+			for _, p := range out {
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				t.Fatalf("marginal sums to %v", sum)
+			}
+		}
+	}
+}
+
+func TestEdgeCheckProbColoring(t *testing.T) {
+	g := graph.Path(2)
+	m := Coloring(g, 3)
+	// No filter rule fires (σu≠σv, σv≠Xu, σu≠Xv): pass prob 1. Note σv may
+	// equal Xv — re-proposing one's own color is allowed.
+	if p := m.EdgeCheckProb(0, 0, 1, 2, 1); p != 1 {
+		t.Fatalf("pass prob %v, want 1", p)
+	}
+	// v proposes u's current color: rule 1 fires.
+	if p := m.EdgeCheckProb(0, 2, 1, 0, 2); p != 0 {
+		t.Fatalf("pass prob %v, want 0 (σ_v = X_u)", p)
+	}
+	// Same proposals: rule 2 fires.
+	if p := m.EdgeCheckProb(0, 0, 1, 2, 2); p != 0 {
+		t.Fatalf("pass prob %v, want 0 (σ_u = σ_v)", p)
+	}
+	// u proposes v's current color: rule 3 fires.
+	if p := m.EdgeCheckProb(0, 0, 1, 1, 2); p != 0 {
+		t.Fatalf("pass prob %v, want 0 (σ_u = X_v)", p)
+	}
+}
+
+func TestEdgeCheckProbSymmetric(t *testing.T) {
+	// The two endpoints must compute the same pass probability from their
+	// own perspective — this is what makes the shared-coin trick sound.
+	g := graph.Path(2)
+	m := Ising(g, 0.7, 1)
+	err := quick.Check(func(xu, xv, su, sv uint8) bool {
+		a, b, c, d := int(xu%2), int(xv%2), int(su%2), int(sv%2)
+		return m.EdgeCheckProb(0, a, b, c, d) == m.EdgeCheckProb(0, b, a, d, c)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProposalDist(t *testing.T) {
+	g := graph.Path(2)
+	m := Hardcore(g, 3.0)
+	out := make([]float64, 2)
+	m.ProposalDistInto(0, out)
+	if math.Abs(out[0]-0.25) > 1e-15 || math.Abs(out[1]-0.75) > 1e-15 {
+		t.Fatalf("proposal dist %v, want [0.25 0.75]", out)
+	}
+}
+
+func TestMarginalsAlwaysDefined(t *testing.T) {
+	g := graph.Cycle(4)
+	// q = Δ+1 = 3 guarantees well-defined marginals for colorings (§3 fn. 1).
+	ok, err := Coloring(g, 3).MarginalsAlwaysDefined(1 << 20)
+	if err != nil || !ok {
+		t.Fatalf("coloring q=Δ+1: ok=%v err=%v", ok, err)
+	}
+	// q = 2 on a path of 3: middle vertex with neighbors colored 0 and 1 has
+	// no available color.
+	ok, err = Coloring(graph.Path(3), 2).MarginalsAlwaysDefined(1 << 20)
+	if err != nil || ok {
+		t.Fatalf("coloring q=2 should have undefined marginals somewhere: ok=%v err=%v", ok, err)
+	}
+	// Hardcore marginals are always defined (empty spin always allowed).
+	ok, err = Hardcore(g, 1.5).MarginalsAlwaysDefined(1 << 20)
+	if err != nil || !ok {
+		t.Fatalf("hardcore: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCondition6(t *testing.T) {
+	// §4.1: for colorings, condition (6) holds when q >= Δ+1 and q >= 3.
+	g := graph.Cycle(4) // Δ = 2
+	ok, err := Coloring(g, 3).Condition6Holds(1 << 22)
+	if err != nil || !ok {
+		t.Fatalf("q=Δ+1=3: ok=%v err=%v", ok, err)
+	}
+	// q = Δ on a star: the center may see all q colors among its leaves.
+	ok, err = Coloring(graph.Star(4), 3).Condition6Holds(1 << 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("q=Δ should violate condition (6) on a star")
+	}
+	// q = 2 violates the q >= 3 requirement even on a single edge.
+	ok, err = Coloring(graph.Path(2), 2).Condition6Holds(1 << 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("q=2 should violate condition (6)")
+	}
+	// Hardcore always satisfies (6): the empty spin never conflicts.
+	ok, err = Hardcore(graph.Star(4), 2).Condition6Holds(1 << 22)
+	if err != nil || !ok {
+		t.Fatalf("hardcore: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestBudgetErrors(t *testing.T) {
+	g := graph.Cycle(12)
+	m := Coloring(g, 5)
+	if _, err := m.MarginalsAlwaysDefined(100); err == nil {
+		t.Fatal("budget overflow not reported")
+	}
+	if _, err := m.Condition6Holds(100); err == nil {
+		t.Fatal("budget overflow not reported")
+	}
+}
+
+func TestDobrushinAlphaColoring(t *testing.T) {
+	g := graph.Cycle(6) // d_v = 2 everywhere
+	if a := DobrushinAlphaColoring(g, UniformQs(6, 5)); math.Abs(a-2.0/3) > 1e-15 {
+		t.Fatalf("alpha %v, want 2/3", a)
+	}
+	// q = 2Δ+1 = 5 gives α = 2/3 < 1 (Dobrushin holds); q = 4 gives α = 1.
+	if a := DobrushinAlphaColoring(g, UniformQs(6, 4)); a != 1 {
+		t.Fatalf("alpha %v, want 1", a)
+	}
+	if a := DobrushinAlphaColoring(g, UniformQs(6, 2)); !math.IsInf(a, 1) {
+		t.Fatalf("alpha %v, want +Inf", a)
+	}
+	// Isolated vertices contribute nothing.
+	empty := graph.NewBuilder(3).Build()
+	if a := DobrushinAlphaColoring(empty, UniformQs(3, 2)); a != 0 {
+		t.Fatalf("alpha %v, want 0", a)
+	}
+}
+
+func TestLambdaC(t *testing.T) {
+	// λ_c(Δ) = (Δ−1)^(Δ−1)/(Δ−2)^Δ. Δ=3: 4/1 = 4. Δ=4: 27/16. Δ=5: 256/243.
+	cases := []struct {
+		delta int
+		want  float64
+	}{
+		{3, 4}, {4, 27.0 / 16}, {5, 256.0 / 243}, {6, 3125.0 / 4096},
+	}
+	for _, tc := range cases {
+		if got := LambdaC(tc.delta); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("LambdaC(%d) = %v, want %v", tc.delta, got, tc.want)
+		}
+	}
+	// Uniform IS (λ=1) is non-unique exactly when λ_c(Δ) < 1 i.e. Δ >= 6
+	// (Theorem 1.3's Δ >= 6 requirement).
+	if LambdaC(5) <= 1 {
+		t.Error("λ_c(5) should exceed 1")
+	}
+	if LambdaC(6) >= 1 {
+		t.Error("λ_c(6) should be below 1")
+	}
+}
+
+func TestNormalizedEdge(t *testing.T) {
+	g := graph.Path(2)
+	m := Ising(g, 4.0, 1)
+	norm := m.NormalizedEdge(0)
+	if norm.At(0, 0) != 1 || norm.At(0, 1) != 0.25 {
+		t.Fatalf("normalized Ising activity: %v", norm.A)
+	}
+	// The original matrix must be untouched.
+	if m.EdgeA[0].At(0, 0) != 4 {
+		t.Fatal("normalization mutated the original activity")
+	}
+}
+
+// Property: Weight and LogWeight agree (where feasible) on random colorings.
+func TestWeightLogWeightAgree(t *testing.T) {
+	r := rng.New(17)
+	g := graph.Gnp(7, 0.4, r)
+	m := Potts(g, 3, 1.7)
+	x := make([]int, g.N())
+	for trial := 0; trial < 200; trial++ {
+		for i := range x {
+			x[i] = r.Intn(3)
+		}
+		w, lw := m.Weight(x), m.LogWeight(x)
+		if math.Abs(math.Log(w)-lw) > 1e-9 {
+			t.Fatalf("Weight/LogWeight disagree: %v vs %v", math.Log(w), lw)
+		}
+	}
+}

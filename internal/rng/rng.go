@@ -1,0 +1,195 @@
+// Package rng provides the deterministic pseudo-randomness substrate used by
+// every sampler in this repository.
+//
+// All randomness flows from explicit 64-bit seeds through splitmix64
+// generators. Two facilities matter for the LOCAL model:
+//
+//   - Source: a sequential stream (one per vertex, or one per experiment).
+//   - PRF: a keyed pseudo-random function over tuples of uint64s, used to
+//     implement the paper's shared per-edge coins ("the two endpoints u and v
+//     access the same random coin", §4): both endpoints evaluate
+//     PRF(sharedSeed, edgeID, round) and obtain the same variate without any
+//     communication.
+//
+// splitmix64 is the output-scrambled Weyl-sequence generator of Steele,
+// Lea and Flood; it is statistically strong for simulation workloads, has a
+// full 2^64 period, and — critically here — supports cheap key-derivation so
+// that per-(vertex, round) streams are independent-looking yet reproducible.
+package rng
+
+import "math"
+
+// golden is the splitmix64 Weyl increment (2^64 / φ, rounded to odd).
+const golden = 0x9e3779b97f4a7c15
+
+// mix applies the splitmix64 output permutation to z.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Source is a deterministic stream of pseudo-random values. The zero value
+// is a valid stream seeded with 0; prefer New for explicit seeding.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed. Distinct seeds yield streams that
+// are statistically independent for simulation purposes.
+func New(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Derive returns a new Source whose stream is determined by the parent seed
+// and the given identifiers. It is used to give each vertex (and each
+// (vertex, round) pair) its own reproducible stream.
+func Derive(seed uint64, ids ...uint64) *Source {
+	return &Source{state: PRF(seed, ids...)}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Source) Uint64() uint64 {
+	s.state += golden
+	return mix(s.state)
+}
+
+// Float64 returns a uniform variate in [0, 1) with 53 bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Debiasing uses Lemire's nearly-divisionless method.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	un := uint64(n)
+	v := s.Uint64()
+	hi, lo := mul64(v, un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			v = s.Uint64()
+			hi, lo = mul64(v, un)
+		}
+	}
+	_ = lo
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return hi, lo
+}
+
+// Bool returns a fair coin flip.
+func (s *Source) Bool() bool {
+	return s.Uint64()&1 == 1
+}
+
+// Bernoulli returns true with probability p.
+func (s *Source) Bernoulli(p float64) bool {
+	return s.Float64() < p
+}
+
+// Perm returns a uniform random permutation of [0, n) as a slice.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.Shuffle(p)
+	return p
+}
+
+// Shuffle permutes p uniformly in place (Fisher–Yates).
+func (s *Source) Shuffle(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Categorical samples an index from the unnormalized non-negative weight
+// vector w. It panics if the total weight is zero, non-finite, or negative.
+func (s *Source) Categorical(w []float64) int {
+	total := 0.0
+	for _, x := range w {
+		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			panic("rng: Categorical weight must be finite and non-negative")
+		}
+		total += x
+	}
+	if total <= 0 {
+		panic("rng: Categorical called with zero total weight")
+	}
+	u := s.Float64() * total
+	acc := 0.0
+	for i, x := range w {
+		acc += x
+		if u < acc {
+			return i
+		}
+	}
+	// Floating-point slack: return the last positive-weight index.
+	for i := len(w) - 1; i >= 0; i-- {
+		if w[i] > 0 {
+			return i
+		}
+	}
+	panic("rng: Categorical internal error")
+}
+
+// CategoricalU samples an index from the unnormalized weights w using the
+// externally supplied uniform u in [0,1). Supplying the same u to two chains
+// realizes the monotone shared-uniform coupling used in coalescence
+// experiments (internal/coupling).
+func CategoricalU(w []float64, u float64) int {
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	t := u * total
+	acc := 0.0
+	for i, x := range w {
+		acc += x
+		if t < acc {
+			return i
+		}
+	}
+	for i := len(w) - 1; i >= 0; i-- {
+		if w[i] > 0 {
+			return i
+		}
+	}
+	panic("rng: CategoricalU called with zero total weight")
+}
+
+// PRF is a keyed pseudo-random function: it hashes (key, ids...) to 64
+// uniform-looking bits. It is the basis of the shared edge coins and of
+// stream derivation. Evaluations with distinct inputs are independent for
+// simulation purposes; the same inputs always produce the same output.
+func PRF(key uint64, ids ...uint64) uint64 {
+	h := mix(key + golden)
+	for _, id := range ids {
+		h = mix(h ^ mix(id+golden))
+	}
+	return h
+}
+
+// PRFFloat64 returns the PRF output mapped to a uniform variate in [0, 1).
+func PRFFloat64(key uint64, ids ...uint64) float64 {
+	return float64(PRF(key, ids...)>>11) / (1 << 53)
+}

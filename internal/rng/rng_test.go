@@ -1,0 +1,256 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds collided %d times in 1000 draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 100000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	const trials = 200000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / trials
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := New(3)
+	const n, trials = 7, 140000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		v := s.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn(%d) = %d out of range", n, v)
+		}
+		counts[v]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("Intn bucket %d: %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(5)
+	err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		p := Derive(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s
+}
+
+func TestPermUniformPairs(t *testing.T) {
+	// Each of the 6 permutations of 3 elements should appear ~1/6 of the time.
+	s := New(9)
+	counts := map[[3]int]int{}
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		p := s.Perm(3)
+		counts[[3]int{p[0], p[1], p[2]}]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("saw %d distinct permutations of 3, want 6", len(counts))
+	}
+	want := float64(trials) / 6
+	for k, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("perm %v: count %d, want ~%.0f", k, c, want)
+		}
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	s := New(13)
+	w := []float64{1, 2, 3, 0, 4}
+	counts := make([]int, len(w))
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		counts[s.Categorical(w)]++
+	}
+	if counts[3] != 0 {
+		t.Fatalf("zero-weight category sampled %d times", counts[3])
+	}
+	total := 10.0
+	for i, wi := range w {
+		want := float64(trials) * wi / total
+		if wi > 0 && math.Abs(float64(counts[i])-want) > 6*math.Sqrt(want) {
+			t.Errorf("category %d: %d, want ~%.0f", i, counts[i], want)
+		}
+	}
+}
+
+func TestCategoricalPanicsOnZeroTotal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Categorical with zero total did not panic")
+		}
+	}()
+	New(1).Categorical([]float64{0, 0})
+}
+
+func TestCategoricalUMonotone(t *testing.T) {
+	// CategoricalU must be monotone in u: larger u never yields a smaller
+	// index. This is what makes the shared-uniform coupling maximal per-site.
+	w := []float64{0.5, 1.5, 1.0}
+	prev := -1
+	for u := 0.0; u < 1.0; u += 1e-3 {
+		i := CategoricalU(w, u)
+		if i < prev {
+			t.Fatalf("CategoricalU not monotone: u=%v gave %d after %d", u, i, prev)
+		}
+		prev = i
+	}
+}
+
+func TestPRFDeterministicAndSpread(t *testing.T) {
+	if PRF(1, 2, 3) != PRF(1, 2, 3) {
+		t.Fatal("PRF not deterministic")
+	}
+	if PRF(1, 2, 3) == PRF(1, 3, 2) {
+		t.Fatal("PRF ignores argument order")
+	}
+	if PRF(1, 2) == PRF(2, 2) {
+		t.Fatal("PRF ignores key")
+	}
+	// Bit balance across many evaluations.
+	ones := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		ones += popcount(PRF(99, uint64(i)))
+	}
+	mean := float64(ones) / trials
+	if math.Abs(mean-32) > 0.5 {
+		t.Fatalf("PRF bit balance %v, want ~32", mean)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	// Streams derived with different ids from the same seed must differ.
+	a := Derive(77, 1)
+	b := Derive(77, 2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("derived streams collided %d times", same)
+	}
+}
+
+func TestPRFFloat64Range(t *testing.T) {
+	for i := uint64(0); i < 10000; i++ {
+		f := PRFFloat64(5, i)
+		if f < 0 || f >= 1 {
+			t.Fatalf("PRFFloat64 out of range: %v", f)
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	s := New(21)
+	const trials = 200000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if math.Abs(rate-0.3) > 0.005 {
+		t.Fatalf("Bernoulli(0.3) rate %v", rate)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Intn(1000)
+	}
+}
+
+func BenchmarkPRF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = PRF(1, uint64(i), 7)
+	}
+}

@@ -1,0 +1,201 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harnesses: summaries, empirical distributions, total-variation
+// estimates, confidence intervals, and least-squares fits for scaling plots.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of real values.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+	Q25, Q75  float64
+}
+
+// Summarize computes a Summary. It panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, x := range xs {
+		s.Mean += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - s.Mean
+		s.Std += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(s.Std / float64(len(xs)-1))
+	} else {
+		s.Std = 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	s.Q25 = Quantile(sorted, 0.25)
+	s.Q75 = Quantile(sorted, 0.75)
+	return s
+}
+
+// Quantile returns the q-quantile of an ascending-sorted slice using linear
+// interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Counter accumulates an empirical distribution over a finite index set.
+type Counter struct {
+	Counts []float64
+	Total  float64
+}
+
+// NewCounter returns a Counter over `size` outcomes.
+func NewCounter(size int) *Counter {
+	return &Counter{Counts: make([]float64, size)}
+}
+
+// Observe adds one observation of outcome i.
+func (c *Counter) Observe(i int) {
+	c.Counts[i]++
+	c.Total++
+}
+
+// Dist returns the normalized empirical distribution.
+func (c *Counter) Dist() []float64 {
+	out := make([]float64, len(c.Counts))
+	if c.Total == 0 {
+		return out
+	}
+	for i, x := range c.Counts {
+		out[i] = x / c.Total
+	}
+	return out
+}
+
+// TV returns the total variation distance between two distributions.
+func TV(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: TV over different supports")
+	}
+	s := 0.0
+	for i := range p {
+		s += math.Abs(p[i] - q[i])
+	}
+	return s / 2
+}
+
+// WilsonCI returns the Wilson score interval for a binomial proportion at
+// confidence z (1.96 for 95%).
+func WilsonCI(successes, trials int, z float64) (lo, hi float64) {
+	if trials == 0 {
+		return 0, 1
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	return math.Max(0, center-half), math.Min(1, center+half)
+}
+
+// LinFit returns the least-squares line y = a + b·x.
+func LinFit(xs, ys []float64) (a, b float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, fmt.Errorf("stats: LinFit needs two aligned samples of size >= 2")
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	det := n*sxx - sx*sx
+	if det == 0 {
+		return 0, 0, fmt.Errorf("stats: LinFit degenerate x values")
+	}
+	b = (n*sxy - sx*sy) / det
+	a = (sy - b*sx) / n
+	return a, b, nil
+}
+
+// LogXFit fits y = a + b·ln(x): the model for "rounds grow logarithmically
+// in n". All xs must be positive.
+func LogXFit(xs, ys []float64) (a, b float64, err error) {
+	lx := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			return 0, 0, fmt.Errorf("stats: LogXFit needs positive x, got %v", x)
+		}
+		lx[i] = math.Log(x)
+	}
+	return LinFit(lx, ys)
+}
+
+// PowerFit fits y = c·x^p by regressing ln y on ln x; returns (c, p). All
+// values must be positive.
+func PowerFit(xs, ys []float64) (c, p float64, err error) {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, 0, fmt.Errorf("stats: PowerFit needs positive data")
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	a, b, err := LinFit(lx, ly)
+	if err != nil {
+		return 0, 0, err
+	}
+	return math.Exp(a), b, nil
+}
+
+// GeometricDecayRate fits y_i = c·r^{x_i} and returns r — the estimator for
+// exponential correlation decay (paper Eq. 28). All ys must be positive.
+func GeometricDecayRate(xs, ys []float64) (r float64, err error) {
+	ly := make([]float64, len(ys))
+	for i, y := range ys {
+		if y <= 0 {
+			return 0, fmt.Errorf("stats: GeometricDecayRate needs positive y")
+		}
+		ly[i] = math.Log(y)
+	}
+	_, b, err := LinFit(xs, ly)
+	if err != nil {
+		return 0, err
+	}
+	return math.Exp(b), nil
+}

@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std %v", s.Std)
+	}
+	one := Summarize([]float64{7})
+	if one.Std != 0 || one.Median != 7 {
+		t.Fatalf("singleton summary %+v", one)
+	}
+}
+
+func TestSummarizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty summary did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{0, 10, 20, 30}
+	if q := Quantile(sorted, 0); q != 0 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(sorted, 1); q != 30 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Quantile(sorted, 0.5); q != 15 {
+		t.Fatalf("median = %v", q)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter(3)
+	for i := 0; i < 6; i++ {
+		c.Observe(i % 3)
+	}
+	d := c.Dist()
+	for i, p := range d {
+		if math.Abs(p-1.0/3) > 1e-12 {
+			t.Fatalf("dist[%d] = %v", i, p)
+		}
+	}
+	empty := NewCounter(2).Dist()
+	if empty[0] != 0 || empty[1] != 0 {
+		t.Fatal("empty counter should give zeros")
+	}
+}
+
+func TestTV(t *testing.T) {
+	if tv := TV([]float64{1, 0}, []float64{0.5, 0.5}); math.Abs(tv-0.5) > 1e-12 {
+		t.Fatalf("TV %v", tv)
+	}
+}
+
+func TestWilsonCI(t *testing.T) {
+	lo, hi := WilsonCI(50, 100, 1.96)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("CI [%v, %v] should contain 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Fatalf("CI too wide: [%v, %v]", lo, hi)
+	}
+	lo0, hi0 := WilsonCI(0, 0, 1.96)
+	if lo0 != 0 || hi0 != 1 {
+		t.Fatalf("empty CI [%v %v]", lo0, hi0)
+	}
+	lo1, _ := WilsonCI(100, 100, 1.96)
+	if lo1 < 0.9 {
+		t.Fatalf("CI for 100/100 too loose: lo %v", lo1)
+	}
+}
+
+func TestLinFit(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	a, b, err := LinFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-1) > 1e-12 || math.Abs(b-2) > 1e-12 {
+		t.Fatalf("fit a=%v b=%v", a, b)
+	}
+	if _, _, err := LinFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("short input accepted")
+	}
+	if _, _, err := LinFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Fatal("degenerate x accepted")
+	}
+}
+
+func TestLogXFit(t *testing.T) {
+	// y = 2 + 3·ln x.
+	xs := []float64{1, math.E, math.E * math.E}
+	ys := []float64{2, 5, 8}
+	a, b, err := LogXFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-2) > 1e-9 || math.Abs(b-3) > 1e-9 {
+		t.Fatalf("log fit a=%v b=%v", a, b)
+	}
+	if _, _, err := LogXFit([]float64{0, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("non-positive x accepted")
+	}
+}
+
+func TestPowerFit(t *testing.T) {
+	// y = 5·x^1.5.
+	xs := []float64{1, 4, 9, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 5 * math.Pow(x, 1.5)
+	}
+	c, p, err := PowerFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-5) > 1e-9 || math.Abs(p-1.5) > 1e-9 {
+		t.Fatalf("power fit c=%v p=%v", c, p)
+	}
+}
+
+func TestGeometricDecayRate(t *testing.T) {
+	// y = 10·(0.5)^x.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 10 * math.Pow(0.5, x)
+	}
+	r, err := GeometricDecayRate(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.5) > 1e-9 {
+		t.Fatalf("decay rate %v, want 0.5", r)
+	}
+	if _, err := GeometricDecayRate([]float64{1, 2}, []float64{1, 0}); err == nil {
+		t.Fatal("non-positive y accepted")
+	}
+}

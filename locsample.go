@@ -1,0 +1,214 @@
+// Package locsample is a Go implementation of the distributed sampling
+// algorithms of Feng, Sun and Yin, "What can be sampled locally?"
+// (PODC 2017, arXiv:1702.00142): Markov-chain samplers for Gibbs
+// distributions of Markov random fields — proper colorings, the hardcore
+// model, Ising/Potts, and general weighted local CSPs — that run in
+// Linial's LOCAL model of distributed computation.
+//
+// Two algorithms are provided, plus classical baselines:
+//
+//   - LubyGlauber (Algorithm 1): parallelizes single-site Glauber dynamics
+//     by resampling a random "Luby step" independent set each round; mixes
+//     in O(Δ·log(n/ε)) rounds under Dobrushin's condition (Theorem 3.2).
+//   - LocalMetropolis (Algorithm 2): updates every vertex simultaneously
+//     with per-edge filtering; for proper q-colorings with q ≥ α·Δ,
+//     α > 2+√2, it mixes in O(log(n/ε)) rounds independent of Δ
+//     (Theorem 4.2).
+//
+// Samplers can run either as exact centralized replays or as genuine
+// message-passing protocols on the bundled LOCAL-model runtime (goroutine
+// per node, synchronized rounds, message-size accounting); the two modes
+// produce identical trajectories for identical seeds.
+//
+// Quick start:
+//
+//	g := locsample.GridGraph(16, 16)
+//	model := locsample.NewColoring(g, 3*g.MaxDeg())
+//	res, err := locsample.Sample(model,
+//	    locsample.WithAlgorithm(locsample.LocalMetropolis),
+//	    locsample.WithEpsilon(0.01),
+//	    locsample.WithSeed(42),
+//	    locsample.Distributed())
+//
+// The internal packages additionally reproduce the paper's lower bounds
+// (Theorems 5.1 and 5.2) and coupling analyses as executable experiments;
+// see DESIGN.md and EXPERIMENTS.md, and run cmd/lsexp to regenerate every
+// experiment table.
+package locsample
+
+import (
+	"locsample/internal/chains"
+	"locsample/internal/core"
+	"locsample/internal/graph"
+	"locsample/internal/localmodel"
+	"locsample/internal/mrf"
+	"locsample/internal/rng"
+)
+
+// Graph is an immutable undirected multigraph; build one with NewGraphBuilder
+// or the *Graph generator functions.
+type Graph = graph.Graph
+
+// GraphBuilder accumulates edges and produces a Graph.
+type GraphBuilder = graph.Builder
+
+// Model is a Markov random field: a graph with per-edge activity matrices
+// and per-vertex activity vectors defining a Gibbs distribution (Eq. 1 of
+// the paper).
+type Model = mrf.MRF
+
+// Activity is a symmetric non-negative q×q edge activity matrix.
+type Activity = mrf.Mat
+
+// Algorithm selects a sampling chain.
+type Algorithm = chains.Algorithm
+
+// Stats reports a distributed run's communication profile.
+type Stats = localmodel.Stats
+
+// Result is a sample plus its provenance.
+type Result = core.Result
+
+// Available algorithms.
+const (
+	// Glauber is the sequential single-site baseline (one vertex per step).
+	Glauber = chains.Glauber
+	// LubyGlauber is Algorithm 1 of the paper.
+	LubyGlauber = chains.LubyGlauber
+	// LocalMetropolis is Algorithm 2 of the paper.
+	LocalMetropolis = chains.LocalMetropolis
+	// SystematicScan is the fixed-order scan baseline.
+	SystematicScan = chains.SystematicScan
+	// ChromaticGlauber is the chromatic-scheduler baseline of [GLGG11].
+	ChromaticGlauber = chains.ChromaticGlauber
+)
+
+// NewGraphBuilder returns a builder for a graph on n vertices.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// PathGraph returns the path on n vertices.
+func PathGraph(n int) *Graph { return graph.Path(n) }
+
+// CycleGraph returns the cycle on n ≥ 3 vertices.
+func CycleGraph(n int) *Graph { return graph.Cycle(n) }
+
+// GridGraph returns the r×c grid.
+func GridGraph(r, c int) *Graph { return graph.Grid(r, c) }
+
+// TorusGraph returns the r×c torus (4-regular for r, c ≥ 3).
+func TorusGraph(r, c int) *Graph { return graph.Torus(r, c) }
+
+// CompleteGraph returns K_n.
+func CompleteGraph(n int) *Graph { return graph.Complete(n) }
+
+// StarGraph returns the star with n−1 leaves.
+func StarGraph(n int) *Graph { return graph.Star(n) }
+
+// HypercubeGraph returns the k-dimensional hypercube.
+func HypercubeGraph(k int) *Graph { return graph.Hypercube(k) }
+
+// CompleteTreeGraph returns the complete d-ary tree of the given depth.
+func CompleteTreeGraph(d, depth int) *Graph { return graph.CompleteTree(d, depth) }
+
+// RandomRegularGraph returns a random simple d-regular graph on n vertices
+// (n·d must be even, d < n).
+func RandomRegularGraph(n, d int, seed uint64) (*Graph, error) {
+	return graph.RandomRegular(n, d, rng.New(seed))
+}
+
+// GnpGraph returns an Erdős–Rényi G(n, p) sample.
+func GnpGraph(n int, p float64, seed uint64) *Graph {
+	return graph.Gnp(n, p, rng.New(seed))
+}
+
+// NewColoring returns the uniform proper q-coloring model on g.
+func NewColoring(g *Graph, q int) *Model { return mrf.Coloring(g, q) }
+
+// NewListColoring returns the uniform proper list-coloring model; lists[v]
+// ⊆ {0..q-1} is the palette of vertex v.
+func NewListColoring(g *Graph, q int, lists [][]int) (*Model, error) {
+	return mrf.ListColoring(g, q, lists)
+}
+
+// NewHardcore returns the hardcore model at fugacity λ (λ = 1 is the
+// uniform distribution over independent sets).
+func NewHardcore(g *Graph, lambda float64) *Model { return mrf.Hardcore(g, lambda) }
+
+// NewIndependentSet returns the uniform independent-set model.
+func NewIndependentSet(g *Graph) *Model { return mrf.UniformIndependentSet(g) }
+
+// NewVertexCover returns the uniform vertex-cover model.
+func NewVertexCover(g *Graph) *Model { return mrf.VertexCover(g) }
+
+// NewIsing returns the Ising model with edge parameter β and field h.
+func NewIsing(g *Graph, beta, h float64) *Model { return mrf.Ising(g, beta, h) }
+
+// NewPotts returns the q-state Potts model with edge parameter β.
+func NewPotts(g *Graph, q int, beta float64) *Model { return mrf.Potts(g, q, beta) }
+
+// NewModel assembles a custom MRF from explicit activities; see mrf.New for
+// the validation rules.
+func NewModel(g *Graph, q int, edgeActivities []*Activity, vertexActivities [][]float64) (*Model, error) {
+	return mrf.New(g, q, edgeActivities, vertexActivities)
+}
+
+// NewActivity returns a zero q×q activity matrix.
+func NewActivity(q int) *Activity { return mrf.NewMat(q) }
+
+// HardcoreUniquenessThreshold returns λ_c(Δ) = (Δ−1)^(Δ−1)/(Δ−2)^Δ, the
+// phase-transition point above which LOCAL sampling requires Ω(diam) rounds
+// (Theorem 5.2; Δ ≥ 3).
+func HardcoreUniquenessThreshold(maxDeg int) float64 { return mrf.LambdaC(maxDeg) }
+
+// Option configures Sample.
+type Option func(*core.Config)
+
+// WithAlgorithm selects the chain (default LocalMetropolis).
+func WithAlgorithm(a Algorithm) Option {
+	return func(c *core.Config) { c.Algorithm = a }
+}
+
+// WithEpsilon sets the total-variation target for the automatic round
+// budget.
+func WithEpsilon(eps float64) Option {
+	return func(c *core.Config) { c.Epsilon = eps }
+}
+
+// WithRounds overrides the automatic round budget.
+func WithRounds(t int) Option {
+	return func(c *core.Config) { c.Rounds = t }
+}
+
+// WithSeed makes the run reproducible.
+func WithSeed(seed uint64) Option {
+	return func(c *core.Config) { c.Seed = seed }
+}
+
+// WithInitial supplies the starting configuration (default: greedy
+// feasible).
+func WithInitial(init []int) Option {
+	return func(c *core.Config) { c.Init = init }
+}
+
+// Distributed runs the sampler as a message-passing protocol on the
+// LOCAL-model runtime and collects communication statistics. Identical
+// seeds give identical samples in both modes.
+func Distributed() Option {
+	return func(c *core.Config) { c.Distributed = true }
+}
+
+// Sample draws one configuration approximately distributed as the model's
+// Gibbs distribution.
+func Sample(m *Model, opts ...Option) (*Result, error) {
+	cfg := core.Config{Algorithm: chains.LocalMetropolis}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return core.Sample(m, cfg)
+}
+
+// TheoryRounds returns the paper's round bound for the model/algorithm pair
+// at total-variation target eps, without running anything.
+func TheoryRounds(m *Model, alg Algorithm, eps float64) (int, error) {
+	return core.AutoRounds(m, alg, eps)
+}

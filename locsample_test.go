@@ -1,0 +1,265 @@
+package locsample_test
+
+import (
+	"math"
+	"testing"
+
+	"locsample"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	g := locsample.GridGraph(8, 8)
+	model := locsample.NewColoring(g, 4*g.MaxDeg())
+	res, err := locsample.Sample(model,
+		locsample.WithAlgorithm(locsample.LocalMetropolis),
+		locsample.WithEpsilon(0.05),
+		locsample.WithSeed(42),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sample) != g.N() {
+		t.Fatalf("sample length %d", len(res.Sample))
+	}
+	if !g.IsProperColoring(res.Sample) {
+		t.Fatal("sample is not a proper coloring")
+	}
+	if res.TheoryRounds <= 0 || res.Rounds != res.TheoryRounds {
+		t.Fatalf("rounds %d, theory %d", res.Rounds, res.TheoryRounds)
+	}
+}
+
+func TestDistributedMatchesCentralized(t *testing.T) {
+	g := locsample.CycleGraph(20)
+	model := locsample.NewColoring(g, 8)
+	opts := []locsample.Option{
+		locsample.WithAlgorithm(locsample.LocalMetropolis),
+		locsample.WithSeed(7),
+		locsample.WithRounds(25),
+	}
+	central, err := locsample.Sample(model, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distr, err := locsample.Sample(model, append(opts, locsample.Distributed())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range central.Sample {
+		if central.Sample[v] != distr.Sample[v] {
+			t.Fatalf("modes disagree at vertex %d", v)
+		}
+	}
+	if distr.Stats.Messages == 0 || distr.Stats.MaxMessageBytes == 0 {
+		t.Fatal("distributed stats empty")
+	}
+}
+
+func TestAllAlgorithmsProduceFeasibleSamples(t *testing.T) {
+	g := locsample.TorusGraph(4, 4)
+	model := locsample.NewColoring(g, 3*g.MaxDeg())
+	for _, alg := range []locsample.Algorithm{
+		locsample.Glauber, locsample.LubyGlauber, locsample.LocalMetropolis,
+		locsample.SystematicScan, locsample.ChromaticGlauber,
+	} {
+		res, err := locsample.Sample(model,
+			locsample.WithAlgorithm(alg),
+			locsample.WithSeed(3),
+			locsample.WithRounds(200))
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if !g.IsProperColoring(res.Sample) {
+			t.Fatalf("%v: improper coloring", alg)
+		}
+	}
+}
+
+func TestHardcoreSampling(t *testing.T) {
+	g := locsample.CycleGraph(12)
+	model := locsample.NewHardcore(g, 0.8)
+	res, err := locsample.Sample(model,
+		locsample.WithAlgorithm(locsample.LubyGlauber),
+		locsample.WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsIndependentSet(res.Sample) {
+		t.Fatal("hardcore sample is not an independent set")
+	}
+}
+
+func TestIsingAndPotts(t *testing.T) {
+	g := locsample.GridGraph(4, 4)
+	for _, m := range []*locsample.Model{
+		locsample.NewIsing(g, 1.3, 1),
+		locsample.NewPotts(g, 3, 1.5),
+	} {
+		res, err := locsample.Sample(m,
+			locsample.WithAlgorithm(locsample.LubyGlauber),
+			locsample.WithSeed(9),
+			locsample.WithRounds(100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range res.Sample {
+			if s < 0 || s >= m.Q {
+				t.Fatalf("spin %d out of range", s)
+			}
+		}
+	}
+}
+
+func TestListColoring(t *testing.T) {
+	g := locsample.PathGraph(5)
+	lists := [][]int{{0, 1, 2}, {1, 2, 3}, {0, 3}, {0, 1, 2, 3}, {2, 3}}
+	model, err := locsample.NewListColoring(g, 4, lists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := locsample.Sample(model,
+		locsample.WithAlgorithm(locsample.LubyGlauber),
+		locsample.WithSeed(17),
+		locsample.WithRounds(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range res.Sample {
+		ok := false
+		for _, a := range lists[v] {
+			if a == c {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("vertex %d color %d not in its list", v, c)
+		}
+	}
+	if !g.IsProperColoring(res.Sample) {
+		t.Fatal("list coloring not proper")
+	}
+}
+
+func TestVertexCoverModel(t *testing.T) {
+	g := locsample.CycleGraph(8)
+	res, err := locsample.Sample(locsample.NewVertexCover(g),
+		locsample.WithAlgorithm(locsample.Glauber),
+		locsample.WithSeed(1),
+		locsample.WithRounds(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsVertexCover(res.Sample) {
+		t.Fatal("sample is not a vertex cover")
+	}
+}
+
+func TestTheoryRounds(t *testing.T) {
+	g := locsample.TorusGraph(6, 6) // Δ = 4
+	// LubyGlauber at q = 2Δ+1: Dobrushin holds, budget finite and Δ-scaled.
+	lg, err := locsample.TheoryRounds(locsample.NewColoring(g, 9), locsample.LubyGlauber, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LocalMetropolis at q = 4Δ: within the proved regime.
+	lm, err := locsample.TheoryRounds(locsample.NewColoring(g, 16), locsample.LocalMetropolis, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg <= 0 || lm <= 0 {
+		t.Fatalf("budgets %d, %d", lg, lm)
+	}
+	// The O(log n) bound beats the O(Δ log n) bound already at Δ = 4.
+	if lm >= lg {
+		t.Fatalf("LocalMetropolis budget %d should undercut LubyGlauber %d", lm, lg)
+	}
+}
+
+func TestCustomModel(t *testing.T) {
+	// A custom soft-constraint MRF through the public API.
+	g := locsample.PathGraph(4)
+	a := locsample.NewActivity(2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 0.5)
+	a.Set(1, 0, 0.5)
+	a.Set(1, 1, 1)
+	acts := make([]*locsample.Activity, g.M())
+	for i := range acts {
+		acts[i] = a
+	}
+	b := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	model, err := locsample.NewModel(g, 2, acts, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := locsample.Sample(model,
+		locsample.WithAlgorithm(locsample.LocalMetropolis),
+		locsample.WithSeed(2),
+		locsample.WithRounds(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sample) != 4 {
+		t.Fatal("bad sample")
+	}
+}
+
+func TestUniquenessThreshold(t *testing.T) {
+	if got := locsample.HardcoreUniquenessThreshold(3); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("λ_c(3) = %v", got)
+	}
+}
+
+func TestWithInitial(t *testing.T) {
+	g := locsample.CycleGraph(6)
+	model := locsample.NewColoring(g, 5)
+	init := []int{0, 1, 0, 1, 0, 1}
+	res, err := locsample.Sample(model,
+		locsample.WithInitial(init),
+		locsample.WithSeed(5),
+		locsample.WithRounds(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsProperColoring(res.Sample) {
+		t.Fatal("improper coloring")
+	}
+	// Bad init length errors.
+	if _, err := locsample.Sample(model, locsample.WithInitial([]int{0}), locsample.WithRounds(5)); err == nil {
+		t.Fatal("short init accepted")
+	}
+}
+
+func TestRandomRegularGraphHelper(t *testing.T) {
+	g, err := locsample.RandomRegularGraph(24, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsRegular(5) {
+		t.Fatal("not regular")
+	}
+	if _, err := locsample.RandomRegularGraph(5, 3, 1); err == nil {
+		t.Fatal("odd n*d accepted")
+	}
+}
+
+func TestSeedReproducibility(t *testing.T) {
+	g := locsample.GnpGraph(30, 0.15, 8)
+	model := locsample.NewColoring(g, g.MaxDeg()+3)
+	run := func() []int {
+		res, err := locsample.Sample(model,
+			locsample.WithAlgorithm(locsample.LubyGlauber),
+			locsample.WithSeed(123),
+			locsample.WithRounds(60))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Sample
+	}
+	a, b := run(), run()
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+}
