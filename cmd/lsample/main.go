@@ -1,11 +1,14 @@
-// Command lsample draws one sample from a Gibbs distribution with the
-// paper's distributed algorithms and reports round/message statistics.
+// Command lsample draws samples from a Gibbs distribution with the paper's
+// distributed algorithms and reports round/message statistics. With
+// -count > 1 it uses the batch engine: the model is compiled once and the
+// chains are spread over a worker pool.
 //
 // Examples:
 //
 //	lsample -graph grid -rows 16 -cols 16 -model coloring -q 12 -alg localmetropolis -distributed
 //	lsample -graph regular -n 100 -d 6 -model hardcore -lambda 0.5 -alg lubyglauber -eps 0.01
 //	lsample -graph cycle -n 64 -model ising -beta 1.4 -alg glauber -rounds 5000
+//	lsample -graph grid -rows 64 -cols 64 -model coloring -count 256 -workers 8
 package main
 
 import (
@@ -13,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"locsample"
 )
@@ -36,6 +40,8 @@ func main() {
 		rounds    = flag.Int("rounds", 0, "override the round budget (0 = use theory)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		distr     = flag.Bool("distributed", false, "run on the LOCAL-model runtime and report message stats")
+		count     = flag.Int("count", 1, "number of independent samples (batch engine when > 1)")
+		workers   = flag.Int("workers", 0, "worker goroutines for -count > 1 (0 = GOMAXPROCS)")
 		verbose   = flag.Bool("v", false, "print the full sample")
 	)
 	flag.Parse()
@@ -45,6 +51,9 @@ func main() {
 		fatal(err)
 	}
 	if *model == "domset" {
+		if *count > 1 {
+			fatal(fmt.Errorf("-count is not supported for -model domset (the CSP sampler has no batch engine yet)"))
+		}
 		runDominatingSet(g, *lambda, *rounds, *seed, *distr, *verbose)
 		return
 	}
@@ -67,6 +76,11 @@ func main() {
 	}
 	if *distr {
 		opts = append(opts, locsample.Distributed())
+	}
+
+	if *count > 1 {
+		runBatch(g, m, *graphKind, modelDesc, alg, *count, *workers, *eps, opts, *verbose)
+		return
 	}
 
 	res, err := locsample.Sample(m, opts...)
@@ -187,6 +201,43 @@ func report(g *locsample.Graph, model string, sample []int) {
 			counts[s]++
 		}
 		fmt.Printf("spin counts: %v\n", counts)
+	}
+}
+
+// runBatch draws count samples through the batch engine and reports
+// throughput.
+func runBatch(g *locsample.Graph, m *locsample.Model, graphKind, modelDesc string,
+	alg locsample.Algorithm, count, workers int, eps float64, opts []locsample.Option, verbose bool) {
+	if workers > 0 {
+		opts = append(opts, locsample.WithWorkers(workers))
+	}
+	s, err := locsample.NewSampler(m, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	batch, err := s.SampleN(count)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("graph: %s  n=%d  m=%d  Δ=%d\n", graphKind, g.N(), g.M(), g.MaxDeg())
+	fmt.Printf("model: %s\n", modelDesc)
+	fmt.Printf("algorithm: %v  rounds=%d", alg, batch.Rounds)
+	if batch.TheoryRounds > 0 {
+		fmt.Printf("  (theory budget for ε=%g)", eps)
+	}
+	fmt.Println()
+	fmt.Printf("batch: %d samples in %v  (%.1f samples/sec)\n",
+		count, elapsed.Round(time.Millisecond), float64(count)/elapsed.Seconds())
+	if batch.Stats.Messages > 0 {
+		fmt.Printf("communication (all chains): %d messages, %d bytes total, max message %d bytes\n",
+			batch.Stats.Messages, batch.Stats.Bytes, batch.Stats.MaxMessageBytes)
+	}
+	if verbose {
+		for i, sample := range batch.Samples {
+			fmt.Printf("sample %d: %v\n", i, sample)
+		}
 	}
 }
 

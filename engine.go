@@ -1,0 +1,196 @@
+package locsample
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"locsample/internal/chains"
+	"locsample/internal/core"
+)
+
+// Sampler is the batch sampling engine: it compiles a model and option set
+// once — round budget, feasible initial configuration, proposal tables, CSR
+// adjacency — and then draws any number of independent samples without
+// repeating that setup. SampleN spreads chains over a worker pool; each
+// worker owns one reusable chain state and scratch buffer, so the chains'
+// inner loops run allocation-free in the steady state.
+//
+// Determinism: chain i of SampleN(k) with master seed s is bit-identical to
+// a single Sample call with seed ChainSeed(s, i), regardless of k, worker
+// count, or scheduling. Sampler.Sample() is bit-identical to the package
+// level Sample with the same options.
+type Sampler struct {
+	m      *Model
+	cfg    core.Config
+	rounds int
+	theory int
+	init   []int
+}
+
+// Batch is the result of SampleN: k independent samples drawn from one
+// compiled model. All samples share one flat backing array.
+type Batch struct {
+	// Samples[i] is chain i's output configuration.
+	Samples [][]int
+	// Rounds is the number of chain iterations each chain executed.
+	Rounds int
+	// TheoryRounds is the automatic round budget (0 when WithRounds was
+	// supplied).
+	TheoryRounds int
+	// Stats aggregates communication across all chains of a distributed
+	// batch: message/byte counts are summed, MaxMessageBytes and Rounds
+	// are per-chain maxima. Zero for centralized batches.
+	Stats Stats
+}
+
+// ChainSeed derives the seed batch chain i runs with under master seed s:
+// SampleN chain i equals Sample(WithSeed(ChainSeed(s, i))) bit-for-bit.
+func ChainSeed(s uint64, i int) uint64 {
+	return core.ChainSeed(s, uint64(i))
+}
+
+// WithWorkers bounds the goroutine pool SampleN uses (default GOMAXPROCS).
+// It does not affect results, only how chains are spread over CPUs.
+func WithWorkers(n int) Option {
+	return func(c *core.Config) { c.Workers = n }
+}
+
+// NewSampler compiles model m with the given options into a reusable batch
+// sampler. The round budget and the greedy feasible initial configuration
+// are resolved once, here; they are exactly the values every individual
+// Sample call with the same options would resolve.
+func NewSampler(m *Model, opts ...Option) (*Sampler, error) {
+	cfg := core.Config{Algorithm: chains.LocalMetropolis}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	rounds, theory, init, err := core.Compile(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Sampler{
+		m:      m,
+		cfg:    cfg,
+		rounds: rounds,
+		theory: theory,
+		// Copied: the caller may mutate the slice it passed WithInitial.
+		init: append([]int(nil), init...),
+	}, nil
+}
+
+// Rounds returns the per-chain round budget the engine resolved.
+func (s *Sampler) Rounds() int { return s.rounds }
+
+// TheoryRounds returns the automatic round budget, or 0 when WithRounds
+// pinned the budget explicitly.
+func (s *Sampler) TheoryRounds() int { return s.theory }
+
+// Sample draws one configuration with the compiled settings and the master
+// seed, exactly as the package-level Sample would.
+func (s *Sampler) Sample() (*Result, error) {
+	return s.sampleWithSeed(s.cfg.Seed)
+}
+
+func (s *Sampler) sampleWithSeed(seed uint64) (*Result, error) {
+	cfg := s.cfg
+	cfg.Seed = seed
+	cfg.Rounds = s.rounds
+	cfg.Init = s.init
+	res, err := core.Sample(s.m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.TheoryRounds = s.theory
+	return res, nil
+}
+
+// SampleN draws k independent samples concurrently. Chain i runs with seed
+// ChainSeed(masterSeed, i); results are positionally stable, so the same
+// call always returns the same Batch no matter how many workers raced over
+// it. In centralized mode every worker reuses one chain state and scratch,
+// so beyond the k result slices nothing is allocated per chain and nothing
+// at all per round.
+func (s *Sampler) SampleN(k int) (*Batch, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("locsample: SampleN needs k >= 0, got %d", k)
+	}
+	batch := &Batch{
+		Samples:      make([][]int, k),
+		Rounds:       s.rounds,
+		TheoryRounds: s.theory,
+	}
+	if k == 0 {
+		return batch, nil
+	}
+	n := s.m.G.N()
+	backing := make([]int, k*n)
+	for i := 0; i < k; i++ {
+		batch.Samples[i] = backing[i*n : (i+1)*n : (i+1)*n]
+	}
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > k {
+		workers = k
+	}
+	var chainStats []Stats
+	if s.cfg.Distributed {
+		chainStats = make([]Stats, k)
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		runErr  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var cs *chains.Sampler
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= k {
+					return
+				}
+				seed := core.ChainSeed(s.cfg.Seed, uint64(i))
+				if s.cfg.Distributed {
+					res, err := s.sampleWithSeed(seed)
+					if err != nil {
+						errOnce.Do(func() { runErr = err })
+						return
+					}
+					copy(batch.Samples[i], res.Sample)
+					chainStats[i] = res.Stats
+					continue
+				}
+				if cs == nil {
+					cs = chains.NewSampler(s.m, s.init, seed,
+						s.cfg.Algorithm, chains.Options{DropRule3: s.cfg.DropRule3})
+				} else {
+					cs.Reset(s.init, seed)
+				}
+				cs.Run(s.rounds)
+				copy(batch.Samples[i], cs.X)
+			}
+		}()
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	for _, st := range chainStats {
+		batch.Stats.Messages += st.Messages
+		batch.Stats.Bytes += st.Bytes
+		if st.MaxMessageBytes > batch.Stats.MaxMessageBytes {
+			batch.Stats.MaxMessageBytes = st.MaxMessageBytes
+		}
+		if st.Rounds > batch.Stats.Rounds {
+			batch.Stats.Rounds = st.Rounds
+		}
+	}
+	return batch, nil
+}

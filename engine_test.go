@@ -1,0 +1,220 @@
+package locsample_test
+
+import (
+	"testing"
+
+	"locsample"
+)
+
+// TestSampleNMatchesDerivedSeedSamples pins the batch determinism contract:
+// chain i of SampleN(k) with master seed s is bit-identical to a single
+// Sample with seed ChainSeed(s, i), for every algorithm the engine runs.
+func TestSampleNMatchesDerivedSeedSamples(t *testing.T) {
+	g := locsample.GridGraph(8, 8)
+	for _, tc := range []struct {
+		name  string
+		model *locsample.Model
+		alg   locsample.Algorithm
+	}{
+		{"localmetropolis-coloring", locsample.NewColoring(g, 3*g.MaxDeg()), locsample.LocalMetropolis},
+		{"lubyglauber-coloring", locsample.NewColoring(g, 2*g.MaxDeg()+1), locsample.LubyGlauber},
+		{"lubyglauber-hardcore", locsample.NewHardcore(g, 0.7), locsample.LubyGlauber},
+		{"glauber-coloring", locsample.NewColoring(g, 3*g.MaxDeg()), locsample.Glauber},
+		{"localmetropolis-ising", locsample.NewIsing(g, 0.9, 0.4), locsample.LocalMetropolis},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const seed, k = 42, 6
+			opts := []locsample.Option{
+				locsample.WithAlgorithm(tc.alg),
+				locsample.WithRounds(40),
+			}
+			s, err := locsample.NewSampler(tc.model, append(opts, locsample.WithSeed(seed))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch, err := s.SampleN(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(batch.Samples) != k || batch.Rounds != 40 {
+				t.Fatalf("batch shape: %d samples, %d rounds", len(batch.Samples), batch.Rounds)
+			}
+			for i := 0; i < k; i++ {
+				single, err := locsample.Sample(tc.model,
+					append(opts, locsample.WithSeed(locsample.ChainSeed(seed, i)))...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := range single.Sample {
+					if batch.Samples[i][v] != single.Sample[v] {
+						t.Fatalf("chain %d diverges from derived-seed Sample at vertex %d", i, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSampleNWorkerCountInvariance: results are positionally stable no
+// matter how the worker pool carves up the batch.
+func TestSampleNWorkerCountInvariance(t *testing.T) {
+	g := locsample.TorusGraph(6, 6)
+	model := locsample.NewColoring(g, 3*g.MaxDeg())
+	const seed, k = 11, 12
+	var ref *locsample.Batch
+	for _, workers := range []int{1, 3, 8} {
+		s, err := locsample.NewSampler(model,
+			locsample.WithSeed(seed),
+			locsample.WithRounds(30),
+			locsample.WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := s.SampleN(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = batch
+			continue
+		}
+		for i := range batch.Samples {
+			for v := range batch.Samples[i] {
+				if batch.Samples[i][v] != ref.Samples[i][v] {
+					t.Fatalf("workers=%d changed chain %d at vertex %d", workers, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestSampleNDistributed: the engine's distributed mode keeps the same
+// per-chain determinism, through the message-passing runtime.
+func TestSampleNDistributed(t *testing.T) {
+	g := locsample.CycleGraph(16)
+	model := locsample.NewColoring(g, 8)
+	opts := []locsample.Option{
+		locsample.WithSeed(5),
+		locsample.WithRounds(20),
+	}
+	central, err := locsample.NewSampler(model, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distr, err := locsample.NewSampler(model, append(opts, locsample.Distributed())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 4
+	cb, err := central.SampleN(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := distr.SampleN(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		for v := range cb.Samples[i] {
+			if cb.Samples[i][v] != db.Samples[i][v] {
+				t.Fatalf("modes disagree on chain %d at vertex %d", i, v)
+			}
+		}
+	}
+}
+
+// TestSamplerSampleMatchesPackageSample: the compiled sampler's single-draw
+// path is the package-level Sample, bit for bit and field for field.
+func TestSamplerSampleMatchesPackageSample(t *testing.T) {
+	g := locsample.GridGraph(6, 6)
+	model := locsample.NewColoring(g, 4*g.MaxDeg())
+	opts := []locsample.Option{
+		locsample.WithEpsilon(0.05),
+		locsample.WithSeed(77),
+	}
+	s, err := locsample.NewSampler(model, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := locsample.Sample(model, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds || a.TheoryRounds != b.TheoryRounds {
+		t.Fatalf("provenance differs: %+v vs %+v", a, b)
+	}
+	for v := range a.Sample {
+		if a.Sample[v] != b.Sample[v] {
+			t.Fatalf("samples differ at vertex %d", v)
+		}
+	}
+	if s.Rounds() != a.Rounds || s.TheoryRounds() != a.TheoryRounds {
+		t.Fatalf("engine reports rounds=%d theory=%d, sample says %d/%d",
+			s.Rounds(), s.TheoryRounds(), a.Rounds, a.TheoryRounds)
+	}
+}
+
+// TestSampleNValidity: every chain of a large batch is a proper sample of
+// its model (exercises the worker pool under the race detector in CI).
+func TestSampleNValidity(t *testing.T) {
+	g := locsample.GridGraph(10, 10)
+	model := locsample.NewColoring(g, 3*g.MaxDeg())
+	s, err := locsample.NewSampler(model,
+		locsample.WithSeed(1),
+		locsample.WithRounds(60),
+		locsample.WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := s.SampleN(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sample := range batch.Samples {
+		if !g.IsProperColoring(sample) {
+			t.Fatalf("chain %d produced an improper coloring", i)
+		}
+	}
+}
+
+// TestSampleNEdgeCases: k = 0 is an empty batch, negative k is an error.
+func TestSampleNEdgeCases(t *testing.T) {
+	model := locsample.NewColoring(locsample.CycleGraph(6), 5)
+	s, err := locsample.NewSampler(model, locsample.WithRounds(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := s.SampleN(0)
+	if err != nil || len(empty.Samples) != 0 {
+		t.Fatalf("SampleN(0): %v, %d samples", err, len(empty.Samples))
+	}
+	if _, err := s.SampleN(-1); err == nil {
+		t.Fatal("negative k accepted")
+	}
+	if _, err := locsample.NewSampler(model, locsample.WithInitial([]int{0})); err == nil {
+		t.Fatal("short init accepted")
+	}
+}
+
+// TestChainSeedSplitting: derived seeds are deterministic and pairwise
+// distinct over a realistic batch range.
+func TestChainSeedSplitting(t *testing.T) {
+	seen := map[uint64]int{}
+	for i := 0; i < 10000; i++ {
+		s := locsample.ChainSeed(42, i)
+		if j, dup := seen[s]; dup {
+			t.Fatalf("chains %d and %d share a seed", i, j)
+		}
+		seen[s] = i
+	}
+	if locsample.ChainSeed(42, 0) != locsample.ChainSeed(42, 0) {
+		t.Fatal("ChainSeed not deterministic")
+	}
+	if locsample.ChainSeed(42, 0) == locsample.ChainSeed(43, 0) {
+		t.Fatal("master seed ignored")
+	}
+}

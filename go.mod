@@ -1,0 +1,3 @@
+module locsample
+
+go 1.21

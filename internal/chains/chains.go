@@ -79,6 +79,10 @@ type Options struct {
 }
 
 // Sampler owns a chain state and advances it deterministically from a seed.
+// A Sampler is reusable: Reset rewinds it to a fresh initial configuration
+// and seed without reallocating state or scratch, which is what lets the
+// batch engine draw many chains through one Sampler with zero steady-state
+// allocations.
 type Sampler struct {
 	M    *mrf.MRF
 	X    []int
@@ -88,8 +92,9 @@ type Sampler struct {
 	seed  uint64
 	round int
 
-	classes [][]int // chromatic scheduler color classes
-	scratch *Scratch
+	classes  [][]int // chromatic scheduler color classes
+	coloring bool    // LocalMetropolis: take the §4.2 three-rule fast path
+	scratch  *Scratch
 }
 
 // Scratch holds the per-step working buffers shared by the round functions.
@@ -123,6 +128,12 @@ func NewSampler(m *mrf.MRF, init []int, seed uint64, alg Algorithm, opts Options
 		seed:    seed,
 		scratch: NewScratch(m),
 	}
+	if alg == LocalMetropolis {
+		// The specialized coloring round produces identical trajectories
+		// (TestColoringFastPathMatchesGeneral) without touching floating
+		// point on the hot path.
+		s.coloring = m.IsColoringModel()
+	}
 	if alg == ChromaticGlauber {
 		colors, used := m.G.GreedyColoring()
 		s.classes = make([][]int, used)
@@ -136,6 +147,19 @@ func NewSampler(m *mrf.MRF, init []int, seed uint64, alg Algorithm, opts Options
 // Round returns the number of steps taken so far.
 func (s *Sampler) Round() int { return s.round }
 
+// Reset rewinds the Sampler to round 0 with a new initial configuration
+// (copied) and seed, reusing the existing state and scratch buffers. The
+// subsequent trajectory is identical to that of a freshly constructed
+// Sampler with the same arguments.
+func (s *Sampler) Reset(init []int, seed uint64) {
+	if len(init) != len(s.X) {
+		panic("chains: initial configuration has wrong length")
+	}
+	copy(s.X, init)
+	s.seed = seed
+	s.round = 0
+}
+
 // Step advances the chain by one step (one single-site update for Glauber
 // and SystematicScan; one full parallel round otherwise).
 func (s *Sampler) Step() {
@@ -145,7 +169,11 @@ func (s *Sampler) Step() {
 	case LubyGlauber:
 		LubyGlauberRound(s.M, s.X, s.seed, s.round, s.scratch)
 	case LocalMetropolis:
-		LocalMetropolisRound(s.M, s.X, s.seed, s.round, s.Opts.DropRule3, s.scratch)
+		if s.coloring {
+			ColoringLocalMetropolisRound(s.M, s.X, s.seed, s.round, s.Opts.DropRule3, s.scratch)
+		} else {
+			LocalMetropolisRound(s.M, s.X, s.seed, s.round, s.Opts.DropRule3, s.scratch)
+		}
 	case SystematicScan:
 		scanStep(s.M, s.X, s.seed, s.round, s.scratch)
 	case ChromaticGlauber:
@@ -266,9 +294,8 @@ func LocalMetropolisRound(m *mrf.MRF, x []int, seed uint64, round int, dropRule3
 	g := m.G
 	n := g.N()
 	for v := 0; v < n; v++ {
-		m.ProposalDistInto(v, sc.marg)
 		u := rng.PRFFloat64(seed, TagUpdate, uint64(v), uint64(round))
-		sc.prop[v] = rng.CategoricalU(sc.marg, u)
+		sc.prop[v] = rng.CategoricalU(m.ProposalRow(v), u)
 	}
 	for id, e := range g.Edges() {
 		p := edgePassProb(m, id, x[e.U], x[e.V], sc.prop[e.U], sc.prop[e.V], dropRule3)
@@ -309,7 +336,12 @@ func edgePassProb(m *mrf.MRF, id, xu, xv, su, sv int, dropRule3 bool) float64 {
 // It consumes the PRF keys in exactly the same pattern as
 // LocalMetropolisRound, so both functions produce identical trajectories on
 // coloring models (tested), but this one does no floating-point activity
-// arithmetic on the hot path.
+// arithmetic on the hot path. Strictly, int(u·q) can disagree with
+// CategoricalU over q equal weights on a boundary set of u values of
+// measure ~2^−53 per draw — never observed, but when exact fast/general
+// agreement matters, compare like against like. The engine's determinism
+// contracts are unaffected: Sampler.Step and the distributed protocol
+// both take this path for coloring models.
 func ColoringLocalMetropolisRound(m *mrf.MRF, x []int, seed uint64, round int, dropRule3 bool, sc *Scratch) {
 	g := m.G
 	n := g.N()

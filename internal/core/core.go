@@ -23,6 +23,7 @@ import (
 	"locsample/internal/exact"
 	"locsample/internal/localmodel"
 	"locsample/internal/mrf"
+	"locsample/internal/rng"
 )
 
 // Config selects an algorithm and its parameters for Sample.
@@ -46,6 +47,22 @@ type Config struct {
 	// Init supplies the starting configuration; when nil a greedy feasible
 	// configuration is constructed.
 	Init []int
+	// Workers bounds the goroutine pool a batch Sampler uses for SampleN
+	// (default: GOMAXPROCS). Single Sample calls ignore it.
+	Workers int
+}
+
+// TagChain keys the seed-splitting PRF of the batch engine: chain i of a
+// k-chain batch runs with seed ChainSeed(s, i). The tag is disjoint from the
+// chains/csp/dist tag spaces, so batch seeds never collide with any variate
+// a single chain consumes.
+const TagChain = 0x4001
+
+// ChainSeed derives the seed of chain `chain` in a batch run with master
+// seed `seed`. Batch chain i is bit-identical to a single Sample run with
+// this derived seed — the determinism contract of the batch engine.
+func ChainSeed(seed uint64, chain uint64) uint64 {
+	return rng.PRF(seed, TagChain, chain)
 }
 
 // Result is a sample plus its provenance.
@@ -132,34 +149,45 @@ func AutoRounds(m *mrf.MRF, alg chains.Algorithm, eps float64) (int, error) {
 	}
 }
 
-// Sample draws one configuration whose distribution is within the
-// configured ε of the Gibbs distribution (when the model is in a proved
-// regime; see AutoRounds).
-func Sample(m *mrf.MRF, cfg Config) (*Result, error) {
+// Compile resolves the run parameters a Sample call derives from its
+// Config: the effective round budget (plus the theory budget when it was
+// automatic, else 0) and the initial configuration. Sample and the batch
+// engine both go through it, so their resolutions can never drift apart —
+// which is what makes batch chain i bit-identical to a derived-seed Sample.
+func Compile(m *mrf.MRF, cfg Config) (rounds, theory int, init []int, err error) {
 	eps := cfg.Epsilon
 	if eps == 0 {
 		eps = math.Exp(-2)
 	}
-	res := &Result{}
-	rounds := cfg.Rounds
+	rounds = cfg.Rounds
 	if rounds <= 0 {
 		t, err := AutoRounds(m, cfg.Algorithm, eps)
 		if err != nil {
-			return nil, err
+			return 0, 0, nil, err
 		}
-		rounds = t
-		res.TheoryRounds = t
+		rounds, theory = t, t
 	}
-	init := cfg.Init
+	init = cfg.Init
 	if init == nil {
-		var err error
 		init, err = chains.GreedyFeasible(m)
 		if err != nil {
-			return nil, fmt.Errorf("core: no feasible initial configuration: %w", err)
+			return 0, 0, nil, fmt.Errorf("core: no feasible initial configuration: %w", err)
 		}
 	} else if len(init) != m.G.N() {
-		return nil, fmt.Errorf("core: init length %d for %d vertices", len(init), m.G.N())
+		return 0, 0, nil, fmt.Errorf("core: init length %d for %d vertices", len(init), m.G.N())
 	}
+	return rounds, theory, init, nil
+}
+
+// Sample draws one configuration whose distribution is within the
+// configured ε of the Gibbs distribution (when the model is in a proved
+// regime; see AutoRounds).
+func Sample(m *mrf.MRF, cfg Config) (*Result, error) {
+	rounds, theory, init, err := Compile(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{TheoryRounds: theory}
 
 	if cfg.Distributed {
 		switch cfg.Algorithm {

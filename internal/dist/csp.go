@@ -1,0 +1,154 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"locsample/internal/csp"
+	"locsample/internal/graph"
+	"locsample/internal/localmodel"
+	"locsample/internal/rng"
+)
+
+// cspNode runs one vertex of the hypergraph LubyGlauber protocol for
+// weighted local CSPs (§3 remark). The hypergraph neighborhood Γ(v) — every
+// vertex sharing a constraint with v — reaches graph distance 2 when
+// constraint scopes live on inclusive neighborhoods (as cover constraints
+// do), so each chain iteration costs two LOCAL rounds: an even round where
+// every node sends its (id, spin) tuple, and an odd round where every node
+// relays the tuples it received, putting the whole 2-ball's state within
+// reach. Lottery numbers are evaluated from the shared seed and the ids the
+// CSP structure already names, exactly as csp.LubyGlauberRoundPRF does, so
+// the trajectory matches the centralized replay bit-for-bit.
+type cspNode struct {
+	c      *csp.CSP
+	seed   uint64
+	rounds int
+
+	env   localmodel.Env
+	sigma []int
+	marg  []float64
+}
+
+func (n *cspNode) Init(env localmodel.Env) {
+	n.env = env
+	n.marg = make([]float64, n.c.Q)
+}
+
+const cspTupleBytes = 8
+
+func putTuple(buf []byte, id, x int) {
+	binary.LittleEndian.PutUint32(buf, uint32(id))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(x))
+}
+
+func (n *cspNode) applyTuples(msg []byte) {
+	for o := 0; o+cspTupleBytes <= len(msg); o += cspTupleBytes {
+		id := int(binary.LittleEndian.Uint32(msg[o:]))
+		x := int(binary.LittleEndian.Uint32(msg[o+4:]))
+		n.sigma[id] = x
+	}
+}
+
+func (n *cspNode) Round(t int, in [][]byte) ([][]byte, bool) {
+	if t%2 == 1 {
+		// Relay round: apply the direct tuples and forward them, so
+		// 2-hop vertices see them next round.
+		total := 0
+		for _, msg := range in {
+			total += len(msg)
+		}
+		bundle := make([]byte, 0, total)
+		for _, msg := range in {
+			n.applyTuples(msg)
+			bundle = append(bundle, msg...)
+		}
+		out := make([][]byte, n.env.Deg)
+		for i := range out {
+			out[i] = bundle
+		}
+		return out, false
+	}
+	if t > 0 {
+		for _, msg := range in {
+			n.applyTuples(msg)
+		}
+		r := uint64(t/2 - 1)
+		v := n.env.V
+		betaV := rng.PRFFloat64(n.seed, csp.TagBeta, uint64(v), r)
+		isMax := true
+		for _, u := range n.c.Neighborhood(v) {
+			if rng.PRFFloat64(n.seed, csp.TagBeta, uint64(u), r) >= betaV {
+				isMax = false
+				break
+			}
+		}
+		if isMax && n.c.MarginalInto(v, n.sigma, n.marg) {
+			u := rng.PRFFloat64(n.seed, csp.TagUpdate, uint64(v), r)
+			n.sigma[v] = rng.CategoricalU(n.marg, u)
+		}
+		if t/2 >= n.rounds {
+			return nil, true
+		}
+	}
+	out := make([][]byte, n.env.Deg)
+	buf := make([]byte, cspTupleBytes)
+	putTuple(buf, n.env.V, n.sigma[n.env.V])
+	for i := range out {
+		out[i] = buf
+	}
+	return out, false
+}
+
+func (n *cspNode) Output() int { return n.sigma[n.env.V] }
+
+// scopeWithinRelayReach reports whether every pair of scope vertices is
+// identical, adjacent on g, or joined by a common neighbor — the "scope
+// radius ≤ 1" condition under which the two-round relay delivers every
+// scope member's spin.
+func scopeWithinRelayReach(g *graph.Graph, scope []int32) bool {
+	for i, u := range scope {
+		for _, v := range scope[i+1:] {
+			if u == v || g.HasEdge(int(u), int(v)) {
+				continue
+			}
+			ok := false
+			for _, w := range g.Adj(int(u)) {
+				if g.HasEdge(int(w), int(v)) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RunCSPLubyGlauber executes `rounds` iterations of the hypergraph
+// LubyGlauber chain on CSP c as a LOCAL protocol over network g (two
+// communication rounds per chain iteration). Constraint scopes must have
+// radius ≤ 1 on g. The trajectory is bit-identical to `rounds` calls of
+// csp.LubyGlauberRoundPRF with the same seed.
+func RunCSPLubyGlauber(g *graph.Graph, c *csp.CSP, init []int, seed uint64, rounds int) ([]int, localmodel.Stats, error) {
+	if c.N != g.N() {
+		return nil, localmodel.Stats{}, fmt.Errorf("dist: CSP has %d vertices, network %d", c.N, g.N())
+	}
+	if len(init) != c.N {
+		return nil, localmodel.Stats{}, fmt.Errorf("dist: init length %d for %d vertices", len(init), c.N)
+	}
+	if rounds <= 0 {
+		return append([]int(nil), init...), localmodel.Stats{}, nil
+	}
+	for ci := range c.Cons {
+		if !scopeWithinRelayReach(g, c.Cons[ci].Scope) {
+			return nil, localmodel.Stats{}, fmt.Errorf("dist: constraint %d has scope radius > 1 on the network", ci)
+		}
+	}
+	r := localmodel.New(g, localmodel.Config{SharedSeed: seed}, func(v int) localmodel.Protocol {
+		return &cspNode{c: c, seed: seed, rounds: rounds, sigma: append([]int(nil), init...)}
+	})
+	return r.Run(2*rounds + 1)
+}

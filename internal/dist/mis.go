@@ -1,0 +1,127 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"locsample/internal/graph"
+	"locsample/internal/localmodel"
+	"locsample/internal/rng"
+)
+
+// TagMISBeta keys the per-(vertex, round) lottery numbers of Luby's MIS
+// protocol. It lives outside the chains/csp tag spaces so MIS randomness
+// never collides with sampler randomness under a shared seed.
+const TagMISBeta = 0x2001
+
+// MIS node states / wire statuses.
+const (
+	misUndecided = 0
+	misIn        = 1
+	misOut       = 2
+)
+
+// misNode runs one vertex of Luby's maximal-independent-set protocol — the
+// O(log n)-round LOCAL algorithm the paper contrasts with its Ω(diam)
+// sampling lower bound (§1.1). In round t every undecided node announces a
+// lottery number β_v(t); at round t+1 a node that beat every still-active
+// neighbor joins the MIS, announces, and halts, and neighbors of members
+// drop out. Messages are 9 bytes (status byte + β) or 1 byte (final
+// announcement).
+type misNode struct {
+	seed uint64
+
+	env     localmodel.Env
+	state   byte
+	active  []bool
+	nbrBeta []float64
+}
+
+func (n *misNode) Init(env localmodel.Env) {
+	n.env = env
+	n.active = make([]bool, env.Deg)
+	n.nbrBeta = make([]float64, env.Deg)
+}
+
+func (n *misNode) Round(t int, in [][]byte) ([][]byte, bool) {
+	if t > 0 {
+		anyIn := false
+		for i, msg := range in {
+			if msg == nil {
+				n.active[i] = false
+				continue
+			}
+			switch msg[0] {
+			case misIn:
+				anyIn = true
+				n.active[i] = false
+			case misOut:
+				n.active[i] = false
+			default:
+				n.active[i] = true
+				n.nbrBeta[i] = math.Float64frombits(binary.LittleEndian.Uint64(msg[1:]))
+			}
+		}
+		if anyIn {
+			n.state = misOut
+			return n.broadcast([]byte{misOut}), true
+		}
+		betaV := rng.PRFFloat64(n.seed, TagMISBeta, uint64(n.env.V), uint64(t-1))
+		won := true
+		for i := range n.active {
+			if n.active[i] && n.nbrBeta[i] >= betaV {
+				won = false
+				break
+			}
+		}
+		if won {
+			n.state = misIn
+			return n.broadcast([]byte{misIn}), true
+		}
+	}
+	buf := make([]byte, 9)
+	buf[0] = misUndecided
+	beta := rng.PRFFloat64(n.seed, TagMISBeta, uint64(n.env.V), uint64(t))
+	binary.LittleEndian.PutUint64(buf[1:], math.Float64bits(beta))
+	return n.broadcast(buf), false
+}
+
+func (n *misNode) broadcast(msg []byte) [][]byte {
+	out := make([][]byte, n.env.Deg)
+	for i := range out {
+		out[i] = msg
+	}
+	return out
+}
+
+func (n *misNode) Output() int {
+	switch n.state {
+	case misIn:
+		return 1
+	case misOut:
+		return 0
+	default:
+		return -1
+	}
+}
+
+// RunMIS runs Luby's MIS protocol on g until every node has decided (or the
+// round budget runs out, which is an error). The output marks MIS members
+// with 1; Stats.Rounds is the protocol's round count, the quantity the E9
+// separation experiment compares against the Ω(diam) sampling scale.
+func RunMIS(g *graph.Graph, seed uint64, maxRounds int) ([]int, localmodel.Stats, error) {
+	r := localmodel.New(g, localmodel.Config{SharedSeed: seed}, func(v int) localmodel.Protocol {
+		return &misNode{seed: seed}
+	})
+	out, stats, err := r.Run(maxRounds)
+	if err != nil {
+		return nil, stats, err
+	}
+	for v, x := range out {
+		if x < 0 {
+			return nil, stats, fmt.Errorf("dist: MIS round budget %d exhausted with vertex %d undecided", maxRounds, v)
+		}
+	}
+	return out, stats, nil
+}

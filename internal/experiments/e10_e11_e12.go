@@ -226,7 +226,8 @@ func RunE12(w io.Writer, quick bool) error {
 	for _, r := range rows {
 		fmt.Fprintf(w, "  %-8d %-20d %-23d\n", r.N, r.LubyMaxBytes, r.LMMaxBytes)
 	}
-	fmt.Fprintln(w, "  paper: messages are O(log n) bits for q = poly(n). Here: 10 bytes (64-bit")
-	fmt.Fprintln(w, "  Luby ID + 16-bit spin) resp. 4 bytes (two 16-bit spins), constant in n.")
+	fmt.Fprintln(w, "  paper: messages are O(log n) bits for q = poly(n). Here: 6 bytes (32-bit")
+	fmt.Fprintln(w, "  vertex ID + 16-bit spin in round 0, then 16-bit spins) resp. 4 bytes")
+	fmt.Fprintln(w, "  (two 16-bit spins), constant in n.")
 	return nil
 }

@@ -31,11 +31,20 @@ func (e Edge) Other(v int32) int32 {
 type Graph struct {
 	n     int
 	edges []Edge
-	// adj[v] lists the neighbors of v, one entry per incident edge
-	// (parallel edges contribute multiple entries).
-	adj [][]int32
-	// inc[v] lists the IDs of the edges incident to v, aligned with adj[v]:
-	// adj[v][i] is the opposite endpoint of edge inc[v][i].
+	// The adjacency is stored in compressed-sparse-row form: rowPtr has
+	// n+1 entries and vertex v's incident slots occupy [rowPtr[v],
+	// rowPtr[v+1]) of the flat arrays. The hot loops of internal/chains
+	// sweep the whole vertex set every round, so keeping all neighbor and
+	// edge-ID data in two contiguous arrays (rather than n separately
+	// allocated lists) is what makes those sweeps cache-friendly.
+	rowPtr  []int32
+	nbrFlat []int32
+	incFlat []int32
+	// adj[v] and inc[v] are views into nbrFlat/incFlat, kept so callers
+	// keep the slice-per-vertex API: adj[v] lists the neighbors of v, one
+	// entry per incident edge (parallel edges contribute multiple
+	// entries), and inc[v] lists the incident edge IDs aligned with it.
+	adj    [][]int32
 	inc    [][]int32
 	maxDeg int
 }
@@ -68,31 +77,44 @@ func (b *Builder) AddEdge(u, v int) int {
 	return len(b.edges) - 1
 }
 
-// Build finalizes the graph.
+// Build finalizes the graph, laying the adjacency out in CSR form.
 func (b *Builder) Build() *Graph {
-	g := &Graph{
-		n:     b.n,
-		edges: append([]Edge(nil), b.edges...),
-		adj:   make([][]int32, b.n),
-		inc:   make([][]int32, b.n),
+	if len(b.edges) > (1<<31-1)/2 {
+		panic(fmt.Sprintf("graph: %d edges overflow the int32 CSR offsets", len(b.edges)))
 	}
-	deg := make([]int, b.n)
+	g := &Graph{
+		n:       b.n,
+		edges:   append([]Edge(nil), b.edges...),
+		rowPtr:  make([]int32, b.n+1),
+		nbrFlat: make([]int32, 2*len(b.edges)),
+		incFlat: make([]int32, 2*len(b.edges)),
+		adj:     make([][]int32, b.n),
+		inc:     make([][]int32, b.n),
+	}
+	deg := make([]int32, b.n)
 	for _, e := range g.edges {
 		deg[e.U]++
 		deg[e.V]++
 	}
 	for v := 0; v < b.n; v++ {
-		g.adj[v] = make([]int32, 0, deg[v])
-		g.inc[v] = make([]int32, 0, deg[v])
-		if deg[v] > g.maxDeg {
-			g.maxDeg = deg[v]
+		g.rowPtr[v+1] = g.rowPtr[v] + deg[v]
+		if int(deg[v]) > g.maxDeg {
+			g.maxDeg = int(deg[v])
 		}
 	}
+	cursor := make([]int32, b.n)
+	copy(cursor, g.rowPtr[:b.n])
 	for id, e := range g.edges {
-		g.adj[e.U] = append(g.adj[e.U], e.V)
-		g.inc[e.U] = append(g.inc[e.U], int32(id))
-		g.adj[e.V] = append(g.adj[e.V], e.U)
-		g.inc[e.V] = append(g.inc[e.V], int32(id))
+		g.nbrFlat[cursor[e.U]] = e.V
+		g.incFlat[cursor[e.U]] = int32(id)
+		cursor[e.U]++
+		g.nbrFlat[cursor[e.V]] = e.U
+		g.incFlat[cursor[e.V]] = int32(id)
+		cursor[e.V]++
+	}
+	for v := 0; v < b.n; v++ {
+		g.adj[v] = g.nbrFlat[g.rowPtr[v]:g.rowPtr[v+1]:g.rowPtr[v+1]]
+		g.inc[v] = g.incFlat[g.rowPtr[v]:g.rowPtr[v+1]:g.rowPtr[v+1]]
 	}
 	return g
 }

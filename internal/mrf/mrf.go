@@ -79,6 +79,11 @@ type MRF struct {
 	// edgeNorm[id] = EdgeA[id] scaled so its maximum entry is 1 (the Ã_e of
 	// Algorithm 2); precomputed for the LocalMetropolis filter.
 	edgeNorm []*Mat
+	// prop is the flat n×q table of normalized vertex activities (the
+	// LocalMetropolis proposal distributions, Algorithm 2 line 4),
+	// precomputed so the chains' inner loops skip the per-round
+	// normalization; row v is prop[v*q : (v+1)*q].
+	prop []float64
 }
 
 // New validates the activities and assembles an MRF. Every edge matrix must
@@ -135,6 +140,20 @@ func New(g *graph.Graph, q int, edgeA []*Mat, vertexB [][]float64) (*MRF, error)
 			norm.A[i] /= max
 		}
 		m.edgeNorm[id] = norm
+	}
+	m.prop = make([]float64, g.N()*q)
+	for v := 0; v < g.N(); v++ {
+		row := m.prop[v*q : (v+1)*q]
+		b := vertexB[v]
+		total := 0.0
+		for c := 0; c < q; c++ {
+			row[c] = b[c]
+			total += b[c]
+		}
+		inv := 1 / total
+		for c := 0; c < q; c++ {
+			row[c] *= inv
+		}
 	}
 	return m, nil
 }
@@ -248,16 +267,13 @@ func (m *MRF) EdgeCheckProb(id, xu, xv, su, sv int) float64 {
 // ProposalDistInto fills out with the LocalMetropolis proposal distribution
 // of vertex v: b_v normalized (Algorithm 2, line 4).
 func (m *MRF) ProposalDistInto(v int, out []float64) {
-	b := m.VertexB[v]
-	total := 0.0
-	for c := 0; c < m.Q; c++ {
-		out[c] = b[c]
-		total += b[c]
-	}
-	inv := 1 / total
-	for c := 0; c < m.Q; c++ {
-		out[c] *= inv
-	}
+	copy(out, m.ProposalRow(v))
+}
+
+// ProposalRow returns vertex v's precomputed proposal distribution (b_v
+// normalized). The caller must not modify it.
+func (m *MRF) ProposalRow(v int) []float64 {
+	return m.prop[v*m.Q : (v+1)*m.Q]
 }
 
 // MarginalsAlwaysDefined exhaustively checks the §3 Glauber assumption: the

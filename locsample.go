@@ -30,6 +30,14 @@
 //	    locsample.WithSeed(42),
 //	    locsample.Distributed())
 //
+// For serving workloads that need many draws, compile the model once with
+// NewSampler and use SampleN, which spreads independent chains over a worker
+// pool with allocation-free inner loops; chain i of SampleN with seed s is
+// bit-identical to Sample with seed ChainSeed(s, i):
+//
+//	s, err := locsample.NewSampler(model, locsample.WithSeed(42))
+//	batch, err := s.SampleN(1024)
+//
 // The internal packages additionally reproduce the paper's lower bounds
 // (Theorems 5.1 and 5.2) and coupling analyses as executable experiments;
 // see DESIGN.md and EXPERIMENTS.md, and run cmd/lsexp to regenerate every
