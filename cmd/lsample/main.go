@@ -3,15 +3,22 @@
 // -count > 1 it uses the batch engine: the model is compiled once and the
 // chains are spread over a worker pool.
 //
+// Workloads come either from the built-in generator flags or, with
+// -model-file, from a versioned JSON spec — the same wire format
+// cmd/lserved serves, so any servable model is samplable locally and vice
+// versa. -json switches the report to machine-readable JSON.
+//
 // Examples:
 //
 //	lsample -graph grid -rows 16 -cols 16 -model coloring -q 12 -alg localmetropolis -distributed
 //	lsample -graph regular -n 100 -d 6 -model hardcore -lambda 0.5 -alg lubyglauber -eps 0.01
 //	lsample -graph cycle -n 64 -model ising -beta 1.4 -alg glauber -rounds 5000
 //	lsample -graph grid -rows 64 -cols 64 -model coloring -count 256 -workers 8
+//	lsample -model-file spec.json -count 16 -seed 7 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,9 +49,16 @@ func main() {
 		distr     = flag.Bool("distributed", false, "run on the LOCAL-model runtime and report message stats")
 		count     = flag.Int("count", 1, "number of independent samples (batch engine when > 1)")
 		workers   = flag.Int("workers", 0, "worker goroutines for -count > 1 (0 = GOMAXPROCS)")
-		verbose   = flag.Bool("v", false, "print the full sample")
+		modelFile = flag.String("model-file", "", "load the workload from a JSON spec file (overrides -graph/-model flags)")
+		jsonOut   = flag.Bool("json", false, "emit the report and samples as JSON")
+		verbose   = flag.Bool("v", false, "print the full sample (text mode; JSON always includes samples)")
 	)
 	flag.Parse()
+
+	if *modelFile != "" {
+		runSpecFile(*modelFile, *algName, *eps, *rounds, *seed, *distr, *count, *workers, *jsonOut, *verbose)
+		return
+	}
 
 	g, err := buildGraph(*graphKind, *n, *rows, *cols, *dim, *d, *p, *seed)
 	if err != nil {
@@ -54,32 +68,118 @@ func main() {
 		if *count > 1 {
 			fatal(fmt.Errorf("-count is not supported for -model domset (the CSP sampler has no batch engine yet)"))
 		}
-		runDominatingSet(g, *lambda, *rounds, *seed, *distr, *verbose)
+		c := locsample.NewWeightedDominatingSet(g, *lambda)
+		init := make([]int, g.N())
+		for i := range init {
+			init[i] = 1
+		}
+		desc := fmt.Sprintf("dominating set λ=%g (weighted local CSP)", *lambda)
+		runCSP(g, c, init, desc, *rounds, *seed, *distr, *jsonOut, *verbose, true)
 		return
 	}
 	m, modelDesc, err := buildModel(g, *model, *q, *lambda, *beta, *field)
 	if err != nil {
 		fatal(err)
 	}
-	alg, err := parseAlg(*algName)
+	runMRF(g, m, *graphKind, modelDesc, reportKeyForFlag(*model),
+		*algName, *eps, *rounds, *seed, *distr, *count, *workers, *jsonOut, *verbose)
+}
+
+// runSpecFile loads a workload from a spec file and dispatches to the MRF
+// or CSP path.
+func runSpecFile(path, algName string, eps float64, rounds int, seed uint64,
+	distr bool, count, workers int, jsonOut, verbose bool) {
+	data, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
 	}
+	s, err := locsample.ParseSpec(data)
+	if err != nil {
+		fatal(err)
+	}
+	built, err := locsample.BuildSpec(s)
+	if err != nil {
+		fatal(err)
+	}
+	desc := fmt.Sprintf("spec %s (kind %s)", shortHash(built.Hash), s.Model.Kind)
+	if s.Name != "" {
+		desc = fmt.Sprintf("spec %q %s (kind %s)", s.Name, shortHash(built.Hash), s.Model.Kind)
+	}
+	graphKind := s.Graph.Family
+	if graphKind == "" {
+		graphKind = "edges"
+	}
+	if built.CSP != nil {
+		if count > 1 {
+			fatal(fmt.Errorf("-count is not supported for CSP specs (the CSP sampler has no batch engine yet)"))
+		}
+		if rounds <= 0 {
+			rounds = built.Rounds
+		}
+		runCSP(built.Graph, built.CSP, built.Init, desc, rounds, seed, distr, jsonOut, verbose, false)
+		return
+	}
+	runMRF(built.Graph, built.Model, graphKind, desc, reportKeyForSpec(s.Model.Kind),
+		algName, eps, rounds, seed, distr, count, workers, jsonOut, verbose)
+}
 
+// jsonReport is the -json output shape, shared by all three paths.
+type jsonReport struct {
+	Graph struct {
+		Kind   string `json:"kind"`
+		N      int    `json:"n"`
+		M      int    `json:"m"`
+		MaxDeg int    `json:"maxDeg"`
+	} `json:"graph"`
+	Model        string           `json:"model"`
+	Algorithm    string           `json:"algorithm"`
+	Rounds       int              `json:"rounds"`
+	TheoryRounds int              `json:"theoryRounds,omitempty"`
+	Seed         uint64           `json:"seed"`
+	Count        int              `json:"count"`
+	ElapsedMS    float64          `json:"elapsedMs,omitempty"`
+	Stats        *locsample.Stats `json:"stats,omitempty"`
+	Samples      [][]int          `json:"samples"`
+}
+
+func newJSONReport(g *locsample.Graph, kind, model, alg string, seed uint64) *jsonReport {
+	r := &jsonReport{Model: model, Algorithm: alg, Seed: seed}
+	r.Graph.Kind = kind
+	r.Graph.N = g.N()
+	r.Graph.M = g.M()
+	r.Graph.MaxDeg = g.MaxDeg()
+	return r
+}
+
+func emitJSON(r *jsonReport) {
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(r); err != nil {
+		fatal(err)
+	}
+}
+
+// runMRF handles single draws and batches of an MRF workload.
+func runMRF(g *locsample.Graph, m *locsample.Model, graphKind, modelDesc, reportKey,
+	algName string, eps float64, rounds int, seed uint64, distr bool,
+	count, workers int, jsonOut, verbose bool) {
+	alg, err := parseAlg(algName)
+	if err != nil {
+		fatal(err)
+	}
 	opts := []locsample.Option{
 		locsample.WithAlgorithm(alg),
-		locsample.WithEpsilon(*eps),
-		locsample.WithSeed(*seed),
+		locsample.WithEpsilon(eps),
+		locsample.WithSeed(seed),
 	}
-	if *rounds > 0 {
-		opts = append(opts, locsample.WithRounds(*rounds))
+	if rounds > 0 {
+		opts = append(opts, locsample.WithRounds(rounds))
 	}
-	if *distr {
+	if distr {
 		opts = append(opts, locsample.Distributed())
 	}
 
-	if *count > 1 {
-		runBatch(g, m, *graphKind, modelDesc, alg, *count, *workers, *eps, opts, *verbose)
+	if count > 1 {
+		runBatch(g, m, graphKind, modelDesc, alg, count, workers, eps, seed, opts, jsonOut, verbose)
 		return
 	}
 
@@ -88,19 +188,31 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("graph: %s  n=%d  m=%d  Δ=%d\n", *graphKind, g.N(), g.M(), g.MaxDeg())
+	if jsonOut {
+		r := newJSONReport(g, graphKind, modelDesc, alg.String(), seed)
+		r.Rounds = res.Rounds
+		r.TheoryRounds = res.TheoryRounds
+		r.Count = 1
+		if distr {
+			r.Stats = &res.Stats
+		}
+		r.Samples = [][]int{res.Sample}
+		emitJSON(r)
+		return
+	}
+	fmt.Printf("graph: %s  n=%d  m=%d  Δ=%d\n", graphKind, g.N(), g.M(), g.MaxDeg())
 	fmt.Printf("model: %s\n", modelDesc)
 	fmt.Printf("algorithm: %v  rounds=%d", alg, res.Rounds)
 	if res.TheoryRounds > 0 {
-		fmt.Printf("  (theory budget for ε=%g)", *eps)
+		fmt.Printf("  (theory budget for ε=%g)", eps)
 	}
 	fmt.Println()
-	if *distr {
+	if distr {
 		fmt.Printf("communication: %d messages, %d bytes total, max message %d bytes\n",
 			res.Stats.Messages, res.Stats.Bytes, res.Stats.MaxMessageBytes)
 	}
-	report(g, *model, res.Sample)
-	if *verbose {
+	report(g, reportKey, res.Sample)
+	if verbose {
 		fmt.Printf("sample: %v\n", res.Sample)
 	}
 }
@@ -179,8 +291,29 @@ func parseAlg(s string) (locsample.Algorithm, error) {
 	}
 }
 
-func report(g *locsample.Graph, model string, sample []int) {
-	switch model {
+// reportKeyForFlag maps a -model flag value to a validity-report key.
+func reportKeyForFlag(model string) string { return model }
+
+// reportKeyForSpec maps a spec model kind to the same report keys.
+func reportKeyForSpec(kind string) string {
+	switch kind {
+	case "coloring", "listcoloring":
+		return "coloring"
+	case "hardcore":
+		return "hardcore"
+	case "independentset":
+		return "is"
+	case "vertexcover":
+		return "vc"
+	case "ising", "potts":
+		return "ising"
+	default:
+		return ""
+	}
+}
+
+func report(g *locsample.Graph, key string, sample []int) {
+	switch key {
 	case "coloring":
 		fmt.Printf("proper coloring: %v\n", g.IsProperColoring(sample))
 	case "hardcore", "is":
@@ -204,10 +337,18 @@ func report(g *locsample.Graph, model string, sample []int) {
 	}
 }
 
+func shortHash(h string) string {
+	if i := strings.IndexByte(h, ':'); i >= 0 && len(h) > i+13 {
+		return h[:i+13]
+	}
+	return h
+}
+
 // runBatch draws count samples through the batch engine and reports
 // throughput.
 func runBatch(g *locsample.Graph, m *locsample.Model, graphKind, modelDesc string,
-	alg locsample.Algorithm, count, workers int, eps float64, opts []locsample.Option, verbose bool) {
+	alg locsample.Algorithm, count, workers int, eps float64, seed uint64,
+	opts []locsample.Option, jsonOut, verbose bool) {
 	if workers > 0 {
 		opts = append(opts, locsample.WithWorkers(workers))
 	}
@@ -221,6 +362,19 @@ func runBatch(g *locsample.Graph, m *locsample.Model, graphKind, modelDesc strin
 		fatal(err)
 	}
 	elapsed := time.Since(start)
+	if jsonOut {
+		r := newJSONReport(g, graphKind, modelDesc, alg.String(), seed)
+		r.Rounds = batch.Rounds
+		r.TheoryRounds = batch.TheoryRounds
+		r.Count = count
+		r.ElapsedMS = float64(elapsed.Nanoseconds()) / 1e6
+		if batch.Stats.Messages > 0 {
+			r.Stats = &batch.Stats
+		}
+		r.Samples = batch.Samples
+		emitJSON(r)
+		return
+	}
 	fmt.Printf("graph: %s  n=%d  m=%d  Δ=%d\n", graphKind, g.N(), g.M(), g.MaxDeg())
 	fmt.Printf("model: %s\n", modelDesc)
 	fmt.Printf("algorithm: %v  rounds=%d", alg, batch.Rounds)
@@ -241,14 +395,12 @@ func runBatch(g *locsample.Graph, m *locsample.Model, graphKind, modelDesc strin
 	}
 }
 
-// runDominatingSet handles the weighted-CSP model, which goes through
-// SampleCSP rather than Sample.
-func runDominatingSet(g *locsample.Graph, lambda float64, rounds int, seed uint64, distr, verbose bool) {
-	c := locsample.NewWeightedDominatingSet(g, lambda)
-	init := make([]int, g.N())
-	for i := range init {
-		init[i] = 1
-	}
+// runCSP handles weighted-CSP workloads (the -model domset flag and CSP
+// specs), which go through SampleCSP rather than Sample. domset gates the
+// dominating-set verdict: it is meaningful only for the domset flag path,
+// not for arbitrary q=2 CSP specs.
+func runCSP(g *locsample.Graph, c *locsample.CSPModel, init []int, modelDesc string,
+	rounds int, seed uint64, distr, jsonOut, verbose, domset bool) {
 	if rounds <= 0 {
 		rounds = 200
 	}
@@ -256,18 +408,34 @@ func runDominatingSet(g *locsample.Graph, lambda float64, rounds int, seed uint6
 	if err != nil {
 		fatal(err)
 	}
-	size := 0
-	for _, x := range out {
-		size += x
+	if jsonOut {
+		r := newJSONReport(g, "", modelDesc, "hypergraph lubyglauber", seed)
+		r.Graph.Kind = "csp"
+		r.Rounds = rounds
+		r.Count = 1
+		if distr {
+			r.Stats = &stats
+		}
+		r.Samples = [][]int{out}
+		emitJSON(r)
+		return
 	}
 	fmt.Printf("graph: n=%d m=%d Δ=%d\n", g.N(), g.M(), g.MaxDeg())
-	fmt.Printf("model: dominating set λ=%g (weighted local CSP)\n", lambda)
+	fmt.Printf("model: %s\n", modelDesc)
 	fmt.Printf("algorithm: hypergraph LubyGlauber, %d chain iterations\n", rounds)
 	if distr {
 		fmt.Printf("communication: %d LOCAL rounds, %d messages, max message %d bytes\n",
 			stats.Rounds, stats.Messages, stats.MaxMessageBytes)
 	}
-	fmt.Printf("dominating: %v  size=%d\n", g.IsDominatingSet(out), size)
+	if domset {
+		size := 0
+		for _, x := range out {
+			size += x
+		}
+		fmt.Printf("dominating: %v  size=%d\n", g.IsDominatingSet(out), size)
+	} else {
+		fmt.Printf("feasible: %v\n", c.Feasible(out))
+	}
 	if verbose {
 		fmt.Printf("sample: %v\n", out)
 	}

@@ -1,0 +1,92 @@
+// Command lserved serves Gibbs-distribution sampling over HTTP: clients
+// register models as versioned JSON specs (POST /v1/models) and draw
+// batches from them (POST /v1/models/{id}/sample). Models are compiled
+// once and cached; a draw with an explicit seed is bit-identical to the
+// corresponding local locsample.Sample/SampleCSP calls with derived
+// ChainSeed seeds, so servers are interchangeable with local runs.
+//
+// Endpoints:
+//
+//	POST /v1/models              register a spec (idempotent; ID = content hash)
+//	GET  /v1/models              list models
+//	GET  /v1/models/{id}         one model's spec + counters
+//	POST /v1/models/{id}/sample  draw k samples (optional seed/algorithm/rounds/epsilon)
+//	GET  /healthz                liveness
+//	GET  /statsz                 registry, cache, and per-model counters
+//
+// Example:
+//
+//	lserved -addr :8473 &
+//	curl -s localhost:8473/v1/models -d '{
+//	  "version": "locsample/v1",
+//	  "graph": {"family": "grid", "rows": 16, "cols": 16},
+//	  "model": {"kind": "coloring", "q": 12}
+//	}'
+//	curl -s localhost:8473/v1/models/<id>/sample -d '{"k": 4, "seed": 42}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"locsample/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8473", "listen address")
+		cacheSize = flag.Int("cache", 64, "compiled-sampler LRU capacity")
+		maxModels = flag.Int("max-models", 1024, "registered-model limit")
+		maxK      = flag.Int("max-k", 4096, "per-request sample limit")
+		timeout   = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown grace period")
+	)
+	flag.Parse()
+
+	reg := service.NewRegistry(service.Config{
+		CacheSize: *cacheSize,
+		MaxModels: *maxModels,
+		MaxK:      *maxK,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewServer(reg),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "lserved: listening on %s\n", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills immediately
+		fmt.Fprintln(os.Stderr, "lserved: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fatal(fmt.Errorf("graceful shutdown: %w", err))
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lserved:", err)
+	os.Exit(1)
+}

@@ -113,6 +113,14 @@ func (s *Sampler) sampleWithSeed(seed uint64) (*Result, error) {
 // so beyond the k result slices nothing is allocated per chain and nothing
 // at all per round.
 func (s *Sampler) SampleN(k int) (*Batch, error) {
+	return s.SampleNFrom(s.cfg.Seed, k)
+}
+
+// SampleNFrom is SampleN with an explicit master seed in place of the
+// compiled WithSeed value: chain i runs with ChainSeed(seed, i). It does
+// not mutate the Sampler, so concurrent calls (the serving path, where one
+// compiled sampler answers many requests with per-request seeds) are safe.
+func (s *Sampler) SampleNFrom(seed uint64, k int) (*Batch, error) {
 	if k < 0 {
 		return nil, fmt.Errorf("locsample: SampleN needs k >= 0, got %d", k)
 	}
@@ -145,6 +153,7 @@ func (s *Sampler) SampleN(k int) (*Batch, error) {
 		wg      sync.WaitGroup
 		errOnce sync.Once
 		runErr  error
+		aborted atomic.Bool
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -152,15 +161,23 @@ func (s *Sampler) SampleN(k int) (*Batch, error) {
 			defer wg.Done()
 			var cs *chains.Sampler
 			for {
+				// Fail fast: once any chain errors, no worker claims
+				// another chain — without this check the pool would drain
+				// the entire remaining queue after the batch is already
+				// doomed.
+				if aborted.Load() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= k {
 					return
 				}
-				seed := core.ChainSeed(s.cfg.Seed, uint64(i))
+				chainSeed := core.ChainSeed(seed, uint64(i))
 				if s.cfg.Distributed {
-					res, err := s.sampleWithSeed(seed)
+					res, err := s.sampleWithSeed(chainSeed)
 					if err != nil {
 						errOnce.Do(func() { runErr = err })
+						aborted.Store(true)
 						return
 					}
 					copy(batch.Samples[i], res.Sample)
@@ -168,10 +185,10 @@ func (s *Sampler) SampleN(k int) (*Batch, error) {
 					continue
 				}
 				if cs == nil {
-					cs = chains.NewSampler(s.m, s.init, seed,
+					cs = chains.NewSampler(s.m, s.init, chainSeed,
 						s.cfg.Algorithm, chains.Options{DropRule3: s.cfg.DropRule3})
 				} else {
-					cs.Reset(s.init, seed)
+					cs.Reset(s.init, chainSeed)
 				}
 				cs.Run(s.rounds)
 				copy(batch.Samples[i], cs.X)

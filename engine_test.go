@@ -2,6 +2,7 @@ package locsample_test
 
 import (
 	"testing"
+	"time"
 
 	"locsample"
 )
@@ -216,5 +217,66 @@ func TestChainSeedSplitting(t *testing.T) {
 	}
 	if locsample.ChainSeed(42, 0) == locsample.ChainSeed(43, 0) {
 		t.Fatal("master seed ignored")
+	}
+}
+
+// TestSampleNFromReseedsWithoutRecompiling: SampleNFrom(seed, k) on one
+// compiled sampler equals SampleN(k) on a sampler compiled with that seed —
+// the serving path, where one compiled model answers many requests with
+// per-request master seeds.
+func TestSampleNFromReseedsWithoutRecompiling(t *testing.T) {
+	g := locsample.GridGraph(8, 8)
+	model := locsample.NewColoring(g, 3*g.MaxDeg())
+	shared, err := locsample.NewSampler(model, locsample.WithRounds(40), locsample.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []uint64{1, 7, 0, 1 << 60} {
+		got, err := shared.SampleNFrom(seed, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := locsample.NewSampler(model, locsample.WithRounds(40), locsample.WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.SampleN(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Samples {
+			for v := range want.Samples[i] {
+				if got.Samples[i][v] != want.Samples[i][v] {
+					t.Fatalf("seed %d chain %d diverges at vertex %d", seed, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestSampleNFailsFast: when chains error (here: an algorithm with no
+// distributed implementation), the batch reports the error and the abort
+// flag keeps the pool from draining the whole queue first.
+func TestSampleNFailsFast(t *testing.T) {
+	// Modest k*n: the batch backing array is allocated up front, so a huge
+	// k would reserve real memory before the first chain even fails.
+	model := locsample.NewColoring(locsample.GridGraph(32, 32), 13)
+	s, err := locsample.NewSampler(model,
+		locsample.WithAlgorithm(locsample.Glauber),
+		locsample.WithRounds(1000000),
+		locsample.Distributed(),
+		locsample.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := s.SampleN(1 << 13); err == nil {
+		t.Fatal("doomed batch reported no error")
+	}
+	// Every chain fails instantly; without the abort flag the pool would
+	// still claim (and re-resolve a greedy init for) all 2^13 chains. With
+	// it the batch dies within a few claims.
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("doomed batch took %v; abort flag not effective", elapsed)
 	}
 }

@@ -1,0 +1,42 @@
+package service
+
+import (
+	"testing"
+)
+
+// BenchmarkServiceSample measures the serving hot path — registry lookup,
+// compiled-sampler cache hit, batch draw — with the compile paid once
+// outside the loop. This is the number the "repeat request never
+// recompiles" contract is worth.
+func BenchmarkServiceSample(b *testing.B) {
+	reg := NewRegistry(Config{})
+	m, _, err := reg.Register([]byte(coloringSpec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := reg.Draw(m, DrawOptions{K: 1, Seed: 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Draw(m, DrawOptions{K: 8, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceRegisterCached measures idempotent re-registration —
+// the decode + hash + registry-hit path a client retry pays.
+func BenchmarkServiceRegisterCached(b *testing.B) {
+	reg := NewRegistry(Config{})
+	if _, _, err := reg.Register([]byte(coloringSpec)); err != nil {
+		b.Fatal(err)
+	}
+	data := []byte(coloringSpec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, cached, err := reg.Register(data); err != nil || !cached {
+			b.Fatalf("cached=%v err=%v", cached, err)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+
+	"locsample/internal/spec"
+)
+
+// HTTP API of cmd/lserved, all JSON:
+//
+//	POST /v1/models              register a spec; body = Spec JSON
+//	GET  /v1/models              list registered models
+//	GET  /v1/models/{id}         one model's spec + counters
+//	POST /v1/models/{id}/sample  draw k samples
+//	GET  /healthz                liveness
+//	GET  /statsz                 registry + cache + per-model counters
+//
+// Model IDs are spec content hashes ("sha256:" + 64 hex digits), so
+// registration is idempotent and clients may pre-compute IDs offline.
+
+// RegisterResponse answers POST /v1/models.
+type RegisterResponse struct {
+	ID string `json:"id"`
+	// Cached reports that the spec was already registered (and its
+	// compiled sampler reused).
+	Cached bool   `json:"cached"`
+	Kind   string `json:"kind"`
+	N      int    `json:"n"`
+	M      int    `json:"m"`
+	Q      int    `json:"q"`
+}
+
+// SampleRequest is the body of POST /v1/models/{id}/sample. All fields are
+// optional.
+type SampleRequest struct {
+	// K is the number of independent samples (default 1).
+	K int `json:"k,omitempty"`
+	// Seed pins the draw: chain i of the response is bit-identical to a
+	// local sample with seed ChainSeed(seed, i). When omitted the server
+	// picks a random seed and echoes it.
+	Seed *uint64 `json:"seed,omitempty"`
+	// Algorithm overrides the chain (MRF models only).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Rounds overrides the round budget.
+	Rounds int `json:"rounds,omitempty"`
+	// Epsilon overrides the total-variation target of the automatic
+	// budget.
+	Epsilon float64 `json:"epsilon,omitempty"`
+}
+
+// SampleResponse answers POST /v1/models/{id}/sample.
+type SampleResponse struct {
+	ID           string  `json:"id"`
+	Seed         uint64  `json:"seed"`
+	K            int     `json:"k"`
+	Algorithm    string  `json:"algorithm"`
+	Rounds       int     `json:"rounds"`
+	TheoryRounds int     `json:"theoryRounds,omitempty"`
+	ElapsedMS    float64 `json:"elapsedMs"`
+	Samples      [][]int `json:"samples"`
+}
+
+// ModelListResponse answers GET /v1/models.
+type ModelListResponse struct {
+	Models []ModelStats `json:"models"`
+}
+
+// ModelResponse answers GET /v1/models/{id}.
+type ModelResponse struct {
+	ModelStats
+	Spec *spec.Spec `json:"spec"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewServer returns the HTTP handler serving reg. Routing is hand-rolled
+// on the standard library only.
+func NewServer(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		if !allowMethod(w, req, http.MethodGet) {
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, req *http.Request) {
+		if !allowMethod(w, req, http.MethodGet) {
+			return
+		}
+		writeJSON(w, http.StatusOK, reg.Stats())
+	})
+	mux.HandleFunc("/v1/models", func(w http.ResponseWriter, req *http.Request) {
+		switch req.Method {
+		case http.MethodGet:
+			resp := ModelListResponse{Models: []ModelStats{}}
+			for _, m := range reg.List() {
+				resp.Models = append(resp.Models, m.Stats())
+			}
+			writeJSON(w, http.StatusOK, resp)
+		case http.MethodPost:
+			handleRegister(reg, w, req)
+		default:
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", req.Method))
+		}
+	})
+	mux.HandleFunc("/v1/models/", func(w http.ResponseWriter, req *http.Request) {
+		rest := strings.TrimPrefix(req.URL.Path, "/v1/models/")
+		id, sub, _ := strings.Cut(rest, "/")
+		m, ok := reg.Lookup(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown model %q", id))
+			return
+		}
+		switch sub {
+		case "":
+			if !allowMethod(w, req, http.MethodGet) {
+				return
+			}
+			writeJSON(w, http.StatusOK, ModelResponse{ModelStats: m.Stats(), Spec: m.Spec})
+		case "sample":
+			if !allowMethod(w, req, http.MethodPost) {
+				return
+			}
+			handleSample(reg, m, w, req)
+		default:
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown endpoint %q", req.URL.Path))
+		}
+	})
+	return mux
+}
+
+func handleRegister(reg *Registry, w http.ResponseWriter, req *http.Request) {
+	body, err := readBody(w, req, spec.MaxSpecBytes)
+	if err != nil {
+		return
+	}
+	m, cached, err := reg.Register(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st := m.Stats()
+	status := http.StatusCreated
+	if cached {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, RegisterResponse{
+		ID: m.Hash, Cached: cached, Kind: st.Kind, N: st.N, M: st.M, Q: st.Q,
+	})
+}
+
+func handleSample(reg *Registry, m *Model, w http.ResponseWriter, req *http.Request) {
+	var sr SampleRequest
+	body, err := readBody(w, req, 1<<20)
+	if err != nil {
+		return
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &sr); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid sample request: %w", err))
+			return
+		}
+	}
+	seed := rand.Uint64()
+	if sr.Seed != nil {
+		seed = *sr.Seed
+	}
+	res, err := reg.Draw(m, DrawOptions{
+		K:         sr.K,
+		Seed:      seed,
+		Algorithm: sr.Algorithm,
+		Rounds:    sr.Rounds,
+		Epsilon:   sr.Epsilon,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SampleResponse{
+		ID:           m.Hash,
+		Seed:         seed,
+		K:            len(res.Samples),
+		Algorithm:    res.Algorithm,
+		Rounds:       res.Rounds,
+		TheoryRounds: res.TheoryRounds,
+		ElapsedMS:    float64(res.Elapsed.Nanoseconds()) / 1e6,
+		Samples:      res.Samples,
+	})
+}
+
+func readBody(w http.ResponseWriter, req *http.Request, limit int64) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, limit))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("body exceeds %d bytes", limit))
+		} else {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		}
+		return nil, err
+	}
+	return body, nil
+}
+
+func allowMethod(w http.ResponseWriter, req *http.Request, method string) bool {
+	if req.Method != method {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", req.Method))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

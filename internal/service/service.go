@@ -1,0 +1,571 @@
+// Package service is the serving layer between the wire codec
+// (internal/spec) and the batch engine: a model registry keyed by spec
+// content hash, an LRU cache of compiled samplers, per-model request
+// counters, and concurrent draw execution.
+//
+// The registry guarantees two things the HTTP layer and its tests pin:
+//
+//   - Compile-once: a model is compiled (round budget, feasible init,
+//     proposal tables — core.Compile via locsample.NewSampler) at most once
+//     per (spec hash, algorithm, rounds, epsilon) while the entry stays in
+//     the LRU; re-registering an identical spec or re-requesting the same
+//     options never recompiles.
+//   - Determinism over the wire: a draw for (spec, seed) returns chain i
+//     bit-identical to a local Sample with seed ChainSeed(seed, i) (for
+//     MRFs, via Sampler.SampleNFrom) or a local SampleCSP with the same
+//     derived seed (for CSPs). The server adds no randomness of its own
+//     when the client supplies a seed.
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locsample"
+	"locsample/internal/spec"
+)
+
+// Config bounds the registry.
+type Config struct {
+	// CacheSize is the compiled-sampler LRU capacity (default 64).
+	CacheSize int
+	// MaxModels bounds the number of registered specs (default 1024).
+	MaxModels int
+	// MaxK bounds the samples a single draw may request (default 4096).
+	MaxK int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 64
+	}
+	if c.MaxModels <= 0 {
+		c.MaxModels = 1024
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 4096
+	}
+	return c
+}
+
+// Model is one registered spec plus its serving counters.
+type Model struct {
+	// Hash is the spec's canonical content address — the model ID.
+	Hash string
+	// Spec is the validated spec.
+	Spec *locsample.Spec
+	// Built is the realized workload.
+	Built *locsample.BuiltSpec
+	// Registered is the first registration time.
+	Registered time.Time
+
+	requests  atomic.Int64
+	samples   atomic.Int64
+	errors    atomic.Int64
+	latencyNS atomic.Int64
+}
+
+// ModelStats is a point-in-time snapshot of a model's counters.
+type ModelStats struct {
+	ID        string  `json:"id"`
+	Name      string  `json:"name,omitempty"`
+	Kind      string  `json:"kind"`
+	N         int     `json:"n"`
+	M         int     `json:"m"`
+	Q         int     `json:"q"`
+	Requests  int64   `json:"requests"`
+	Samples   int64   `json:"samples"`
+	Errors    int64   `json:"errors"`
+	LatencyMS float64 `json:"latencyMs"`
+}
+
+// Stats reports the model's counters.
+func (m *Model) Stats() ModelStats {
+	q := 0
+	if m.Built.Model != nil {
+		q = m.Built.Model.Q
+	} else if m.Built.CSP != nil {
+		q = m.Built.CSP.Q
+	}
+	return ModelStats{
+		ID:        m.Hash,
+		Name:      m.Spec.Name,
+		Kind:      m.Spec.Model.Kind,
+		N:         m.Built.Graph.N(),
+		M:         m.Built.Graph.M(),
+		Q:         q,
+		Requests:  m.requests.Load(),
+		Samples:   m.samples.Load(),
+		Errors:    m.errors.Load(),
+		LatencyMS: float64(m.latencyNS.Load()) / 1e6,
+	}
+}
+
+// compileKey identifies one compiled sampler: everything that feeds
+// core.Compile. Seeds are deliberately absent — SampleNFrom reseeds a
+// compiled sampler per request.
+type compileKey struct {
+	hash      string
+	algorithm locsample.Algorithm
+	rounds    int
+	epsBits   uint64
+}
+
+// compiled is one cache entry: a reusable MRF batch sampler, or the
+// resolved CSP run parameters.
+type compiled struct {
+	sampler *locsample.Sampler
+	csp     *locsample.CSPModel
+	graph   *locsample.Graph
+	init    []int
+	rounds  int
+}
+
+// Registry is the model store and compiled-sampler cache. All methods are
+// safe for concurrent use; draws themselves run outside the registry lock.
+type Registry struct {
+	cfg   Config
+	start time.Time
+
+	mu       sync.Mutex
+	models   map[string]*Model
+	order    []string // registration order, for stable listings
+	lru      *list.List
+	byKey    map[compileKey]*list.Element
+	inflight map[compileKey]*compileCall
+
+	compiles  atomic.Int64
+	cacheHits atomic.Int64
+	cacheMiss atomic.Int64
+}
+
+type lruEntry struct {
+	key compileKey
+	c   *compiled
+}
+
+// compileCall is an in-flight compilation other requests for the same key
+// wait on instead of compiling again (per-key singleflight). The fields
+// are written before done is closed and read only after.
+type compileCall struct {
+	done chan struct{}
+	c    *compiled
+	err  error
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry(cfg Config) *Registry {
+	return &Registry{
+		cfg:      cfg.withDefaults(),
+		start:    time.Now(),
+		models:   make(map[string]*Model),
+		lru:      list.New(),
+		byKey:    make(map[compileKey]*list.Element),
+		inflight: make(map[compileKey]*compileCall),
+	}
+}
+
+// Compiles returns the number of sampler compilations performed so far —
+// the observable the cache tests pin to zero across repeat registrations
+// and repeat draws.
+func (r *Registry) Compiles() int64 { return r.compiles.Load() }
+
+// Register decodes, validates, builds, and stores a spec, eagerly
+// compiling its default sampler so the first draw pays no compile either.
+// The model becomes visible only after that compile succeeds: a spec the
+// default options cannot serve fails registration and is never observable
+// (no success-then-404 window for concurrent duplicate registrations).
+// Registering a spec whose hash is already present is a cheap no-op that
+// returns the existing model with cached = true.
+func (r *Registry) Register(data []byte) (m *Model, cached bool, err error) {
+	s, err := spec.Decode(data)
+	if err != nil {
+		return nil, false, err
+	}
+	h, err := spec.Hash(s)
+	if err != nil {
+		return nil, false, err
+	}
+	r.mu.Lock()
+	if m, ok := r.models[h]; ok {
+		r.mu.Unlock()
+		return m, true, nil
+	}
+	if len(r.models) >= r.cfg.MaxModels {
+		r.mu.Unlock()
+		return nil, false, fmt.Errorf("service: model registry full (%d models)", r.cfg.MaxModels)
+	}
+	r.mu.Unlock()
+
+	// Build and eagerly compile outside the lock — graph generation and
+	// core.Compile can be heavy. Concurrent duplicate registrations
+	// deduplicate the compile via the cache's singleflight.
+	built, err := locsample.BuildSpec(s)
+	if err != nil {
+		return nil, false, err
+	}
+	m = &Model{Hash: h, Spec: s, Built: built, Registered: time.Now()}
+	// A CSP spec may leave the round budget entirely to requests; there is
+	// nothing to compile for it until a request supplies rounds.
+	if built.CSP == nil || built.Rounds > 0 {
+		if _, err := r.getCompiled(m, defaultDrawOptions(m)); err != nil {
+			return nil, false, err
+		}
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prior, ok := r.models[h]; ok { // lost a registration race
+		return prior, true, nil
+	}
+	if len(r.models) >= r.cfg.MaxModels {
+		// The compiled entry stays in the LRU; it is keyed by hash and
+		// ages out naturally.
+		return nil, false, fmt.Errorf("service: model registry full (%d models)", r.cfg.MaxModels)
+	}
+	r.models[h] = m
+	r.order = append(r.order, h)
+	return m, false, nil
+}
+
+// Lookup returns the model with the given ID (spec hash).
+func (r *Registry) Lookup(id string) (*Model, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.models[id]
+	return m, ok
+}
+
+// List returns all registered models in registration order.
+func (r *Registry) List() []*Model {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Model, 0, len(r.order))
+	for _, h := range r.order {
+		out = append(out, r.models[h])
+	}
+	return out
+}
+
+// DrawOptions parameterize one draw request. Zero values mean "use the
+// model's defaults".
+type DrawOptions struct {
+	// K is the number of independent samples (default 1).
+	K int
+	// Seed is the master seed; chain i runs with ChainSeed(Seed, i).
+	Seed uint64
+	// Algorithm overrides the chain ("glauber", "lubyglauber",
+	// "localmetropolis", "scan", "chromatic"; MRF models only).
+	Algorithm string
+	// Rounds overrides the round budget when positive.
+	Rounds int
+	// Epsilon overrides the total-variation target of the automatic round
+	// budget when positive.
+	Epsilon float64
+}
+
+// DrawResult is one served batch.
+type DrawResult struct {
+	// Samples[i] is chain i's configuration.
+	Samples [][]int
+	// Rounds is the per-chain round budget that ran.
+	Rounds int
+	// TheoryRounds is the automatic budget (0 when rounds were pinned).
+	TheoryRounds int
+	// Algorithm is the chain that ran.
+	Algorithm string
+	// Elapsed is the draw's wall-clock time.
+	Elapsed time.Duration
+}
+
+func defaultDrawOptions(m *Model) DrawOptions {
+	opts := DrawOptions{K: 1}
+	if m.Built.CSP != nil {
+		opts.Rounds = m.Built.Rounds
+	}
+	return opts
+}
+
+// ParseAlgorithm maps a wire algorithm name to a chain.
+func ParseAlgorithm(s string) (locsample.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "glauber":
+		return locsample.Glauber, nil
+	case "lubyglauber", "luby":
+		return locsample.LubyGlauber, nil
+	case "localmetropolis", "lm", "":
+		return locsample.LocalMetropolis, nil
+	case "scan", "systematicscan":
+		return locsample.SystematicScan, nil
+	case "chromatic", "chromaticglauber":
+		return locsample.ChromaticGlauber, nil
+	default:
+		return 0, fmt.Errorf("service: unknown algorithm %q", s)
+	}
+}
+
+// Draw serves one batch from m, compiling at most once per option set and
+// counting request, sample, latency, and error metrics.
+func (r *Registry) Draw(m *Model, opts DrawOptions) (*DrawResult, error) {
+	res, err := r.draw(m, opts)
+	m.requests.Add(1)
+	if err != nil {
+		m.errors.Add(1)
+		return nil, err
+	}
+	m.samples.Add(int64(len(res.Samples)))
+	m.latencyNS.Add(res.Elapsed.Nanoseconds())
+	return res, nil
+}
+
+func (r *Registry) draw(m *Model, opts DrawOptions) (*DrawResult, error) {
+	if opts.K == 0 {
+		opts.K = 1
+	}
+	if opts.K < 1 || opts.K > r.cfg.MaxK {
+		return nil, fmt.Errorf("service: k must be in [1,%d], got %d", r.cfg.MaxK, opts.K)
+	}
+	if opts.Rounds < 0 {
+		return nil, fmt.Errorf("service: rounds must be >= 0, got %d", opts.Rounds)
+	}
+	if opts.Epsilon < 0 || opts.Epsilon >= 1 || math.IsNaN(opts.Epsilon) {
+		return nil, fmt.Errorf("service: epsilon must be in [0,1), got %v", opts.Epsilon)
+	}
+	c, err := r.getCompiled(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if c.sampler != nil {
+		batch, err := c.sampler.SampleNFrom(opts.Seed, opts.K)
+		if err != nil {
+			return nil, err
+		}
+		return &DrawResult{
+			Samples:      batch.Samples,
+			Rounds:       batch.Rounds,
+			TheoryRounds: batch.TheoryRounds,
+			Algorithm:    algorithmName(m, opts),
+			Elapsed:      time.Since(start),
+		}, nil
+	}
+	samples, err := drawCSP(c, opts.Seed, opts.K)
+	if err != nil {
+		return nil, err
+	}
+	return &DrawResult{
+		Samples:   samples,
+		Rounds:    c.rounds,
+		Algorithm: "lubyglauber",
+		Elapsed:   time.Since(start),
+	}, nil
+}
+
+func algorithmName(m *Model, opts DrawOptions) string {
+	a, err := ParseAlgorithm(opts.Algorithm)
+	if err != nil {
+		return opts.Algorithm
+	}
+	return strings.ToLower(a.String())
+}
+
+// getCompiled returns the cached compiled sampler for (model, options),
+// compiling and inserting it on a miss. The compile itself runs outside
+// the registry lock so a cold key on one model never stalls cache hits,
+// lookups, or stats for the rest of the server; concurrent requests for
+// the same cold key wait on a per-key singleflight instead of compiling
+// again.
+func (r *Registry) getCompiled(m *Model, opts DrawOptions) (*compiled, error) {
+	key, err := r.compileKeyFor(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if el, ok := r.byKey[key]; ok {
+		r.lru.MoveToFront(el)
+		r.cacheHits.Add(1)
+		r.mu.Unlock()
+		return el.Value.(*lruEntry).c, nil
+	}
+	if call, ok := r.inflight[key]; ok {
+		r.mu.Unlock()
+		<-call.done
+		if call.err == nil {
+			r.cacheHits.Add(1)
+		}
+		return call.c, call.err
+	}
+	call := &compileCall{done: make(chan struct{})}
+	r.inflight[key] = call
+	r.cacheMiss.Add(1)
+	r.mu.Unlock()
+
+	c, err := r.compile(m, key, opts)
+
+	r.mu.Lock()
+	delete(r.inflight, key)
+	if err == nil {
+		el := r.lru.PushFront(&lruEntry{key: key, c: c})
+		r.byKey[key] = el
+		for r.lru.Len() > r.cfg.CacheSize {
+			oldest := r.lru.Back()
+			r.lru.Remove(oldest)
+			delete(r.byKey, oldest.Value.(*lruEntry).key)
+		}
+	}
+	r.mu.Unlock()
+	call.c, call.err = c, err
+	close(call.done)
+	return c, err
+}
+
+func (r *Registry) compileKeyFor(m *Model, opts DrawOptions) (compileKey, error) {
+	key := compileKey{hash: m.Hash, rounds: opts.Rounds, epsBits: math.Float64bits(opts.Epsilon)}
+	if m.Built.CSP != nil {
+		if opts.Algorithm != "" {
+			// Accept any spelling of the one chain CSPs run.
+			if a, err := ParseAlgorithm(opts.Algorithm); err != nil || a != locsample.LubyGlauber {
+				return key, fmt.Errorf("service: csp models only support the lubyglauber chain, got %q", opts.Algorithm)
+			}
+		}
+		if opts.Epsilon != 0 {
+			// No theory budget exists for CSPs, so epsilon has no effect;
+			// accepting it would silently split one workload across cache
+			// entries.
+			return key, fmt.Errorf("service: csp models have no epsilon budget; supply rounds instead")
+		}
+		if opts.Rounds == 0 {
+			key.rounds = m.Built.Rounds
+		}
+		if key.rounds <= 0 {
+			return key, fmt.Errorf("service: csp model has no default round budget; supply rounds")
+		}
+		return key, nil
+	}
+	a, err := ParseAlgorithm(opts.Algorithm)
+	if err != nil {
+		return key, err
+	}
+	key.algorithm = a
+	return key, nil
+}
+
+// compile does the actual compilation work; it is called without r.mu
+// held (the caller serializes same-key compiles via the singleflight).
+func (r *Registry) compile(m *Model, key compileKey, opts DrawOptions) (*compiled, error) {
+	if m.Built.CSP != nil {
+		return &compiled{
+			csp:    m.Built.CSP,
+			graph:  m.Built.Graph,
+			init:   m.Built.Init,
+			rounds: key.rounds,
+		}, nil
+	}
+	sopts := []locsample.Option{locsample.WithAlgorithm(key.algorithm)}
+	if key.rounds > 0 {
+		sopts = append(sopts, locsample.WithRounds(key.rounds))
+	}
+	if opts.Epsilon > 0 {
+		sopts = append(sopts, locsample.WithEpsilon(opts.Epsilon))
+	}
+	r.compiles.Add(1)
+	sampler, err := locsample.NewSampler(m.Built.Model, sopts...)
+	if err != nil {
+		return nil, err
+	}
+	return &compiled{sampler: sampler}, nil
+}
+
+// drawCSP draws k independent CSP chains over a worker pool; chain i runs
+// with ChainSeed(seed, i), bit-identical to a local SampleCSP call with
+// that derived seed.
+func drawCSP(c *compiled, seed uint64, k int) ([][]int, error) {
+	samples := make([][]int, k)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > k {
+		workers = k
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		runErr  error
+		aborted atomic.Bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if aborted.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= k {
+					return
+				}
+				out, _, err := locsample.SampleCSP(c.graph, c.csp, c.init,
+					c.rounds, locsample.ChainSeed(seed, i), false)
+				if err != nil {
+					errOnce.Do(func() { runErr = err })
+					aborted.Store(true)
+					return
+				}
+				samples[i] = out
+			}
+		}()
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	return samples, nil
+}
+
+// RegistryStats is the /statsz payload.
+type RegistryStats struct {
+	UptimeSeconds float64      `json:"uptimeSeconds"`
+	Models        int          `json:"models"`
+	Cache         CacheStats   `json:"cache"`
+	PerModel      []ModelStats `json:"perModel"`
+}
+
+// CacheStats reports the compiled-sampler cache counters.
+type CacheStats struct {
+	Size     int   `json:"size"`
+	Capacity int   `json:"capacity"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Compiles int64 `json:"compiles"`
+}
+
+// Stats snapshots the registry.
+func (r *Registry) Stats() RegistryStats {
+	models := r.List()
+	r.mu.Lock()
+	size := r.lru.Len()
+	r.mu.Unlock()
+	st := RegistryStats{
+		UptimeSeconds: time.Since(r.start).Seconds(),
+		Models:        len(models),
+		Cache: CacheStats{
+			Size:     size,
+			Capacity: r.cfg.CacheSize,
+			Hits:     r.cacheHits.Load(),
+			Misses:   r.cacheMiss.Load(),
+			Compiles: r.compiles.Load(),
+		},
+	}
+	for _, m := range models {
+		st.PerModel = append(st.PerModel, m.Stats())
+	}
+	sort.Slice(st.PerModel, func(i, j int) bool { return st.PerModel[i].ID < st.PerModel[j].ID })
+	return st
+}

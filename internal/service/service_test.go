@@ -1,0 +1,477 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"locsample"
+)
+
+const coloringSpec = `{
+	"version": "locsample/v1",
+	"name": "grid-coloring",
+	"graph": {"family": "grid", "rows": 6, "cols": 6},
+	"model": {"kind": "coloring", "q": 12}
+}`
+
+const cspSpec = `{
+	"version": "locsample/v1",
+	"name": "cycle-domset",
+	"graph": {"family": "cycle", "n": 12},
+	"model": {"kind": "csp", "q": 2, "rounds": 60, "constraints": [
+		{"kind": "cover", "scope": [0, 1, 11]},
+		{"kind": "cover", "scope": [1, 2, 0]},
+		{"kind": "cover", "scope": [2, 3, 1]},
+		{"kind": "cover", "scope": [3, 4, 2]},
+		{"kind": "cover", "scope": [4, 5, 3]},
+		{"kind": "cover", "scope": [5, 6, 4]},
+		{"kind": "cover", "scope": [6, 7, 5]},
+		{"kind": "cover", "scope": [7, 8, 6]},
+		{"kind": "cover", "scope": [8, 9, 7]},
+		{"kind": "cover", "scope": [9, 10, 8]},
+		{"kind": "cover", "scope": [10, 11, 9]},
+		{"kind": "cover", "scope": [11, 0, 10]}
+	]}
+}`
+
+func newTestServer(t *testing.T) (*httptest.Server, *Registry) {
+	t.Helper()
+	reg := NewRegistry(Config{})
+	ts := httptest.NewServer(NewServer(reg))
+	t.Cleanup(ts.Close)
+	return ts, reg
+}
+
+func postJSON(t *testing.T, url, body string, out any) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("decoding response %q: %v", buf.String(), err)
+		}
+	}
+	return resp.StatusCode, buf.String()
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServerEndToEnd drives the full HTTP surface: register, list, fetch,
+// sample, health, stats.
+func TestServerEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	var health map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
+		t.Fatalf("healthz: code %d, body %v", code, health)
+	}
+
+	var reg RegisterResponse
+	code, body := postJSON(t, ts.URL+"/v1/models", coloringSpec, &reg)
+	if code != http.StatusCreated {
+		t.Fatalf("register: code %d, body %s", code, body)
+	}
+	if !strings.HasPrefix(reg.ID, "sha256:") || reg.Kind != "coloring" || reg.N != 36 || reg.Q != 12 {
+		t.Fatalf("register response: %+v", reg)
+	}
+
+	var list ModelListResponse
+	if code := getJSON(t, ts.URL+"/v1/models", &list); code != http.StatusOK {
+		t.Fatalf("list: code %d", code)
+	}
+	if len(list.Models) != 1 || list.Models[0].ID != reg.ID {
+		t.Fatalf("list: %+v", list)
+	}
+
+	var one ModelResponse
+	if code := getJSON(t, ts.URL+"/v1/models/"+reg.ID, &one); code != http.StatusOK {
+		t.Fatalf("get model: code %d", code)
+	}
+	if one.Spec == nil || one.Spec.Name != "grid-coloring" {
+		t.Fatalf("get model: %+v", one)
+	}
+
+	var sample SampleResponse
+	code, body = postJSON(t, ts.URL+"/v1/models/"+reg.ID+"/sample", `{"k":3,"seed":42}`, &sample)
+	if code != http.StatusOK {
+		t.Fatalf("sample: code %d, body %s", code, body)
+	}
+	if sample.K != 3 || len(sample.Samples) != 3 || sample.Seed != 42 {
+		t.Fatalf("sample response shape: %+v", sample)
+	}
+	if sample.Algorithm != "localmetropolis" || sample.Rounds <= 0 {
+		t.Fatalf("sample provenance: %+v", sample)
+	}
+	for i, cfg := range sample.Samples {
+		if len(cfg) != 36 {
+			t.Fatalf("sample %d has %d spins", i, len(cfg))
+		}
+	}
+
+	var stats RegistryStats
+	if code := getJSON(t, ts.URL+"/statsz", &stats); code != http.StatusOK {
+		t.Fatalf("statsz: code %d", code)
+	}
+	if stats.Models != 1 || len(stats.PerModel) != 1 {
+		t.Fatalf("statsz models: %+v", stats)
+	}
+	pm := stats.PerModel[0]
+	if pm.Requests != 1 || pm.Samples != 3 || pm.Errors != 0 {
+		t.Fatalf("statsz counters: %+v", pm)
+	}
+	if stats.Cache.Compiles < 1 {
+		t.Fatalf("statsz cache: %+v", stats.Cache)
+	}
+}
+
+// TestServerErrors covers the rejection paths.
+func TestServerErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	if code, _ := postJSON(t, ts.URL+"/v1/models", `{"version":"bogus"}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("invalid spec: code %d", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/models/sha256:nope/sample", `{}`, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown model: code %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/models/sha256:nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model get: code %d", resp.StatusCode)
+	}
+
+	var reg RegisterResponse
+	if code, body := postJSON(t, ts.URL+"/v1/models", coloringSpec, &reg); code != http.StatusCreated {
+		t.Fatalf("register: code %d body %s", code, body)
+	}
+	for name, body := range map[string]string{
+		"bad k":         `{"k":-1}`,
+		"k over limit":  `{"k":1000000}`,
+		"bad algorithm": `{"algorithm":"quantum"}`,
+		"bad epsilon":   `{"epsilon":2}`,
+		"bad json":      `{`,
+	} {
+		if code, b := postJSON(t, ts.URL+"/v1/models/"+reg.ID+"/sample", body, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: code %d body %s", name, code, b)
+		}
+	}
+
+	// Method mismatches.
+	resp, err = http.Get(ts.URL + "/v1/models/" + reg.ID + "/sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET sample: code %d", resp.StatusCode)
+	}
+}
+
+// TestRegisterCacheHit pins the compile-once contract: re-registering an
+// identical spec (modulo whitespace and key order) and re-drawing with the
+// same options never re-runs core.Compile.
+func TestRegisterCacheHit(t *testing.T) {
+	ts, reg := newTestServer(t)
+
+	var first RegisterResponse
+	if code, body := postJSON(t, ts.URL+"/v1/models", coloringSpec, &first); code != http.StatusCreated {
+		t.Fatalf("register: code %d body %s", code, body)
+	}
+	if first.Cached {
+		t.Fatal("first registration reported cached")
+	}
+	compiles := reg.Compiles()
+	if compiles < 1 {
+		t.Fatalf("eager compile did not run: %d", compiles)
+	}
+
+	// Same workload, different bytes: key order shuffled, whitespace
+	// stripped. Content addressing must land on the same entry.
+	reordered := `{"model":{"q":12,"kind":"coloring"},"name":"grid-coloring",` +
+		`"graph":{"cols":6,"family":"grid","rows":6},"version":"locsample/v1"}`
+	var second RegisterResponse
+	if code, body := postJSON(t, ts.URL+"/v1/models", reordered, &second); code != http.StatusOK {
+		t.Fatalf("re-register: code %d body %s", code, body)
+	}
+	if !second.Cached || second.ID != first.ID {
+		t.Fatalf("re-registration missed the cache: %+v vs %+v", second, first)
+	}
+	if got := reg.Compiles(); got != compiles {
+		t.Fatalf("re-registration recompiled: %d -> %d", compiles, got)
+	}
+
+	// Repeated draws with default options reuse the eagerly compiled
+	// sampler; only a new option set compiles again.
+	for i := 0; i < 3; i++ {
+		if code, body := postJSON(t, ts.URL+"/v1/models/"+first.ID+"/sample",
+			fmt.Sprintf(`{"k":2,"seed":%d}`, i), nil); code != http.StatusOK {
+			t.Fatalf("draw %d: code %d body %s", i, code, body)
+		}
+	}
+	if got := reg.Compiles(); got != compiles {
+		t.Fatalf("default-option draws recompiled: %d -> %d", compiles, got)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/models/"+first.ID+"/sample",
+		`{"k":1,"algorithm":"lubyglauber"}`, nil); code != http.StatusOK {
+		t.Fatal("lubyglauber draw failed")
+	}
+	if got := reg.Compiles(); got != compiles+1 {
+		t.Fatalf("new option set should compile exactly once more: %d -> %d", compiles, got)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/models/"+first.ID+"/sample",
+		`{"k":1,"algorithm":"lubyglauber"}`, nil); code != http.StatusOK {
+		t.Fatal("repeat lubyglauber draw failed")
+	}
+	if got := reg.Compiles(); got != compiles+1 {
+		t.Fatalf("repeat option set recompiled: %d", got)
+	}
+}
+
+// TestServerDrawBitIdentical pins determinism over the wire: a server draw
+// for (spec, seed) returns chain i bit-identical to a local Sample with
+// seed ChainSeed(seed, i) on the locally built spec.
+func TestServerDrawBitIdentical(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	var reg RegisterResponse
+	if code, body := postJSON(t, ts.URL+"/v1/models", coloringSpec, &reg); code != http.StatusCreated {
+		t.Fatalf("register: code %d body %s", code, body)
+	}
+	const seed, k = 1234, 5
+	var resp SampleResponse
+	if code, body := postJSON(t, ts.URL+"/v1/models/"+reg.ID+"/sample",
+		fmt.Sprintf(`{"k":%d,"seed":%d}`, k, seed), &resp); code != http.StatusOK {
+		t.Fatalf("sample: code %d body %s", code, body)
+	}
+
+	s, err := locsample.ParseSpec([]byte(coloringSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := locsample.BuildSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Hash != reg.ID {
+		t.Fatalf("hash mismatch: local %s, server %s", built.Hash, reg.ID)
+	}
+	for i := 0; i < k; i++ {
+		local, err := locsample.Sample(built.Model,
+			locsample.WithAlgorithm(locsample.LocalMetropolis),
+			locsample.WithSeed(locsample.ChainSeed(seed, i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(local.Sample, resp.Samples[i]) {
+			t.Fatalf("served chain %d diverges from local ChainSeed sample", i)
+		}
+		if local.Rounds != resp.Rounds {
+			t.Fatalf("round budget diverges: local %d, served %d", local.Rounds, resp.Rounds)
+		}
+	}
+}
+
+// TestServerCSPDraw: CSP specs serve through the hypergraph chain with the
+// same per-chain seed derivation.
+func TestServerCSPDraw(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	var reg RegisterResponse
+	if code, body := postJSON(t, ts.URL+"/v1/models", cspSpec, &reg); code != http.StatusCreated {
+		t.Fatalf("register: code %d body %s", code, body)
+	}
+	const seed, k = 99, 4
+	var resp SampleResponse
+	if code, body := postJSON(t, ts.URL+"/v1/models/"+reg.ID+"/sample",
+		fmt.Sprintf(`{"k":%d,"seed":%d}`, k, seed), &resp); code != http.StatusOK {
+		t.Fatalf("sample: code %d body %s", code, body)
+	}
+	if resp.Rounds != 60 || resp.Algorithm != "lubyglauber" {
+		t.Fatalf("csp provenance: %+v", resp)
+	}
+
+	s, err := locsample.ParseSpec([]byte(cspSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := locsample.BuildSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		local, _, err := locsample.SampleCSP(built.Graph, built.CSP, built.Init,
+			built.Rounds, locsample.ChainSeed(seed, i), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(local, resp.Samples[i]) {
+			t.Fatalf("served CSP chain %d diverges from local ChainSeed sample", i)
+		}
+		if !built.CSP.Feasible(resp.Samples[i]) {
+			t.Fatalf("served CSP sample %d infeasible", i)
+		}
+	}
+
+	// Overriding the algorithm on a CSP model is rejected — but any
+	// spelling of the one chain CSPs run is fine.
+	if code, _ := postJSON(t, ts.URL+"/v1/models/"+reg.ID+"/sample",
+		`{"algorithm":"glauber"}`, nil); code != http.StatusBadRequest {
+		t.Fatal("csp algorithm override not rejected")
+	}
+	if code, body := postJSON(t, ts.URL+"/v1/models/"+reg.ID+"/sample",
+		`{"algorithm":"luby","seed":1}`, nil); code != http.StatusOK {
+		t.Fatalf("lubyglauber alias rejected on csp: %d %s", code, body)
+	}
+	// Epsilon has no meaning for CSPs; silently accepting it would split
+	// the cache.
+	if code, _ := postJSON(t, ts.URL+"/v1/models/"+reg.ID+"/sample",
+		`{"epsilon":0.1}`, nil); code != http.StatusBadRequest {
+		t.Fatal("csp epsilon override not rejected")
+	}
+}
+
+// TestCSPWithoutDefaultRounds: a CSP spec may leave the round budget to
+// requests; registration succeeds, rounds-less draws are rejected, and a
+// request-supplied budget serves.
+func TestCSPWithoutDefaultRounds(t *testing.T) {
+	ts, _ := newTestServer(t)
+	noRounds := strings.Replace(cspSpec, `"rounds": 60, `, ``, 1)
+	var reg RegisterResponse
+	if code, body := postJSON(t, ts.URL+"/v1/models", noRounds, &reg); code != http.StatusCreated {
+		t.Fatalf("register without rounds: code %d body %s", code, body)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/models/"+reg.ID+"/sample", `{"seed":1}`, nil); code != http.StatusBadRequest {
+		t.Fatal("rounds-less csp draw not rejected")
+	}
+	var resp SampleResponse
+	if code, body := postJSON(t, ts.URL+"/v1/models/"+reg.ID+"/sample",
+		`{"seed":1,"rounds":40}`, &resp); code != http.StatusOK {
+		t.Fatalf("csp draw with request rounds: code %d body %s", code, body)
+	}
+	if resp.Rounds != 40 {
+		t.Fatalf("rounds: %d", resp.Rounds)
+	}
+}
+
+// TestLRUEviction: the compiled cache stays bounded and recompiles after
+// eviction.
+func TestLRUEviction(t *testing.T) {
+	reg := NewRegistry(Config{CacheSize: 2})
+	m, _, err := reg.Register([]byte(coloringSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := reg.Compiles()
+	// Three distinct option sets through a 2-entry cache.
+	for _, rounds := range []int{10, 20, 30} {
+		if _, err := reg.Draw(m, DrawOptions{K: 1, Rounds: rounds}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Compiles(); got != base+3 {
+		t.Fatalf("expected 3 compiles, got %d", got-base)
+	}
+	// rounds=10 was evicted (LRU capacity 2 holds 20, 30): drawing it again
+	// must recompile exactly once.
+	if _, err := reg.Draw(m, DrawOptions{K: 1, Rounds: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Compiles(); got != base+4 {
+		t.Fatalf("evicted entry did not recompile: %d", got-base)
+	}
+	st := reg.Stats()
+	if st.Cache.Size > 2 {
+		t.Fatalf("cache exceeded capacity: %+v", st.Cache)
+	}
+}
+
+// TestColdKeySingleflight: concurrent draws on a never-compiled option
+// set produce exactly one compile — the others wait on the in-flight one
+// instead of stampeding or stalling behind the registry lock.
+func TestColdKeySingleflight(t *testing.T) {
+	reg := NewRegistry(Config{})
+	m, _, err := reg.Register([]byte(coloringSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := reg.Compiles()
+	const workers = 8
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			_, err := reg.Draw(m, DrawOptions{K: 1, Seed: uint64(w), Rounds: 77})
+			errc <- err
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Compiles(); got != base+1 {
+		t.Fatalf("cold key compiled %d times, want 1", got-base)
+	}
+}
+
+// TestConcurrentDraws exercises the registry under parallel requests with
+// distinct seeds (run with -race in CI).
+func TestConcurrentDraws(t *testing.T) {
+	reg := NewRegistry(Config{})
+	m, _, err := reg.Register([]byte(coloringSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := 0; i < 5; i++ {
+				if _, err := reg.Draw(m, DrawOptions{K: 2, Seed: uint64(w*100 + i)}); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Stats().Requests; got != workers*5 {
+		t.Fatalf("request counter: %d", got)
+	}
+	if got := m.Stats().Samples; got != workers*5*2 {
+		t.Fatalf("sample counter: %d", got)
+	}
+}

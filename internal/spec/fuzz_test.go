@@ -1,0 +1,76 @@
+package spec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSpecRoundTrip checks the codec's canonical-form contract on
+// arbitrary inputs: whenever Decode accepts bytes, the decoded spec must
+// re-encode, the re-encoding must decode, and a second round trip must be
+// byte-identical to the first (decode→encode is a fixpoint) with an
+// unchanged content hash. Invalid inputs must be rejected by returning an
+// error — never by panicking.
+func FuzzSpecRoundTrip(f *testing.F) {
+	seeds := []string{
+		`{"version":"locsample/v1","graph":{"family":"grid","rows":4,"cols":4},
+			"model":{"kind":"coloring","q":7}}`,
+		`{"version":"locsample/v1","name":"hc","graph":{"family":"cycle","n":8},
+			"model":{"kind":"hardcore","lambda":0.721}}`,
+		`{"version":"locsample/v1","graph":{"n":3,"edges":[[0,1],[1,2],[0,1]]},
+			"model":{"kind":"ising","beta":1.5,"field":0.25}}`,
+		`{"version":"locsample/v1","graph":{"family":"gnp","n":9,"p":0.35,"seed":184467440737095516},
+			"model":{"kind":"potts","q":3,"beta":0.1}}`,
+		`{"version":"locsample/v1","graph":{"n":2,"edges":[[0,1]]},
+			"model":{"kind":"mrf","q":2,"edgeActivities":[[1,1,1,0]],
+				"vertexActivities":[[1,0.30000000000000004]]}}`,
+		`{"version":"locsample/v1","graph":{"family":"star","n":5},
+			"model":{"kind":"csp","q":2,"rounds":20,"init":[1,0,0,0,0],
+				"constraints":[{"kind":"cover","scope":[0,1,2]},
+					{"kind":"table","scope":[3,4],"table":[0,1,1,0]}]}}`,
+		`{"version":"locsample/v1","graph":{"family":"tree","arity":3,"depth":2},
+			"model":{"kind":"listcoloring","q":3,"lists":[[0],[1],[2],[0,1],[1,2],[0,2],[0,1,2],[0],[1],[2],[0,1],[1,2],[0,2]]}}`,
+		// Near-misses that must keep erroring cleanly.
+		`{"version":"locsample/v0","graph":{"family":"path","n":3},"model":{"kind":"coloring","q":4}}`,
+		`{"version":"locsample/v1","graph":{"n":3,"edges":[[1,1]]},"model":{"kind":"coloring","q":4}}`,
+		`{"version":"locsample/v1","graph":{"family":"path","n":3},"model":{"kind":"csp","q":2}}`,
+		`{}`,
+		`[]`,
+		`{"version":"locsample/v1"`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		enc1, err := Encode(s)
+		if err != nil {
+			t.Fatalf("decoded spec does not re-encode: %v", err)
+		}
+		s2, err := Decode(enc1)
+		if err != nil {
+			t.Fatalf("canonical encoding does not decode: %v\n%s", err, enc1)
+		}
+		enc2, err := Encode(s2)
+		if err != nil {
+			t.Fatalf("round-tripped spec does not re-encode: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encode is not a fixpoint:\n%s\n%s", enc1, enc2)
+		}
+		h1, err := Hash(s)
+		if err != nil {
+			t.Fatalf("hash: %v", err)
+		}
+		h2, err := Hash(s2)
+		if err != nil {
+			t.Fatalf("hash after round trip: %v", err)
+		}
+		if h1 != h2 {
+			t.Fatalf("hash changed across round trip: %s vs %s", h1, h2)
+		}
+	})
+}

@@ -1,0 +1,368 @@
+package spec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+)
+
+func validColoringJSON() []byte {
+	return []byte(`{
+		"version": "locsample/v1",
+		"graph": {"family": "grid", "rows": 4, "cols": 4},
+		"model": {"kind": "coloring", "q": 7}
+	}`)
+}
+
+func TestDecodeValidKinds(t *testing.T) {
+	cases := map[string]string{
+		"coloring": `{"version":"locsample/v1","graph":{"family":"cycle","n":6},
+			"model":{"kind":"coloring","q":5}}`,
+		"listcoloring": `{"version":"locsample/v1","graph":{"family":"path","n":3},
+			"model":{"kind":"listcoloring","q":3,"lists":[[0,1],[1,2],[0,2]]}}`,
+		"hardcore": `{"version":"locsample/v1","graph":{"family":"star","n":5},
+			"model":{"kind":"hardcore","lambda":0.5}}`,
+		"independentset": `{"version":"locsample/v1","graph":{"family":"hypercube","dim":3},
+			"model":{"kind":"independentset"}}`,
+		"vertexcover": `{"version":"locsample/v1","graph":{"family":"complete","n":4},
+			"model":{"kind":"vertexcover"}}`,
+		"ising": `{"version":"locsample/v1","graph":{"family":"torus","rows":3,"cols":3},
+			"model":{"kind":"ising","beta":1.4,"field":1}}`,
+		"potts": `{"version":"locsample/v1","graph":{"family":"tree","arity":2,"depth":3},
+			"model":{"kind":"potts","q":3,"beta":0.5}}`,
+		"mrf": `{"version":"locsample/v1","graph":{"n":2,"edges":[[0,1]]},
+			"model":{"kind":"mrf","q":2,
+				"edgeActivities":[[1,1,1,0]],
+				"vertexActivities":[[1,1]]}}`,
+		"csp": `{"version":"locsample/v1","graph":{"family":"cycle","n":5},
+			"model":{"kind":"csp","q":2,"rounds":50,
+				"constraints":[{"kind":"cover","scope":[0,1,2]},{"kind":"cover","scope":[3,4]}]}}`,
+		"regular": `{"version":"locsample/v1","graph":{"family":"regular","n":10,"degree":3,"seed":7},
+			"model":{"kind":"coloring","q":12}}`,
+		"gnp": `{"version":"locsample/v1","graph":{"family":"gnp","n":10,"p":0.3,"seed":7},
+			"model":{"kind":"coloring","q":31}}`,
+	}
+	for name, js := range cases {
+		s, err := Decode([]byte(js))
+		if err != nil {
+			t.Errorf("%s: decode failed: %v", name, err)
+			continue
+		}
+		if _, err := Build(s); err != nil {
+			t.Errorf("%s: build failed: %v", name, err)
+		}
+	}
+}
+
+func TestDecodeRejections(t *testing.T) {
+	cases := map[string]string{
+		"wrong version": `{"version":"locsample/v0","graph":{"family":"path","n":3},
+			"model":{"kind":"coloring","q":4}}`,
+		"missing version": `{"graph":{"family":"path","n":3},"model":{"kind":"coloring","q":4}}`,
+		"unknown field": `{"version":"locsample/v1","bogus":1,"graph":{"family":"path","n":3},
+			"model":{"kind":"coloring","q":4}}`,
+		"unknown graph field": `{"version":"locsample/v1","graph":{"family":"path","n":3,"frob":2},
+			"model":{"kind":"coloring","q":4}}`,
+		"trailing data": `{"version":"locsample/v1","graph":{"family":"path","n":3},
+			"model":{"kind":"coloring","q":4}} {"extra":true}`,
+		"trailing garbage": `{"version":"locsample/v1","graph":{"family":"path","n":3},
+			"model":{"kind":"coloring","q":4}} ,garbage!!`,
+		"not json":       `hello`,
+		"unknown family": `{"version":"locsample/v1","graph":{"family":"moebius","n":3},"model":{"kind":"coloring","q":4}}`,
+		"no family or edges": `{"version":"locsample/v1","graph":{"n":3},
+			"model":{"kind":"coloring","q":4}}`,
+		"self loop": `{"version":"locsample/v1","graph":{"n":3,"edges":[[1,1]]},
+			"model":{"kind":"coloring","q":4}}`,
+		"edge out of range": `{"version":"locsample/v1","graph":{"n":3,"edges":[[0,3]]},
+			"model":{"kind":"coloring","q":4}}`,
+		"cycle too small": `{"version":"locsample/v1","graph":{"family":"cycle","n":2},
+			"model":{"kind":"coloring","q":4}}`,
+		"gnp p out of range": `{"version":"locsample/v1","graph":{"family":"gnp","n":5,"p":1.5},
+			"model":{"kind":"coloring","q":4}}`,
+		"regular odd nd": `{"version":"locsample/v1","graph":{"family":"regular","n":5,"degree":3},
+			"model":{"kind":"coloring","q":10}}`,
+		"stray graph field (seed on grid)": `{"version":"locsample/v1",
+			"graph":{"family":"grid","rows":3,"cols":3,"seed":99},
+			"model":{"kind":"coloring","q":4}}`,
+		"stray graph field (n on grid)": `{"version":"locsample/v1",
+			"graph":{"family":"grid","rows":3,"cols":3,"n":9},
+			"model":{"kind":"coloring","q":4}}`,
+		"stray graph field (edges on family)": `{"version":"locsample/v1",
+			"graph":{"family":"path","n":3,"edges":[[0,1]]},
+			"model":{"kind":"coloring","q":4}}`,
+		"unknown kind": `{"version":"locsample/v1","graph":{"family":"path","n":3},
+			"model":{"kind":"qcd"}}`,
+		"missing q": `{"version":"locsample/v1","graph":{"family":"path","n":3},
+			"model":{"kind":"coloring"}}`,
+		"q too large": `{"version":"locsample/v1","graph":{"family":"path","n":3},
+			"model":{"kind":"coloring","q":99999}}`,
+		"negative lambda": `{"version":"locsample/v1","graph":{"family":"path","n":3},
+			"model":{"kind":"hardcore","lambda":-1}}`,
+		"stray field for kind": `{"version":"locsample/v1","graph":{"family":"path","n":3},
+			"model":{"kind":"coloring","q":4,"lambda":2}}`,
+		"stray rounds on mrf kind": `{"version":"locsample/v1","graph":{"family":"path","n":3},
+			"model":{"kind":"ising","beta":1,"rounds":10}}`,
+		"mrf bad edge table size": `{"version":"locsample/v1","graph":{"n":2,"edges":[[0,1]]},
+			"model":{"kind":"mrf","q":2,"edgeActivities":[[1,1,1]],"vertexActivities":[[1,1]]}}`,
+		"mrf per-edge on random graph": `{"version":"locsample/v1","graph":{"family":"gnp","n":4,"p":0.5},
+			"model":{"kind":"mrf","q":2,
+				"edgeActivities":[[1,1,1,0],[1,1,1,0]],"vertexActivities":[[1,1]]}}`,
+		"mrf zero-mass vertex": `{"version":"locsample/v1","graph":{"n":2,"edges":[[0,1]]},
+			"model":{"kind":"mrf","q":2,"edgeActivities":[[1,1,1,0]],"vertexActivities":[[0,0]]}}`,
+		"csp no constraints": `{"version":"locsample/v1","graph":{"family":"path","n":3},
+			"model":{"kind":"csp","q":2,"rounds":10}}`,
+		"csp bad table size": `{"version":"locsample/v1","graph":{"family":"path","n":3},
+			"model":{"kind":"csp","q":2,"rounds":10,
+				"constraints":[{"kind":"table","scope":[0,1],"table":[1,0,1]}]}}`,
+		"csp cover needs q2": `{"version":"locsample/v1","graph":{"family":"path","n":3},
+			"model":{"kind":"csp","q":3,"rounds":10,
+				"constraints":[{"kind":"cover","scope":[0,1]}]}}`,
+		"csp duplicate scope": `{"version":"locsample/v1","graph":{"family":"path","n":3},
+			"model":{"kind":"csp","q":2,"rounds":10,
+				"constraints":[{"kind":"cover","scope":[0,0]}]}}`,
+		"csp arity over limit": `{"version":"locsample/v1","graph":{"family":"path","n":12},
+			"model":{"kind":"csp","q":2,"rounds":10,
+				"constraints":[{"kind":"cover","scope":[0,1,2,3,4,5,6,7,8]}]}}`,
+		"csp table q^arity overflow": `{"version":"locsample/v1","graph":{"family":"path","n":12},
+			"model":{"kind":"csp","q":1024,"rounds":10,
+				"constraints":[{"kind":"table","scope":[0,1,2,3,4,5,6,7]}]}}`,
+		"csp init out of range": `{"version":"locsample/v1","graph":{"family":"path","n":3},
+			"model":{"kind":"csp","q":2,"rounds":10,"init":[0,2,0],
+				"constraints":[{"kind":"cover","scope":[0,1]}]}}`,
+		"csp constraint unknown kind": `{"version":"locsample/v1","graph":{"family":"path","n":3},
+			"model":{"kind":"csp","q":2,"rounds":10,
+				"constraints":[{"kind":"xor","scope":[0,1]}]}}`,
+	}
+	for name, js := range cases {
+		if _, err := Decode([]byte(js)); err == nil {
+			t.Errorf("%s: decode unexpectedly succeeded", name)
+		}
+	}
+}
+
+func TestDecodeOversized(t *testing.T) {
+	big := append(validColoringJSON(), bytes.Repeat([]byte(" "), MaxSpecBytes)...)
+	if _, err := Decode(big); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("oversized spec not rejected: %v", err)
+	}
+}
+
+func TestBuildRejectsAsymmetricActivity(t *testing.T) {
+	js := `{"version":"locsample/v1","graph":{"n":2,"edges":[[0,1]]},
+		"model":{"kind":"mrf","q":2,"edgeActivities":[[1,0.5,0.25,0]],"vertexActivities":[[1,1]]}}`
+	s, err := Decode([]byte(js))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if _, err := Build(s); err == nil || !strings.Contains(err.Error(), "symmetric") {
+		t.Fatalf("asymmetric edge activity not rejected: %v", err)
+	}
+}
+
+func TestEncodeDecodeFixpoint(t *testing.T) {
+	s, err := Decode(validColoringJSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc1, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Decode(enc1)
+	if err != nil {
+		t.Fatalf("canonical encoding does not decode: %v", err)
+	}
+	enc2, err := Encode(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Fatalf("encode not a fixpoint:\n%s\n%s", enc1, enc2)
+	}
+}
+
+func TestHashStableAndDiscriminating(t *testing.T) {
+	s1, _ := Decode(validColoringJSON())
+	s2, _ := Decode(validColoringJSON())
+	h1, err := Hash(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := Hash(s2)
+	if h1 != h2 {
+		t.Fatalf("identical specs hash differently: %s vs %s", h1, h2)
+	}
+	if !strings.HasPrefix(h1, "sha256:") || len(h1) != len("sha256:")+64 {
+		t.Fatalf("malformed hash %q", h1)
+	}
+	// Whitespace and key order must not matter: the hash is over the
+	// canonical re-encoding, not the client's bytes.
+	reordered := `{"model":{"q":7,"kind":"coloring"},
+		"graph":{"cols":4,"rows":4,"family":"grid"},"version":"locsample/v1"}`
+	s3, err := Decode([]byte(reordered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3, _ := Hash(s3); h3 != h1 {
+		t.Fatalf("reordered spec hashes differently: %s vs %s", h3, h1)
+	}
+	// Any semantic change must change the hash.
+	s4, _ := Decode(validColoringJSON())
+	s4.Model.Q = 8
+	if h4, _ := Hash(s4); h4 == h1 {
+		t.Fatal("different specs hash equal")
+	}
+}
+
+// TestHashCanonicalAcrossSpellings: every accepted spelling of a workload
+// hashes identically — the implicit and explicit "edges" family name the
+// same graph, and inert fields are rejected rather than silently hashed.
+func TestHashCanonicalAcrossSpellings(t *testing.T) {
+	implicit := `{"version":"locsample/v1","graph":{"n":2,"edges":[[0,1]]},
+		"model":{"kind":"ising","beta":1.2}}`
+	explicit := `{"version":"locsample/v1","graph":{"family":"edges","n":2,"edges":[[0,1]]},
+		"model":{"kind":"ising","beta":1.2}}`
+	s1, err := Decode([]byte(implicit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Decode([]byte(explicit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := Hash(s1)
+	h2, _ := Hash(s2)
+	if h1 != h2 {
+		t.Fatalf("equivalent edge-list spellings hash differently:\n%s\n%s", h1, h2)
+	}
+}
+
+// TestEncodeDoesNotMutate: Encode/Hash canonicalize into a copy, never the
+// caller's spec.
+func TestEncodeDoesNotMutate(t *testing.T) {
+	s := &Spec{
+		Version: Version,
+		Graph:   GraphSpec{N: 2, Edges: [][2]int{{0, 1}}},
+		Model:   ModelSpec{Kind: "ising", Beta: 1.2},
+	}
+	if _, err := Hash(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Graph.Family != "" {
+		t.Fatalf("Hash mutated the input spec: family = %q", s.Graph.Family)
+	}
+}
+
+// TestGridEdgeCountExact: the validator's edge count for deterministic
+// families matches the built graph exactly, so per-edge mrf activity lists
+// of the true length are accepted.
+func TestGridEdgeCountExact(t *testing.T) {
+	// A 2x2 grid has 4 edges (2·2·2 − 2 − 2), not the 2rc estimate.
+	js := `{"version":"locsample/v1","graph":{"family":"grid","rows":2,"cols":2},
+		"model":{"kind":"mrf","q":2,
+			"edgeActivities":[[1,1,1,0],[1,1,1,0],[1,1,1,0],[1,1,1,0]],
+			"vertexActivities":[[1,1]]}}`
+	s, err := Decode([]byte(js))
+	if err != nil {
+		t.Fatalf("exact per-edge list rejected: %v", err)
+	}
+	b, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Graph.M(); got != 4 {
+		t.Fatalf("2x2 grid built %d edges", got)
+	}
+	if len(b.MRF.EdgeA) != 4 {
+		t.Fatalf("model has %d edge activities", len(b.MRF.EdgeA))
+	}
+}
+
+func TestFromMRFRoundTrip(t *testing.T) {
+	g := graph.Grid(3, 3)
+	orig := mrf.Potts(g, 3, 0.7)
+	s := FromMRF(orig, "potts-export")
+	if err := s.Validate(); err != nil {
+		t.Fatalf("exported spec invalid: %v", err)
+	}
+	b, err := Build(s)
+	if err != nil {
+		t.Fatalf("exported spec does not build: %v", err)
+	}
+	if b.MRF == nil {
+		t.Fatal("exported spec built no MRF")
+	}
+	if b.MRF.Q != orig.Q || b.MRF.G.N() != orig.G.N() || b.MRF.G.M() != orig.G.M() {
+		t.Fatal("exported spec changed the model shape")
+	}
+	// Same Gibbs distribution: equal weights on a sweep of configurations.
+	sigma := make([]int, g.N())
+	for trial := 0; trial < 50; trial++ {
+		for v := range sigma {
+			sigma[v] = (trial*7 + v*3) % orig.Q
+		}
+		if got, want := b.MRF.Weight(sigma), orig.Weight(sigma); got != want {
+			t.Fatalf("weight mismatch at trial %d: %v vs %v", trial, got, want)
+		}
+	}
+}
+
+func TestCSPDefaultInit(t *testing.T) {
+	// Cover constraints: all-zeros is infeasible, all-ones feasible — the
+	// uniform scan must find spin 1.
+	js := `{"version":"locsample/v1","graph":{"family":"cycle","n":4},
+		"model":{"kind":"csp","q":2,"rounds":10,
+			"constraints":[{"kind":"cover","scope":[0,1]},{"kind":"cover","scope":[2,3]}]}}`
+	s, err := Decode([]byte(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.CSP.Feasible(b.Init) {
+		t.Fatal("derived init infeasible")
+	}
+	// An explicitly infeasible init must be rejected at build time.
+	bad := `{"version":"locsample/v1","graph":{"family":"cycle","n":4},
+		"model":{"kind":"csp","q":2,"rounds":10,"init":[0,0,0,0],
+			"constraints":[{"kind":"cover","scope":[0,1]},{"kind":"cover","scope":[2,3]}]}}`
+	s, err = Decode([]byte(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(s); err == nil || !strings.Contains(err.Error(), "infeasible") {
+		t.Fatalf("infeasible init not rejected: %v", err)
+	}
+}
+
+func TestTableConstraintSemantics(t *testing.T) {
+	// A binary table implementing "not equal" on q=2 (scope[0] varies
+	// fastest): index = v0 + 2*v1, so table [0,1,1,0].
+	js := `{"version":"locsample/v1","graph":{"family":"path","n":2},
+		"model":{"kind":"csp","q":2,"rounds":5,"init":[0,1],
+			"constraints":[{"kind":"table","scope":[0,1],"table":[0,1,1,0]}]}}`
+	s, err := Decode([]byte(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		sigma []int
+		want  bool
+	}{
+		{[]int{0, 0}, false}, {[]int{1, 1}, false},
+		{[]int{0, 1}, true}, {[]int{1, 0}, true},
+	} {
+		if got := b.CSP.Feasible(tc.sigma); got != tc.want {
+			t.Errorf("Feasible(%v) = %v, want %v", tc.sigma, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package locsample
+
+import (
+	"fmt"
+
+	"locsample/internal/spec"
+)
+
+// Spec is the versioned JSON wire description of a sampling workload: a
+// graph plus a model, serializable, strictly validated, and content-
+// addressed. It is the format cmd/lserved serves and cmd/lsample's
+// -model-file flag loads; see internal/spec for the canonical-form and
+// hashing rules.
+type Spec = spec.Spec
+
+// GraphSpec is the graph part of a Spec: an explicit edge list or a named
+// generator family.
+type GraphSpec = spec.GraphSpec
+
+// ModelSpec is the model part of a Spec.
+type ModelSpec = spec.ModelSpec
+
+// ConstraintSpec is one weighted local constraint of a CSP ModelSpec.
+type ConstraintSpec = spec.ConstraintSpec
+
+// SpecVersion is the wire-format version a Spec must declare.
+const SpecVersion = spec.Version
+
+// ParseSpec decodes and strictly validates a JSON spec: unknown fields,
+// trailing data, wrong versions, oversized payloads, and semantically
+// invalid workloads are all rejected.
+func ParseSpec(data []byte) (*Spec, error) { return spec.Decode(data) }
+
+// EncodeSpec returns the canonical JSON encoding of s — the exact bytes
+// SpecHash is computed over.
+func EncodeSpec(s *Spec) ([]byte, error) { return spec.Encode(s) }
+
+// SpecHash returns the canonical content address of s
+// ("sha256:" + 64 hex digits). Two specs hash equal iff they decode to the
+// same workload; the serving layer keys its model registry and compiled-
+// sampler cache by this value.
+func SpecHash(s *Spec) (string, error) { return spec.Hash(s) }
+
+// BuiltSpec is a spec realized as a live workload: the graph and exactly
+// one of Model (every MRF kind) or CSP (kind "csp").
+type BuiltSpec struct {
+	// Hash is the spec's canonical content address.
+	Hash string
+	// Graph is the network.
+	Graph *Graph
+	// Model is non-nil for every kind except "csp".
+	Model *Model
+	// CSP is non-nil for kind "csp".
+	CSP *CSPModel
+	// Init is the resolved feasible starting configuration for CSP
+	// workloads; nil for MRFs (Sample resolves theirs).
+	Init []int
+	// Rounds is the CSP spec's default chain-iteration budget (0 when the
+	// spec leaves the budget to the caller); 0 for MRFs.
+	Rounds int
+}
+
+// BuildSpec validates s and constructs the workload it describes. The same
+// spec always builds the same workload: random graph families are seeded,
+// and a CSP's default init is derived deterministically.
+func BuildSpec(s *Spec) (*BuiltSpec, error) {
+	b, err := spec.Build(s)
+	if err != nil {
+		return nil, err
+	}
+	return &BuiltSpec{
+		Hash:   b.Hash,
+		Graph:  b.Graph,
+		Model:  b.MRF,
+		CSP:    b.CSP,
+		Init:   b.Init,
+		Rounds: b.Rounds,
+	}, nil
+}
+
+// NewSpecFromModel exports an in-memory MRF model to the wire format (an
+// explicit edge list with kind "mrf" activity tables), so any model built
+// in Go — including the package's named constructors — can be served or
+// saved. Build(NewSpecFromModel(m, name)) defines the same Gibbs
+// distribution as m.
+func NewSpecFromModel(m *Model, name string) (*Spec, error) {
+	s := spec.FromMRF(m, name)
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("locsample: model does not fit the wire format: %w", err)
+	}
+	return s, nil
+}
