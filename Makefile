@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: build test race bench-json bench-json-quick bit-identity fmt vet
+
+build:
+	$(GO) build ./...
+	$(GO) build ./cmd/lsample ./cmd/lserved ./cmd/lsexp ./cmd/lsbench
+
+test:
+	$(GO) test ./...
+
+# The sharded-runtime packages under the race detector, plus the CI gate:
+# sharded draws must equal centralized draws byte-for-byte.
+race:
+	$(GO) test -race ./internal/cluster/... ./internal/partition/...
+
+bit-identity:
+	$(GO) test -count=1 -run 'TestShardedBitIdentical|TestWithShardsBitIdentical|TestServerShardedDrawBitIdentical' \
+		./internal/cluster/ ./internal/service/ .
+
+# Perf trajectory: run the core benchmark suite and write machine-readable
+# results (ns/op, allocs/op, vertices/sec, shard speedups) to the repo root.
+bench-json:
+	$(GO) run ./cmd/lsbench -out BENCH_PR3.json
+
+# CI smoke variant: small sizes, throwaway output.
+bench-json-quick:
+	$(GO) run ./cmd/lsbench -quick -out /tmp/locsample-bench.json
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...

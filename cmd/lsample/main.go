@@ -1,7 +1,9 @@
 // Command lsample draws samples from a Gibbs distribution with the paper's
 // distributed algorithms and reports round/message statistics. With
 // -count > 1 it uses the batch engine: the model is compiled once and the
-// chains are spread over a worker pool.
+// chains (MRF and CSP alike) are spread over a worker pool. With
+// -shards > 1 every single chain additionally runs shard-parallel on the
+// cluster runtime — bit-identical output, one chain over many cores.
 //
 // Workloads come either from the built-in generator flags or, with
 // -model-file, from a versioned JSON spec — the same wire format
@@ -14,6 +16,8 @@
 //	lsample -graph regular -n 100 -d 6 -model hardcore -lambda 0.5 -alg lubyglauber -eps 0.01
 //	lsample -graph cycle -n 64 -model ising -beta 1.4 -alg glauber -rounds 5000
 //	lsample -graph grid -rows 64 -cols 64 -model coloring -count 256 -workers 8
+//	lsample -graph grid -rows 1024 -cols 1024 -model coloring -shards 4 -rounds 24
+//	lsample -graph complete -n 40 -model domset -lambda 0.8 -count 64 -rounds 300
 //	lsample -model-file spec.json -count 16 -seed 7 -json
 package main
 
@@ -49,14 +53,21 @@ func main() {
 		distr     = flag.Bool("distributed", false, "run on the LOCAL-model runtime and report message stats")
 		count     = flag.Int("count", 1, "number of independent samples (batch engine when > 1)")
 		workers   = flag.Int("workers", 0, "worker goroutines for -count > 1 (0 = GOMAXPROCS)")
+		shards    = flag.Int("shards", 0, "shard workers per chain (sharded cluster runtime when > 1; bit-identical output)")
+		shardStr  = flag.String("shard-strategy", "range", "graph partitioner: range|bfs")
 		modelFile = flag.String("model-file", "", "load the workload from a JSON spec file (overrides -graph/-model flags)")
 		jsonOut   = flag.Bool("json", false, "emit the report and samples as JSON")
 		verbose   = flag.Bool("v", false, "print the full sample (text mode; JSON always includes samples)")
 	)
 	flag.Parse()
 
+	strat, err := locsample.ParseShardStrategy(*shardStr)
+	if err != nil {
+		fatal(err)
+	}
 	if *modelFile != "" {
-		runSpecFile(*modelFile, *algName, *eps, *rounds, *seed, *distr, *count, *workers, *jsonOut, *verbose)
+		runSpecFile(*modelFile, *algName, *eps, *rounds, *seed, *distr, *count, *workers,
+			*shards, strat, *jsonOut, *verbose)
 		return
 	}
 
@@ -65,8 +76,8 @@ func main() {
 		fatal(err)
 	}
 	if *model == "domset" {
-		if *count > 1 {
-			fatal(fmt.Errorf("-count is not supported for -model domset (the CSP sampler has no batch engine yet)"))
+		if *shards > 1 {
+			fatal(fmt.Errorf("-shards is not supported for CSP workloads (only LubyGlauber/LocalMetropolis MRF chains shard)"))
 		}
 		c := locsample.NewWeightedDominatingSet(g, *lambda)
 		init := make([]int, g.N())
@@ -74,7 +85,7 @@ func main() {
 			init[i] = 1
 		}
 		desc := fmt.Sprintf("dominating set λ=%g (weighted local CSP)", *lambda)
-		runCSP(g, c, init, desc, *rounds, *seed, *distr, *jsonOut, *verbose, true)
+		runCSP(g, c, init, desc, *rounds, *seed, *distr, *count, *workers, *jsonOut, *verbose, true)
 		return
 	}
 	m, modelDesc, err := buildModel(g, *model, *q, *lambda, *beta, *field)
@@ -82,13 +93,14 @@ func main() {
 		fatal(err)
 	}
 	runMRF(g, m, *graphKind, modelDesc, reportKeyForFlag(*model),
-		*algName, *eps, *rounds, *seed, *distr, *count, *workers, *jsonOut, *verbose)
+		*algName, *eps, *rounds, *seed, *distr, *count, *workers, *shards, strat, *jsonOut, *verbose)
 }
 
 // runSpecFile loads a workload from a spec file and dispatches to the MRF
 // or CSP path.
 func runSpecFile(path, algName string, eps float64, rounds int, seed uint64,
-	distr bool, count, workers int, jsonOut, verbose bool) {
+	distr bool, count, workers, shards int, strat locsample.ShardStrategy,
+	jsonOut, verbose bool) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
@@ -110,17 +122,23 @@ func runSpecFile(path, algName string, eps float64, rounds int, seed uint64,
 		graphKind = "edges"
 	}
 	if built.CSP != nil {
-		if count > 1 {
-			fatal(fmt.Errorf("-count is not supported for CSP specs (the CSP sampler has no batch engine yet)"))
+		if shards > 1 {
+			fatal(fmt.Errorf("-shards is not supported for CSP specs (only LubyGlauber/LocalMetropolis MRF chains shard)"))
 		}
 		if rounds <= 0 {
 			rounds = built.Rounds
 		}
-		runCSP(built.Graph, built.CSP, built.Init, desc, rounds, seed, distr, jsonOut, verbose, false)
+		runCSP(built.Graph, built.CSP, built.Init, desc, rounds, seed, distr, count, workers, jsonOut, verbose, false)
 		return
 	}
+	// Adopt the spec's serving default, except under -distributed: the
+	// two runtimes are mutually exclusive and the user asked for the
+	// LOCAL-model one.
+	if shards == 0 && !distr {
+		shards = built.Shards
+	}
 	runMRF(built.Graph, built.Model, graphKind, desc, reportKeyForSpec(s.Model.Kind),
-		algName, eps, rounds, seed, distr, count, workers, jsonOut, verbose)
+		algName, eps, rounds, seed, distr, count, workers, shards, strat, jsonOut, verbose)
 }
 
 // jsonReport is the -json output shape, shared by all three paths.
@@ -131,15 +149,17 @@ type jsonReport struct {
 		M      int    `json:"m"`
 		MaxDeg int    `json:"maxDeg"`
 	} `json:"graph"`
-	Model        string           `json:"model"`
-	Algorithm    string           `json:"algorithm"`
-	Rounds       int              `json:"rounds"`
-	TheoryRounds int              `json:"theoryRounds,omitempty"`
-	Seed         uint64           `json:"seed"`
-	Count        int              `json:"count"`
-	ElapsedMS    float64          `json:"elapsedMs,omitempty"`
-	Stats        *locsample.Stats `json:"stats,omitempty"`
-	Samples      [][]int          `json:"samples"`
+	Model        string                `json:"model"`
+	Algorithm    string                `json:"algorithm"`
+	Rounds       int                   `json:"rounds"`
+	TheoryRounds int                   `json:"theoryRounds,omitempty"`
+	Seed         uint64                `json:"seed"`
+	Count        int                   `json:"count"`
+	Shards       int                   `json:"shards,omitempty"`
+	ElapsedMS    float64               `json:"elapsedMs,omitempty"`
+	Stats        *locsample.Stats      `json:"stats,omitempty"`
+	ShardStats   *locsample.ShardStats `json:"shardStats,omitempty"`
+	Samples      [][]int               `json:"samples"`
 }
 
 func newJSONReport(g *locsample.Graph, kind, model, alg string, seed uint64) *jsonReport {
@@ -161,7 +181,7 @@ func emitJSON(r *jsonReport) {
 // runMRF handles single draws and batches of an MRF workload.
 func runMRF(g *locsample.Graph, m *locsample.Model, graphKind, modelDesc, reportKey,
 	algName string, eps float64, rounds int, seed uint64, distr bool,
-	count, workers int, jsonOut, verbose bool) {
+	count, workers, shards int, strat locsample.ShardStrategy, jsonOut, verbose bool) {
 	alg, err := parseAlg(algName)
 	if err != nil {
 		fatal(err)
@@ -176,6 +196,9 @@ func runMRF(g *locsample.Graph, m *locsample.Model, graphKind, modelDesc, report
 	}
 	if distr {
 		opts = append(opts, locsample.Distributed())
+	}
+	if shards > 1 {
+		opts = append(opts, locsample.WithShards(shards), locsample.WithShardStrategy(strat))
 	}
 
 	if count > 1 {
@@ -196,6 +219,10 @@ func runMRF(g *locsample.Graph, m *locsample.Model, graphKind, modelDesc, report
 		if distr {
 			r.Stats = &res.Stats
 		}
+		if res.Shard != nil {
+			r.Shards = res.Shard.Shards
+			r.ShardStats = res.Shard
+		}
 		r.Samples = [][]int{res.Sample}
 		emitJSON(r)
 		return
@@ -211,10 +238,19 @@ func runMRF(g *locsample.Graph, m *locsample.Model, graphKind, modelDesc, report
 		fmt.Printf("communication: %d messages, %d bytes total, max message %d bytes\n",
 			res.Stats.Messages, res.Stats.Bytes, res.Stats.MaxMessageBytes)
 	}
+	if res.Shard != nil {
+		printShardStats(res.Shard)
+	}
 	report(g, reportKey, res.Sample)
 	if verbose {
 		fmt.Printf("sample: %v\n", res.Sample)
 	}
+}
+
+// printShardStats reports the sharded runtime's profile in text mode.
+func printShardStats(st *locsample.ShardStats) {
+	fmt.Printf("sharding: %d shards, %d boundary messages (%d states), barrier wait %.2fms\n",
+		st.Shards, st.BoundaryMessages, st.BoundaryValues, float64(st.BarrierWaitNS)/1e6)
 }
 
 func buildGraph(kind string, n, rows, cols, dim, d int, p float64, seed uint64) (*locsample.Graph, error) {
@@ -371,6 +407,10 @@ func runBatch(g *locsample.Graph, m *locsample.Model, graphKind, modelDesc strin
 		if batch.Stats.Messages > 0 {
 			r.Stats = &batch.Stats
 		}
+		if batch.Shard.Shards > 1 {
+			r.Shards = batch.Shard.Shards
+			r.ShardStats = &batch.Shard
+		}
 		r.Samples = batch.Samples
 		emitJSON(r)
 		return
@@ -388,6 +428,9 @@ func runBatch(g *locsample.Graph, m *locsample.Model, graphKind, modelDesc strin
 		fmt.Printf("communication (all chains): %d messages, %d bytes total, max message %d bytes\n",
 			batch.Stats.Messages, batch.Stats.Bytes, batch.Stats.MaxMessageBytes)
 	}
+	if batch.Shard.Shards > 1 {
+		printShardStats(&batch.Shard)
+	}
 	if verbose {
 		for i, sample := range batch.Samples {
 			fmt.Printf("sample %d: %v\n", i, sample)
@@ -396,13 +439,22 @@ func runBatch(g *locsample.Graph, m *locsample.Model, graphKind, modelDesc strin
 }
 
 // runCSP handles weighted-CSP workloads (the -model domset flag and CSP
-// specs), which go through SampleCSP rather than Sample. domset gates the
-// dominating-set verdict: it is meaningful only for the domset flag path,
-// not for arbitrary q=2 CSP specs.
+// specs), which go through SampleCSP rather than Sample. With -count > 1
+// it uses the CSP batch engine (SampleCSPN): chain i is bit-identical to a
+// single draw with seed ChainSeed(seed, i), the same contract as MRF
+// batches. domset gates the dominating-set verdict: it is meaningful only
+// for the domset flag path, not for arbitrary q=2 CSP specs.
 func runCSP(g *locsample.Graph, c *locsample.CSPModel, init []int, modelDesc string,
-	rounds int, seed uint64, distr, jsonOut, verbose, domset bool) {
+	rounds int, seed uint64, distr bool, count, workers int, jsonOut, verbose, domset bool) {
 	if rounds <= 0 {
 		rounds = 200
+	}
+	if count > 1 {
+		if distr {
+			fatal(fmt.Errorf("-distributed is not supported with -count > 1 for CSP workloads (batch chains run the centralized replay)"))
+		}
+		runCSPBatch(g, c, init, modelDesc, rounds, seed, count, workers, jsonOut, verbose, domset)
+		return
 	}
 	out, stats, err := locsample.SampleCSP(g, c, init, rounds, seed, distr)
 	if err != nil {
@@ -427,6 +479,47 @@ func runCSP(g *locsample.Graph, c *locsample.CSPModel, init []int, modelDesc str
 		fmt.Printf("communication: %d LOCAL rounds, %d messages, max message %d bytes\n",
 			stats.Rounds, stats.Messages, stats.MaxMessageBytes)
 	}
+	reportCSP(g, c, out, domset)
+	if verbose {
+		fmt.Printf("sample: %v\n", out)
+	}
+}
+
+// runCSPBatch draws count CSP samples through the worker-pool batch engine
+// and reports throughput, mirroring runBatch for MRFs.
+func runCSPBatch(g *locsample.Graph, c *locsample.CSPModel, init []int, modelDesc string,
+	rounds int, seed uint64, count, workers int, jsonOut, verbose, domset bool) {
+	start := time.Now()
+	samples, err := locsample.SampleCSPN(g, c, init, rounds, seed, count, workers)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	if jsonOut {
+		r := newJSONReport(g, "", modelDesc, "hypergraph lubyglauber", seed)
+		r.Graph.Kind = "csp"
+		r.Rounds = rounds
+		r.Count = count
+		r.ElapsedMS = float64(elapsed.Nanoseconds()) / 1e6
+		r.Samples = samples
+		emitJSON(r)
+		return
+	}
+	fmt.Printf("graph: n=%d m=%d Δ=%d\n", g.N(), g.M(), g.MaxDeg())
+	fmt.Printf("model: %s\n", modelDesc)
+	fmt.Printf("algorithm: hypergraph LubyGlauber, %d chain iterations\n", rounds)
+	fmt.Printf("batch: %d samples in %v  (%.1f samples/sec)\n",
+		count, elapsed.Round(time.Millisecond), float64(count)/elapsed.Seconds())
+	if verbose {
+		for i, out := range samples {
+			fmt.Printf("sample %d: %v\n", i, out)
+		}
+	}
+	reportCSP(g, c, samples[len(samples)-1], domset)
+}
+
+// reportCSP prints the validity verdict for one CSP sample.
+func reportCSP(g *locsample.Graph, c *locsample.CSPModel, out []int, domset bool) {
 	if domset {
 		size := 0
 		for _, x := range out {
@@ -435,9 +528,6 @@ func runCSP(g *locsample.Graph, c *locsample.CSPModel, init []int, modelDesc str
 		fmt.Printf("dominating: %v  size=%d\n", g.IsDominatingSet(out), size)
 	} else {
 		fmt.Printf("feasible: %v\n", c.Feasible(out))
-	}
-	if verbose {
-		fmt.Printf("sample: %v\n", out)
 	}
 }
 

@@ -1,0 +1,219 @@
+// Command lsbench runs the repository's core performance suite — batch
+// engine throughput, serving-layer draws, and sharded single-chain latency
+// at ≥10⁶ vertices — and writes a machine-readable JSON report. The
+// BENCH_PR*.json files at the repo root record the perf trajectory PR over
+// PR; CI runs the -quick variant as a smoke test.
+//
+//	go run ./cmd/lsbench -out BENCH_PR3.json
+//	go run ./cmd/lsbench -quick -out /tmp/bench.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"locsample"
+	"locsample/internal/service"
+)
+
+// Report is the JSON shape lsbench emits.
+type Report struct {
+	Version    string  `json:"version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	CPUs       int     `json:"cpus"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Quick      bool    `json:"quick,omitempty"`
+	Note       string  `json:"note,omitempty"`
+	Benchmarks []Entry `json:"benchmarks"`
+	// Speedup maps each sharded workload to time(shards=1)/time(shards=k)
+	// per shard count — the single-chain speedup the sharded runtime buys
+	// on this machine. Expect ≈1/overhead-bound values on single-core
+	// hosts (see CPUs) and >1 once GOMAXPROCS ≥ shards.
+	Speedup map[string]map[string]float64 `json:"speedup,omitempty"`
+}
+
+// Entry is one benchmark result.
+type Entry struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n,omitempty"`
+	M           int     `json:"m,omitempty"`
+	Rounds      int     `json:"rounds,omitempty"`
+	K           int     `json:"k,omitempty"`
+	Shards      int     `json:"shards,omitempty"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	// VerticesPerSec is vertex-updates per second: n·rounds·k / seconds.
+	VerticesPerSec float64 `json:"verticesPerSec,omitempty"`
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_PR3.json", "output JSON path")
+		quick = flag.Bool("quick", false, "small sizes for CI smoke runs")
+	)
+	flag.Parse()
+
+	rep := &Report{
+		Version:    "locsample-bench/v1",
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+		Speedup:    map[string]map[string]float64{},
+	}
+	if rep.GOMAXPROCS < 4 {
+		rep.Note = fmt.Sprintf("GOMAXPROCS=%d: shard workers time-slice one core, so sharded speedups are bounded by 1; rerun on a multi-core host for the parallel numbers", rep.GOMAXPROCS)
+	}
+
+	benchSampleN(rep, *quick)
+	benchService(rep)
+	shardSuite(rep, *quick)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "lsbench: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+}
+
+// benchSampleN measures batch-engine throughput: 64 chains of a grid
+// coloring over the worker pool, fixed round budget.
+func benchSampleN(rep *Report, quick bool) {
+	side := 64
+	if quick {
+		side = 16
+	}
+	const k, rounds = 64, 24
+	g := locsample.GridGraph(side, side)
+	m := locsample.NewColoring(g, 13)
+	s, err := locsample.NewSampler(m, locsample.WithSeed(1), locsample.WithRounds(rounds))
+	if err != nil {
+		fatal(err)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.SampleNFrom(uint64(i), k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.add(fmt.Sprintf("SampleN/grid%dx%d-coloring-k%d", side, side, k),
+		g.N(), g.M(), rounds, k, 0, res)
+}
+
+// benchService measures a served draw end to end through the registry
+// (compile cached, per-request seeds), mirroring BenchmarkServiceSample.
+func benchService(rep *Report) {
+	reg := service.NewRegistry(service.Config{})
+	spec := `{
+		"version": "locsample/v1",
+		"graph": {"family": "grid", "rows": 16, "cols": 16},
+		"model": {"kind": "coloring", "q": 12}
+	}`
+	mdl, _, err := reg.Register([]byte(spec))
+	if err != nil {
+		fatal(err)
+	}
+	const k = 8
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := reg.Draw(mdl, service.DrawOptions{K: k, Seed: uint64(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.add("ServiceSample/grid16x16-coloring-k8", 256, 480, 0, k, 0, res)
+}
+
+// shardSuite measures single-chain latency at 1, 2, and 4 shards on
+// ≥10⁶-vertex grid and G(n,p) colorings (the tentpole workload) and
+// records the per-workload speedups.
+func shardSuite(rep *Report, quick bool) {
+	gridSide := 1024 // 1024² = 1,048,576 vertices
+	gnpN := 1 << 20
+	rounds := 8
+	if quick {
+		gridSide, gnpN, rounds = 128, 1<<14, 4
+	}
+	grid := locsample.GridGraph(gridSide, gridSide)
+	gnp := locsample.SparseGnpGraph(gnpN, 8/float64(gnpN), 7)
+	workloads := []struct {
+		name string
+		g    *locsample.Graph
+		m    *locsample.Model
+	}{
+		{fmt.Sprintf("grid%dx%d-coloring", gridSide, gridSide), grid, locsample.NewColoring(grid, 13)},
+		{fmt.Sprintf("gnp%d-coloring", gnpN), gnp, locsample.NewColoring(gnp, 3*gnp.MaxDeg()+1)},
+	}
+	for _, wl := range workloads {
+		base := 0.0
+		speed := map[string]float64{}
+		for _, shards := range []int{1, 2, 4} {
+			opts := []locsample.Option{locsample.WithSeed(3), locsample.WithRounds(rounds)}
+			if shards > 1 {
+				opts = append(opts, locsample.WithShards(shards))
+			}
+			s, err := locsample.NewSampler(wl.m, opts...)
+			if err != nil {
+				fatal(err)
+			}
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.SampleNFrom(uint64(i), 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			rep.add(fmt.Sprintf("Cluster/%s/shards=%d", wl.name, shards),
+				wl.g.N(), wl.g.M(), rounds, 1, shards, res)
+			ns := float64(res.NsPerOp())
+			if shards == 1 {
+				base = ns
+			} else if ns > 0 {
+				speed[fmt.Sprint(shards)] = base / ns
+			}
+		}
+		rep.Speedup[wl.name] = speed
+	}
+}
+
+// add appends one benchmark result with derived vertex-update throughput.
+func (r *Report) add(name string, n, m, rounds, k, shards int, res testing.BenchmarkResult) {
+	e := Entry{
+		Name:        name,
+		N:           n,
+		M:           m,
+		Rounds:      rounds,
+		K:           k,
+		Shards:      shards,
+		Iterations:  res.N,
+		NsPerOp:     float64(res.NsPerOp()),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+	if rounds > 0 && e.NsPerOp > 0 {
+		e.VerticesPerSec = float64(n) * float64(rounds) * float64(k) / (e.NsPerOp / 1e9)
+	}
+	fmt.Fprintf(os.Stderr, "lsbench: %-44s %12.0f ns/op  %6d allocs/op\n", name, e.NsPerOp, e.AllocsPerOp)
+	r.Benchmarks = append(r.Benchmarks, e)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lsbench:", err)
+	os.Exit(1)
+}

@@ -45,14 +45,16 @@ func main() {
 		cacheSize = flag.Int("cache", 64, "compiled-sampler LRU capacity")
 		maxModels = flag.Int("max-models", 1024, "registered-model limit")
 		maxK      = flag.Int("max-k", 4096, "per-request sample limit")
+		shards    = flag.Int("shards", 0, "default shard count for draws whose request and spec name none (0 = centralized; samples are bit-identical at every shard count)")
 		timeout   = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown grace period")
 	)
 	flag.Parse()
 
 	reg := service.NewRegistry(service.Config{
-		CacheSize: *cacheSize,
-		MaxModels: *maxModels,
-		MaxK:      *maxK,
+		CacheSize:     *cacheSize,
+		MaxModels:     *maxModels,
+		MaxK:          *maxK,
+		DefaultShards: *shards,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

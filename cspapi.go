@@ -2,7 +2,11 @@ package locsample
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
+	"locsample/internal/core"
 	"locsample/internal/csp"
 	"locsample/internal/dist"
 	"locsample/internal/localmodel"
@@ -60,4 +64,64 @@ func SampleCSP(g *Graph, c *CSPModel, init []int, rounds int, seed uint64, distr
 		csp.LubyGlauberRoundPRF(c, x, seed, k, marg)
 	}
 	return x, localmodel.Stats{Rounds: rounds}, nil
+}
+
+// SampleCSPN draws k independent CSP samples over a worker pool — the CSP
+// counterpart of Sampler.SampleN, with the same determinism contract:
+// chain i is bit-identical to SampleCSP(g, c, init, rounds, ChainSeed(seed,
+// i), false), regardless of k, worker count, or scheduling. Feasibility of
+// init is validated once; workers <= 0 means GOMAXPROCS. All samples share
+// one flat backing array, and each worker reuses one marginal scratch, so
+// the steady-state inner loops allocate nothing.
+func SampleCSPN(g *Graph, c *CSPModel, init []int, rounds int, seed uint64, k, workers int) ([][]int, error) {
+	if rounds <= 0 {
+		return nil, fmt.Errorf("locsample: SampleCSPN needs rounds > 0")
+	}
+	if len(init) != c.N {
+		return nil, fmt.Errorf("locsample: init length %d for %d vertices", len(init), c.N)
+	}
+	if !c.Feasible(init) {
+		return nil, fmt.Errorf("locsample: initial configuration is infeasible")
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("locsample: SampleCSPN needs k >= 0, got %d", k)
+	}
+	samples := make([][]int, k)
+	if k == 0 {
+		return samples, nil
+	}
+	n := c.N
+	backing := make([]int, k*n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > k {
+		workers = k
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			marg := make([]float64, c.Q)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= k {
+					return
+				}
+				x := backing[i*n : (i+1)*n : (i+1)*n]
+				copy(x, init)
+				chainSeed := core.ChainSeed(seed, uint64(i))
+				for r := 0; r < rounds; r++ {
+					csp.LubyGlauberRoundPRF(c, x, chainSeed, r, marg)
+				}
+				samples[i] = x
+			}
+		}()
+	}
+	wg.Wait()
+	return samples, nil
 }

@@ -7,27 +7,62 @@ import (
 	"sync/atomic"
 
 	"locsample/internal/chains"
+	"locsample/internal/cluster"
 	"locsample/internal/core"
+	"locsample/internal/partition"
 )
 
 // Sampler is the batch sampling engine: it compiles a model and option set
 // once — round budget, feasible initial configuration, proposal tables, CSR
-// adjacency — and then draws any number of independent samples without
-// repeating that setup. SampleN spreads chains over a worker pool; each
-// worker owns one reusable chain state and scratch buffer, so the chains'
-// inner loops run allocation-free in the steady state.
+// adjacency, and (with WithShards) the partitioned shard plan — and then
+// draws any number of independent samples without repeating that setup.
+// SampleN spreads chains over a worker pool; each worker owns one reusable
+// chain state and scratch buffer, so the chains' inner loops run
+// allocation-free in the steady state. With WithShards(k), every chain
+// additionally runs as k lockstep shard workers exchanging only boundary
+// states — within-chain parallelism for single-draw latency on graphs too
+// large for one core.
 //
 // Determinism: chain i of SampleN(k) with master seed s is bit-identical to
 // a single Sample call with seed ChainSeed(s, i), regardless of k, worker
-// count, or scheduling. Sampler.Sample() is bit-identical to the package
-// level Sample with the same options.
+// count, scheduling, shard count, or partition strategy. Sampler.Sample()
+// is bit-identical to the package level Sample with the same options.
 type Sampler struct {
 	m      *Model
 	cfg    core.Config
 	rounds int
 	theory int
 	init   []int
+
+	// plan is the compiled shard layout (nil when unsharded). engines
+	// pools reusable cluster engines over it: one engine serves one draw
+	// at a time, and concurrent SampleNFrom calls (the serving path) each
+	// borrow their own.
+	plan    *partition.Plan
+	engines sync.Pool
+	// chainPool pools centralized chain states (with their scratch) across
+	// SampleNFrom calls, so the serving path's steady state — many calls
+	// with small k — constructs and allocates nothing per draw.
+	chainPool sync.Pool
 }
+
+// ShardStats reports a sharded draw's runtime profile: worker count,
+// boundary messages and vertex states exchanged, and time spent blocked at
+// round barriers.
+type ShardStats = cluster.Stats
+
+// ShardStrategy selects the graph partitioner used by WithShards.
+type ShardStrategy = partition.Strategy
+
+const (
+	// ShardRange partitions vertices into contiguous, balanced ID blocks —
+	// near-minimal boundaries on generators with coherent numbering
+	// (grids, paths, tori).
+	ShardRange = partition.Range
+	// ShardBFS grows shards by seeded breadth-first search — low-cut
+	// regions on graphs whose vertex numbering carries no locality.
+	ShardBFS = partition.BFS
+)
 
 // Batch is the result of SampleN: k independent samples drawn from one
 // compiled model. All samples share one flat backing array.
@@ -43,6 +78,10 @@ type Batch struct {
 	// batch: message/byte counts are summed, MaxMessageBytes and Rounds
 	// are per-chain maxima. Zero for centralized batches.
 	Stats Stats
+	// Shard aggregates the sharded runtime's profile across all chains
+	// (messages, values, and barrier waits are summed). Zero for
+	// unsharded batches.
+	Shard ShardStats
 }
 
 // ChainSeed derives the seed batch chain i runs with under master seed s:
@@ -51,16 +90,42 @@ func ChainSeed(s uint64, i int) uint64 {
 	return core.ChainSeed(s, uint64(i))
 }
 
-// WithWorkers bounds the goroutine pool SampleN uses (default GOMAXPROCS).
-// It does not affect results, only how chains are spread over CPUs.
+// WithWorkers bounds the goroutine pool SampleN uses (default GOMAXPROCS,
+// or GOMAXPROCS/shards when sharding). It does not affect results, only
+// how chains are spread over CPUs.
 func WithWorkers(n int) Option {
 	return func(c *core.Config) { c.Workers = n }
 }
 
+// WithShards splits every single chain across k lockstep shard workers
+// that exchange only boundary states between rounds (the in-process
+// analogue of the paper's message-passing network). Output is
+// bit-identical to the unsharded chain at the same seed — a vertex keeps
+// its PRF-keyed randomness regardless of which shard owns it — so k is
+// purely a latency/throughput knob. Only LubyGlauber and LocalMetropolis
+// shard; k ≤ 1 means centralized.
+func WithShards(k int) Option {
+	return func(c *core.Config) { c.Shards = k }
+}
+
+// WithShardStrategy selects the graph partitioner WithShards uses
+// (default ShardRange). The choice never affects outputs, only boundary
+// traffic.
+func WithShardStrategy(s ShardStrategy) Option {
+	return func(c *core.Config) { c.ShardStrategy = s }
+}
+
+// ParseShardStrategy maps a wire name ("range", "bfs", or "" for the
+// default) to a ShardStrategy.
+func ParseShardStrategy(s string) (ShardStrategy, error) {
+	return partition.ParseStrategy(s)
+}
+
 // NewSampler compiles model m with the given options into a reusable batch
-// sampler. The round budget and the greedy feasible initial configuration
-// are resolved once, here; they are exactly the values every individual
-// Sample call with the same options would resolve.
+// sampler. The round budget, the greedy feasible initial configuration,
+// and (when sharded) the partition plan are resolved once, here; they are
+// exactly the values every individual Sample call with the same options
+// would resolve.
 func NewSampler(m *Model, opts ...Option) (*Sampler, error) {
 	cfg := core.Config{Algorithm: chains.LocalMetropolis}
 	for _, opt := range opts {
@@ -70,14 +135,45 @@ func NewSampler(m *Model, opts ...Option) (*Sampler, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Sampler{
+	s := &Sampler{
 		m:      m,
 		cfg:    cfg,
 		rounds: rounds,
 		theory: theory,
 		// Copied: the caller may mutate the slice it passed WithInitial.
 		init: append([]int(nil), init...),
-	}, nil
+	}
+	s.chainPool.New = func() any {
+		return chains.NewSampler(m, s.init, 0, cfg.Algorithm,
+			chains.Options{DropRule3: cfg.DropRule3})
+	}
+	if cfg.Shards > 1 {
+		if cfg.Distributed {
+			return nil, fmt.Errorf("locsample: Distributed and WithShards are mutually exclusive")
+		}
+		plan, err := partition.Build(m.G, cfg.Shards, cfg.ShardStrategy, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		// Construct one engine eagerly: it both validates the algorithm
+		// and pre-warms the pool for the first draw.
+		eng, err := cluster.New(m, plan, cfg.Algorithm, cfg.DropRule3)
+		if err != nil {
+			return nil, err
+		}
+		s.plan = plan
+		s.engines.New = func() any {
+			e, err := cluster.New(m, plan, cfg.Algorithm, cfg.DropRule3)
+			if err != nil {
+				// Unreachable: the eager construction above vetted the
+				// same arguments.
+				panic(err)
+			}
+			return e
+		}
+		s.engines.Put(eng)
+	}
+	return s, nil
 }
 
 // Rounds returns the per-chain round budget the engine resolved.
@@ -87,6 +183,14 @@ func (s *Sampler) Rounds() int { return s.rounds }
 // pinned the budget explicitly.
 func (s *Sampler) TheoryRounds() int { return s.theory }
 
+// Shards returns the shard count draws run with (1 when unsharded).
+func (s *Sampler) Shards() int {
+	if s.plan == nil {
+		return 1
+	}
+	return s.plan.K
+}
+
 // Sample draws one configuration with the compiled settings and the master
 // seed, exactly as the package-level Sample would.
 func (s *Sampler) Sample() (*Result, error) {
@@ -94,6 +198,18 @@ func (s *Sampler) Sample() (*Result, error) {
 }
 
 func (s *Sampler) sampleWithSeed(seed uint64) (*Result, error) {
+	if s.plan != nil {
+		eng := s.engines.Get().(*cluster.Engine)
+		out := make([]int, s.m.G.N())
+		st := eng.Run(s.init, seed, s.rounds, out)
+		s.engines.Put(eng)
+		return &Result{
+			Sample:       out,
+			Rounds:       s.rounds,
+			TheoryRounds: s.theory,
+			Shard:        &st,
+		}, nil
+	}
 	cfg := s.cfg
 	cfg.Seed = seed
 	cfg.Rounds = s.rounds
@@ -111,7 +227,8 @@ func (s *Sampler) sampleWithSeed(seed uint64) (*Result, error) {
 // call always returns the same Batch no matter how many workers raced over
 // it. In centralized mode every worker reuses one chain state and scratch,
 // so beyond the k result slices nothing is allocated per chain and nothing
-// at all per round.
+// at all per round. In sharded mode every worker borrows a pooled cluster
+// engine and each chain runs shard-parallel inside it.
 func (s *Sampler) SampleN(k int) (*Batch, error) {
 	return s.SampleNFrom(s.cfg.Seed, k)
 }
@@ -140,6 +257,12 @@ func (s *Sampler) SampleNFrom(seed uint64, k int) (*Batch, error) {
 	workers := s.cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+		if s.plan != nil {
+			// Each chain already runs plan.K goroutines; dividing the pool
+			// keeps total parallelism near GOMAXPROCS instead of
+			// oversubscribing by a factor of K.
+			workers = max(1, workers/s.plan.K)
+		}
 	}
 	if workers > k {
 		workers = k
@@ -147,6 +270,10 @@ func (s *Sampler) SampleNFrom(seed uint64, k int) (*Batch, error) {
 	var chainStats []Stats
 	if s.cfg.Distributed {
 		chainStats = make([]Stats, k)
+	}
+	var shardStats []ShardStats
+	if s.plan != nil {
+		shardStats = make([]ShardStats, k)
 	}
 	var (
 		next    atomic.Int64
@@ -160,6 +287,14 @@ func (s *Sampler) SampleNFrom(seed uint64, k int) (*Batch, error) {
 		go func() {
 			defer wg.Done()
 			var cs *chains.Sampler
+			var eng *cluster.Engine
+			if s.plan != nil {
+				eng = s.engines.Get().(*cluster.Engine)
+				defer s.engines.Put(eng)
+			} else if !s.cfg.Distributed {
+				cs = s.chainPool.Get().(*chains.Sampler)
+				defer s.chainPool.Put(cs)
+			}
 			for {
 				// Fail fast: once any chain errors, no worker claims
 				// another chain — without this check the pool would drain
@@ -173,6 +308,10 @@ func (s *Sampler) SampleNFrom(seed uint64, k int) (*Batch, error) {
 					return
 				}
 				chainSeed := core.ChainSeed(seed, uint64(i))
+				if eng != nil {
+					shardStats[i] = eng.Run(s.init, chainSeed, s.rounds, batch.Samples[i])
+					continue
+				}
 				if s.cfg.Distributed {
 					res, err := s.sampleWithSeed(chainSeed)
 					if err != nil {
@@ -184,12 +323,7 @@ func (s *Sampler) SampleNFrom(seed uint64, k int) (*Batch, error) {
 					chainStats[i] = res.Stats
 					continue
 				}
-				if cs == nil {
-					cs = chains.NewSampler(s.m, s.init, chainSeed,
-						s.cfg.Algorithm, chains.Options{DropRule3: s.cfg.DropRule3})
-				} else {
-					cs.Reset(s.init, chainSeed)
-				}
+				cs.Reset(s.init, chainSeed)
 				cs.Run(s.rounds)
 				copy(batch.Samples[i], cs.X)
 			}
@@ -208,6 +342,9 @@ func (s *Sampler) SampleNFrom(seed uint64, k int) (*Batch, error) {
 		if st.Rounds > batch.Stats.Rounds {
 			batch.Stats.Rounds = st.Rounds
 		}
+	}
+	for _, st := range shardStats {
+		batch.Shard.Add(st)
 	}
 	return batch, nil
 }

@@ -1,0 +1,151 @@
+package locsample_test
+
+import (
+	"reflect"
+	"testing"
+
+	"locsample"
+)
+
+// TestWithShardsBitIdentical pins the sharded runtime's keystone contract
+// at the public API: SampleN over a sharded sampler equals SampleN over an
+// unsharded one, chain for chain and byte for byte, under both partition
+// strategies.
+func TestWithShardsBitIdentical(t *testing.T) {
+	g := locsample.GridGraph(11, 13)
+	for _, tc := range []struct {
+		name string
+		m    *locsample.Model
+		alg  locsample.Algorithm
+	}{
+		{"coloring-lm", locsample.NewColoring(g, 13), locsample.LocalMetropolis},
+		{"ising-luby", locsample.NewIsing(g, 0.3, 0.9), locsample.LubyGlauber},
+	} {
+		base, err := locsample.NewSampler(tc.m,
+			locsample.WithAlgorithm(tc.alg), locsample.WithSeed(5), locsample.WithRounds(25))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		want, err := base.SampleN(6)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for _, strat := range []locsample.ShardStrategy{locsample.ShardRange, locsample.ShardBFS} {
+			for _, k := range []int{2, 4, 7} {
+				s, err := locsample.NewSampler(tc.m,
+					locsample.WithAlgorithm(tc.alg), locsample.WithSeed(5), locsample.WithRounds(25),
+					locsample.WithShards(k), locsample.WithShardStrategy(strat))
+				if err != nil {
+					t.Fatalf("%s shards=%d: %v", tc.name, k, err)
+				}
+				if s.Shards() != k {
+					t.Fatalf("%s: Shards() = %d, want %d", tc.name, s.Shards(), k)
+				}
+				got, err := s.SampleN(6)
+				if err != nil {
+					t.Fatalf("%s shards=%d: %v", tc.name, k, err)
+				}
+				if !reflect.DeepEqual(got.Samples, want.Samples) {
+					t.Fatalf("%s %v shards=%d: sharded batch diverges from centralized", tc.name, strat, k)
+				}
+				if got.Shard.Shards != k || got.Shard.BoundaryMessages == 0 {
+					t.Fatalf("%s shards=%d: missing shard stats %+v", tc.name, k, got.Shard)
+				}
+			}
+		}
+	}
+}
+
+// TestWithShardsSingleSample: Sampler.Sample and the package-level Sample
+// agree under sharding, and report shard stats.
+func TestWithShardsSingleSample(t *testing.T) {
+	g := locsample.GridGraph(9, 9)
+	m := locsample.NewColoring(g, 13)
+	opts := []locsample.Option{locsample.WithSeed(3), locsample.WithRounds(30)}
+	want, err := locsample.Sample(m, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := append(opts, locsample.WithShards(4))
+	got, err := locsample.Sample(m, sharded...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Sample, want.Sample) {
+		t.Fatal("package-level sharded Sample diverges from centralized")
+	}
+	if got.Shard == nil || got.Shard.Shards != 4 {
+		t.Fatalf("package-level sharded Sample missing shard stats: %+v", got.Shard)
+	}
+	s, err := locsample.NewSampler(m, sharded...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Sample, want.Sample) {
+		t.Fatal("Sampler.Sample sharded diverges from centralized")
+	}
+}
+
+// TestWithShardsRejects: sequential algorithms, the distributed runtime,
+// and oversized shard counts cannot shard.
+func TestWithShardsRejects(t *testing.T) {
+	g := locsample.CycleGraph(12)
+	m := locsample.NewColoring(g, 5)
+	if _, err := locsample.NewSampler(m,
+		locsample.WithAlgorithm(locsample.Glauber), locsample.WithShards(2)); err == nil {
+		t.Fatal("Glauber + WithShards accepted")
+	}
+	if _, err := locsample.NewSampler(m,
+		locsample.Distributed(), locsample.WithShards(2)); err == nil {
+		t.Fatal("Distributed + WithShards accepted")
+	}
+	if _, err := locsample.NewSampler(m, locsample.WithShards(13)); err == nil {
+		t.Fatal("more shards than vertices accepted")
+	}
+	if _, err := locsample.Sample(m, locsample.Distributed(), locsample.WithShards(2)); err == nil {
+		t.Fatal("package-level Distributed + WithShards accepted")
+	}
+}
+
+// TestSampleCSPNMatchesSampleCSP pins the CSP batch engine's determinism
+// contract: chain i of SampleCSPN equals SampleCSP with seed
+// ChainSeed(seed, i).
+func TestSampleCSPNMatchesSampleCSP(t *testing.T) {
+	g := locsample.GridGraph(7, 9)
+	c := locsample.NewWeightedDominatingSet(g, 0.7)
+	init := make([]int, g.N())
+	for i := range init {
+		init[i] = 1
+	}
+	const rounds, k = 120, 7
+	samples, err := locsample.SampleCSPN(g, c, init, rounds, 99, k, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != k {
+		t.Fatalf("got %d samples, want %d", len(samples), k)
+	}
+	for i := 0; i < k; i++ {
+		want, _, err := locsample.SampleCSP(g, c, init, rounds, locsample.ChainSeed(99, i), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(samples[i], want) {
+			t.Fatalf("chain %d diverges from derived-seed SampleCSP", i)
+		}
+		if !g.IsDominatingSet(samples[i]) {
+			t.Fatalf("chain %d output is not dominating", i)
+		}
+	}
+	if _, err := locsample.SampleCSPN(g, c, init, 0, 1, 2, 0); err == nil {
+		t.Fatal("rounds=0 accepted")
+	}
+	bad := make([]int, g.N()) // all-zero is not dominating
+	if _, err := locsample.SampleCSPN(g, c, bad, 10, 1, 2, 0); err == nil {
+		t.Fatal("infeasible init accepted")
+	}
+}

@@ -298,7 +298,7 @@ func LocalMetropolisRound(m *mrf.MRF, x []int, seed uint64, round int, dropRule3
 		sc.prop[v] = rng.CategoricalU(m.ProposalRow(v), u)
 	}
 	for id, e := range g.Edges() {
-		p := edgePassProb(m, id, x[e.U], x[e.V], sc.prop[e.U], sc.prop[e.V], dropRule3)
+		p := EdgePassProb(m, id, x[e.U], x[e.V], sc.prop[e.U], sc.prop[e.V], dropRule3)
 		coin := rng.PRFFloat64(seed, TagCoin, uint64(id), uint64(round))
 		sc.pass[id] = coin < p
 	}
@@ -316,7 +316,14 @@ func LocalMetropolisRound(m *mrf.MRF, x []int, seed uint64, round int, dropRule3
 	}
 }
 
-func edgePassProb(m *mrf.MRF, id, xu, xv, su, sv int, dropRule3 bool) float64 {
+// EdgePassProb returns the LocalMetropolis filter probability of edge id
+// given current spins (xu, xv) and proposals (su, sv) — the product of
+// Algorithm 2's three factors (two with dropRule3). The expression is not
+// symmetric in the endpoints: callers must pass values in the edge's
+// stored U/V orientation. Exported so the sharded runtime
+// (internal/cluster) evaluates exactly this expression, in this
+// multiplication order, for its bit-identity contract.
+func EdgePassProb(m *mrf.MRF, id, xu, xv, su, sv int, dropRule3 bool) float64 {
 	a := m.NormalizedEdge(id)
 	p := a.At(su, sv) * a.At(xu, sv)
 	if !dropRule3 {

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"locsample/internal/chains"
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+	"locsample/internal/partition"
+	"locsample/internal/rng"
+)
+
+// BenchmarkClusterGridColoring measures one chain advancing a fixed round
+// budget on a 256×256 grid coloring, centralized (shards=1 runs the plain
+// chains.Sampler as the baseline) and sharded. cmd/lsbench runs the same
+// shape at ≥10⁶ vertices and records the trajectory in BENCH_PR3.json.
+func BenchmarkClusterGridColoring(b *testing.B) {
+	const rows, cols, q, rounds = 256, 256, 13, 4
+	g := graph.Grid(rows, cols)
+	m := mrf.Coloring(g, q)
+	init, err := chains.GreedyFeasible(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("shards=1", func(b *testing.B) {
+		cs := chains.NewSampler(m, init, 1, chains.LocalMetropolis, chains.Options{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cs.Reset(init, uint64(i))
+			cs.Run(rounds)
+		}
+		b.ReportMetric(float64(g.N())*float64(rounds), "vertex-updates/op")
+	})
+	for _, k := range []int{2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			plan, err := partition.Build(g, k, partition.Range, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := New(m, plan, chains.LocalMetropolis, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out := make([]int, g.N())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Run(init, uint64(i), rounds, out)
+			}
+			b.ReportMetric(float64(g.N())*float64(rounds), "vertex-updates/op")
+		})
+	}
+}
+
+// BenchmarkClusterExchange isolates the boundary-exchange cost: a tiny
+// round budget on a partition with a long boundary (range strategy across
+// grid columns would be worst-case; BFS on gnp is the realistic shape).
+func BenchmarkClusterExchange(b *testing.B) {
+	g := graph.SparseGnp(1<<15, 8/float64(1<<15), rng.New(3))
+	m := mrf.Coloring(g, 3*g.MaxDeg()+1)
+	init, err := chains.GreedyFeasible(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := partition.Build(g, 4, partition.BFS, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := New(m, plan, chains.LocalMetropolis, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]int, g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Run(init, uint64(i), 2, out)
+	}
+}

@@ -1,0 +1,353 @@
+// Package cluster runs ONE Markov chain as k shard workers advancing in
+// lockstep rounds — the in-process analogue of the paper's message-passing
+// network, at shard rather than vertex granularity. Each worker owns a
+// partition shard (internal/partition): the states of its owned vertices,
+// halo copies of their out-of-shard neighbors, and channels to the
+// neighboring shards. A round is
+//
+//	compute owned updates  →  send boundary states  →  receive halo states,
+//
+// where the receive acts as the round barrier: no worker starts round r+1
+// before every halo value it will read has arrived.
+//
+// The keystone invariant extends the batch engine's: a sharded draw with
+// seed s is bit-identical to the centralized chains.Sampler trajectory at
+// the same seed, invariant to shard count and partition strategy. It holds
+// because every variate is PRF-keyed by GLOBAL vertex/edge IDs and round
+// number — a vertex keeps its randomness no matter which shard owns it —
+// and because shard subgraphs preserve the global per-vertex adjacency
+// order, so conditional-marginal products multiply in the same
+// floating-point order as the centralized sweep. Cut edges are evaluated
+// redundantly on both incident shards; both read the same PRF coin and the
+// same endpoint states, so they agree without communication (exactly the
+// paper's shared-coin trick, §4).
+//
+// Only the paper's two LOCAL algorithms shard: LubyGlauber and
+// LocalMetropolis. The inherently sequential baselines (Glauber,
+// SystematicScan, ChromaticGlauber) have no O(log n)-round decomposition
+// to exploit.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"locsample/internal/chains"
+	"locsample/internal/mrf"
+	"locsample/internal/partition"
+	"locsample/internal/rng"
+)
+
+// Stats reports one sharded draw's runtime profile.
+type Stats struct {
+	// Shards is the worker count the draw ran with.
+	Shards int `json:"shards"`
+	// Rounds is the number of lockstep rounds executed.
+	Rounds int `json:"rounds"`
+	// BoundaryMessages counts channel sends (one per neighboring shard
+	// pair, per direction, per round).
+	BoundaryMessages int64 `json:"boundaryMessages"`
+	// BoundaryValues counts vertex states exchanged across shard
+	// boundaries over the whole draw.
+	BoundaryValues int64 `json:"boundaryValues"`
+	// BarrierWaitNS is the total time workers spent blocked at the
+	// round barrier (receiving halo states), summed over workers.
+	BarrierWaitNS int64 `json:"barrierWaitNs"`
+}
+
+// Add accumulates other into s (Shards and Rounds adopt other's values:
+// they are per-draw constants, not sums).
+func (s *Stats) Add(other Stats) {
+	s.Shards = other.Shards
+	s.Rounds = other.Rounds
+	s.BoundaryMessages += other.BoundaryMessages
+	s.BoundaryValues += other.BoundaryValues
+	s.BarrierWaitNS += other.BarrierWaitNS
+}
+
+// worker is one shard's mutable run state. Buffers are allocated once in
+// New and reused across rounds and runs, so the steady-state loop
+// allocates nothing.
+type worker struct {
+	sh *partition.Shard
+
+	x    []int     // local vertex states (owned band + halo band)
+	prop []int     // LocalMetropolis proposals, all local vertices
+	beta []float64 // LubyGlauber Luby-step priorities, all local vertices
+	pass []bool    // LocalMetropolis edge filter outcomes, per shard edge
+	marg []float64 // conditional-marginal scratch, length q
+
+	// sendBuf[j] holds two alternating outgoing buffers per neighbor j.
+	// Round r sends buffer r&1; by the time round r+2 overwrites it, the
+	// receiver has provably finished copying it (its round-r+1 message to
+	// us happens-after its round-r receive).
+	sendBuf [][2][]int
+
+	msgs, vals, waitNS int64
+}
+
+// Engine executes sharded draws over a fixed (model, plan, algorithm)
+// triple. An Engine is reusable across sequential Run calls but is NOT
+// safe for concurrent Runs; callers that serve concurrent draws keep a
+// pool of engines (the batch Sampler does).
+type Engine struct {
+	m         *mrf.MRF
+	plan      *partition.Plan
+	alg       chains.Algorithm
+	dropRule3 bool
+	coloring  bool
+
+	ws []*worker
+	// chans[i][j] carries shard i's boundary states to shard j; non-nil
+	// exactly for neighbor pairs. Capacity 2 means a sender can never
+	// block: at most the previous and current round's messages are
+	// outstanding (a worker cannot run two rounds ahead of a neighbor it
+	// must hear from every round), so the lockstep schedule is
+	// deadlock-free by construction.
+	chans [][]chan []int
+}
+
+// New compiles an engine for model m over plan. Only LubyGlauber and
+// LocalMetropolis are shardable.
+func New(m *mrf.MRF, plan *partition.Plan, alg chains.Algorithm, dropRule3 bool) (*Engine, error) {
+	if alg != chains.LubyGlauber && alg != chains.LocalMetropolis {
+		return nil, fmt.Errorf("cluster: %v cannot be sharded (only LubyGlauber and LocalMetropolis decompose into local rounds)", alg)
+	}
+	if m.G.N() != plan.N {
+		return nil, fmt.Errorf("cluster: plan partitions %d vertices, model has %d", plan.N, m.G.N())
+	}
+	e := &Engine{
+		m:         m,
+		plan:      plan,
+		alg:       alg,
+		dropRule3: dropRule3,
+		coloring:  alg == chains.LocalMetropolis && m.IsColoringModel(),
+		ws:        make([]*worker, plan.K),
+		chans:     make([][]chan []int, plan.K),
+	}
+	for s, sh := range plan.Shards {
+		w := &worker{
+			sh:      sh,
+			x:       make([]int, sh.NLocal()),
+			marg:    make([]float64, m.Q),
+			sendBuf: make([][2][]int, plan.K),
+		}
+		switch alg {
+		case chains.LubyGlauber:
+			w.beta = make([]float64, sh.NLocal())
+		case chains.LocalMetropolis:
+			w.prop = make([]int, sh.NLocal())
+			w.pass = make([]bool, len(sh.Edges))
+		}
+		for _, j := range sh.Neighbors {
+			w.sendBuf[j] = [2][]int{
+				make([]int, len(sh.SendTo[j])),
+				make([]int, len(sh.SendTo[j])),
+			}
+		}
+		e.ws[s] = w
+		e.chans[s] = make([]chan []int, plan.K)
+		for _, j := range sh.Neighbors {
+			e.chans[s][j] = make(chan []int, 2)
+		}
+	}
+	return e, nil
+}
+
+// Plan returns the partition the engine runs on.
+func (e *Engine) Plan() *partition.Plan { return e.plan }
+
+// Run advances one chain for the given number of rounds from init (read
+// only) under the master seed, writing the final configuration into out
+// (length n). The trajectory is bit-identical to
+// chains.NewSampler(m, init, seed, alg, opts).Run(rounds).
+func (e *Engine) Run(init []int, seed uint64, rounds int, out []int) Stats {
+	if len(init) != e.plan.N || len(out) != e.plan.N {
+		panic("cluster: init/out length does not match the partitioned graph")
+	}
+	for _, w := range e.ws {
+		for l, gv := range w.sh.Global {
+			w.x[l] = init[gv]
+		}
+		w.msgs, w.vals, w.waitNS = 0, 0, 0
+	}
+	var wg sync.WaitGroup
+	for s := range e.ws {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			e.runShard(s, seed, rounds, out)
+		}(s)
+	}
+	wg.Wait()
+	st := Stats{Shards: e.plan.K, Rounds: rounds}
+	for _, w := range e.ws {
+		st.BoundaryMessages += w.msgs
+		st.BoundaryValues += w.vals
+		st.BarrierWaitNS += w.waitNS
+	}
+	return st
+}
+
+// runShard is one worker's lockstep loop: compute, send boundary, receive
+// halo (the barrier), repeat; then publish owned states into out.
+func (e *Engine) runShard(s int, seed uint64, rounds int, out []int) {
+	w := e.ws[s]
+	sh := w.sh
+	for r := 0; r < rounds; r++ {
+		switch {
+		case e.alg == chains.LubyGlauber:
+			e.lubyRound(w, seed, r)
+		case e.coloring:
+			e.coloringRound(w, seed, r)
+		default:
+			e.metropolisRound(w, seed, r)
+		}
+		for _, j := range sh.Neighbors {
+			buf := w.sendBuf[j][r&1]
+			for t, l := range sh.SendTo[j] {
+				buf[t] = w.x[l]
+			}
+			e.chans[s][j] <- buf
+			w.msgs++
+			w.vals += int64(len(buf))
+		}
+		for _, j := range sh.Neighbors {
+			t0 := time.Now()
+			msg := <-e.chans[j][s]
+			w.waitNS += time.Since(t0).Nanoseconds()
+			for t, l := range sh.RecvFrom[j] {
+				w.x[l] = msg[t]
+			}
+		}
+	}
+	for l := 0; l < sh.NOwned; l++ {
+		out[sh.Global[l]] = w.x[l]
+	}
+}
+
+// lubyRound mirrors chains.LubyGlauberRound on one shard. Luby-step
+// priorities are PRF values, so halo priorities are recomputed locally
+// instead of communicated; the marginal products run in the global
+// adjacency order preserved by the shard CSR. In-place owned updates are
+// exact for the same reason as the centralized sweep: the Luby step is an
+// independent set, so no resampled vertex reads another resampled vertex.
+func (e *Engine) lubyRound(w *worker, seed uint64, round int) {
+	sh := w.sh
+	for l, gv := range sh.Global {
+		w.beta[l] = rng.PRFFloat64(seed, chains.TagBeta, uint64(gv), uint64(round))
+	}
+	for v := 0; v < sh.NOwned; v++ {
+		isMax := true
+		for _, u := range sh.Nbr[sh.RowPtr[v]:sh.RowPtr[v+1]] {
+			if w.beta[u] >= w.beta[v] {
+				isMax = false
+				break
+			}
+		}
+		if !isMax {
+			continue
+		}
+		if e.marginalInto(w, v) {
+			u := rng.PRFFloat64(seed, chains.TagUpdate, uint64(sh.Global[v]), uint64(round))
+			w.x[v] = rng.CategoricalU(w.marg, u)
+		}
+	}
+}
+
+// marginalInto fills w.marg with owned vertex v's conditional marginal. It
+// is mrf.MarginalInto transcribed to shard-local indexing: same zero-skip,
+// same per-slot multiplication order (the shard CSR preserves the global
+// slot order), same normalization — so the resulting float64s, and hence
+// the CategoricalU draw, are bit-identical to the centralized chain's.
+func (e *Engine) marginalInto(w *worker, v int) bool {
+	m := e.m
+	sh := w.sh
+	b := m.VertexB[sh.Global[v]]
+	q := m.Q
+	out := w.marg
+	for c := 0; c < q; c++ {
+		out[c] = b[c]
+	}
+	for t := sh.RowPtr[v]; t < sh.RowPtr[v+1]; t++ {
+		a := m.EdgeA[sh.Edges[sh.EdgeSlot[t]].ID]
+		xu := w.x[sh.Nbr[t]]
+		for c := 0; c < q; c++ {
+			if out[c] != 0 {
+				out[c] *= a.At(c, xu)
+			}
+		}
+	}
+	total := 0.0
+	for c := 0; c < q; c++ {
+		total += out[c]
+	}
+	if total <= 0 {
+		return false
+	}
+	inv := 1 / total
+	for c := 0; c < q; c++ {
+		out[c] *= inv
+	}
+	return true
+}
+
+// metropolisRound mirrors chains.LocalMetropolisRound on one shard.
+// Proposals depend only on vertex activities, so halo proposals are
+// recomputed locally; cut-edge filters are evaluated redundantly on both
+// shards from the shared PRF coin.
+func (e *Engine) metropolisRound(w *worker, seed uint64, round int) {
+	m := e.m
+	sh := w.sh
+	for l, gv := range sh.Global {
+		u := rng.PRFFloat64(seed, chains.TagUpdate, uint64(gv), uint64(round))
+		w.prop[l] = rng.CategoricalU(m.ProposalRow(int(gv)), u)
+	}
+	for le := range sh.Edges {
+		ed := &sh.Edges[le]
+		p := chains.EdgePassProb(m, int(ed.ID), w.x[ed.U], w.x[ed.V], w.prop[ed.U], w.prop[ed.V], e.dropRule3)
+		coin := rng.PRFFloat64(seed, chains.TagCoin, uint64(ed.ID), uint64(round))
+		w.pass[le] = coin < p
+	}
+	e.accept(w)
+}
+
+// coloringRound mirrors chains.ColoringLocalMetropolisRound (the §4.2
+// three-rule fast path) on one shard.
+func (e *Engine) coloringRound(w *worker, seed uint64, round int) {
+	sh := w.sh
+	q := e.m.Q
+	for l, gv := range sh.Global {
+		u := rng.PRFFloat64(seed, chains.TagUpdate, uint64(gv), uint64(round))
+		w.prop[l] = int(u * float64(q))
+	}
+	for le := range sh.Edges {
+		ed := &sh.Edges[le]
+		cu, cv := w.prop[ed.U], w.prop[ed.V]
+		ok := cu != cv && cv != w.x[ed.U]
+		if !e.dropRule3 {
+			ok = ok && cu != w.x[ed.V]
+		}
+		w.pass[le] = ok
+	}
+	e.accept(w)
+}
+
+// accept applies the LocalMetropolis acceptance rule to the owned band:
+// vertex v adopts its proposal iff every incident edge passed.
+func (e *Engine) accept(w *worker) {
+	sh := w.sh
+	for v := 0; v < sh.NOwned; v++ {
+		ok := true
+		for t := sh.RowPtr[v]; t < sh.RowPtr[v+1]; t++ {
+			if !w.pass[sh.EdgeSlot[t]] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			w.x[v] = w.prop[v]
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"testing"
+
+	"locsample/internal/chains"
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+	"locsample/internal/partition"
+	"locsample/internal/rng"
+)
+
+// testModels spans the code paths that must stay bit-identical: the
+// coloring fast path, the general LocalMetropolis activity path (Ising),
+// and the LubyGlauber marginal path, on coherent (grid) and incoherent
+// (gnp) vertex numberings.
+func testModels(t *testing.T) map[string]*mrf.MRF {
+	t.Helper()
+	grid := graph.Grid(12, 12)
+	gnp := graph.Gnp(150, 0.04, rng.New(17))
+	return map[string]*mrf.MRF{
+		"grid-coloring": mrf.Coloring(grid, 13),
+		"grid-ising":    mrf.Ising(grid, 0.4, 0.7),
+		"gnp-coloring":  mrf.Coloring(gnp, 3*gnp.MaxDeg()+1),
+		"gnp-ising":     mrf.Ising(gnp, 0.3, 1.1),
+		"gnp-hardcore":  mrf.Hardcore(gnp, 0.2),
+	}
+}
+
+// TestShardedBitIdentical is the keystone invariant of the sharded
+// runtime, pinned in CI: for every model, algorithm, partition strategy,
+// and shard count, the cluster engine's output equals the centralized
+// chains.Sampler trajectory at the same seed, byte for byte.
+func TestShardedBitIdentical(t *testing.T) {
+	const rounds = 30
+	algs := []chains.Algorithm{chains.LubyGlauber, chains.LocalMetropolis}
+	shardCounts := []int{1, 2, 4, 7}
+	for name, m := range testModels(t) {
+		init, err := chains.GreedyFeasible(m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, alg := range algs {
+			seed := uint64(0xfeed + len(name))
+			cs := chains.NewSampler(m, init, seed, alg, chains.Options{})
+			cs.Run(rounds)
+			want := cs.X
+			for _, strat := range []partition.Strategy{partition.Range, partition.BFS} {
+				for _, k := range shardCounts {
+					plan, err := partition.Build(m.G, k, strat, 99)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					eng, err := New(m, plan, alg, false)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					out := make([]int, m.G.N())
+					st := eng.Run(init, seed, rounds, out)
+					if !equalInts(out, want) {
+						t.Fatalf("%s %v %v shards=%d: sharded draw diverges from centralized chain",
+							name, alg, strat, k)
+					}
+					if st.Shards != k || st.Rounds != rounds {
+						t.Fatalf("%s: stats report shards=%d rounds=%d", name, st.Shards, st.Rounds)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDropRule3Parity: the E4 ablation shards identically too.
+func TestDropRule3Parity(t *testing.T) {
+	g := graph.Grid(9, 11)
+	m := mrf.Coloring(g, 12)
+	init, err := chains.GreedyFeasible(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := chains.NewSampler(m, init, 5, chains.LocalMetropolis, chains.Options{DropRule3: true})
+	cs.Run(25)
+	plan, err := partition.Build(g, 3, partition.BFS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(m, plan, chains.LocalMetropolis, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int, g.N())
+	eng.Run(init, 5, 25, out)
+	if !equalInts(out, cs.X) {
+		t.Fatal("dropRule3 sharded draw diverges from centralized chain")
+	}
+}
+
+// TestEngineReuse: an engine rerun with the same inputs reproduces itself,
+// and reruns with different seeds match fresh engines — the property the
+// batch Sampler's engine pool relies on.
+func TestEngineReuse(t *testing.T) {
+	g := graph.Gnp(120, 0.05, rng.New(3))
+	m := mrf.Coloring(g, 3*g.MaxDeg()+1)
+	init, err := chains.GreedyFeasible(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := partition.Build(g, 4, partition.Range, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(m, plan, chains.LocalMetropolis, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 20
+	a := make([]int, g.N())
+	b := make([]int, g.N())
+	eng.Run(init, 7, rounds, a)
+	eng.Run(init, 8, rounds, b) // interleave a different seed
+	c := make([]int, g.N())
+	eng.Run(init, 7, rounds, c)
+	if !equalInts(a, c) {
+		t.Fatal("engine rerun with identical inputs diverged")
+	}
+	fresh, err := New(m, plan, chains.LocalMetropolis, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := make([]int, g.N())
+	fresh.Run(init, 8, rounds, d)
+	if !equalInts(b, d) {
+		t.Fatal("reused engine diverged from fresh engine")
+	}
+}
+
+// TestClusterStats: boundary accounting matches the plan — each round,
+// each shard sends one message per neighbor carrying its SendTo band.
+func TestClusterStats(t *testing.T) {
+	g := graph.Grid(10, 10)
+	m := mrf.Coloring(g, 13)
+	init, err := chains.GreedyFeasible(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := partition.Build(g, 4, partition.Range, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(m, plan, chains.LocalMetropolis, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 6
+	out := make([]int, g.N())
+	st := eng.Run(init, 1, rounds, out)
+	var wantMsgs, wantVals int64
+	for _, sh := range plan.Shards {
+		wantMsgs += int64(len(sh.Neighbors))
+		for _, j := range sh.Neighbors {
+			wantVals += int64(len(sh.SendTo[j]))
+		}
+	}
+	wantMsgs *= rounds
+	wantVals *= rounds
+	if st.BoundaryMessages != wantMsgs || st.BoundaryValues != wantVals {
+		t.Fatalf("stats: messages=%d values=%d, want %d, %d",
+			st.BoundaryMessages, st.BoundaryValues, wantMsgs, wantVals)
+	}
+	if wantVals != int64(rounds)*int64(plan.HaloCopies) {
+		t.Fatalf("plan: HaloCopies=%d inconsistent with exchange maps", plan.HaloCopies)
+	}
+}
+
+// TestUnsupportedAlgorithms: the sequential baselines cannot shard.
+func TestUnsupportedAlgorithms(t *testing.T) {
+	g := graph.Cycle(10)
+	m := mrf.Coloring(g, 5)
+	plan, err := partition.Build(g, 2, partition.Range, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []chains.Algorithm{chains.Glauber, chains.SystematicScan, chains.ChromaticGlauber} {
+		if _, err := New(m, plan, alg, false); err == nil {
+			t.Fatalf("%v accepted for sharding", alg)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

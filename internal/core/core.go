@@ -18,11 +18,13 @@ import (
 	"math"
 
 	"locsample/internal/chains"
+	"locsample/internal/cluster"
 	"locsample/internal/coupling"
 	"locsample/internal/dist"
 	"locsample/internal/exact"
 	"locsample/internal/localmodel"
 	"locsample/internal/mrf"
+	"locsample/internal/partition"
 	"locsample/internal/rng"
 )
 
@@ -48,8 +50,20 @@ type Config struct {
 	// configuration is constructed.
 	Init []int
 	// Workers bounds the goroutine pool a batch Sampler uses for SampleN
-	// (default: GOMAXPROCS). Single Sample calls ignore it.
+	// (default: GOMAXPROCS; when sharding, GOMAXPROCS/Shards). Single
+	// Sample calls ignore it.
 	Workers int
+	// Shards > 1 splits every single chain across that many lockstep shard
+	// workers exchanging only boundary states (internal/cluster) — the
+	// within-chain parallelism the paper's O(log n)-round locality buys.
+	// Output is bit-identical to the centralized chain at the same seed,
+	// invariant to shard count and partition strategy. Only LubyGlauber
+	// and LocalMetropolis shard; Distributed and Shards are mutually
+	// exclusive (they are two different runtimes for the same protocol).
+	Shards int
+	// ShardStrategy selects the graph partitioner for Shards > 1
+	// (default partition.Range).
+	ShardStrategy partition.Strategy
 }
 
 // TagChain keys the seed-splitting PRF of the batch engine: chain i of a
@@ -76,6 +90,9 @@ type Result struct {
 	TheoryRounds int
 	// Stats reports communication costs for distributed runs.
 	Stats localmodel.Stats
+	// Shard reports the sharded runtime's profile (nil for unsharded
+	// draws).
+	Shard *cluster.Stats
 }
 
 // LubyGlauberRounds returns the Theorem 3.2 round budget T₁+T₂ for total
@@ -188,6 +205,24 @@ func Sample(m *mrf.MRF, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{TheoryRounds: theory}
+
+	if cfg.Shards > 1 {
+		if cfg.Distributed {
+			return nil, fmt.Errorf("core: Distributed and Shards are mutually exclusive")
+		}
+		plan, err := partition.Build(m.G, cfg.Shards, cfg.ShardStrategy, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := cluster.New(m, plan, cfg.Algorithm, cfg.DropRule3)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int, m.G.N())
+		st := eng.Run(init, cfg.Seed, rounds, out)
+		res.Sample, res.Rounds, res.Shard = out, rounds, &st
+		return res, nil
+	}
 
 	if cfg.Distributed {
 		switch cfg.Algorithm {

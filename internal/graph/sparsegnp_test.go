@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"locsample/internal/rng"
+)
+
+// TestSparseGnpDistribution: edge counts track E[m] = p·n(n-1)/2 within a
+// few standard deviations, no self-loops or duplicate pairs appear, and
+// generation is deterministic per seed.
+func TestSparseGnpDistribution(t *testing.T) {
+	const n, p = 600, 0.02
+	mean := p * float64(n) * float64(n-1) / 2
+	sd := math.Sqrt(mean * (1 - p))
+	for seed := uint64(1); seed <= 3; seed++ {
+		g := SparseGnp(n, p, rng.New(seed))
+		m := float64(g.M())
+		if math.Abs(m-mean) > 5*sd {
+			t.Fatalf("seed %d: %d edges, want %.0f ± %.0f", seed, g.M(), mean, 5*sd)
+		}
+		seen := map[[2]int32]bool{}
+		for _, e := range g.Edges() {
+			if e.U == e.V {
+				t.Fatalf("seed %d: self-loop at %d", seed, e.U)
+			}
+			key := [2]int32{e.U, e.V}
+			if e.U > e.V {
+				key = [2]int32{e.V, e.U}
+			}
+			if seen[key] {
+				t.Fatalf("seed %d: duplicate edge (%d,%d)", seed, e.U, e.V)
+			}
+			seen[key] = true
+		}
+		again := SparseGnp(n, p, rng.New(seed))
+		if again.M() != g.M() {
+			t.Fatalf("seed %d: nondeterministic edge count", seed)
+		}
+		for id, e := range g.Edges() {
+			if again.Edge(id) != e {
+				t.Fatalf("seed %d: nondeterministic edge %d", seed, id)
+			}
+		}
+	}
+}
+
+// TestSparseGnpEdgeCases: empty, p=0, p=1, and vanishing p degenerate
+// correctly (a tiny p once overflowed the geometric skip's float-to-int
+// conversion into a negative index).
+func TestSparseGnpEdgeCases(t *testing.T) {
+	if g := SparseGnp(0, 0.5, rng.New(1)); g.N() != 0 || g.M() != 0 {
+		t.Fatal("n=0 not empty")
+	}
+	if g := SparseGnp(50, 0, rng.New(1)); g.M() != 0 {
+		t.Fatal("p=0 produced edges")
+	}
+	if g := SparseGnp(20, 1, rng.New(1)); g.M() != 20*19/2 {
+		t.Fatalf("p=1 produced %d edges, want %d", g.M(), 20*19/2)
+	}
+	for _, p := range []float64{1e-300, 1e-18} {
+		g := SparseGnp(1000, p, rng.New(1))
+		if g.M() != 0 {
+			t.Fatalf("p=%g produced %d edges on 1000 vertices", p, g.M())
+		}
+	}
+}

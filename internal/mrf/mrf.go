@@ -84,6 +84,10 @@ type MRF struct {
 	// precomputed so the chains' inner loops skip the per-round
 	// normalization; row v is prop[v*q : (v+1)*q].
 	prop []float64
+	// coloring memoizes IsColoringModel: the answer is an O(m·q²)
+	// activity scan, and samplers consult it per construction — serving
+	// paths that build a chain per draw were paying the scan per draw.
+	coloring bool
 }
 
 // New validates the activities and assembles an MRF. Every edge matrix must
@@ -99,7 +103,14 @@ func New(g *graph.Graph, q int, edgeA []*Mat, vertexB [][]float64) (*MRF, error)
 	if len(vertexB) != g.N() {
 		return nil, fmt.Errorf("mrf: %d vertex activities for %d vertices", len(vertexB), g.N())
 	}
+	// Validate each DISTINCT matrix once: constructors alias one activity
+	// across all edges, and the O(q²) scans below would otherwise run per
+	// edge ID — minutes of redundant work at 10⁶⁺ edges.
+	checked := make(map[*Mat]bool)
 	for id, a := range edgeA {
+		if checked[a] {
+			continue
+		}
 		if a.Q != q {
 			return nil, fmt.Errorf("mrf: edge %d activity is %dx%d, want %dx%d", id, a.Q, a.Q, q, q)
 		}
@@ -115,6 +126,7 @@ func New(g *graph.Graph, q int, edgeA []*Mat, vertexB [][]float64) (*MRF, error)
 				return nil, fmt.Errorf("mrf: edge %d activity has invalid entry %v", id, v)
 			}
 		}
+		checked[a] = true
 	}
 	for v, b := range vertexB {
 		if len(b) != q {
@@ -132,12 +144,22 @@ func New(g *graph.Graph, q int, edgeA []*Mat, vertexB [][]float64) (*MRF, error)
 		}
 	}
 	m := &MRF{G: g, Q: q, EdgeA: edgeA, VertexB: vertexB}
+	// Normalize each DISTINCT activity matrix once and share the result:
+	// the model constructors alias one matrix across all edges (a uniform
+	// coloring on 10⁶ edges holds one q×q table, not 10⁶), and cloning per
+	// edge ID would turn that into m·q² memory — hundreds of GB at the
+	// sharded runtime's target scale. edgeNorm entries are read-only.
 	m.edgeNorm = make([]*Mat, len(edgeA))
+	normOf := make(map[*Mat]*Mat)
 	for id, a := range edgeA {
-		norm := a.Clone()
-		max := a.Max()
-		for i := range norm.A {
-			norm.A[i] /= max
+		norm, ok := normOf[a]
+		if !ok {
+			norm = a.Clone()
+			max := a.Max()
+			for i := range norm.A {
+				norm.A[i] /= max
+			}
+			normOf[a] = norm
 		}
 		m.edgeNorm[id] = norm
 	}
@@ -155,6 +177,7 @@ func New(g *graph.Graph, q int, edgeA []*Mat, vertexB [][]float64) (*MRF, error)
 			row[c] *= inv
 		}
 	}
+	m.coloring = m.isColoringModel()
 	return m, nil
 }
 
@@ -171,7 +194,9 @@ func MustNew(g *graph.Graph, q int, edgeA []*Mat, vertexB [][]float64) *MRF {
 // N returns the number of vertices.
 func (m *MRF) N() int { return m.G.N() }
 
-// NormalizedEdge returns Ã_e = A_e / max(A_e) for the given edge ID.
+// NormalizedEdge returns Ã_e = A_e / max(A_e) for the given edge ID. The
+// caller must not modify it: edges sharing an activity matrix share the
+// normalized table.
 func (m *MRF) NormalizedEdge(id int) *Mat { return m.edgeNorm[id] }
 
 // Weight returns w(σ) per Eq. (1). Zero means infeasible.
@@ -370,7 +395,11 @@ func decode(s, q int, sigma []int) {
 // q-coloring model: all vertex activities 1, all edge activities the
 // complement-of-identity 0/1 matrix. Several components specialize on this
 // (fast chain paths, permutation couplings, Theorem 4.2 round budgets).
-func (m *MRF) IsColoringModel() bool {
+// The answer is memoized at construction; callers may consult it on every
+// draw for free.
+func (m *MRF) IsColoringModel() bool { return m.coloring }
+
+func (m *MRF) isColoringModel() bool {
 	for _, b := range m.VertexB {
 		for _, x := range b {
 			if x != 1 {
@@ -378,7 +407,11 @@ func (m *MRF) IsColoringModel() bool {
 			}
 		}
 	}
+	checked := make(map[*Mat]bool)
 	for _, a := range m.EdgeA {
+		if checked[a] {
+			continue
+		}
 		for i := 0; i < a.Q; i++ {
 			for j := 0; j < a.Q; j++ {
 				want := 1.0
@@ -390,6 +423,7 @@ func (m *MRF) IsColoringModel() bool {
 				}
 			}
 		}
+		checked[a] = true
 	}
 	return true
 }

@@ -1,0 +1,348 @@
+// Package partition splits a graph into k vertex-disjoint shards for the
+// sharded single-chain runtime (internal/cluster). A Plan is a compiled,
+// immutable description of the split:
+//
+//   - every vertex is owned by exactly one shard;
+//   - each shard carries a CSR subgraph over its owned vertices whose
+//     per-vertex slot order is exactly the global graph's adjacency order
+//     (so shard-local products of edge activities multiply in the same
+//     floating-point order as the centralized chains — a prerequisite for
+//     bit-identical trajectories);
+//   - halo vertices — out-of-shard neighbors of owned vertices — get local
+//     copies, and symmetric exchange maps say which owned values each shard
+//     sends to, and which halo slots it receives from, every other shard.
+//
+// Plans are pure functions of (graph, k, strategy, seed): building the same
+// partition twice yields identical plans, so a compiled sampler's shard
+// layout is as reproducible as its chains. Which partition a chain runs on
+// never affects its output (the cluster engine keys all randomness by
+// global vertex/edge IDs); strategy and seed only steer how much boundary
+// traffic the run pays.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"locsample/internal/graph"
+	"locsample/internal/rng"
+)
+
+// TagGrow keys the PRF that orders BFS growth seeds. It is disjoint from
+// the chain/batch tag spaces, so partition randomness never collides with
+// any variate a chain consumes.
+const TagGrow = 0x5001
+
+// Strategy selects how vertices are assigned to shards.
+type Strategy int
+
+const (
+	// Range assigns contiguous, balanced vertex-ID blocks: shard s owns
+	// [s·n/k, (s+1)·n/k). On generators that number vertices coherently
+	// (grids row-major, paths in order) this yields small boundaries with
+	// zero preprocessing.
+	Range Strategy = iota
+	// BFS grows shards by seeded breadth-first search: growth seeds are
+	// drawn in PRF order, each shard claims a balanced share of the
+	// remaining vertices by BFS from its seed (restarting on exhausted
+	// components), producing connected, low-cut regions on graphs whose
+	// vertex numbering carries no locality.
+	BFS
+)
+
+// String returns the strategy's wire name.
+func (s Strategy) String() string {
+	switch s {
+	case Range:
+		return "range"
+	case BFS:
+		return "bfs"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy maps a wire name to a Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "range", "":
+		return Range, nil
+	case "bfs":
+		return BFS, nil
+	default:
+		return 0, fmt.Errorf("partition: unknown strategy %q", s)
+	}
+}
+
+// Edge is one edge of a shard subgraph: local endpoint indices in the
+// global edge's U/V orientation (the LocalMetropolis filter is not
+// symmetric in its endpoints), plus the global edge ID that keys the
+// shared PRF coin and the activity matrix. Cut edges appear in both
+// incident shards with the same ID, so both evaluate the same filter.
+type Edge struct {
+	U, V int32
+	ID   int32
+}
+
+// Shard is one worker's slice of the graph. Local vertex indices come in
+// two bands: [0, NOwned) are the owned vertices in ascending global order,
+// [NOwned, len(Global)) are halo copies in ascending global order.
+type Shard struct {
+	// ID is the shard's index in the plan.
+	ID int
+	// NOwned is the number of vertices this shard owns.
+	NOwned int
+	// Global maps local vertex indices to global vertex IDs.
+	Global []int32
+
+	// RowPtr/Nbr/EdgeSlot is the CSR adjacency of the owned vertices
+	// (owned rows only): owned vertex v's slots are [RowPtr[v],
+	// RowPtr[v+1]), listing neighbors as local indices and incident edges
+	// as indices into Edges, in the global graph's per-vertex slot order.
+	RowPtr   []int32
+	Nbr      []int32
+	EdgeSlot []int32
+	// Edges lists every edge with at least one owned endpoint, once.
+	Edges []Edge
+
+	// SendTo[j] lists the owned local indices whose post-round values this
+	// shard sends to shard j; RecvFrom[j] lists the halo local indices this
+	// shard overwrites with shard j's message. The maps are symmetric and
+	// aligned: plan.Shards[j].SendTo[i][t] and plan.Shards[i].RecvFrom[j][t]
+	// name the same global vertex.
+	SendTo   [][]int32
+	RecvFrom [][]int32
+	// Neighbors lists the shards this shard exchanges with, ascending.
+	Neighbors []int
+}
+
+// NLocal returns the number of local vertices (owned + halo).
+func (s *Shard) NLocal() int { return len(s.Global) }
+
+// NHalo returns the number of halo copies this shard holds.
+func (s *Shard) NHalo() int { return len(s.Global) - s.NOwned }
+
+// Plan is a compiled partition of a graph into k shards.
+type Plan struct {
+	// K is the shard count.
+	K int
+	// Strategy and Seed are the inputs the ownership assignment was grown
+	// from (Seed only matters for BFS).
+	Strategy Strategy
+	Seed     uint64
+	// N is the partitioned graph's vertex count.
+	N int
+	// Owner[v] is the shard owning global vertex v.
+	Owner []int32
+	// Shards are the per-worker subgraphs.
+	Shards []*Shard
+	// CutEdges counts edges whose endpoints live on different shards.
+	CutEdges int
+	// HaloCopies is the total number of halo slots across all shards — the
+	// number of vertex states crossing shard boundaries per exchange.
+	HaloCopies int
+}
+
+// Build compiles a k-way partition of g. It requires 1 <= k <= g.N(), so
+// every shard owns at least one vertex. The result is a pure function of
+// the arguments.
+func Build(g *graph.Graph, k int, strat Strategy, seed uint64) (*Plan, error) {
+	n := g.N()
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("partition: need 1 <= shards <= %d vertices, got %d", n, k)
+	}
+	owner := make([]int32, n)
+	switch strat {
+	case Range:
+		for v := 0; v < n; v++ {
+			owner[v] = int32(v * k / n)
+		}
+	case BFS:
+		growBFS(g, k, seed, owner)
+	default:
+		return nil, fmt.Errorf("partition: unknown strategy %v", strat)
+	}
+	p := &Plan{K: k, Strategy: strat, Seed: seed, N: n, Owner: owner}
+	p.assemble(g)
+	return p, nil
+}
+
+// growBFS assigns owners by seeded breadth-first growth. Vertices are
+// ranked once by PRF(seed, TagGrow, v) (ties by ID); each shard starts from
+// the best-ranked unassigned vertex and claims its balanced share of the
+// remaining vertices by BFS, restarting from the next-ranked unassigned
+// vertex whenever its frontier exhausts a component. Deterministic: the
+// rank order, the FIFO frontier, and the graph's adjacency order leave no
+// choice to scheduling.
+func growBFS(g *graph.Graph, k int, seed uint64, owner []int32) {
+	n := g.N()
+	for v := range owner {
+		owner[v] = -1
+	}
+	ranked := make([]int32, n)
+	key := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		ranked[v] = int32(v)
+		key[v] = rng.PRF(seed, TagGrow, uint64(v))
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		a, b := ranked[i], ranked[j]
+		if key[a] != key[b] {
+			return key[a] < key[b]
+		}
+		return a < b
+	})
+	cursor := 0 // next candidate growth seed in ranked order
+	assigned := 0
+	queue := make([]int32, 0, n)
+	for s := 0; s < k; s++ {
+		target := (n - assigned + (k - s) - 1) / (k - s) // balanced share
+		claimed := 0
+		for claimed < target {
+			for owner[ranked[cursor]] != -1 {
+				cursor++
+			}
+			start := ranked[cursor]
+			owner[start] = int32(s)
+			claimed++
+			queue = append(queue[:0], start)
+			for len(queue) > 0 && claimed < target {
+				v := queue[0]
+				queue = queue[1:]
+				for _, u := range g.Adj(int(v)) {
+					if owner[u] != -1 {
+						continue
+					}
+					owner[u] = int32(s)
+					claimed++
+					queue = append(queue, u)
+					if claimed >= target {
+						break
+					}
+				}
+			}
+		}
+		assigned += claimed
+	}
+}
+
+// assemble builds the per-shard subgraphs, halo bands, and exchange maps
+// from the ownership assignment.
+func (p *Plan) assemble(g *graph.Graph) {
+	n, k := p.N, p.K
+	ownedOf := make([][]int32, k)
+	counts := make([]int, k)
+	for _, o := range p.Owner {
+		counts[o]++
+	}
+	for s := 0; s < k; s++ {
+		ownedOf[s] = make([]int32, 0, counts[s])
+	}
+	for v := 0; v < n; v++ {
+		s := p.Owner[v]
+		ownedOf[s] = append(ownedOf[s], int32(v)) // ascending global order
+	}
+
+	// Scratch shared across shards: localOf is only read at indices set
+	// while building the current shard (every referenced endpoint is owned
+	// or halo there); edge stamps carry a shard epoch so no per-shard reset
+	// is needed.
+	localOf := make([]int32, n)
+	edgeStamp := make([]int32, g.M())
+	edgeLocal := make([]int32, g.M())
+	for i := range edgeStamp {
+		edgeStamp[i] = -1
+	}
+
+	p.Shards = make([]*Shard, k)
+	for s := 0; s < k; s++ {
+		owned := ownedOf[s]
+		sh := &Shard{ID: s, NOwned: len(owned)}
+
+		// Halo: out-of-shard neighbors of owned vertices, deduplicated and
+		// sorted ascending.
+		var halo []int32
+		seen := make(map[int32]struct{})
+		for _, v := range owned {
+			for _, u := range g.Adj(int(v)) {
+				if p.Owner[u] == int32(s) {
+					continue
+				}
+				if _, ok := seen[u]; !ok {
+					seen[u] = struct{}{}
+					halo = append(halo, u)
+				}
+			}
+		}
+		sort.Slice(halo, func(i, j int) bool { return halo[i] < halo[j] })
+
+		sh.Global = make([]int32, 0, len(owned)+len(halo))
+		sh.Global = append(sh.Global, owned...)
+		sh.Global = append(sh.Global, halo...)
+		for i, v := range owned {
+			localOf[v] = int32(i)
+		}
+		for i, u := range halo {
+			localOf[u] = int32(len(owned) + i)
+		}
+
+		// CSR over owned rows in the global slot order.
+		sh.RowPtr = make([]int32, len(owned)+1)
+		for i, v := range owned {
+			sh.RowPtr[i+1] = sh.RowPtr[i] + int32(g.Deg(int(v)))
+		}
+		sh.Nbr = make([]int32, sh.RowPtr[len(owned)])
+		sh.EdgeSlot = make([]int32, sh.RowPtr[len(owned)])
+		pos := 0
+		for _, v := range owned {
+			adj, inc := g.Adj(int(v)), g.Inc(int(v))
+			for t := range adj {
+				id := inc[t]
+				if edgeStamp[id] != int32(s) {
+					edgeStamp[id] = int32(s)
+					edgeLocal[id] = int32(len(sh.Edges))
+					ge := g.Edge(int(id))
+					sh.Edges = append(sh.Edges, Edge{U: localOf[ge.U], V: localOf[ge.V], ID: id})
+				}
+				sh.Nbr[pos] = localOf[adj[t]]
+				sh.EdgeSlot[pos] = edgeLocal[id]
+				pos++
+			}
+		}
+		p.Shards[s] = sh
+		p.HaloCopies += len(halo)
+	}
+
+	// Exchange maps. Iterating receivers in shard order and halo slots in
+	// ascending global order appends to SendTo and RecvFrom in lockstep, so
+	// the two sides of every channel agree position-by-position.
+	for s := 0; s < k; s++ {
+		sh := p.Shards[s]
+		sh.SendTo = make([][]int32, k)
+		sh.RecvFrom = make([][]int32, k)
+	}
+	for s := 0; s < k; s++ {
+		sh := p.Shards[s]
+		for h := sh.NOwned; h < len(sh.Global); h++ {
+			u := sh.Global[h]
+			j := p.Owner[u]
+			js := p.Shards[j]
+			lu := int32(sort.Search(js.NOwned, func(i int) bool { return js.Global[i] >= u }))
+			js.SendTo[s] = append(js.SendTo[s], lu)
+			sh.RecvFrom[j] = append(sh.RecvFrom[j], int32(h))
+		}
+	}
+	for s := 0; s < k; s++ {
+		sh := p.Shards[s]
+		for j := 0; j < k; j++ {
+			if len(sh.SendTo[j]) > 0 || len(sh.RecvFrom[j]) > 0 {
+				sh.Neighbors = append(sh.Neighbors, j)
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		if p.Owner[e.U] != p.Owner[e.V] {
+			p.CutEdges++
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"locsample/internal/graph"
+	"locsample/internal/rng"
+)
+
+// testGraphs returns a spread of topologies: coherent numbering (grid,
+// path), none (gnp), multigraph-free regulars, hubs, and a singleton.
+func testGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	reg, err := graph.RandomRegular(60, 4, rng.New(5))
+	if err != nil {
+		t.Fatalf("RandomRegular: %v", err)
+	}
+	return map[string]*graph.Graph{
+		"grid13x17":  graph.Grid(13, 17),
+		"gnp200":     graph.Gnp(200, 0.05, rng.New(7)),
+		"cycle31":    graph.Cycle(31),
+		"star40":     graph.Star(40),
+		"regular60":  reg,
+		"path1":      graph.Path(1),
+		"hypercube6": graph.Hypercube(6),
+	}
+}
+
+var strategies = []Strategy{Range, BFS}
+
+func shardCounts(n int) []int {
+	ks := []int{1}
+	for _, k := range []int{2, 3, 7, 16} {
+		if k <= n {
+			ks = append(ks, k)
+		}
+	}
+	if n > 1 {
+		ks = append(ks, n) // every shard owns exactly one vertex
+	}
+	return ks
+}
+
+// TestPartitionOwnership: every vertex is owned by exactly one shard, the
+// owned bands are ascending and consistent with Owner, and no shard is
+// empty.
+func TestPartitionOwnership(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		for _, strat := range strategies {
+			for _, k := range shardCounts(g.N()) {
+				p, err := Build(g, k, strat, 11)
+				if err != nil {
+					t.Fatalf("%s %v k=%d: %v", name, strat, k, err)
+				}
+				seen := make([]int, g.N())
+				for s, sh := range p.Shards {
+					if sh.NOwned == 0 {
+						t.Fatalf("%s %v k=%d: shard %d owns no vertices", name, strat, k, s)
+					}
+					for i := 0; i < sh.NOwned; i++ {
+						v := sh.Global[i]
+						if i > 0 && sh.Global[i-1] >= v {
+							t.Fatalf("%s %v k=%d: shard %d owned band not ascending", name, strat, k, s)
+						}
+						if p.Owner[v] != int32(s) {
+							t.Fatalf("%s %v k=%d: shard %d owns %d but Owner says %d", name, strat, k, s, v, p.Owner[v])
+						}
+						seen[v]++
+					}
+				}
+				for v, c := range seen {
+					if c != 1 {
+						t.Fatalf("%s %v k=%d: vertex %d owned %d times", name, strat, k, v, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionHaloSymmetric: the halo band is exactly the out-of-shard
+// neighborhood, and SendTo/RecvFrom agree position-by-position across
+// every shard pair.
+func TestPartitionHaloSymmetric(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		for _, strat := range strategies {
+			for _, k := range shardCounts(g.N()) {
+				p, err := Build(g, k, strat, 3)
+				if err != nil {
+					t.Fatalf("%s %v k=%d: %v", name, strat, k, err)
+				}
+				for s, sh := range p.Shards {
+					// Halo band = out-of-shard neighbors of owned vertices.
+					want := map[int32]bool{}
+					for i := 0; i < sh.NOwned; i++ {
+						for _, u := range g.Adj(int(sh.Global[i])) {
+							if p.Owner[u] != int32(s) {
+								want[u] = true
+							}
+						}
+					}
+					got := map[int32]bool{}
+					for h := sh.NOwned; h < sh.NLocal(); h++ {
+						got[sh.Global[h]] = true
+					}
+					if !reflect.DeepEqual(want, got) && !(len(want) == 0 && len(got) == 0) {
+						t.Fatalf("%s %v k=%d shard %d: halo band mismatch", name, strat, k, s)
+					}
+					// Exchange symmetry.
+					for j, js := range p.Shards {
+						if len(sh.RecvFrom[j]) != len(js.SendTo[s]) {
+							t.Fatalf("%s %v k=%d: |%d.RecvFrom[%d]| != |%d.SendTo[%d]|", name, strat, k, s, j, j, s)
+						}
+						for t2 := range sh.RecvFrom[j] {
+							gu := sh.Global[sh.RecvFrom[j][t2]]
+							gv := js.Global[js.SendTo[s][t2]]
+							if gu != gv {
+								t.Fatalf("%s %v k=%d: exchange slot %d: shard %d receives %d, shard %d sends %d",
+									name, strat, k, t2, s, gu, j, gv)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionReassembles: shard subgraphs reassemble to the input CSR —
+// each global edge appears in exactly the shards owning its endpoints, and
+// each owned vertex's slot sequence (neighbor, edge ID) equals the global
+// graph's.
+func TestPartitionReassembles(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		for _, strat := range strategies {
+			for _, k := range shardCounts(g.N()) {
+				p, err := Build(g, k, strat, 9)
+				if err != nil {
+					t.Fatalf("%s %v k=%d: %v", name, strat, k, err)
+				}
+				edgeSeen := make([]int, g.M())
+				cut := 0
+				for _, sh := range p.Shards {
+					for _, e := range sh.Edges {
+						edgeSeen[e.ID]++
+						gu, gv := sh.Global[e.U], sh.Global[e.V]
+						ge := g.Edge(int(e.ID))
+						if gu != ge.U || gv != ge.V {
+							t.Fatalf("%s %v k=%d: edge %d maps to (%d,%d), want (%d,%d)",
+								name, strat, k, e.ID, gu, gv, ge.U, ge.V)
+						}
+					}
+					for v := 0; v < sh.NOwned; v++ {
+						gv := int(sh.Global[v])
+						adj, inc := g.Adj(gv), g.Inc(gv)
+						lo, hi := sh.RowPtr[v], sh.RowPtr[v+1]
+						if int(hi-lo) != len(adj) {
+							t.Fatalf("%s %v k=%d: vertex %d degree %d, shard row %d", name, strat, k, gv, len(adj), hi-lo)
+						}
+						for i := 0; i < len(adj); i++ {
+							slot := lo + int32(i)
+							if sh.Global[sh.Nbr[slot]] != adj[i] {
+								t.Fatalf("%s %v k=%d: vertex %d slot %d neighbor mismatch", name, strat, k, gv, i)
+							}
+							if sh.Edges[sh.EdgeSlot[slot]].ID != inc[i] {
+								t.Fatalf("%s %v k=%d: vertex %d slot %d edge-ID mismatch", name, strat, k, gv, i)
+							}
+						}
+					}
+				}
+				for id, e := range g.Edges() {
+					want := 1
+					if p.Owner[e.U] != p.Owner[e.V] {
+						want = 2
+						cut++
+					}
+					if edgeSeen[id] != want {
+						t.Fatalf("%s %v k=%d: edge %d appears in %d shards, want %d", name, strat, k, id, edgeSeen[id], want)
+					}
+				}
+				if cut != p.CutEdges {
+					t.Fatalf("%s %v k=%d: CutEdges=%d, recount=%d", name, strat, k, p.CutEdges, cut)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionDeterministic: identical inputs give deeply identical
+// plans, for both strategies.
+func TestPartitionDeterministic(t *testing.T) {
+	g := graph.Gnp(150, 0.06, rng.New(2))
+	for _, strat := range strategies {
+		a, err := Build(g, 5, strat, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Build(g, 5, strat, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%v: two builds with identical inputs differ", strat)
+		}
+	}
+	// BFS growth actually reads its seed.
+	a, _ := Build(g, 5, BFS, 1)
+	b, _ := Build(g, 5, BFS, 2)
+	if reflect.DeepEqual(a.Owner, b.Owner) {
+		t.Fatal("BFS ownership identical across different seeds (suspicious)")
+	}
+}
+
+// TestPartitionBounds: shard counts outside [1, n] are rejected.
+func TestPartitionBounds(t *testing.T) {
+	g := graph.Cycle(10)
+	if _, err := Build(g, 0, Range, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Build(g, 11, Range, 0); err == nil {
+		t.Fatal("k=n+1 accepted")
+	}
+	if _, err := Build(g, 10, BFS, 0); err != nil {
+		t.Fatalf("k=n rejected: %v", err)
+	}
+}
+
+// TestParseStrategy pins the wire names.
+func TestParseStrategy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Strategy
+	}{{"range", Range}, {"", Range}, {"bfs", BFS}} {
+		got, err := ParseStrategy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseStrategy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseStrategy("metis"); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if Range.String() != "range" || BFS.String() != "bfs" {
+		t.Fatal("strategy String() drifted from wire names")
+	}
+}
+
+// TestBFSBalance: BFS shard sizes are within one of the balanced share on
+// connected graphs.
+func TestBFSBalance(t *testing.T) {
+	g := graph.Grid(20, 20)
+	p, err := Build(g, 7, BFS, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := g.N(), 0
+	for _, sh := range p.Shards {
+		if sh.NOwned < lo {
+			lo = sh.NOwned
+		}
+		if sh.NOwned > hi {
+			hi = sh.NOwned
+		}
+	}
+	if hi-lo > 1 {
+		t.Fatalf("BFS shard sizes [%d,%d] not balanced", lo, hi)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strings"
 
+	"locsample"
 	"locsample/internal/spec"
 )
 
@@ -52,18 +53,27 @@ type SampleRequest struct {
 	// Epsilon overrides the total-variation target of the automatic
 	// budget.
 	Epsilon float64 `json:"epsilon,omitempty"`
+	// Shards overrides the shard count every chain runs with (MRF models
+	// only; default: the spec's "shards" field, then the server's
+	// -shards flag). Purely a latency knob: samples are bit-identical at
+	// every shard count.
+	Shards int `json:"shards,omitempty"`
 }
 
 // SampleResponse answers POST /v1/models/{id}/sample.
 type SampleResponse struct {
-	ID           string  `json:"id"`
-	Seed         uint64  `json:"seed"`
-	K            int     `json:"k"`
-	Algorithm    string  `json:"algorithm"`
-	Rounds       int     `json:"rounds"`
-	TheoryRounds int     `json:"theoryRounds,omitempty"`
-	ElapsedMS    float64 `json:"elapsedMs"`
-	Samples      [][]int `json:"samples"`
+	ID           string `json:"id"`
+	Seed         uint64 `json:"seed"`
+	K            int    `json:"k"`
+	Algorithm    string `json:"algorithm"`
+	Rounds       int    `json:"rounds"`
+	TheoryRounds int    `json:"theoryRounds,omitempty"`
+	// Shards is the shard count each chain ran with; ShardStats profiles
+	// the sharded runtime (both omitted for centralized draws).
+	Shards     int                   `json:"shards,omitempty"`
+	ShardStats *locsample.ShardStats `json:"shardStats,omitempty"`
+	ElapsedMS  float64               `json:"elapsedMs"`
+	Samples    [][]int               `json:"samples"`
 }
 
 // ModelListResponse answers GET /v1/models.
@@ -179,12 +189,13 @@ func handleSample(reg *Registry, m *Model, w http.ResponseWriter, req *http.Requ
 		Algorithm: sr.Algorithm,
 		Rounds:    sr.Rounds,
 		Epsilon:   sr.Epsilon,
+		Shards:    sr.Shards,
 	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, SampleResponse{
+	resp := SampleResponse{
 		ID:           m.Hash,
 		Seed:         seed,
 		K:            len(res.Samples),
@@ -193,7 +204,13 @@ func handleSample(reg *Registry, m *Model, w http.ResponseWriter, req *http.Requ
 		TheoryRounds: res.TheoryRounds,
 		ElapsedMS:    float64(res.Elapsed.Nanoseconds()) / 1e6,
 		Samples:      res.Samples,
-	})
+	}
+	if res.Shards > 1 {
+		resp.Shards = res.Shards
+		st := res.Shard
+		resp.ShardStats = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func readBody(w http.ResponseWriter, req *http.Request, limit int64) ([]byte, error) {

@@ -21,7 +21,6 @@ import (
 	"container/list"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -40,6 +39,11 @@ type Config struct {
 	MaxModels int
 	// MaxK bounds the samples a single draw may request (default 4096).
 	MaxK int
+	// DefaultShards is the shard count draws run with when neither the
+	// request nor the model's spec names one (default 0 = centralized).
+	DefaultShards int
+	// MaxShards bounds the per-request shard count (default 1024).
+	MaxShards int
 }
 
 func (c Config) withDefaults() Config {
@@ -51,6 +55,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxK <= 0 {
 		c.MaxK = 4096
+	}
+	if c.MaxShards <= 0 {
+		c.MaxShards = 1024
 	}
 	return c
 }
@@ -70,6 +77,15 @@ type Model struct {
 	samples   atomic.Int64
 	errors    atomic.Int64
 	latencyNS atomic.Int64
+
+	// Sharded-runtime counters (satellite observability for /statsz):
+	// shardDraws counts chains that ran shard-parallel; boundaryMsgs and
+	// boundaryVals total their exchange traffic; barrierNS totals their
+	// round-barrier waits.
+	shardDraws   atomic.Int64
+	boundaryMsgs atomic.Int64
+	boundaryVals atomic.Int64
+	barrierNS    atomic.Int64
 }
 
 // ModelStats is a point-in-time snapshot of a model's counters.
@@ -84,6 +100,12 @@ type ModelStats struct {
 	Samples   int64   `json:"samples"`
 	Errors    int64   `json:"errors"`
 	LatencyMS float64 `json:"latencyMs"`
+	// ShardDraws counts chains drawn shard-parallel; the boundary and
+	// barrier fields total their exchange traffic and round-barrier waits.
+	ShardDraws       int64   `json:"shardDraws,omitempty"`
+	BoundaryMessages int64   `json:"boundaryMessages,omitempty"`
+	BoundaryValues   int64   `json:"boundaryValues,omitempty"`
+	BarrierWaitMS    float64 `json:"barrierWaitMs,omitempty"`
 }
 
 // Stats reports the model's counters.
@@ -95,16 +117,20 @@ func (m *Model) Stats() ModelStats {
 		q = m.Built.CSP.Q
 	}
 	return ModelStats{
-		ID:        m.Hash,
-		Name:      m.Spec.Name,
-		Kind:      m.Spec.Model.Kind,
-		N:         m.Built.Graph.N(),
-		M:         m.Built.Graph.M(),
-		Q:         q,
-		Requests:  m.requests.Load(),
-		Samples:   m.samples.Load(),
-		Errors:    m.errors.Load(),
-		LatencyMS: float64(m.latencyNS.Load()) / 1e6,
+		ID:               m.Hash,
+		Name:             m.Spec.Name,
+		Kind:             m.Spec.Model.Kind,
+		N:                m.Built.Graph.N(),
+		M:                m.Built.Graph.M(),
+		Q:                q,
+		Requests:         m.requests.Load(),
+		Samples:          m.samples.Load(),
+		Errors:           m.errors.Load(),
+		LatencyMS:        float64(m.latencyNS.Load()) / 1e6,
+		ShardDraws:       m.shardDraws.Load(),
+		BoundaryMessages: m.boundaryMsgs.Load(),
+		BoundaryValues:   m.boundaryVals.Load(),
+		BarrierWaitMS:    float64(m.barrierNS.Load()) / 1e6,
 	}
 }
 
@@ -116,6 +142,9 @@ type compileKey struct {
 	algorithm locsample.Algorithm
 	rounds    int
 	epsBits   uint64
+	// shards is the resolved shard count, canonicalized so 0 and 1 (both
+	// centralized) never split one workload across two cache entries.
+	shards int
 }
 
 // compiled is one cache entry: a reusable MRF batch sampler, or the
@@ -269,6 +298,11 @@ type DrawOptions struct {
 	// Epsilon overrides the total-variation target of the automatic round
 	// budget when positive.
 	Epsilon float64
+	// Shards overrides the shard count every chain of the draw runs with
+	// (MRF models only; 0 falls back to the spec's default, then the
+	// server's). Sharding never changes the samples — only how fast one
+	// chain advances.
+	Shards int
 }
 
 // DrawResult is one served batch.
@@ -281,6 +315,11 @@ type DrawResult struct {
 	TheoryRounds int
 	// Algorithm is the chain that ran.
 	Algorithm string
+	// Shards is the shard count each chain ran with (1 = centralized).
+	Shards int
+	// Shard aggregates the sharded runtime's profile across the batch
+	// (zero when centralized).
+	Shard locsample.ShardStats
 	// Elapsed is the draw's wall-clock time.
 	Elapsed time.Duration
 }
@@ -322,6 +361,12 @@ func (r *Registry) Draw(m *Model, opts DrawOptions) (*DrawResult, error) {
 	}
 	m.samples.Add(int64(len(res.Samples)))
 	m.latencyNS.Add(res.Elapsed.Nanoseconds())
+	if res.Shards > 1 {
+		m.shardDraws.Add(int64(len(res.Samples)))
+		m.boundaryMsgs.Add(res.Shard.BoundaryMessages)
+		m.boundaryVals.Add(res.Shard.BoundaryValues)
+		m.barrierNS.Add(res.Shard.BarrierWaitNS)
+	}
 	return res, nil
 }
 
@@ -338,6 +383,9 @@ func (r *Registry) draw(m *Model, opts DrawOptions) (*DrawResult, error) {
 	if opts.Epsilon < 0 || opts.Epsilon >= 1 || math.IsNaN(opts.Epsilon) {
 		return nil, fmt.Errorf("service: epsilon must be in [0,1), got %v", opts.Epsilon)
 	}
+	if opts.Shards < 0 || opts.Shards > r.cfg.MaxShards {
+		return nil, fmt.Errorf("service: shards must be in [0,%d], got %d", r.cfg.MaxShards, opts.Shards)
+	}
 	c, err := r.getCompiled(m, opts)
 	if err != nil {
 		return nil, err
@@ -353,10 +401,12 @@ func (r *Registry) draw(m *Model, opts DrawOptions) (*DrawResult, error) {
 			Rounds:       batch.Rounds,
 			TheoryRounds: batch.TheoryRounds,
 			Algorithm:    algorithmName(m, opts),
+			Shards:       c.sampler.Shards(),
+			Shard:        batch.Shard,
 			Elapsed:      time.Since(start),
 		}, nil
 	}
-	samples, err := drawCSP(c, opts.Seed, opts.K)
+	samples, err := locsample.SampleCSPN(c.graph, c.csp, c.init, c.rounds, opts.Seed, opts.K, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -364,6 +414,7 @@ func (r *Registry) draw(m *Model, opts DrawOptions) (*DrawResult, error) {
 		Samples:   samples,
 		Rounds:    c.rounds,
 		Algorithm: "lubyglauber",
+		Shards:    1,
 		Elapsed:   time.Since(start),
 	}, nil
 }
@@ -429,6 +480,11 @@ func (r *Registry) getCompiled(m *Model, opts DrawOptions) (*compiled, error) {
 func (r *Registry) compileKeyFor(m *Model, opts DrawOptions) (compileKey, error) {
 	key := compileKey{hash: m.Hash, rounds: opts.Rounds, epsBits: math.Float64bits(opts.Epsilon)}
 	if m.Built.CSP != nil {
+		// 0 and 1 both mean centralized everywhere; only a real shard
+		// request is an error for CSPs.
+		if opts.Shards > 1 {
+			return key, fmt.Errorf("service: csp models do not support sharded draws")
+		}
 		if opts.Algorithm != "" {
 			// Accept any spelling of the one chain CSPs run.
 			if a, err := ParseAlgorithm(opts.Algorithm); err != nil || a != locsample.LubyGlauber {
@@ -454,6 +510,26 @@ func (r *Registry) compileKeyFor(m *Model, opts DrawOptions) (compileKey, error)
 		return key, err
 	}
 	key.algorithm = a
+	// Shard resolution: request > spec serving default > server default.
+	// 1 and 0 both mean centralized; canonicalizing to 0 keeps one
+	// workload on one cache entry. The server-wide default is clamped to
+	// the model's vertex count (a blanket -shards 8 must not make every
+	// draw of a 4-vertex model fail); explicit request values are not —
+	// the client asked for something impossible and should hear so.
+	shards := opts.Shards
+	if shards == 0 {
+		shards = m.Built.Shards
+	}
+	if shards == 0 {
+		shards = r.cfg.DefaultShards
+		if n := m.Built.Graph.N(); shards > n {
+			shards = n
+		}
+	}
+	if shards <= 1 {
+		shards = 0
+	}
+	key.shards = shards
 	return key, nil
 }
 
@@ -475,58 +551,15 @@ func (r *Registry) compile(m *Model, key compileKey, opts DrawOptions) (*compile
 	if opts.Epsilon > 0 {
 		sopts = append(sopts, locsample.WithEpsilon(opts.Epsilon))
 	}
+	if key.shards > 1 {
+		sopts = append(sopts, locsample.WithShards(key.shards))
+	}
 	r.compiles.Add(1)
 	sampler, err := locsample.NewSampler(m.Built.Model, sopts...)
 	if err != nil {
 		return nil, err
 	}
 	return &compiled{sampler: sampler}, nil
-}
-
-// drawCSP draws k independent CSP chains over a worker pool; chain i runs
-// with ChainSeed(seed, i), bit-identical to a local SampleCSP call with
-// that derived seed.
-func drawCSP(c *compiled, seed uint64, k int) ([][]int, error) {
-	samples := make([][]int, k)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > k {
-		workers = k
-	}
-	var (
-		next    atomic.Int64
-		wg      sync.WaitGroup
-		errOnce sync.Once
-		runErr  error
-		aborted atomic.Bool
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				if aborted.Load() {
-					return
-				}
-				i := int(next.Add(1)) - 1
-				if i >= k {
-					return
-				}
-				out, _, err := locsample.SampleCSP(c.graph, c.csp, c.init,
-					c.rounds, locsample.ChainSeed(seed, i), false)
-				if err != nil {
-					errOnce.Do(func() { runErr = err })
-					aborted.Store(true)
-					return
-				}
-				samples[i] = out
-			}
-		}()
-	}
-	wg.Wait()
-	if runErr != nil {
-		return nil, runErr
-	}
-	return samples, nil
 }
 
 // RegistryStats is the /statsz payload.

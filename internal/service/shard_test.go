@@ -1,0 +1,232 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"locsample"
+)
+
+// shardedSpec is a grid coloring whose spec pins a serving default of 2
+// shards.
+const shardedSpec = `{
+	"version": "locsample/v1",
+	"name": "grid-coloring-sharded",
+	"graph": {"family": "grid", "rows": 8, "cols": 8},
+	"model": {"kind": "coloring", "q": 13, "shards": 2}
+}`
+
+// TestServerShardedDrawBitIdentical pins wire-level determinism across the
+// sharded runtime: a draw with a shards override returns exactly the
+// centralized draw's samples (and exactly the local Sample at the derived
+// chain seed), while reporting shard stats.
+func TestServerShardedDrawBitIdentical(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var reg RegisterResponse
+	code, body := postJSON(t, ts.URL+"/v1/models", coloringSpec, &reg)
+	if code != http.StatusCreated {
+		t.Fatalf("register: code %d, body %s", code, body)
+	}
+	var central SampleResponse
+	code, body = postJSON(t, ts.URL+"/v1/models/"+reg.ID+"/sample", `{"k":3,"seed":42}`, &central)
+	if code != http.StatusOK {
+		t.Fatalf("central sample: code %d, body %s", code, body)
+	}
+	if central.Shards != 0 || central.ShardStats != nil {
+		t.Fatalf("centralized draw reports shard fields: %+v", central)
+	}
+	for _, k := range []int{2, 4, 7} {
+		var sharded SampleResponse
+		req := fmt.Sprintf(`{"k":3,"seed":42,"shards":%d}`, k)
+		code, body = postJSON(t, ts.URL+"/v1/models/"+reg.ID+"/sample", req, &sharded)
+		if code != http.StatusOK {
+			t.Fatalf("sharded sample (k=%d): code %d, body %s", k, code, body)
+		}
+		if !reflect.DeepEqual(sharded.Samples, central.Samples) {
+			t.Fatalf("shards=%d: served samples diverge from centralized draw", k)
+		}
+		if sharded.Shards != k || sharded.ShardStats == nil || sharded.ShardStats.BoundaryMessages == 0 {
+			t.Fatalf("shards=%d: missing shard stats: %+v", k, sharded)
+		}
+	}
+	// Chain 0 equals a local Sample at the derived seed (the PR-2 contract,
+	// now through the sharded path).
+	s, err := locsample.ParseSpec([]byte(coloringSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := locsample.BuildSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := locsample.Sample(built.Model, locsample.WithSeed(locsample.ChainSeed(42, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(central.Samples[0], local.Sample) {
+		t.Fatal("served chain 0 diverges from local derived-seed Sample")
+	}
+}
+
+// TestSpecShardsDefault: a spec's model.shards field becomes the draw's
+// default shard count, and an explicit request override wins.
+func TestSpecShardsDefault(t *testing.T) {
+	reg := NewRegistry(Config{})
+	m, _, err := reg.Register([]byte(shardedSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Built.Shards != 2 {
+		t.Fatalf("built spec shards = %d, want 2", m.Built.Shards)
+	}
+	res, err := reg.Draw(m, DrawOptions{K: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 2 {
+		t.Fatalf("default draw ran %d shards, want the spec's 2", res.Shards)
+	}
+	over, err := reg.Draw(m, DrawOptions{K: 2, Seed: 7, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Shards != 4 {
+		t.Fatalf("override draw ran %d shards, want 4", over.Shards)
+	}
+	if !reflect.DeepEqual(over.Samples, res.Samples) {
+		t.Fatal("shard counts changed the served samples")
+	}
+	// Per-model /statsz counters picked up the sharded draws.
+	st := m.Stats()
+	if st.ShardDraws != 4 || st.BoundaryMessages == 0 {
+		t.Fatalf("model shard counters: %+v", st)
+	}
+}
+
+// TestServerShardsDefault: the registry-level default (lserved -shards)
+// applies when neither request nor spec name a count.
+func TestServerShardsDefault(t *testing.T) {
+	reg := NewRegistry(Config{DefaultShards: 3})
+	m, _, err := reg.Register([]byte(coloringSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := reg.Draw(m, DrawOptions{K: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 3 {
+		t.Fatalf("draw ran %d shards, want server default 3", res.Shards)
+	}
+	// shards=1 explicitly requests a centralized draw despite the default.
+	res, err = reg.Draw(m, DrawOptions{K: 1, Seed: 5, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 1 {
+		t.Fatalf("shards=1 request ran %d shards", res.Shards)
+	}
+}
+
+// TestServerShardsDefaultClamped: a blanket server default larger than a
+// model's vertex count is clamped instead of failing every draw; an
+// explicit request for the impossible count still errors.
+func TestServerShardsDefaultClamped(t *testing.T) {
+	tiny := `{
+		"version": "locsample/v1",
+		"graph": {"family": "path", "n": 4},
+		"model": {"kind": "coloring", "q": 5}
+	}`
+	reg := NewRegistry(Config{DefaultShards: 8})
+	m, _, err := reg.Register([]byte(tiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := reg.Draw(m, DrawOptions{K: 1, Seed: 2})
+	if err != nil {
+		t.Fatalf("default draw on 4-vertex model: %v", err)
+	}
+	if res.Shards != 4 {
+		t.Fatalf("default clamped to %d shards, want 4", res.Shards)
+	}
+	if _, err := reg.Draw(m, DrawOptions{K: 1, Seed: 2, Shards: 8}); err == nil {
+		t.Fatal("explicit impossible shard count accepted")
+	}
+}
+
+// TestCSPShardsOneIsCentralized: shards:1 (and 0) mean centralized for
+// CSPs too, matching the MRF canonicalization.
+func TestCSPShardsOneIsCentralized(t *testing.T) {
+	reg := NewRegistry(Config{})
+	m, _, err := reg.Register([]byte(cspSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := reg.Draw(m, DrawOptions{K: 1, Seed: 3, Shards: 1})
+	if err != nil {
+		t.Fatalf("csp draw with shards=1: %v", err)
+	}
+	if res.Shards != 1 {
+		t.Fatalf("csp draw reports %d shards", res.Shards)
+	}
+}
+
+// TestShardOptionRejections: CSPs, negative and oversized counts, and
+// sequential algorithms reject sharded draws with clear errors.
+func TestShardOptionRejections(t *testing.T) {
+	reg := NewRegistry(Config{})
+	csp, _, err := reg.Register([]byte(cspSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Draw(csp, DrawOptions{K: 1, Shards: 2}); err == nil {
+		t.Fatal("csp sharded draw accepted")
+	}
+	m, _, err := reg.Register([]byte(coloringSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Draw(m, DrawOptions{K: 1, Shards: -1}); err == nil {
+		t.Fatal("negative shards accepted")
+	}
+	if _, err := reg.Draw(m, DrawOptions{K: 1, Shards: 4096}); err == nil {
+		t.Fatal("shards above MaxShards accepted")
+	}
+	if _, err := reg.Draw(m, DrawOptions{K: 1, Shards: 2, Algorithm: "glauber"}); err == nil {
+		t.Fatal("glauber sharded draw accepted")
+	}
+}
+
+// TestShardCacheKeying: repeat draws with the same shard count never
+// recompile, distinct counts compile distinct samplers, and 0/1 share the
+// centralized entry.
+func TestShardCacheKeying(t *testing.T) {
+	reg := NewRegistry(Config{})
+	m, _, err := reg.Register([]byte(coloringSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := reg.Compiles() // registration compiled the default sampler
+	for i := 0; i < 3; i++ {
+		if _, err := reg.Draw(m, DrawOptions{K: 1, Seed: uint64(i), Shards: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Compiles() - base; got != 1 {
+		t.Fatalf("3 sharded draws compiled %d times, want 1", got)
+	}
+	if _, err := reg.Draw(m, DrawOptions{K: 1, Shards: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Compiles() - base; got != 2 {
+		t.Fatalf("distinct shard count did not compile its own sampler (compiles=%d)", got)
+	}
+	if _, err := reg.Draw(m, DrawOptions{K: 1, Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Compiles() - base; got != 2 {
+		t.Fatalf("shards=1 draw recompiled (compiles=%d): 0 and 1 must share the centralized entry", got)
+	}
+}

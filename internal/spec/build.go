@@ -29,6 +29,9 @@ type Built struct {
 	// Rounds is the CSP default chain-iteration budget (0 when the spec
 	// left it to the request); 0 for MRFs.
 	Rounds int
+	// Shards is the MRF default shard count for served draws (0 when the
+	// spec left it to the request); 0 for CSPs.
+	Shards int
 }
 
 // Build validates s, constructs its graph and model, and — for CSPs —
@@ -70,6 +73,9 @@ func Build(s *Spec) (*Built, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if b.MRF != nil {
+		b.Shards = ms.Shards
 	}
 	return b, nil
 }

@@ -1,0 +1,80 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSpecShardsField: the shards serving default is accepted on MRF
+// kinds, round-trips through the canonical encoding, flows into Build,
+// and is rejected where it cannot mean anything.
+func TestSpecShardsField(t *testing.T) {
+	good := `{
+		"version": "locsample/v1",
+		"graph": {"family": "grid", "rows": 4, "cols": 4},
+		"model": {"kind": "coloring", "q": 8, "shards": 4}
+	}`
+	s, err := Decode([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Model.Shards != 4 {
+		t.Fatalf("decoded shards = %d", s.Model.Shards)
+	}
+	b, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Shards != 4 {
+		t.Fatalf("built shards = %d", b.Shards)
+	}
+	enc, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(enc), `"shards":4`) {
+		t.Fatalf("canonical encoding lost shards: %s", enc)
+	}
+	// An identical spec without shards hashes differently (it is a
+	// different serving contract) but an omitted field does not disturb
+	// pre-existing hashes.
+	plain := strings.Replace(good, `, "shards": 4`, "", 1)
+	sp, err := Decode([]byte(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, _ := Hash(sp)
+	hs, _ := Hash(s)
+	if hp == hs {
+		t.Fatal("shards field does not participate in the content hash")
+	}
+
+	for name, bad := range map[string]string{
+		"csp": `{
+			"version": "locsample/v1",
+			"graph": {"family": "cycle", "n": 4},
+			"model": {"kind": "csp", "q": 2, "shards": 2, "constraints": [
+				{"kind": "cover", "scope": [0, 1]}
+			]}
+		}`,
+		"negative": `{
+			"version": "locsample/v1",
+			"graph": {"family": "grid", "rows": 4, "cols": 4},
+			"model": {"kind": "coloring", "q": 8, "shards": -1}
+		}`,
+		"more-than-n": `{
+			"version": "locsample/v1",
+			"graph": {"family": "grid", "rows": 2, "cols": 2},
+			"model": {"kind": "coloring", "q": 8, "shards": 5}
+		}`,
+		"over-limit": `{
+			"version": "locsample/v1",
+			"graph": {"family": "grid", "rows": 2000, "cols": 2},
+			"model": {"kind": "coloring", "q": 8, "shards": 2000}
+		}`,
+	} {
+		if _, err := Decode([]byte(bad)); err == nil {
+			t.Fatalf("%s: invalid shards accepted", name)
+		}
+	}
+}

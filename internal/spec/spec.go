@@ -51,6 +51,8 @@ const (
 	MaxConstraints = 1 << 20
 	// MaxArity bounds CSP constraint scope size (tables are q^arity).
 	MaxArity = 8
+	// MaxShards bounds the per-model default shard count.
+	MaxShards = 1 << 10
 	// MaxTableEntries bounds the total constraint-table entries of a spec.
 	MaxTableEntries = 1 << 22
 )
@@ -130,6 +132,12 @@ type ModelSpec struct {
 	// Rounds optionally sets the default chain-iteration budget (kind
 	// csp, which has no theory budget; requests may override it).
 	Rounds int `json:"rounds,omitempty"`
+	// Shards optionally sets the default shard count the serving layer
+	// runs this model's draws with (every MRF kind; requests may override
+	// it). Sharding never changes outputs — a sharded draw is bit-identical
+	// to the centralized chain at the same seed — so this is a serving
+	// default, not part of the distribution.
+	Shards int `json:"shards,omitempty"`
 }
 
 // ConstraintSpec is one weighted local constraint in serializable form.
@@ -412,14 +420,14 @@ func (g *GraphSpec) size() (n, m int, err error) {
 // silently ignored by Build yet still change the content hash, splitting
 // one workload across several cache entries.
 var fieldsByKind = map[string][]string{
-	"coloring":       {"q"},
-	"listcoloring":   {"q", "lists"},
-	"hardcore":       {"lambda"},
-	"independentset": {},
-	"vertexcover":    {},
-	"ising":          {"beta", "field"},
-	"potts":          {"q", "beta"},
-	"mrf":            {"q", "edgeActivities", "vertexActivities"},
+	"coloring":       {"q", "shards"},
+	"listcoloring":   {"q", "lists", "shards"},
+	"hardcore":       {"lambda", "shards"},
+	"independentset": {"shards"},
+	"vertexcover":    {"shards"},
+	"ising":          {"beta", "field", "shards"},
+	"potts":          {"q", "beta", "shards"},
+	"mrf":            {"q", "edgeActivities", "vertexActivities", "shards"},
 	"csp":            {"q", "vertexActivities", "constraints", "init", "rounds"},
 }
 
@@ -437,6 +445,7 @@ func (ms *ModelSpec) checkStray() error {
 		"constraints":      len(ms.Constraints) != 0,
 		"init":             len(ms.Init) != 0,
 		"rounds":           ms.Rounds != 0,
+		"shards":           ms.Shards != 0,
 	}
 	for _, f := range fieldsByKind[ms.Kind] {
 		delete(set, f)
@@ -453,6 +462,14 @@ func (ms *ModelSpec) validate(n, m int, randomM bool) error {
 	if _, ok := fieldsByKind[ms.Kind]; ok {
 		if err := ms.checkStray(); err != nil {
 			return err
+		}
+	}
+	if ms.Shards != 0 {
+		if ms.Shards < 0 || ms.Shards > MaxShards {
+			return fmt.Errorf("spec: shards must be in [0,%d], got %d", MaxShards, ms.Shards)
+		}
+		if ms.Shards > n {
+			return fmt.Errorf("spec: %d shards for %d vertices (every shard must own a vertex)", ms.Shards, n)
 		}
 	}
 	switch ms.Kind {

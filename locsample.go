@@ -124,9 +124,18 @@ func RandomRegularGraph(n, d int, seed uint64) (*Graph, error) {
 	return graph.RandomRegular(n, d, rng.New(seed))
 }
 
-// GnpGraph returns an Erdős–Rényi G(n, p) sample.
+// GnpGraph returns an Erdős–Rényi G(n, p) sample via the Θ(n²) pairwise
+// sweep (the generator the wire codec's "gnp" family is pinned to).
 func GnpGraph(n int, p float64, seed uint64) *Graph {
 	return graph.Gnp(n, p, rng.New(seed))
+}
+
+// SparseGnpGraph returns an Erdős–Rényi G(n, p) sample in expected
+// O(n + m) time via geometric edge skipping — the generator for
+// million-vertex sparse workloads, where GnpGraph's quadratic sweep cannot
+// run. The two generators draw different graphs for the same seed.
+func SparseGnpGraph(n int, p float64, seed uint64) *Graph {
+	return graph.SparseGnp(n, p, rng.New(seed))
 }
 
 // NewColoring returns the uniform proper q-coloring model on g.

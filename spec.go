@@ -58,6 +58,9 @@ type BuiltSpec struct {
 	// Rounds is the CSP spec's default chain-iteration budget (0 when the
 	// spec leaves the budget to the caller); 0 for MRFs.
 	Rounds int
+	// Shards is the MRF spec's default shard count for served draws
+	// (0 when the spec leaves it to the caller); 0 for CSPs.
+	Shards int
 }
 
 // BuildSpec validates s and constructs the workload it describes. The same
@@ -75,6 +78,7 @@ func BuildSpec(s *Spec) (*BuiltSpec, error) {
 		CSP:    b.CSP,
 		Init:   b.Init,
 		Rounds: b.Rounds,
+		Shards: b.Shards,
 	}, nil
 }
 
