@@ -9,23 +9,29 @@ build:
 test:
 	$(GO) test ./...
 
-# The sharded-runtime packages under the race detector, plus the CI gate:
-# sharded draws must equal centralized draws byte-for-byte.
+# The parallel runtimes under the race detector (GOMAXPROCS pinned > 1 so
+# goroutines genuinely interleave), plus the CI gate: sharded and
+# vertex-parallel draws must equal centralized sequential draws
+# byte-for-byte.
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/partition/...
+	GOMAXPROCS=4 $(GO) test -race ./internal/cluster/... ./internal/partition/...
+	GOMAXPROCS=4 $(GO) test -race -run 'Parallel' ./internal/chains/ ./internal/service/ .
 
 bit-identity:
-	$(GO) test -count=1 -run 'TestShardedBitIdentical|TestWithShardsBitIdentical|TestServerShardedDrawBitIdentical' \
-		./internal/cluster/ ./internal/service/ .
+	GOMAXPROCS=4 $(GO) test -count=1 -run 'TestShardedBitIdentical|TestWithShardsBitIdentical|TestServerShardedDrawBitIdentical|TestParallelRoundsMatchSequential|TestWithParallelRoundsBitIdentical|TestServerParallelDrawBitIdentical' \
+		./internal/cluster/ ./internal/chains/ ./internal/service/ .
 
 # Perf trajectory: run the core benchmark suite and write machine-readable
-# results (ns/op, allocs/op, vertices/sec, shard speedups) to the repo root.
+# results (ns/op, allocs/op, vertices/sec, shard/parallel speedups, and
+# speedup_vs the previous PR's report) to the repo root.
 bench-json:
-	$(GO) run ./cmd/lsbench -out BENCH_PR3.json
+	GOMAXPROCS=4 $(GO) run ./cmd/lsbench -out BENCH_PR4.json -baseline BENCH_PR3.json
 
-# CI smoke variant: small sizes, throwaway output.
+# CI smoke variant: small sizes, throwaway output. Fails if a benchmark
+# matched in the checked-in baseline regresses >20% on the same host class
+# (cross-class runs skip the comparison — see lsbench -baseline).
 bench-json-quick:
-	$(GO) run ./cmd/lsbench -quick -out /tmp/locsample-bench.json
+	GOMAXPROCS=4 $(GO) run ./cmd/lsbench -quick -baseline BENCH_PR4.json -max-regress 0.20 -out /tmp/locsample-bench.json
 
 fmt:
 	gofmt -l .

@@ -3,7 +3,9 @@
 // -count > 1 it uses the batch engine: the model is compiled once and the
 // chains (MRF and CSP alike) are spread over a worker pool. With
 // -shards > 1 every single chain additionally runs shard-parallel on the
-// cluster runtime — bit-identical output, one chain over many cores.
+// cluster runtime — bit-identical output, one chain over many cores; with
+// -parallel > 1 each chain's round phases instead fan over goroutines
+// (also bit-identical, no partition plan).
 //
 // Workloads come either from the built-in generator flags or, with
 // -model-file, from a versioned JSON spec — the same wire format
@@ -54,6 +56,7 @@ func main() {
 		count     = flag.Int("count", 1, "number of independent samples (batch engine when > 1)")
 		workers   = flag.Int("workers", 0, "worker goroutines for -count > 1 (0 = GOMAXPROCS)")
 		shards    = flag.Int("shards", 0, "shard workers per chain (sharded cluster runtime when > 1; bit-identical output)")
+		parallel  = flag.Int("parallel", 0, "vertex-parallel goroutines per round phase (when > 1; bit-identical output, exclusive with -shards)")
 		shardStr  = flag.String("shard-strategy", "range", "graph partitioner: range|bfs")
 		modelFile = flag.String("model-file", "", "load the workload from a JSON spec file (overrides -graph/-model flags)")
 		jsonOut   = flag.Bool("json", false, "emit the report and samples as JSON")
@@ -67,7 +70,7 @@ func main() {
 	}
 	if *modelFile != "" {
 		runSpecFile(*modelFile, *algName, *eps, *rounds, *seed, *distr, *count, *workers,
-			*shards, strat, *jsonOut, *verbose)
+			*shards, *parallel, strat, *jsonOut, *verbose)
 		return
 	}
 
@@ -78,6 +81,9 @@ func main() {
 	if *model == "domset" {
 		if *shards > 1 {
 			fatal(fmt.Errorf("-shards is not supported for CSP workloads (only LubyGlauber/LocalMetropolis MRF chains shard)"))
+		}
+		if *parallel > 1 {
+			fatal(fmt.Errorf("-parallel is not supported for CSP workloads (only LubyGlauber/LocalMetropolis MRF chains have vertex-parallel rounds)"))
 		}
 		c := locsample.NewWeightedDominatingSet(g, *lambda)
 		init := make([]int, g.N())
@@ -93,13 +99,13 @@ func main() {
 		fatal(err)
 	}
 	runMRF(g, m, *graphKind, modelDesc, reportKeyForFlag(*model),
-		*algName, *eps, *rounds, *seed, *distr, *count, *workers, *shards, strat, *jsonOut, *verbose)
+		*algName, *eps, *rounds, *seed, *distr, *count, *workers, *shards, *parallel, strat, *jsonOut, *verbose)
 }
 
 // runSpecFile loads a workload from a spec file and dispatches to the MRF
 // or CSP path.
 func runSpecFile(path, algName string, eps float64, rounds int, seed uint64,
-	distr bool, count, workers, shards int, strat locsample.ShardStrategy,
+	distr bool, count, workers, shards, parallel int, strat locsample.ShardStrategy,
 	jsonOut, verbose bool) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -125,20 +131,28 @@ func runSpecFile(path, algName string, eps float64, rounds int, seed uint64,
 		if shards > 1 {
 			fatal(fmt.Errorf("-shards is not supported for CSP specs (only LubyGlauber/LocalMetropolis MRF chains shard)"))
 		}
+		if parallel > 1 {
+			fatal(fmt.Errorf("-parallel is not supported for CSP specs (only LubyGlauber/LocalMetropolis MRF chains have vertex-parallel rounds)"))
+		}
 		if rounds <= 0 {
 			rounds = built.Rounds
 		}
 		runCSP(built.Graph, built.CSP, built.Init, desc, rounds, seed, distr, count, workers, jsonOut, verbose, false)
 		return
 	}
-	// Adopt the spec's serving default, except under -distributed: the
-	// two runtimes are mutually exclusive and the user asked for the
-	// LOCAL-model one.
-	if shards == 0 && !distr {
+	// Adopt the spec's serving defaults, except where the user already
+	// picked a runtime: -distributed, -shards, and -parallel are mutually
+	// exclusive, and an explicit flag suppresses the defaults of the
+	// others (so -parallel on a spec whose default is shards runs
+	// parallel, and vice versa).
+	if shards == 0 && parallel <= 1 && !distr {
 		shards = built.Shards
 	}
+	if parallel == 0 && shards <= 1 && !distr {
+		parallel = built.Parallel
+	}
 	runMRF(built.Graph, built.Model, graphKind, desc, reportKeyForSpec(s.Model.Kind),
-		algName, eps, rounds, seed, distr, count, workers, shards, strat, jsonOut, verbose)
+		algName, eps, rounds, seed, distr, count, workers, shards, parallel, strat, jsonOut, verbose)
 }
 
 // jsonReport is the -json output shape, shared by all three paths.
@@ -156,6 +170,7 @@ type jsonReport struct {
 	Seed         uint64                `json:"seed"`
 	Count        int                   `json:"count"`
 	Shards       int                   `json:"shards,omitempty"`
+	Parallel     int                   `json:"parallel,omitempty"`
 	ElapsedMS    float64               `json:"elapsedMs,omitempty"`
 	Stats        *locsample.Stats      `json:"stats,omitempty"`
 	ShardStats   *locsample.ShardStats `json:"shardStats,omitempty"`
@@ -181,7 +196,7 @@ func emitJSON(r *jsonReport) {
 // runMRF handles single draws and batches of an MRF workload.
 func runMRF(g *locsample.Graph, m *locsample.Model, graphKind, modelDesc, reportKey,
 	algName string, eps float64, rounds int, seed uint64, distr bool,
-	count, workers, shards int, strat locsample.ShardStrategy, jsonOut, verbose bool) {
+	count, workers, shards, parallel int, strat locsample.ShardStrategy, jsonOut, verbose bool) {
 	alg, err := parseAlg(algName)
 	if err != nil {
 		fatal(err)
@@ -200,9 +215,12 @@ func runMRF(g *locsample.Graph, m *locsample.Model, graphKind, modelDesc, report
 	if shards > 1 {
 		opts = append(opts, locsample.WithShards(shards), locsample.WithShardStrategy(strat))
 	}
+	if parallel > 1 {
+		opts = append(opts, locsample.WithParallelRounds(parallel))
+	}
 
 	if count > 1 {
-		runBatch(g, m, graphKind, modelDesc, alg, count, workers, eps, seed, opts, jsonOut, verbose)
+		runBatch(g, m, graphKind, modelDesc, alg, count, workers, parallel, eps, seed, opts, jsonOut, verbose)
 		return
 	}
 
@@ -223,6 +241,9 @@ func runMRF(g *locsample.Graph, m *locsample.Model, graphKind, modelDesc, report
 			r.Shards = res.Shard.Shards
 			r.ShardStats = res.Shard
 		}
+		if parallel > 1 {
+			r.Parallel = parallel
+		}
 		r.Samples = [][]int{res.Sample}
 		emitJSON(r)
 		return
@@ -240,6 +261,9 @@ func runMRF(g *locsample.Graph, m *locsample.Model, graphKind, modelDesc, report
 	}
 	if res.Shard != nil {
 		printShardStats(res.Shard)
+	}
+	if parallel > 1 {
+		fmt.Printf("parallel rounds: %d goroutines per phase\n", parallel)
 	}
 	report(g, reportKey, res.Sample)
 	if verbose {
@@ -383,7 +407,7 @@ func shortHash(h string) string {
 // runBatch draws count samples through the batch engine and reports
 // throughput.
 func runBatch(g *locsample.Graph, m *locsample.Model, graphKind, modelDesc string,
-	alg locsample.Algorithm, count, workers int, eps float64, seed uint64,
+	alg locsample.Algorithm, count, workers, parallel int, eps float64, seed uint64,
 	opts []locsample.Option, jsonOut, verbose bool) {
 	if workers > 0 {
 		opts = append(opts, locsample.WithWorkers(workers))
@@ -411,6 +435,9 @@ func runBatch(g *locsample.Graph, m *locsample.Model, graphKind, modelDesc strin
 			r.Shards = batch.Shard.Shards
 			r.ShardStats = &batch.Shard
 		}
+		if parallel > 1 {
+			r.Parallel = parallel
+		}
 		r.Samples = batch.Samples
 		emitJSON(r)
 		return
@@ -430,6 +457,9 @@ func runBatch(g *locsample.Graph, m *locsample.Model, graphKind, modelDesc strin
 	}
 	if batch.Shard.Shards > 1 {
 		printShardStats(&batch.Shard)
+	}
+	if parallel > 1 {
+		fmt.Printf("parallel rounds: %d goroutines per phase\n", parallel)
 	}
 	if verbose {
 		for i, sample := range batch.Samples {

@@ -1,11 +1,16 @@
 // Command lsbench runs the repository's core performance suite — batch
-// engine throughput, serving-layer draws, and sharded single-chain latency
-// at ≥10⁶ vertices — and writes a machine-readable JSON report. The
-// BENCH_PR*.json files at the repo root record the perf trajectory PR over
-// PR; CI runs the -quick variant as a smoke test.
+// engine throughput, serving-layer draws, sharded single-chain latency at
+// ≥10⁶ vertices, and vertex-parallel round latency — and writes a
+// machine-readable JSON report. The BENCH_PR*.json files at the repo root
+// record the perf trajectory PR over PR; with -baseline the report also
+// carries a per-benchmark speedup_vs field against an earlier report, so
+// the trajectory is auditable by machines, and with -max-regress the run
+// FAILS when a matched benchmark's vertices/sec regresses beyond the
+// threshold on the same host class. CI runs the -quick variant as a
+// regression smoke.
 //
-//	go run ./cmd/lsbench -out BENCH_PR3.json
-//	go run ./cmd/lsbench -quick -out /tmp/bench.json
+//	GOMAXPROCS=4 go run ./cmd/lsbench -out BENCH_PR4.json -baseline BENCH_PR3.json
+//	go run ./cmd/lsbench -quick -baseline BENCH_PR4.json -max-regress 0.2 -out /tmp/bench.json
 package main
 
 import (
@@ -22,13 +27,15 @@ import (
 
 // Report is the JSON shape lsbench emits.
 type Report struct {
-	Version    string  `json:"version"`
-	GOOS       string  `json:"goos"`
-	GOARCH     string  `json:"goarch"`
-	CPUs       int     `json:"cpus"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	Quick      bool    `json:"quick,omitempty"`
-	Note       string  `json:"note,omitempty"`
+	Version    string `json:"version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Quick      bool   `json:"quick,omitempty"`
+	Note       string `json:"note,omitempty"`
+	// Baseline names the report speedup_vs is computed against.
+	Baseline   string  `json:"baseline,omitempty"`
 	Benchmarks []Entry `json:"benchmarks"`
 	// Speedup maps each sharded workload to time(shards=1)/time(shards=k)
 	// per shard count — the single-chain speedup the sharded runtime buys
@@ -39,24 +46,36 @@ type Report struct {
 
 // Entry is one benchmark result.
 type Entry struct {
-	Name        string  `json:"name"`
-	N           int     `json:"n,omitempty"`
-	M           int     `json:"m,omitempty"`
-	Rounds      int     `json:"rounds,omitempty"`
-	K           int     `json:"k,omitempty"`
-	Shards      int     `json:"shards,omitempty"`
+	Name   string `json:"name"`
+	N      int    `json:"n,omitempty"`
+	M      int    `json:"m,omitempty"`
+	Rounds int    `json:"rounds,omitempty"`
+	K      int    `json:"k,omitempty"`
+	Shards int    `json:"shards,omitempty"`
+	// Parallel is the vertex-parallel worker count per chain (0/absent:
+	// sequential rounds).
+	Parallel int `json:"parallel,omitempty"`
+	// CPUs/GOMAXPROCS record the host class per entry, so entries stay
+	// self-describing when reports are merged or compared across machines.
+	CPUs        int     `json:"cpus"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"nsPerOp"`
 	BytesPerOp  int64   `json:"bytesPerOp"`
 	AllocsPerOp int64   `json:"allocsPerOp"`
 	// VerticesPerSec is vertex-updates per second: n·rounds·k / seconds.
 	VerticesPerSec float64 `json:"verticesPerSec,omitempty"`
+	// SpeedupVs is baseline-ns/op ÷ this-ns/op for the same-named benchmark
+	// in the -baseline report (same host class only; absent otherwise).
+	SpeedupVs float64 `json:"speedup_vs,omitempty"`
 }
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_PR3.json", "output JSON path")
-		quick = flag.Bool("quick", false, "small sizes for CI smoke runs")
+		out        = flag.String("out", "BENCH_PR4.json", "output JSON path")
+		quick      = flag.Bool("quick", false, "small sizes for CI smoke runs")
+		baseline   = flag.String("baseline", "", "earlier report to compute per-benchmark speedup_vs against")
+		maxRegress = flag.Float64("max-regress", 0, "fail if a matched benchmark's vertices/sec regresses more than this fraction vs -baseline on the same host class (0 = report only)")
 	)
 	flag.Parse()
 
@@ -69,13 +88,17 @@ func main() {
 		Quick:      *quick,
 		Speedup:    map[string]map[string]float64{},
 	}
-	if rep.GOMAXPROCS < 4 {
-		rep.Note = fmt.Sprintf("GOMAXPROCS=%d: shard workers time-slice one core, so sharded speedups are bounded by 1; rerun on a multi-core host for the parallel numbers", rep.GOMAXPROCS)
+	if cores := min(rep.CPUs, rep.GOMAXPROCS); cores < 4 {
+		rep.Note = fmt.Sprintf("%d usable cores (cpus=%d, gomaxprocs=%d): shard workers and parallel-round goroutines time-slice, so parallel speedups are bounded by 1; kernel (shards=1, sequential) numbers are unaffected. Rerun on a multi-core host for the parallel numbers",
+			cores, rep.CPUs, rep.GOMAXPROCS)
 	}
 
 	benchSampleN(rep, *quick)
 	benchService(rep)
 	shardSuite(rep, *quick)
+	parallelSuite(rep, *quick)
+
+	regressions := applyBaseline(rep, *baseline, *maxRegress)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -86,6 +109,65 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "lsbench: wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "lsbench: REGRESSION %s\n", r)
+		}
+		os.Exit(1)
+	}
+}
+
+// applyBaseline loads the baseline report, stamps speedup_vs on every
+// same-named benchmark, and — when the host class matches and maxRegress is
+// positive — returns the list of benchmarks whose vertices/sec fell more
+// than the allowed fraction.
+func applyBaseline(rep *Report, path string, maxRegress float64) []string {
+	if path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(fmt.Errorf("baseline: %w", err))
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("baseline %s: %w", path, err))
+	}
+	rep.Baseline = path
+	// Comparing a 1-CPU container run against a 32-way CI runner would
+	// report fantasy speedups (and spurious regressions), so cross-class
+	// comparisons are skipped entirely. Quick and full runs need no such
+	// guard: benchmark names encode their workload sizes, so name matching
+	// below compares identical workloads only (e.g. the serving benchmark,
+	// which both modes run at the same size).
+	if base.CPUs != rep.CPUs || base.GOMAXPROCS != rep.GOMAXPROCS {
+		note := fmt.Sprintf("baseline %s is a different host class (cpus=%d gomaxprocs=%d vs cpus=%d gomaxprocs=%d); speedup_vs and regression checks skipped",
+			path, base.CPUs, base.GOMAXPROCS, rep.CPUs, rep.GOMAXPROCS)
+		if rep.Note != "" {
+			note = rep.Note + ". " + note
+		}
+		rep.Note = note
+		return nil
+	}
+	byName := make(map[string]Entry, len(base.Benchmarks))
+	for _, e := range base.Benchmarks {
+		byName[e.Name] = e
+	}
+	var regressions []string
+	for i := range rep.Benchmarks {
+		e := &rep.Benchmarks[i]
+		b, ok := byName[e.Name]
+		if !ok || b.NsPerOp <= 0 || e.NsPerOp <= 0 {
+			continue
+		}
+		e.SpeedupVs = b.NsPerOp / e.NsPerOp
+		if maxRegress > 0 && e.SpeedupVs < 1-maxRegress {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.2fx vs %s (%.0f -> %.0f ns/op) exceeds the %.0f%% budget",
+				e.Name, e.SpeedupVs, path, b.NsPerOp, e.NsPerOp, maxRegress*100))
+		}
+	}
+	return regressions
 }
 
 // benchSampleN measures batch-engine throughput: 64 chains of a grid
@@ -111,7 +193,7 @@ func benchSampleN(rep *Report, quick bool) {
 		}
 	})
 	rep.add(fmt.Sprintf("SampleN/grid%dx%d-coloring-k%d", side, side, k),
-		g.N(), g.M(), rounds, k, 0, res)
+		g.N(), g.M(), rounds, k, 0, 0, res)
 }
 
 // benchService measures a served draw end to end through the registry
@@ -136,22 +218,25 @@ func benchService(rep *Report) {
 			}
 		}
 	})
-	rep.add("ServiceSample/grid16x16-coloring-k8", 256, 480, 0, k, 0, res)
+	rep.add("ServiceSample/grid16x16-coloring-k8", 256, 480, 0, k, 0, 0, res)
 }
 
-// shardSuite measures single-chain latency at 1, 2, and 4 shards on
-// ≥10⁶-vertex grid and G(n,p) colorings (the tentpole workload) and
-// records the per-workload speedups.
-func shardSuite(rep *Report, quick bool) {
+// benchWorkloads returns the tentpole single-chain workloads: ≥10⁶-vertex
+// grid and G(n,p) colorings (full mode) or CI-sized ones (quick).
+func benchWorkloads(quick bool) (workloads []struct {
+	name string
+	g    *locsample.Graph
+	m    *locsample.Model
+}, rounds int) {
 	gridSide := 1024 // 1024² = 1,048,576 vertices
 	gnpN := 1 << 20
-	rounds := 8
+	rounds = 8
 	if quick {
 		gridSide, gnpN, rounds = 128, 1<<14, 4
 	}
 	grid := locsample.GridGraph(gridSide, gridSide)
 	gnp := locsample.SparseGnpGraph(gnpN, 8/float64(gnpN), 7)
-	workloads := []struct {
+	workloads = []struct {
 		name string
 		g    *locsample.Graph
 		m    *locsample.Model
@@ -159,6 +244,25 @@ func shardSuite(rep *Report, quick bool) {
 		{fmt.Sprintf("grid%dx%d-coloring", gridSide, gridSide), grid, locsample.NewColoring(grid, 13)},
 		{fmt.Sprintf("gnp%d-coloring", gnpN), gnp, locsample.NewColoring(gnp, 3*gnp.MaxDeg()+1)},
 	}
+	return workloads, rounds
+}
+
+// benchSingleChain times single draws through a compiled sampler.
+func benchSingleChain(s *locsample.Sampler) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.SampleNFrom(uint64(i), 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// shardSuite measures single-chain latency at 1, 2, and 4 shards on the
+// tentpole workloads and records the per-workload speedups.
+func shardSuite(rep *Report, quick bool) {
+	workloads, rounds := benchWorkloads(quick)
 	for _, wl := range workloads {
 		base := 0.0
 		speed := map[string]float64{}
@@ -171,16 +275,9 @@ func shardSuite(rep *Report, quick bool) {
 			if err != nil {
 				fatal(err)
 			}
-			res := testing.Benchmark(func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					if _, err := s.SampleNFrom(uint64(i), 1); err != nil {
-						b.Fatal(err)
-					}
-				}
-			})
+			res := benchSingleChain(s)
 			rep.add(fmt.Sprintf("Cluster/%s/shards=%d", wl.name, shards),
-				wl.g.N(), wl.g.M(), rounds, 1, shards, res)
+				wl.g.N(), wl.g.M(), rounds, 1, shards, 0, res)
 			ns := float64(res.NsPerOp())
 			if shards == 1 {
 				base = ns
@@ -192,8 +289,28 @@ func shardSuite(rep *Report, quick bool) {
 	}
 }
 
+// parallelSuite measures single-chain latency under vertex-parallel rounds
+// (WithParallelRounds) at 2 and 4 workers on the same tentpole workloads —
+// the shards=1 entries of shardSuite are the sequential baselines.
+func parallelSuite(rep *Report, quick bool) {
+	workloads, rounds := benchWorkloads(quick)
+	for _, wl := range workloads {
+		for _, par := range []int{2, 4} {
+			s, err := locsample.NewSampler(wl.m,
+				locsample.WithSeed(3), locsample.WithRounds(rounds),
+				locsample.WithParallelRounds(par))
+			if err != nil {
+				fatal(err)
+			}
+			res := benchSingleChain(s)
+			rep.add(fmt.Sprintf("Chain/%s/parallel=%d", wl.name, par),
+				wl.g.N(), wl.g.M(), rounds, 1, 0, par, res)
+		}
+	}
+}
+
 // add appends one benchmark result with derived vertex-update throughput.
-func (r *Report) add(name string, n, m, rounds, k, shards int, res testing.BenchmarkResult) {
+func (r *Report) add(name string, n, m, rounds, k, shards, parallel int, res testing.BenchmarkResult) {
 	e := Entry{
 		Name:        name,
 		N:           n,
@@ -201,6 +318,9 @@ func (r *Report) add(name string, n, m, rounds, k, shards int, res testing.Bench
 		Rounds:      rounds,
 		K:           k,
 		Shards:      shards,
+		Parallel:    parallel,
+		CPUs:        r.CPUs,
+		GOMAXPROCS:  r.GOMAXPROCS,
 		Iterations:  res.N,
 		NsPerOp:     float64(res.NsPerOp()),
 		BytesPerOp:  res.AllocedBytesPerOp(),
@@ -209,7 +329,7 @@ func (r *Report) add(name string, n, m, rounds, k, shards int, res testing.Bench
 	if rounds > 0 && e.NsPerOp > 0 {
 		e.VerticesPerSec = float64(n) * float64(rounds) * float64(k) / (e.NsPerOp / 1e9)
 	}
-	fmt.Fprintf(os.Stderr, "lsbench: %-44s %12.0f ns/op  %6d allocs/op\n", name, e.NsPerOp, e.AllocsPerOp)
+	fmt.Fprintf(os.Stderr, "lsbench: %-48s %12.0f ns/op  %6d allocs/op\n", name, e.NsPerOp, e.AllocsPerOp)
 	r.Benchmarks = append(r.Benchmarks, e)
 }
 

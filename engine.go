@@ -115,6 +115,24 @@ func WithShardStrategy(s ShardStrategy) Option {
 	return func(c *core.Config) { c.ShardStrategy = s }
 }
 
+// WithParallelRounds runs each round of every chain as barrier-separated
+// vertex-parallel phases (propose / edge-filter / accept, and β-fill /
+// resample) fanned across n goroutines over contiguous CSR ranges; n <= 0
+// means GOMAXPROCS. Unlike WithShards this needs no partition plan or
+// boundary exchange — it is the lightweight way to put one chain on many
+// cores. Trajectories are bit-identical to sequential rounds at every
+// worker count, so n is purely a latency knob. Only LubyGlauber and
+// LocalMetropolis support it; it is mutually exclusive with WithShards and
+// WithDistributed.
+func WithParallelRounds(n int) Option {
+	return func(c *core.Config) {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		c.Parallel = n
+	}
+}
+
 // ParseShardStrategy maps a wire name ("range", "bfs", or "" for the
 // default) to a ShardStrategy.
 func ParseShardStrategy(s string) (ShardStrategy, error) {
@@ -145,7 +163,7 @@ func NewSampler(m *Model, opts ...Option) (*Sampler, error) {
 	}
 	s.chainPool.New = func() any {
 		return chains.NewSampler(m, s.init, 0, cfg.Algorithm,
-			chains.Options{DropRule3: cfg.DropRule3})
+			chains.Options{DropRule3: cfg.DropRule3, Parallel: cfg.Parallel})
 	}
 	if cfg.Shards > 1 {
 		if cfg.Distributed {
@@ -189,6 +207,15 @@ func (s *Sampler) Shards() int {
 		return 1
 	}
 	return s.plan.K
+}
+
+// ParallelRounds returns the vertex-parallel worker count each chain's
+// rounds run with (1 when rounds are sequential).
+func (s *Sampler) ParallelRounds() int {
+	if s.cfg.Parallel > 1 {
+		return s.cfg.Parallel
+	}
+	return 1
 }
 
 // Sample draws one configuration with the compiled settings and the master
@@ -262,6 +289,10 @@ func (s *Sampler) SampleNFrom(seed uint64, k int) (*Batch, error) {
 			// keeps total parallelism near GOMAXPROCS instead of
 			// oversubscribing by a factor of K.
 			workers = max(1, workers/s.plan.K)
+		} else if s.cfg.Parallel > 1 {
+			// Same reasoning for vertex-parallel rounds: each chain fans
+			// its phases over Parallel goroutines.
+			workers = max(1, workers/s.cfg.Parallel)
 		}
 	}
 	if workers > k {

@@ -76,6 +76,16 @@ type Options struct {
 	// reversible and its stationary distribution is biased; experiment E4
 	// quantifies the damage. It only affects LocalMetropolis.
 	DropRule3 bool
+	// Parallel > 1 runs each round's phases (propose / edge-filter / accept
+	// for LocalMetropolis, β-fill / resample for LubyGlauber) across that
+	// many goroutines over contiguous CSR ranges, with a barrier between
+	// phases. Trajectories are bit-identical to the sequential kernels at
+	// every worker count: all randomness is PRF-keyed by global vertex/edge
+	// IDs, every phase reads only state frozen by the previous barrier, and
+	// phase writes are disjoint per index. Only LubyGlauber and
+	// LocalMetropolis support it (the baselines are inherently sequential);
+	// NewSampler panics on other algorithms.
+	Parallel int
 }
 
 // Sampler owns a chain state and advances it deterministically from a seed.
@@ -94,24 +104,37 @@ type Sampler struct {
 
 	classes  [][]int // chromatic scheduler color classes
 	coloring bool    // LocalMetropolis: take the §4.2 three-rule fast path
+	par      int     // effective vertex-parallel worker count (<= 1: sequential)
 	scratch  *Scratch
 }
 
 // Scratch holds the per-step working buffers shared by the round functions.
 type Scratch struct {
-	beta []float64
-	marg []float64
-	prop []int
-	pass []bool
+	beta   []float64
+	marg   []float64
+	prop   []int
+	pass   []bool
+	accept []bool
+	// margs[w] is worker w's private marginal buffer for the vertex-parallel
+	// resample phase (the sequential kernels share marg).
+	margs [][]float64
 }
 
 // NewScratch returns buffers sized for model m.
 func NewScratch(m *mrf.MRF) *Scratch {
 	return &Scratch{
-		beta: make([]float64, m.G.N()),
-		marg: make([]float64, m.Q),
-		prop: make([]int, m.G.N()),
-		pass: make([]bool, m.G.M()),
+		beta:   make([]float64, m.G.N()),
+		marg:   make([]float64, m.Q),
+		prop:   make([]int, m.G.N()),
+		pass:   make([]bool, m.G.M()),
+		accept: make([]bool, m.G.N()),
+	}
+}
+
+// ensureParallel sizes the per-worker marginal buffers.
+func (sc *Scratch) ensureParallel(q, workers int) {
+	for len(sc.margs) < workers {
+		sc.margs = append(sc.margs, make([]float64, q))
 	}
 }
 
@@ -127,6 +150,16 @@ func NewSampler(m *mrf.MRF, init []int, seed uint64, alg Algorithm, opts Options
 		Opts:    opts,
 		seed:    seed,
 		scratch: NewScratch(m),
+	}
+	if opts.Parallel > 1 {
+		if alg != LubyGlauber && alg != LocalMetropolis {
+			panic(fmt.Sprintf("chains: %v has no vertex-parallel rounds (only LubyGlauber and LocalMetropolis decompose into barrier-separated phases)", alg))
+		}
+		s.par = opts.Parallel
+		if n := m.G.N(); s.par > n {
+			s.par = n
+		}
+		s.scratch.ensureParallel(m.Q, s.par)
 	}
 	if alg == LocalMetropolis {
 		// The specialized coloring round produces identical trajectories
@@ -167,11 +200,20 @@ func (s *Sampler) Step() {
 	case Glauber:
 		GlauberStep(s.M, s.X, s.seed, s.round, s.scratch)
 	case LubyGlauber:
-		LubyGlauberRound(s.M, s.X, s.seed, s.round, s.scratch)
-	case LocalMetropolis:
-		if s.coloring {
-			ColoringLocalMetropolisRound(s.M, s.X, s.seed, s.round, s.Opts.DropRule3, s.scratch)
+		if s.par > 1 {
+			lubyGlauberRoundParallel(s.M, s.X, s.seed, s.round, s.scratch, s.par)
 		} else {
+			LubyGlauberRound(s.M, s.X, s.seed, s.round, s.scratch)
+		}
+	case LocalMetropolis:
+		switch {
+		case s.par > 1 && s.coloring:
+			coloringLocalMetropolisRoundParallel(s.M, s.X, s.seed, s.round, s.Opts.DropRule3, s.scratch, s.par)
+		case s.par > 1:
+			localMetropolisRoundParallel(s.M, s.X, s.seed, s.round, s.Opts.DropRule3, s.scratch, s.par)
+		case s.coloring:
+			ColoringLocalMetropolisRound(s.M, s.X, s.seed, s.round, s.Opts.DropRule3, s.scratch)
+		default:
 			LocalMetropolisRound(s.M, s.X, s.seed, s.round, s.Opts.DropRule3, s.scratch)
 		}
 	case SystematicScan:
@@ -198,18 +240,18 @@ func (s *Sampler) Run(t int) {
 func GlauberStep(m *mrf.MRF, x []int, seed uint64, round int, sc *Scratch) {
 	n := m.G.N()
 	v := int(rng.PRF(seed, TagPick, uint64(round)) % uint64(n))
-	if m.MarginalInto(v, x, sc.marg) {
-		u := rng.PRFFloat64(seed, TagUpdate, uint64(v), uint64(round))
-		x[v] = rng.CategoricalU(sc.marg, u)
+	u := rng.PRFFloat64(seed, TagUpdate, uint64(v), uint64(round))
+	if c, ok := m.ResampleU(v, x, sc.marg, u); ok {
+		x[v] = c
 	}
 }
 
 // scanStep resamples vertex (round mod n) — systematic scan.
 func scanStep(m *mrf.MRF, x []int, seed uint64, round int, sc *Scratch) {
 	v := round % m.G.N()
-	if m.MarginalInto(v, x, sc.marg) {
-		u := rng.PRFFloat64(seed, TagUpdate, uint64(v), uint64(round))
-		x[v] = rng.CategoricalU(sc.marg, u)
+	u := rng.PRFFloat64(seed, TagUpdate, uint64(v), uint64(round))
+	if c, ok := m.ResampleU(v, x, sc.marg, u); ok {
+		x[v] = c
 	}
 }
 
@@ -218,12 +260,28 @@ func scanStep(m *mrf.MRF, x []int, seed uint64, round int, sc *Scratch) {
 // non-adjacent, so in-place updates are exact.
 func chromaticRound(m *mrf.MRF, x []int, seed uint64, round int, classes [][]int, sc *Scratch) {
 	class := classes[round%len(classes)]
+	ku := rng.Key(seed, TagUpdate, uint64(round))
 	for _, v := range class {
-		if m.MarginalInto(v, x, sc.marg) {
-			u := rng.PRFFloat64(seed, TagUpdate, uint64(v), uint64(round))
-			x[v] = rng.CategoricalU(sc.marg, u)
+		if c, ok := m.ResampleU(v, x, sc.marg, ku.Float64(uint64(v))); ok {
+			x[v] = c
 		}
 	}
+}
+
+// BetaLocalMax reports whether beta[v] strictly exceeds beta[u] for every u
+// in nbr — the Luby-step membership test of Algorithm 1, lines 3–4. It is
+// THE β-max loop: LubyStep, LubyGlauberRound, the vertex-parallel resample
+// phase, and the sharded runtime (internal/cluster, over shard-local
+// indices) all decide membership through this one function, so the strict-
+// inequality tie-break can never drift between runtimes.
+func BetaLocalMax(beta []float64, v int, nbr []int32) bool {
+	bv := beta[v]
+	for _, u := range nbr {
+		if beta[u] >= bv {
+			return false
+		}
+	}
+	return true
 }
 
 // LubyStep computes the Luby-step random independent set of round `round`:
@@ -235,18 +293,10 @@ func LubyStep(g *graph.Graph, seed uint64, round int, sc *Scratch, inI []bool) [
 	if inI == nil {
 		inI = make([]bool, n)
 	}
+	rng.Key(seed, TagBeta, uint64(round)).FillFloat64s(sc.beta[:n], 0)
+	rowPtr, nbr, _ := g.CSR()
 	for v := 0; v < n; v++ {
-		sc.beta[v] = rng.PRFFloat64(seed, TagBeta, uint64(v), uint64(round))
-	}
-	for v := 0; v < n; v++ {
-		isMax := true
-		for _, u := range g.Adj(v) {
-			if sc.beta[u] >= sc.beta[v] {
-				isMax = false
-				break
-			}
-		}
-		inI[v] = isMax
+		inI[v] = BetaLocalMax(sc.beta, v, nbr[rowPtr[v]:rowPtr[v+1]])
 	}
 	return inI
 }
@@ -255,27 +305,21 @@ func LubyStep(g *graph.Graph, seed uint64, round int, sc *Scratch, inI []bool) [
 // independent set I, then resample every v ∈ I from its conditional
 // marginal, in parallel. Because I is independent, no resampled vertex
 // reads another resampled vertex, so sequential in-place iteration realizes
-// the parallel update exactly.
+// the parallel update exactly. The β priorities are streamed through one
+// partial PRF key and membership + resampling walk the flat CSR adjacency.
 func LubyGlauberRound(m *mrf.MRF, x []int, seed uint64, round int, sc *Scratch) {
 	g := m.G
 	n := g.N()
+	rng.Key(seed, TagBeta, uint64(round)).FillFloat64s(sc.beta[:n], 0)
+	ku := rng.Key(seed, TagUpdate, uint64(round))
+	rowPtr, nbr, _ := g.CSR()
+	beta := sc.beta
 	for v := 0; v < n; v++ {
-		sc.beta[v] = rng.PRFFloat64(seed, TagBeta, uint64(v), uint64(round))
-	}
-	for v := 0; v < n; v++ {
-		isMax := true
-		for _, u := range g.Adj(v) {
-			if sc.beta[u] >= sc.beta[v] {
-				isMax = false
-				break
-			}
-		}
-		if !isMax {
+		if !BetaLocalMax(beta, v, nbr[rowPtr[v]:rowPtr[v+1]]) {
 			continue
 		}
-		if m.MarginalInto(v, x, sc.marg) {
-			u := rng.PRFFloat64(seed, TagUpdate, uint64(v), uint64(round))
-			x[v] = rng.CategoricalU(sc.marg, u)
+		if c, ok := m.ResampleU(v, x, sc.marg, ku.Float64(uint64(v))); ok {
+			x[v] = c
 		}
 	}
 }
@@ -291,27 +335,44 @@ func LubyGlauberRound(m *mrf.MRF, x []int, seed uint64, round int, sc *Scratch) 
 // With dropRule3 the factor Ã_e(σ_u, X_v) is omitted (E4 ablation; the
 // resulting chain is biased).
 func LocalMetropolisRound(m *mrf.MRF, x []int, seed uint64, round int, dropRule3 bool, sc *Scratch) {
-	g := m.G
-	n := g.N()
+	n := m.G.N()
+	ku := rng.Key(seed, TagUpdate, uint64(round))
 	for v := 0; v < n; v++ {
-		u := rng.PRFFloat64(seed, TagUpdate, uint64(v), uint64(round))
-		sc.prop[v] = rng.CategoricalU(m.ProposalRow(v), u)
+		sc.prop[v] = m.ProposeU(v, ku.Float64(uint64(v)))
 	}
-	for id, e := range g.Edges() {
-		p := EdgePassProb(m, id, x[e.U], x[e.V], sc.prop[e.U], sc.prop[e.V], dropRule3)
-		coin := rng.PRFFloat64(seed, TagCoin, uint64(id), uint64(round))
-		sc.pass[id] = coin < p
+	metropolisEdgeFilter(m, x, sc.prop, sc.pass, seed, round, dropRule3, 0, m.G.M())
+	applyPassAccept(m.G, x, sc.prop, sc.pass, 0, n)
+}
+
+// metropolisEdgeFilter runs the Algorithm 2 edge checks for edge IDs
+// [lo, hi): pass[id] = coin_id < Ã-product, with the shared coin streamed
+// through the round's TagCoin partial key. The sequential kernel passes the
+// full range; the vertex-parallel mode slices it.
+func metropolisEdgeFilter(m *mrf.MRF, x, prop []int, pass []bool, seed uint64, round int, dropRule3 bool, lo, hi int) {
+	kc := rng.Key(seed, TagCoin, uint64(round))
+	edges := m.G.Edges()
+	for id := lo; id < hi; id++ {
+		e := &edges[id]
+		p := EdgePassProb(m, id, x[e.U], x[e.V], prop[e.U], prop[e.V], dropRule3)
+		pass[id] = kc.Float64(uint64(id)) < p
 	}
-	for v := 0; v < n; v++ {
+}
+
+// applyPassAccept applies the LocalMetropolis acceptance rule over vertices
+// [lo, hi): v adopts its proposal iff every incident edge passed. It walks
+// the flat CSR incidence array directly.
+func applyPassAccept(g *graph.Graph, x, prop []int, pass []bool, lo, hi int) {
+	rowPtr, _, inc := g.CSR()
+	for v := lo; v < hi; v++ {
 		ok := true
-		for _, id := range g.Inc(v) {
-			if !sc.pass[id] {
+		for t, end := rowPtr[v], rowPtr[v+1]; t < end; t++ {
+			if !pass[inc[t]] {
 				ok = false
 				break
 			}
 		}
 		if ok {
-			x[v] = sc.prop[v]
+			x[v] = prop[v]
 		}
 	}
 }
@@ -352,30 +413,69 @@ func EdgePassProb(m *mrf.MRF, id, xu, xv, su, sv int, dropRule3 bool) float64 {
 func ColoringLocalMetropolisRound(m *mrf.MRF, x []int, seed uint64, round int, dropRule3 bool, sc *Scratch) {
 	g := m.G
 	n := g.N()
-	q := m.Q
-	for v := 0; v < n; v++ {
-		u := rng.PRFFloat64(seed, TagUpdate, uint64(v), uint64(round))
-		sc.prop[v] = int(u * float64(q))
+	coloringPropose(m, sc.prop, seed, round, 0, n)
+	if dropRule3 {
+		// Rule sets without rule 3 are asymmetric in the edge orientation
+		// (only c_v vs X_{e.U} is checked), so the ablation keeps the
+		// per-edge pass array. The default path below is symmetric and
+		// fuses the filter into a per-vertex sweep instead.
+		coloringEdgeFilter(g, x, sc.prop, sc.pass, true, 0, g.M())
+		applyPassAccept(g, x, sc.prop, sc.pass, 0, n)
+		return
 	}
-	for id, e := range g.Edges() {
-		cu, cv := sc.prop[e.U], sc.prop[e.V]
+	rowPtr, nbr, _ := g.CSR()
+	for v := 0; v < n; v++ {
+		sc.accept[v] = coloringVertexOK(x, sc.prop, v, nbr[rowPtr[v]:rowPtr[v+1]])
+	}
+	for v := 0; v < n; v++ {
+		if sc.accept[v] {
+			x[v] = sc.prop[v]
+		}
+	}
+}
+
+// coloringPropose draws the §4.2 uniform color proposals for vertices
+// [lo, hi) through the round's TagUpdate partial key.
+func coloringPropose(m *mrf.MRF, prop []int, seed uint64, round int, lo, hi int) {
+	ku := rng.Key(seed, TagUpdate, uint64(round))
+	qf := float64(m.Q)
+	for v := lo; v < hi; v++ {
+		prop[v] = int(ku.Float64(uint64(v)) * qf)
+	}
+}
+
+// coloringVertexOK evaluates the three §4.2 filter rules for vertex v from
+// its own side of each incident edge. With all three rules the per-edge
+// failure condition c_u = c_v ∨ c_v = X_u ∨ c_u = X_v is symmetric in the
+// endpoints, so "every incident edge passes" equals "no neighbor triggers a
+// rule against v" — which lets the round skip the per-edge pass array (and
+// its edge-endpoint loads) entirely. Each cut check is evaluated from both
+// endpoints, exactly like the sharded runtime's redundant cut-edge
+// evaluation; the decisions agree because the inputs are identical.
+func coloringVertexOK(x, prop []int, v int, nbr []int32) bool {
+	pv, xv := prop[v], x[v]
+	for _, u := range nbr {
+		pu := prop[u]
+		if pv == pu || pv == x[u] || pu == xv {
+			return false
+		}
+	}
+	return true
+}
+
+// coloringEdgeFilter runs the §4.2 deterministic rules for edge IDs
+// [lo, hi) into pass, in the edge's stored orientation (required when
+// dropRule3 makes the rule set asymmetric).
+func coloringEdgeFilter(g *graph.Graph, x, prop []int, pass []bool, dropRule3 bool, lo, hi int) {
+	edges := g.Edges()
+	for id := lo; id < hi; id++ {
+		e := &edges[id]
+		cu, cv := prop[e.U], prop[e.V]
 		ok := cu != cv && cv != x[e.U]
 		if !dropRule3 {
 			ok = ok && cu != x[e.V]
 		}
-		sc.pass[id] = ok
-	}
-	for v := 0; v < n; v++ {
-		ok := true
-		for _, id := range g.Inc(v) {
-			if !sc.pass[id] {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			x[v] = sc.prop[v]
-		}
+		pass[id] = ok
 	}
 }
 

@@ -1,0 +1,267 @@
+package chains
+
+// Golden equivalence tests for the fused round kernels: the pre-refactor
+// implementations (per-vertex Adj/Inc slice walks, full PRF calls, per-edge
+// pass arrays, linear-scan proposal draws) are kept here verbatim as
+// references, and every new kernel — partial-key PRF streaming, fused CSR
+// marginals, the symmetric per-vertex coloring filter, and the
+// vertex-parallel rounds — must reproduce their trajectories byte for byte.
+
+import (
+	"runtime"
+	"testing"
+
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+	"locsample/internal/rng"
+)
+
+// refLubyGlauberRound is the pre-refactor LubyGlauberRound.
+func refLubyGlauberRound(m *mrf.MRF, x []int, seed uint64, round int, sc *Scratch) {
+	g := m.G
+	n := g.N()
+	for v := 0; v < n; v++ {
+		sc.beta[v] = rng.PRFFloat64(seed, TagBeta, uint64(v), uint64(round))
+	}
+	for v := 0; v < n; v++ {
+		isMax := true
+		for _, u := range g.Adj(v) {
+			if sc.beta[u] >= sc.beta[v] {
+				isMax = false
+				break
+			}
+		}
+		if !isMax {
+			continue
+		}
+		if m.MarginalInto(v, x, sc.marg) {
+			u := rng.PRFFloat64(seed, TagUpdate, uint64(v), uint64(round))
+			x[v] = rng.CategoricalU(sc.marg, u)
+		}
+	}
+}
+
+// refLocalMetropolisRound is the pre-refactor LocalMetropolisRound.
+func refLocalMetropolisRound(m *mrf.MRF, x []int, seed uint64, round int, dropRule3 bool, sc *Scratch) {
+	g := m.G
+	n := g.N()
+	for v := 0; v < n; v++ {
+		u := rng.PRFFloat64(seed, TagUpdate, uint64(v), uint64(round))
+		sc.prop[v] = rng.CategoricalU(m.ProposalRow(v), u)
+	}
+	for id, e := range g.Edges() {
+		p := EdgePassProb(m, id, x[e.U], x[e.V], sc.prop[e.U], sc.prop[e.V], dropRule3)
+		coin := rng.PRFFloat64(seed, TagCoin, uint64(id), uint64(round))
+		sc.pass[id] = coin < p
+	}
+	for v := 0; v < n; v++ {
+		ok := true
+		for _, id := range g.Inc(v) {
+			if !sc.pass[id] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			x[v] = sc.prop[v]
+		}
+	}
+}
+
+// refColoringLocalMetropolisRound is the pre-refactor (edge-pass-array)
+// ColoringLocalMetropolisRound.
+func refColoringLocalMetropolisRound(m *mrf.MRF, x []int, seed uint64, round int, dropRule3 bool, sc *Scratch) {
+	g := m.G
+	n := g.N()
+	q := m.Q
+	for v := 0; v < n; v++ {
+		u := rng.PRFFloat64(seed, TagUpdate, uint64(v), uint64(round))
+		sc.prop[v] = int(u * float64(q))
+	}
+	for id, e := range g.Edges() {
+		cu, cv := sc.prop[e.U], sc.prop[e.V]
+		ok := cu != cv && cv != x[e.U]
+		if !dropRule3 {
+			ok = ok && cu != x[e.V]
+		}
+		sc.pass[id] = ok
+	}
+	for v := 0; v < n; v++ {
+		ok := true
+		for _, id := range g.Inc(v) {
+			if !sc.pass[id] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			x[v] = sc.prop[v]
+		}
+	}
+}
+
+// kernelTestModels returns a diverse model set: 0/1 coloring structure, a
+// soft model with nontrivial vertex activities, a multigraph, and a hardcore
+// model with genuinely zero activities.
+func kernelTestModels(t *testing.T) []*mrf.MRF {
+	t.Helper()
+	grid := graph.Grid(6, 7)
+	var models []*mrf.MRF
+	models = append(models, mrf.Coloring(grid, 6))
+	models = append(models, mrf.Ising(grid, 0.4, 0.7))
+	models = append(models, mrf.Hardcore(grid, 1.3))
+	models = append(models, mrf.Potts(graph.Cycle(17), 5, 0.8))
+	// Multigraph with parallel edges: edge IDs and slot order matter.
+	b := graph.NewBuilder(6)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(i, i+1)
+		b.AddEdge(i, i+1)
+	}
+	b.AddEdge(0, 5)
+	models = append(models, mrf.Coloring(b.Build(), 7))
+	return models
+}
+
+func initFor(m *mrf.MRF) []int {
+	x, err := GreedyFeasible(m)
+	if err != nil {
+		panic(err)
+	}
+	return x
+}
+
+func equalTrajectory(t *testing.T, name string, got, want []int, round int) {
+	t.Helper()
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("%s: round %d vertex %d: got %d, reference %d", name, round, v, got[v], want[v])
+		}
+	}
+}
+
+func TestLubyGlauberRoundMatchesReference(t *testing.T) {
+	for mi, m := range kernelTestModels(t) {
+		for seed := uint64(1); seed <= 3; seed++ {
+			got := initFor(m)
+			want := append([]int(nil), got...)
+			scGot, scWant := NewScratch(m), NewScratch(m)
+			for r := 0; r < 20; r++ {
+				LubyGlauberRound(m, got, seed, r, scGot)
+				refLubyGlauberRound(m, want, seed, r, scWant)
+				equalTrajectory(t, "LubyGlauberRound", got, want, r)
+			}
+			_ = mi
+		}
+	}
+}
+
+func TestLocalMetropolisRoundMatchesReference(t *testing.T) {
+	for _, m := range kernelTestModels(t) {
+		for _, drop := range []bool{false, true} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				got := initFor(m)
+				want := append([]int(nil), got...)
+				scGot, scWant := NewScratch(m), NewScratch(m)
+				for r := 0; r < 20; r++ {
+					LocalMetropolisRound(m, got, seed, r, drop, scGot)
+					refLocalMetropolisRound(m, want, seed, r, drop, scWant)
+					equalTrajectory(t, "LocalMetropolisRound", got, want, r)
+				}
+			}
+		}
+	}
+}
+
+func TestColoringRoundMatchesReference(t *testing.T) {
+	grid := graph.Grid(9, 9)
+	multi := func() *graph.Graph {
+		b := graph.NewBuilder(8)
+		for i := 0; i < 7; i++ {
+			b.AddEdge(i, i+1)
+			b.AddEdge(i, (i+3)%8)
+		}
+		return b.Build()
+	}()
+	for _, g := range []*graph.Graph{grid, multi} {
+		m := mrf.Coloring(g, 3*g.MaxDeg()+1)
+		for _, drop := range []bool{false, true} {
+			for seed := uint64(1); seed <= 5; seed++ {
+				got := initFor(m)
+				want := append([]int(nil), got...)
+				scGot, scWant := NewScratch(m), NewScratch(m)
+				for r := 0; r < 30; r++ {
+					ColoringLocalMetropolisRound(m, got, seed, r, drop, scGot)
+					refColoringLocalMetropolisRound(m, want, seed, r, drop, scWant)
+					equalTrajectory(t, "ColoringLocalMetropolisRound", got, want, r)
+				}
+			}
+		}
+	}
+}
+
+func TestLubyStepMatchesReference(t *testing.T) {
+	g := graph.Grid(8, 8)
+	sc := NewScratch(mrf.Coloring(g, 5))
+	for seed := uint64(1); seed <= 3; seed++ {
+		for r := 0; r < 10; r++ {
+			inI := LubyStep(g, seed, r, sc, nil)
+			for v := 0; v < g.N(); v++ {
+				want := true
+				bv := rng.PRFFloat64(seed, TagBeta, uint64(v), uint64(r))
+				for _, u := range g.Adj(v) {
+					if rng.PRFFloat64(seed, TagBeta, uint64(u), uint64(r)) >= bv {
+						want = false
+						break
+					}
+				}
+				if inI[v] != want {
+					t.Fatalf("LubyStep seed %d round %d vertex %d: got %v, reference %v", seed, r, v, inI[v], want)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelRoundsMatchSequential pins the vertex-parallel mode: for every
+// supported algorithm, model shape, and a worker-count sweep (including
+// counts exceeding n), the parallel Sampler trajectory equals the sequential
+// one byte for byte.
+func TestParallelRoundsMatchSequential(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	for _, m := range kernelTestModels(t) {
+		for _, alg := range []Algorithm{LubyGlauber, LocalMetropolis} {
+			for _, drop := range []bool{false, true} {
+				if drop && alg != LocalMetropolis {
+					continue
+				}
+				init := initFor(m)
+				seq := NewSampler(m, init, 11, alg, Options{DropRule3: drop})
+				seq.Run(15)
+				for _, workers := range []int{2, 3, 8, m.G.N() + 7} {
+					par := NewSampler(m, init, 11, alg, Options{DropRule3: drop, Parallel: workers})
+					par.Run(15)
+					for v := range seq.X {
+						if par.X[v] != seq.X[v] {
+							t.Fatalf("%v drop3=%v workers=%d: vertex %d: parallel %d, sequential %d",
+								alg, drop, workers, v, par.X[v], seq.X[v])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParallelRejectsSequentialAlgorithms(t *testing.T) {
+	m := mrf.Coloring(graph.Grid(3, 3), 5)
+	for _, alg := range []Algorithm{Glauber, SystematicScan, ChromaticGlauber} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewSampler(%v, Parallel: 4) did not panic", alg)
+				}
+			}()
+			NewSampler(m, make([]int, 9), 1, alg, Options{Parallel: 4})
+		}()
+	}
+}

@@ -1,0 +1,138 @@
+// Vertex-parallel round kernels: the paper's LubyGlauber and LocalMetropolis
+// rounds are embarrassingly vertex/edge-parallel (§4 — every vertex acts on
+// round-local information only), so one chain's round splits across
+// goroutines without the sharded runtime's partition/exchange machinery.
+//
+// Each round runs as barrier-separated phases (propose / edge-filter /
+// accept for LocalMetropolis, β-fill / resample for LubyGlauber), each phase
+// fanning one contiguous CSR range per worker. Bit-identity with the
+// sequential kernels holds at every worker count because
+//
+//   - every variate is PRF-keyed by global vertex/edge ID and round, never
+//     by visitation order, so splitting a range cannot shift randomness;
+//   - a phase reads only state frozen before it started (the previous
+//     phase's barrier is a happens-before edge) and writes only its own
+//     indices, so no worker observes a mid-phase value;
+//   - the one in-place phase — LubyGlauber's resample — only writes members
+//     of the Luby independent set, whose neighbors are never resampled in
+//     the same round, so its reads are frozen too.
+//
+// The range split itself never influences results; it only chooses which
+// worker computes an index.
+package chains
+
+import (
+	"sync"
+
+	"locsample/internal/mrf"
+	"locsample/internal/rng"
+)
+
+// parallelFor runs fn(w, lo, hi) over a balanced partition of [0, n) into
+// contiguous blocks, one goroutine per block, and waits for all of them —
+// the phase barrier of the parallel round kernels.
+func parallelFor(n, workers int, fn func(w, lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w, lo := 0, 0; lo < n; w, lo = w+1, lo+chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// lubyGlauberRoundParallel is LubyGlauberRound with both phases fanned over
+// workers: β-fill (disjoint writes to sc.beta), then membership + resample.
+// The resample phase gives each worker a private marginal buffer; its
+// in-place x writes are race-free because the Luby step is an independent
+// set (see the package comment above).
+func lubyGlauberRoundParallel(m *mrf.MRF, x []int, seed uint64, round int, sc *Scratch, workers int) {
+	n := m.G.N()
+	beta := sc.beta[:n]
+	kb := rng.Key(seed, TagBeta, uint64(round))
+	parallelFor(n, workers, func(_, lo, hi int) {
+		kb.FillFloat64s(beta[lo:hi], uint64(lo))
+	})
+	ku := rng.Key(seed, TagUpdate, uint64(round))
+	rowPtr, nbr, _ := m.G.CSR()
+	parallelFor(n, workers, func(w, lo, hi int) {
+		marg := sc.margs[w]
+		for v := lo; v < hi; v++ {
+			if !BetaLocalMax(beta, v, nbr[rowPtr[v]:rowPtr[v+1]]) {
+				continue
+			}
+			if c, ok := m.ResampleU(v, x, marg, ku.Float64(uint64(v))); ok {
+				x[v] = c
+			}
+		}
+	})
+}
+
+// localMetropolisRoundParallel is LocalMetropolisRound with its three phases
+// fanned over workers: propose over vertex ranges, edge-filter over edge-ID
+// ranges, accept over vertex ranges.
+func localMetropolisRoundParallel(m *mrf.MRF, x []int, seed uint64, round int, dropRule3 bool, sc *Scratch, workers int) {
+	g := m.G
+	n := g.N()
+	ku := rng.Key(seed, TagUpdate, uint64(round))
+	parallelFor(n, workers, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			sc.prop[v] = m.ProposeU(v, ku.Float64(uint64(v)))
+		}
+	})
+	parallelFor(g.M(), workers, func(_, lo, hi int) {
+		metropolisEdgeFilter(m, x, sc.prop, sc.pass, seed, round, dropRule3, lo, hi)
+	})
+	parallelFor(n, workers, func(_, lo, hi int) {
+		applyPassAccept(g, x, sc.prop, sc.pass, lo, hi)
+	})
+}
+
+// coloringLocalMetropolisRoundParallel is ColoringLocalMetropolisRound with
+// its phases fanned over workers. The default three-rule path checks
+// acceptance per vertex against the frozen pre-round x, then applies in a
+// separate phase; the dropRule3 ablation keeps the orientation-aware
+// per-edge filter.
+func coloringLocalMetropolisRoundParallel(m *mrf.MRF, x []int, seed uint64, round int, dropRule3 bool, sc *Scratch, workers int) {
+	g := m.G
+	n := g.N()
+	parallelFor(n, workers, func(_, lo, hi int) {
+		coloringPropose(m, sc.prop, seed, round, lo, hi)
+	})
+	if dropRule3 {
+		parallelFor(g.M(), workers, func(_, lo, hi int) {
+			coloringEdgeFilter(g, x, sc.prop, sc.pass, true, lo, hi)
+		})
+		parallelFor(n, workers, func(_, lo, hi int) {
+			applyPassAccept(g, x, sc.prop, sc.pass, lo, hi)
+		})
+		return
+	}
+	rowPtr, nbr, _ := g.CSR()
+	parallelFor(n, workers, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			sc.accept[v] = coloringVertexOK(x, sc.prop, v, nbr[rowPtr[v]:rowPtr[v+1]])
+		}
+	})
+	parallelFor(n, workers, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if sc.accept[v] {
+				x[v] = sc.prop[v]
+			}
+		}
+	})
+}

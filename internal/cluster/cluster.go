@@ -26,6 +26,19 @@
 // LocalMetropolis. The inherently sequential baselines (Glauber,
 // SystematicScan, ChromaticGlauber) have no O(log n)-round decomposition
 // to exploit.
+//
+// The round barrier has two implementations. Below TreeBarrierMinShards the
+// workers pairwise exchange boundary states over cap-2 double-buffered
+// channels (deadlock-free by construction; see Engine.chans). At high shard
+// counts that costs every worker one channel rendezvous per neighbor per
+// round, so from TreeBarrierMinShards up the engine switches to a publish
+// model: each worker fills its double-buffered outgoing boundary buffers,
+// passes one tree-reduce barrier (O(log k) rendezvous depth instead of
+// O(deg) per worker), and then reads its halo values directly from its
+// neighbors' publish buffers. The barrier's happens-before chain makes the
+// reads race-free, and the double buffering lets a worker run one round
+// ahead without overwriting a buffer a slow neighbor is still reading —
+// the same argument as the channel scheme's capacity-2 invariant.
 package cluster
 
 import (
@@ -45,8 +58,10 @@ type Stats struct {
 	Shards int `json:"shards"`
 	// Rounds is the number of lockstep rounds executed.
 	Rounds int `json:"rounds"`
-	// BoundaryMessages counts channel sends (one per neighboring shard
-	// pair, per direction, per round).
+	// BoundaryMessages counts boundary-state publishes — channel sends
+	// below TreeBarrierMinShards, publish-buffer fills at or above it
+	// (one per neighboring shard pair, per direction, per round either
+	// way).
 	BoundaryMessages int64 `json:"boundaryMessages"`
 	// BoundaryValues counts vertex states exchanged across shard
 	// boundaries over the whole draw.
@@ -104,8 +119,67 @@ type Engine struct {
 	// block: at most the previous and current round's messages are
 	// outstanding (a worker cannot run two rounds ahead of a neighbor it
 	// must hear from every round), so the lockstep schedule is
-	// deadlock-free by construction.
+	// deadlock-free by construction. Nil when the tree barrier is active.
 	chans [][]chan []int
+	// bar replaces the pairwise channel rendezvous as the round barrier at
+	// K >= TreeBarrierMinShards; halo states are then read straight from
+	// the neighbors' publish buffers after the barrier.
+	bar *treeBarrier
+}
+
+// TreeBarrierMinShards is the shard count from which the engine swaps the
+// pairwise channel exchange for the publish-buffer + tree-reduce barrier:
+// below it the per-neighbor rendezvous count is tiny and the channel scheme
+// wins on simplicity; at and above it the O(log k) barrier depth beats the
+// O(deg) channel waits per worker.
+const TreeBarrierMinShards = 8
+
+// treeBarrier is a reusable k-party barrier over a binary arrival tree:
+// worker i's children are 2i+1 and 2i+2. Arrivals reduce up the tree, the
+// root releases down it, so one pass costs O(log k) rendezvous depth. Each
+// channel sees exactly one send and one receive per round, strictly
+// alternating (a child cannot arrive for round r+1 before its round-r
+// release, which its parent sends only after consuming the round-r
+// arrival), so the same barrier value is reusable every round and across
+// Runs. The arrival chain up plus release chain down gives every worker's
+// pre-barrier writes a happens-before edge to every other worker's
+// post-barrier reads — the memory-safety backbone of the publish scheme.
+type treeBarrier struct {
+	arrive  []chan struct{}
+	release []chan struct{}
+}
+
+func newTreeBarrier(k int) *treeBarrier {
+	b := &treeBarrier{
+		arrive:  make([]chan struct{}, k),
+		release: make([]chan struct{}, k),
+	}
+	for i := 0; i < k; i++ {
+		b.arrive[i] = make(chan struct{}, 1)
+		b.release[i] = make(chan struct{}, 1)
+	}
+	return b
+}
+
+// wait blocks worker i until all k workers have arrived.
+func (b *treeBarrier) wait(i int) {
+	k := len(b.arrive)
+	if c := 2*i + 1; c < k {
+		<-b.arrive[c]
+	}
+	if c := 2*i + 2; c < k {
+		<-b.arrive[c]
+	}
+	if i > 0 {
+		b.arrive[i] <- struct{}{}
+		<-b.release[i]
+	}
+	if c := 2*i + 1; c < k {
+		b.release[c] <- struct{}{}
+	}
+	if c := 2*i + 2; c < k {
+		b.release[c] <- struct{}{}
+	}
 }
 
 // New compiles an engine for model m over plan. Only LubyGlauber and
@@ -124,7 +198,11 @@ func New(m *mrf.MRF, plan *partition.Plan, alg chains.Algorithm, dropRule3 bool)
 		dropRule3: dropRule3,
 		coloring:  alg == chains.LocalMetropolis && m.IsColoringModel(),
 		ws:        make([]*worker, plan.K),
-		chans:     make([][]chan []int, plan.K),
+	}
+	if plan.K >= TreeBarrierMinShards {
+		e.bar = newTreeBarrier(plan.K)
+	} else {
+		e.chans = make([][]chan []int, plan.K)
 	}
 	for s, sh := range plan.Shards {
 		w := &worker{
@@ -147,9 +225,11 @@ func New(m *mrf.MRF, plan *partition.Plan, alg chains.Algorithm, dropRule3 bool)
 			}
 		}
 		e.ws[s] = w
-		e.chans[s] = make([]chan []int, plan.K)
-		for _, j := range sh.Neighbors {
-			e.chans[s][j] = make(chan []int, 2)
+		if e.bar == nil {
+			e.chans[s] = make([]chan []int, plan.K)
+			for _, j := range sh.Neighbors {
+				e.chans[s][j] = make(chan []int, 2)
+			}
 		}
 	}
 	return e, nil
@@ -190,8 +270,12 @@ func (e *Engine) Run(init []int, seed uint64, rounds int, out []int) Stats {
 	return st
 }
 
-// runShard is one worker's lockstep loop: compute, send boundary, receive
-// halo (the barrier), repeat; then publish owned states into out.
+// runShard is one worker's lockstep loop: compute, publish boundary states,
+// pass the round barrier, read halo states, repeat; then publish owned
+// states into out. Below TreeBarrierMinShards the publish/barrier/read is
+// the pairwise channel exchange; above it the boundary buffers are filled
+// in place, one tree-reduce barrier synchronizes the round, and halo values
+// are copied straight out of the neighbors' publish buffers.
 func (e *Engine) runShard(s int, seed uint64, rounds int, out []int) {
 	w := e.ws[s]
 	sh := w.sh
@@ -209,16 +293,30 @@ func (e *Engine) runShard(s int, seed uint64, rounds int, out []int) {
 			for t, l := range sh.SendTo[j] {
 				buf[t] = w.x[l]
 			}
-			e.chans[s][j] <- buf
+			if e.bar == nil {
+				e.chans[s][j] <- buf
+			}
 			w.msgs++
 			w.vals += int64(len(buf))
 		}
-		for _, j := range sh.Neighbors {
+		if e.bar != nil {
 			t0 := time.Now()
-			msg := <-e.chans[j][s]
+			e.bar.wait(s)
 			w.waitNS += time.Since(t0).Nanoseconds()
-			for t, l := range sh.RecvFrom[j] {
-				w.x[l] = msg[t]
+			for _, j := range sh.Neighbors {
+				msg := e.ws[j].sendBuf[s][r&1]
+				for t, l := range sh.RecvFrom[j] {
+					w.x[l] = msg[t]
+				}
+			}
+		} else {
+			for _, j := range sh.Neighbors {
+				t0 := time.Now()
+				msg := <-e.chans[j][s]
+				w.waitNS += time.Since(t0).Nanoseconds()
+				for t, l := range sh.RecvFrom[j] {
+					w.x[l] = msg[t]
+				}
 			}
 		}
 	}
@@ -233,25 +331,22 @@ func (e *Engine) runShard(s int, seed uint64, rounds int, out []int) {
 // adjacency order preserved by the shard CSR. In-place owned updates are
 // exact for the same reason as the centralized sweep: the Luby step is an
 // independent set, so no resampled vertex reads another resampled vertex.
+// Randomness streams through the same partial round keys as the
+// centralized kernel (keyed by GLOBAL vertex IDs), and membership goes
+// through the shared chains.BetaLocalMax, so the two runtimes cannot drift.
 func (e *Engine) lubyRound(w *worker, seed uint64, round int) {
 	sh := w.sh
+	kb := rng.Key(seed, chains.TagBeta, uint64(round))
 	for l, gv := range sh.Global {
-		w.beta[l] = rng.PRFFloat64(seed, chains.TagBeta, uint64(gv), uint64(round))
+		w.beta[l] = kb.Float64(uint64(gv))
 	}
+	ku := rng.Key(seed, chains.TagUpdate, uint64(round))
 	for v := 0; v < sh.NOwned; v++ {
-		isMax := true
-		for _, u := range sh.Nbr[sh.RowPtr[v]:sh.RowPtr[v+1]] {
-			if w.beta[u] >= w.beta[v] {
-				isMax = false
-				break
-			}
-		}
-		if !isMax {
+		if !chains.BetaLocalMax(w.beta, v, sh.Nbr[sh.RowPtr[v]:sh.RowPtr[v+1]]) {
 			continue
 		}
 		if e.marginalInto(w, v) {
-			u := rng.PRFFloat64(seed, chains.TagUpdate, uint64(sh.Global[v]), uint64(round))
-			w.x[v] = rng.CategoricalU(w.marg, u)
+			w.x[v] = rng.CategoricalU(w.marg, ku.Float64(uint64(sh.Global[v])))
 		}
 	}
 }
@@ -296,19 +391,21 @@ func (e *Engine) marginalInto(w *worker, v int) bool {
 // metropolisRound mirrors chains.LocalMetropolisRound on one shard.
 // Proposals depend only on vertex activities, so halo proposals are
 // recomputed locally; cut-edge filters are evaluated redundantly on both
-// shards from the shared PRF coin.
+// shards from the shared PRF coin. Proposals route through the same
+// mrf.ProposeU cumulative-table kernel and coins through the same partial
+// round keys as the centralized chain.
 func (e *Engine) metropolisRound(w *worker, seed uint64, round int) {
 	m := e.m
 	sh := w.sh
+	ku := rng.Key(seed, chains.TagUpdate, uint64(round))
 	for l, gv := range sh.Global {
-		u := rng.PRFFloat64(seed, chains.TagUpdate, uint64(gv), uint64(round))
-		w.prop[l] = rng.CategoricalU(m.ProposalRow(int(gv)), u)
+		w.prop[l] = m.ProposeU(int(gv), ku.Float64(uint64(gv)))
 	}
+	kc := rng.Key(seed, chains.TagCoin, uint64(round))
 	for le := range sh.Edges {
 		ed := &sh.Edges[le]
 		p := chains.EdgePassProb(m, int(ed.ID), w.x[ed.U], w.x[ed.V], w.prop[ed.U], w.prop[ed.V], e.dropRule3)
-		coin := rng.PRFFloat64(seed, chains.TagCoin, uint64(ed.ID), uint64(round))
-		w.pass[le] = coin < p
+		w.pass[le] = kc.Float64(uint64(ed.ID)) < p
 	}
 	e.accept(w)
 }
@@ -317,10 +414,10 @@ func (e *Engine) metropolisRound(w *worker, seed uint64, round int) {
 // three-rule fast path) on one shard.
 func (e *Engine) coloringRound(w *worker, seed uint64, round int) {
 	sh := w.sh
-	q := e.m.Q
+	qf := float64(e.m.Q)
+	ku := rng.Key(seed, chains.TagUpdate, uint64(round))
 	for l, gv := range sh.Global {
-		u := rng.PRFFloat64(seed, chains.TagUpdate, uint64(gv), uint64(round))
-		w.prop[l] = int(u * float64(q))
+		w.prop[l] = int(ku.Float64(uint64(gv)) * qf)
 	}
 	for le := range sh.Edges {
 		ed := &sh.Edges[le]

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"fmt"
+
 	"testing"
 
 	"locsample/internal/chains"
@@ -34,7 +36,9 @@ func testModels(t *testing.T) map[string]*mrf.MRF {
 func TestShardedBitIdentical(t *testing.T) {
 	const rounds = 30
 	algs := []chains.Algorithm{chains.LubyGlauber, chains.LocalMetropolis}
-	shardCounts := []int{1, 2, 4, 7}
+	// 8 and 11 sit at and above TreeBarrierMinShards, so the publish-buffer
+	// + tree-reduce barrier path is gated here alongside the channel path.
+	shardCounts := []int{1, 2, 4, 7, 8, 11}
 	for name, m := range testModels(t) {
 		init, err := chains.GreedyFeasible(m)
 		if err != nil {
@@ -197,4 +201,80 @@ func equalInts(a, b []int) bool {
 		}
 	}
 	return true
+}
+
+// TestTreeBarrier: the reusable tree-reduce barrier must be a full
+// rendezvous every pass — no worker observes a counter value from a pass it
+// has not itself reached.
+func TestTreeBarrier(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 8, 13, 32} {
+		b := newTreeBarrier(k)
+		const passes = 50
+		counters := make([]int, k)
+		done := make(chan error, k)
+		for i := 0; i < k; i++ {
+			go func(i int) {
+				for p := 0; p < passes; p++ {
+					counters[i] = p + 1
+					b.wait(i)
+					// After the barrier every worker must have finished
+					// pass p+1's increment.
+					for j := 0; j < k; j++ {
+						if counters[j] < p+1 {
+							done <- errAt(i, j, p)
+							return
+						}
+					}
+					b.wait(i)
+				}
+				done <- nil
+			}(i)
+		}
+		for i := 0; i < k; i++ {
+			if err := <-done; err != nil {
+				t.Fatalf("k=%d: %v", k, err)
+			}
+		}
+	}
+}
+
+func errAt(i, j, p int) error {
+	return fmt.Errorf("worker %d saw worker %d behind at pass %d", i, j, p)
+}
+
+// TestEngineReuseTreeBarrier: reuse determinism holds on the tree-barrier
+// path too (K >= TreeBarrierMinShards).
+func TestEngineReuseTreeBarrier(t *testing.T) {
+	g := graph.Gnp(200, 0.04, rng.New(5))
+	m := mrf.Coloring(g, 3*g.MaxDeg()+1)
+	init, err := chains.GreedyFeasible(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := partition.Build(g, TreeBarrierMinShards+1, partition.BFS, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(m, plan, chains.LocalMetropolis, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.bar == nil {
+		t.Fatalf("K=%d engine did not select the tree barrier", plan.K)
+	}
+	const rounds = 25
+	a := make([]int, g.N())
+	b := make([]int, g.N())
+	eng.Run(init, 21, rounds, a)
+	eng.Run(init, 22, rounds, b)
+	c := make([]int, g.N())
+	eng.Run(init, 21, rounds, c)
+	if !equalInts(a, c) {
+		t.Fatal("tree-barrier engine rerun with identical inputs diverged")
+	}
+	cs := chains.NewSampler(m, init, 21, chains.LocalMetropolis, chains.Options{})
+	cs.Run(rounds)
+	if !equalInts(a, cs.X) {
+		t.Fatal("tree-barrier draw diverges from centralized chain")
+	}
 }

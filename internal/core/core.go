@@ -61,6 +61,14 @@ type Config struct {
 	// and LocalMetropolis shard; Distributed and Shards are mutually
 	// exclusive (they are two different runtimes for the same protocol).
 	Shards int
+	// Parallel > 1 runs each centralized round's phases across that many
+	// goroutines over contiguous CSR ranges (chains.Options.Parallel) — the
+	// lightweight in-chain parallelism that needs no partition plan.
+	// Trajectories are bit-identical to sequential rounds at every worker
+	// count. Only LubyGlauber and LocalMetropolis support it, and it is
+	// mutually exclusive with Shards and Distributed (three runtimes for
+	// the same round).
+	Parallel int
 	// ShardStrategy selects the graph partitioner for Shards > 1
 	// (default partition.Range).
 	ShardStrategy partition.Strategy
@@ -172,6 +180,17 @@ func AutoRounds(m *mrf.MRF, alg chains.Algorithm, eps float64) (int, error) {
 // engine both go through it, so their resolutions can never drift apart —
 // which is what makes batch chain i bit-identical to a derived-seed Sample.
 func Compile(m *mrf.MRF, cfg Config) (rounds, theory int, init []int, err error) {
+	if cfg.Parallel > 1 {
+		if cfg.Algorithm != chains.LubyGlauber && cfg.Algorithm != chains.LocalMetropolis {
+			return 0, 0, nil, fmt.Errorf("core: %v has no vertex-parallel rounds (only LubyGlauber and LocalMetropolis decompose into barrier-separated phases)", cfg.Algorithm)
+		}
+		if cfg.Shards > 1 {
+			return 0, 0, nil, fmt.Errorf("core: Shards and Parallel are mutually exclusive (pick one in-chain runtime)")
+		}
+		if cfg.Distributed {
+			return 0, 0, nil, fmt.Errorf("core: Distributed and Parallel are mutually exclusive")
+		}
+	}
 	eps := cfg.Epsilon
 	if eps == 0 {
 		eps = math.Exp(-2)
@@ -247,7 +266,8 @@ func Sample(m *mrf.MRF, cfg Config) (*Result, error) {
 		}
 	}
 
-	s := chains.NewSampler(m, init, cfg.Seed, cfg.Algorithm, chains.Options{DropRule3: cfg.DropRule3})
+	s := chains.NewSampler(m, init, cfg.Seed, cfg.Algorithm,
+		chains.Options{DropRule3: cfg.DropRule3, Parallel: cfg.Parallel})
 	s.Run(rounds)
 	res.Sample = append([]int(nil), s.X...)
 	res.Rounds = rounds

@@ -145,6 +145,16 @@ func (g *Graph) Adj(v int) []int32 { return g.adj[v] }
 // caller must not modify it.
 func (g *Graph) Inc(v int) []int32 { return g.inc[v] }
 
+// CSR exposes the flat compressed-sparse-row adjacency: vertex v's incident
+// slots occupy [rowPtr[v], rowPtr[v+1]) of nbr (neighbor vertex per slot)
+// and inc (edge ID per slot), in the same order Adj/Inc present them. The
+// round kernels in internal/chains and internal/mrf sweep every vertex every
+// round; walking these arrays directly spares them a slice-header load per
+// vertex. Callers must not modify the arrays.
+func (g *Graph) CSR() (rowPtr, nbr, inc []int32) {
+	return g.rowPtr, g.nbrFlat, g.incFlat
+}
+
 // HasEdge reports whether at least one edge joins u and v.
 func (g *Graph) HasEdge(u, v int) bool {
 	// Scan the smaller adjacency list.

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"locsample/internal/graph"
+	"locsample/internal/rng"
 )
 
 // Mat is a dense q×q matrix of non-negative activities stored row-major.
@@ -84,6 +85,15 @@ type MRF struct {
 	// precomputed so the chains' inner loops skip the per-round
 	// normalization; row v is prop[v*q : (v+1)*q].
 	prop []float64
+	// propCum is prop's left-to-right running-sum table (same layout):
+	// precomputing it once lets every proposal draw binary-search via
+	// rng.CategoricalCumU instead of linearly re-summing the row —
+	// bit-identical indices, O(log q) instead of O(q) at large q.
+	propCum []float64
+	// rowPtr/nbr/inc alias the graph's flat CSR adjacency (graph.CSR). The
+	// marginal kernel walks them directly instead of fetching the per-vertex
+	// Adj/Inc slice headers on the n-sweep hot paths.
+	rowPtr, nbr, inc []int32
 	// coloring memoizes IsColoringModel: the answer is an O(m·q²)
 	// activity scan, and samplers consult it per construction — serving
 	// paths that build a chain per draw were paying the scan per draw.
@@ -164,6 +174,7 @@ func New(g *graph.Graph, q int, edgeA []*Mat, vertexB [][]float64) (*MRF, error)
 		m.edgeNorm[id] = norm
 	}
 	m.prop = make([]float64, g.N()*q)
+	m.propCum = make([]float64, g.N()*q)
 	for v := 0; v < g.N(); v++ {
 		row := m.prop[v*q : (v+1)*q]
 		b := vertexB[v]
@@ -176,7 +187,9 @@ func New(g *graph.Graph, q int, edgeA []*Mat, vertexB [][]float64) (*MRF, error)
 		for c := 0; c < q; c++ {
 			row[c] *= inv
 		}
+		rng.CumSumInto(row, m.propCum[v*q:(v+1)*q])
 	}
+	m.rowPtr, m.nbr, m.inc = g.CSR()
 	m.coloring = m.isColoringModel()
 	return m, nil
 }
@@ -251,33 +264,53 @@ func (m *MRF) Feasible(sigma []int) bool {
 // normalized to sum to 1. It returns false when the total mass is zero
 // (the marginal is undefined — the Glauber assumption of §3 fails at this
 // configuration), in which case out is left unspecified.
+// The body is a flat CSR kernel: it walks the graph's compressed adjacency
+// arrays directly rather than fetching the per-vertex Adj/Inc slice headers,
+// because the chains sweep all n vertices every round through this function.
+// The per-slot multiplication order, the zero-skip, and the normalization
+// are exactly those of the pre-fusion implementation (pinned bit-identical
+// by TestMarginalIntoMatchesReference), which is what keeps sharded and
+// parallel trajectories byte-equal to the centralized chain.
 func (m *MRF) MarginalInto(v int, x []int, out []float64) bool {
 	b := m.VertexB[v]
-	for c := 0; c < m.Q; c++ {
+	q := m.Q
+	for c := 0; c < q; c++ {
 		out[c] = b[c]
 	}
-	adj, inc := m.G.Adj(v), m.G.Inc(v)
-	for i, u := range adj {
-		a := m.EdgeA[inc[i]]
-		xu := x[u]
-		for c := 0; c < m.Q; c++ {
+	for t, end := m.rowPtr[v], m.rowPtr[v+1]; t < end; t++ {
+		a := m.EdgeA[m.inc[t]].A
+		xu := x[m.nbr[t]]
+		for c := 0; c < q; c++ {
 			if out[c] != 0 {
-				out[c] *= a.At(c, xu)
+				out[c] *= a[c*q+xu]
 			}
 		}
 	}
 	total := 0.0
-	for c := 0; c < m.Q; c++ {
+	for c := 0; c < q; c++ {
 		total += out[c]
 	}
 	if total <= 0 {
 		return false
 	}
 	inv := 1 / total
-	for c := 0; c < m.Q; c++ {
+	for c := 0; c < q; c++ {
 		out[c] *= inv
 	}
 	return true
+}
+
+// ResampleU is the fused heat-bath kernel the round kernels call: it
+// computes vertex v's conditional marginal into scratch (exactly as
+// MarginalInto) and draws from it with the externally supplied uniform u
+// (exactly as rng.CategoricalU over the normalized marginal). ok is false
+// when the marginal is undefined, in which case c is unspecified and the
+// caller keeps the current value.
+func (m *MRF) ResampleU(v int, x []int, scratch []float64, u float64) (c int, ok bool) {
+	if !m.MarginalInto(v, x, scratch) {
+		return 0, false
+	}
+	return rng.CategoricalU(scratch, u), true
 }
 
 // EdgeCheckProb returns the LocalMetropolis pass probability of edge id
@@ -299,6 +332,22 @@ func (m *MRF) ProposalDistInto(v int, out []float64) {
 // normalized). The caller must not modify it.
 func (m *MRF) ProposalRow(v int) []float64 {
 	return m.prop[v*m.Q : (v+1)*m.Q]
+}
+
+// ProposalCumRow returns the left-to-right running sums of ProposalRow(v) —
+// the table rng.CategoricalCumU binary-searches. The caller must not modify
+// it.
+func (m *MRF) ProposalCumRow(v int) []float64 {
+	return m.propCum[v*m.Q : (v+1)*m.Q]
+}
+
+// ProposeU draws vertex v's LocalMetropolis proposal from the supplied
+// uniform u, bit-identical to rng.CategoricalU(m.ProposalRow(v), u) but in
+// O(log q) via the precomputed cumulative table. The centralized and sharded
+// round kernels both route proposals through here, so they cannot drift.
+func (m *MRF) ProposeU(v int, u float64) int {
+	q := m.Q
+	return rng.CategoricalCumU(m.prop[v*q:(v+1)*q], m.propCum[v*q:(v+1)*q], u)
 }
 
 // MarginalsAlwaysDefined exhaustively checks the §3 Glauber assumption: the

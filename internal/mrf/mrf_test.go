@@ -432,3 +432,164 @@ func TestWeightLogWeightAgree(t *testing.T) {
 		}
 	}
 }
+
+// refMarginalInto is the pre-fusion MarginalInto (per-vertex Adj/Inc slice
+// walk); the fused flat-CSR kernel must reproduce its float64s bitwise.
+func refMarginalInto(m *MRF, v int, x []int, out []float64) bool {
+	b := m.VertexB[v]
+	for c := 0; c < m.Q; c++ {
+		out[c] = b[c]
+	}
+	adj, inc := m.G.Adj(v), m.G.Inc(v)
+	for i, u := range adj {
+		a := m.EdgeA[inc[i]]
+		xu := x[u]
+		for c := 0; c < m.Q; c++ {
+			if out[c] != 0 {
+				out[c] *= a.At(c, xu)
+			}
+		}
+	}
+	total := 0.0
+	for c := 0; c < m.Q; c++ {
+		total += out[c]
+	}
+	if total <= 0 {
+		return false
+	}
+	inv := 1 / total
+	for c := 0; c < m.Q; c++ {
+		out[c] *= inv
+	}
+	return true
+}
+
+// randomTestMRF builds an MRF with per-edge random symmetric activities and
+// random vertex activities — the worst case for kernel-fusion slips, since
+// no activity sharing or 0/1 structure can mask an ordering change.
+func randomTestMRF(t *testing.T, src *rng.Source, n, q int, p float64) *MRF {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if src.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	g := b.Build()
+	edgeA := make([]*Mat, g.M())
+	for id := range edgeA {
+		a := NewMat(q)
+		for i := 0; i < q; i++ {
+			for j := i; j < q; j++ {
+				w := src.Float64() + 0.1
+				a.Set(i, j, w)
+				a.Set(j, i, w)
+			}
+		}
+		edgeA[id] = a
+	}
+	vertexB := make([][]float64, n)
+	for v := range vertexB {
+		row := make([]float64, q)
+		for c := range row {
+			row[c] = src.Float64() + 0.05
+		}
+		vertexB[v] = row
+	}
+	return MustNew(g, q, edgeA, vertexB)
+}
+
+func TestMarginalIntoMatchesReference(t *testing.T) {
+	src := rng.New(99)
+	for trial := 0; trial < 20; trial++ {
+		n, q := 8+src.Intn(12), 2+src.Intn(5)
+		m := randomTestMRF(t, src, n, q, 0.4)
+		x := make([]int, n)
+		got := make([]float64, q)
+		want := make([]float64, q)
+		for iter := 0; iter < 50; iter++ {
+			for v := range x {
+				x[v] = src.Intn(q)
+			}
+			for v := 0; v < n; v++ {
+				okGot := m.MarginalInto(v, x, got)
+				okWant := refMarginalInto(m, v, x, want)
+				if okGot != okWant {
+					t.Fatalf("vertex %d: fused ok=%v, reference ok=%v", v, okGot, okWant)
+				}
+				if !okGot {
+					continue
+				}
+				for c := 0; c < q; c++ {
+					if got[c] != want[c] {
+						t.Fatalf("vertex %d color %d: fused %v (%x), reference %v (%x)",
+							v, c, got[c], math.Float64bits(got[c]), want[c], math.Float64bits(want[c]))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestResampleUMatchesMarginalPlusCategorical(t *testing.T) {
+	src := rng.New(123)
+	for trial := 0; trial < 10; trial++ {
+		n, q := 6+src.Intn(8), 2+src.Intn(6)
+		m := randomTestMRF(t, src, n, q, 0.5)
+		x := make([]int, n)
+		marg := make([]float64, q)
+		scratch := make([]float64, q)
+		for iter := 0; iter < 100; iter++ {
+			for v := range x {
+				x[v] = src.Intn(q)
+			}
+			v := src.Intn(n)
+			u := src.Float64()
+			c, ok := m.ResampleU(v, x, scratch, u)
+			if !ok {
+				if refMarginalInto(m, v, x, marg) {
+					t.Fatalf("ResampleU undefined where reference marginal is defined")
+				}
+				continue
+			}
+			if !refMarginalInto(m, v, x, marg) {
+				t.Fatalf("ResampleU defined where reference marginal is undefined")
+			}
+			if want := rng.CategoricalU(marg, u); c != want {
+				t.Fatalf("ResampleU(%d, u=%v) = %d, reference draw = %d", v, u, c, want)
+			}
+		}
+	}
+}
+
+func TestProposeUMatchesCategoricalU(t *testing.T) {
+	src := rng.New(77)
+	for trial := 0; trial < 10; trial++ {
+		n, q := 5+src.Intn(10), 2+src.Intn(30)
+		m := randomTestMRF(t, src, n, q, 0.3)
+		for iter := 0; iter < 500; iter++ {
+			v := src.Intn(n)
+			u := src.Float64()
+			if got, want := m.ProposeU(v, u), rng.CategoricalU(m.ProposalRow(v), u); got != want {
+				t.Fatalf("ProposeU(%d, %v) = %d, CategoricalU = %d", v, u, got, want)
+			}
+		}
+	}
+}
+
+func TestProposalCumRowIsRunningSum(t *testing.T) {
+	src := rng.New(55)
+	m := randomTestMRF(t, src, 10, 7, 0.4)
+	for v := 0; v < 10; v++ {
+		row, cum := m.ProposalRow(v), m.ProposalCumRow(v)
+		acc := 0.0
+		for c, w := range row {
+			acc += w
+			if cum[c] != acc {
+				t.Fatalf("vertex %d: cum[%d] = %v, running sum = %v", v, c, cum[c], acc)
+			}
+		}
+	}
+}

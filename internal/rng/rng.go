@@ -17,7 +17,10 @@
 // that per-(vertex, round) streams are independent-looking yet reproducible.
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // golden is the splitmix64 Weyl increment (2^64 / φ, rounded to odd).
 const golden = 0x9e3779b97f4a7c15
@@ -67,31 +70,15 @@ func (s *Source) Intn(n int) int {
 	}
 	un := uint64(n)
 	v := s.Uint64()
-	hi, lo := mul64(v, un)
+	hi, lo := bits.Mul64(v, un)
 	if lo < un {
 		thresh := -un % un
 		for lo < thresh {
 			v = s.Uint64()
-			hi, lo = mul64(v, un)
+			hi, lo = bits.Mul64(v, un)
 		}
 	}
-	_ = lo
 	return int(hi)
-}
-
-// mul64 returns the 128-bit product of x and y as (hi, lo).
-func mul64(x, y uint64) (hi, lo uint64) {
-	const mask32 = 1<<32 - 1
-	x0, x1 := x&mask32, x>>32
-	y0, y1 := y&mask32, y>>32
-	w0 := x0 * y0
-	t := x1*y0 + w0>>32
-	w1 := t & mask32
-	w2 := t >> 32
-	w1 += x0 * y1
-	hi = x1*y1 + w2 + w1>>32
-	lo = x * y
-	return hi, lo
 }
 
 // Bool returns a fair coin flip.
@@ -192,4 +179,96 @@ func PRF(key uint64, ids ...uint64) uint64 {
 // PRFFloat64 returns the PRF output mapped to a uniform variate in [0, 1).
 func PRFFloat64(key uint64, ids ...uint64) float64 {
 	return float64(PRF(key, ids...)>>11) / (1 << 53)
+}
+
+// RoundKey is a precomputed partial key for the round kernels' dominant PRF
+// shape, PRF(seed, tag, v, round): within one round only v varies, so the
+// (seed, tag) absorption chain and the mixed round word are hoisted out of
+// the per-vertex path. Evaluating a variate through a RoundKey costs 3 mix
+// permutations instead of the 7 a full PRF(seed, tag, v, round) call pays,
+// and yields bit-identical outputs (pinned by TestKeyMatchesPRF).
+type RoundKey struct {
+	prefix uint64 // chain state after absorbing (seed, tag)
+	round  uint64 // mix(round+golden), absorbed after the varying id
+}
+
+// Key returns the RoundKey for (seed, tag, round): Key(s, t, r).Uint64(v) ==
+// PRF(s, t, v, r) for every v.
+func Key(seed, tag, round uint64) RoundKey {
+	h := mix(seed + golden)
+	h = mix(h ^ mix(tag+golden))
+	return RoundKey{prefix: h, round: mix(round + golden)}
+}
+
+// Uint64 returns PRF(seed, tag, v, round) for the key's constant tuple.
+func (k RoundKey) Uint64(v uint64) uint64 {
+	return mix(mix(k.prefix^mix(v+golden)) ^ k.round)
+}
+
+// Float64 returns the keyed variate mapped to a uniform in [0, 1),
+// bit-identical to PRFFloat64(seed, tag, v, round).
+func (k RoundKey) Float64(v uint64) float64 {
+	return float64(k.Uint64(v)>>11) / (1 << 53)
+}
+
+// FillFloat64s streams one round's variates into dst: dst[i] receives the
+// uniform for id base+i, bit-identical to PRFFloat64(seed, tag, base+i,
+// round). The round kernels use it to fill a whole round's β priorities (and
+// the vertex-parallel mode to fill contiguous CSR ranges, passing the range
+// start as base) without re-deriving the key per vertex.
+func (k RoundKey) FillFloat64s(dst []float64, base uint64) {
+	prefix, round := k.prefix, k.round
+	for i := range dst {
+		h := mix(mix(prefix^mix(base+uint64(i)+golden)) ^ round)
+		dst[i] = float64(h>>11) / (1 << 53)
+	}
+}
+
+// CategoricalCumU is CategoricalU evaluated against a precomputed cumulative
+// weight table: cum[i] must equal w[0]+...+w[i] accumulated left to right in
+// that exact order, which makes cum[len-1] bitwise equal to the total
+// CategoricalU would sum and every prefix equal to its running accumulator.
+// The draw therefore binary-searches for the first index with u*total <
+// cum[i] instead of linearly re-summing — O(log q) per draw at large q — and
+// returns bit-identical indices (pinned by TestCategoricalCumUMatches). The
+// raw weights w are consulted only on the measure-~2⁻⁵³ floating-point slack
+// path, which must locate the last positive-weight index exactly as
+// CategoricalU does (cum alone cannot: a tiny positive weight can be
+// absorbed, leaving cum[i] == cum[i-1]).
+func CategoricalCumU(w, cum []float64, u float64) int {
+	n := len(cum)
+	t := u * cum[n-1]
+	if t < cum[0] {
+		return 0
+	}
+	// Invariant: cum[lo] <= t, cum[hi] > t (if any index qualifies).
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := int(uint(lo+hi) >> 1)
+		if t < cum[mid] {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	if t < cum[hi] {
+		return hi
+	}
+	for i := n - 1; i >= 0; i-- {
+		if w[i] > 0 {
+			return i
+		}
+	}
+	panic("rng: CategoricalCumU called with zero total weight")
+}
+
+// CumSumInto fills cum with the left-to-right running sums of w — the table
+// CategoricalCumU requires. Accumulation order matches CategoricalU's
+// internal accumulator exactly, so the two draw paths agree bitwise.
+func CumSumInto(w, cum []float64) {
+	acc := 0.0
+	for i, x := range w {
+		acc += x
+		cum[i] = acc
+	}
 }

@@ -2,6 +2,7 @@ package rng
 
 import (
 	"math"
+	"math/bits"
 	"testing"
 	"testing/quick"
 )
@@ -232,6 +233,115 @@ func TestBernoulliRate(t *testing.T) {
 	rate := float64(hits) / trials
 	if math.Abs(rate-0.3) > 0.005 {
 		t.Fatalf("Bernoulli(0.3) rate %v", rate)
+	}
+}
+
+// refMul64 is the hand-rolled 128-bit multiply bits.Mul64 replaced; kept
+// here so the replacement stays pinned to the old outputs.
+func refMul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return hi, lo
+}
+
+func TestBitsMul64MatchesReference(t *testing.T) {
+	s := New(123)
+	cases := [][2]uint64{
+		{0, 0}, {1, 1}, {math.MaxUint64, math.MaxUint64},
+		{math.MaxUint64, 2}, {1 << 63, 3},
+	}
+	for i := 0; i < 10000; i++ {
+		cases = append(cases, [2]uint64{s.Uint64(), s.Uint64()})
+	}
+	for _, c := range cases {
+		wantHi, wantLo := refMul64(c[0], c[1])
+		gotHi, gotLo := bits.Mul64(c[0], c[1])
+		if gotHi != wantHi || gotLo != wantLo {
+			t.Fatalf("Mul64(%d, %d) = (%d, %d), reference (%d, %d)",
+				c[0], c[1], gotHi, gotLo, wantHi, wantLo)
+		}
+	}
+}
+
+func TestKeyMatchesPRF(t *testing.T) {
+	// The partial-key round PRF must reproduce PRF(seed, tag, v, round)
+	// exactly: the round kernels' bit-identity contract rests on it.
+	s := New(7)
+	for trial := 0; trial < 200; trial++ {
+		seed, tag, round := s.Uint64(), s.Uint64(), s.Uint64()%1024
+		k := Key(seed, tag, round)
+		for i := 0; i < 50; i++ {
+			v := s.Uint64() % 100000
+			if got, want := k.Uint64(v), PRF(seed, tag, v, round); got != want {
+				t.Fatalf("Key(%d,%d,%d).Uint64(%d) = %d, PRF = %d", seed, tag, round, v, got, want)
+			}
+			if got, want := k.Float64(v), PRFFloat64(seed, tag, v, round); got != want {
+				t.Fatalf("Key(%d,%d,%d).Float64(%d) = %v, PRFFloat64 = %v", seed, tag, round, v, got, want)
+			}
+		}
+	}
+}
+
+func TestFillFloat64sMatchesPRF(t *testing.T) {
+	s := New(19)
+	for trial := 0; trial < 100; trial++ {
+		seed, tag, round := s.Uint64(), s.Uint64(), s.Uint64()%64
+		base := s.Uint64() % 1000
+		dst := make([]float64, 1+s.Intn(257))
+		Key(seed, tag, round).FillFloat64s(dst, base)
+		for i, got := range dst {
+			if want := PRFFloat64(seed, tag, base+uint64(i), round); got != want {
+				t.Fatalf("FillFloat64s[%d] (base %d) = %v, PRFFloat64 = %v", i, base, got, want)
+			}
+		}
+	}
+}
+
+func TestCategoricalCumUMatches(t *testing.T) {
+	// The binary-search draw over a precomputed cumulative table must agree
+	// with the linear-scan CategoricalU on every weight shape the samplers
+	// produce: zero entries, single entries, large q, and adversarial u.
+	s := New(31)
+	for trial := 0; trial < 500; trial++ {
+		q := 1 + s.Intn(40)
+		if trial%7 == 0 {
+			q = 1 + s.Intn(1000) // the large-q regime binary search targets
+		}
+		w := make([]float64, q)
+		positive := false
+		for i := range w {
+			if s.Float64() < 0.3 {
+				w[i] = 0
+			} else {
+				w[i] = s.Float64() * 10
+				positive = true
+			}
+		}
+		if !positive {
+			w[s.Intn(q)] = 1
+		}
+		cum := make([]float64, q)
+		CumSumInto(w, cum)
+		for i := 0; i < 200; i++ {
+			u := s.Float64()
+			switch i {
+			case 0:
+				u = 0
+			case 1:
+				u = math.Nextafter(1, 0)
+			}
+			if got, want := CategoricalCumU(w, cum, u), CategoricalU(w, u); got != want {
+				t.Fatalf("q=%d u=%v: CategoricalCumU = %d, CategoricalU = %d (w=%v)", q, u, got, want, w)
+			}
+		}
 	}
 }
 

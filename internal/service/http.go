@@ -58,6 +58,12 @@ type SampleRequest struct {
 	// -shards flag). Purely a latency knob: samples are bit-identical at
 	// every shard count.
 	Shards int `json:"shards,omitempty"`
+	// Parallel overrides the vertex-parallel worker count every chain's
+	// rounds run with (MRF models only; default: the spec's "parallel"
+	// field, then the server's -parallel flag). Also purely a latency
+	// knob — samples are bit-identical at every worker count — and
+	// mutually exclusive with Shards.
+	Parallel int `json:"parallel,omitempty"`
 }
 
 // SampleResponse answers POST /v1/models/{id}/sample.
@@ -72,8 +78,11 @@ type SampleResponse struct {
 	// the sharded runtime (both omitted for centralized draws).
 	Shards     int                   `json:"shards,omitempty"`
 	ShardStats *locsample.ShardStats `json:"shardStats,omitempty"`
-	ElapsedMS  float64               `json:"elapsedMs"`
-	Samples    [][]int               `json:"samples"`
+	// Parallel is the vertex-parallel worker count each chain's rounds ran
+	// with (omitted for sequential rounds).
+	Parallel  int     `json:"parallel,omitempty"`
+	ElapsedMS float64 `json:"elapsedMs"`
+	Samples   [][]int `json:"samples"`
 }
 
 // ModelListResponse answers GET /v1/models.
@@ -190,6 +199,7 @@ func handleSample(reg *Registry, m *Model, w http.ResponseWriter, req *http.Requ
 		Rounds:    sr.Rounds,
 		Epsilon:   sr.Epsilon,
 		Shards:    sr.Shards,
+		Parallel:  sr.Parallel,
 	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -209,6 +219,9 @@ func handleSample(reg *Registry, m *Model, w http.ResponseWriter, req *http.Requ
 		resp.Shards = res.Shards
 		st := res.Shard
 		resp.ShardStats = &st
+	}
+	if res.Parallel > 1 {
+		resp.Parallel = res.Parallel
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

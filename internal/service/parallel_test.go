@@ -1,0 +1,199 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+// parallelSpec is a grid coloring whose spec pins a serving default of 3
+// vertex-parallel workers.
+const parallelSpec = `{
+	"version": "locsample/v1",
+	"name": "grid-coloring-parallel",
+	"graph": {"family": "grid", "rows": 8, "cols": 8},
+	"model": {"kind": "coloring", "q": 13, "parallel": 3}
+}`
+
+// TestServerParallelDrawBitIdentical pins wire-level determinism across the
+// vertex-parallel runtime: a draw with a parallel override returns exactly
+// the sequential draw's samples while reporting the worker count.
+func TestServerParallelDrawBitIdentical(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var reg RegisterResponse
+	code, body := postJSON(t, ts.URL+"/v1/models", coloringSpec, &reg)
+	if code != http.StatusCreated {
+		t.Fatalf("register: code %d, body %s", code, body)
+	}
+	var sequential SampleResponse
+	code, body = postJSON(t, ts.URL+"/v1/models/"+reg.ID+"/sample", `{"k":3,"seed":42}`, &sequential)
+	if code != http.StatusOK {
+		t.Fatalf("sequential sample: code %d, body %s", code, body)
+	}
+	if sequential.Parallel != 0 {
+		t.Fatalf("sequential draw reports parallel = %d", sequential.Parallel)
+	}
+	for _, par := range []int{2, 4, 9} {
+		var parallel SampleResponse
+		req := fmt.Sprintf(`{"k":3,"seed":42,"parallel":%d}`, par)
+		code, body = postJSON(t, ts.URL+"/v1/models/"+reg.ID+"/sample", req, &parallel)
+		if code != http.StatusOK {
+			t.Fatalf("parallel sample (par=%d): code %d, body %s", par, code, body)
+		}
+		if !reflect.DeepEqual(parallel.Samples, sequential.Samples) {
+			t.Fatalf("parallel=%d: served samples diverge from sequential draw", par)
+		}
+		if parallel.Parallel != par {
+			t.Fatalf("parallel=%d: response reports %d", par, parallel.Parallel)
+		}
+	}
+}
+
+// TestSpecParallelDefault: a spec's model.parallel field becomes the draw's
+// default worker count, and an explicit request override wins.
+func TestSpecParallelDefault(t *testing.T) {
+	reg := NewRegistry(Config{})
+	m, _, err := reg.Register([]byte(parallelSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Built.Parallel != 3 {
+		t.Fatalf("built spec parallel = %d, want 3", m.Built.Parallel)
+	}
+	res, err := reg.Draw(m, DrawOptions{K: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parallel != 3 {
+		t.Fatalf("default draw ran %d parallel workers, want the spec's 3", res.Parallel)
+	}
+	over, err := reg.Draw(m, DrawOptions{K: 2, Seed: 7, Parallel: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Parallel != 5 {
+		t.Fatalf("override draw ran %d parallel workers, want 5", over.Parallel)
+	}
+	if !reflect.DeepEqual(over.Samples, res.Samples) {
+		t.Fatal("parallel worker counts changed the served samples")
+	}
+}
+
+// TestServerParallelDefault: the registry-level default (lserved -parallel)
+// applies only when the draw is centralized and nothing else names a count.
+func TestServerParallelDefault(t *testing.T) {
+	reg := NewRegistry(Config{DefaultParallel: 2})
+	m, _, err := reg.Register([]byte(coloringSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := reg.Draw(m, DrawOptions{K: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parallel != 2 {
+		t.Fatalf("draw ran %d parallel workers, want the server default 2", res.Parallel)
+	}
+	// A sharded draw ignores the parallel default instead of erroring.
+	sharded, err := reg.Draw(m, DrawOptions{K: 1, Seed: 3, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Parallel > 1 {
+		t.Fatalf("sharded draw also ran parallel rounds: %+v", sharded)
+	}
+	if !reflect.DeepEqual(sharded.Samples, res.Samples) {
+		t.Fatal("runtime choice changed the served samples")
+	}
+}
+
+// TestRequestOverridesOtherRuntimeDefault: an explicit request for one
+// in-chain runtime suppresses the other's serving defaults instead of
+// colliding with them — a parallel request on a spec whose default is
+// shards runs parallel, and a shards request on a parallel-default spec
+// runs sharded.
+func TestRequestOverridesOtherRuntimeDefault(t *testing.T) {
+	reg := NewRegistry(Config{})
+	shardedM, _, err := reg.Register([]byte(shardedSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := reg.Draw(shardedM, DrawOptions{K: 1, Seed: 9, Parallel: 4})
+	if err != nil {
+		t.Fatalf("parallel request on shards-default spec: %v", err)
+	}
+	if res.Parallel != 4 || res.Shards > 1 {
+		t.Fatalf("parallel request on shards-default spec ran shards=%d parallel=%d", res.Shards, res.Parallel)
+	}
+	parallelM, _, err := reg.Register([]byte(parallelSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = reg.Draw(parallelM, DrawOptions{K: 1, Seed: 9, Shards: 2})
+	if err != nil {
+		t.Fatalf("shards request on parallel-default spec: %v", err)
+	}
+	if res.Shards != 2 || res.Parallel > 1 {
+		t.Fatalf("shards request on parallel-default spec ran shards=%d parallel=%d", res.Shards, res.Parallel)
+	}
+}
+
+// TestParallelOptionRejections: CSPs, negative counts, out-of-range counts,
+// and an explicit shards+parallel conflict are all rejected.
+func TestParallelOptionRejections(t *testing.T) {
+	reg := NewRegistry(Config{})
+	m, _, err := reg.Register([]byte(coloringSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Draw(m, DrawOptions{K: 1, Parallel: -1}); err == nil {
+		t.Fatal("negative parallel accepted")
+	}
+	if _, err := reg.Draw(m, DrawOptions{K: 1, Parallel: 1 << 20}); err == nil {
+		t.Fatal("oversized parallel accepted")
+	}
+	if _, err := reg.Draw(m, DrawOptions{K: 1, Shards: 2, Parallel: 2}); err == nil {
+		t.Fatal("explicit shards+parallel conflict accepted")
+	}
+	csp, _, err := reg.Register([]byte(cspSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Draw(csp, DrawOptions{K: 1, Rounds: 10, Parallel: 2}); err == nil {
+		t.Fatal("csp parallel draw accepted")
+	}
+}
+
+// TestParallelCacheKeying: parallel participates in the compile key with
+// 0/1 canonicalized, so sequential spellings share one entry and each real
+// worker count gets its own.
+func TestParallelCacheKeying(t *testing.T) {
+	reg := NewRegistry(Config{})
+	m, _, err := reg.Register([]byte(coloringSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := reg.Compiles()
+	if _, err := reg.Draw(m, DrawOptions{K: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Draw(m, DrawOptions{K: 1, Parallel: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Compiles(); got != base {
+		t.Fatalf("parallel=0/1 split the cache: %d compiles after registration's %d", got, base)
+	}
+	if _, err := reg.Draw(m, DrawOptions{K: 1, Parallel: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Compiles(); got != base+1 {
+		t.Fatalf("parallel=4 compile count = %d, want %d", got, base+1)
+	}
+	if _, err := reg.Draw(m, DrawOptions{K: 1, Parallel: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Compiles(); got != base+1 {
+		t.Fatalf("repeat parallel=4 draw recompiled: %d", got)
+	}
+}

@@ -44,6 +44,13 @@ type Config struct {
 	DefaultShards int
 	// MaxShards bounds the per-request shard count (default 1024).
 	MaxShards int
+	// DefaultParallel is the vertex-parallel worker count centralized draws
+	// run with when neither the request nor the model's spec names one
+	// (default 0 = sequential rounds).
+	DefaultParallel int
+	// MaxParallel bounds the per-request vertex-parallel worker count
+	// (default 1024).
+	MaxParallel int
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +65,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxShards <= 0 {
 		c.MaxShards = 1024
+	}
+	if c.MaxParallel <= 0 {
+		c.MaxParallel = 1024
 	}
 	return c
 }
@@ -145,6 +155,9 @@ type compileKey struct {
 	// shards is the resolved shard count, canonicalized so 0 and 1 (both
 	// centralized) never split one workload across two cache entries.
 	shards int
+	// parallel is the resolved vertex-parallel worker count, canonicalized
+	// the same way (0 and 1 both mean sequential rounds).
+	parallel int
 }
 
 // compiled is one cache entry: a reusable MRF batch sampler, or the
@@ -303,6 +316,11 @@ type DrawOptions struct {
 	// server's). Sharding never changes the samples — only how fast one
 	// chain advances.
 	Shards int
+	// Parallel overrides the vertex-parallel worker count every chain's
+	// rounds run with (MRF models only; 0 falls back to the spec's default,
+	// then the server's). Like Shards it never changes the samples, and the
+	// two are mutually exclusive per draw.
+	Parallel int
 }
 
 // DrawResult is one served batch.
@@ -317,6 +335,9 @@ type DrawResult struct {
 	Algorithm string
 	// Shards is the shard count each chain ran with (1 = centralized).
 	Shards int
+	// Parallel is the vertex-parallel worker count each chain's rounds ran
+	// with (1 = sequential rounds).
+	Parallel int
 	// Shard aggregates the sharded runtime's profile across the batch
 	// (zero when centralized).
 	Shard locsample.ShardStats
@@ -386,6 +407,9 @@ func (r *Registry) draw(m *Model, opts DrawOptions) (*DrawResult, error) {
 	if opts.Shards < 0 || opts.Shards > r.cfg.MaxShards {
 		return nil, fmt.Errorf("service: shards must be in [0,%d], got %d", r.cfg.MaxShards, opts.Shards)
 	}
+	if opts.Parallel < 0 || opts.Parallel > r.cfg.MaxParallel {
+		return nil, fmt.Errorf("service: parallel must be in [0,%d], got %d", r.cfg.MaxParallel, opts.Parallel)
+	}
 	c, err := r.getCompiled(m, opts)
 	if err != nil {
 		return nil, err
@@ -402,6 +426,7 @@ func (r *Registry) draw(m *Model, opts DrawOptions) (*DrawResult, error) {
 			TheoryRounds: batch.TheoryRounds,
 			Algorithm:    algorithmName(m, opts),
 			Shards:       c.sampler.Shards(),
+			Parallel:     c.sampler.ParallelRounds(),
 			Shard:        batch.Shard,
 			Elapsed:      time.Since(start),
 		}, nil
@@ -415,6 +440,7 @@ func (r *Registry) draw(m *Model, opts DrawOptions) (*DrawResult, error) {
 		Rounds:    c.rounds,
 		Algorithm: "lubyglauber",
 		Shards:    1,
+		Parallel:  1,
 		Elapsed:   time.Since(start),
 	}, nil
 }
@@ -485,6 +511,9 @@ func (r *Registry) compileKeyFor(m *Model, opts DrawOptions) (compileKey, error)
 		if opts.Shards > 1 {
 			return key, fmt.Errorf("service: csp models do not support sharded draws")
 		}
+		if opts.Parallel > 1 {
+			return key, fmt.Errorf("service: csp models do not support vertex-parallel rounds")
+		}
 		if opts.Algorithm != "" {
 			// Accept any spelling of the one chain CSPs run.
 			if a, err := ParseAlgorithm(opts.Algorithm); err != nil || a != locsample.LubyGlauber {
@@ -516,20 +545,38 @@ func (r *Registry) compileKeyFor(m *Model, opts DrawOptions) (compileKey, error)
 	// the model's vertex count (a blanket -shards 8 must not make every
 	// draw of a 4-vertex model fail); explicit request values are not —
 	// the client asked for something impossible and should hear so.
+	//
+	// The two in-chain runtimes are mutually exclusive per draw, and the
+	// request outranks every default: a request that explicitly picks one
+	// runtime suppresses the DEFAULTS of the other (a parallel request on
+	// a spec whose serving default is shards runs parallel, and vice
+	// versa). Only a request naming both reaches the engine's
+	// mutual-exclusion error.
 	shards := opts.Shards
-	if shards == 0 {
+	if shards == 0 && opts.Parallel <= 1 {
 		shards = m.Built.Shards
-	}
-	if shards == 0 {
-		shards = r.cfg.DefaultShards
-		if n := m.Built.Graph.N(); shards > n {
-			shards = n
+		if shards == 0 {
+			shards = r.cfg.DefaultShards
+			if n := m.Built.Graph.N(); shards > n {
+				shards = n
+			}
 		}
 	}
 	if shards <= 1 {
 		shards = 0
 	}
 	key.shards = shards
+	parallel := opts.Parallel
+	if parallel == 0 && key.shards == 0 {
+		parallel = m.Built.Parallel
+		if parallel == 0 {
+			parallel = r.cfg.DefaultParallel
+		}
+	}
+	if parallel <= 1 {
+		parallel = 0
+	}
+	key.parallel = parallel
 	return key, nil
 }
 
@@ -553,6 +600,9 @@ func (r *Registry) compile(m *Model, key compileKey, opts DrawOptions) (*compile
 	}
 	if key.shards > 1 {
 		sopts = append(sopts, locsample.WithShards(key.shards))
+	}
+	if key.parallel > 1 {
+		sopts = append(sopts, locsample.WithParallelRounds(key.parallel))
 	}
 	r.compiles.Add(1)
 	sampler, err := locsample.NewSampler(m.Built.Model, sopts...)

@@ -32,6 +32,9 @@ type Built struct {
 	// Shards is the MRF default shard count for served draws (0 when the
 	// spec left it to the request); 0 for CSPs.
 	Shards int
+	// Parallel is the MRF default vertex-parallel worker count for served
+	// draws (0 when the spec left it to the request); 0 for CSPs.
+	Parallel int
 }
 
 // Build validates s, constructs its graph and model, and — for CSPs —
@@ -76,6 +79,7 @@ func Build(s *Spec) (*Built, error) {
 	}
 	if b.MRF != nil {
 		b.Shards = ms.Shards
+		b.Parallel = ms.Parallel
 	}
 	return b, nil
 }

@@ -1,0 +1,79 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSpecParallelField: the parallel serving default is accepted on MRF
+// kinds, round-trips through the canonical encoding, flows into Build, and
+// is rejected where it cannot mean anything.
+func TestSpecParallelField(t *testing.T) {
+	good := `{
+		"version": "locsample/v1",
+		"graph": {"family": "grid", "rows": 4, "cols": 4},
+		"model": {"kind": "coloring", "q": 8, "parallel": 4}
+	}`
+	s, err := Decode([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Model.Parallel != 4 {
+		t.Fatalf("decoded parallel = %d", s.Model.Parallel)
+	}
+	b, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Parallel != 4 {
+		t.Fatalf("built parallel = %d", b.Parallel)
+	}
+	enc, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(enc), `"parallel":4`) {
+		t.Fatalf("canonical encoding lost parallel: %s", enc)
+	}
+	// The field participates in the hash when present, and its absence
+	// leaves pre-existing hashes untouched.
+	plain := strings.Replace(good, `, "parallel": 4`, "", 1)
+	sp, err := Decode([]byte(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, _ := Hash(sp)
+	hs, _ := Hash(s)
+	if hp == hs {
+		t.Fatal("parallel field does not participate in the content hash")
+	}
+
+	for name, bad := range map[string]string{
+		"csp": `{
+			"version": "locsample/v1",
+			"graph": {"family": "cycle", "n": 4},
+			"model": {"kind": "csp", "q": 2, "parallel": 2, "constraints": [
+				{"kind": "cover", "scope": [0, 1]}
+			]}
+		}`,
+		"negative": `{
+			"version": "locsample/v1",
+			"graph": {"family": "grid", "rows": 4, "cols": 4},
+			"model": {"kind": "coloring", "q": 8, "parallel": -1}
+		}`,
+		"over-limit": `{
+			"version": "locsample/v1",
+			"graph": {"family": "grid", "rows": 2000, "cols": 2},
+			"model": {"kind": "coloring", "q": 8, "parallel": 2000}
+		}`,
+		"with-shards": `{
+			"version": "locsample/v1",
+			"graph": {"family": "grid", "rows": 4, "cols": 4},
+			"model": {"kind": "coloring", "q": 8, "shards": 2, "parallel": 2}
+		}`,
+	} {
+		if _, err := Decode([]byte(bad)); err == nil {
+			t.Fatalf("%s: invalid parallel accepted", name)
+		}
+	}
+}

@@ -53,6 +53,8 @@ const (
 	MaxArity = 8
 	// MaxShards bounds the per-model default shard count.
 	MaxShards = 1 << 10
+	// MaxParallel bounds the per-model default vertex-parallel worker count.
+	MaxParallel = 1 << 10
 	// MaxTableEntries bounds the total constraint-table entries of a spec.
 	MaxTableEntries = 1 << 22
 )
@@ -138,6 +140,12 @@ type ModelSpec struct {
 	// to the centralized chain at the same seed — so this is a serving
 	// default, not part of the distribution.
 	Shards int `json:"shards,omitempty"`
+	// Parallel optionally sets the default vertex-parallel worker count the
+	// serving layer runs this model's centralized draws with (every MRF
+	// kind; requests may override it). Like Shards it never changes
+	// outputs — parallel rounds are bit-identical to sequential rounds at
+	// every worker count — and the two are mutually exclusive per draw.
+	Parallel int `json:"parallel,omitempty"`
 }
 
 // ConstraintSpec is one weighted local constraint in serializable form.
@@ -420,14 +428,14 @@ func (g *GraphSpec) size() (n, m int, err error) {
 // silently ignored by Build yet still change the content hash, splitting
 // one workload across several cache entries.
 var fieldsByKind = map[string][]string{
-	"coloring":       {"q", "shards"},
-	"listcoloring":   {"q", "lists", "shards"},
-	"hardcore":       {"lambda", "shards"},
-	"independentset": {"shards"},
-	"vertexcover":    {"shards"},
-	"ising":          {"beta", "field", "shards"},
-	"potts":          {"q", "beta", "shards"},
-	"mrf":            {"q", "edgeActivities", "vertexActivities", "shards"},
+	"coloring":       {"q", "shards", "parallel"},
+	"listcoloring":   {"q", "lists", "shards", "parallel"},
+	"hardcore":       {"lambda", "shards", "parallel"},
+	"independentset": {"shards", "parallel"},
+	"vertexcover":    {"shards", "parallel"},
+	"ising":          {"beta", "field", "shards", "parallel"},
+	"potts":          {"q", "beta", "shards", "parallel"},
+	"mrf":            {"q", "edgeActivities", "vertexActivities", "shards", "parallel"},
 	"csp":            {"q", "vertexActivities", "constraints", "init", "rounds"},
 }
 
@@ -446,6 +454,7 @@ func (ms *ModelSpec) checkStray() error {
 		"init":             len(ms.Init) != 0,
 		"rounds":           ms.Rounds != 0,
 		"shards":           ms.Shards != 0,
+		"parallel":         ms.Parallel != 0,
 	}
 	for _, f := range fieldsByKind[ms.Kind] {
 		delete(set, f)
@@ -470,6 +479,14 @@ func (ms *ModelSpec) validate(n, m int, randomM bool) error {
 		}
 		if ms.Shards > n {
 			return fmt.Errorf("spec: %d shards for %d vertices (every shard must own a vertex)", ms.Shards, n)
+		}
+	}
+	if ms.Parallel != 0 {
+		if ms.Parallel < 0 || ms.Parallel > MaxParallel {
+			return fmt.Errorf("spec: parallel must be in [0,%d], got %d", MaxParallel, ms.Parallel)
+		}
+		if ms.Shards > 1 && ms.Parallel > 1 {
+			return fmt.Errorf("spec: shards and parallel are mutually exclusive serving defaults")
 		}
 	}
 	switch ms.Kind {

@@ -61,6 +61,9 @@ type BuiltSpec struct {
 	// Shards is the MRF spec's default shard count for served draws
 	// (0 when the spec leaves it to the caller); 0 for CSPs.
 	Shards int
+	// Parallel is the MRF spec's default vertex-parallel worker count for
+	// served draws (0 when the spec leaves it to the caller); 0 for CSPs.
+	Parallel int
 }
 
 // BuildSpec validates s and constructs the workload it describes. The same
@@ -72,13 +75,14 @@ func BuildSpec(s *Spec) (*BuiltSpec, error) {
 		return nil, err
 	}
 	return &BuiltSpec{
-		Hash:   b.Hash,
-		Graph:  b.Graph,
-		Model:  b.MRF,
-		CSP:    b.CSP,
-		Init:   b.Init,
-		Rounds: b.Rounds,
-		Shards: b.Shards,
+		Hash:     b.Hash,
+		Graph:    b.Graph,
+		Model:    b.MRF,
+		CSP:      b.CSP,
+		Init:     b.Init,
+		Rounds:   b.Rounds,
+		Shards:   b.Shards,
+		Parallel: b.Parallel,
 	}, nil
 }
 
