@@ -11,27 +11,29 @@ test:
 
 # The parallel runtimes under the race detector (GOMAXPROCS pinned > 1 so
 # goroutines genuinely interleave), plus the CI gate: sharded and
-# vertex-parallel draws must equal centralized sequential draws
-# byte-for-byte.
+# vertex-parallel draws — MRF and CSP alike — must equal centralized
+# sequential draws byte-for-byte.
 race:
 	GOMAXPROCS=4 $(GO) test -race ./internal/cluster/... ./internal/partition/...
-	GOMAXPROCS=4 $(GO) test -race -run 'Parallel' ./internal/chains/ ./internal/service/ .
+	GOMAXPROCS=4 $(GO) test -race -run 'Parallel|CSP' ./internal/chains/ ./internal/csp/ ./internal/service/ .
 
 bit-identity:
 	GOMAXPROCS=4 $(GO) test -count=1 -run 'TestShardedBitIdentical|TestWithShardsBitIdentical|TestServerShardedDrawBitIdentical|TestParallelRoundsMatchSequential|TestWithParallelRoundsBitIdentical|TestServerParallelDrawBitIdentical' \
 		./internal/cluster/ ./internal/chains/ ./internal/service/ .
+	GOMAXPROCS=4 $(GO) test -count=1 -run 'MatchesReference|TestCSPShardedBitIdentical|TestCSPParallelRoundsMatchSequential|TestWithShardsCSPBitIdentical|TestWithParallelRoundsCSPBitIdentical|TestCSPSamplerBatchDeterminism|TestServerCSPShardedDrawBitIdentical|TestServerCSPParallelDrawBitIdentical' \
+		./internal/csp/ ./internal/cluster/ ./internal/service/ .
 
 # Perf trajectory: run the core benchmark suite and write machine-readable
-# results (ns/op, allocs/op, vertices/sec, shard/parallel speedups, and
-# speedup_vs the previous PR's report) to the repo root.
+# results (ns/op, allocs/op, vertices/sec, shard/parallel speedups, the CSP
+# chain suite, and speedup_vs the previous PR's report) to the repo root.
 bench-json:
-	GOMAXPROCS=4 $(GO) run ./cmd/lsbench -out BENCH_PR4.json -baseline BENCH_PR3.json
+	GOMAXPROCS=4 $(GO) run ./cmd/lsbench -out BENCH_PR5.json -baseline BENCH_PR4.json
 
 # CI smoke variant: small sizes, throwaway output. Fails if a benchmark
 # matched in the checked-in baseline regresses >20% on the same host class
 # (cross-class runs skip the comparison — see lsbench -baseline).
 bench-json-quick:
-	GOMAXPROCS=4 $(GO) run ./cmd/lsbench -quick -baseline BENCH_PR4.json -max-regress 0.20 -out /tmp/locsample-bench.json
+	GOMAXPROCS=4 $(GO) run ./cmd/lsbench -quick -baseline BENCH_PR5.json -max-regress 0.20 -out /tmp/locsample-bench.json
 
 fmt:
 	gofmt -l .

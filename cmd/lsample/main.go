@@ -20,6 +20,8 @@
 //	lsample -graph grid -rows 64 -cols 64 -model coloring -count 256 -workers 8
 //	lsample -graph grid -rows 1024 -cols 1024 -model coloring -shards 4 -rounds 24
 //	lsample -graph complete -n 40 -model domset -lambda 0.8 -count 64 -rounds 300
+//	lsample -graph grid -rows 512 -cols 512 -model domset -shards 4 -rounds 100
+//	lsample -graph grid -rows 512 -cols 512 -model domset -parallel 4 -rounds 100
 //	lsample -model-file spec.json -count 16 -seed 7 -json
 package main
 
@@ -55,8 +57,8 @@ func main() {
 		distr     = flag.Bool("distributed", false, "run on the LOCAL-model runtime and report message stats")
 		count     = flag.Int("count", 1, "number of independent samples (batch engine when > 1)")
 		workers   = flag.Int("workers", 0, "worker goroutines for -count > 1 (0 = GOMAXPROCS)")
-		shards    = flag.Int("shards", 0, "shard workers per chain (sharded cluster runtime when > 1; bit-identical output)")
-		parallel  = flag.Int("parallel", 0, "vertex-parallel goroutines per round phase (when > 1; bit-identical output, exclusive with -shards)")
+		shards    = flag.Int("shards", 0, "shard workers per chain (sharded cluster runtime when > 1; MRF and CSP workloads alike; bit-identical output)")
+		parallel  = flag.Int("parallel", 0, "vertex-parallel goroutines per round phase (when > 1; MRF and CSP workloads alike; bit-identical output, exclusive with -shards)")
 		shardStr  = flag.String("shard-strategy", "range", "graph partitioner: range|bfs")
 		modelFile = flag.String("model-file", "", "load the workload from a JSON spec file (overrides -graph/-model flags)")
 		jsonOut   = flag.Bool("json", false, "emit the report and samples as JSON")
@@ -79,19 +81,14 @@ func main() {
 		fatal(err)
 	}
 	if *model == "domset" {
-		if *shards > 1 {
-			fatal(fmt.Errorf("-shards is not supported for CSP workloads (only LubyGlauber/LocalMetropolis MRF chains shard)"))
-		}
-		if *parallel > 1 {
-			fatal(fmt.Errorf("-parallel is not supported for CSP workloads (only LubyGlauber/LocalMetropolis MRF chains have vertex-parallel rounds)"))
-		}
 		c := locsample.NewWeightedDominatingSet(g, *lambda)
 		init := make([]int, g.N())
 		for i := range init {
 			init[i] = 1
 		}
 		desc := fmt.Sprintf("dominating set λ=%g (weighted local CSP)", *lambda)
-		runCSP(g, c, init, desc, *rounds, *seed, *distr, *count, *workers, *jsonOut, *verbose, true)
+		runCSP(g, c, init, desc, *rounds, *seed, *distr, *count, *workers,
+			*shards, *parallel, strat, *jsonOut, *verbose, true)
 		return
 	}
 	m, modelDesc, err := buildModel(g, *model, *q, *lambda, *beta, *field)
@@ -128,16 +125,19 @@ func runSpecFile(path, algName string, eps float64, rounds int, seed uint64,
 		graphKind = "edges"
 	}
 	if built.CSP != nil {
-		if shards > 1 {
-			fatal(fmt.Errorf("-shards is not supported for CSP specs (only LubyGlauber/LocalMetropolis MRF chains shard)"))
-		}
-		if parallel > 1 {
-			fatal(fmt.Errorf("-parallel is not supported for CSP specs (only LubyGlauber/LocalMetropolis MRF chains have vertex-parallel rounds)"))
-		}
 		if rounds <= 0 {
 			rounds = built.Rounds
 		}
-		runCSP(built.Graph, built.CSP, built.Init, desc, rounds, seed, distr, count, workers, jsonOut, verbose, false)
+		// Adopt the spec's serving defaults, except where the user already
+		// picked a runtime (same precedence as the MRF path below).
+		if shards == 0 && parallel <= 1 && !distr {
+			shards = built.Shards
+		}
+		if parallel == 0 && shards <= 1 && !distr {
+			parallel = built.Parallel
+		}
+		runCSP(built.Graph, built.CSP, built.Init, desc, rounds, seed, distr, count, workers,
+			shards, parallel, strat, jsonOut, verbose, false)
 		return
 	}
 	// Adopt the spec's serving defaults, except where the user already
@@ -469,24 +469,66 @@ func runBatch(g *locsample.Graph, m *locsample.Model, graphKind, modelDesc strin
 }
 
 // runCSP handles weighted-CSP workloads (the -model domset flag and CSP
-// specs), which go through SampleCSP rather than Sample. With -count > 1
-// it uses the CSP batch engine (SampleCSPN): chain i is bit-identical to a
+// specs), which go through the CSP engine rather than Sample. With
+// -count > 1 it uses the CSP batch engine: chain i is bit-identical to a
 // single draw with seed ChainSeed(seed, i), the same contract as MRF
-// batches. domset gates the dominating-set verdict: it is meaningful only
-// for the domset flag path, not for arbitrary q=2 CSP specs.
+// batches. -shards runs every chain on the sharded cluster runtime over
+// constraint-scope halos and -parallel fans round phases over goroutines —
+// both bit-identical to the sequential chain. domset gates the
+// dominating-set verdict: it is meaningful only for the domset flag path,
+// not for arbitrary q=2 CSP specs.
 func runCSP(g *locsample.Graph, c *locsample.CSPModel, init []int, modelDesc string,
-	rounds int, seed uint64, distr bool, count, workers int, jsonOut, verbose, domset bool) {
+	rounds int, seed uint64, distr bool, count, workers, shards, parallel int,
+	strat locsample.ShardStrategy, jsonOut, verbose, domset bool) {
 	if rounds <= 0 {
 		rounds = 200
+	}
+	var opts []locsample.Option
+	if shards > 1 {
+		opts = append(opts, locsample.WithShards(shards), locsample.WithShardStrategy(strat))
+	}
+	if parallel > 1 {
+		opts = append(opts, locsample.WithParallelRounds(parallel))
 	}
 	if count > 1 {
 		if distr {
 			fatal(fmt.Errorf("-distributed is not supported with -count > 1 for CSP workloads (batch chains run the centralized replay)"))
 		}
-		runCSPBatch(g, c, init, modelDesc, rounds, seed, count, workers, jsonOut, verbose, domset)
+		runCSPBatch(g, c, init, modelDesc, rounds, seed, count, workers, parallel, opts, jsonOut, verbose, domset)
 		return
 	}
-	out, stats, err := locsample.SampleCSP(g, c, init, rounds, seed, distr)
+	if distr {
+		out, stats, err := locsample.SampleCSP(g, c, init, rounds, seed, true, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		if jsonOut {
+			r := newJSONReport(g, "", modelDesc, "hypergraph lubyglauber", seed)
+			r.Graph.Kind = "csp"
+			r.Rounds = rounds
+			r.Count = 1
+			r.Stats = &stats
+			r.Samples = [][]int{out}
+			emitJSON(r)
+			return
+		}
+		fmt.Printf("graph: n=%d m=%d Δ=%d\n", g.N(), g.M(), g.MaxDeg())
+		fmt.Printf("model: %s\n", modelDesc)
+		fmt.Printf("algorithm: hypergraph LubyGlauber, %d chain iterations\n", rounds)
+		fmt.Printf("communication: %d LOCAL rounds, %d messages, max message %d bytes\n",
+			stats.Rounds, stats.Messages, stats.MaxMessageBytes)
+		reportCSP(g, c, out, domset)
+		if verbose {
+			fmt.Printf("sample: %v\n", out)
+		}
+		return
+	}
+	s, err := locsample.NewCSPSampler(g, c, init,
+		append([]locsample.Option{locsample.WithRounds(rounds), locsample.WithSeed(seed)}, opts...)...)
+	if err != nil {
+		fatal(err)
+	}
+	out, shardStats, err := s.Sample()
 	if err != nil {
 		fatal(err)
 	}
@@ -495,8 +537,12 @@ func runCSP(g *locsample.Graph, c *locsample.CSPModel, init []int, modelDesc str
 		r.Graph.Kind = "csp"
 		r.Rounds = rounds
 		r.Count = 1
-		if distr {
-			r.Stats = &stats
+		if shardStats != nil {
+			r.Shards = shardStats.Shards
+			r.ShardStats = shardStats
+		}
+		if parallel > 1 {
+			r.Parallel = parallel
 		}
 		r.Samples = [][]int{out}
 		emitJSON(r)
@@ -505,9 +551,11 @@ func runCSP(g *locsample.Graph, c *locsample.CSPModel, init []int, modelDesc str
 	fmt.Printf("graph: n=%d m=%d Δ=%d\n", g.N(), g.M(), g.MaxDeg())
 	fmt.Printf("model: %s\n", modelDesc)
 	fmt.Printf("algorithm: hypergraph LubyGlauber, %d chain iterations\n", rounds)
-	if distr {
-		fmt.Printf("communication: %d LOCAL rounds, %d messages, max message %d bytes\n",
-			stats.Rounds, stats.Messages, stats.MaxMessageBytes)
+	if shardStats != nil {
+		printShardStats(shardStats)
+	}
+	if parallel > 1 {
+		fmt.Printf("parallel rounds: %d goroutines per phase\n", parallel)
 	}
 	reportCSP(g, c, out, domset)
 	if verbose {
@@ -518,19 +566,36 @@ func runCSP(g *locsample.Graph, c *locsample.CSPModel, init []int, modelDesc str
 // runCSPBatch draws count CSP samples through the worker-pool batch engine
 // and reports throughput, mirroring runBatch for MRFs.
 func runCSPBatch(g *locsample.Graph, c *locsample.CSPModel, init []int, modelDesc string,
-	rounds int, seed uint64, count, workers int, jsonOut, verbose, domset bool) {
+	rounds int, seed uint64, count, workers, parallel int,
+	opts []locsample.Option, jsonOut, verbose, domset bool) {
+	sopts := append([]locsample.Option{locsample.WithRounds(rounds), locsample.WithSeed(seed)}, opts...)
+	if workers > 0 {
+		sopts = append(sopts, locsample.WithWorkers(workers))
+	}
+	s, err := locsample.NewCSPSampler(g, c, init, sopts...)
+	if err != nil {
+		fatal(err)
+	}
 	start := time.Now()
-	samples, err := locsample.SampleCSPN(g, c, init, rounds, seed, count, workers)
+	batch, err := s.SampleNFrom(seed, count)
 	if err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
+	samples := batch.Samples
 	if jsonOut {
 		r := newJSONReport(g, "", modelDesc, "hypergraph lubyglauber", seed)
 		r.Graph.Kind = "csp"
 		r.Rounds = rounds
 		r.Count = count
 		r.ElapsedMS = float64(elapsed.Nanoseconds()) / 1e6
+		if batch.Shard.Shards > 1 {
+			r.Shards = batch.Shard.Shards
+			r.ShardStats = &batch.Shard
+		}
+		if parallel > 1 {
+			r.Parallel = parallel
+		}
 		r.Samples = samples
 		emitJSON(r)
 		return
@@ -540,6 +605,12 @@ func runCSPBatch(g *locsample.Graph, c *locsample.CSPModel, init []int, modelDes
 	fmt.Printf("algorithm: hypergraph LubyGlauber, %d chain iterations\n", rounds)
 	fmt.Printf("batch: %d samples in %v  (%.1f samples/sec)\n",
 		count, elapsed.Round(time.Millisecond), float64(count)/elapsed.Seconds())
+	if batch.Shard.Shards > 1 {
+		printShardStats(&batch.Shard)
+	}
+	if parallel > 1 {
+		fmt.Printf("parallel rounds: %d goroutines per phase\n", parallel)
+	}
 	if verbose {
 		for i, out := range samples {
 			fmt.Printf("sample %d: %v\n", i, out)

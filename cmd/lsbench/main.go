@@ -1,16 +1,18 @@
 // Command lsbench runs the repository's core performance suite — batch
 // engine throughput, serving-layer draws, sharded single-chain latency at
-// ≥10⁶ vertices, and vertex-parallel round latency — and writes a
-// machine-readable JSON report. The BENCH_PR*.json files at the repo root
-// record the perf trajectory PR over PR; with -baseline the report also
-// carries a per-benchmark speedup_vs field against an earlier report, so
-// the trajectory is auditable by machines, and with -max-regress the run
-// FAILS when a matched benchmark's vertices/sec regresses beyond the
-// threshold on the same host class. CI runs the -quick variant as a
+// ≥10⁶ vertices, vertex-parallel round latency, and the CSP chain suite
+// (dominating sets on grid/gnp, NAE hypergraph coloring; sequential,
+// sharded, parallel, and the retired seed-era kernel as a reference) — and
+// writes a machine-readable JSON report. The BENCH_PR*.json files at the
+// repo root record the perf trajectory PR over PR; with -baseline the
+// report also carries a per-benchmark speedup_vs field against an earlier
+// report, so the trajectory is auditable by machines, and with -max-regress
+// the run FAILS when a matched benchmark's vertices/sec regresses beyond
+// the threshold on the same host class. CI runs the -quick variant as a
 // regression smoke.
 //
-//	GOMAXPROCS=4 go run ./cmd/lsbench -out BENCH_PR4.json -baseline BENCH_PR3.json
-//	go run ./cmd/lsbench -quick -baseline BENCH_PR4.json -max-regress 0.2 -out /tmp/bench.json
+//	GOMAXPROCS=4 go run ./cmd/lsbench -out BENCH_PR5.json -baseline BENCH_PR4.json
+//	go run ./cmd/lsbench -quick -baseline BENCH_PR5.json -max-regress 0.2 -out /tmp/bench.json
 package main
 
 import (
@@ -22,6 +24,8 @@ import (
 	"testing"
 
 	"locsample"
+	"locsample/internal/csp"
+	"locsample/internal/rng"
 	"locsample/internal/service"
 )
 
@@ -33,7 +37,10 @@ type Report struct {
 	CPUs       int    `json:"cpus"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	Quick      bool   `json:"quick,omitempty"`
-	Note       string `json:"note,omitempty"`
+	// BestOf records the repetition count of the single-chain latency
+	// suites (each entry keeps its fastest of BestOf runs).
+	BestOf int    `json:"bestOf,omitempty"`
+	Note   string `json:"note,omitempty"`
 	// Baseline names the report speedup_vs is computed against.
 	Baseline   string  `json:"baseline,omitempty"`
 	Benchmarks []Entry `json:"benchmarks"`
@@ -72,7 +79,7 @@ type Entry struct {
 
 func main() {
 	var (
-		out        = flag.String("out", "BENCH_PR4.json", "output JSON path")
+		out        = flag.String("out", "BENCH_PR5.json", "output JSON path")
 		quick      = flag.Bool("quick", false, "small sizes for CI smoke runs")
 		baseline   = flag.String("baseline", "", "earlier report to compute per-benchmark speedup_vs against")
 		maxRegress = flag.Float64("max-regress", 0, "fail if a matched benchmark's vertices/sec regresses more than this fraction vs -baseline on the same host class (0 = report only)")
@@ -86,6 +93,7 @@ func main() {
 		CPUs:       runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Quick:      *quick,
+		BestOf:     3,
 		Speedup:    map[string]map[string]float64{},
 	}
 	if cores := min(rep.CPUs, rep.GOMAXPROCS); cores < 4 {
@@ -97,6 +105,8 @@ func main() {
 	benchService(rep)
 	shardSuite(rep, *quick)
 	parallelSuite(rep, *quick)
+	cspSuite(rep, *quick)
+	cspSmoke(rep)
 
 	regressions := applyBaseline(rep, *baseline, *maxRegress)
 
@@ -247,9 +257,26 @@ func benchWorkloads(quick bool) (workloads []struct {
 	return workloads, rounds
 }
 
-// benchSingleChain times single draws through a compiled sampler.
+// benchmarkBest runs fn through testing.Benchmark n times and keeps the
+// fastest result. The single-chain latency suites run few iterations per
+// measurement (hundreds of milliseconds per op), so one noisy-neighbor
+// stall in a shared container can swing a single run by ±25%; the best of
+// three is a stable estimator of the workload's actual cost.
+func benchmarkBest(n int, fn func(b *testing.B)) testing.BenchmarkResult {
+	var best testing.BenchmarkResult
+	for i := 0; i < n; i++ {
+		res := testing.Benchmark(fn)
+		if i == 0 || res.NsPerOp() < best.NsPerOp() {
+			best = res
+		}
+	}
+	return best
+}
+
+// benchSingleChain times single draws through a compiled sampler (best of
+// three runs).
 func benchSingleChain(s *locsample.Sampler) testing.BenchmarkResult {
-	return testing.Benchmark(func(b *testing.B) {
+	return benchmarkBest(3, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := s.SampleNFrom(uint64(i), 1); err != nil {
@@ -306,6 +333,243 @@ func parallelSuite(rep *Report, quick bool) {
 			rep.add(fmt.Sprintf("Chain/%s/parallel=%d", wl.name, par),
 				wl.g.N(), wl.g.M(), rounds, 1, 0, par, res)
 		}
+	}
+}
+
+// refCSPMarginalInto is the seed-era closure-path conditional marginal
+// (per-call gather buffer, Constraint.F calls), kept here so the report
+// carries an auditable before/after for the compiled CSP kernels.
+func refCSPMarginalInto(c *csp.CSP, v int, sigma []int, out []float64) bool {
+	saved := sigma[v]
+	defer func() { sigma[v] = saved }()
+	buf := make([]int, 8)
+	total := 0.0
+	for a := 0; a < c.Q; a++ {
+		w := c.VertexB[v][a]
+		if w > 0 {
+			sigma[v] = a
+			for _, ci := range c.ConstraintsOf(v) {
+				con := &c.Cons[ci]
+				if cap(buf) < len(con.Scope) {
+					buf = make([]int, len(con.Scope))
+				}
+				vals := buf[:len(con.Scope)]
+				for i, u := range con.Scope {
+					vals[i] = sigma[u]
+				}
+				w *= con.F(vals)
+				if w == 0 {
+					break
+				}
+			}
+		}
+		out[a] = w
+		total += w
+	}
+	if total <= 0 {
+		return false
+	}
+	inv := 1 / total
+	for a := 0; a < c.Q; a++ {
+		out[a] *= inv
+	}
+	return true
+}
+
+// refCSPLubyGlauberRound is the seed-era hypergraph LubyGlauber round: per-
+// round β allocation, full 7-mix PRF calls per variate, closure marginals.
+func refCSPLubyGlauberRound(c *csp.CSP, x []int, seed uint64, round int, marg []float64) {
+	n := c.N
+	beta := make([]float64, n)
+	for v := 0; v < n; v++ {
+		beta[v] = rng.PRFFloat64(seed, csp.TagBeta, uint64(v), uint64(round))
+	}
+	for v := 0; v < n; v++ {
+		isMax := true
+		for _, u := range c.Neighborhood(v) {
+			if beta[u] >= beta[v] {
+				isMax = false
+				break
+			}
+		}
+		if !isMax {
+			continue
+		}
+		if refCSPMarginalInto(c, v, x, marg) {
+			u := rng.PRFFloat64(seed, csp.TagUpdate, uint64(v), uint64(round))
+			x[v] = rng.CategoricalU(marg, u)
+		}
+	}
+}
+
+// cspWorkloads returns the CSP chain workloads: dominating sets on a grid
+// and a sparse G(n,p) (seed picked so the max degree stays within the
+// arity-normalization cap), and NAE hypergraph 3-coloring over consecutive
+// triples.
+func cspWorkloads(quick bool) (workloads []struct {
+	name string
+	g    *locsample.Graph
+	c    *locsample.CSPModel
+	init []int
+}, rounds int) {
+	gridSide := 512 // 262,144 vertices
+	gnpN := 1 << 18
+	naeN := 1 << 18
+	rounds = 8
+	if quick {
+		gridSide, gnpN, naeN, rounds = 48, 1<<12, 1<<12, 4
+	}
+	grid := locsample.GridGraph(gridSide, gridSide)
+	gnp := locsample.SparseGnpGraph(gnpN, 2/float64(gnpN), 1)
+	ones := func(n int) []int {
+		x := make([]int, n)
+		for i := range x {
+			x[i] = 1
+		}
+		return x
+	}
+	scopes := make([][]int32, naeN)
+	for i := range scopes {
+		scopes[i] = []int32{int32(i), int32((i + 1) % naeN), int32((i + 2) % naeN)}
+	}
+	nae := csp.NotAllEqual(naeN, 3, scopes)
+	naeInit := make([]int, naeN)
+	for i := range naeInit {
+		naeInit[i] = i % 3
+	}
+	workloads = []struct {
+		name string
+		g    *locsample.Graph
+		c    *locsample.CSPModel
+		init []int
+	}{
+		{fmt.Sprintf("domset-grid%dx%d", gridSide, gridSide), grid, locsample.NewDominatingSet(grid), ones(grid.N())},
+		{fmt.Sprintf("domset-gnp%d", gnpN), gnp, locsample.NewDominatingSet(gnp), ones(gnp.N())},
+		{fmt.Sprintf("nae%d-q3", naeN), nil, nae, naeInit},
+	}
+	return workloads, rounds
+}
+
+// cspSuite measures the CSP chain: the retired seed-era kernel (ref), the
+// compiled sequential kernel (shards=1), sharded draws at 2 and 4 shards,
+// and vertex-parallel rounds at 2 and 4 workers. Per-workload speedups
+// record shard scaling plus kernel_vs_ref — the compiled-kernel win this
+// report exists to audit.
+func cspSuite(rep *Report, quick bool) {
+	workloads, rounds := cspWorkloads(quick)
+	for _, wl := range workloads {
+		n := wl.c.N
+		speed := map[string]float64{}
+
+		res := benchmarkBest(3, func(b *testing.B) {
+			x := make([]int, n)
+			marg := make([]float64, wl.c.Q)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(x, wl.init)
+				for r := 0; r < rounds; r++ {
+					refCSPLubyGlauberRound(wl.c, x, uint64(i), r, marg)
+				}
+			}
+		})
+		rep.add(fmt.Sprintf("CSPChain/%s/ref-seed-kernel", wl.name), n, len(wl.c.Cons), rounds, 1, 0, 0, res)
+		refNs := float64(res.NsPerOp())
+
+		base := 0.0
+		for _, shards := range []int{1, 2, 4} {
+			opts := []locsample.Option{locsample.WithSeed(3), locsample.WithRounds(rounds)}
+			if shards > 1 {
+				opts = append(opts, locsample.WithShards(shards))
+			}
+			s, err := locsample.NewCSPSampler(wl.g, wl.c, wl.init, opts...)
+			if err != nil {
+				fatal(err)
+			}
+			res := benchmarkBest(3, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.SampleNFrom(uint64(i), 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			rep.add(fmt.Sprintf("CSPChain/%s/shards=%d", wl.name, shards), n, len(wl.c.Cons), rounds, 1, shards, 0, res)
+			ns := float64(res.NsPerOp())
+			if shards == 1 {
+				base = ns
+				if ns > 0 {
+					speed["kernel_vs_ref"] = refNs / ns
+				}
+			} else if ns > 0 {
+				speed[fmt.Sprint(shards)] = base / ns
+			}
+		}
+		for _, par := range []int{2, 4} {
+			s, err := locsample.NewCSPSampler(wl.g, wl.c, wl.init,
+				locsample.WithSeed(3), locsample.WithRounds(rounds), locsample.WithParallelRounds(par))
+			if err != nil {
+				fatal(err)
+			}
+			res := benchmarkBest(3, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.SampleNFrom(uint64(i), 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			rep.add(fmt.Sprintf("CSPChain/%s/parallel=%d", wl.name, par), n, len(wl.c.Cons), rounds, 1, 0, par, res)
+		}
+		rep.Speedup["csp/"+wl.name] = speed
+	}
+}
+
+// cspSmoke measures fixed-size CSP draws that run identically in full and
+// quick reports — the entries CI's quick run matches by name against the
+// checked-in full-run baseline, so >20% CSP regressions fail the smoke the
+// way ServiceSample already gates the MRF serving path.
+func cspSmoke(rep *Report) {
+	const rounds = 8
+	grid := locsample.GridGraph(48, 48)
+	dom := locsample.NewDominatingSet(grid)
+	ones := make([]int, grid.N())
+	for i := range ones {
+		ones[i] = 1
+	}
+	const naeN = 4096
+	scopes := make([][]int32, naeN)
+	for i := range scopes {
+		scopes[i] = []int32{int32(i), int32((i + 1) % naeN), int32((i + 2) % naeN)}
+	}
+	nae := csp.NotAllEqual(naeN, 3, scopes)
+	naeInit := make([]int, naeN)
+	for i := range naeInit {
+		naeInit[i] = i % 3
+	}
+	for _, wl := range []struct {
+		name string
+		g    *locsample.Graph
+		c    *locsample.CSPModel
+		init []int
+	}{
+		{"domset-grid48x48", grid, dom, ones},
+		{"nae4096-q3", nil, nae, naeInit},
+	} {
+		s, err := locsample.NewCSPSampler(wl.g, wl.c, wl.init,
+			locsample.WithSeed(3), locsample.WithRounds(rounds))
+		if err != nil {
+			fatal(err)
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.SampleNFrom(uint64(i), 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.add("CSPSmoke/"+wl.name, wl.c.N, len(wl.c.Cons), rounds, 1, 0, 0, res)
 	}
 }
 

@@ -45,8 +45,8 @@ func main() {
 		cacheSize = flag.Int("cache", 64, "compiled-sampler LRU capacity")
 		maxModels = flag.Int("max-models", 1024, "registered-model limit")
 		maxK      = flag.Int("max-k", 4096, "per-request sample limit")
-		shards    = flag.Int("shards", 0, "default shard count for draws whose request and spec name none (0 = centralized; samples are bit-identical at every shard count)")
-		parallel  = flag.Int("parallel", 0, "default vertex-parallel worker count for centralized draws whose request and spec name none (0 = sequential rounds; samples are bit-identical at every worker count)")
+		shards    = flag.Int("shards", 0, "default shard count for draws whose request and spec name none (0 = centralized; MRF and CSP models alike; samples are bit-identical at every shard count)")
+		parallel  = flag.Int("parallel", 0, "default vertex-parallel worker count for centralized draws whose request and spec name none (0 = sequential rounds; MRF and CSP models alike; samples are bit-identical at every worker count)")
 		timeout   = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown grace period")
 	)
 	flag.Parse()

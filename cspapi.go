@@ -6,10 +6,13 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"locsample/internal/chains"
+	"locsample/internal/cluster"
 	"locsample/internal/core"
 	"locsample/internal/csp"
 	"locsample/internal/dist"
 	"locsample/internal/localmodel"
+	"locsample/internal/partition"
 )
 
 // CSPModel is a weighted local CSP (factor graph, §2.2 of the paper):
@@ -32,71 +35,190 @@ func NewWeightedDominatingSet(g *Graph, lambda float64) *CSPModel {
 }
 
 // NewCSP assembles a custom weighted local CSP; see csp.New for validation
-// rules (constraint arities are enumerated to normalize the factors, so
-// keep them small).
+// rules (constraint arities are enumerated to normalize — and compile — the
+// factors, so keep them small).
 func NewCSP(n, q int, vertexActivities [][]float64, cons []CSPConstraint) (*CSPModel, error) {
 	return csp.New(n, q, vertexActivities, cons)
 }
 
-// SampleCSP draws one configuration approximately distributed as the CSP's
-// Gibbs distribution using the hypergraph LubyGlauber chain (§3 remark).
-// When distributed is true the chain runs as a LOCAL protocol on network g
-// (two communication rounds per chain iteration; constraints must have
-// scope radius ≤ 1 on g, as cover constraints do). init must be feasible;
-// rounds > 0 is required (no general theory budget exists for arbitrary
-// CSPs).
-func SampleCSP(g *Graph, c *CSPModel, init []int, rounds int, seed uint64, distributed bool) ([]int, Stats, error) {
-	if rounds <= 0 {
-		return nil, Stats{}, fmt.Errorf("locsample: SampleCSP needs rounds > 0")
-	}
-	if len(init) != c.N {
-		return nil, Stats{}, fmt.Errorf("locsample: init length %d for %d vertices", len(init), c.N)
-	}
-	if !c.Feasible(init) {
-		return nil, Stats{}, fmt.Errorf("locsample: initial configuration is infeasible")
-	}
-	if distributed {
-		return dist.RunCSPLubyGlauber(g, c, init, seed, rounds)
-	}
-	x := append([]int(nil), init...)
-	marg := make([]float64, c.Q)
-	for k := 0; k < rounds; k++ {
-		csp.LubyGlauberRoundPRF(c, x, seed, k, marg)
-	}
-	return x, localmodel.Stats{Rounds: rounds}, nil
+// CSPSampler is the compiled CSP batch engine — the CSP counterpart of
+// Sampler. NewCSPSampler resolves the run parameters once (round budget,
+// feasibility of the initial configuration, and, with WithShards, the
+// constraint-scope partition plan); draws then reuse pooled chain scratch
+// (or pooled sharded engines), so steady-state rounds allocate nothing.
+//
+// Determinism contract: chain i of SampleNFrom(seed, k) is bit-identical to
+// a single SampleCSP draw with seed ChainSeed(seed, i), regardless of
+// worker count, scheduling, shard count, partition strategy, or
+// vertex-parallel worker count — WithShards and WithParallelRounds are
+// purely latency knobs.
+type CSPSampler struct {
+	g      *Graph
+	c      *CSPModel
+	init   []int
+	cfg    core.Config
+	rounds int
+
+	plan    *partition.CSPPlan
+	engines sync.Pool // *cluster.CSPEngine, sharded mode
+	scratch sync.Pool // *csp.Scratch, centralized mode
 }
 
-// SampleCSPN draws k independent CSP samples over a worker pool — the CSP
-// counterpart of Sampler.SampleN, with the same determinism contract:
-// chain i is bit-identical to SampleCSP(g, c, init, rounds, ChainSeed(seed,
-// i), false), regardless of k, worker count, or scheduling. Feasibility of
-// init is validated once; workers <= 0 means GOMAXPROCS. All samples share
-// one flat backing array, and each worker reuses one marginal scratch, so
-// the steady-state inner loops allocate nothing.
-func SampleCSPN(g *Graph, c *CSPModel, init []int, rounds int, seed uint64, k, workers int) ([][]int, error) {
-	if rounds <= 0 {
-		return nil, fmt.Errorf("locsample: SampleCSPN needs rounds > 0")
+// NewCSPSampler compiles CSP c on network g with the given options into a
+// reusable batch sampler. init must be feasible and WithRounds must supply
+// a positive budget (CSPs have no theory budget). Honored options:
+// WithRounds, WithSeed, WithWorkers, WithShards, WithShardStrategy,
+// WithParallelRounds; Distributed draws go through SampleCSP instead.
+func NewCSPSampler(g *Graph, c *CSPModel, init []int, opts ...Option) (*CSPSampler, error) {
+	cfg := core.Config{Algorithm: chains.LubyGlauber}
+	for _, opt := range opts {
+		opt(&cfg)
 	}
-	if len(init) != c.N {
-		return nil, fmt.Errorf("locsample: init length %d for %d vertices", len(init), c.N)
+	if g != nil && g.N() != c.N {
+		return nil, fmt.Errorf("locsample: CSP has %d vertices, network %d", c.N, g.N())
 	}
-	if !c.Feasible(init) {
-		return nil, fmt.Errorf("locsample: initial configuration is infeasible")
+	if cfg.Distributed {
+		return nil, fmt.Errorf("locsample: the batch CSP sampler runs the centralized replay; use SampleCSP(..., distributed=true) for the LOCAL-model runtime")
 	}
+	cfg.Init = init
+	rounds, err := core.CompileCSP(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &CSPSampler{
+		g:      g,
+		c:      c,
+		init:   append([]int(nil), init...),
+		cfg:    cfg,
+		rounds: rounds,
+	}
+	s.scratch.New = func() any { return csp.NewScratch(c) }
+	if cfg.Shards > 1 {
+		plan, err := partition.BuildCSP(c, cfg.Shards, cfg.ShardStrategy, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := cluster.NewCSP(c, plan, chains.LubyGlauber)
+		if err != nil {
+			return nil, err
+		}
+		s.plan = plan
+		s.engines.New = func() any {
+			e, err := cluster.NewCSP(c, plan, chains.LubyGlauber)
+			if err != nil {
+				// Unreachable: the eager construction above vetted the
+				// same arguments.
+				panic(err)
+			}
+			return e
+		}
+		s.engines.Put(eng)
+	}
+	return s, nil
+}
+
+// Rounds returns the per-chain round budget the sampler resolved.
+func (s *CSPSampler) Rounds() int { return s.rounds }
+
+// Shards returns the shard count draws run with (1 when unsharded).
+func (s *CSPSampler) Shards() int {
+	if s.plan == nil {
+		return 1
+	}
+	return s.plan.K
+}
+
+// ParallelRounds returns the vertex-parallel worker count each chain's
+// rounds run with (1 when rounds are sequential).
+func (s *CSPSampler) ParallelRounds() int {
+	if s.cfg.Parallel > 1 {
+		return s.cfg.Parallel
+	}
+	return 1
+}
+
+// CSPBatch is the result of a CSP batch draw.
+type CSPBatch struct {
+	// Samples[i] is chain i's output configuration; all samples share one
+	// flat backing array.
+	Samples [][]int
+	// Rounds is the number of chain iterations each chain executed.
+	Rounds int
+	// Shard aggregates the sharded runtime's profile across all chains
+	// (zero for unsharded batches).
+	Shard ShardStats
+}
+
+// runChain advances one centralized chain in place: sequential kernels, or
+// vertex-parallel round phases when WithParallelRounds is set.
+func (s *CSPSampler) runChain(x []int, seed uint64, sc *csp.Scratch) {
+	if s.cfg.Parallel > 1 {
+		for r := 0; r < s.rounds; r++ {
+			csp.LubyGlauberRoundParallel(s.c, x, seed, r, sc, s.cfg.Parallel)
+		}
+		return
+	}
+	for r := 0; r < s.rounds; r++ {
+		csp.LubyGlauberRoundPRF(s.c, x, seed, r, sc)
+	}
+}
+
+// Sample draws one configuration with the compiled settings and the master
+// seed, exactly as the package-level SampleCSP would.
+func (s *CSPSampler) Sample() ([]int, *ShardStats, error) {
+	out := make([]int, s.c.N)
+	if s.plan != nil {
+		eng := s.engines.Get().(*cluster.CSPEngine)
+		st := eng.Run(s.init, s.cfg.Seed, s.rounds, out)
+		s.engines.Put(eng)
+		return out, &st, nil
+	}
+	sc := s.scratch.Get().(*csp.Scratch)
+	copy(out, s.init)
+	s.runChain(out, s.cfg.Seed, sc)
+	s.scratch.Put(sc)
+	return out, nil, nil
+}
+
+// SampleN draws k independent samples concurrently with the compiled master
+// seed; see SampleNFrom.
+func (s *CSPSampler) SampleN(k int) (*CSPBatch, error) {
+	return s.SampleNFrom(s.cfg.Seed, k)
+}
+
+// SampleNFrom draws k independent samples concurrently; chain i runs with
+// seed ChainSeed(seed, i). It does not mutate the sampler, so concurrent
+// calls (the serving path) are safe.
+func (s *CSPSampler) SampleNFrom(seed uint64, k int) (*CSPBatch, error) {
 	if k < 0 {
-		return nil, fmt.Errorf("locsample: SampleCSPN needs k >= 0, got %d", k)
+		return nil, fmt.Errorf("locsample: SampleN needs k >= 0, got %d", k)
 	}
-	samples := make([][]int, k)
+	batch := &CSPBatch{Samples: make([][]int, k), Rounds: s.rounds}
 	if k == 0 {
-		return samples, nil
+		return batch, nil
 	}
-	n := c.N
+	n := s.c.N
 	backing := make([]int, k*n)
+	for i := 0; i < k; i++ {
+		batch.Samples[i] = backing[i*n : (i+1)*n : (i+1)*n]
+	}
+	workers := s.cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+		if s.plan != nil {
+			// Each chain already runs plan.K goroutines; dividing the pool
+			// keeps total parallelism near GOMAXPROCS.
+			workers = max(1, workers/s.plan.K)
+		} else if s.cfg.Parallel > 1 {
+			workers = max(1, workers/s.cfg.Parallel)
+		}
 	}
 	if workers > k {
 		workers = k
+	}
+	var shardStats []ShardStats
+	if s.plan != nil {
+		shardStats = make([]ShardStats, k)
 	}
 	var (
 		next atomic.Int64
@@ -106,22 +228,127 @@ func SampleCSPN(g *Graph, c *CSPModel, init []int, rounds int, seed uint64, k, w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			marg := make([]float64, c.Q)
+			var sc *csp.Scratch
+			var eng *cluster.CSPEngine
+			if s.plan != nil {
+				eng = s.engines.Get().(*cluster.CSPEngine)
+				defer s.engines.Put(eng)
+			} else {
+				sc = s.scratch.Get().(*csp.Scratch)
+				defer s.scratch.Put(sc)
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= k {
 					return
 				}
-				x := backing[i*n : (i+1)*n : (i+1)*n]
-				copy(x, init)
 				chainSeed := core.ChainSeed(seed, uint64(i))
-				for r := 0; r < rounds; r++ {
-					csp.LubyGlauberRoundPRF(c, x, chainSeed, r, marg)
+				if eng != nil {
+					shardStats[i] = eng.Run(s.init, chainSeed, s.rounds, batch.Samples[i])
+					continue
 				}
-				samples[i] = x
+				x := batch.Samples[i]
+				copy(x, s.init)
+				s.runChain(x, chainSeed, sc)
 			}
 		}()
 	}
 	wg.Wait()
-	return samples, nil
+	for _, st := range shardStats {
+		batch.Shard.Add(st)
+	}
+	return batch, nil
+}
+
+// SampleCSP draws one configuration approximately distributed as the CSP's
+// Gibbs distribution using the hypergraph LubyGlauber chain (§3 remark).
+// When distributed is true the chain runs as a LOCAL protocol on network g
+// (two communication rounds per chain iteration; constraints must have
+// scope radius ≤ 1 on g, as cover constraints do). init must be feasible;
+// rounds > 0 is required (no general theory budget exists for arbitrary
+// CSPs). Options may select an in-chain runtime — WithShards(k) runs the
+// chain as k lockstep shard workers over a constraint-scope partition,
+// WithParallelRounds(n) fans each round's phases over n goroutines — both
+// bit-identical to the sequential chain at the same seed, and both
+// exclusive with distributed mode.
+func SampleCSP(g *Graph, c *CSPModel, init []int, rounds int, seed uint64, distributed bool, opts ...Option) ([]int, Stats, error) {
+	if rounds <= 0 {
+		return nil, Stats{}, fmt.Errorf("locsample: SampleCSP needs rounds > 0")
+	}
+	cfg := core.Config{Algorithm: chains.LubyGlauber, Rounds: rounds, Seed: seed, Init: init}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	cfg.Algorithm, cfg.Rounds, cfg.Seed, cfg.Init = chains.LubyGlauber, rounds, seed, init
+	cfg.Distributed = cfg.Distributed || distributed
+	if cfg.Distributed {
+		// The sampler path below validates through NewCSPSampler; the
+		// distributed path validates here (runtime exclusivity included).
+		if _, err := core.CompileCSP(c, cfg); err != nil {
+			return nil, Stats{}, err
+		}
+		return dist.RunCSPLubyGlauber(g, c, init, seed, rounds)
+	}
+	s, err := newCSPSamplerFromConfig(g, c, init, cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out, _, err := s.Sample()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return out, localmodel.Stats{Rounds: rounds}, nil
+}
+
+// newCSPSamplerFromConfig builds a CSPSampler from an already-resolved
+// Config (the option closures have run).
+func newCSPSamplerFromConfig(g *Graph, c *CSPModel, init []int, cfg core.Config) (*CSPSampler, error) {
+	opts := []Option{WithRounds(cfg.Rounds), WithSeed(cfg.Seed)}
+	if cfg.Workers > 0 {
+		opts = append(opts, WithWorkers(cfg.Workers))
+	}
+	if cfg.Shards > 1 {
+		opts = append(opts, WithShards(cfg.Shards), WithShardStrategy(cfg.ShardStrategy))
+	}
+	if cfg.Parallel > 1 {
+		opts = append(opts, WithParallelRounds(cfg.Parallel))
+	}
+	return NewCSPSampler(g, c, init, opts...)
+}
+
+// SampleCSPN draws k independent CSP samples over a worker pool — the CSP
+// counterpart of Sampler.SampleN, with the same determinism contract:
+// chain i is bit-identical to SampleCSP(g, c, init, rounds, ChainSeed(seed,
+// i), false), regardless of k, worker count, or scheduling. Feasibility of
+// init is validated once; workers <= 0 means GOMAXPROCS. All samples share
+// one flat backing array, and each worker reuses one chain scratch, so the
+// steady-state inner loops allocate nothing. Options as in SampleCSP
+// (WithShards / WithParallelRounds; distributed batches are not supported).
+func SampleCSPN(g *Graph, c *CSPModel, init []int, rounds int, seed uint64, k, workers int, opts ...Option) ([][]int, error) {
+	if rounds <= 0 {
+		return nil, fmt.Errorf("locsample: SampleCSPN needs rounds > 0")
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("locsample: SampleCSPN needs k >= 0, got %d", k)
+	}
+	cfg := core.Config{Algorithm: chains.LubyGlauber, Rounds: rounds, Seed: seed, Init: init, Workers: workers}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	cfg.Algorithm, cfg.Rounds, cfg.Seed, cfg.Init = chains.LubyGlauber, rounds, seed, init
+	if workers > 0 {
+		cfg.Workers = workers
+	}
+	if cfg.Distributed {
+		return nil, fmt.Errorf("locsample: SampleCSPN runs the centralized replay; Distributed batches are not supported")
+	}
+	s, err := newCSPSamplerFromConfig(g, c, init, cfg)
+	if err != nil {
+		return nil, err
+	}
+	batch, err := s.SampleNFrom(seed, k)
+	if err != nil {
+		return nil, err
+	}
+	return batch.Samples, nil
 }

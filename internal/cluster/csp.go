@@ -1,0 +1,297 @@
+// Sharded CSP runtime: one hypergraph chain (LubyGlauber or
+// LocalMetropolis over a weighted local CSP) as k lockstep shard workers,
+// the constraint-scope generalization of the MRF engine in cluster.go. The
+// keystone invariant carries over unchanged: a sharded CSP draw with seed s
+// is bit-identical to the centralized csp round kernels at the same seed,
+// invariant to shard count and partition strategy, because
+//
+//   - every variate is PRF-keyed by GLOBAL vertex/constraint IDs and round
+//     number (β and proposals by vertex, check coins by constraint);
+//   - each owned vertex's conditional-marginal product multiplies its
+//     incident constraints in ascending global constraint order — the
+//     centralized kernels' order — through the same compiled-table
+//     evaluators (csp.EvalOn / csp.CheckProbOn), so the floats cannot
+//     drift;
+//   - cut-scope constraints are evaluated redundantly on every incident
+//     shard from the same shared PRF coin and the same (owned + halo)
+//     states, exactly the paper's shared-coin trick extended from edges to
+//     k-ary scopes.
+//
+// The round barrier (pairwise channels below TreeBarrierMinShards, publish
+// buffers + tree-reduce at or above it) is shared with the MRF engine.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"locsample/internal/chains"
+	"locsample/internal/csp"
+	"locsample/internal/partition"
+	"locsample/internal/rng"
+)
+
+// cspWorker is one shard's mutable run state. Buffers are allocated once in
+// NewCSP and reused across rounds and runs, so the steady-state loop
+// allocates nothing.
+type cspWorker struct {
+	sh *partition.CSPShard
+
+	x    []int     // local vertex states (owned band + halo band)
+	prop []int     // LocalMetropolis proposals, all local vertices
+	beta []float64 // LubyGlauber Luby-step priorities, all local vertices
+	pass []bool    // LocalMetropolis check outcomes, per local constraint
+	marg []float64 // conditional-marginal scratch, length q
+	eval []int     // closure-fallback scratch, 3·maxArity ints
+
+	// sendBuf[j] holds two alternating outgoing buffers per neighbor j,
+	// with the same capacity-2 safety argument as the MRF worker's.
+	sendBuf [][2][]int
+
+	msgs, vals, waitNS int64
+}
+
+// CSPEngine executes sharded draws of one hypergraph chain over a fixed
+// (CSP, plan, algorithm) triple. Like Engine it is reusable across
+// sequential Run calls but not safe for concurrent Runs; callers pool
+// engines.
+type CSPEngine struct {
+	c    *csp.CSP
+	plan *partition.CSPPlan
+	alg  chains.Algorithm
+
+	ws    []*cspWorker
+	chans [][]chan []int
+	bar   *treeBarrier
+}
+
+// NewCSP compiles a sharded engine for CSP c over plan. Only the two
+// hypergraph chains shard.
+func NewCSP(c *csp.CSP, plan *partition.CSPPlan, alg chains.Algorithm) (*CSPEngine, error) {
+	if alg != chains.LubyGlauber && alg != chains.LocalMetropolis {
+		return nil, fmt.Errorf("cluster: %v cannot be sharded over a CSP (only the hypergraph LubyGlauber and LocalMetropolis chains decompose into local rounds)", alg)
+	}
+	if c.N != plan.N {
+		return nil, fmt.Errorf("cluster: plan partitions %d vertices, CSP has %d", plan.N, c.N)
+	}
+	e := &CSPEngine{c: c, plan: plan, alg: alg, ws: make([]*cspWorker, plan.K)}
+	if plan.K >= TreeBarrierMinShards {
+		e.bar = newTreeBarrier(plan.K)
+	} else {
+		e.chans = make([][]chan []int, plan.K)
+	}
+	for s, sh := range plan.Shards {
+		w := &cspWorker{
+			sh:      sh,
+			x:       make([]int, sh.NLocal()),
+			marg:    make([]float64, c.Q),
+			eval:    make([]int, 3*c.MaxArity()),
+			sendBuf: make([][2][]int, plan.K),
+		}
+		switch alg {
+		case chains.LubyGlauber:
+			w.beta = make([]float64, sh.NLocal())
+		case chains.LocalMetropolis:
+			w.prop = make([]int, sh.NLocal())
+			w.pass = make([]bool, len(sh.ConID))
+		}
+		for _, j := range sh.Neighbors {
+			w.sendBuf[j] = [2][]int{
+				make([]int, len(sh.SendTo[j])),
+				make([]int, len(sh.SendTo[j])),
+			}
+		}
+		e.ws[s] = w
+		if e.bar == nil {
+			e.chans[s] = make([]chan []int, plan.K)
+			for _, j := range sh.Neighbors {
+				e.chans[s][j] = make(chan []int, 2)
+			}
+		}
+	}
+	return e, nil
+}
+
+// Plan returns the partition the engine runs on.
+func (e *CSPEngine) Plan() *partition.CSPPlan { return e.plan }
+
+// Run advances one chain for the given number of rounds from init (read
+// only) under the master seed, writing the final configuration into out
+// (length n). The trajectory is bit-identical to `rounds` calls of the
+// centralized csp round kernel at the same seed.
+func (e *CSPEngine) Run(init []int, seed uint64, rounds int, out []int) Stats {
+	if len(init) != e.plan.N || len(out) != e.plan.N {
+		panic("cluster: init/out length does not match the partitioned CSP")
+	}
+	for _, w := range e.ws {
+		for l, gv := range w.sh.Global {
+			w.x[l] = init[gv]
+		}
+		w.msgs, w.vals, w.waitNS = 0, 0, 0
+	}
+	var wg sync.WaitGroup
+	for s := range e.ws {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			e.runShard(s, seed, rounds, out)
+		}(s)
+	}
+	wg.Wait()
+	st := Stats{Shards: e.plan.K, Rounds: rounds}
+	for _, w := range e.ws {
+		st.BoundaryMessages += w.msgs
+		st.BoundaryValues += w.vals
+		st.BarrierWaitNS += w.waitNS
+	}
+	return st
+}
+
+// runShard is one worker's lockstep loop — structurally identical to the
+// MRF engine's: compute, publish boundary states, pass the round barrier,
+// read halo states, repeat; then publish owned states into out.
+func (e *CSPEngine) runShard(s int, seed uint64, rounds int, out []int) {
+	w := e.ws[s]
+	sh := w.sh
+	for r := 0; r < rounds; r++ {
+		if e.alg == chains.LubyGlauber {
+			e.lubyRound(w, seed, r)
+		} else {
+			e.metropolisRound(w, seed, r)
+		}
+		for _, j := range sh.Neighbors {
+			buf := w.sendBuf[j][r&1]
+			for t, l := range sh.SendTo[j] {
+				buf[t] = w.x[l]
+			}
+			if e.bar == nil {
+				e.chans[s][j] <- buf
+			}
+			w.msgs++
+			w.vals += int64(len(buf))
+		}
+		if e.bar != nil {
+			t0 := time.Now()
+			e.bar.wait(s)
+			w.waitNS += time.Since(t0).Nanoseconds()
+			for _, j := range sh.Neighbors {
+				msg := e.ws[j].sendBuf[s][r&1]
+				for t, l := range sh.RecvFrom[j] {
+					w.x[l] = msg[t]
+				}
+			}
+		} else {
+			for _, j := range sh.Neighbors {
+				t0 := time.Now()
+				msg := <-e.chans[j][s]
+				w.waitNS += time.Since(t0).Nanoseconds()
+				for t, l := range sh.RecvFrom[j] {
+					w.x[l] = msg[t]
+				}
+			}
+		}
+	}
+	for l := 0; l < sh.NOwned; l++ {
+		out[sh.Global[l]] = w.x[l]
+	}
+}
+
+// lubyRound mirrors csp.LubyGlauberRoundPRF on one shard. Luby-step
+// priorities are PRF values, so halo priorities are recomputed locally
+// instead of communicated; membership uses the shared strict-inequality
+// comparison (chains.BetaLocalMax over shard-local Γ rows). In-place owned
+// updates are exact because the Luby step over the constraint hypergraph is
+// strongly independent: no resampled vertex shares a constraint with —
+// hence reads — another resampled vertex.
+func (e *CSPEngine) lubyRound(w *cspWorker, seed uint64, round int) {
+	sh := w.sh
+	kb := rng.Key(seed, csp.TagBeta, uint64(round))
+	for l, gv := range sh.Global {
+		w.beta[l] = kb.Float64(uint64(gv))
+	}
+	ku := rng.Key(seed, csp.TagUpdate, uint64(round))
+	for v := 0; v < sh.NOwned; v++ {
+		if !chains.BetaLocalMax(w.beta, v, sh.Nbr[sh.NbrPtr[v]:sh.NbrPtr[v+1]]) {
+			continue
+		}
+		if e.marginalInto(w, v) {
+			w.x[v] = rng.CategoricalU(w.marg, ku.Float64(uint64(sh.Global[v])))
+		}
+	}
+}
+
+// marginalInto fills w.marg with owned vertex v's conditional marginal. It
+// is csp.MarginalInto transcribed to shard-local indexing: same zero-skip,
+// same ascending-global-constraint multiplication order (the Vcon CSR
+// preserves it), same evaluators, same normalization — so the resulting
+// float64s, and hence the CategoricalU draw, are bit-identical to the
+// centralized kernel's.
+func (e *CSPEngine) marginalInto(w *cspWorker, v int) bool {
+	c := e.c
+	sh := w.sh
+	b := c.VertexB[sh.Global[v]]
+	q := c.Q
+	out := w.marg
+	saved := w.x[v]
+	total := 0.0
+	for a := 0; a < q; a++ {
+		wt := b[a]
+		if wt > 0 {
+			w.x[v] = a
+			for t := sh.VconPtr[v]; t < sh.VconPtr[v+1]; t++ {
+				slot := sh.Vcon[t]
+				scope := sh.ConScope[sh.ConPtr[slot]:sh.ConPtr[slot+1]]
+				wt *= c.EvalOn(int(sh.ConID[slot]), w.x, scope, w.eval)
+				if wt == 0 {
+					break
+				}
+			}
+		}
+		out[a] = wt
+		total += wt
+	}
+	w.x[v] = saved
+	if total <= 0 {
+		return false
+	}
+	inv := 1 / total
+	for a := 0; a < q; a++ {
+		out[a] *= inv
+	}
+	return true
+}
+
+// metropolisRound mirrors csp.LocalMetropolisRoundPRF on one shard.
+// Proposals depend only on vertex activities, so halo proposals are
+// recomputed locally through the same cumulative-table draw; cut-scope
+// checks are evaluated redundantly on every incident shard from the shared
+// PRF coin keyed by the global constraint ID.
+func (e *CSPEngine) metropolisRound(w *cspWorker, seed uint64, round int) {
+	c := e.c
+	sh := w.sh
+	ku := rng.Key(seed, csp.TagUpdate, uint64(round))
+	for l, gv := range sh.Global {
+		dist, cum := c.PropRow(int(gv))
+		w.prop[l] = rng.CategoricalCumU(dist, cum, ku.Float64(uint64(gv)))
+	}
+	kc := rng.Key(seed, csp.TagCoin, uint64(round))
+	for slot := range sh.ConID {
+		ci := sh.ConID[slot]
+		scope := sh.ConScope[sh.ConPtr[slot]:sh.ConPtr[slot+1]]
+		p := c.CheckProbOn(int(ci), w.x, w.prop, scope, w.eval)
+		w.pass[slot] = kc.Float64(uint64(ci)) < p
+	}
+	for v := 0; v < sh.NOwned; v++ {
+		ok := true
+		for t := sh.VconPtr[v]; t < sh.VconPtr[v+1]; t++ {
+			if !w.pass[sh.Vcon[t]] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			w.x[v] = w.prop[v]
+		}
+	}
+}

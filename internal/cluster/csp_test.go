@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"testing"
+
+	"locsample/internal/chains"
+	"locsample/internal/csp"
+	"locsample/internal/graph"
+	"locsample/internal/partition"
+)
+
+func testClusterCSPs(t *testing.T) map[string]struct {
+	c    *csp.CSP
+	init []int
+} {
+	t.Helper()
+	out := map[string]struct {
+		c    *csp.CSP
+		init []int
+	}{}
+	add := func(name string, c *csp.CSP, init []int) {
+		if !c.Feasible(init) {
+			t.Fatalf("%s: init infeasible", name)
+		}
+		out[name] = struct {
+			c    *csp.CSP
+			init []int
+		}{c, init}
+	}
+	dom := csp.DominatingSet(graph.Grid(6, 7))
+	ones := make([]int, dom.N)
+	for i := range ones {
+		ones[i] = 1
+	}
+	add("domset-grid6x7", dom, ones)
+
+	wdom := csp.WeightedDominatingSet(graph.Cycle(19), 0.6)
+	onesC := make([]int, wdom.N)
+	for i := range onesC {
+		onesC[i] = 1
+	}
+	add("wdomset-cycle19", wdom, onesC)
+
+	const n = 30
+	scopes := make([][]int32, n)
+	for i := range scopes {
+		scopes[i] = []int32{int32(i), int32((i + 1) % n), int32((i + 2) % n)}
+	}
+	nae := csp.NotAllEqual(n, 3, scopes)
+	naeInit := make([]int, n)
+	for i := range naeInit {
+		naeInit[i] = i % 3
+	}
+	add("nae30-q3", nae, naeInit)
+	return out
+}
+
+// centralCSP runs the centralized round kernel for `rounds` rounds.
+func centralCSP(c *csp.CSP, alg chains.Algorithm, init []int, seed uint64, rounds int) []int {
+	x := append([]int(nil), init...)
+	sc := csp.NewScratch(c)
+	for r := 0; r < rounds; r++ {
+		if alg == chains.LubyGlauber {
+			csp.LubyGlauberRoundPRF(c, x, seed, r, sc)
+		} else {
+			csp.LocalMetropolisRoundPRF(c, x, seed, r, sc)
+		}
+	}
+	return x
+}
+
+// TestCSPShardedBitIdentical is the CSP keystone invariant: a sharded CSP
+// draw equals the centralized chain byte-for-byte at the same seed, for
+// both hypergraph chains, at every tested shard count (channel barrier and
+// tree-reduce barrier alike) and partition strategy.
+func TestCSPShardedBitIdentical(t *testing.T) {
+	const seed, rounds = 90210, 30
+	for name, tc := range testClusterCSPs(t) {
+		for _, alg := range []chains.Algorithm{chains.LubyGlauber, chains.LocalMetropolis} {
+			want := centralCSP(tc.c, alg, tc.init, seed, rounds)
+			for _, strat := range []partition.Strategy{partition.Range, partition.BFS} {
+				for _, k := range []int{2, 3, 5, 8} {
+					if k > tc.c.N {
+						continue
+					}
+					plan, err := partition.BuildCSP(tc.c, k, strat, 7)
+					if err != nil {
+						t.Fatalf("%s %v %v k=%d: %v", name, alg, strat, k, err)
+					}
+					eng, err := NewCSP(tc.c, plan, alg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					out := make([]int, tc.c.N)
+					st := eng.Run(tc.init, seed, rounds, out)
+					for v := range want {
+						if out[v] != want[v] {
+							t.Fatalf("%s %v %v k=%d: diverges at vertex %d (sharded=%d central=%d)",
+								name, alg, strat, k, v, out[v], want[v])
+						}
+					}
+					if st.Shards != k || st.Rounds != rounds {
+						t.Fatalf("%s: stats report %d shards %d rounds", name, st.Shards, st.Rounds)
+					}
+					if k > 1 && st.BoundaryMessages == 0 {
+						t.Fatalf("%s %v k=%d: no boundary messages recorded", name, alg, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCSPEngineReuse: repeated Runs of one engine (same and different
+// seeds) behave like fresh engines — buffers are fully reset per draw.
+func TestCSPEngineReuse(t *testing.T) {
+	tc := testClusterCSPs(t)["domset-grid6x7"]
+	plan, err := partition.BuildCSP(tc.c, 3, partition.Range, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewCSP(tc.c, plan, chains.LubyGlauber)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 12
+	a := make([]int, tc.c.N)
+	b := make([]int, tc.c.N)
+	eng.Run(tc.init, 1, rounds, a)
+	eng.Run(tc.init, 2, rounds, b)
+	eng.Run(tc.init, 1, rounds, b)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("engine reuse diverges at vertex %d", v)
+		}
+	}
+}
+
+// TestCSPEngineRejectsSequentialAlgorithms: only the two hypergraph chains
+// shard.
+func TestCSPEngineRejectsSequentialAlgorithms(t *testing.T) {
+	tc := testClusterCSPs(t)["nae30-q3"]
+	plan, err := partition.BuildCSP(tc.c, 2, partition.Range, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCSP(tc.c, plan, chains.Glauber); err == nil {
+		t.Fatal("Glauber sharded CSP engine accepted")
+	}
+}

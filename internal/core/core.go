@@ -20,6 +20,7 @@ import (
 	"locsample/internal/chains"
 	"locsample/internal/cluster"
 	"locsample/internal/coupling"
+	"locsample/internal/csp"
 	"locsample/internal/dist"
 	"locsample/internal/exact"
 	"locsample/internal/localmodel"
@@ -213,6 +214,38 @@ func Compile(m *mrf.MRF, cfg Config) (rounds, theory int, init []int, err error)
 		return 0, 0, nil, fmt.Errorf("core: init length %d for %d vertices", len(init), m.G.N())
 	}
 	return rounds, theory, init, nil
+}
+
+// CompileCSP resolves and validates the run parameters of a CSP draw from
+// its Config — the CSP counterpart of Compile, shared by the one-shot
+// SampleCSP path and the compiled CSP batch sampler so their resolutions
+// cannot drift. CSP workloads run the hypergraph LubyGlauber chain (§3
+// remark) and have no theory round budget, so Rounds must be explicit; the
+// in-chain runtimes (Shards, Parallel, Distributed) are mutually exclusive
+// exactly as for MRFs.
+func CompileCSP(c *csp.CSP, cfg Config) (rounds int, err error) {
+	if cfg.Algorithm != chains.LubyGlauber {
+		return 0, fmt.Errorf("core: CSP draws run the hypergraph LubyGlauber chain, not %v", cfg.Algorithm)
+	}
+	if cfg.Rounds <= 0 {
+		return 0, fmt.Errorf("core: CSP draws need an explicit rounds > 0 (no general theory budget exists for arbitrary CSPs)")
+	}
+	if cfg.Shards > 1 && cfg.Parallel > 1 {
+		return 0, fmt.Errorf("core: Shards and Parallel are mutually exclusive (pick one in-chain runtime)")
+	}
+	if cfg.Distributed && cfg.Shards > 1 {
+		return 0, fmt.Errorf("core: Distributed and Shards are mutually exclusive")
+	}
+	if cfg.Distributed && cfg.Parallel > 1 {
+		return 0, fmt.Errorf("core: Distributed and Parallel are mutually exclusive")
+	}
+	if len(cfg.Init) != c.N {
+		return 0, fmt.Errorf("core: init length %d for %d vertices", len(cfg.Init), c.N)
+	}
+	if !c.Feasible(cfg.Init) {
+		return 0, fmt.Errorf("core: initial configuration is infeasible")
+	}
+	return cfg.Rounds, nil
 }
 
 // Sample draws one configuration whose distribution is within the

@@ -20,11 +20,26 @@
 //     check with probability Π f̃_c(τ) over the 2^k − 1 mixings τ of the
 //     proposals σ_{S_c} with the current values X_{S_c}, excluding X_{S_c}
 //     itself.
+//
+// Compiled form. New already has to enumerate each constraint's full
+// [q]^arity domain to compute the normalizing maximum; it keeps those values
+// as a flat truth/weight table per DISTINCT constraint shape (families like
+// DominatingSet and NotAllEqual build n closures that are all the same
+// function — they share one table), so the hot paths — conditional
+// marginals, configuration weights, and the LocalMetropolis check — are
+// mixed-radix index arithmetic instead of closure calls. For small shapes
+// the 2^k − 1 mixing products are additionally precomputed per
+// (current, proposal) index pair. Constraints too large to tabulate
+// (q^arity > tableMaxEntries) transparently fall back to the closure path;
+// both paths produce bit-identical floats (the tables store exactly the
+// values F returns). All indexes are flat int32 CSR arrays.
 package csp
 
 import (
 	"fmt"
 	"math"
+	"slices"
+	"sync"
 
 	"locsample/internal/graph"
 	"locsample/internal/rng"
@@ -43,6 +58,85 @@ type Constraint struct {
 	Norm float64
 }
 
+// Compilation limits. maxNormArity and the 1<<24 domain cap predate the
+// compiled tables (Norm needs the full enumeration either way); the two
+// table thresholds only steer how much of the enumeration is kept.
+const (
+	// maxNormArity bounds constraint arity (the domain enumeration and the
+	// 2^k mixing loop are exponential in it).
+	maxNormArity = 12
+	// tableMaxEntries bounds the per-shape value tables New retains
+	// (64k float64s = 512KiB per distinct shape); larger constraints use
+	// the closure fallback.
+	tableMaxEntries = 1 << 16
+	// checkTableMaxSize bounds the domain size for which the full
+	// (cur, prop) → LocalMetropolis pass-probability matrix is precomputed
+	// (size² entries, so ≤ 4096 float64s).
+	checkTableMaxSize = 64
+)
+
+// conTable is one distinct compiled constraint shape.
+type conTable struct {
+	arity int
+	size  int // q^arity
+	// vals[i] = F(decode(i)) with scope position 0 varying fastest — the
+	// same digit order as the domain enumeration and the wire codec's
+	// "table" constraints.
+	vals []float64
+	// norm[i] = vals[i]/Norm — the normalized factor f̃_c.
+	norm []float64
+	// check[cur*size+prop] is the LocalMetropolis pass probability
+	// Π_{mixings τ ≠ cur} f̃(τ); nil when size > checkTableMaxSize.
+	check []float64
+}
+
+// buildCheck fills t.check. The mask loop runs in exactly the order
+// CheckProb's on-the-fly product does, so the stored probability is
+// bit-identical to the sequential computation.
+func (t *conTable) buildCheck(q int) {
+	k := t.arity
+	size := t.size
+	t.check = make([]float64, size*size)
+	curD := make([]int, k)
+	propD := make([]int, k)
+	stride := make([]int, k)
+	s := 1
+	for j := 0; j < k; j++ {
+		stride[j] = s
+		s *= q
+	}
+	for cur := 0; cur < size; cur++ {
+		tc := cur
+		for j := 0; j < k; j++ {
+			curD[j] = tc % q
+			tc /= q
+		}
+		for prop := 0; prop < size; prop++ {
+			tp := prop
+			for j := 0; j < k; j++ {
+				propD[j] = tp % q
+				tp /= q
+			}
+			p := 1.0
+			for mask := 0; mask < (1<<k)-1; mask++ {
+				idx := 0
+				for j := 0; j < k; j++ {
+					if mask&(1<<j) != 0 {
+						idx += curD[j] * stride[j]
+					} else {
+						idx += propD[j] * stride[j]
+					}
+				}
+				p *= t.norm[idx]
+				if p == 0 {
+					break
+				}
+			}
+			t.check[cur*size+prop] = p
+		}
+	}
+}
+
 // CSP is a weighted local CSP over n vertices with spin domain [q].
 type CSP struct {
 	N int
@@ -51,16 +145,44 @@ type CSP struct {
 	// total mass).
 	VertexB [][]float64
 	Cons    []Constraint
-	// vcons[v] lists the constraint indices whose scope contains v.
-	vcons [][]int32
-	// nbr[v] is the hypergraph neighborhood Γ(v) (distinct, sorted).
-	nbr [][]int32
+
+	// Compiled constraint shapes: conTab[i] indexes tabs, or is -1 for
+	// constraints evaluated through their closure (q^arity too large).
+	tabs   []*conTable
+	conTab []int32
+
+	// Flat scope CSR: constraint i reads scopeV[scopeOff[i]:scopeOff[i+1]].
+	scopeOff []int32
+	scopeV   []int32
+	// Vertex → incident-constraint CSR, ascending constraint index.
+	vconsOff []int32
+	vconsIdx []int32
+	// Hypergraph neighborhood CSR: Γ(v), distinct and sorted.
+	nbrOff []int32
+	nbrIdx []int32
+
+	// Deduplicated proposal distributions: propDist/propCum[propOf[v]] are
+	// vertex v's normalized activity and its running sums (the
+	// CategoricalCumU table).
+	propDist [][]float64
+	propCum  [][]float64
+	propOf   []int32
+
+	maxArity    int
+	maxVconsDeg int // max constraints incident to one vertex
+
+	// msPool recycles marginal scratch for the convenience entry points
+	// (MarginalInto without caller-owned scratch); the round kernels carry
+	// their own Scratch instead.
+	msPool sync.Pool
 }
 
 // New validates and assembles a CSP. It evaluates each constraint over its
-// full domain to compute the normalizing maximum, so constraint arities must
-// stay small (q^arity is enumerated); the paper's local CSPs have
-// constant-diameter scopes, hence constant arity on bounded-degree graphs.
+// full domain to compute the normalizing maximum — and keeps the enumerated
+// values as a compiled lookup table per distinct shape — so constraint
+// arities must stay small (q^arity is enumerated); the paper's local CSPs
+// have constant-diameter scopes, hence constant arity on bounded-degree
+// graphs.
 func New(n, q int, vertexB [][]float64, cons []Constraint) (*CSP, error) {
 	if n < 1 || q < 2 {
 		return nil, fmt.Errorf("csp: need n >= 1 and q >= 2, got n=%d q=%d", n, q)
@@ -85,12 +207,14 @@ func New(n, q int, vertexB [][]float64, cons []Constraint) (*CSP, error) {
 	}
 	c := &CSP{N: n, Q: q, VertexB: vertexB, Cons: make([]Constraint, len(cons))}
 	copy(c.Cons, cons)
+	c.conTab = make([]int32, len(c.Cons))
+	pool := map[string]int32{}
+	seen := make([]bool, n)
 	for i := range c.Cons {
 		con := &c.Cons[i]
 		if len(con.Scope) == 0 {
 			return nil, fmt.Errorf("csp: constraint %d has empty scope", i)
 		}
-		seen := map[int32]bool{}
 		for _, v := range con.Scope {
 			if v < 0 || int(v) >= n {
 				return nil, fmt.Errorf("csp: constraint %d scope vertex %d out of range", i, v)
@@ -100,7 +224,13 @@ func New(n, q int, vertexB [][]float64, cons []Constraint) (*CSP, error) {
 			}
 			seen[v] = true
 		}
-		norm, err := maxOverDomain(con.F, len(con.Scope), q)
+		for _, v := range con.Scope {
+			seen[v] = false
+		}
+		if len(con.Scope) > c.maxArity {
+			c.maxArity = len(con.Scope)
+		}
+		norm, vals, err := enumerateDomain(con.F, len(con.Scope), q)
 		if err != nil {
 			return nil, fmt.Errorf("csp: constraint %d: %w", i, err)
 		}
@@ -108,8 +238,30 @@ func New(n, q int, vertexB [][]float64, cons []Constraint) (*CSP, error) {
 			return nil, fmt.Errorf("csp: constraint %d is identically zero", i)
 		}
 		con.Norm = norm
+		if vals == nil {
+			c.conTab[i] = -1 // closure fallback
+			continue
+		}
+		key := tableKey(vals)
+		if ti, ok := pool[key]; ok {
+			c.conTab[i] = ti
+			continue
+		}
+		t := &conTable{arity: len(con.Scope), size: len(vals), vals: vals}
+		t.norm = make([]float64, len(vals))
+		for j, x := range vals {
+			t.norm[j] = x / norm
+		}
+		if t.size <= checkTableMaxSize {
+			t.buildCheck(q)
+		}
+		ti := int32(len(c.tabs))
+		c.tabs = append(c.tabs, t)
+		pool[key] = ti
+		c.conTab[i] = ti
 	}
 	c.buildIndexes()
+	c.buildProposals()
 	return c, nil
 }
 
@@ -122,86 +274,217 @@ func MustNew(n, q int, vertexB [][]float64, cons []Constraint) *CSP {
 	return c
 }
 
-func maxOverDomain(f func([]int) float64, arity, q int) (float64, error) {
-	if arity > 12 {
-		return 0, fmt.Errorf("arity %d too large to normalize", arity)
+// enumerateDomain sweeps f over [q]^arity, returning the maximum and — when
+// the domain fits tableMaxEntries — the full value table (scope position 0
+// varying fastest).
+func enumerateDomain(f func([]int) float64, arity, q int) (norm float64, vals []float64, err error) {
+	if arity > maxNormArity {
+		return 0, nil, fmt.Errorf("arity %d too large to normalize", arity)
 	}
-	vals := make([]int, arity)
+	args := make([]int, arity)
 	total := 1
 	for i := 0; i < arity; i++ {
 		total *= q
 		if total > 1<<24 {
-			return 0, fmt.Errorf("domain q^%d too large to normalize", arity)
+			return 0, nil, fmt.Errorf("domain q^%d too large to normalize", arity)
 		}
+	}
+	if total <= tableMaxEntries {
+		vals = make([]float64, total)
 	}
 	best := math.Inf(-1)
 	for s := 0; s < total; s++ {
 		t := s
 		for i := 0; i < arity; i++ {
-			vals[i] = t % q
+			args[i] = t % q
 			t /= q
 		}
-		w := f(vals)
+		w := f(args)
 		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
-			return 0, fmt.Errorf("constraint value invalid: %v", w)
+			return 0, nil, fmt.Errorf("constraint value invalid: %v", w)
 		}
 		if w > best {
 			best = w
 		}
+		if vals != nil {
+			vals[s] = w
+		}
 	}
-	return best, nil
+	return best, vals, nil
 }
 
-func (c *CSP) buildIndexes() {
-	c.vcons = make([][]int32, c.N)
-	nbrSets := make([]map[int32]struct{}, c.N)
-	for v := range nbrSets {
-		nbrSets[v] = map[int32]struct{}{}
+// tableKey builds the dedup key of a value table: its raw float64 bits.
+// Two constraints share a compiled shape iff their enumerations agree
+// exactly (same length implies same arity for a fixed q).
+func tableKey(vals []float64) string {
+	b := make([]byte, 8*len(vals))
+	for i, x := range vals {
+		u := math.Float64bits(x)
+		for j := 0; j < 8; j++ {
+			b[8*i+j] = byte(u >> (8 * j))
+		}
 	}
-	for i, con := range c.Cons {
-		for _, v := range con.Scope {
-			c.vcons[v] = append(c.vcons[v], int32(i))
-			for _, u := range con.Scope {
-				if u != v {
-					nbrSets[v][u] = struct{}{}
+	return string(b)
+}
+
+// buildIndexes assembles the flat CSR indexes: scopes, vertex→constraint
+// incidence, and the hypergraph neighborhoods (sort + dedupe over the
+// scope incidence — no per-vertex hash sets).
+func (c *CSP) buildIndexes() {
+	nCons := len(c.Cons)
+	total := 0
+	for i := range c.Cons {
+		total += len(c.Cons[i].Scope)
+	}
+	c.scopeOff = make([]int32, nCons+1)
+	c.scopeV = make([]int32, 0, total)
+	for i := range c.Cons {
+		c.scopeV = append(c.scopeV, c.Cons[i].Scope...)
+		c.scopeOff[i+1] = int32(len(c.scopeV))
+	}
+
+	c.vconsOff = make([]int32, c.N+1)
+	for _, v := range c.scopeV {
+		c.vconsOff[v+1]++
+	}
+	for v := 0; v < c.N; v++ {
+		c.vconsOff[v+1] += c.vconsOff[v]
+	}
+	c.vconsIdx = make([]int32, total)
+	for v := 0; v < c.N; v++ {
+		if d := int(c.vconsOff[v+1] - c.vconsOff[v]); d > c.maxVconsDeg {
+			c.maxVconsDeg = d
+		}
+	}
+	cursor := append([]int32(nil), c.vconsOff[:c.N]...)
+	for i := range c.Cons {
+		for _, v := range c.Cons[i].Scope {
+			c.vconsIdx[cursor[v]] = int32(i)
+			cursor[v]++
+		}
+	}
+
+	c.nbrOff = make([]int32, c.N+1)
+	nbr := make([]int32, 0, total)
+	var buf []int32
+	for v := 0; v < c.N; v++ {
+		buf = buf[:0]
+		for _, ci := range c.vconsIdx[c.vconsOff[v]:c.vconsOff[v+1]] {
+			for _, u := range c.scope(ci) {
+				if u != int32(v) {
+					buf = append(buf, u)
 				}
 			}
 		}
-	}
-	c.nbr = make([][]int32, c.N)
-	for v, set := range nbrSets {
-		lst := make([]int32, 0, len(set))
-		for u := range set {
-			lst = append(lst, u)
+		slices.Sort(buf)
+		prev := int32(-1)
+		for _, u := range buf {
+			if u != prev {
+				nbr = append(nbr, u)
+				prev = u
+			}
 		}
-		sortInt32(lst)
-		c.nbr[v] = lst
+		c.nbrOff[v+1] = int32(len(nbr))
+	}
+	c.nbrIdx = nbr
+}
+
+// buildProposals deduplicates the normalized per-vertex proposal
+// distributions (vertices routinely share one activity row) and precomputes
+// their cumulative tables for CategoricalCumU.
+func (c *CSP) buildProposals() {
+	c.propOf = make([]int32, c.N)
+	byPtr := map[*float64]int32{}
+	byContent := map[string]int32{}
+	for v, b := range c.VertexB {
+		p0 := &b[0]
+		if idx, ok := byPtr[p0]; ok {
+			c.propOf[v] = idx
+			continue
+		}
+		// Exactly ProposalDistInto's arithmetic, computed once.
+		dist := make([]float64, c.Q)
+		total := 0.0
+		for a := 0; a < c.Q; a++ {
+			dist[a] = b[a]
+			total += dist[a]
+		}
+		inv := 1 / total
+		for a := 0; a < c.Q; a++ {
+			dist[a] *= inv
+		}
+		key := tableKey(dist)
+		if idx, ok := byContent[key]; ok {
+			byPtr[p0] = idx
+			c.propOf[v] = idx
+			continue
+		}
+		cum := make([]float64, c.Q)
+		rng.CumSumInto(dist, cum)
+		idx := int32(len(c.propDist))
+		c.propDist = append(c.propDist, dist)
+		c.propCum = append(c.propCum, cum)
+		byPtr[p0] = idx
+		byContent[key] = idx
+		c.propOf[v] = idx
 	}
 }
 
-func sortInt32(a []int32) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j-1] > a[j]; j-- {
-			a[j-1], a[j] = a[j], a[j-1]
-		}
-	}
+// scope returns constraint ci's scope as a slice of the flat array.
+func (c *CSP) scope(ci int32) []int32 {
+	return c.scopeV[c.scopeOff[ci]:c.scopeOff[ci+1]]
 }
 
 // Neighborhood returns the hypergraph neighborhood Γ(v) (§3 remark). The
 // caller must not modify it.
-func (c *CSP) Neighborhood(v int) []int32 { return c.nbr[v] }
+func (c *CSP) Neighborhood(v int) []int32 { return c.nbrIdx[c.nbrOff[v]:c.nbrOff[v+1]] }
 
-// ConstraintsOf returns the indices of the constraints containing v. The
-// caller must not modify it.
-func (c *CSP) ConstraintsOf(v int) []int32 { return c.vcons[v] }
+// ConstraintsOf returns the indices of the constraints containing v,
+// ascending. The caller must not modify it.
+func (c *CSP) ConstraintsOf(v int) []int32 { return c.vconsIdx[c.vconsOff[v]:c.vconsOff[v+1]] }
+
+// MaxArity returns the largest constraint scope size.
+func (c *CSP) MaxArity() int { return c.maxArity }
+
+// PropRow returns vertex v's normalized proposal distribution and its
+// cumulative table (shared across vertices with equal activities). The
+// caller must not modify them.
+func (c *CSP) PropRow(v int) (dist, cum []float64) {
+	d := c.propOf[v]
+	return c.propDist[d], c.propCum[d]
+}
+
+// EvalOn evaluates constraint ci on configuration x through the index map
+// scope: scope[j] is the position in x holding the constraint's j-th scope
+// vertex. The centralized kernels pass the constraint's own (global) scope;
+// the sharded runtime passes shard-local index maps — one implementation, so
+// the two cannot drift. buf (len ≥ arity) is scratch for the closure
+// fallback; nil allocates when needed.
+func (c *CSP) EvalOn(ci int, x []int, scope []int32, buf []int) float64 {
+	if ti := c.conTab[ci]; ti >= 0 {
+		t := c.tabs[ti]
+		idx, stride := 0, 1
+		for _, p := range scope {
+			idx += x[p] * stride
+			stride *= c.Q
+		}
+		return t.vals[idx]
+	}
+	if buf == nil {
+		buf = make([]int, len(scope))
+	}
+	vals := buf[:len(scope)]
+	for j, p := range scope {
+		vals[j] = x[p]
+	}
+	return c.Cons[ci].F(vals)
+}
 
 // Weight returns w(σ).
 func (c *CSP) Weight(sigma []int) float64 {
 	w := 1.0
-	buf := make([]int, 8)
 	for i := range c.Cons {
-		con := &c.Cons[i]
-		w *= c.eval(con, sigma, &buf)
+		w *= c.EvalOn(i, sigma, c.scope(int32(i)), nil)
 		if w == 0 {
 			return 0
 		}
@@ -218,31 +501,83 @@ func (c *CSP) Weight(sigma []int) float64 {
 // Feasible reports whether w(σ) > 0.
 func (c *CSP) Feasible(sigma []int) bool { return c.Weight(sigma) > 0 }
 
-func (c *CSP) eval(con *Constraint, sigma []int, buf *[]int) float64 {
-	if cap(*buf) < len(con.Scope) {
-		*buf = make([]int, len(con.Scope))
+// margScratch holds the per-call working arrays of marginalInto: the
+// hoisted per-constraint table pointers, base indexes, and spin strides,
+// plus the closure-fallback gather buffer.
+type margScratch struct {
+	tabs   []*conTable
+	base   []int
+	stride []int
+	eval   []int
+}
+
+func newMargScratch(c *CSP) margScratch {
+	return margScratch{
+		tabs:   make([]*conTable, c.maxVconsDeg),
+		base:   make([]int, c.maxVconsDeg),
+		stride: make([]int, c.maxVconsDeg),
+		eval:   make([]int, 3*c.maxArity),
 	}
-	vals := (*buf)[:len(con.Scope)]
-	for i, v := range con.Scope {
-		vals[i] = sigma[v]
-	}
-	return con.F(vals)
 }
 
 // MarginalInto fills out with the conditional marginal of v given the rest
 // of sigma: µ_v(a | σ_{V∖v}) ∝ b_v(a) · Π_{c ∋ v} f_c(σ with σ_v = a).
-// Returns false when the total mass is zero.
+// Returns false when the total mass is zero. sigma is restored before
+// returning. The round kernels route reusable scratch through marginalInto
+// and allocate nothing; this convenience form borrows pooled scratch and is
+// safe for concurrent use.
 func (c *CSP) MarginalInto(v int, sigma []int, out []float64) bool {
+	ms, _ := c.msPool.Get().(*margScratch)
+	if ms == nil {
+		m := newMargScratch(c)
+		ms = &m
+	}
+	ok := c.marginalInto(v, sigma, out, ms)
+	c.msPool.Put(ms)
+	return ok
+}
+
+func (c *CSP) marginalInto(v int, sigma []int, out []float64, ms *margScratch) bool {
 	saved := sigma[v]
-	defer func() { sigma[v] = saved }()
-	buf := make([]int, 8)
+	cons := c.vconsIdx[c.vconsOff[v]:c.vconsOff[v+1]]
+	b := c.VertexB[v]
+	// Hoist each tabulated constraint's mixed-radix index out of the spin
+	// loop: with base the index over σ restricted to the other scope
+	// members and vstride the stride of v's scope position, the table cell
+	// for spin a is base + a·vstride — the exact index the full walk would
+	// compute, so the looked-up factors (and the products below, taken in
+	// the same ascending-constraint order) are bit-identical.
+	for i, ci := range cons {
+		ti := c.conTab[ci]
+		if ti < 0 {
+			ms.tabs[i] = nil // closure fallback, evaluated per spin below
+			continue
+		}
+		t := c.tabs[ti]
+		idx, vstride, stride := 0, 0, 1
+		for _, u := range c.scope(ci) {
+			if int(u) == v {
+				vstride = stride
+			} else {
+				idx += sigma[u] * stride
+			}
+			stride *= c.Q
+		}
+		ms.tabs[i] = t
+		ms.base[i] = idx
+		ms.stride[i] = vstride
+	}
 	total := 0.0
 	for a := 0; a < c.Q; a++ {
-		w := c.VertexB[v][a]
+		w := b[a]
 		if w > 0 {
 			sigma[v] = a
-			for _, ci := range c.vcons[v] {
-				w *= c.eval(&c.Cons[ci], sigma, &buf)
+			for i, ci := range cons {
+				if t := ms.tabs[i]; t != nil {
+					w *= t.vals[ms.base[i]+a*ms.stride[i]]
+				} else {
+					w *= c.EvalOn(int(ci), sigma, c.scope(ci), ms.eval)
+				}
 				if w == 0 {
 					break
 				}
@@ -251,6 +586,7 @@ func (c *CSP) MarginalInto(v int, sigma []int, out []float64) bool {
 		out[a] = w
 		total += w
 	}
+	sigma[v] = saved
 	if total <= 0 {
 		return false
 	}
@@ -267,15 +603,56 @@ func (c *CSP) MarginalInto(v int, sigma []int, out []float64) bool {
 // the proposal vector prop with the current vector cur — every mixing except
 // cur itself.
 func (c *CSP) CheckProb(ci int, cur, prop []int) float64 {
-	con := &c.Cons[ci]
-	k := len(con.Scope)
-	curV := make([]int, k)
-	propV := make([]int, k)
-	for i, v := range con.Scope {
-		curV[i] = cur[v]
-		propV[i] = prop[v]
+	return c.CheckProbOn(ci, cur, prop, c.scope(int32(ci)), nil)
+}
+
+// CheckProbOn is CheckProb through an explicit scope index map (see EvalOn).
+// For compiled shapes it is pure index arithmetic — and a single lookup when
+// the (cur, prop) product matrix was precomputed. buf (len ≥ 3·arity) is
+// scratch for the closure fallback; nil allocates when needed.
+func (c *CSP) CheckProbOn(ci int, cur, prop []int, scope []int32, buf []int) float64 {
+	k := len(scope)
+	if ti := c.conTab[ci]; ti >= 0 {
+		t := c.tabs[ti]
+		var delta [maxNormArity]int
+		curIdx, propIdx, stride := 0, 0, 1
+		for j, p := range scope {
+			cd, pd := cur[p], prop[p]
+			curIdx += cd * stride
+			propIdx += pd * stride
+			delta[j] = (cd - pd) * stride
+			stride *= c.Q
+		}
+		if t.check != nil {
+			return t.check[curIdx*t.size+propIdx]
+		}
+		p := 1.0
+		for mask := 0; mask < (1<<k)-1; mask++ {
+			idx := propIdx
+			for j := 0; j < k; j++ {
+				if mask&(1<<j) != 0 {
+					idx += delta[j]
+				}
+			}
+			p *= t.norm[idx]
+			if p == 0 {
+				return 0
+			}
+		}
+		return p
 	}
-	tau := make([]int, k)
+	// Closure fallback: the seed-era mixing loop, verbatim arithmetic.
+	con := &c.Cons[ci]
+	if buf == nil {
+		buf = make([]int, 3*k)
+	}
+	curV := buf[:k]
+	propV := buf[k : 2*k]
+	tau := buf[2*k : 3*k]
+	for j, p := range scope {
+		curV[j] = cur[p]
+		propV[j] = prop[p]
+	}
 	p := 1.0
 	// mask bit i set means position i takes the current value; the all-ones
 	// mask is the excluded X_{S_c}.
@@ -305,173 +682,6 @@ func (c *CSP) ProposalDistInto(v int, out []float64) {
 	inv := 1 / total
 	for a := 0; a < c.Q; a++ {
 		out[a] *= inv
-	}
-}
-
-// --- Chains over CSPs -------------------------------------------------
-
-// Sampler runs the hypergraph chains on a CSP. Create one with NewSampler;
-// it owns its configuration and scratch space.
-type Sampler struct {
-	C *CSP
-	X []int
-	r *rng.Source
-
-	beta  []float64
-	marg  []float64
-	prop  []int
-	pass  []bool
-	coins []float64
-}
-
-// NewSampler returns a Sampler with the given initial configuration (copied)
-// and seed.
-func NewSampler(c *CSP, init []int, seed uint64) *Sampler {
-	if len(init) != c.N {
-		panic("csp: initial configuration has wrong length")
-	}
-	s := &Sampler{
-		C:     c,
-		X:     append([]int(nil), init...),
-		r:     rng.New(seed),
-		beta:  make([]float64, c.N),
-		marg:  make([]float64, c.Q),
-		prop:  make([]int, c.N),
-		pass:  make([]bool, len(c.Cons)),
-		coins: make([]float64, len(c.Cons)),
-	}
-	return s
-}
-
-// GlauberStep performs one single-site heat-bath update at a uniformly
-// random vertex (the sequential baseline).
-func (s *Sampler) GlauberStep() {
-	v := s.r.Intn(s.C.N)
-	if s.C.MarginalInto(v, s.X, s.marg) {
-		s.X[v] = s.r.Categorical(s.marg)
-	}
-}
-
-// LubyGlauberStep performs one round of the hypergraph LubyGlauber chain:
-// every vertex draws β_v ∈ [0,1]; vertices that are strict local maxima over
-// their hypergraph neighborhood Γ(v) form a strongly independent set and
-// resample from their conditional marginals simultaneously.
-func (s *Sampler) LubyGlauberStep() {
-	c := s.C
-	for v := 0; v < c.N; v++ {
-		s.beta[v] = s.r.Float64()
-	}
-	// Strongly independent vertices never share a constraint, so no updated
-	// vertex reads another updated vertex: in-place resampling is exact.
-	for v := 0; v < c.N; v++ {
-		isMax := true
-		for _, u := range c.nbr[v] {
-			if s.beta[u] >= s.beta[v] {
-				isMax = false
-				break
-			}
-		}
-		if !isMax {
-			continue
-		}
-		if c.MarginalInto(v, s.X, s.marg) {
-			s.X[v] = s.r.Categorical(s.marg)
-		}
-	}
-}
-
-// LocalMetropolisStep performs one round of the CSP LocalMetropolis chain:
-// all vertices propose independently from their normalized activities, each
-// constraint passes its check with probability CheckProb, and a vertex
-// accepts its proposal iff all constraints containing it pass.
-func (s *Sampler) LocalMetropolisStep() {
-	c := s.C
-	for v := 0; v < c.N; v++ {
-		c.ProposalDistInto(v, s.marg)
-		s.prop[v] = s.r.Categorical(s.marg)
-	}
-	for ci := range c.Cons {
-		s.coins[ci] = s.r.Float64()
-		s.pass[ci] = s.coins[ci] < c.CheckProb(ci, s.X, s.prop)
-	}
-	for v := 0; v < c.N; v++ {
-		ok := true
-		for _, ci := range c.vcons[v] {
-			if !s.pass[ci] {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			s.X[v] = s.prop[v]
-		}
-	}
-}
-
-// --- PRF-keyed rounds ----------------------------------------------------
-
-// PRF key tags for the deterministic round functions (distinct from the
-// chains package tags so MRF and CSP streams never collide).
-const (
-	TagBeta   = 0x3001
-	TagUpdate = 0x3002
-	TagCoin   = 0x3003
-)
-
-// LubyGlauberRoundPRF advances x by one hypergraph LubyGlauber round with
-// randomness derived from (seed, round) — the replayable form used by the
-// distributed protocol in internal/dist. Winners are strict local maxima of
-// β over the hypergraph neighborhood; because winners are strongly
-// independent (no two share a constraint), in-place resampling is exact.
-func LubyGlauberRoundPRF(c *CSP, x []int, seed uint64, round int, marg []float64) {
-	n := c.N
-	beta := make([]float64, n)
-	for v := 0; v < n; v++ {
-		beta[v] = rng.PRFFloat64(seed, TagBeta, uint64(v), uint64(round))
-	}
-	for v := 0; v < n; v++ {
-		isMax := true
-		for _, u := range c.nbr[v] {
-			if beta[u] >= beta[v] {
-				isMax = false
-				break
-			}
-		}
-		if !isMax {
-			continue
-		}
-		if c.MarginalInto(v, x, marg) {
-			u := rng.PRFFloat64(seed, TagUpdate, uint64(v), uint64(round))
-			x[v] = rng.CategoricalU(marg, u)
-		}
-	}
-}
-
-// LocalMetropolisRoundPRF advances x by one CSP LocalMetropolis round with
-// PRF randomness: proposals keyed by (TagUpdate, v, round), constraint coins
-// by (TagCoin, constraint, round).
-func LocalMetropolisRoundPRF(c *CSP, x []int, seed uint64, round int, marg []float64, prop []int, pass []bool) {
-	n := c.N
-	for v := 0; v < n; v++ {
-		c.ProposalDistInto(v, marg)
-		u := rng.PRFFloat64(seed, TagUpdate, uint64(v), uint64(round))
-		prop[v] = rng.CategoricalU(marg, u)
-	}
-	for ci := range c.Cons {
-		coin := rng.PRFFloat64(seed, TagCoin, uint64(ci), uint64(round))
-		pass[ci] = coin < c.CheckProb(ci, x, prop)
-	}
-	for v := 0; v < n; v++ {
-		ok := true
-		for _, ci := range c.vcons[v] {
-			if !pass[ci] {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			x[v] = prop[v]
-		}
 	}
 }
 

@@ -1,0 +1,429 @@
+package csp
+
+// Golden equivalence tests for the compiled CSP kernels: the pre-refactor
+// implementations — closure-valued constraint evaluation with per-call
+// gather buffers, full 7-mix PRF calls per variate, per-round β allocation,
+// linear-scan proposal draws — are kept here verbatim as references, and
+// every rebuilt kernel (compiled-table evaluation, partial-key PRF
+// streaming, cumulative-table proposals, the vertex-parallel phases) must
+// reproduce their trajectories byte for byte.
+
+import (
+	"testing"
+
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+	"locsample/internal/rng"
+)
+
+// refEval is the pre-refactor CSP.eval.
+func refEval(c *CSP, con *Constraint, sigma []int, buf *[]int) float64 {
+	if cap(*buf) < len(con.Scope) {
+		*buf = make([]int, len(con.Scope))
+	}
+	vals := (*buf)[:len(con.Scope)]
+	for i, v := range con.Scope {
+		vals[i] = sigma[v]
+	}
+	return con.F(vals)
+}
+
+// refMarginalInto is the pre-refactor CSP.MarginalInto.
+func refMarginalInto(c *CSP, v int, sigma []int, out []float64) bool {
+	saved := sigma[v]
+	defer func() { sigma[v] = saved }()
+	buf := make([]int, 8)
+	total := 0.0
+	for a := 0; a < c.Q; a++ {
+		w := c.VertexB[v][a]
+		if w > 0 {
+			sigma[v] = a
+			for _, ci := range c.ConstraintsOf(v) {
+				w *= refEval(c, &c.Cons[ci], sigma, &buf)
+				if w == 0 {
+					break
+				}
+			}
+		}
+		out[a] = w
+		total += w
+	}
+	if total <= 0 {
+		return false
+	}
+	inv := 1 / total
+	for a := 0; a < c.Q; a++ {
+		out[a] *= inv
+	}
+	return true
+}
+
+// refCheckProb is the pre-refactor CSP.CheckProb.
+func refCheckProb(c *CSP, ci int, cur, prop []int) float64 {
+	con := &c.Cons[ci]
+	k := len(con.Scope)
+	curV := make([]int, k)
+	propV := make([]int, k)
+	for i, v := range con.Scope {
+		curV[i] = cur[v]
+		propV[i] = prop[v]
+	}
+	tau := make([]int, k)
+	p := 1.0
+	// mask bit i set means position i takes the current value; the all-ones
+	// mask is the excluded X_{S_c}.
+	for mask := 0; mask < (1<<k)-1; mask++ {
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) != 0 {
+				tau[i] = curV[i]
+			} else {
+				tau[i] = propV[i]
+			}
+		}
+		p *= con.F(tau) / con.Norm
+		if p == 0 {
+			return 0
+		}
+	}
+	return p
+}
+
+// refLubyGlauberRoundPRF is the pre-refactor LubyGlauberRoundPRF.
+func refLubyGlauberRoundPRF(c *CSP, x []int, seed uint64, round int, marg []float64) {
+	n := c.N
+	beta := make([]float64, n)
+	for v := 0; v < n; v++ {
+		beta[v] = rng.PRFFloat64(seed, TagBeta, uint64(v), uint64(round))
+	}
+	for v := 0; v < n; v++ {
+		isMax := true
+		for _, u := range c.Neighborhood(v) {
+			if beta[u] >= beta[v] {
+				isMax = false
+				break
+			}
+		}
+		if !isMax {
+			continue
+		}
+		if refMarginalInto(c, v, x, marg) {
+			u := rng.PRFFloat64(seed, TagUpdate, uint64(v), uint64(round))
+			x[v] = rng.CategoricalU(marg, u)
+		}
+	}
+}
+
+// refLocalMetropolisRoundPRF is the pre-refactor LocalMetropolisRoundPRF.
+func refLocalMetropolisRoundPRF(c *CSP, x []int, seed uint64, round int, marg []float64, prop []int, pass []bool) {
+	n := c.N
+	for v := 0; v < n; v++ {
+		c.ProposalDistInto(v, marg)
+		u := rng.PRFFloat64(seed, TagUpdate, uint64(v), uint64(round))
+		prop[v] = rng.CategoricalU(marg, u)
+	}
+	for ci := range c.Cons {
+		coin := rng.PRFFloat64(seed, TagCoin, uint64(ci), uint64(round))
+		pass[ci] = coin < refCheckProb(c, ci, x, prop)
+	}
+	for v := 0; v < n; v++ {
+		ok := true
+		for _, ci := range c.ConstraintsOf(v) {
+			if !pass[ci] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			x[v] = prop[v]
+		}
+	}
+}
+
+// kernelTestCSPs returns a diverse CSP set: hard cover constraints of mixed
+// arity (dominating set), weighted covers with non-uniform activities, NAE
+// hyperedges, binary MRF-equivalent constraints, a soft ternary factor with
+// skewed activities, and a constraint too large to tabulate (the closure
+// fallback path).
+func kernelTestCSPs(t *testing.T) []struct {
+	name string
+	c    *CSP
+	init []int
+} {
+	t.Helper()
+	var out []struct {
+		name string
+		c    *CSP
+		init []int
+	}
+	add := func(name string, c *CSP, init []int) {
+		if !c.Feasible(init) {
+			t.Fatalf("%s: test init infeasible", name)
+		}
+		out = append(out, struct {
+			name string
+			c    *CSP
+			init []int
+		}{name, c, init})
+	}
+
+	// Dominating set on a grid: cover constraints of arity 3/4/5 dedupe to
+	// three compiled shapes.
+	gridDom := DominatingSet(graph.Grid(6, 7))
+	ones := make([]int, gridDom.N)
+	for i := range ones {
+		ones[i] = 1
+	}
+	add("domset-grid6x7", gridDom, ones)
+
+	// Weighted dominating set on a cycle: soft vertex activities.
+	cycDom := WeightedDominatingSet(graph.Cycle(17), 0.7)
+	onesC := make([]int, cycDom.N)
+	for i := range onesC {
+		onesC[i] = 1
+	}
+	add("weighted-domset-cycle17", cycDom, onesC)
+
+	// NAE hypergraph 3-coloring: consecutive triples on a cycle.
+	const naeN = 20
+	scopes := make([][]int32, naeN)
+	for i := range scopes {
+		scopes[i] = []int32{int32(i), int32((i + 1) % naeN), int32((i + 2) % naeN)}
+	}
+	nae := NotAllEqual(naeN, 3, scopes)
+	naeInit := make([]int, naeN)
+	for i := range naeInit {
+		naeInit[i] = i % 3
+	}
+	add("nae-cycle20-q3", nae, naeInit)
+
+	// Binary constraints from an MRF coloring (the E10 cross-validation
+	// shape).
+	g := graph.Cycle(12)
+	m := mrf.Coloring(g, 4)
+	uni := make([][]float64, g.N())
+	for i := range uni {
+		uni[i] = []float64{1, 1, 1, 1}
+	}
+	col := FromMRF(g, 4, func(id, a, b int) float64 { return m.EdgeA[id].At(a, b) }, uni)
+	colInit := make([]int, g.N())
+	for i := range colInit {
+		colInit[i] = i % 2
+	}
+	add("coloring-cycle12-q4", col, colInit)
+
+	// Soft ternary factors with skewed activities: always feasible,
+	// exercises non-0/1 tables and non-uniform proposal distributions.
+	const softN = 11
+	softB := make([][]float64, softN)
+	for v := range softB {
+		softB[v] = []float64{1, 0.5 + 0.1*float64(v%4), 2}
+	}
+	softCons := make([]Constraint, 0, softN)
+	for v := 0; v < softN; v++ {
+		softCons = append(softCons, Constraint{
+			Scope: []int32{int32(v), int32((v + 3) % softN), int32((v + 5) % softN)},
+			F: func(vals []int) float64 {
+				return 0.25 + float64(vals[0]+2*vals[1]+vals[2])
+			},
+		})
+	}
+	soft := MustNew(softN, 3, softB, softCons)
+	add("soft-ternary-q3", soft, make([]int, softN))
+
+	// A q=6 arity-7 factor (6^7 = 279936 > tableMaxEntries): exercises the
+	// closure fallback inside otherwise-compiled rounds.
+	const bigN = 9
+	bigB := make([][]float64, bigN)
+	for v := range bigB {
+		bigB[v] = []float64{3, 1, 1, 2, 1, 1}
+	}
+	bigCons := []Constraint{
+		{
+			Scope: []int32{0, 1, 2, 3, 4, 5, 6},
+			F: func(vals []int) float64 {
+				s := 0
+				for _, x := range vals {
+					s += x
+				}
+				return 1 / (1 + float64(s))
+			},
+		},
+		{Scope: []int32{6, 7}, F: func(vals []int) float64 {
+			if vals[0] == vals[1] {
+				return 0.5
+			}
+			return 1
+		}},
+		{Scope: []int32{7, 8, 0}, F: func(vals []int) float64 {
+			return 1 + float64(vals[0]*vals[1]+vals[2])
+		}},
+	}
+	big := MustNew(bigN, 6, bigB, bigCons)
+	if big.conTab[0] != -1 {
+		t.Fatal("arity-7 q=6 constraint unexpectedly compiled to a table")
+	}
+	add("fallback-arity7-q6", big, make([]int, bigN))
+
+	return out
+}
+
+// TestCSPLubyGlauberRoundMatchesReference pins the rebuilt hypergraph
+// LubyGlauber kernel to the seed-era reference, round by round.
+func TestCSPLubyGlauberRoundMatchesReference(t *testing.T) {
+	for _, tc := range kernelTestCSPs(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			const seed, rounds = 123, 25
+			xRef := append([]int(nil), tc.init...)
+			xNew := append([]int(nil), tc.init...)
+			marg := make([]float64, tc.c.Q)
+			sc := NewScratch(tc.c)
+			for r := 0; r < rounds; r++ {
+				refLubyGlauberRoundPRF(tc.c, xRef, seed, r, marg)
+				LubyGlauberRoundPRF(tc.c, xNew, seed, r, sc)
+				for v := range xRef {
+					if xRef[v] != xNew[v] {
+						t.Fatalf("round %d: trajectories diverge at vertex %d (ref=%d new=%d)", r, v, xRef[v], xNew[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCSPLocalMetropolisRoundMatchesReference pins the rebuilt CSP
+// LocalMetropolis kernel to the seed-era reference, round by round.
+func TestCSPLocalMetropolisRoundMatchesReference(t *testing.T) {
+	for _, tc := range kernelTestCSPs(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			const seed, rounds = 321, 25
+			xRef := append([]int(nil), tc.init...)
+			xNew := append([]int(nil), tc.init...)
+			marg := make([]float64, tc.c.Q)
+			prop := make([]int, tc.c.N)
+			pass := make([]bool, len(tc.c.Cons))
+			sc := NewScratch(tc.c)
+			for r := 0; r < rounds; r++ {
+				refLocalMetropolisRoundPRF(tc.c, xRef, seed, r, marg, prop, pass)
+				LocalMetropolisRoundPRF(tc.c, xNew, seed, r, sc)
+				for v := range xRef {
+					if xRef[v] != xNew[v] {
+						t.Fatalf("round %d: trajectories diverge at vertex %d (ref=%d new=%d)", r, v, xRef[v], xNew[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCSPParallelRoundsMatchSequential pins the vertex-parallel CSP round
+// phases to the sequential kernels at several worker counts, including
+// counts that do not divide the vertex or constraint counts.
+func TestCSPParallelRoundsMatchSequential(t *testing.T) {
+	for _, tc := range kernelTestCSPs(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			const seed, rounds = 77, 15
+			seqLG := append([]int(nil), tc.init...)
+			seqLM := append([]int(nil), tc.init...)
+			sc := NewScratch(tc.c)
+			for r := 0; r < rounds; r++ {
+				LubyGlauberRoundPRF(tc.c, seqLG, seed, r, sc)
+				LocalMetropolisRoundPRF(tc.c, seqLM, seed, r, sc)
+			}
+			for _, workers := range []int{1, 2, 3, 7} {
+				parLG := append([]int(nil), tc.init...)
+				parLM := append([]int(nil), tc.init...)
+				psc := NewScratch(tc.c)
+				for r := 0; r < rounds; r++ {
+					LubyGlauberRoundParallel(tc.c, parLG, seed, r, psc, workers)
+					LocalMetropolisRoundParallel(tc.c, parLM, seed, r, psc, workers)
+				}
+				for v := range seqLG {
+					if seqLG[v] != parLG[v] {
+						t.Fatalf("workers=%d: LubyGlauber diverges at vertex %d", workers, v)
+					}
+					if seqLM[v] != parLM[v] {
+						t.Fatalf("workers=%d: LocalMetropolis diverges at vertex %d", workers, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledMarginalMatchesReference pins MarginalInto (compiled tables +
+// fallback) to the closure reference on random configurations.
+func TestCompiledMarginalMatchesReference(t *testing.T) {
+	for _, tc := range kernelTestCSPs(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rng.New(5)
+			sigma := append([]int(nil), tc.init...)
+			got := make([]float64, tc.c.Q)
+			want := make([]float64, tc.c.Q)
+			for trial := 0; trial < 50; trial++ {
+				v := r.Intn(tc.c.N)
+				okRef := refMarginalInto(tc.c, v, sigma, want)
+				okNew := tc.c.MarginalInto(v, sigma, got)
+				if okRef != okNew {
+					t.Fatalf("trial %d: definedness diverges (ref=%v new=%v)", trial, okRef, okNew)
+				}
+				if okRef {
+					for a := range want {
+						if want[a] != got[a] {
+							t.Fatalf("trial %d vertex %d: marginal[%d] = %v, ref %v", trial, v, a, got[a], want[a])
+						}
+					}
+					sigma[v] = rng.CategoricalU(got, r.Float64())
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledCheckProbMatchesReference pins CheckProb (precomputed mixing
+// products, index arithmetic, and fallback) to the closure reference on
+// random (current, proposal) pairs.
+func TestCompiledCheckProbMatchesReference(t *testing.T) {
+	for _, tc := range kernelTestCSPs(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rng.New(9)
+			cur := make([]int, tc.c.N)
+			prop := make([]int, tc.c.N)
+			for trial := 0; trial < 30; trial++ {
+				for v := range cur {
+					cur[v] = r.Intn(tc.c.Q)
+					prop[v] = r.Intn(tc.c.Q)
+				}
+				for ci := range tc.c.Cons {
+					want := refCheckProb(tc.c, ci, cur, prop)
+					got := tc.c.CheckProb(ci, cur, prop)
+					if want != got {
+						t.Fatalf("trial %d constraint %d: CheckProb = %v, ref %v", trial, ci, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTableDedup pins the activity-matrix trick: families that build n
+// identical closures compile to a handful of shared tables.
+func TestTableDedup(t *testing.T) {
+	c := DominatingSet(graph.Grid(8, 9))
+	// Corner, border, and interior cover constraints: arities 3, 4, 5.
+	if got := len(c.tabs); got != 3 {
+		t.Fatalf("grid dominating set compiled %d distinct tables, want 3", got)
+	}
+	nae := NotAllEqual(50, 3, func() [][]int32 {
+		s := make([][]int32, 50)
+		for i := range s {
+			s[i] = []int32{int32(i), int32((i + 1) % 50), int32((i + 2) % 50)}
+		}
+		return s
+	}())
+	if got := len(nae.tabs); got != 1 {
+		t.Fatalf("NAE compiled %d distinct tables, want 1", got)
+	}
+	if got := len(nae.propDist); got != 1 {
+		t.Fatalf("NAE compiled %d distinct proposal rows, want 1", got)
+	}
+}

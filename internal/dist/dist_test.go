@@ -110,9 +110,9 @@ func TestCSPLubyGlauberMatchesCentralized(t *testing.T) {
 			}
 			const seed, rounds = 2017, 20
 			x := append([]int(nil), init...)
-			marg := make([]float64, c.Q)
+			sc := csp.NewScratch(c)
 			for k := 0; k < rounds; k++ {
-				csp.LubyGlauberRoundPRF(c, x, seed, k, marg)
+				csp.LubyGlauberRoundPRF(c, x, seed, k, sc)
 			}
 			out, stats, err := RunCSPLubyGlauber(tc.g, c, init, seed, rounds)
 			if err != nil {

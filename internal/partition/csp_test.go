@@ -1,0 +1,182 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"locsample/internal/csp"
+	"locsample/internal/graph"
+)
+
+func testCSPs(t *testing.T) map[string]*csp.CSP {
+	t.Helper()
+	scopes := make([][]int32, 24)
+	for i := range scopes {
+		scopes[i] = []int32{int32(i), int32((i + 1) % 24), int32((i + 2) % 24)}
+	}
+	return map[string]*csp.CSP{
+		"domset-grid5x6":  csp.DominatingSet(graph.Grid(5, 6)),
+		"domset-cycle17":  csp.DominatingSet(graph.Cycle(17)),
+		"nae24-q3":        csp.NotAllEqual(24, 3, scopes),
+		"wdomset-star9":   csp.WeightedDominatingSet(graph.Star(9), 0.5),
+		"domset-complete": csp.DominatingSet(graph.Complete(7)),
+	}
+}
+
+// TestCSPPlanOwnership: every vertex is owned exactly once, bands are
+// ascending, and every halo slot is a hypergraph neighbor of the owned
+// band.
+func TestCSPPlanOwnership(t *testing.T) {
+	for name, c := range testCSPs(t) {
+		for _, strat := range []Strategy{Range, BFS} {
+			for _, k := range []int{1, 2, 3, 5} {
+				plan, err := BuildCSP(c, k, strat, 11)
+				if err != nil {
+					t.Fatalf("%s k=%d %v: %v", name, k, strat, err)
+				}
+				owned := make([]int, c.N)
+				for _, sh := range plan.Shards {
+					if sh.NOwned < 1 {
+						t.Fatalf("%s k=%d %v: shard %d owns no vertex", name, k, strat, sh.ID)
+					}
+					for l := 0; l < len(sh.Global); l++ {
+						if l > 0 && l != sh.NOwned && sh.Global[l-1] >= sh.Global[l] {
+							t.Fatalf("%s: shard %d band not ascending at slot %d", name, sh.ID, l)
+						}
+					}
+					for l := 0; l < sh.NOwned; l++ {
+						gv := sh.Global[l]
+						owned[gv]++
+						if plan.Owner[gv] != int32(sh.ID) {
+							t.Fatalf("%s: Owner[%d] = %d but shard %d lists it owned", name, gv, plan.Owner[gv], sh.ID)
+						}
+					}
+					for h := sh.NOwned; h < len(sh.Global); h++ {
+						u := sh.Global[h]
+						if plan.Owner[u] == int32(sh.ID) {
+							t.Fatalf("%s: shard %d halo slot %d is its own vertex %d", name, sh.ID, h, u)
+						}
+					}
+				}
+				for v, cnt := range owned {
+					if cnt != 1 {
+						t.Fatalf("%s k=%d %v: vertex %d owned %d times", name, k, strat, v, cnt)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCSPPlanScopesLocal: every shard carries every constraint incident to
+// its owned vertices, with fully local scopes that name the same global
+// vertices as the constraint's own scope, and Vcon rows reproduce
+// ConstraintsOf in ascending global order.
+func TestCSPPlanScopesLocal(t *testing.T) {
+	for name, c := range testCSPs(t) {
+		plan, err := BuildCSP(c, 3, BFS, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sh := range plan.Shards {
+			slotOf := map[int32]int{}
+			for slot, ci := range sh.ConID {
+				if slot > 0 && sh.ConID[slot-1] >= ci {
+					t.Fatalf("%s: shard %d ConID not ascending", name, sh.ID)
+				}
+				slotOf[ci] = slot
+				scope := sh.ConScope[sh.ConPtr[slot]:sh.ConPtr[slot+1]]
+				want := c.Cons[ci].Scope
+				if len(scope) != len(want) {
+					t.Fatalf("%s: shard %d constraint %d scope length %d, want %d", name, sh.ID, ci, len(scope), len(want))
+				}
+				for j, l := range scope {
+					if int(l) >= sh.NLocal() {
+						t.Fatalf("%s: shard %d constraint %d scope slot %d out of local range", name, sh.ID, ci, j)
+					}
+					if sh.Global[l] != want[j] {
+						t.Fatalf("%s: shard %d constraint %d scope slot %d is global %d, want %d",
+							name, sh.ID, ci, j, sh.Global[l], want[j])
+					}
+				}
+			}
+			for v := 0; v < sh.NOwned; v++ {
+				gv := int(sh.Global[v])
+				want := c.ConstraintsOf(gv)
+				row := sh.Vcon[sh.VconPtr[v]:sh.VconPtr[v+1]]
+				if len(row) != len(want) {
+					t.Fatalf("%s: shard %d vertex %d has %d constraint slots, want %d", name, sh.ID, gv, len(row), len(want))
+				}
+				for j, slot := range row {
+					if sh.ConID[slot] != want[j] {
+						t.Fatalf("%s: shard %d vertex %d Vcon[%d] names constraint %d, want %d",
+							name, sh.ID, gv, j, sh.ConID[slot], want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCSPPlanExchangeSymmetry: the SendTo/RecvFrom maps are aligned — the
+// t-th value shard j sends to shard s lands exactly in the t-th halo slot
+// shard s expects from j, for the same global vertex.
+func TestCSPPlanExchangeSymmetry(t *testing.T) {
+	for name, c := range testCSPs(t) {
+		for _, k := range []int{2, 3, 5} {
+			plan, err := BuildCSP(c, k, Range, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s, sh := range plan.Shards {
+				for j := 0; j < k; j++ {
+					js := plan.Shards[j]
+					if len(js.SendTo[s]) != len(sh.RecvFrom[j]) {
+						t.Fatalf("%s k=%d: send/recv length mismatch %d→%d", name, k, j, s)
+					}
+					for tt := range js.SendTo[s] {
+						sent := js.Global[js.SendTo[s][tt]]
+						recv := sh.Global[sh.RecvFrom[j][tt]]
+						if sent != recv {
+							t.Fatalf("%s k=%d: slot %d of %d→%d carries %d into a slot for %d",
+								name, k, tt, j, s, sent, recv)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCSPPlanDeterministic: building the same partition twice yields
+// identical plans.
+func TestCSPPlanDeterministic(t *testing.T) {
+	c := csp.DominatingSet(graph.Grid(6, 6))
+	for _, strat := range []Strategy{Range, BFS} {
+		a, err := BuildCSP(c, 4, strat, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := BuildCSP(c, 4, strat, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%v: plans differ between identical builds", strat)
+		}
+	}
+}
+
+// TestCSPPlanErrors: invalid shard counts are rejected.
+func TestCSPPlanErrors(t *testing.T) {
+	c := csp.DominatingSet(graph.Path(4))
+	if _, err := BuildCSP(c, 0, Range, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := BuildCSP(c, 5, Range, 0); err == nil {
+		t.Fatal("k > n accepted")
+	}
+	if _, err := BuildCSP(c, 2, Strategy(99), 0); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}

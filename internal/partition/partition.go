@@ -158,7 +158,7 @@ func Build(g *graph.Graph, k int, strat Strategy, seed uint64) (*Plan, error) {
 			owner[v] = int32(v * k / n)
 		}
 	case BFS:
-		growBFS(g, k, seed, owner)
+		growBFS(n, func(v int32) []int32 { return g.Adj(int(v)) }, k, seed, owner)
 	default:
 		return nil, fmt.Errorf("partition: unknown strategy %v", strat)
 	}
@@ -167,15 +167,15 @@ func Build(g *graph.Graph, k int, strat Strategy, seed uint64) (*Plan, error) {
 	return p, nil
 }
 
-// growBFS assigns owners by seeded breadth-first growth. Vertices are
-// ranked once by PRF(seed, TagGrow, v) (ties by ID); each shard starts from
-// the best-ranked unassigned vertex and claims its balanced share of the
-// remaining vertices by BFS, restarting from the next-ranked unassigned
-// vertex whenever its frontier exhausts a component. Deterministic: the
-// rank order, the FIFO frontier, and the graph's adjacency order leave no
-// choice to scheduling.
-func growBFS(g *graph.Graph, k int, seed uint64, owner []int32) {
-	n := g.N()
+// growBFS assigns owners by seeded breadth-first growth over an arbitrary
+// adjacency (graph edges for MRF plans, hypergraph neighborhoods Γ(v) for
+// CSP plans). Vertices are ranked once by PRF(seed, TagGrow, v) (ties by
+// ID); each shard starts from the best-ranked unassigned vertex and claims
+// its balanced share of the remaining vertices by BFS, restarting from the
+// next-ranked unassigned vertex whenever its frontier exhausts a component.
+// Deterministic: the rank order, the FIFO frontier, and the adjacency order
+// leave no choice to scheduling.
+func growBFS(n int, adj func(int32) []int32, k int, seed uint64, owner []int32) {
 	for v := range owner {
 		owner[v] = -1
 	}
@@ -209,7 +209,7 @@ func growBFS(g *graph.Graph, k int, seed uint64, owner []int32) {
 			for len(queue) > 0 && claimed < target {
 				v := queue[0]
 				queue = queue[1:]
-				for _, u := range g.Adj(int(v)) {
+				for _, u := range adj(v) {
 					if owner[u] != -1 {
 						continue
 					}

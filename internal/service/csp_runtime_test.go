@@ -1,0 +1,147 @@
+package service
+
+// Serving-layer tests for the CSP in-chain runtimes (PR 5): sharded and
+// vertex-parallel CSP draws over the wire, bit-identical to centralized
+// draws, with the same default-resolution and cache-keying behavior as MRF
+// models.
+
+import (
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestServerCSPShardedDrawBitIdentical pins wire-level determinism across
+// the sharded CSP runtime: draws with shards overrides return exactly the
+// centralized draw's samples while reporting shard stats.
+func TestServerCSPShardedDrawBitIdentical(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var reg RegisterResponse
+	code, body := postJSON(t, ts.URL+"/v1/models", cspSpec, &reg)
+	if code != http.StatusCreated {
+		t.Fatalf("register: code %d, body %s", code, body)
+	}
+	var central SampleResponse
+	code, body = postJSON(t, ts.URL+"/v1/models/"+reg.ID+"/sample", `{"k":3,"seed":42}`, &central)
+	if code != http.StatusOK {
+		t.Fatalf("central sample: code %d, body %s", code, body)
+	}
+	if central.Shards != 0 || central.ShardStats != nil {
+		t.Fatalf("centralized csp draw reports shard fields: %+v", central)
+	}
+	for _, k := range []int{2, 3, 5} {
+		var sharded SampleResponse
+		req := fmt.Sprintf(`{"k":3,"seed":42,"shards":%d}`, k)
+		code, body = postJSON(t, ts.URL+"/v1/models/"+reg.ID+"/sample", req, &sharded)
+		if code != http.StatusOK {
+			t.Fatalf("sharded csp sample (k=%d): code %d, body %s", k, code, body)
+		}
+		if !reflect.DeepEqual(sharded.Samples, central.Samples) {
+			t.Fatalf("shards=%d: served csp samples diverge from centralized draw", k)
+		}
+		if sharded.Shards != k || sharded.ShardStats == nil || sharded.ShardStats.BoundaryMessages == 0 {
+			t.Fatalf("shards=%d: missing shard stats: %+v", k, sharded)
+		}
+	}
+}
+
+// TestServerCSPParallelDrawBitIdentical pins wire-level determinism across
+// the vertex-parallel CSP runtime.
+func TestServerCSPParallelDrawBitIdentical(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var reg RegisterResponse
+	code, body := postJSON(t, ts.URL+"/v1/models", cspSpec, &reg)
+	if code != http.StatusCreated {
+		t.Fatalf("register: code %d, body %s", code, body)
+	}
+	var sequential SampleResponse
+	code, body = postJSON(t, ts.URL+"/v1/models/"+reg.ID+"/sample", `{"k":3,"seed":42}`, &sequential)
+	if code != http.StatusOK {
+		t.Fatalf("sequential sample: code %d, body %s", code, body)
+	}
+	for _, par := range []int{2, 4} {
+		var parallel SampleResponse
+		req := fmt.Sprintf(`{"k":3,"seed":42,"parallel":%d}`, par)
+		code, body = postJSON(t, ts.URL+"/v1/models/"+reg.ID+"/sample", req, &parallel)
+		if code != http.StatusOK {
+			t.Fatalf("parallel csp sample (par=%d): code %d, body %s", par, code, body)
+		}
+		if !reflect.DeepEqual(parallel.Samples, sequential.Samples) {
+			t.Fatalf("parallel=%d: served csp samples diverge from sequential draw", par)
+		}
+		if parallel.Parallel != par {
+			t.Fatalf("parallel=%d: response reports %d", par, parallel.Parallel)
+		}
+	}
+}
+
+// TestCSPSpecShardsDefault: a CSP spec's model.shards field becomes the
+// draw's default, an explicit request override wins, and the samples never
+// change.
+func TestCSPSpecShardsDefault(t *testing.T) {
+	sharded := strings.Replace(cspSpec, `"rounds": 60, `, `"rounds": 60, "shards": 2, `, 1)
+	reg := NewRegistry(Config{})
+	m, _, err := reg.Register([]byte(sharded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Built.Shards != 2 {
+		t.Fatalf("built csp spec shards = %d, want 2", m.Built.Shards)
+	}
+	res, err := reg.Draw(m, DrawOptions{K: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards != 2 {
+		t.Fatalf("default csp draw ran %d shards, want the spec's 2", res.Shards)
+	}
+	over, err := reg.Draw(m, DrawOptions{K: 2, Seed: 7, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Shards != 3 {
+		t.Fatalf("override csp draw ran %d shards, want 3", over.Shards)
+	}
+	if !reflect.DeepEqual(over.Samples, res.Samples) {
+		t.Fatal("shard counts changed the served csp samples")
+	}
+	// Per-model /statsz counters picked up the sharded draws.
+	st := m.Stats()
+	if st.ShardDraws != 4 || st.BoundaryMessages == 0 {
+		t.Fatalf("csp model shard counters: %+v", st)
+	}
+}
+
+// TestCSPShardCacheKeying: repeat CSP draws with the same runtime never
+// recompile, distinct counts compile distinct samplers, and 0/1 share the
+// centralized entry.
+func TestCSPShardCacheKeying(t *testing.T) {
+	reg := NewRegistry(Config{})
+	m, _, err := reg.Register([]byte(cspSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := reg.Compiles() // registration compiled the default sampler
+	for i := 0; i < 3; i++ {
+		if _, err := reg.Draw(m, DrawOptions{K: 1, Seed: uint64(i), Shards: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Compiles() - base; got != 1 {
+		t.Fatalf("3 sharded csp draws compiled %d times, want 1", got)
+	}
+	if _, err := reg.Draw(m, DrawOptions{K: 1, Parallel: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Compiles() - base; got != 2 {
+		t.Fatalf("distinct runtime did not compile its own sampler (compiles=%d)", got)
+	}
+	if _, err := reg.Draw(m, DrawOptions{K: 1, Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Compiles() - base; got != 2 {
+		t.Fatalf("shards=1 csp draw recompiled (compiles=%d): 0 and 1 must share the centralized entry", got)
+	}
+}

@@ -139,8 +139,9 @@ func TestRequestOverridesOtherRuntimeDefault(t *testing.T) {
 	}
 }
 
-// TestParallelOptionRejections: CSPs, negative counts, out-of-range counts,
-// and an explicit shards+parallel conflict are all rejected.
+// TestParallelOptionRejections: negative counts, out-of-range counts, and
+// an explicit shards+parallel conflict are all rejected (for CSP models
+// too).
 func TestParallelOptionRejections(t *testing.T) {
 	reg := NewRegistry(Config{})
 	m, _, err := reg.Register([]byte(coloringSpec))
@@ -160,8 +161,8 @@ func TestParallelOptionRejections(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := reg.Draw(csp, DrawOptions{K: 1, Rounds: 10, Parallel: 2}); err == nil {
-		t.Fatal("csp parallel draw accepted")
+	if _, err := reg.Draw(csp, DrawOptions{K: 1, Rounds: 10, Shards: 2, Parallel: 2}); err == nil {
+		t.Fatal("csp shards+parallel conflict accepted")
 	}
 }
 

@@ -160,14 +160,11 @@ type compileKey struct {
 	parallel int
 }
 
-// compiled is one cache entry: a reusable MRF batch sampler, or the
-// resolved CSP run parameters.
+// compiled is one cache entry: a reusable MRF batch sampler or a reusable
+// CSP batch sampler.
 type compiled struct {
-	sampler *locsample.Sampler
-	csp     *locsample.CSPModel
-	graph   *locsample.Graph
-	init    []int
-	rounds  int
+	sampler    *locsample.Sampler
+	cspSampler *locsample.CSPSampler
 }
 
 // Registry is the model store and compiled-sampler cache. All methods are
@@ -304,22 +301,24 @@ type DrawOptions struct {
 	// Seed is the master seed; chain i runs with ChainSeed(Seed, i).
 	Seed uint64
 	// Algorithm overrides the chain ("glauber", "lubyglauber",
-	// "localmetropolis", "scan", "chromatic"; MRF models only).
+	// "localmetropolis", "scan", "chromatic"; MRF models only — CSPs accept
+	// only spellings of lubyglauber).
 	Algorithm string
 	// Rounds overrides the round budget when positive.
 	Rounds int
 	// Epsilon overrides the total-variation target of the automatic round
-	// budget when positive.
+	// budget when positive (MRF models only).
 	Epsilon float64
 	// Shards overrides the shard count every chain of the draw runs with
-	// (MRF models only; 0 falls back to the spec's default, then the
-	// server's). Sharding never changes the samples — only how fast one
-	// chain advances.
+	// (0 falls back to the spec's default, then the server's). Sharding
+	// never changes the samples — only how fast one chain advances. MRF
+	// chains shard over graph partitions, CSP chains over constraint-scope
+	// halos.
 	Shards int
 	// Parallel overrides the vertex-parallel worker count every chain's
-	// rounds run with (MRF models only; 0 falls back to the spec's default,
-	// then the server's). Like Shards it never changes the samples, and the
-	// two are mutually exclusive per draw.
+	// rounds run with (0 falls back to the spec's default, then the
+	// server's). Like Shards it never changes the samples, and the two are
+	// mutually exclusive per draw.
 	Parallel int
 }
 
@@ -431,16 +430,17 @@ func (r *Registry) draw(m *Model, opts DrawOptions) (*DrawResult, error) {
 			Elapsed:      time.Since(start),
 		}, nil
 	}
-	samples, err := locsample.SampleCSPN(c.graph, c.csp, c.init, c.rounds, opts.Seed, opts.K, 0)
+	batch, err := c.cspSampler.SampleNFrom(opts.Seed, opts.K)
 	if err != nil {
 		return nil, err
 	}
 	return &DrawResult{
-		Samples:   samples,
-		Rounds:    c.rounds,
+		Samples:   batch.Samples,
+		Rounds:    batch.Rounds,
 		Algorithm: "lubyglauber",
-		Shards:    1,
-		Parallel:  1,
+		Shards:    c.cspSampler.Shards(),
+		Parallel:  c.cspSampler.ParallelRounds(),
+		Shard:     batch.Shard,
 		Elapsed:   time.Since(start),
 	}, nil
 }
@@ -506,14 +506,6 @@ func (r *Registry) getCompiled(m *Model, opts DrawOptions) (*compiled, error) {
 func (r *Registry) compileKeyFor(m *Model, opts DrawOptions) (compileKey, error) {
 	key := compileKey{hash: m.Hash, rounds: opts.Rounds, epsBits: math.Float64bits(opts.Epsilon)}
 	if m.Built.CSP != nil {
-		// 0 and 1 both mean centralized everywhere; only a real shard
-		// request is an error for CSPs.
-		if opts.Shards > 1 {
-			return key, fmt.Errorf("service: csp models do not support sharded draws")
-		}
-		if opts.Parallel > 1 {
-			return key, fmt.Errorf("service: csp models do not support vertex-parallel rounds")
-		}
 		if opts.Algorithm != "" {
 			// Accept any spelling of the one chain CSPs run.
 			if a, err := ParseAlgorithm(opts.Algorithm); err != nil || a != locsample.LubyGlauber {
@@ -532,6 +524,8 @@ func (r *Registry) compileKeyFor(m *Model, opts DrawOptions) (compileKey, error)
 		if key.rounds <= 0 {
 			return key, fmt.Errorf("service: csp model has no default round budget; supply rounds")
 		}
+		key.algorithm = locsample.LubyGlauber
+		key.shards, key.parallel = r.resolveRuntime(m, opts)
 		return key, nil
 	}
 	a, err := ParseAlgorithm(opts.Algorithm)
@@ -539,20 +533,26 @@ func (r *Registry) compileKeyFor(m *Model, opts DrawOptions) (compileKey, error)
 		return key, err
 	}
 	key.algorithm = a
-	// Shard resolution: request > spec serving default > server default.
-	// 1 and 0 both mean centralized; canonicalizing to 0 keeps one
-	// workload on one cache entry. The server-wide default is clamped to
-	// the model's vertex count (a blanket -shards 8 must not make every
-	// draw of a 4-vertex model fail); explicit request values are not —
-	// the client asked for something impossible and should hear so.
-	//
-	// The two in-chain runtimes are mutually exclusive per draw, and the
-	// request outranks every default: a request that explicitly picks one
-	// runtime suppresses the DEFAULTS of the other (a parallel request on
-	// a spec whose serving default is shards runs parallel, and vice
-	// versa). Only a request naming both reaches the engine's
-	// mutual-exclusion error.
-	shards := opts.Shards
+	key.shards, key.parallel = r.resolveRuntime(m, opts)
+	return key, nil
+}
+
+// resolveRuntime resolves the in-chain runtime of a draw — shard count and
+// vertex-parallel worker count — as request > spec serving default > server
+// default, identically for MRF and CSP models. 1 and 0 both mean
+// centralized; canonicalizing to 0 keeps one workload on one cache entry.
+// The server-wide default is clamped to the model's vertex count (a blanket
+// -shards 8 must not make every draw of a 4-vertex model fail); explicit
+// request values are not — the client asked for something impossible and
+// should hear so.
+//
+// The two runtimes are mutually exclusive per draw, and the request
+// outranks every default: a request that explicitly picks one runtime
+// suppresses the DEFAULTS of the other (a parallel request on a spec whose
+// serving default is shards runs parallel, and vice versa). Only a request
+// naming both reaches the engine's mutual-exclusion error.
+func (r *Registry) resolveRuntime(m *Model, opts DrawOptions) (shards, parallel int) {
+	shards = opts.Shards
 	if shards == 0 && opts.Parallel <= 1 {
 		shards = m.Built.Shards
 		if shards == 0 {
@@ -565,9 +565,8 @@ func (r *Registry) compileKeyFor(m *Model, opts DrawOptions) (compileKey, error)
 	if shards <= 1 {
 		shards = 0
 	}
-	key.shards = shards
-	parallel := opts.Parallel
-	if parallel == 0 && key.shards == 0 {
+	parallel = opts.Parallel
+	if parallel == 0 && shards == 0 {
 		parallel = m.Built.Parallel
 		if parallel == 0 {
 			parallel = r.cfg.DefaultParallel
@@ -576,20 +575,26 @@ func (r *Registry) compileKeyFor(m *Model, opts DrawOptions) (compileKey, error)
 	if parallel <= 1 {
 		parallel = 0
 	}
-	key.parallel = parallel
-	return key, nil
+	return shards, parallel
 }
 
 // compile does the actual compilation work; it is called without r.mu
 // held (the caller serializes same-key compiles via the singleflight).
 func (r *Registry) compile(m *Model, key compileKey, opts DrawOptions) (*compiled, error) {
 	if m.Built.CSP != nil {
-		return &compiled{
-			csp:    m.Built.CSP,
-			graph:  m.Built.Graph,
-			init:   m.Built.Init,
-			rounds: key.rounds,
-		}, nil
+		sopts := []locsample.Option{locsample.WithRounds(key.rounds)}
+		if key.shards > 1 {
+			sopts = append(sopts, locsample.WithShards(key.shards))
+		}
+		if key.parallel > 1 {
+			sopts = append(sopts, locsample.WithParallelRounds(key.parallel))
+		}
+		r.compiles.Add(1)
+		cs, err := locsample.NewCSPSampler(m.Built.Graph, m.Built.CSP, m.Built.Init, sopts...)
+		if err != nil {
+			return nil, err
+		}
+		return &compiled{cspSampler: cs}, nil
 	}
 	sopts := []locsample.Option{locsample.WithAlgorithm(key.algorithm)}
 	if key.rounds > 0 {

@@ -173,17 +173,10 @@ func TestCSPShardsOneIsCentralized(t *testing.T) {
 	}
 }
 
-// TestShardOptionRejections: CSPs, negative and oversized counts, and
-// sequential algorithms reject sharded draws with clear errors.
+// TestShardOptionRejections: negative and oversized counts and sequential
+// algorithms reject sharded draws with clear errors.
 func TestShardOptionRejections(t *testing.T) {
 	reg := NewRegistry(Config{})
-	csp, _, err := reg.Register([]byte(cspSpec))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := reg.Draw(csp, DrawOptions{K: 1, Shards: 2}); err == nil {
-		t.Fatal("csp sharded draw accepted")
-	}
 	m, _, err := reg.Register([]byte(coloringSpec))
 	if err != nil {
 		t.Fatal(err)

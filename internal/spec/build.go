@@ -29,11 +29,11 @@ type Built struct {
 	// Rounds is the CSP default chain-iteration budget (0 when the spec
 	// left it to the request); 0 for MRFs.
 	Rounds int
-	// Shards is the MRF default shard count for served draws (0 when the
-	// spec left it to the request); 0 for CSPs.
+	// Shards is the default shard count for served draws (0 when the spec
+	// left it to the request).
 	Shards int
-	// Parallel is the MRF default vertex-parallel worker count for served
-	// draws (0 when the spec left it to the request); 0 for CSPs.
+	// Parallel is the default vertex-parallel worker count for served
+	// draws (0 when the spec left it to the request).
 	Parallel int
 }
 
@@ -77,10 +77,8 @@ func Build(s *Spec) (*Built, error) {
 	if err != nil {
 		return nil, err
 	}
-	if b.MRF != nil {
-		b.Shards = ms.Shards
-		b.Parallel = ms.Parallel
-	}
+	b.Shards = ms.Shards
+	b.Parallel = ms.Parallel
 	return b, nil
 }
 

@@ -48,14 +48,27 @@ func TestSpecParallelField(t *testing.T) {
 		t.Fatal("parallel field does not participate in the content hash")
 	}
 
+	// Since PR 5 the field is legal on kind csp too.
+	cspParallel := `{
+		"version": "locsample/v1",
+		"graph": {"family": "cycle", "n": 4},
+		"model": {"kind": "csp", "q": 2, "parallel": 2, "constraints": [
+			{"kind": "cover", "scope": [0, 1]}
+		]}
+	}`
+	cs, err := Decode([]byte(cspParallel))
+	if err != nil {
+		t.Fatalf("csp parallel field rejected: %v", err)
+	}
+	cb, err := Build(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.Parallel != 2 {
+		t.Fatalf("built csp parallel = %d, want 2", cb.Parallel)
+	}
+
 	for name, bad := range map[string]string{
-		"csp": `{
-			"version": "locsample/v1",
-			"graph": {"family": "cycle", "n": 4},
-			"model": {"kind": "csp", "q": 2, "parallel": 2, "constraints": [
-				{"kind": "cover", "scope": [0, 1]}
-			]}
-		}`,
 		"negative": `{
 			"version": "locsample/v1",
 			"graph": {"family": "grid", "rows": 4, "cols": 4},

@@ -49,14 +49,28 @@ func TestSpecShardsField(t *testing.T) {
 		t.Fatal("shards field does not participate in the content hash")
 	}
 
+	// Since PR 5 the field is legal on kind csp too: CSP chains shard over
+	// constraint-scope halos.
+	cspSharded := `{
+		"version": "locsample/v1",
+		"graph": {"family": "cycle", "n": 4},
+		"model": {"kind": "csp", "q": 2, "shards": 2, "constraints": [
+			{"kind": "cover", "scope": [0, 1]}
+		]}
+	}`
+	cs, err := Decode([]byte(cspSharded))
+	if err != nil {
+		t.Fatalf("csp shards field rejected: %v", err)
+	}
+	cb, err := Build(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.Shards != 2 {
+		t.Fatalf("built csp shards = %d, want 2", cb.Shards)
+	}
+
 	for name, bad := range map[string]string{
-		"csp": `{
-			"version": "locsample/v1",
-			"graph": {"family": "cycle", "n": 4},
-			"model": {"kind": "csp", "q": 2, "shards": 2, "constraints": [
-				{"kind": "cover", "scope": [0, 1]}
-			]}
-		}`,
 		"negative": `{
 			"version": "locsample/v1",
 			"graph": {"family": "grid", "rows": 4, "cols": 4},

@@ -135,16 +135,17 @@ type ModelSpec struct {
 	// csp, which has no theory budget; requests may override it).
 	Rounds int `json:"rounds,omitempty"`
 	// Shards optionally sets the default shard count the serving layer
-	// runs this model's draws with (every MRF kind; requests may override
-	// it). Sharding never changes outputs — a sharded draw is bit-identical
-	// to the centralized chain at the same seed — so this is a serving
-	// default, not part of the distribution.
+	// runs this model's draws with (every kind, CSPs included; requests may
+	// override it). Sharding never changes outputs — a sharded draw is
+	// bit-identical to the centralized chain at the same seed — so this is
+	// a serving default, not part of the distribution.
 	Shards int `json:"shards,omitempty"`
 	// Parallel optionally sets the default vertex-parallel worker count the
-	// serving layer runs this model's centralized draws with (every MRF
-	// kind; requests may override it). Like Shards it never changes
-	// outputs — parallel rounds are bit-identical to sequential rounds at
-	// every worker count — and the two are mutually exclusive per draw.
+	// serving layer runs this model's centralized draws with (every kind,
+	// CSPs included; requests may override it). Like Shards it never
+	// changes outputs — parallel rounds are bit-identical to sequential
+	// rounds at every worker count — and the two are mutually exclusive per
+	// draw.
 	Parallel int `json:"parallel,omitempty"`
 }
 
@@ -436,7 +437,7 @@ var fieldsByKind = map[string][]string{
 	"ising":          {"beta", "field", "shards", "parallel"},
 	"potts":          {"q", "beta", "shards", "parallel"},
 	"mrf":            {"q", "edgeActivities", "vertexActivities", "shards", "parallel"},
-	"csp":            {"q", "vertexActivities", "constraints", "init", "rounds"},
+	"csp":            {"q", "vertexActivities", "constraints", "init", "rounds", "shards", "parallel"},
 }
 
 // checkStray rejects model fields set to non-zero values that the declared

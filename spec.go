@@ -58,11 +58,12 @@ type BuiltSpec struct {
 	// Rounds is the CSP spec's default chain-iteration budget (0 when the
 	// spec leaves the budget to the caller); 0 for MRFs.
 	Rounds int
-	// Shards is the MRF spec's default shard count for served draws
-	// (0 when the spec leaves it to the caller); 0 for CSPs.
+	// Shards is the spec's default shard count for served draws (0 when
+	// the spec leaves it to the caller); legal on MRF and CSP kinds alike.
 	Shards int
-	// Parallel is the MRF spec's default vertex-parallel worker count for
-	// served draws (0 when the spec leaves it to the caller); 0 for CSPs.
+	// Parallel is the spec's default vertex-parallel worker count for
+	// served draws (0 when the spec leaves it to the caller); legal on MRF
+	// and CSP kinds alike.
 	Parallel int
 }
 
