@@ -19,14 +19,17 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"locsample"
 	"locsample/internal/csp"
 	"locsample/internal/rng"
 	"locsample/internal/service"
+	"locsample/internal/transport"
 )
 
 // Report is the JSON shape lsbench emits.
@@ -72,6 +75,11 @@ type Entry struct {
 	AllocsPerOp int64   `json:"allocsPerOp"`
 	// VerticesPerSec is vertex-updates per second: n·rounds·k / seconds.
 	VerticesPerSec float64 `json:"verticesPerSec,omitempty"`
+	// FramesPerSec / WireBytesPerRound describe the transport suite:
+	// boundary frames moved per second and bytes a lockstep round puts on
+	// the wire (0 for the in-process Chan fabric — nothing is encoded).
+	FramesPerSec      float64 `json:"framesPerSec,omitempty"`
+	WireBytesPerRound float64 `json:"wireBytesPerRound,omitempty"`
 	// SpeedupVs is baseline-ns/op ÷ this-ns/op for the same-named benchmark
 	// in the -baseline report (same host class only; absent otherwise).
 	SpeedupVs float64 `json:"speedup_vs,omitempty"`
@@ -107,6 +115,7 @@ func main() {
 	parallelSuite(rep, *quick)
 	cspSuite(rep, *quick)
 	cspSmoke(rep)
+	transportSuite(rep, *quick)
 
 	regressions := applyBaseline(rep, *baseline, *maxRegress)
 
@@ -571,6 +580,167 @@ func cspSmoke(rep *Report) {
 		})
 		rep.add("CSPSmoke/"+wl.name, wl.c.N, len(wl.c.Cons), rounds, 1, 0, 0, res)
 	}
+}
+
+// transportSuite measures the boundary fabrics a sharded round runs on:
+// one lockstep round of a two-shard exchange (a frame each way), over the
+// in-process Chan transport and over the cross-process TCP transport on
+// loopback. Reported as frames/sec plus, for TCP, the encoded bytes each
+// round puts on the wire.
+func transportSuite(rep *Report, quick bool) {
+	states := 4096
+	if quick {
+		states = 512
+	}
+	payload := make([]int, states)
+	for i := range payload {
+		payload[i] = i & 7
+	}
+	neighbors := [][]int{{1}, {0}}
+	const timeout = 10 * time.Second
+
+	// One op = one lockstep round: shard 0 and shard 1 each send their
+	// boundary frame and receive the peer's.
+	roundTrip := func(b *testing.B, tr transport.Transport) {
+		b.Helper()
+		for r := 0; r < b.N; r++ {
+			if err := tr.Send(0, 1, r, payload); err != nil {
+				b.Fatal(err)
+			}
+			if err := tr.Send(1, 0, r, payload); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tr.Recv(0, 1, r, states); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tr.Recv(1, 0, r, states); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	addFabric := func(name string, res testing.BenchmarkResult, wireBytes float64) {
+		rep.add(name, states, 0, 0, 0, 2, 0, res)
+		e := &rep.Benchmarks[len(rep.Benchmarks)-1]
+		if e.NsPerOp > 0 {
+			e.FramesPerSec = 2 / (e.NsPerOp / 1e9)
+		}
+		e.WireBytesPerRound = wireBytes
+	}
+
+	ch := transport.NewChan(neighbors, timeout)
+	res := benchmarkBest(rep.BestOf, func(b *testing.B) {
+		b.ReportAllocs()
+		roundTrip(b, ch)
+	})
+	ch.Close()
+	addFabric(fmt.Sprintf("Transport/Chan/states=%d", states), res, 0)
+
+	tcpA, tcpB, cleanup, err := loopbackMesh(neighbors, timeout)
+	if err != nil {
+		fatal(err)
+	}
+	defer cleanup()
+	var rounds int
+	res = benchmarkBest(rep.BestOf, func(b *testing.B) {
+		b.ReportAllocs()
+		rounds += b.N
+		for r := 0; r < b.N; r++ {
+			if err := tcpA.Send(0, 1, r, payload); err != nil {
+				b.Fatal(err)
+			}
+			if err := tcpB.Send(1, 0, r, payload); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tcpB.Recv(0, 1, r, states); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tcpA.Recv(1, 0, r, states); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	wire := float64(tcpA.Stats().BytesSent+tcpB.Stats().BytesSent) / float64(rounds)
+	addFabric(fmt.Sprintf("Transport/TCPLoopback/states=%d", states), res, wire)
+}
+
+// loopbackMesh stands up the two-process TCP mesh the transport suite
+// benchmarks: each side gets its own listener, B dials A (the lower
+// index), and A's accept loop attaches the inbound half — the same
+// handshake the lsharded worker runs.
+func loopbackMesh(neighbors [][]int, timeout time.Duration) (a, b *transport.TCP, cleanup func(), err error) {
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		lnA.Close()
+		return nil, nil, nil, err
+	}
+	mk := func(self int) (*transport.TCP, error) {
+		return transport.NewTCP(transport.TCPConfig{
+			JobID:       1,
+			Self:        self,
+			Addrs:       []string{lnA.Addr().String(), lnB.Addr().String()},
+			Assign:      []int{0, 1},
+			Neighbors:   neighbors,
+			DialTimeout: timeout,
+			RecvTimeout: timeout,
+		})
+	}
+	if a, err = mk(0); err != nil {
+		lnA.Close()
+		lnB.Close()
+		return nil, nil, nil, err
+	}
+	if b, err = mk(1); err != nil {
+		a.Close()
+		lnA.Close()
+		lnB.Close()
+		return nil, nil, nil, err
+	}
+	accepted := make(chan error, 1)
+	go func() {
+		c, err := lnA.Accept()
+		if err != nil {
+			accepted <- err
+			return
+		}
+		if _, err := transport.ReadMagic(c, timeout); err != nil {
+			accepted <- err
+			return
+		}
+		_, from, err := transport.ReadPeerHello(c, timeout)
+		if err != nil {
+			accepted <- err
+			return
+		}
+		c.SetReadDeadline(time.Time{})
+		accepted <- a.AddConn(from, c)
+	}()
+	cleanup = func() {
+		a.Close()
+		b.Close()
+		lnA.Close()
+		lnB.Close()
+	}
+	if err := b.Dial(); err != nil {
+		cleanup()
+		return nil, nil, nil, err
+	}
+	if err := <-accepted; err != nil {
+		cleanup()
+		return nil, nil, nil, err
+	}
+	if err := a.Ready(timeout); err != nil {
+		cleanup()
+		return nil, nil, nil, err
+	}
+	if err := b.Ready(timeout); err != nil {
+		cleanup()
+		return nil, nil, nil, err
+	}
+	return a, b, cleanup, nil
 }
 
 // add appends one benchmark result with derived vertex-update throughput.

@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,16 +48,33 @@ func main() {
 		maxK      = flag.Int("max-k", 4096, "per-request sample limit")
 		shards    = flag.Int("shards", 0, "default shard count for draws whose request and spec name none (0 = centralized; MRF and CSP models alike; samples are bit-identical at every shard count)")
 		parallel  = flag.Int("parallel", 0, "default vertex-parallel worker count for centralized draws whose request and spec name none (0 = sequential rounds; MRF and CSP models alike; samples are bit-identical at every worker count)")
+		workers   = flag.String("workers", "", "comma-separated lsharded worker addresses; sharded draws place their shards across these processes over TCP (bit-identical to in-process draws)")
 		timeout   = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown grace period")
 	)
 	flag.Parse()
+
+	var workerAddrs []string
+	if *workers != "" {
+		for _, a := range strings.Split(*workers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				workerAddrs = append(workerAddrs, a)
+			}
+		}
+	}
+	defaultShards := *shards
+	if defaultShards == 0 && len(workerAddrs) > 1 {
+		// A worker fleet with no explicit shard default means "use the
+		// fleet": one shard per worker.
+		defaultShards = len(workerAddrs)
+	}
 
 	reg := service.NewRegistry(service.Config{
 		CacheSize:       *cacheSize,
 		MaxModels:       *maxModels,
 		MaxK:            *maxK,
-		DefaultShards:   *shards,
+		DefaultShards:   defaultShards,
 		DefaultParallel: *parallel,
+		WorkerAddrs:     workerAddrs,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,63 @@
+// Command lsharded is a shard-hosting worker for cross-process sampling.
+// A coordinator — locsample.WithRemoteWorkers, typically an lserved
+// started with -workers — sends it a job (the model's wire spec plus the
+// shard-plan parameters) over a control connection; the worker rebuilds
+// the model and plan deterministically, meshes up with its peer workers
+// over TCP, and serves lockstep draws until the coordinator disconnects.
+// Draws are byte-identical to centralized runs of the same spec and seed.
+//
+// Example (a two-worker fleet behind one server):
+//
+//	lsharded -addr 127.0.0.1:9471 &
+//	lsharded -addr 127.0.0.1:9472 &
+//	lserved -addr :8473 -workers 127.0.0.1:9471,127.0.0.1:9472
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"locsample/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:0", "listen address (control and peer mesh share it)")
+		readyTimeout = flag.Duration("ready-timeout", 30*time.Second, "job setup deadline (model build + mesh dial)")
+		recvTimeout  = flag.Duration("recv-timeout", 60*time.Second, "per-round boundary receive deadline")
+		quiet        = flag.Bool("quiet", false, "suppress per-job logs")
+	)
+	flag.Parse()
+
+	logf := log.New(os.Stderr, "lsharded: ", log.LstdFlags).Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	w, err := service.NewWorker(*addr, service.WorkerConfig{
+		ReadyTimeout: *readyTimeout,
+		RecvTimeout:  *recvTimeout,
+		Logf:         logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lsharded: %v\n", err)
+		os.Exit(1)
+	}
+	// The bound address goes to stdout (and is the only stdout output), so
+	// scripts spawning "-addr 127.0.0.1:0" can scrape the chosen port.
+	fmt.Printf("lsharded: listening on %s\n", w.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	if err := w.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "lsharded: close: %v\n", err)
+		os.Exit(1)
+	}
+}

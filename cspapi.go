@@ -62,6 +62,9 @@ type CSPSampler struct {
 	plan    *partition.CSPPlan
 	engines sync.Pool // *cluster.CSPEngine, sharded mode
 	scratch sync.Pool // *csp.Scratch, centralized mode
+	// remote is the cross-process coordinator (nil unless WithRemoteWorkers
+	// placed the shards on lsharded processes).
+	remote *remoteEngine
 }
 
 // NewCSPSampler compiles CSP c on network g with the given options into a
@@ -98,13 +101,46 @@ func NewCSPSampler(g *Graph, c *CSPModel, init []int, opts ...Option) (*CSPSampl
 		if err != nil {
 			return nil, err
 		}
-		eng, err := cluster.NewCSP(c, plan, chains.LubyGlauber)
+		s.plan = plan
+		if len(cfg.WorkerAddrs) > 0 {
+			sp := cfg.ModelSpec
+			if sp == nil {
+				sp, err = NewSpecFromCSP(g, c, s.init, rounds, "remote")
+				if err != nil {
+					return nil, fmt.Errorf("locsample: remote draws ship the CSP as a spec: %w", err)
+				}
+			}
+			s.remote, err = newRemoteEngine(remoteJob{
+				kind:     "csp",
+				spec:     sp,
+				shards:   cfg.Shards,
+				strategy: cfg.ShardStrategy.String(),
+				planSeed: cfg.Seed,
+				init:     s.init,
+				addrs:    cfg.WorkerAddrs,
+			}, cspOwned(plan), c.N)
+			if err != nil {
+				return nil, err
+			}
+			return s, nil
+		}
+		newEngine := func() (*cluster.CSPEngine, error) {
+			if cfg.Transport != nil {
+				local := make([]int, plan.K)
+				for i := range local {
+					local[i] = i
+				}
+				return cluster.NewCSPWithTransport(c, plan, chains.LubyGlauber,
+					local, cfg.Transport(plan.NeighborLists()))
+			}
+			return cluster.NewCSP(c, plan, chains.LubyGlauber)
+		}
+		eng, err := newEngine()
 		if err != nil {
 			return nil, err
 		}
-		s.plan = plan
 		s.engines.New = func() any {
-			e, err := cluster.NewCSP(c, plan, chains.LubyGlauber)
+			e, err := newEngine()
 			if err != nil {
 				// Unreachable: the eager construction above vetted the
 				// same arguments.
@@ -115,6 +151,16 @@ func NewCSPSampler(g *Graph, c *CSPModel, init []int, opts ...Option) (*CSPSampl
 		s.engines.Put(eng)
 	}
 	return s, nil
+}
+
+// Close releases the sampler's external resources — the coordinator's
+// control connections when draws run on remote workers. Purely local
+// samplers hold nothing that needs closing; Close is safe either way.
+func (s *CSPSampler) Close() error {
+	if s.remote != nil {
+		return s.remote.Close()
+	}
+	return nil
 }
 
 // Rounds returns the per-chain round budget the sampler resolved.
@@ -167,9 +213,22 @@ func (s *CSPSampler) runChain(x []int, seed uint64, sc *csp.Scratch) {
 // seed, exactly as the package-level SampleCSP would.
 func (s *CSPSampler) Sample() ([]int, *ShardStats, error) {
 	out := make([]int, s.c.N)
+	if s.remote != nil {
+		st, err := s.remote.draw(s.cfg.Seed, s.rounds, out)
+		if err != nil {
+			return nil, nil, err
+		}
+		return out, &st, nil
+	}
 	if s.plan != nil {
 		eng := s.engines.Get().(*cluster.CSPEngine)
-		st := eng.Run(s.init, s.cfg.Seed, s.rounds, out)
+		st, err := eng.Run(s.init, s.cfg.Seed, s.rounds, out)
+		if err != nil {
+			// A failed engine is poisoned (its transport is closed); it
+			// must not go back in the pool.
+			eng.Close()
+			return nil, nil, err
+		}
 		s.engines.Put(eng)
 		return out, &st, nil
 	}
@@ -202,6 +261,18 @@ func (s *CSPSampler) SampleNFrom(seed uint64, k int) (*CSPBatch, error) {
 	for i := 0; i < k; i++ {
 		batch.Samples[i] = backing[i*n : (i+1)*n : (i+1)*n]
 	}
+	if s.remote != nil {
+		// Remote draws serialize on the coordinator's control connections;
+		// each chain already fans out across the worker processes.
+		for i := 0; i < k; i++ {
+			st, err := s.remote.draw(core.ChainSeed(seed, uint64(i)), s.rounds, batch.Samples[i])
+			if err != nil {
+				return nil, err
+			}
+			batch.Shard.Add(st)
+		}
+		return batch, nil
+	}
 	workers := s.cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -221,8 +292,11 @@ func (s *CSPSampler) SampleNFrom(seed uint64, k int) (*CSPBatch, error) {
 		shardStats = make([]ShardStats, k)
 	}
 	var (
-		next atomic.Int64
-		wg   sync.WaitGroup
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		runErr  error
+		aborted atomic.Bool
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -230,21 +304,42 @@ func (s *CSPSampler) SampleNFrom(seed uint64, k int) (*CSPBatch, error) {
 			defer wg.Done()
 			var sc *csp.Scratch
 			var eng *cluster.CSPEngine
+			engDead := false
 			if s.plan != nil {
 				eng = s.engines.Get().(*cluster.CSPEngine)
-				defer s.engines.Put(eng)
+				// A failed engine is poisoned (transport closed) and must
+				// not be re-pooled for the next batch.
+				defer func() {
+					if engDead {
+						eng.Close()
+					} else {
+						s.engines.Put(eng)
+					}
+				}()
 			} else {
 				sc = s.scratch.Get().(*csp.Scratch)
 				defer s.scratch.Put(sc)
 			}
 			for {
+				// Fail fast: once any chain errors, no worker claims
+				// another chain.
+				if aborted.Load() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= k {
 					return
 				}
 				chainSeed := core.ChainSeed(seed, uint64(i))
 				if eng != nil {
-					shardStats[i] = eng.Run(s.init, chainSeed, s.rounds, batch.Samples[i])
+					st, err := eng.Run(s.init, chainSeed, s.rounds, batch.Samples[i])
+					if err != nil {
+						engDead = true
+						errOnce.Do(func() { runErr = err })
+						aborted.Store(true)
+						return
+					}
+					shardStats[i] = st
 					continue
 				}
 				x := batch.Samples[i]
@@ -254,6 +349,9 @@ func (s *CSPSampler) SampleNFrom(seed uint64, k int) (*CSPBatch, error) {
 		}()
 	}
 	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
 	for _, st := range shardStats {
 		batch.Shard.Add(st)
 	}

@@ -40,6 +40,10 @@ type Sampler struct {
 	// borrow their own.
 	plan    *partition.Plan
 	engines sync.Pool
+	// remote is the cross-process coordinator (nil unless WithRemoteWorkers
+	// placed the shards on lsharded processes). Remote draws are serialized
+	// on its control connections instead of pooled engines.
+	remote *remoteEngine
 	// chainPool pools centralized chain states (with their scratch) across
 	// SampleNFrom calls, so the serving path's steady state — many calls
 	// with small k — constructs and allocates nothing per draw.
@@ -173,15 +177,53 @@ func NewSampler(m *Model, opts ...Option) (*Sampler, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.plan = plan
+		if len(cfg.WorkerAddrs) > 0 {
+			// Coordinator mode: the shards live in lsharded processes. The
+			// workers rebuild the model from its wire spec, so derive one
+			// when the caller didn't pin it with WithModelSpec.
+			sp := cfg.ModelSpec
+			if sp == nil {
+				sp, err = NewSpecFromModel(m, "remote")
+				if err != nil {
+					return nil, fmt.Errorf("locsample: remote draws ship the model as a spec: %w", err)
+				}
+			}
+			s.remote, err = newRemoteEngine(remoteJob{
+				kind:      "mrf",
+				spec:      sp,
+				algorithm: cfg.Algorithm.String(),
+				dropRule3: cfg.DropRule3,
+				shards:    cfg.Shards,
+				strategy:  cfg.ShardStrategy.String(),
+				planSeed:  cfg.Seed,
+				init:      s.init,
+				addrs:     cfg.WorkerAddrs,
+			}, mrfOwned(plan), m.G.N())
+			if err != nil {
+				return nil, err
+			}
+			return s, nil
+		}
+		newEngine := func() (*cluster.Engine, error) {
+			if cfg.Transport != nil {
+				local := make([]int, plan.K)
+				for i := range local {
+					local[i] = i
+				}
+				return cluster.NewWithTransport(m, plan, cfg.Algorithm, cfg.DropRule3,
+					local, cfg.Transport(plan.NeighborLists()))
+			}
+			return cluster.New(m, plan, cfg.Algorithm, cfg.DropRule3)
+		}
 		// Construct one engine eagerly: it both validates the algorithm
 		// and pre-warms the pool for the first draw.
-		eng, err := cluster.New(m, plan, cfg.Algorithm, cfg.DropRule3)
+		eng, err := newEngine()
 		if err != nil {
 			return nil, err
 		}
-		s.plan = plan
 		s.engines.New = func() any {
-			e, err := cluster.New(m, plan, cfg.Algorithm, cfg.DropRule3)
+			e, err := newEngine()
 			if err != nil {
 				// Unreachable: the eager construction above vetted the
 				// same arguments.
@@ -192,6 +234,16 @@ func NewSampler(m *Model, opts ...Option) (*Sampler, error) {
 		s.engines.Put(eng)
 	}
 	return s, nil
+}
+
+// Close releases the sampler's external resources — the coordinator's
+// control connections when draws run on remote workers. Purely local
+// samplers hold nothing that needs closing; Close is safe either way.
+func (s *Sampler) Close() error {
+	if s.remote != nil {
+		return s.remote.Close()
+	}
+	return nil
 }
 
 // Rounds returns the per-chain round budget the engine resolved.
@@ -225,10 +277,29 @@ func (s *Sampler) Sample() (*Result, error) {
 }
 
 func (s *Sampler) sampleWithSeed(seed uint64) (*Result, error) {
+	if s.remote != nil {
+		out := make([]int, s.m.G.N())
+		st, err := s.remote.draw(seed, s.rounds, out)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Sample:       out,
+			Rounds:       s.rounds,
+			TheoryRounds: s.theory,
+			Shard:        &st,
+		}, nil
+	}
 	if s.plan != nil {
 		eng := s.engines.Get().(*cluster.Engine)
 		out := make([]int, s.m.G.N())
-		st := eng.Run(s.init, seed, s.rounds, out)
+		st, err := eng.Run(s.init, seed, s.rounds, out)
+		if err != nil {
+			// A failed engine is poisoned (its transport is closed); it
+			// must not go back in the pool.
+			eng.Close()
+			return nil, err
+		}
 		s.engines.Put(eng)
 		return &Result{
 			Sample:       out,
@@ -281,6 +352,18 @@ func (s *Sampler) SampleNFrom(seed uint64, k int) (*Batch, error) {
 	for i := 0; i < k; i++ {
 		batch.Samples[i] = backing[i*n : (i+1)*n : (i+1)*n]
 	}
+	if s.remote != nil {
+		// Remote draws serialize on the coordinator's control connections;
+		// each chain already fans out across the worker processes.
+		for i := 0; i < k; i++ {
+			st, err := s.remote.draw(core.ChainSeed(seed, uint64(i)), s.rounds, batch.Samples[i])
+			if err != nil {
+				return nil, err
+			}
+			batch.Shard.Add(st)
+		}
+		return batch, nil
+	}
 	workers := s.cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -319,9 +402,18 @@ func (s *Sampler) SampleNFrom(seed uint64, k int) (*Batch, error) {
 			defer wg.Done()
 			var cs *chains.Sampler
 			var eng *cluster.Engine
+			engDead := false
 			if s.plan != nil {
 				eng = s.engines.Get().(*cluster.Engine)
-				defer s.engines.Put(eng)
+				// A failed engine is poisoned (transport closed) and must
+				// not be re-pooled for the next batch.
+				defer func() {
+					if engDead {
+						eng.Close()
+					} else {
+						s.engines.Put(eng)
+					}
+				}()
 			} else if !s.cfg.Distributed {
 				cs = s.chainPool.Get().(*chains.Sampler)
 				defer s.chainPool.Put(cs)
@@ -340,7 +432,14 @@ func (s *Sampler) SampleNFrom(seed uint64, k int) (*Batch, error) {
 				}
 				chainSeed := core.ChainSeed(seed, uint64(i))
 				if eng != nil {
-					shardStats[i] = eng.Run(s.init, chainSeed, s.rounds, batch.Samples[i])
+					st, err := eng.Run(s.init, chainSeed, s.rounds, batch.Samples[i])
+					if err != nil {
+						engDead = true
+						errOnce.Do(func() { runErr = err })
+						aborted.Store(true)
+						return
+					}
+					shardStats[i] = st
 					continue
 				}
 				if s.cfg.Distributed {

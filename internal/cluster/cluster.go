@@ -27,10 +27,15 @@
 // SystematicScan, ChromaticGlauber) have no O(log n)-round decomposition
 // to exploit.
 //
-// The round barrier has two implementations. Below TreeBarrierMinShards the
-// workers pairwise exchange boundary states over cap-2 double-buffered
-// channels (deadlock-free by construction; see Engine.chans). At high shard
-// counts that costs every worker one channel rendezvous per neighbor per
+// Boundary states travel over an internal/transport.Transport, so the
+// same engine runs all-local (channel transport, New) or as one worker
+// process of a cross-process draw (TCP mesh behind NewWithTransport).
+//
+// The round barrier has two implementations. Below TreeBarrierMinShards
+// the workers pairwise exchange boundary frames over the transport
+// (all-local engines get the cap-2 double-buffered channel transport —
+// deadlock-free by construction; see Engine.tr). At high all-local shard
+// counts that costs every worker one rendezvous per neighbor per
 // round, so from TreeBarrierMinShards up the engine switches to a publish
 // model: each worker fills its double-buffered outgoing boundary buffers,
 // passes one tree-reduce barrier (O(log k) rendezvous depth instead of
@@ -50,6 +55,7 @@ import (
 	"locsample/internal/mrf"
 	"locsample/internal/partition"
 	"locsample/internal/rng"
+	"locsample/internal/transport"
 )
 
 // Stats reports one sharded draw's runtime profile.
@@ -69,6 +75,11 @@ type Stats struct {
 	// BarrierWaitNS is the total time workers spent blocked at the
 	// round barrier (receiving halo states), summed over workers.
 	BarrierWaitNS int64 `json:"barrierWaitNs"`
+	// WireFrames and WireBytes count boundary frames and bytes that
+	// crossed a process boundary (cross-process draws only; each frame
+	// is counted once, at its sender).
+	WireFrames int64 `json:"wireFrames,omitempty"`
+	WireBytes  int64 `json:"wireBytes,omitempty"`
 }
 
 // Add accumulates other into s (Shards and Rounds adopt other's values:
@@ -79,6 +90,8 @@ func (s *Stats) Add(other Stats) {
 	s.BoundaryMessages += other.BoundaryMessages
 	s.BoundaryValues += other.BoundaryValues
 	s.BarrierWaitNS += other.BarrierWaitNS
+	s.WireFrames += other.WireFrames
+	s.WireBytes += other.WireBytes
 }
 
 // worker is one shard's mutable run state. Buffers are allocated once in
@@ -113,17 +126,25 @@ type Engine struct {
 	dropRule3 bool
 	coloring  bool
 
-	ws []*worker
-	// chans[i][j] carries shard i's boundary states to shard j; non-nil
-	// exactly for neighbor pairs. Capacity 2 means a sender can never
-	// block: at most the previous and current round's messages are
-	// outstanding (a worker cannot run two rounds ahead of a neighbor it
-	// must hear from every round), so the lockstep schedule is
-	// deadlock-free by construction. Nil when the tree barrier is active.
-	chans [][]chan []int
-	// bar replaces the pairwise channel rendezvous as the round barrier at
-	// K >= TreeBarrierMinShards; halo states are then read straight from
-	// the neighbors' publish buffers after the barrier.
+	// ws[s] is non-nil exactly for the shards this engine hosts; local
+	// lists them in ascending order. An engine built by New hosts every
+	// shard; NewWithTransport engines host the subset a worker process
+	// was assigned.
+	ws    []*worker
+	local []int
+	// tr carries the boundary exchange. New uses the in-process channel
+	// transport (capacity-2 double-buffered links: a sender can never
+	// block, because at most the previous and current round's frames are
+	// outstanding — a worker cannot run two rounds ahead of a neighbor
+	// it must hear from every round — so the lockstep schedule is
+	// deadlock-free by construction). NewWithTransport plugs in any
+	// fabric: a TCP mesh for cross-process draws, a fault-injecting
+	// wrapper in tests. Nil when the tree barrier is active.
+	tr transport.Transport
+	// bar replaces the pairwise transport rendezvous as the round barrier
+	// at K >= TreeBarrierMinShards when every shard is local; halo states
+	// are then read straight from the neighbors' publish buffers after
+	// the barrier.
 	bar *treeBarrier
 }
 
@@ -182,9 +203,46 @@ func (b *treeBarrier) wait(i int) {
 	}
 }
 
-// New compiles an engine for model m over plan. Only LubyGlauber and
-// LocalMetropolis are shardable.
+// New compiles an engine hosting every shard of plan. Only LubyGlauber
+// and LocalMetropolis are shardable.
 func New(m *mrf.MRF, plan *partition.Plan, alg chains.Algorithm, dropRule3 bool) (*Engine, error) {
+	local := make([]int, plan.K)
+	for s := range local {
+		local[s] = s
+	}
+	var tr transport.Transport
+	if plan.K < TreeBarrierMinShards {
+		tr = transport.NewChan(plan.NeighborLists(), 0)
+	}
+	return newEngine(m, plan, alg, dropRule3, local, tr)
+}
+
+// NewWithTransport compiles an engine hosting only the given shards of
+// plan, exchanging boundary states over tr — the worker-process side of
+// a cross-process draw, or an all-local engine on a custom (e.g.
+// fault-injecting) fabric. The tree-barrier fast path never applies:
+// remote neighbors are only reachable through the transport.
+func NewWithTransport(m *mrf.MRF, plan *partition.Plan, alg chains.Algorithm, dropRule3 bool, local []int, tr transport.Transport) (*Engine, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("cluster: NewWithTransport needs a transport")
+	}
+	if len(local) == 0 {
+		return nil, fmt.Errorf("cluster: NewWithTransport needs at least one local shard")
+	}
+	seen := make(map[int]bool, len(local))
+	for _, s := range local {
+		if s < 0 || s >= plan.K {
+			return nil, fmt.Errorf("cluster: local shard %d out of range (plan has %d)", s, plan.K)
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("cluster: local shard %d listed twice", s)
+		}
+		seen[s] = true
+	}
+	return newEngine(m, plan, alg, dropRule3, local, tr)
+}
+
+func newEngine(m *mrf.MRF, plan *partition.Plan, alg chains.Algorithm, dropRule3 bool, local []int, tr transport.Transport) (*Engine, error) {
 	if alg != chains.LubyGlauber && alg != chains.LocalMetropolis {
 		return nil, fmt.Errorf("cluster: %v cannot be sharded (only LubyGlauber and LocalMetropolis decompose into local rounds)", alg)
 	}
@@ -198,13 +256,14 @@ func New(m *mrf.MRF, plan *partition.Plan, alg chains.Algorithm, dropRule3 bool)
 		dropRule3: dropRule3,
 		coloring:  alg == chains.LocalMetropolis && m.IsColoringModel(),
 		ws:        make([]*worker, plan.K),
+		local:     local,
+		tr:        tr,
 	}
-	if plan.K >= TreeBarrierMinShards {
+	if tr == nil {
 		e.bar = newTreeBarrier(plan.K)
-	} else {
-		e.chans = make([][]chan []int, plan.K)
 	}
-	for s, sh := range plan.Shards {
+	for _, s := range local {
+		sh := plan.Shards[s]
 		w := &worker{
 			sh:      sh,
 			x:       make([]int, sh.NLocal()),
@@ -225,12 +284,6 @@ func New(m *mrf.MRF, plan *partition.Plan, alg chains.Algorithm, dropRule3 bool)
 			}
 		}
 		e.ws[s] = w
-		if e.bar == nil {
-			e.chans[s] = make([]chan []int, plan.K)
-			for _, j := range sh.Neighbors {
-				e.chans[s][j] = make(chan []int, 2)
-			}
-		}
 	}
 	return e, nil
 }
@@ -239,44 +292,74 @@ func New(m *mrf.MRF, plan *partition.Plan, alg chains.Algorithm, dropRule3 bool)
 func (e *Engine) Plan() *partition.Plan { return e.plan }
 
 // Run advances one chain for the given number of rounds from init (read
-// only) under the master seed, writing the final configuration into out
-// (length n). The trajectory is bit-identical to
+// only) under the master seed, writing its hosted shards' owned states
+// into out (length n; an all-local engine fills all of it). The
+// trajectory is bit-identical to
 // chains.NewSampler(m, init, seed, alg, opts).Run(rounds).
-func (e *Engine) Run(init []int, seed uint64, rounds int, out []int) Stats {
+//
+// A non-nil error means the draw did not complete: a shard worker hit a
+// transport failure (or a sibling did, and the transport was closed to
+// unblock everyone). The engine is poisoned afterwards — its transport
+// is closed — so callers must discard it rather than Run again.
+func (e *Engine) Run(init []int, seed uint64, rounds int, out []int) (Stats, error) {
 	if len(init) != e.plan.N || len(out) != e.plan.N {
 		panic("cluster: init/out length does not match the partitioned graph")
 	}
-	for _, w := range e.ws {
+	for _, s := range e.local {
+		w := e.ws[s]
 		for l, gv := range w.sh.Global {
 			w.x[l] = init[gv]
 		}
 		w.msgs, w.vals, w.waitNS = 0, 0, 0
 	}
 	var wg sync.WaitGroup
-	for s := range e.ws {
+	var once sync.Once
+	var firstErr error
+	for _, s := range e.local {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			e.runShard(s, seed, rounds, out)
+			if err := e.runShard(s, seed, rounds, out); err != nil {
+				once.Do(func() {
+					firstErr = fmt.Errorf("cluster: shard %d: %w", s, err)
+					// Poison the fabric so every sibling blocked in a
+					// send or receive fails out instead of hanging.
+					e.tr.Close()
+				})
+			}
 		}(s)
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return Stats{}, firstErr
+	}
 	st := Stats{Shards: e.plan.K, Rounds: rounds}
-	for _, w := range e.ws {
+	for _, s := range e.local {
+		w := e.ws[s]
 		st.BoundaryMessages += w.msgs
 		st.BoundaryValues += w.vals
 		st.BarrierWaitNS += w.waitNS
 	}
-	return st
+	return st, nil
+}
+
+// Close releases the engine's transport (and with it any blocked shard
+// workers). All-local tree-barrier engines have none; Close is then a
+// no-op.
+func (e *Engine) Close() error {
+	if e.tr != nil {
+		return e.tr.Close()
+	}
+	return nil
 }
 
 // runShard is one worker's lockstep loop: compute, publish boundary states,
 // pass the round barrier, read halo states, repeat; then publish owned
-// states into out. Below TreeBarrierMinShards the publish/barrier/read is
-// the pairwise channel exchange; above it the boundary buffers are filled
-// in place, one tree-reduce barrier synchronizes the round, and halo values
-// are copied straight out of the neighbors' publish buffers.
-func (e *Engine) runShard(s int, seed uint64, rounds int, out []int) {
+// states into out. On the transport path the publish/barrier/read is the
+// pairwise frame exchange; on the tree-barrier path the boundary buffers
+// are filled in place, one tree-reduce barrier synchronizes the round, and
+// halo values are copied straight out of the neighbors' publish buffers.
+func (e *Engine) runShard(s int, seed uint64, rounds int, out []int) error {
 	w := e.ws[s]
 	sh := w.sh
 	for r := 0; r < rounds; r++ {
@@ -294,7 +377,9 @@ func (e *Engine) runShard(s int, seed uint64, rounds int, out []int) {
 				buf[t] = w.x[l]
 			}
 			if e.bar == nil {
-				e.chans[s][j] <- buf
+				if err := e.tr.Send(s, j, r, buf); err != nil {
+					return fmt.Errorf("round %d: send to shard %d: %w", r, j, err)
+				}
 			}
 			w.msgs++
 			w.vals += int64(len(buf))
@@ -312,8 +397,11 @@ func (e *Engine) runShard(s int, seed uint64, rounds int, out []int) {
 		} else {
 			for _, j := range sh.Neighbors {
 				t0 := time.Now()
-				msg := <-e.chans[j][s]
+				msg, err := e.tr.Recv(j, s, r, len(sh.RecvFrom[j]))
 				w.waitNS += time.Since(t0).Nanoseconds()
+				if err != nil {
+					return fmt.Errorf("round %d: recv from shard %d: %w", r, j, err)
+				}
 				for t, l := range sh.RecvFrom[j] {
 					w.x[l] = msg[t]
 				}
@@ -323,6 +411,7 @@ func (e *Engine) runShard(s int, seed uint64, rounds int, out []int) {
 	for l := 0; l < sh.NOwned; l++ {
 		out[sh.Global[l]] = w.x[l]
 	}
+	return nil
 }
 
 // lubyRound mirrors chains.LubyGlauberRound on one shard. Luby-step

@@ -60,7 +60,10 @@ func TestShardedBitIdentical(t *testing.T) {
 						t.Fatalf("%s: %v", name, err)
 					}
 					out := make([]int, m.G.N())
-					st := eng.Run(init, seed, rounds, out)
+					st, err := eng.Run(init, seed, rounds, out)
+					if err != nil {
+						t.Fatal(err)
+					}
 					if !equalInts(out, want) {
 						t.Fatalf("%s %v %v shards=%d: sharded draw diverges from centralized chain",
 							name, alg, strat, k)
@@ -157,7 +160,10 @@ func TestClusterStats(t *testing.T) {
 	}
 	const rounds = 6
 	out := make([]int, g.N())
-	st := eng.Run(init, 1, rounds, out)
+	st, err := eng.Run(init, 1, rounds, out)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var wantMsgs, wantVals int64
 	for _, sh := range plan.Shards {
 		wantMsgs += int64(len(sh.Neighbors))

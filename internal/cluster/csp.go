@@ -17,8 +17,9 @@
 //     states, exactly the paper's shared-coin trick extended from edges to
 //     k-ary scopes.
 //
-// The round barrier (pairwise channels below TreeBarrierMinShards, publish
-// buffers + tree-reduce at or above it) is shared with the MRF engine.
+// The boundary fabric (transport.Transport below TreeBarrierMinShards or
+// when hosting a subset of the shards, publish buffers + tree-reduce for
+// all-local high shard counts) is shared with the MRF engine.
 package cluster
 
 import (
@@ -30,6 +31,7 @@ import (
 	"locsample/internal/csp"
 	"locsample/internal/partition"
 	"locsample/internal/rng"
+	"locsample/internal/transport"
 )
 
 // cspWorker is one shard's mutable run state. Buffers are allocated once in
@@ -62,26 +64,60 @@ type CSPEngine struct {
 	alg  chains.Algorithm
 
 	ws    []*cspWorker
-	chans [][]chan []int
+	local []int
+	tr    transport.Transport
 	bar   *treeBarrier
 }
 
-// NewCSP compiles a sharded engine for CSP c over plan. Only the two
-// hypergraph chains shard.
+// NewCSP compiles a sharded engine hosting every shard of plan. Only the
+// two hypergraph chains shard.
 func NewCSP(c *csp.CSP, plan *partition.CSPPlan, alg chains.Algorithm) (*CSPEngine, error) {
+	local := make([]int, plan.K)
+	for s := range local {
+		local[s] = s
+	}
+	var tr transport.Transport
+	if plan.K < TreeBarrierMinShards {
+		tr = transport.NewChan(plan.NeighborLists(), 0)
+	}
+	return newCSPEngine(c, plan, alg, local, tr)
+}
+
+// NewCSPWithTransport compiles an engine hosting only the given shards
+// of plan over tr — the CSP counterpart of NewWithTransport.
+func NewCSPWithTransport(c *csp.CSP, plan *partition.CSPPlan, alg chains.Algorithm, local []int, tr transport.Transport) (*CSPEngine, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("cluster: NewCSPWithTransport needs a transport")
+	}
+	if len(local) == 0 {
+		return nil, fmt.Errorf("cluster: NewCSPWithTransport needs at least one local shard")
+	}
+	seen := make(map[int]bool, len(local))
+	for _, s := range local {
+		if s < 0 || s >= plan.K {
+			return nil, fmt.Errorf("cluster: local shard %d out of range (plan has %d)", s, plan.K)
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("cluster: local shard %d listed twice", s)
+		}
+		seen[s] = true
+	}
+	return newCSPEngine(c, plan, alg, local, tr)
+}
+
+func newCSPEngine(c *csp.CSP, plan *partition.CSPPlan, alg chains.Algorithm, local []int, tr transport.Transport) (*CSPEngine, error) {
 	if alg != chains.LubyGlauber && alg != chains.LocalMetropolis {
 		return nil, fmt.Errorf("cluster: %v cannot be sharded over a CSP (only the hypergraph LubyGlauber and LocalMetropolis chains decompose into local rounds)", alg)
 	}
 	if c.N != plan.N {
 		return nil, fmt.Errorf("cluster: plan partitions %d vertices, CSP has %d", plan.N, c.N)
 	}
-	e := &CSPEngine{c: c, plan: plan, alg: alg, ws: make([]*cspWorker, plan.K)}
-	if plan.K >= TreeBarrierMinShards {
+	e := &CSPEngine{c: c, plan: plan, alg: alg, ws: make([]*cspWorker, plan.K), local: local, tr: tr}
+	if tr == nil {
 		e.bar = newTreeBarrier(plan.K)
-	} else {
-		e.chans = make([][]chan []int, plan.K)
 	}
-	for s, sh := range plan.Shards {
+	for _, s := range local {
+		sh := plan.Shards[s]
 		w := &cspWorker{
 			sh:      sh,
 			x:       make([]int, sh.NLocal()),
@@ -103,12 +139,6 @@ func NewCSP(c *csp.CSP, plan *partition.CSPPlan, alg chains.Algorithm) (*CSPEngi
 			}
 		}
 		e.ws[s] = w
-		if e.bar == nil {
-			e.chans[s] = make([]chan []int, plan.K)
-			for _, j := range sh.Neighbors {
-				e.chans[s][j] = make(chan []int, 2)
-			}
-		}
 	}
 	return e, nil
 }
@@ -117,41 +147,64 @@ func NewCSP(c *csp.CSP, plan *partition.CSPPlan, alg chains.Algorithm) (*CSPEngi
 func (e *CSPEngine) Plan() *partition.CSPPlan { return e.plan }
 
 // Run advances one chain for the given number of rounds from init (read
-// only) under the master seed, writing the final configuration into out
-// (length n). The trajectory is bit-identical to `rounds` calls of the
-// centralized csp round kernel at the same seed.
-func (e *CSPEngine) Run(init []int, seed uint64, rounds int, out []int) Stats {
+// only) under the master seed, writing its hosted shards' owned states
+// into out (length n; an all-local engine fills all of it). The
+// trajectory is bit-identical to `rounds` calls of the centralized csp
+// round kernel at the same seed. A non-nil error poisons the engine
+// exactly as for Engine.Run; discard it.
+func (e *CSPEngine) Run(init []int, seed uint64, rounds int, out []int) (Stats, error) {
 	if len(init) != e.plan.N || len(out) != e.plan.N {
 		panic("cluster: init/out length does not match the partitioned CSP")
 	}
-	for _, w := range e.ws {
+	for _, s := range e.local {
+		w := e.ws[s]
 		for l, gv := range w.sh.Global {
 			w.x[l] = init[gv]
 		}
 		w.msgs, w.vals, w.waitNS = 0, 0, 0
 	}
 	var wg sync.WaitGroup
-	for s := range e.ws {
+	var once sync.Once
+	var firstErr error
+	for _, s := range e.local {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			e.runShard(s, seed, rounds, out)
+			if err := e.runShard(s, seed, rounds, out); err != nil {
+				once.Do(func() {
+					firstErr = fmt.Errorf("cluster: shard %d: %w", s, err)
+					e.tr.Close()
+				})
+			}
 		}(s)
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return Stats{}, firstErr
+	}
 	st := Stats{Shards: e.plan.K, Rounds: rounds}
-	for _, w := range e.ws {
+	for _, s := range e.local {
+		w := e.ws[s]
 		st.BoundaryMessages += w.msgs
 		st.BoundaryValues += w.vals
 		st.BarrierWaitNS += w.waitNS
 	}
-	return st
+	return st, nil
+}
+
+// Close releases the engine's transport; a no-op on tree-barrier
+// engines.
+func (e *CSPEngine) Close() error {
+	if e.tr != nil {
+		return e.tr.Close()
+	}
+	return nil
 }
 
 // runShard is one worker's lockstep loop — structurally identical to the
 // MRF engine's: compute, publish boundary states, pass the round barrier,
 // read halo states, repeat; then publish owned states into out.
-func (e *CSPEngine) runShard(s int, seed uint64, rounds int, out []int) {
+func (e *CSPEngine) runShard(s int, seed uint64, rounds int, out []int) error {
 	w := e.ws[s]
 	sh := w.sh
 	for r := 0; r < rounds; r++ {
@@ -166,7 +219,9 @@ func (e *CSPEngine) runShard(s int, seed uint64, rounds int, out []int) {
 				buf[t] = w.x[l]
 			}
 			if e.bar == nil {
-				e.chans[s][j] <- buf
+				if err := e.tr.Send(s, j, r, buf); err != nil {
+					return fmt.Errorf("round %d: send to shard %d: %w", r, j, err)
+				}
 			}
 			w.msgs++
 			w.vals += int64(len(buf))
@@ -184,8 +239,11 @@ func (e *CSPEngine) runShard(s int, seed uint64, rounds int, out []int) {
 		} else {
 			for _, j := range sh.Neighbors {
 				t0 := time.Now()
-				msg := <-e.chans[j][s]
+				msg, err := e.tr.Recv(j, s, r, len(sh.RecvFrom[j]))
 				w.waitNS += time.Since(t0).Nanoseconds()
+				if err != nil {
+					return fmt.Errorf("round %d: recv from shard %d: %w", r, j, err)
+				}
 				for t, l := range sh.RecvFrom[j] {
 					w.x[l] = msg[t]
 				}
@@ -195,6 +253,7 @@ func (e *CSPEngine) runShard(s int, seed uint64, rounds int, out []int) {
 	for l := 0; l < sh.NOwned; l++ {
 		out[sh.Global[l]] = w.x[l]
 	}
+	return nil
 }
 
 // lubyRound mirrors csp.LubyGlauberRoundPRF on one shard. Luby-step

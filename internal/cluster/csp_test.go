@@ -92,7 +92,10 @@ func TestCSPShardedBitIdentical(t *testing.T) {
 						t.Fatal(err)
 					}
 					out := make([]int, tc.c.N)
-					st := eng.Run(tc.init, seed, rounds, out)
+					st, err := eng.Run(tc.init, seed, rounds, out)
+					if err != nil {
+						t.Fatal(err)
+					}
 					for v := range want {
 						if out[v] != want[v] {
 							t.Fatalf("%s %v %v k=%d: diverges at vertex %d (sharded=%d central=%d)",

@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"locsample/internal/chains"
+	"locsample/internal/csp"
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+	"locsample/internal/partition"
+	"locsample/internal/transport"
+)
+
+// faultEngine builds a sharded coloring engine whose boundary fabric
+// injects the given faults (frame counting starts at 1).
+func faultEngine(t *testing.T, k int, inject map[int]transport.Injection) (*Engine, *mrf.MRF, []int, []int) {
+	t.Helper()
+	g := graph.Grid(6, 6)
+	m := mrf.Coloring(g, 3*g.MaxDeg())
+	init := greedyColoring(t, m)
+	plan, err := partition.Build(g, k, partition.Range, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr transport.Transport = transport.NewChan(plan.NeighborLists(), 2*time.Second)
+	if inject != nil {
+		tr = transport.NewFault(tr, inject)
+	}
+	local := make([]int, k)
+	for i := range local {
+		local[i] = i
+	}
+	eng, err := NewWithTransport(m, plan, chains.LocalMetropolis, false, local, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int, g.N())
+	return eng, m, init, out
+}
+
+func greedyColoring(t *testing.T, m *mrf.MRF) []int {
+	t.Helper()
+	init, _ := m.G.GreedyColoring()
+	return init
+}
+
+// A clean engine over an explicit (un-faulted) transport must match the
+// default engine bit-for-bit — WithTransport is a fabric swap, not a
+// semantics change.
+func TestTransportEngineBitIdentical(t *testing.T) {
+	eng, m, init, out := faultEngine(t, 3, nil)
+	defer eng.Close()
+	if _, err := eng.Run(init, 11, 8, out); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := partition.Build(m.G, 3, partition.Range, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(m, plan, chains.LocalMetropolis, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int, m.G.N())
+	if _, err := ref.Run(init, 11, 8, want); err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if out[v] != want[v] {
+			t.Fatalf("custom-transport draw diverges at vertex %d", v)
+		}
+	}
+}
+
+// A dropped boundary frame must surface as a typed timeout within the
+// transport deadline — no hang, no silently wrong configuration.
+func TestEngineDroppedFrameFailsLoudly(t *testing.T) {
+	eng, _, init, out := faultEngine(t, 3, map[int]transport.Injection{
+		2: {Op: transport.FaultDrop},
+	})
+	defer eng.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.Run(init, 11, 8, out)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("dropped frame: Run returned nil error")
+		}
+		if !droppedFrameError(err) {
+			t.Fatalf("dropped frame: error %v is not a typed transport failure", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("dropped frame: Run hung past the transport deadline")
+	}
+}
+
+// droppedFrameError reports whether err is one of the typed failures a
+// dropped frame may legitimately surface as: the receiver either times
+// out waiting for the lost round, or sees the sender's next frame with a
+// stale round tag; sibling shards observe the poisoned transport as
+// ErrClosed. All three are loud; what a drop must never produce is a
+// clean draw with a wrong configuration.
+func droppedFrameError(err error) bool {
+	var re *transport.RoundError
+	return errors.Is(err, transport.ErrTimeout) ||
+		errors.Is(err, transport.ErrClosed) ||
+		errors.As(err, &re)
+}
+
+// A truncated frame must surface as a SizeError (possibly ErrClosed on
+// the shards that lost the race to the poisoned transport).
+func TestEngineTruncatedFrameFailsLoudly(t *testing.T) {
+	eng, _, init, out := faultEngine(t, 3, map[int]transport.Injection{
+		3: {Op: transport.FaultTruncate},
+	})
+	defer eng.Close()
+	_, err := eng.Run(init, 11, 8, out)
+	if err == nil {
+		t.Fatal("truncated frame: Run returned nil error")
+	}
+	var se *transport.SizeError
+	if !errors.As(err, &se) && !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("truncated frame: error %v is neither SizeError nor ErrClosed", err)
+	}
+}
+
+// A duplicated frame desynchronizes the link's round tags: the engine
+// must detect the stale round, not absorb the duplicate.
+func TestEngineDuplicatedFrameFailsLoudly(t *testing.T) {
+	eng, _, init, out := faultEngine(t, 3, map[int]transport.Injection{
+		4: {Op: transport.FaultDuplicate},
+	})
+	defer eng.Close()
+	_, err := eng.Run(init, 11, 8, out)
+	if err == nil {
+		t.Fatal("duplicated frame: Run returned nil error")
+	}
+	var re *transport.RoundError
+	if !errors.As(err, &re) && !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("duplicated frame: error %v is neither RoundError nor ErrClosed", err)
+	}
+}
+
+// A delayed frame within the deadline is not an error: lockstep rounds
+// absorb latency, they only reject loss and corruption.
+func TestEngineDelayedFrameSucceeds(t *testing.T) {
+	eng, m, init, out := faultEngine(t, 3, map[int]transport.Injection{
+		2: {Op: transport.FaultDelay, Delay: 50 * time.Millisecond},
+	})
+	defer eng.Close()
+	if _, err := eng.Run(init, 11, 8, out); err != nil {
+		t.Fatalf("delayed frame: %v", err)
+	}
+	plan, err := partition.Build(m.G, 3, partition.Range, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(m, plan, chains.LocalMetropolis, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int, m.G.N())
+	if _, err := ref.Run(init, 11, 8, want); err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if out[v] != want[v] {
+			t.Fatalf("delayed draw diverges at vertex %d", v)
+		}
+	}
+}
+
+// The CSP engine shares the error plumbing: a dropped frame fails the
+// draw loudly there too.
+func TestCSPEngineDroppedFrameFailsLoudly(t *testing.T) {
+	g := graph.Grid(5, 5)
+	c := csp.DominatingSet(g)
+	init := make([]int, c.N)
+	for i := range init {
+		init[i] = 1 // everything in the set dominates trivially
+	}
+	plan, err := partition.BuildCSP(c, 3, partition.Range, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := transport.NewFault(
+		transport.NewChan(plan.NeighborLists(), 2*time.Second),
+		map[int]transport.Injection{2: {Op: transport.FaultDrop}},
+	)
+	eng, err := NewCSPWithTransport(c, plan, chains.LubyGlauber, []int{0, 1, 2}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	out := make([]int, c.N)
+	_, err = eng.Run(init, 9, 8, out)
+	if err == nil {
+		t.Fatal("dropped frame: CSP Run returned nil error")
+	}
+	if !droppedFrameError(err) {
+		t.Fatalf("dropped frame: error %v is not a typed transport failure", err)
+	}
+}

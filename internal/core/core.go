@@ -27,6 +27,8 @@ import (
 	"locsample/internal/mrf"
 	"locsample/internal/partition"
 	"locsample/internal/rng"
+	"locsample/internal/spec"
+	"locsample/internal/transport"
 )
 
 // Config selects an algorithm and its parameters for Sample.
@@ -73,6 +75,24 @@ type Config struct {
 	// ShardStrategy selects the graph partitioner for Shards > 1
 	// (default partition.Range).
 	ShardStrategy partition.Strategy
+	// WorkerAddrs lists lsharded worker addresses; when non-empty (and
+	// Shards > 1) a compiled sampler places the shards across those
+	// processes and runs the lockstep rounds over TCP instead of
+	// in-process. Draws remain bit-identical to the centralized chain.
+	// Requires len(WorkerAddrs) <= Shards, and only compiled samplers
+	// (the batch engines) support it — not one-shot core.Sample.
+	WorkerAddrs []string
+	// Transport, when non-nil, supplies the boundary fabric sharded
+	// in-process draws run on instead of the default channel transport.
+	// neighbors is the plan's shard adjacency. The primary consumer is
+	// fault-injection testing; it is mutually exclusive with WorkerAddrs,
+	// Parallel, and Distributed.
+	Transport func(neighbors [][]int) transport.Transport
+	// ModelSpec optionally carries the model's wire spec for WorkerAddrs
+	// draws, sparing the sampler the export step (the serving layer
+	// already holds the canonical spec). Remote workers rebuild the
+	// model from this spec.
+	ModelSpec *spec.Spec
 }
 
 // TagChain keys the seed-splitting PRF of the batch engine: chain i of a
@@ -175,12 +195,50 @@ func AutoRounds(m *mrf.MRF, alg chains.Algorithm, eps float64) (int, error) {
 	}
 }
 
+// validateFabric checks the boundary-fabric knobs (WorkerAddrs,
+// Transport) against the rest of the config; both only make sense for
+// sharded draws and exclude the other runtimes.
+func validateFabric(cfg Config) error {
+	if len(cfg.WorkerAddrs) > 0 {
+		if cfg.Shards <= 1 {
+			return fmt.Errorf("core: WorkerAddrs needs Shards > 1 (remote placement is a property of sharded draws)")
+		}
+		if len(cfg.WorkerAddrs) > cfg.Shards {
+			return fmt.Errorf("core: %d worker addresses for %d shards (every worker must host at least one shard)", len(cfg.WorkerAddrs), cfg.Shards)
+		}
+		if cfg.Transport != nil {
+			return fmt.Errorf("core: WorkerAddrs and Transport are mutually exclusive (remote draws own their TCP fabric)")
+		}
+		if cfg.Distributed {
+			return fmt.Errorf("core: Distributed and WorkerAddrs are mutually exclusive")
+		}
+		if cfg.Parallel > 1 {
+			return fmt.Errorf("core: Parallel and WorkerAddrs are mutually exclusive")
+		}
+	}
+	if cfg.Transport != nil {
+		if cfg.Shards <= 1 {
+			return fmt.Errorf("core: Transport needs Shards > 1 (it is the sharded boundary fabric)")
+		}
+		if cfg.Distributed {
+			return fmt.Errorf("core: Distributed and Transport are mutually exclusive")
+		}
+		if cfg.Parallel > 1 {
+			return fmt.Errorf("core: Parallel and Transport are mutually exclusive")
+		}
+	}
+	return nil
+}
+
 // Compile resolves the run parameters a Sample call derives from its
 // Config: the effective round budget (plus the theory budget when it was
 // automatic, else 0) and the initial configuration. Sample and the batch
 // engine both go through it, so their resolutions can never drift apart —
 // which is what makes batch chain i bit-identical to a derived-seed Sample.
 func Compile(m *mrf.MRF, cfg Config) (rounds, theory int, init []int, err error) {
+	if err := validateFabric(cfg); err != nil {
+		return 0, 0, nil, err
+	}
 	if cfg.Parallel > 1 {
 		if cfg.Algorithm != chains.LubyGlauber && cfg.Algorithm != chains.LocalMetropolis {
 			return 0, 0, nil, fmt.Errorf("core: %v has no vertex-parallel rounds (only LubyGlauber and LocalMetropolis decompose into barrier-separated phases)", cfg.Algorithm)
@@ -224,6 +282,9 @@ func Compile(m *mrf.MRF, cfg Config) (rounds, theory int, init []int, err error)
 // in-chain runtimes (Shards, Parallel, Distributed) are mutually exclusive
 // exactly as for MRFs.
 func CompileCSP(c *csp.CSP, cfg Config) (rounds int, err error) {
+	if err := validateFabric(cfg); err != nil {
+		return 0, err
+	}
 	if cfg.Algorithm != chains.LubyGlauber {
 		return 0, fmt.Errorf("core: CSP draws run the hypergraph LubyGlauber chain, not %v", cfg.Algorithm)
 	}
@@ -262,16 +323,31 @@ func Sample(m *mrf.MRF, cfg Config) (*Result, error) {
 		if cfg.Distributed {
 			return nil, fmt.Errorf("core: Distributed and Shards are mutually exclusive")
 		}
+		if len(cfg.WorkerAddrs) > 0 {
+			return nil, fmt.Errorf("core: remote workers need a compiled sampler (NewSampler/NewCSPSampler), not one-shot Sample")
+		}
 		plan, err := partition.Build(m.G, cfg.Shards, cfg.ShardStrategy, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
-		eng, err := cluster.New(m, plan, cfg.Algorithm, cfg.DropRule3)
+		var eng *cluster.Engine
+		if cfg.Transport != nil {
+			local := make([]int, plan.K)
+			for s := range local {
+				local[s] = s
+			}
+			eng, err = cluster.NewWithTransport(m, plan, cfg.Algorithm, cfg.DropRule3, local, cfg.Transport(plan.NeighborLists()))
+		} else {
+			eng, err = cluster.New(m, plan, cfg.Algorithm, cfg.DropRule3)
+		}
 		if err != nil {
 			return nil, err
 		}
 		out := make([]int, m.G.N())
-		st := eng.Run(init, cfg.Seed, rounds, out)
+		st, err := eng.Run(init, cfg.Seed, rounds, out)
+		if err != nil {
+			return nil, err
+		}
 		res.Sample, res.Rounds, res.Shard = out, rounds, &st
 		return res, nil
 	}

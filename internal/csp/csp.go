@@ -446,6 +446,19 @@ func (c *CSP) ConstraintsOf(v int) []int32 { return c.vconsIdx[c.vconsOff[v]:c.v
 // MaxArity returns the largest constraint scope size.
 func (c *CSP) MaxArity() int { return c.maxArity }
 
+// TableOf returns constraint ci's compiled value table — entry i holds
+// F(decode(i)) with scope position 0 varying fastest, the same digit
+// order as the wire codec's "table" constraints — or nil when the
+// constraint's domain was too large to tabulate and it is evaluated
+// through its closure. The caller must not modify the table; tables may
+// be shared between identical constraints.
+func (c *CSP) TableOf(ci int) []float64 {
+	if ti := c.conTab[ci]; ti >= 0 {
+		return c.tabs[ti].vals
+	}
+	return nil
+}
+
 // PropRow returns vertex v's normalized proposal distribution and its
 // cumulative table (shared across vertices with equal activities). The
 // caller must not modify them.

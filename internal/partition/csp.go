@@ -113,6 +113,17 @@ func BuildCSP(c *csp.CSP, k int, strat Strategy, seed uint64) (*CSPPlan, error) 
 	return p, nil
 }
 
+// NeighborLists returns the plan's shard adjacency in the shape the
+// transport constructors take; the rows alias the shards' neighbor
+// slices and must not be mutated.
+func (p *CSPPlan) NeighborLists() [][]int {
+	out := make([][]int, p.K)
+	for s, sh := range p.Shards {
+		out[s] = sh.Neighbors
+	}
+	return out
+}
+
 // assemble builds the per-shard slices, halo bands, and exchange maps from
 // the ownership assignment.
 func (p *CSPPlan) assemble(c *csp.CSP) {

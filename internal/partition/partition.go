@@ -226,6 +226,32 @@ func growBFS(n int, adj func(int32) []int32, k int, seed uint64, owner []int32) 
 	}
 }
 
+// NeighborLists returns the plan's shard adjacency (NeighborLists()[s]
+// lists the shards s exchanges boundary states with) in the shape the
+// transport constructors take. The rows alias the shards' neighbor
+// slices; callers must not mutate them.
+func (p *Plan) NeighborLists() [][]int {
+	out := make([][]int, p.K)
+	for s, sh := range p.Shards {
+		out[s] = sh.Neighbors
+	}
+	return out
+}
+
+// AssignShards places k shards on w worker processes contiguously and
+// balanced: shard s goes to process s*w/k, so every process hosts a
+// consecutive run of ⌊k/w⌋ or ⌈k/w⌉ shards and (for w ≤ k) no process
+// is empty. Contiguity matters for the Range strategy, where
+// consecutive shards own consecutive vertex bands and are each other's
+// likeliest neighbors.
+func AssignShards(k, w int) []int {
+	assign := make([]int, k)
+	for s := range assign {
+		assign[s] = s * w / k
+	}
+	return assign
+}
+
 // assemble builds the per-shard subgraphs, halo bands, and exchange maps
 // from the ownership assignment.
 func (p *Plan) assemble(g *graph.Graph) {

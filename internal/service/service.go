@@ -51,6 +51,12 @@ type Config struct {
 	// MaxParallel bounds the per-request vertex-parallel worker count
 	// (default 1024).
 	MaxParallel int
+	// WorkerAddrs lists lsharded worker addresses. When non-empty, every
+	// sharded draw places its shards across these processes instead of
+	// in-process goroutines (the coordinator truncates the list to the
+	// shard count so each worker hosts at least one shard). Empty means
+	// all sharding stays in-process.
+	WorkerAddrs []string
 }
 
 func (c Config) withDefaults() Config {
@@ -165,6 +171,18 @@ type compileKey struct {
 type compiled struct {
 	sampler    *locsample.Sampler
 	cspSampler *locsample.CSPSampler
+}
+
+// close releases a compiled sampler's external resources (remote worker
+// sessions). Closing is idempotent and safe while a draw still borrows
+// the entry — a later draw simply reconnects.
+func (c *compiled) close() {
+	if c.sampler != nil {
+		c.sampler.Close()
+	}
+	if c.cspSampler != nil {
+		c.cspSampler.Close()
+	}
 }
 
 // Registry is the model store and compiled-sampler cache. All methods are
@@ -494,7 +512,9 @@ func (r *Registry) getCompiled(m *Model, opts DrawOptions) (*compiled, error) {
 		for r.lru.Len() > r.cfg.CacheSize {
 			oldest := r.lru.Back()
 			r.lru.Remove(oldest)
-			delete(r.byKey, oldest.Value.(*lruEntry).key)
+			entry := oldest.Value.(*lruEntry)
+			delete(r.byKey, entry.key)
+			entry.c.close()
 		}
 	}
 	r.mu.Unlock()
@@ -585,6 +605,7 @@ func (r *Registry) compile(m *Model, key compileKey, opts DrawOptions) (*compile
 		sopts := []locsample.Option{locsample.WithRounds(key.rounds)}
 		if key.shards > 1 {
 			sopts = append(sopts, locsample.WithShards(key.shards))
+			sopts = append(sopts, r.remoteOptions(m, key.shards)...)
 		}
 		if key.parallel > 1 {
 			sopts = append(sopts, locsample.WithParallelRounds(key.parallel))
@@ -605,6 +626,7 @@ func (r *Registry) compile(m *Model, key compileKey, opts DrawOptions) (*compile
 	}
 	if key.shards > 1 {
 		sopts = append(sopts, locsample.WithShards(key.shards))
+		sopts = append(sopts, r.remoteOptions(m, key.shards)...)
 	}
 	if key.parallel > 1 {
 		sopts = append(sopts, locsample.WithParallelRounds(key.parallel))
@@ -615,6 +637,25 @@ func (r *Registry) compile(m *Model, key compileKey, opts DrawOptions) (*compile
 		return nil, err
 	}
 	return &compiled{sampler: sampler}, nil
+}
+
+// remoteOptions places a sharded compile on the server's lsharded
+// workers when any are configured. The worker list is truncated to the
+// shard count (every worker must host at least one shard); the model
+// ships as its registered spec, so the workers rebuild exactly the
+// registered workload.
+func (r *Registry) remoteOptions(m *Model, shards int) []locsample.Option {
+	addrs := r.cfg.WorkerAddrs
+	if len(addrs) == 0 {
+		return nil
+	}
+	if len(addrs) > shards {
+		addrs = addrs[:shards]
+	}
+	return []locsample.Option{
+		locsample.WithRemoteWorkers(addrs...),
+		locsample.WithModelSpec(m.Spec),
+	}
 }
 
 // RegistryStats is the /statsz payload.

@@ -1,0 +1,484 @@
+package service
+
+// The lsharded worker: one process hosting a slice of a sharded chain's
+// plan. A coordinator (locsample.WithRemoteWorkers, typically inside
+// lserved) sends each worker a job — the model's wire spec plus the
+// plan parameters — over a control connection; the worker rebuilds the
+// model and plan deterministically, meshes up with its peer workers
+// over TCP, and then serves lockstep draws until the control connection
+// closes. Both reconstructions are pure functions of the job message,
+// which is what makes a cross-process draw byte-identical to the
+// centralized chain: the shards compute exactly the PRF-keyed updates
+// the local engine would, only placed on other machines.
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"locsample"
+	"locsample/internal/cluster"
+	"locsample/internal/partition"
+	"locsample/internal/spec"
+	"locsample/internal/transport"
+)
+
+// WorkerConfig tunes an lsharded worker.
+type WorkerConfig struct {
+	// ReadyTimeout bounds job setup — model build, mesh dial, peer
+	// attach (default 30s).
+	ReadyTimeout time.Duration
+	// RecvTimeout bounds each boundary Recv once rounds run (default
+	// 60s); it is the deadline that turns a lost frame or dead peer
+	// into a typed error instead of a hang.
+	RecvTimeout time.Duration
+	// WrapTransport, when non-nil, wraps each job's boundary fabric
+	// before the engine sees it — the fault-injection hook.
+	WrapTransport func(transport.Transport) transport.Transport
+	// Logf sinks worker logs (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.ReadyTimeout <= 0 {
+		c.ReadyTimeout = 30 * time.Second
+	}
+	if c.RecvTimeout <= 0 {
+		c.RecvTimeout = 60 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Worker is a running lsharded process: an accept loop demultiplexing
+// coordinator control connections and peer frame streams by their
+// opening magic.
+type Worker struct {
+	cfg WorkerConfig
+	ln  net.Listener
+
+	mu      sync.Mutex
+	jobs    map[uint64]*workerJob
+	pending map[uint64][]pendingPeer
+	conns   map[net.Conn]struct{} // every accepted conn still inside a handler
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// pendingPeer is an inbound peer connection whose job has not arrived
+// yet (peer workers may dial before our own JobMsg lands).
+type pendingPeer struct {
+	from int
+	c    net.Conn
+	at   time.Time
+}
+
+// workerJob is one hosted job: the engine over this process's shards
+// and the mesh it exchanges boundaries through.
+type workerJob struct {
+	id    uint64
+	tcp   *transport.TCP
+	eng   shardEngine
+	init  []int
+	out   []int
+	owned []int // global vertex IDs in result order
+
+	prevFrames, prevBytes int64
+}
+
+// shardEngine is the slice of the cluster engines a job needs.
+type shardEngine interface {
+	Run(init []int, seed uint64, rounds int, out []int) (cluster.Stats, error)
+	Close() error
+}
+
+// NewWorker listens on addr and starts serving jobs. Use Addr to learn
+// the bound address (addr may end in ":0").
+func NewWorker(addr string, cfg WorkerConfig) (*Worker, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	w := &Worker{
+		cfg:     cfg.withDefaults(),
+		ln:      ln,
+		jobs:    make(map[uint64]*workerJob),
+		pending: make(map[uint64][]pendingPeer),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	w.wg.Add(1)
+	go w.acceptLoop()
+	return w, nil
+}
+
+// Addr returns the address the worker accepts connections on.
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// Close stops the accept loop and tears down every hosted job.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	jobs := make([]*workerJob, 0, len(w.jobs))
+	for _, j := range w.jobs {
+		jobs = append(jobs, j)
+	}
+	var stray []net.Conn
+	for _, ps := range w.pending {
+		for _, p := range ps {
+			stray = append(stray, p.c)
+		}
+	}
+	w.pending = map[uint64][]pendingPeer{}
+	// Close active handler conns too — an idle control session blocks in
+	// a deadline-free ReadControl and would park wg.Wait until its
+	// coordinator hung up.
+	for c := range w.conns {
+		stray = append(stray, c)
+	}
+	w.mu.Unlock()
+	err := w.ln.Close()
+	for _, j := range jobs {
+		j.eng.Close()
+	}
+	for _, c := range stray {
+		c.Close()
+	}
+	w.wg.Wait()
+	return err
+}
+
+// track registers an accepted conn so Close can interrupt its handler;
+// it refuses conns that race a shutdown.
+func (w *Worker) track(c net.Conn) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return false
+	}
+	w.conns[c] = struct{}{}
+	return true
+}
+
+func (w *Worker) untrack(c net.Conn) {
+	w.mu.Lock()
+	delete(w.conns, c)
+	w.mu.Unlock()
+}
+
+func (w *Worker) acceptLoop() {
+	defer w.wg.Done()
+	for {
+		c, err := w.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !w.track(c) {
+			c.Close()
+			return
+		}
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			defer w.untrack(c)
+			w.handleConn(c)
+		}()
+	}
+}
+
+func (w *Worker) handleConn(c net.Conn) {
+	magic, err := transport.ReadMagic(c, w.cfg.ReadyTimeout)
+	if err != nil {
+		c.Close()
+		return
+	}
+	switch magic {
+	case transport.MagicControl:
+		w.handleControl(c)
+	case transport.MagicPeer:
+		jobID, from, err := transport.ReadPeerHello(c, w.cfg.ReadyTimeout)
+		if err != nil {
+			c.Close()
+			return
+		}
+		c.SetReadDeadline(time.Time{})
+		w.deliverPeer(jobID, from, c)
+	default:
+		w.cfg.Logf("worker: connection with unknown magic %q", magic[:])
+		c.Close()
+	}
+}
+
+// deliverPeer attaches an inbound peer stream to its job's mesh, or
+// parks it until the JobMsg arrives (peer workers race our coordinator).
+func (w *Worker) deliverPeer(jobID uint64, from int, c net.Conn) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		c.Close()
+		return
+	}
+	if j, ok := w.jobs[jobID]; ok {
+		w.mu.Unlock()
+		if err := j.tcp.AddConn(from, c); err != nil {
+			w.cfg.Logf("worker: job %x: attach peer %d: %v", jobID, from, err)
+			c.Close()
+		}
+		return
+	}
+	// Prune parked peers nobody claimed (their coordinator died between
+	// meshing and job delivery).
+	cutoff := time.Now().Add(-w.cfg.ReadyTimeout)
+	for id, ps := range w.pending {
+		kept := ps[:0]
+		for _, p := range ps {
+			if p.at.Before(cutoff) {
+				p.c.Close()
+			} else {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) == 0 {
+			delete(w.pending, id)
+		} else {
+			w.pending[id] = kept
+		}
+	}
+	w.pending[jobID] = append(w.pending[jobID], pendingPeer{from: from, c: c, at: time.Now()})
+	w.mu.Unlock()
+}
+
+// handleControl runs one coordinator session: job, ready, then a run
+// loop until the connection drops (which tears the job down — a
+// coordinator teardown is how jobs end).
+func (w *Worker) handleControl(c net.Conn) {
+	defer c.Close()
+	m, err := transport.ReadControl(c, w.cfg.ReadyTimeout)
+	if err != nil {
+		return
+	}
+	if m.Kind != "job" || m.Job == nil {
+		return
+	}
+	job := m.Job
+	reject := func(err error) {
+		w.cfg.Logf("worker: job %x rejected: %v", job.JobID, err)
+		transport.WriteControl(c, &transport.ControlMsg{
+			Kind: "ready", Ready: &transport.ReadyMsg{OK: false, Error: err.Error()},
+		}, w.cfg.ReadyTimeout)
+	}
+	js, err := w.buildJob(job)
+	if err != nil {
+		reject(err)
+		return
+	}
+	defer w.dropJob(js)
+	if err := w.mesh(js); err != nil {
+		reject(err)
+		return
+	}
+	if err := transport.WriteControl(c, &transport.ControlMsg{
+		Kind: "ready", Ready: &transport.ReadyMsg{OK: true},
+	}, w.cfg.ReadyTimeout); err != nil {
+		return
+	}
+	w.cfg.Logf("worker: job %x ready (%d owned vertices)", js.id, len(js.owned))
+	for {
+		m, err := transport.ReadControl(c, 0) // idle between draws
+		if err != nil {
+			return
+		}
+		if m.Kind != "run" || m.Run == nil {
+			return
+		}
+		res := js.run(m.Run.Seed, m.Run.Rounds)
+		if err := transport.WriteControl(c, &transport.ControlMsg{Kind: "result", Result: res}, w.cfg.ReadyTimeout); err != nil {
+			return
+		}
+		if !res.OK {
+			// The engine's transport is poisoned; the session cannot
+			// serve another draw. The coordinator reconnects with a
+			// fresh job.
+			return
+		}
+	}
+}
+
+// buildJob rebuilds the model, plan, and engine a JobMsg describes.
+// Everything here is deterministic in the message's fields.
+func (w *Worker) buildJob(job *transport.JobMsg) (*workerJob, error) {
+	if job.Proto != transport.ControlProtoVersion {
+		return nil, fmt.Errorf("worker: control protocol %d, want %d", job.Proto, transport.ControlProtoVersion)
+	}
+	if job.Self < 0 || job.Self >= len(job.Workers) {
+		return nil, fmt.Errorf("worker: self index %d out of range (%d workers)", job.Self, len(job.Workers))
+	}
+	if job.Shards < len(job.Workers) || job.Shards < 2 {
+		return nil, fmt.Errorf("worker: %d shards across %d workers", job.Shards, len(job.Workers))
+	}
+	sp, err := spec.Decode(job.Spec)
+	if err != nil {
+		return nil, err
+	}
+	built, err := spec.Build(sp)
+	if err != nil {
+		return nil, err
+	}
+	strat, err := partition.ParseStrategy(job.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	assign := partition.AssignShards(job.Shards, len(job.Workers))
+	var local []int
+	for s, p := range assign {
+		if p == job.Self {
+			local = append(local, s)
+		}
+	}
+
+	js := &workerJob{id: job.JobID, init: append([]int(nil), job.Init...)}
+	var neighbors [][]int
+	var mkEngine func(tr transport.Transport) (shardEngine, error)
+	switch job.Kind {
+	case "mrf":
+		if built.MRF == nil {
+			return nil, fmt.Errorf("worker: job kind mrf but spec kind %q", sp.Model.Kind)
+		}
+		alg, err := ParseAlgorithm(job.Algorithm)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := partition.Build(built.MRF.G, job.Shards, strat, job.PlanSeed)
+		if err != nil {
+			return nil, err
+		}
+		neighbors = plan.NeighborLists()
+		for _, s := range local {
+			sh := plan.Shards[s]
+			for _, g := range sh.Global[:sh.NOwned] {
+				js.owned = append(js.owned, int(g))
+			}
+		}
+		js.out = make([]int, built.MRF.G.N())
+		mkEngine = func(tr transport.Transport) (shardEngine, error) {
+			return cluster.NewWithTransport(built.MRF, plan, alg, job.DropRule3, local, tr)
+		}
+	case "csp":
+		if built.CSP == nil {
+			return nil, fmt.Errorf("worker: job kind csp but spec kind %q", sp.Model.Kind)
+		}
+		plan, err := partition.BuildCSP(built.CSP, job.Shards, strat, job.PlanSeed)
+		if err != nil {
+			return nil, err
+		}
+		neighbors = plan.NeighborLists()
+		for _, s := range local {
+			sh := plan.Shards[s]
+			for _, g := range sh.Global[:sh.NOwned] {
+				js.owned = append(js.owned, int(g))
+			}
+		}
+		js.out = make([]int, built.CSP.N)
+		mkEngine = func(tr transport.Transport) (shardEngine, error) {
+			return cluster.NewCSPWithTransport(built.CSP, plan, locsample.LubyGlauber, local, tr)
+		}
+	default:
+		return nil, fmt.Errorf("worker: unknown job kind %q", job.Kind)
+	}
+	if len(js.init) != len(js.out) {
+		return nil, fmt.Errorf("worker: init carries %d states for %d vertices", len(js.init), len(js.out))
+	}
+
+	tcp, err := transport.NewTCP(transport.TCPConfig{
+		JobID:       job.JobID,
+		Self:        job.Self,
+		Addrs:       job.Workers,
+		Assign:      assign,
+		Neighbors:   neighbors,
+		DialTimeout: w.cfg.ReadyTimeout,
+		RecvTimeout: w.cfg.RecvTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	js.tcp = tcp
+	var tr transport.Transport = transport.NewRouter(assign,
+		transport.NewChan(neighbors, w.cfg.RecvTimeout), tcp)
+	if w.cfg.WrapTransport != nil {
+		tr = w.cfg.WrapTransport(tr)
+	}
+	eng, err := mkEngine(tr)
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	js.eng = eng
+	return js, nil
+}
+
+// mesh registers the job (adopting peers that dialed in early), dials
+// the lower-index peers, and waits for the full mesh.
+func (w *Worker) mesh(js *workerJob) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return fmt.Errorf("worker: shutting down")
+	}
+	if _, ok := w.jobs[js.id]; ok {
+		w.mu.Unlock()
+		return fmt.Errorf("worker: job %x already hosted", js.id)
+	}
+	w.jobs[js.id] = js
+	parked := w.pending[js.id]
+	delete(w.pending, js.id)
+	w.mu.Unlock()
+	for _, p := range parked {
+		if err := js.tcp.AddConn(p.from, p.c); err != nil {
+			p.c.Close()
+			return err
+		}
+	}
+	if err := js.tcp.Dial(); err != nil {
+		return err
+	}
+	return js.tcp.Ready(w.cfg.ReadyTimeout)
+}
+
+func (w *Worker) dropJob(js *workerJob) {
+	w.mu.Lock()
+	delete(w.jobs, js.id)
+	w.mu.Unlock()
+	js.eng.Close() // closes the router, closing Chan and TCP with it
+}
+
+// run executes one draw and packages this process's owned states (local
+// shards ascending, owned bands in ascending global order — the slot
+// order the coordinator reassembles by).
+func (j *workerJob) run(seed uint64, rounds int) *transport.ResultMsg {
+	st, err := j.eng.Run(j.init, seed, rounds, j.out)
+	if err != nil {
+		return &transport.ResultMsg{Error: err.Error()}
+	}
+	states := make([]int, len(j.owned))
+	for i, g := range j.owned {
+		states[i] = j.out[g]
+	}
+	ctr := j.tcp.Stats()
+	res := &transport.ResultMsg{
+		OK:         true,
+		States:     states,
+		Msgs:       st.BoundaryMessages,
+		Vals:       st.BoundaryValues,
+		WaitNS:     st.BarrierWaitNS,
+		WireFrames: ctr.FramesSent - j.prevFrames,
+		WireBytes:  ctr.BytesSent - j.prevBytes,
+	}
+	j.prevFrames, j.prevBytes = ctr.FramesSent, ctr.BytesSent
+	return res
+}

@@ -298,3 +298,65 @@ func FromMRF(m *mrf.MRF, name string) *Spec {
 		},
 	}
 }
+
+// FromCSP exports an in-memory CSP back to the wire format: kind "csp"
+// with every constraint as an explicit "table" factor read off the
+// compiled tables (scope position 0 varying fastest — the wire codec's
+// digit order). The result round-trips bit-exactly: Build re-enumerates
+// the tables to the same float64 values, so a worker rebuilding the CSP
+// from this spec runs the identical chain. g supplies the network edge
+// list (nil means no network — an empty edge list); init must be a
+// feasible start and is pinned in the spec, rounds its default budget.
+// Constraints whose arity exceeds the wire limit, or whose factors were
+// too large to compile to tables, cannot be exported.
+func FromCSP(c *csp.CSP, g *graph.Graph, init []int, rounds int, name string) (*Spec, error) {
+	gs := GraphSpec{Family: "edges", N: c.N}
+	if g != nil {
+		if g.N() != c.N {
+			return nil, fmt.Errorf("spec: CSP has %d vertices, network %d", c.N, g.N())
+		}
+		gs.Edges = make([][2]int, g.M())
+		for id, e := range g.Edges() {
+			gs.Edges[id] = [2]int{int(e.U), int(e.V)}
+		}
+	} else {
+		gs.Edges = [][2]int{}
+	}
+	cons := make([]ConstraintSpec, len(c.Cons))
+	for i := range c.Cons {
+		scope := c.Cons[i].Scope
+		if len(scope) > MaxArity {
+			return nil, fmt.Errorf("spec: constraint %d arity %d exceeds the wire limit %d", i, len(scope), MaxArity)
+		}
+		tab := c.TableOf(i)
+		if tab == nil {
+			return nil, fmt.Errorf("spec: constraint %d has no compiled table to export", i)
+		}
+		cs := ConstraintSpec{Kind: "table", Scope: make([]int, len(scope)), Table: append([]float64(nil), tab...)}
+		for j, v := range scope {
+			cs.Scope[j] = int(v)
+		}
+		cons[i] = cs
+	}
+	vertexB := make([][]float64, c.N)
+	for v, b := range c.VertexB {
+		vertexB[v] = append([]float64(nil), b...)
+	}
+	s := &Spec{
+		Version: Version,
+		Name:    name,
+		Graph:   gs,
+		Model: ModelSpec{
+			Kind:             "csp",
+			Q:                c.Q,
+			VertexActivities: vertexB,
+			Constraints:      cons,
+			Init:             append([]int(nil), init...),
+			Rounds:           rounds,
+		},
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,138 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+type chanMsg struct {
+	round  int
+	states []int
+}
+
+// Chan is the in-process transport: one double-buffered channel per
+// directed link, exactly the exchange fabric the cluster engine used
+// before the transport layer was split out. Frames carry the sender's
+// slice by reference (zero copy); the cluster engines double-buffer
+// their send slices per link, which together with the capacity-2
+// channels and the lockstep round structure keeps sends non-blocking
+// and deadlock-free.
+//
+// A non-zero recv timeout turns a missing frame into ErrTimeout; the
+// engines leave it at 0 (block until Close) because in-process lockstep
+// cannot lose frames, while fault-injection tests set it to keep a
+// deliberately dropped frame from hanging the test.
+type Chan struct {
+	ch      [][]chan chanMsg
+	timeout time.Duration
+	done    chan struct{}
+	once    sync.Once
+}
+
+// NewChan builds the channel fabric for a plan's neighbor lists:
+// neighbors[s] holds the shards s exchanges boundaries with, and every
+// directed pair gets a capacity-2 channel. timeout bounds each Recv
+// (0 = block until the frame arrives or the transport closes).
+func NewChan(neighbors [][]int, timeout time.Duration) *Chan {
+	k := len(neighbors)
+	ch := make([][]chan chanMsg, k)
+	for s := range ch {
+		ch[s] = make([]chan chanMsg, k)
+	}
+	for s, ns := range neighbors {
+		for _, j := range ns {
+			if ch[s][j] == nil {
+				ch[s][j] = make(chan chanMsg, 2)
+			}
+			if ch[j][s] == nil {
+				ch[j][s] = make(chan chanMsg, 2)
+			}
+		}
+	}
+	return &Chan{ch: ch, timeout: timeout, done: make(chan struct{})}
+}
+
+func (t *Chan) link(from, to int) (chan chanMsg, error) {
+	if from < 0 || from >= len(t.ch) || to < 0 || to >= len(t.ch) || t.ch[from][to] == nil {
+		return nil, &LinkError{From: from, To: to}
+	}
+	return t.ch[from][to], nil
+}
+
+// Send publishes the round-r states of shard from for neighbor to. The
+// slice is handed to the receiver by reference; the caller must not
+// reuse it until its next send on the same link has been consumed
+// (double-buffering per link, as the cluster engines do).
+func (t *Chan) Send(from, to, round int, states []int) error {
+	c, err := t.link(from, to)
+	if err != nil {
+		return err
+	}
+	select {
+	case <-t.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case c <- chanMsg{round: round, states: states}:
+		return nil
+	case <-t.done:
+		return ErrClosed
+	}
+}
+
+// Recv blocks for the round-r frame on from→to.
+func (t *Chan) Recv(from, to, round, want int) ([]int, error) {
+	c, err := t.link(from, to)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-t.done:
+		return nil, ErrClosed
+	default:
+	}
+	var msg chanMsg
+	if t.timeout > 0 {
+		timer := time.NewTimer(t.timeout)
+		defer timer.Stop()
+		select {
+		case msg = <-c:
+		case <-t.done:
+			return nil, ErrClosed
+		case <-timer.C:
+			return nil, &linkTimeout{from: from, to: to, round: round}
+		}
+	} else {
+		select {
+		case msg = <-c:
+		case <-t.done:
+			return nil, ErrClosed
+		}
+	}
+	if msg.round != round {
+		return nil, &RoundError{From: from, To: to, Want: round, Got: msg.round}
+	}
+	if len(msg.states) != want {
+		return nil, &SizeError{From: from, To: to, Want: want, Got: len(msg.states)}
+	}
+	return msg.states, nil
+}
+
+// Close poisons all pending and future operations with ErrClosed.
+func (t *Chan) Close() error {
+	t.once.Do(func() { close(t.done) })
+	return nil
+}
+
+// linkTimeout is an ErrTimeout carrying the link that starved.
+type linkTimeout struct {
+	from, to, round int
+}
+
+func (e *linkTimeout) Error() string {
+	return fmt.Sprintf("%v: no frame on link %d->%d for round %d", ErrTimeout, e.from, e.to, e.round)
+}
+
+func (e *linkTimeout) Unwrap() error { return ErrTimeout }

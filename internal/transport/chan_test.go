@@ -1,0 +1,117 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func twoShardNeighbors() [][]int { return [][]int{{1}, {0}} }
+
+func TestChanPingPong(t *testing.T) {
+	tr := NewChan(twoShardNeighbors(), time.Second)
+	defer tr.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		for r := 0; r < 10; r++ {
+			if err := tr.Send(1, 0, r, []int{r, r + 1}); err != nil {
+				done <- err
+				return
+			}
+			if _, err := tr.Recv(0, 1, r, 3); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for r := 0; r < 10; r++ {
+		if err := tr.Send(0, 1, r, []int{r, r, r}); err != nil {
+			t.Fatalf("send round %d: %v", r, err)
+		}
+		got, err := tr.Recv(1, 0, r, 2)
+		if err != nil {
+			t.Fatalf("recv round %d: %v", r, err)
+		}
+		if got[0] != r || got[1] != r+1 {
+			t.Fatalf("round %d: got %v", r, got)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("peer: %v", err)
+	}
+}
+
+func TestChanUnknownLink(t *testing.T) {
+	tr := NewChan(twoShardNeighbors(), 0)
+	defer tr.Close()
+	var le *LinkError
+	if err := tr.Send(0, 0, 0, nil); !errors.As(err, &le) {
+		t.Fatalf("send on non-link: %v", err)
+	}
+	if _, err := tr.Recv(5, 0, 0, 1); !errors.As(err, &le) {
+		t.Fatalf("recv on out-of-range link: %v", err)
+	}
+}
+
+func TestChanRoundMismatch(t *testing.T) {
+	tr := NewChan(twoShardNeighbors(), time.Second)
+	defer tr.Close()
+	if err := tr.Send(0, 1, 7, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	var re *RoundError
+	if _, err := tr.Recv(0, 1, 8, 1); !errors.As(err, &re) {
+		t.Fatalf("want RoundError, got %v", err)
+	} else if re.Got != 7 || re.Want != 8 {
+		t.Fatalf("RoundError fields: %+v", re)
+	}
+}
+
+func TestChanSizeMismatch(t *testing.T) {
+	tr := NewChan(twoShardNeighbors(), time.Second)
+	defer tr.Close()
+	if err := tr.Send(0, 1, 0, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	var se *SizeError
+	if _, err := tr.Recv(0, 1, 0, 5); !errors.As(err, &se) {
+		t.Fatalf("want SizeError, got %v", err)
+	}
+}
+
+func TestChanRecvTimeout(t *testing.T) {
+	tr := NewChan(twoShardNeighbors(), 20*time.Millisecond)
+	defer tr.Close()
+	start := time.Now()
+	_, err := tr.Recv(0, 1, 0, 1)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout took far too long")
+	}
+}
+
+func TestChanCloseUnblocks(t *testing.T) {
+	tr := NewChan(twoShardNeighbors(), 0)
+	errC := make(chan error, 1)
+	go func() {
+		_, err := tr.Recv(0, 1, 0, 1)
+		errC <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	tr.Close()
+	select {
+	case err := <-errC:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("want ErrClosed, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+	if err := tr.Send(0, 1, 0, []int{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+}

@@ -1,0 +1,201 @@
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Every connection to an lsharded worker opens with a 4-byte magic that
+// tells the accept loop what the stream is: a coordinator control
+// session or a peer's frame stream for one mesh.
+var (
+	// MagicControl opens a coordinator control connection ("LSC1").
+	MagicControl = [4]byte{'L', 'S', 'C', '1'}
+	// MagicPeer opens a peer frame stream ("LSP1"); a peer hello
+	// (job ID + process index) follows.
+	MagicPeer = [4]byte{'L', 'S', 'P', '1'}
+)
+
+// ControlProtoVersion is the version a JobMsg must declare; a worker
+// rejects jobs from a coordinator speaking a different protocol.
+const ControlProtoVersion = 1
+
+// MaxControlBytes bounds one control message (results carry a full
+// configuration, so the cap is sized like a spec plus states).
+const MaxControlBytes = 64 << 20
+
+// ReadMagic reads a connection's opening 4-byte magic.
+func ReadMagic(c net.Conn, timeout time.Duration) ([4]byte, error) {
+	var m [4]byte
+	if err := setReadDeadline(c, timeout); err != nil {
+		return m, err
+	}
+	_, err := io.ReadFull(c, m[:])
+	return m, err
+}
+
+// WritePeerHello opens a peer frame stream: magic, job ID, and the
+// dialing process's index.
+func WritePeerHello(c net.Conn, jobID uint64, from int, timeout time.Duration) error {
+	var b [16]byte
+	copy(b[:4], MagicPeer[:])
+	binary.LittleEndian.PutUint64(b[4:], jobID)
+	binary.LittleEndian.PutUint32(b[12:], uint32(from))
+	if err := setWriteDeadline(c, timeout); err != nil {
+		return err
+	}
+	_, err := c.Write(b[:])
+	return err
+}
+
+// ReadPeerHello reads the hello body after the accept loop consumed the
+// peer magic.
+func ReadPeerHello(c net.Conn, timeout time.Duration) (jobID uint64, from int, err error) {
+	var b [12]byte
+	if err := setReadDeadline(c, timeout); err != nil {
+		return 0, 0, err
+	}
+	if _, err := io.ReadFull(c, b[:]); err != nil {
+		return 0, 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), int(binary.LittleEndian.Uint32(b[8:])), nil
+}
+
+// DialControl dials a worker's control port with retry-and-backoff and
+// opens the stream with the control magic.
+func DialControl(addr string, timeout time.Duration) (net.Conn, error) {
+	c, err := dialRetry(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if err := setWriteDeadline(c, timeout); err != nil {
+		c.Close()
+		return nil, err
+	}
+	if _, err := c.Write(MagicControl[:]); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// ControlMsg is one length-prefixed JSON message on a control
+// connection. Kind selects which body field is set.
+type ControlMsg struct {
+	Kind   string     `json:"kind"` // "job" | "ready" | "run" | "result"
+	Job    *JobMsg    `json:"job,omitempty"`
+	Ready  *ReadyMsg  `json:"ready,omitempty"`
+	Run    *RunMsg    `json:"run,omitempty"`
+	Result *ResultMsg `json:"result,omitempty"`
+}
+
+// JobMsg tells a worker which slice of a sharded chain it hosts. The
+// worker rebuilds the model from the spec and the plan from the
+// (shards, strategy, planSeed) triple — both constructions are
+// deterministic, which is what makes a cross-process draw bit-identical
+// to the centralized chain.
+type JobMsg struct {
+	Proto     int             `json:"proto"`
+	JobID     uint64          `json:"jobId"`
+	Kind      string          `json:"kind"` // "mrf" | "csp"
+	Spec      json.RawMessage `json:"spec"`
+	Algorithm string          `json:"algorithm"`
+	DropRule3 bool            `json:"dropRule3,omitempty"`
+	Shards    int             `json:"shards"`
+	Strategy  string          `json:"strategy"`
+	PlanSeed  uint64          `json:"planSeed"`
+	Init      []int           `json:"init"`
+	Workers   []string        `json:"workers"`
+	Self      int             `json:"self"`
+}
+
+// ReadyMsg is the worker's answer to a JobMsg once its mesh links are
+// up (or failed to come up).
+type ReadyMsg struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+// RunMsg asks a worker for one draw of its shards.
+type RunMsg struct {
+	Seed   uint64 `json:"seed"`
+	Rounds int    `json:"rounds"`
+}
+
+// ResultMsg carries a worker's owned states back, concatenated over its
+// local shards in ascending shard order, each shard's owned vertices in
+// ascending global order.
+type ResultMsg struct {
+	OK         bool   `json:"ok"`
+	Error      string `json:"error,omitempty"`
+	States     []int  `json:"states,omitempty"`
+	Msgs       int64  `json:"msgs,omitempty"`
+	Vals       int64  `json:"vals,omitempty"`
+	WaitNS     int64  `json:"waitNs,omitempty"`
+	WireFrames int64  `json:"wireFrames,omitempty"`
+	WireBytes  int64  `json:"wireBytes,omitempty"`
+}
+
+// WriteControl writes one length-prefixed JSON control message.
+func WriteControl(c net.Conn, m *ControlMsg, timeout time.Duration) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	if len(body) > MaxControlBytes {
+		return fmt.Errorf("transport: control message %d bytes exceeds limit %d", len(body), MaxControlBytes)
+	}
+	var pre [4]byte
+	binary.LittleEndian.PutUint32(pre[:], uint32(len(body)))
+	if err := setWriteDeadline(c, timeout); err != nil {
+		return err
+	}
+	if _, err := c.Write(pre[:]); err != nil {
+		return err
+	}
+	_, err = c.Write(body)
+	return err
+}
+
+// ReadControl reads one length-prefixed JSON control message. A zero
+// timeout blocks indefinitely (a worker idling between draws).
+func ReadControl(c net.Conn, timeout time.Duration) (*ControlMsg, error) {
+	if err := setReadDeadline(c, timeout); err != nil {
+		return nil, err
+	}
+	var pre [4]byte
+	if _, err := io.ReadFull(c, pre[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(pre[:])
+	if n == 0 || n > MaxControlBytes {
+		return nil, fmt.Errorf("transport: control message length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c, body); err != nil {
+		return nil, err
+	}
+	var m ControlMsg
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("transport: bad control message: %w", err)
+	}
+	return &m, nil
+}
+
+func setReadDeadline(c net.Conn, timeout time.Duration) error {
+	if timeout <= 0 {
+		return c.SetReadDeadline(time.Time{})
+	}
+	return c.SetReadDeadline(time.Now().Add(timeout))
+}
+
+func setWriteDeadline(c net.Conn, timeout time.Duration) error {
+	if timeout <= 0 {
+		return c.SetWriteDeadline(time.Time{})
+	}
+	return c.SetWriteDeadline(time.Now().Add(timeout))
+}

@@ -1,0 +1,80 @@
+package transport
+
+import (
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestControlRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	want := &ControlMsg{
+		Kind: "job",
+		Job: &JobMsg{
+			Proto:     ControlProtoVersion,
+			JobID:     99,
+			Kind:      "mrf",
+			Spec:      json.RawMessage(`{"version":"locsample/v1"}`),
+			Algorithm: "localmetropolis",
+			Shards:    4,
+			Strategy:  "range",
+			PlanSeed:  7,
+			Init:      []int{0, 1, 2},
+			Workers:   []string{"a:1", "b:2"},
+			Self:      1,
+		},
+	}
+	errC := make(chan error, 1)
+	go func() { errC <- WriteControl(a, want, time.Second) }()
+	got, err := ReadControl(b, time.Second)
+	if err != nil {
+		t.Fatalf("ReadControl: %v", err)
+	}
+	if err := <-errC; err != nil {
+		t.Fatalf("WriteControl: %v", err)
+	}
+	if got.Kind != "job" || got.Job == nil || got.Job.JobID != 99 ||
+		got.Job.Self != 1 || len(got.Job.Init) != 3 || got.Job.Workers[1] != "b:2" {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+}
+
+func TestControlRejectsOversized(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		var pre [4]byte
+		pre[3] = 0xFF // far beyond MaxControlBytes
+		a.Write(pre[:])
+	}()
+	if _, err := ReadControl(b, time.Second); err == nil {
+		t.Fatal("oversized control message accepted")
+	}
+}
+
+func TestPeerHelloRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	errC := make(chan error, 1)
+	go func() { errC <- WritePeerHello(a, 1234, 3, time.Second) }()
+	m, err := ReadMagic(b, time.Second)
+	if err != nil || m != MagicPeer {
+		t.Fatalf("magic: %v %v", m, err)
+	}
+	id, from, err := ReadPeerHello(b, time.Second)
+	if err != nil {
+		t.Fatalf("ReadPeerHello: %v", err)
+	}
+	if err := <-errC; err != nil {
+		t.Fatalf("WritePeerHello: %v", err)
+	}
+	if id != 1234 || from != 3 {
+		t.Fatalf("hello fields: job %d from %d", id, from)
+	}
+}

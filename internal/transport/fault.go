@@ -1,0 +1,118 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// FaultOp selects what a Fault injection does to a frame.
+type FaultOp int
+
+const (
+	// FaultDrop swallows the frame: the receiver starves and times out.
+	FaultDrop FaultOp = iota
+	// FaultTruncate cuts the frame's states in half: the receiver's
+	// exchange-map length check fails with a SizeError.
+	FaultTruncate
+	// FaultDuplicate sends the frame twice: the receiver consumes the
+	// duplicate in the next round and fails with a RoundError.
+	FaultDuplicate
+	// FaultDelay holds the frame for Delay before sending it; a delay
+	// below the receive deadline must be survived, not errored.
+	FaultDelay
+	// FaultReorder withholds the frame until the next frame on the same
+	// link and sends the two swapped: the receiver sees the later round
+	// first and fails with a RoundError (or the receiver starves and
+	// times out if the chain aborts before the link sends again).
+	FaultReorder
+)
+
+// Injection is one scheduled fault.
+type Injection struct {
+	Op    FaultOp
+	Delay time.Duration // FaultDelay only
+}
+
+// Fault wraps a Transport and injects faults into selected sends: the
+// i-th Send call overall (0-based, counted across all links) is subject
+// to inject[i]. Receives pass through untouched. It exists so tests can
+// prove the failure semantics — a faulted frame must surface as a typed
+// error at some shard worker, never as a hang or a silently wrong
+// configuration.
+type Fault struct {
+	inner  Transport
+	mu     sync.Mutex
+	n      int
+	inject map[int]Injection
+	held   map[uint64]*heldFrame
+}
+
+type heldFrame struct {
+	from, to, round int
+	states          []int
+}
+
+// NewFault wraps inner with the given injection schedule.
+func NewFault(inner Transport, inject map[int]Injection) *Fault {
+	return &Fault{inner: inner, inject: inject, held: make(map[uint64]*heldFrame)}
+}
+
+// Send applies the scheduled fault for this call index, if any. Only
+// the call counter and the withheld-frame slot are guarded by the
+// mutex; the actual sends happen outside it, so a fault that overfills
+// a bounded link (duplicate) blocks only its own shard goroutine and
+// the sibling shards stay free to drain and detect it.
+func (f *Fault) Send(from, to, round int, states []int) error {
+	f.mu.Lock()
+	inj, ok := f.inject[f.n]
+	f.n++
+	if ok && inj.Op == FaultReorder {
+		f.held[linkKey(from, to)] = &heldFrame{from: from, to: to, round: round, states: append([]int(nil), states...)}
+		f.mu.Unlock()
+		return nil
+	}
+	held := f.held[linkKey(from, to)]
+	delete(f.held, linkKey(from, to))
+	f.mu.Unlock()
+
+	err := func() error {
+		if !ok {
+			return f.inner.Send(from, to, round, states)
+		}
+		switch inj.Op {
+		case FaultDrop:
+			return nil
+		case FaultTruncate:
+			return f.inner.Send(from, to, round, states[:len(states)/2])
+		case FaultDuplicate:
+			if err := f.inner.Send(from, to, round, states); err != nil {
+				return err
+			}
+			// The duplicate must not alias the caller's double buffer.
+			dup := append([]int(nil), states...)
+			return f.inner.Send(from, to, round, dup)
+		case FaultDelay:
+			time.Sleep(inj.Delay)
+			return f.inner.Send(from, to, round, states)
+		default:
+			return f.inner.Send(from, to, round, states)
+		}
+	}()
+	if err != nil {
+		return err
+	}
+	// A frame withheld by FaultReorder goes out after this later frame
+	// on the same link — the two arrive swapped.
+	if held != nil {
+		return f.inner.Send(held.from, held.to, held.round, held.states)
+	}
+	return nil
+}
+
+// Recv passes through to the wrapped transport.
+func (f *Fault) Recv(from, to, round, want int) ([]int, error) {
+	return f.inner.Recv(from, to, round, want)
+}
+
+// Close closes the wrapped transport.
+func (f *Fault) Close() error { return f.inner.Close() }

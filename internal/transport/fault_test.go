@@ -1,0 +1,80 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFaultDrop(t *testing.T) {
+	tr := NewFault(NewChan(twoShardNeighbors(), 30*time.Millisecond), map[int]Injection{0: {Op: FaultDrop}})
+	defer tr.Close()
+	if err := tr.Send(0, 1, 0, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Recv(0, 1, 0, 2); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout after drop, got %v", err)
+	}
+}
+
+func TestFaultTruncate(t *testing.T) {
+	tr := NewFault(NewChan(twoShardNeighbors(), time.Second), map[int]Injection{0: {Op: FaultTruncate}})
+	defer tr.Close()
+	if err := tr.Send(0, 1, 0, []int{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	var se *SizeError
+	if _, err := tr.Recv(0, 1, 0, 4); !errors.As(err, &se) {
+		t.Fatalf("want SizeError after truncate, got %v", err)
+	} else if se.Got != 2 {
+		t.Fatalf("truncated frame carried %d states, want 2", se.Got)
+	}
+}
+
+func TestFaultDuplicate(t *testing.T) {
+	tr := NewFault(NewChan(twoShardNeighbors(), time.Second), map[int]Injection{0: {Op: FaultDuplicate}})
+	defer tr.Close()
+	if err := tr.Send(0, 1, 0, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Recv(0, 1, 0, 1); err != nil {
+		t.Fatalf("first copy should be clean: %v", err)
+	}
+	var re *RoundError
+	if _, err := tr.Recv(0, 1, 1, 1); !errors.As(err, &re) {
+		t.Fatalf("want RoundError on duplicate, got %v", err)
+	}
+}
+
+func TestFaultDelaySurvivable(t *testing.T) {
+	tr := NewFault(NewChan(twoShardNeighbors(), time.Second),
+		map[int]Injection{0: {Op: FaultDelay, Delay: 10 * time.Millisecond}})
+	defer tr.Close()
+	if err := tr.Send(0, 1, 0, []int{7}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Recv(0, 1, 0, 1)
+	if err != nil {
+		t.Fatalf("delay below deadline must succeed: %v", err)
+	}
+	if got[0] != 7 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFaultReorder(t *testing.T) {
+	tr := NewFault(NewChan(twoShardNeighbors(), time.Second), map[int]Injection{0: {Op: FaultReorder}})
+	defer tr.Close()
+	if err := tr.Send(0, 1, 0, []int{1}); err != nil { // withheld
+		t.Fatal(err)
+	}
+	if err := tr.Send(0, 1, 1, []int{2}); err != nil { // goes out first
+		t.Fatal(err)
+	}
+	var re *RoundError
+	if _, err := tr.Recv(0, 1, 0, 1); !errors.As(err, &re) {
+		t.Fatalf("want RoundError on reordered frames, got %v", err)
+	} else if re.Got != 1 || re.Want != 0 {
+		t.Fatalf("RoundError fields: %+v", re)
+	}
+}

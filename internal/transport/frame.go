@@ -1,0 +1,142 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire format of one boundary frame, all fields little-endian:
+//
+//	[4]  payload length (header + states, excluding this prefix)
+//	[2]  magic 0x4C46 ("FL")
+//	[1]  version (1)
+//	[1]  flags (0, reserved)
+//	[4]  from shard
+//	[4]  to shard
+//	[4]  round
+//	[8]  per-link sequence number
+//	[4]  state count
+//	[4k] k states as int32
+//
+// The sequence number increments by one per frame per directed link, so
+// a receiver can tell a lost or reordered frame from a corrupted one
+// before touching the states.
+const (
+	frameMagic   = 0x4C46
+	frameVersion = 1
+
+	// frameHeaderLen is the fixed payload header size (after the length
+	// prefix).
+	frameHeaderLen = 2 + 1 + 1 + 4 + 4 + 4 + 8 + 4
+
+	// MaxFrameStates bounds the states one frame may carry; DecodeFrame
+	// rejects larger counts before allocating, so a hostile length field
+	// cannot force an unbounded allocation.
+	MaxFrameStates = 1 << 24
+
+	// MaxFramePayload is the largest legal payload length.
+	MaxFramePayload = frameHeaderLen + 4*MaxFrameStates
+)
+
+// Frame is one decoded boundary frame.
+type Frame struct {
+	From, To int
+	Round    int
+	Seq      uint64
+	States   []int
+}
+
+// FrameError reports a payload that is not a well-formed frame.
+type FrameError struct {
+	Reason string
+}
+
+func (e *FrameError) Error() string { return "transport: bad frame: " + e.Reason }
+
+// AppendFrame appends the length-prefixed wire encoding of f to dst and
+// returns the extended slice. States must fit int32.
+func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
+	if len(f.States) > MaxFrameStates {
+		return nil, fmt.Errorf("transport: frame carries %d states, limit %d", len(f.States), MaxFrameStates)
+	}
+	if f.From < 0 || f.From > math.MaxInt32 || f.To < 0 || f.To > math.MaxInt32 ||
+		f.Round < 0 || f.Round > math.MaxInt32 {
+		return nil, fmt.Errorf("transport: frame tag out of range (from=%d to=%d round=%d)", f.From, f.To, f.Round)
+	}
+	n := frameHeaderLen + 4*len(f.States)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	dst = binary.LittleEndian.AppendUint16(dst, frameMagic)
+	dst = append(dst, frameVersion, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.From))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.To))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.Round))
+	dst = binary.LittleEndian.AppendUint64(dst, f.Seq)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.States)))
+	for _, x := range f.States {
+		if x < math.MinInt32 || x > math.MaxInt32 {
+			return nil, fmt.Errorf("transport: state %d does not fit int32", x)
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(x)))
+	}
+	return dst, nil
+}
+
+// decodeHeader validates the payload's header and length and returns
+// the frame with States still nil.
+func decodeHeader(payload []byte) (Frame, error) {
+	var f Frame
+	if len(payload) < frameHeaderLen {
+		return f, &FrameError{Reason: fmt.Sprintf("payload %d bytes, header needs %d", len(payload), frameHeaderLen)}
+	}
+	if m := binary.LittleEndian.Uint16(payload[0:]); m != frameMagic {
+		return f, &FrameError{Reason: fmt.Sprintf("magic %#04x, want %#04x", m, frameMagic)}
+	}
+	if v := payload[2]; v != frameVersion {
+		return f, &FrameError{Reason: fmt.Sprintf("version %d, want %d", v, frameVersion)}
+	}
+	if fl := payload[3]; fl != 0 {
+		return f, &FrameError{Reason: fmt.Sprintf("reserved flags %#02x set", fl)}
+	}
+	from := binary.LittleEndian.Uint32(payload[4:])
+	to := binary.LittleEndian.Uint32(payload[8:])
+	round := binary.LittleEndian.Uint32(payload[12:])
+	if from > math.MaxInt32 || to > math.MaxInt32 || round > math.MaxInt32 {
+		return f, &FrameError{Reason: fmt.Sprintf("tag out of range (from=%d to=%d round=%d)", from, to, round)}
+	}
+	f.From = int(from)
+	f.To = int(to)
+	f.Round = int(round)
+	f.Seq = binary.LittleEndian.Uint64(payload[16:])
+	count := binary.LittleEndian.Uint32(payload[24:])
+	if count > MaxFrameStates {
+		return f, &FrameError{Reason: fmt.Sprintf("state count %d exceeds limit %d", count, MaxFrameStates)}
+	}
+	if body := len(payload) - frameHeaderLen; uint64(body) != 4*uint64(count) {
+		return f, &FrameError{Reason: fmt.Sprintf("state count %d needs %d body bytes, payload has %d", count, 4*count, body)}
+	}
+	return f, nil
+}
+
+// DecodeFrame parses one frame payload (the bytes after the length
+// prefix). The states are decoded into buf when it has capacity,
+// otherwise a fresh slice is allocated; the count is validated against
+// the payload length first, so a hostile header cannot trigger an
+// oversized allocation.
+func DecodeFrame(payload []byte, buf []int) (Frame, error) {
+	f, err := decodeHeader(payload)
+	if err != nil {
+		return f, err
+	}
+	body := payload[frameHeaderLen:]
+	count := len(body) / 4
+	if cap(buf) >= count {
+		f.States = buf[:count]
+	} else {
+		f.States = make([]int, count)
+	}
+	for i := range f.States {
+		f.States[i] = int(int32(binary.LittleEndian.Uint32(body[4*i:])))
+	}
+	return f, nil
+}

@@ -1,0 +1,143 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func mustEncode(t *testing.T, f *Frame) []byte {
+	t.Helper()
+	b, err := AppendFrame(nil, f)
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	return b
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{From: 0, To: 1, Round: 0, Seq: 0, States: []int{}},
+		{From: 3, To: 7, Round: 12, Seq: 99, States: []int{0, 1, 2, 3, 4}},
+		{From: 1, To: 0, Round: 1 << 20, Seq: 1 << 40, States: []int{math.MaxInt32, math.MinInt32, -1}},
+	}
+	for _, f := range frames {
+		enc := mustEncode(t, &f)
+		n := binary.LittleEndian.Uint32(enc)
+		if int(n) != len(enc)-4 {
+			t.Fatalf("length prefix %d, payload %d", n, len(enc)-4)
+		}
+		got, err := DecodeFrame(enc[4:], nil)
+		if err != nil {
+			t.Fatalf("DecodeFrame: %v", err)
+		}
+		if got.From != f.From || got.To != f.To || got.Round != f.Round || got.Seq != f.Seq {
+			t.Fatalf("header round-trip: got %+v want %+v", got, f)
+		}
+		if len(got.States) != len(f.States) {
+			t.Fatalf("states length %d want %d", len(got.States), len(f.States))
+		}
+		for i := range f.States {
+			if got.States[i] != f.States[i] {
+				t.Fatalf("state %d: got %d want %d", i, got.States[i], f.States[i])
+			}
+		}
+	}
+}
+
+func TestFrameDecodeIntoBuffer(t *testing.T) {
+	f := Frame{From: 1, To: 2, Round: 3, Seq: 4, States: []int{9, 8, 7}}
+	enc := mustEncode(t, &f)
+	buf := make([]int, 0, 8)
+	got, err := DecodeFrame(enc[4:], buf)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if &got.States[0] != &buf[:1][0] {
+		t.Fatal("decode did not reuse the provided buffer")
+	}
+}
+
+func TestFrameEncodeRejects(t *testing.T) {
+	if _, err := AppendFrame(nil, &Frame{From: -1}); err == nil {
+		t.Fatal("negative shard accepted")
+	}
+	if _, err := AppendFrame(nil, &Frame{States: []int{math.MaxInt32 + 1}}); err == nil {
+		t.Fatal("state overflowing int32 accepted")
+	}
+}
+
+func TestFrameDecodeRejects(t *testing.T) {
+	valid := mustEncode(t, &Frame{From: 1, To: 2, Round: 3, Seq: 4, States: []int{5, 6}})[4:]
+
+	cases := map[string][]byte{
+		"short payload": valid[:frameHeaderLen-1],
+		"bad magic":     append([]byte{0xFF, 0xFF}, valid[2:]...),
+		"bad version":   mutate(valid, 2, 9),
+		"flags set":     mutate(valid, 3, 1),
+		"truncated":     valid[:len(valid)-4],
+		"trailing":      append(append([]byte{}, valid...), 0),
+	}
+	// Hostile count: header claims more states than the payload holds.
+	hostile := append([]byte{}, valid...)
+	binary.LittleEndian.PutUint32(hostile[24:], 1<<20)
+	cases["hostile count"] = hostile
+	// Count beyond the hard cap must be rejected before any allocation.
+	huge := append([]byte{}, valid...)
+	binary.LittleEndian.PutUint32(huge[24:], MaxFrameStates+1)
+	cases["count beyond cap"] = huge
+
+	for name, payload := range cases {
+		if _, err := DecodeFrame(payload, nil); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func mutate(b []byte, i int, v byte) []byte {
+	out := append([]byte{}, b...)
+	out[i] = v
+	return out
+}
+
+// FuzzFrameRoundTrip feeds arbitrary payloads to the frame decoder: it
+// must never panic or allocate beyond the payload-implied bound, and
+// any payload it accepts must re-encode to the identical bytes
+// (decode∘encode fixpoint).
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(mustEncodeF(&Frame{From: 0, To: 1, Round: 0, Seq: 0, States: []int{}}))
+	f.Add(mustEncodeF(&Frame{From: 2, To: 5, Round: 17, Seq: 3, States: []int{1, -2, 3}}))
+	f.Add(mustEncodeF(&Frame{From: 1, To: 0, Round: 1, Seq: 1, States: []int{math.MaxInt32, math.MinInt32}}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) < 4 {
+			return
+		}
+		body := payload[4:]
+		g, err := DecodeFrame(body, nil)
+		if err != nil {
+			return
+		}
+		re, err := AppendFrame(nil, &g)
+		if err != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re[4:], body) {
+			t.Fatalf("decode/encode not a fixpoint:\n in  %x\n out %x", body, re[4:])
+		}
+		if int(binary.LittleEndian.Uint32(re)) != len(body) {
+			t.Fatalf("re-encoded length prefix %d, body %d", binary.LittleEndian.Uint32(re), len(body))
+		}
+	})
+}
+
+func mustEncodeF(f *Frame) []byte {
+	b, err := AppendFrame(nil, f)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

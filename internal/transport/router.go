@@ -1,0 +1,56 @@
+package transport
+
+// Router splits a plan's links between two transports by shard
+// placement: links whose endpoints live on the same process go over
+// local (a Chan), links that cross a process boundary go over remote (a
+// TCP mesh). A worker hosting several shards of a cross-process plan
+// composes the two so co-hosted shards keep the zero-copy in-process
+// exchange.
+type Router struct {
+	assign []int
+	local  Transport
+	remote Transport
+}
+
+// NewRouter routes by assign (shard → process): same process → local,
+// different → remote.
+func NewRouter(assign []int, local, remote Transport) *Router {
+	return &Router{assign: assign, local: local, remote: remote}
+}
+
+func (r *Router) pick(from, to int) (Transport, error) {
+	if from < 0 || from >= len(r.assign) || to < 0 || to >= len(r.assign) {
+		return nil, &LinkError{From: from, To: to}
+	}
+	if r.assign[from] == r.assign[to] {
+		return r.local, nil
+	}
+	return r.remote, nil
+}
+
+// Send routes the frame by the endpoints' placement.
+func (r *Router) Send(from, to, round int, states []int) error {
+	t, err := r.pick(from, to)
+	if err != nil {
+		return err
+	}
+	return t.Send(from, to, round, states)
+}
+
+// Recv routes the wait by the endpoints' placement.
+func (r *Router) Recv(from, to, round, want int) ([]int, error) {
+	t, err := r.pick(from, to)
+	if err != nil {
+		return nil, err
+	}
+	return t.Recv(from, to, round, want)
+}
+
+// Close closes both transports and returns the first error.
+func (r *Router) Close() error {
+	err := r.local.Close()
+	if err2 := r.remote.Close(); err == nil {
+		err = err2
+	}
+	return err
+}

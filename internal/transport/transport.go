@@ -1,0 +1,104 @@
+// Package transport carries the boundary-exchange frames of sharded
+// chains between shard workers. A Transport moves the symmetric
+// SendTo/RecvFrom exchange maps of a partition.Plan (or CSPPlan) as
+// (from-shard, to-shard, round, []state) frames between the goroutines
+// that run the shards, whether those goroutines live in one process
+// (Chan) or in several processes connected over TCP (TCP, composed with
+// Chan through Router when a process hosts more than one shard).
+//
+// The cluster engines drive a Transport in strict lockstep: in round r
+// every shard sends exactly one frame to each plan neighbor and then
+// receives exactly one frame from each plan neighbor, tagged with r.
+// That protocol is what makes the implementations allocation-free on
+// the hot path — each directed link needs only two in-flight buffers —
+// and it is also what makes failures loud: any dropped, duplicated,
+// truncated, or reordered frame surfaces as a typed error (ErrTimeout,
+// RoundError, SizeError, SeqError) at the next Send or Recv instead of
+// silently corrupting a chain.
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Transport moves boundary frames between shard workers.
+//
+// Send publishes the round-r boundary states of shard `from` for plan
+// neighbor `to`. The states slice is borrowed only for the duration of
+// the call: implementations either hand the very slice to the receiver
+// (Chan — the caller must double-buffer per link, as the cluster
+// engines do) or serialize it before returning (TCP).
+//
+// Recv blocks for the round-r frame on the directed link from→to and
+// returns its states. The returned slice is owned by the transport and
+// is valid only until the next Recv on the same link; callers copy out
+// immediately. want is the expected state count; a mismatch is a
+// SizeError.
+//
+// Close releases the transport and poisons every pending and future
+// Send/Recv with ErrClosed. It is safe to call concurrently with
+// Send/Recv and more than once; the cluster engines use it to unblock
+// all sibling shard workers when one of them fails.
+type Transport interface {
+	Send(from, to, round int, states []int) error
+	Recv(from, to, round, want int) ([]int, error)
+	Close() error
+}
+
+// ErrClosed is reported by every operation on a closed Transport.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrTimeout is reported when a frame does not arrive (or cannot be
+// written) within the transport's deadline — the signature of a dropped
+// frame or a dead peer.
+var ErrTimeout = errors.New("transport: timeout")
+
+// RoundError reports a frame whose round tag does not match the round
+// the receiver is in — the signature of a duplicated or reordered
+// frame reaching a lockstep receiver.
+type RoundError struct {
+	From, To  int
+	Want, Got int
+}
+
+func (e *RoundError) Error() string {
+	return fmt.Sprintf("transport: link %d->%d: got frame for round %d in round %d",
+		e.From, e.To, e.Got, e.Want)
+}
+
+// SizeError reports a frame whose state count does not match the
+// exchange map of the link it arrived on — the signature of a
+// truncated or padded frame.
+type SizeError struct {
+	From, To  int
+	Want, Got int
+}
+
+func (e *SizeError) Error() string {
+	return fmt.Sprintf("transport: link %d->%d: frame carries %d states, exchange map needs %d",
+		e.From, e.To, e.Got, e.Want)
+}
+
+// SeqError reports a gap or repeat in a link's frame sequence numbers —
+// the wire-level signature of a lost or reordered frame, detected by
+// the TCP transport before the states are even decoded.
+type SeqError struct {
+	From, To  int
+	Want, Got uint64
+}
+
+func (e *SeqError) Error() string {
+	return fmt.Sprintf("transport: link %d->%d: frame sequence %d, want %d",
+		e.From, e.To, e.Got, e.Want)
+}
+
+// LinkError reports an operation on a (from, to) pair that is not a
+// directed link of the plan the transport was built for.
+type LinkError struct {
+	From, To int
+}
+
+func (e *LinkError) Error() string {
+	return fmt.Sprintf("transport: %d->%d is not a link of the plan", e.From, e.To)
+}

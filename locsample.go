@@ -51,6 +51,7 @@ import (
 	"locsample/internal/localmodel"
 	"locsample/internal/mrf"
 	"locsample/internal/rng"
+	"locsample/internal/transport"
 )
 
 // Graph is an immutable undirected multigraph; build one with NewGraphBuilder
@@ -212,6 +213,41 @@ func WithInitial(init []int) Option {
 // seeds give identical samples in both modes.
 func Distributed() Option {
 	return func(c *core.Config) { c.Distributed = true }
+}
+
+// Transport is the boundary fabric a sharded chain's lockstep exchanges
+// run over; see internal/transport for the contract (typed errors,
+// buffer ownership, close semantics).
+type Transport = transport.Transport
+
+// WithTransport overrides the fabric sharded draws exchange boundary
+// states over: the factory is invoked per engine with the plan's shard
+// adjacency and must return a fresh Transport. The default in-process
+// fabric is what the factory form exists to replace in tests — wrapping
+// it in a fault injector is how the error paths of sharded draws are
+// exercised. Requires WithShards(k ≥ 2); mutually exclusive with
+// Distributed, WithParallelRounds, and WithRemoteWorkers.
+func WithTransport(factory func(neighbors [][]int) Transport) Option {
+	return func(c *core.Config) { c.Transport = factory }
+}
+
+// WithRemoteWorkers places a sharded sampler's shards across lsharded
+// worker processes (round-robin-contiguous, every worker hosting at
+// least one shard) and runs draws as cross-process lockstep rounds over
+// TCP. The reassembled configuration is bit-identical to the local
+// (and unsharded) chain at the same seed. Requires WithShards(k) with
+// k ≥ len(addrs); the model is shipped to the workers as its wire spec
+// (WithModelSpec pins it; otherwise it is derived from the model).
+func WithRemoteWorkers(addrs ...string) Option {
+	return func(c *core.Config) { c.WorkerAddrs = append([]string(nil), addrs...) }
+}
+
+// WithModelSpec pins the wire spec WithRemoteWorkers ships to the
+// workers, for models that were themselves built from a spec (the
+// serving path) — skipping the re-derivation and keeping the content
+// address stable.
+func WithModelSpec(s *Spec) Option {
+	return func(c *core.Config) { c.ModelSpec = s }
 }
 
 // Sample draws one configuration approximately distributed as the model's

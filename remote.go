@@ -1,0 +1,275 @@
+package locsample
+
+// The coordinator half of cross-process sharded draws. WithRemoteWorkers
+// places a sampler's shard plan on lsharded worker processes: the
+// coordinator ships each worker the model's wire spec plus the plan
+// parameters (shard count, strategy, plan seed) over a control
+// connection, the workers rebuild the model and plan deterministically,
+// mesh up over TCP, and then run lockstep rounds on request. Because a
+// sharded draw is bit-identical to the centralized chain at the same
+// seed — shard boundaries only move PRF-keyed state around, never change
+// it — the reassembled configuration is byte-for-byte the one a local
+// draw would produce.
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"locsample/internal/partition"
+	"locsample/internal/transport"
+)
+
+// Coordinator-side control timeouts. Ready waits cover the workers'
+// mutual mesh dialing; result waits cover a full draw's rounds.
+const (
+	remoteDialTimeout   = 10 * time.Second
+	remoteWriteTimeout  = 30 * time.Second
+	remoteReadyTimeout  = 60 * time.Second
+	remoteResultTimeout = 120 * time.Second
+)
+
+// WorkerError reports which remote worker a cross-process draw failed
+// on. Coordinator calls return it after the retry budget is spent; the
+// draw never returns a partially-assembled configuration.
+type WorkerError struct {
+	// Worker is the process index in the WithRemoteWorkers list.
+	Worker int
+	// Addr is the worker's address.
+	Addr string
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("locsample: worker %d (%s): %v", e.Worker, e.Addr, e.Err)
+}
+
+func (e *WorkerError) Unwrap() error { return e.Err }
+
+// remoteJob is everything a worker set needs to host one sampler's
+// shards; it is resent verbatim on reconnect.
+type remoteJob struct {
+	kind      string // "mrf" | "csp"
+	spec      *Spec
+	algorithm string
+	dropRule3 bool
+	shards    int
+	strategy  string
+	planSeed  uint64
+	init      []int
+	addrs     []string
+}
+
+// remoteEngine drives draws over the workers' control connections. One
+// draw at a time: the mutex serializes callers, and within a draw the
+// run request fans out to every worker before any result is awaited.
+type remoteEngine struct {
+	job     remoteJob
+	rawSpec []byte
+	// slots[w][i] is the global vertex that takes the i-th state of
+	// worker w's result (the worker concatenates its local shards in
+	// ascending shard order, each shard's owned band in ascending global
+	// order — the same order AssignShards and the plan fix here).
+	slots [][]int
+
+	mu    sync.Mutex
+	conns []net.Conn // nil until the first draw connects, nil again after teardown
+}
+
+// mrfOwned extracts the per-shard owned bands (ascending global order)
+// the result reassembly is keyed by.
+func mrfOwned(p *partition.Plan) [][]int32 {
+	out := make([][]int32, p.K)
+	for s, sh := range p.Shards {
+		out[s] = sh.Global[:sh.NOwned]
+	}
+	return out
+}
+
+// cspOwned is mrfOwned for constraint-scope plans.
+func cspOwned(p *partition.CSPPlan) [][]int32 {
+	out := make([][]int32, p.K)
+	for s, sh := range p.Shards {
+		out[s] = sh.Global[:sh.NOwned]
+	}
+	return out
+}
+
+func newRemoteEngine(job remoteJob, owned [][]int32, n int) (*remoteEngine, error) {
+	raw, err := EncodeSpec(job.spec)
+	if err != nil {
+		return nil, fmt.Errorf("locsample: encoding the remote job's spec: %w", err)
+	}
+	w := len(job.addrs)
+	assign := partition.AssignShards(job.shards, w)
+	slots := make([][]int, w)
+	total := 0
+	for s, band := range owned {
+		for _, g := range band {
+			slots[assign[s]] = append(slots[assign[s]], int(g))
+		}
+		total += len(band)
+	}
+	if total != n {
+		return nil, fmt.Errorf("locsample: shard plan owns %d of %d vertices", total, n)
+	}
+	return &remoteEngine{job: job, rawSpec: raw, slots: slots}, nil
+}
+
+// connect dials every worker, ships the job, and waits for the full
+// mesh to come up. All job messages go out before any ready is awaited:
+// the workers dial each other to build the frame mesh, so waiting for
+// them one at a time would deadlock.
+func (r *remoteEngine) connect() error {
+	conns := make([]net.Conn, len(r.job.addrs))
+	cleanup := func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}
+	// The job ID only disambiguates concurrent meshes on shared workers;
+	// it never feeds the chains' randomness, so a non-deterministic draw
+	// here cannot perturb sampling outputs.
+	jobID := rand.Uint64()
+	for w, addr := range r.job.addrs {
+		c, err := transport.DialControl(addr, remoteDialTimeout)
+		if err != nil {
+			cleanup()
+			return &WorkerError{Worker: w, Addr: addr, Err: err}
+		}
+		conns[w] = c
+		msg := &transport.ControlMsg{Kind: "job", Job: &transport.JobMsg{
+			Proto:     transport.ControlProtoVersion,
+			JobID:     jobID,
+			Kind:      r.job.kind,
+			Spec:      r.rawSpec,
+			Algorithm: r.job.algorithm,
+			DropRule3: r.job.dropRule3,
+			Shards:    r.job.shards,
+			Strategy:  r.job.strategy,
+			PlanSeed:  r.job.planSeed,
+			Init:      r.job.init,
+			Workers:   r.job.addrs,
+			Self:      w,
+		}}
+		if err := transport.WriteControl(c, msg, remoteWriteTimeout); err != nil {
+			cleanup()
+			return &WorkerError{Worker: w, Addr: addr, Err: fmt.Errorf("sending job: %w", err)}
+		}
+	}
+	for w, c := range conns {
+		m, err := transport.ReadControl(c, remoteReadyTimeout)
+		if err != nil {
+			cleanup()
+			return &WorkerError{Worker: w, Addr: r.job.addrs[w], Err: fmt.Errorf("awaiting ready: %w", err)}
+		}
+		if m.Kind != "ready" || m.Ready == nil {
+			cleanup()
+			return &WorkerError{Worker: w, Addr: r.job.addrs[w],
+				Err: fmt.Errorf("unexpected %q control message awaiting ready", m.Kind)}
+		}
+		if !m.Ready.OK {
+			cleanup()
+			return &WorkerError{Worker: w, Addr: r.job.addrs[w],
+				Err: fmt.Errorf("job rejected: %s", m.Ready.Error)}
+		}
+	}
+	r.conns = conns
+	return nil
+}
+
+// teardown closes the control connections; the workers notice and tear
+// down their mesh (aborting any in-flight rounds).
+func (r *remoteEngine) teardown() {
+	for _, c := range r.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	r.conns = nil
+}
+
+// draw runs one cross-process draw, reassembling the configuration into
+// out. On failure it tears the session down and retries once with fresh
+// connections — the draw is a pure function of (seed, rounds), so a
+// rerun after a transient failure (worker restart, dropped connection)
+// returns the identical configuration. If the retry also fails the
+// session is left torn down and the retry's typed error is returned; out
+// is never partially current on error paths that matter (callers discard
+// it on error).
+func (r *remoteEngine) draw(seed uint64, rounds int, out []int) (ShardStats, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, err := r.drawOnce(seed, rounds, out)
+	if err == nil {
+		return st, nil
+	}
+	r.teardown()
+	st, err = r.drawOnce(seed, rounds, out)
+	if err != nil {
+		r.teardown()
+		return ShardStats{}, err
+	}
+	return st, nil
+}
+
+func (r *remoteEngine) drawOnce(seed uint64, rounds int, out []int) (ShardStats, error) {
+	if r.conns == nil {
+		if err := r.connect(); err != nil {
+			return ShardStats{}, err
+		}
+	}
+	run := &transport.ControlMsg{Kind: "run", Run: &transport.RunMsg{Seed: seed, Rounds: rounds}}
+	for w, c := range r.conns {
+		if err := transport.WriteControl(c, run, remoteWriteTimeout); err != nil {
+			r.teardown()
+			return ShardStats{}, &WorkerError{Worker: w, Addr: r.job.addrs[w], Err: fmt.Errorf("sending run: %w", err)}
+		}
+	}
+	st := ShardStats{Shards: r.job.shards, Rounds: rounds}
+	for w, c := range r.conns {
+		m, err := transport.ReadControl(c, remoteResultTimeout)
+		if err != nil {
+			r.teardown()
+			return ShardStats{}, &WorkerError{Worker: w, Addr: r.job.addrs[w], Err: fmt.Errorf("awaiting result: %w", err)}
+		}
+		if m.Kind != "result" || m.Result == nil {
+			r.teardown()
+			return ShardStats{}, &WorkerError{Worker: w, Addr: r.job.addrs[w],
+				Err: fmt.Errorf("unexpected %q control message awaiting result", m.Kind)}
+		}
+		res := m.Result
+		if !res.OK {
+			r.teardown()
+			return ShardStats{}, &WorkerError{Worker: w, Addr: r.job.addrs[w],
+				Err: fmt.Errorf("draw failed: %s", res.Error)}
+		}
+		if len(res.States) != len(r.slots[w]) {
+			r.teardown()
+			return ShardStats{}, &WorkerError{Worker: w, Addr: r.job.addrs[w],
+				Err: fmt.Errorf("result carries %d states, want %d", len(res.States), len(r.slots[w]))}
+		}
+		for i, v := range res.States {
+			out[r.slots[w][i]] = v
+		}
+		st.BoundaryMessages += res.Msgs
+		st.BoundaryValues += res.Vals
+		st.BarrierWaitNS += res.WaitNS
+		st.WireFrames += res.WireFrames
+		st.WireBytes += res.WireBytes
+	}
+	return st, nil
+}
+
+// Close tears the worker session down.
+func (r *remoteEngine) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.teardown()
+	return nil
+}

@@ -99,3 +99,17 @@ func NewSpecFromModel(m *Model, name string) (*Spec, error) {
 	}
 	return s, nil
 }
+
+// NewSpecFromCSP exports an in-memory CSP to the wire format (kind "csp"
+// with explicit table constraints), so any CSP built in Go can be served,
+// saved, or shipped to remote workers. g is the network (nil for none);
+// init must be feasible and rounds positive — they become the spec's
+// pinned defaults. Build(NewSpecFromCSP(...)) reconstructs a CSP whose
+// chains are bit-identical to c's at every seed.
+func NewSpecFromCSP(g *Graph, c *CSPModel, init []int, rounds int, name string) (*Spec, error) {
+	s, err := spec.FromCSP(c, g, init, rounds, name)
+	if err != nil {
+		return nil, fmt.Errorf("locsample: CSP does not fit the wire format: %w", err)
+	}
+	return s, nil
+}
