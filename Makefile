@@ -14,8 +14,8 @@ test:
 # vertex-parallel draws — MRF and CSP alike — must equal centralized
 # sequential draws byte-for-byte.
 race:
-	GOMAXPROCS=4 $(GO) test -race ./internal/cluster/... ./internal/partition/... ./internal/transport/...
-	GOMAXPROCS=4 $(GO) test -race -run 'Parallel|CSP|Remote|Worker' ./internal/chains/ ./internal/csp/ ./internal/service/ .
+	GOMAXPROCS=4 $(GO) test -race ./internal/cluster/... ./internal/partition/... ./internal/transport/... ./internal/obs/...
+	GOMAXPROCS=4 $(GO) test -race -run 'Parallel|CSP|Remote|Worker|Trace|Metrics|Drain' ./internal/chains/ ./internal/csp/ ./internal/service/ .
 
 bit-identity:
 	GOMAXPROCS=4 $(GO) test -count=1 -run 'TestShardedBitIdentical|TestWithShardsBitIdentical|TestServerShardedDrawBitIdentical|TestParallelRoundsMatchSequential|TestWithParallelRoundsBitIdentical|TestServerParallelDrawBitIdentical|TestTransportEngineBitIdentical|TestRemoteMRFBitIdentical|TestRegistryRemoteWorkers|TestCrossProcessShardedBitIdentical' \
@@ -25,15 +25,16 @@ bit-identity:
 
 # Perf trajectory: run the core benchmark suite and write machine-readable
 # results (ns/op, allocs/op, vertices/sec, shard/parallel speedups, the CSP
-# chain suite, and speedup_vs the previous PR's report) to the repo root.
+# chain suite, the observability-overhead suite, and speedup_vs the previous
+# PR's report) to the repo root.
 bench-json:
-	GOMAXPROCS=4 $(GO) run ./cmd/lsbench -out BENCH_PR6.json -baseline BENCH_PR5.json
+	GOMAXPROCS=4 $(GO) run ./cmd/lsbench -out BENCH_PR7.json -baseline BENCH_PR6.json
 
 # CI smoke variant: small sizes, throwaway output. Fails if a benchmark
 # matched in the checked-in baseline regresses >20% on the same host class
 # (cross-class runs skip the comparison — see lsbench -baseline).
 bench-json-quick:
-	GOMAXPROCS=4 $(GO) run ./cmd/lsbench -quick -baseline BENCH_PR6.json -max-regress 0.20 -out /tmp/locsample-bench.json
+	GOMAXPROCS=4 $(GO) run ./cmd/lsbench -quick -baseline BENCH_PR7.json -max-regress 0.20 -out /tmp/locsample-bench.json
 
 fmt:
 	gofmt -l .

@@ -23,6 +23,7 @@
 //	lsample -graph grid -rows 512 -cols 512 -model domset -shards 4 -rounds 100
 //	lsample -graph grid -rows 512 -cols 512 -model domset -parallel 4 -rounds 100
 //	lsample -model-file spec.json -count 16 -seed 7 -json
+//	lsample -graph grid -rows 64 -cols 64 -model coloring -shards 4 -rounds 50 -trace out.json
 package main
 
 import (
@@ -63,8 +64,16 @@ func main() {
 		modelFile = flag.String("model-file", "", "load the workload from a JSON spec file (overrides -graph/-model flags)")
 		jsonOut   = flag.Bool("json", false, "emit the report and samples as JSON")
 		verbose   = flag.Bool("v", false, "print the full sample (text mode; JSON always includes samples)")
+		tracePath = flag.String("trace", "", "record the draw and write Chrome trace-event JSON to this file (single draws only; open in chrome://tracing or Perfetto; the traced draw is bit-identical to the untraced one)")
 	)
 	flag.Parse()
+	traceOut = *tracePath
+	if traceOut != "" && *count > 1 {
+		fatal(fmt.Errorf("-trace records a single draw; it is not supported with -count > 1"))
+	}
+	if traceOut != "" && *distr {
+		fatal(fmt.Errorf("-trace is not supported with -distributed (the LOCAL-model replay has no round kernel to time)"))
+	}
 
 	strat, err := locsample.ParseShardStrategy(*shardStr)
 	if err != nil {
@@ -224,9 +233,24 @@ func runMRF(g *locsample.Graph, m *locsample.Model, graphKind, modelDesc, report
 		return
 	}
 
-	res, err := locsample.Sample(m, opts...)
-	if err != nil {
-		fatal(err)
+	var res *locsample.Result
+	if traceOut != "" {
+		s, err := locsample.NewSampler(m, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		var tr *locsample.Trace
+		res, tr, err = s.SampleTraced()
+		if err != nil {
+			fatal(err)
+		}
+		writeTraceFile(traceOut, tr)
+	} else {
+		var err error
+		res, err = locsample.Sample(m, opts...)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	if jsonOut {
@@ -528,8 +552,18 @@ func runCSP(g *locsample.Graph, c *locsample.CSPModel, init []int, modelDesc str
 	if err != nil {
 		fatal(err)
 	}
-	out, shardStats, err := s.Sample()
-	if err != nil {
+	var (
+		out        []int
+		shardStats *locsample.ShardStats
+	)
+	if traceOut != "" {
+		var tr *locsample.Trace
+		out, shardStats, tr, err = s.SampleTraced()
+		if err != nil {
+			fatal(err)
+		}
+		writeTraceFile(traceOut, tr)
+	} else if out, shardStats, err = s.Sample(); err != nil {
 		fatal(err)
 	}
 	if jsonOut {
@@ -630,6 +664,26 @@ func reportCSP(g *locsample.Graph, c *locsample.CSPModel, out []int, domset bool
 	} else {
 		fmt.Printf("feasible: %v\n", c.Feasible(out))
 	}
+}
+
+// traceOut is the -trace flag: a path to write the single draw's Chrome
+// trace-event JSON to ("" = tracing off).
+var traceOut string
+
+// writeTraceFile exports a recorded trace as Chrome trace-event JSON.
+func writeTraceFile(path string, tr *locsample.Trace) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "lsample: trace %s written to %s\n", tr.ID, path)
 }
 
 func fatal(err error) {

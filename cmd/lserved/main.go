@@ -10,9 +10,13 @@
 //	POST /v1/models              register a spec (idempotent; ID = content hash)
 //	GET  /v1/models              list models
 //	GET  /v1/models/{id}         one model's spec + counters
-//	POST /v1/models/{id}/sample  draw k samples (optional seed/algorithm/rounds/epsilon)
+//	POST /v1/models/{id}/sample  draw k samples (optional seed/algorithm/rounds/epsilon/trace)
 //	GET  /healthz                liveness
 //	GET  /statsz                 registry, cache, and per-model counters
+//	GET  /metrics                Prometheus text exposition
+//	GET  /debug/trace/{id}       a traced draw as Chrome trace-event JSON
+//	GET  /debug/traces           recorded-trace listing
+//	GET  /debug/pprof/           net/http/pprof profiles
 //
 // Example:
 //
@@ -37,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"locsample/internal/obs"
 	"locsample/internal/service"
 )
 
@@ -46,6 +51,8 @@ func main() {
 		cacheSize = flag.Int("cache", 64, "compiled-sampler LRU capacity")
 		maxModels = flag.Int("max-models", 1024, "registered-model limit")
 		maxK      = flag.Int("max-k", 4096, "per-request sample limit")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		maxTraces = flag.Int("max-traces", 64, "recorded-trace retention (LRU)")
 		shards    = flag.Int("shards", 0, "default shard count for draws whose request and spec name none (0 = centralized; MRF and CSP models alike; samples are bit-identical at every shard count)")
 		parallel  = flag.Int("parallel", 0, "default vertex-parallel worker count for centralized draws whose request and spec name none (0 = sequential rounds; MRF and CSP models alike; samples are bit-identical at every worker count)")
 		workers   = flag.String("workers", "", "comma-separated lsharded worker addresses; sharded draws place their shards across these processes over TCP (bit-identical to in-process draws)")
@@ -68,6 +75,7 @@ func main() {
 		defaultShards = len(workerAddrs)
 	}
 
+	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel), "lserved")
 	reg := service.NewRegistry(service.Config{
 		CacheSize:       *cacheSize,
 		MaxModels:       *maxModels,
@@ -75,6 +83,9 @@ func main() {
 		DefaultShards:   defaultShards,
 		DefaultParallel: *parallel,
 		WorkerAddrs:     workerAddrs,
+		Obs:             obs.NewRegistry(),
+		Traces:          obs.NewTraceStore(*maxTraces),
+		Log:             logger,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -87,7 +98,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "lserved: listening on %s\n", *addr)
+		logger.Info("listening", "addr", *addr, "workers", len(workerAddrs))
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -96,7 +107,7 @@ func main() {
 		fatal(err)
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second ^C kills immediately
-		fmt.Fprintln(os.Stderr, "lserved: shutting down")
+		logger.Info("shutting down", "grace", *timeout)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {

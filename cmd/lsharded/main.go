@@ -8,41 +8,53 @@
 //
 // Example (a two-worker fleet behind one server):
 //
-//	lsharded -addr 127.0.0.1:9471 &
-//	lsharded -addr 127.0.0.1:9472 &
+//	lsharded -addr 127.0.0.1:9471 -debug-addr 127.0.0.1:9571 &
+//	lsharded -addr 127.0.0.1:9472 -debug-addr 127.0.0.1:9572 &
 //	lserved -addr :8473 -workers 127.0.0.1:9471,127.0.0.1:9472
+//
+// -debug-addr serves /metrics (Prometheus text format), /healthz, and
+// /debug/pprof/. On SIGTERM/SIGINT the worker drains: /healthz flips to
+// 503, new jobs are rejected, and hosted jobs get -drain-timeout to
+// finish before the process exits.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"locsample/internal/obs"
 	"locsample/internal/service"
 )
 
 func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:0", "listen address (control and peer mesh share it)")
+		debugAddr    = flag.String("debug-addr", "", "debug listen address for /metrics, /healthz, /debug/pprof (empty: disabled)")
 		readyTimeout = flag.Duration("ready-timeout", 30*time.Second, "job setup deadline (model build + mesh dial)")
 		recvTimeout  = flag.Duration("recv-timeout", 60*time.Second, "per-round boundary receive deadline")
-		quiet        = flag.Bool("quiet", false, "suppress per-job logs")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "how long hosted jobs may finish after SIGTERM before hard close")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		quiet        = flag.Bool("quiet", false, "suppress all logs (overrides -log-level)")
 	)
 	flag.Parse()
 
-	logf := log.New(os.Stderr, "lsharded: ", log.LstdFlags).Printf
+	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel), "lsharded")
 	if *quiet {
-		logf = func(string, ...any) {}
+		logger = obs.NopLogger()
 	}
+	registry := obs.NewRegistry()
 	w, err := service.NewWorker(*addr, service.WorkerConfig{
 		ReadyTimeout: *readyTimeout,
 		RecvTimeout:  *recvTimeout,
-		Logf:         logf,
+		Log:          logger,
+		Obs:          registry,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lsharded: %v\n", err)
@@ -52,12 +64,51 @@ func main() {
 	// scripts spawning "-addr 127.0.0.1:0" can scrape the chosen port.
 	fmt.Printf("lsharded: listening on %s\n", w.Addr())
 
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		obs.RegisterDebug(mux, registry, nil)
+		mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
+			if w.Draining() {
+				http.Error(rw, "draining", http.StatusServiceUnavailable)
+				return
+			}
+			rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(rw, "ok")
+		})
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: mux}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug server failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		logger.Info("debug server listening", "addr", *debugAddr)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
 	stop()
+
+	// Graceful drain: refuse new jobs, give hosted ones until the drain
+	// deadline, then hard-close whatever is left.
+	w.Drain()
+	logger.Info("draining", "active_jobs", w.ActiveJobs(), "timeout", *drainTimeout)
+	deadline := time.Now().Add(*drainTimeout)
+	for w.ActiveJobs() > 0 && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	if n := w.ActiveJobs(); n > 0 {
+		logger.Warn("drain deadline expired", "active_jobs", n)
+	}
+	if debugSrv != nil {
+		shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		debugSrv.Shutdown(shCtx)
+		cancel()
+	}
 	if err := w.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "lsharded: close: %v\n", err)
 		os.Exit(1)
 	}
+	logger.Info("stopped")
 }

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"locsample/internal/chains"
 	"locsample/internal/cluster"
@@ -12,6 +13,7 @@ import (
 	"locsample/internal/csp"
 	"locsample/internal/dist"
 	"locsample/internal/localmodel"
+	"locsample/internal/obs"
 	"locsample/internal/partition"
 )
 
@@ -65,6 +67,11 @@ type CSPSampler struct {
 	// remote is the cross-process coordinator (nil unless WithRemoteWorkers
 	// placed the shards on lsharded processes).
 	remote *remoteEngine
+
+	// Metric series (nil without WithMetrics); see Sampler.
+	mDraws   *obs.Counter
+	mDrawNS  *obs.Histogram
+	roundObs *obs.RoundMetrics
 }
 
 // NewCSPSampler compiles CSP c on network g with the given options into a
@@ -95,6 +102,7 @@ func NewCSPSampler(g *Graph, c *CSPModel, init []int, opts ...Option) (*CSPSampl
 		cfg:    cfg,
 		rounds: rounds,
 	}
+	s.mDraws, s.mDrawNS, s.roundObs = newDrawMetrics(cfg.Obs, "csp")
 	s.scratch.New = func() any { return csp.NewScratch(c) }
 	if cfg.Shards > 1 {
 		plan, err := partition.BuildCSP(c, cfg.Shards, cfg.ShardStrategy, cfg.Seed)
@@ -122,18 +130,26 @@ func NewCSPSampler(g *Graph, c *CSPModel, init []int, opts ...Option) (*CSPSampl
 			if err != nil {
 				return nil, err
 			}
+			s.remote.setObs(cfg.Obs, cfg.Log)
 			return s, nil
 		}
 		newEngine := func() (*cluster.CSPEngine, error) {
+			var eng *cluster.CSPEngine
+			var err error
 			if cfg.Transport != nil {
 				local := make([]int, plan.K)
 				for i := range local {
 					local[i] = i
 				}
-				return cluster.NewCSPWithTransport(c, plan, chains.LubyGlauber,
+				eng, err = cluster.NewCSPWithTransport(c, plan, chains.LubyGlauber,
 					local, cfg.Transport(plan.NeighborLists()))
+			} else {
+				eng, err = cluster.NewCSP(c, plan, chains.LubyGlauber)
 			}
-			return cluster.NewCSP(c, plan, chains.LubyGlauber)
+			if err == nil && s.roundObs != nil {
+				eng.SetObserver(s.roundObs)
+			}
+			return eng, err
 		}
 		eng, err := newEngine()
 		if err != nil {
@@ -198,6 +214,10 @@ type CSPBatch struct {
 // runChain advances one centralized chain in place: sequential kernels, or
 // vertex-parallel round phases when WithParallelRounds is set.
 func (s *CSPSampler) runChain(x []int, seed uint64, sc *csp.Scratch) {
+	if s.roundObs != nil {
+		s.runChainObserved(x, seed, sc, s.roundObs)
+		return
+	}
 	if s.cfg.Parallel > 1 {
 		for r := 0; r < s.rounds; r++ {
 			csp.LubyGlauberRoundParallel(s.c, x, seed, r, sc, s.cfg.Parallel)
@@ -209,15 +229,41 @@ func (s *CSPSampler) runChain(x []int, seed uint64, sc *csp.Scratch) {
 	}
 }
 
+// runChainObserved is runChain with a per-round observer: identical
+// trajectory (the observer never touches the chain's randomness), two
+// extra clock reads per round, zero allocations.
+func (s *CSPSampler) runChainObserved(x []int, seed uint64, sc *csp.Scratch, o chains.RoundObserver) {
+	for r := 0; r < s.rounds; r++ {
+		t0 := time.Now()
+		if s.cfg.Parallel > 1 {
+			csp.LubyGlauberRoundParallel(s.c, x, seed, r, sc, s.cfg.Parallel)
+		} else {
+			csp.LubyGlauberRoundPRF(s.c, x, seed, r, sc)
+		}
+		o.RoundDone(0, r, time.Since(t0).Nanoseconds(), 0, -1)
+	}
+}
+
+// observeDraw meters one completed draw (no-op without WithMetrics).
+func (s *CSPSampler) observeDraw(start time.Time) {
+	if s.mDraws == nil {
+		return
+	}
+	s.mDraws.Inc()
+	s.mDrawNS.Observe(time.Since(start).Nanoseconds())
+}
+
 // Sample draws one configuration with the compiled settings and the master
 // seed, exactly as the package-level SampleCSP would.
 func (s *CSPSampler) Sample() ([]int, *ShardStats, error) {
+	start := time.Now()
 	out := make([]int, s.c.N)
 	if s.remote != nil {
-		st, err := s.remote.draw(s.cfg.Seed, s.rounds, out)
+		st, err := s.remote.draw(s.cfg.Seed, s.rounds, out, nil)
 		if err != nil {
 			return nil, nil, err
 		}
+		s.observeDraw(start)
 		return out, &st, nil
 	}
 	if s.plan != nil {
@@ -230,13 +276,81 @@ func (s *CSPSampler) Sample() ([]int, *ShardStats, error) {
 			return nil, nil, err
 		}
 		s.engines.Put(eng)
+		s.observeDraw(start)
 		return out, &st, nil
 	}
 	sc := s.scratch.Get().(*csp.Scratch)
 	copy(out, s.init)
 	s.runChain(out, s.cfg.Seed, sc)
 	s.scratch.Put(sc)
+	s.observeDraw(start)
 	return out, nil, nil
+}
+
+// SampleTraced draws one configuration exactly like Sample while
+// recording a timing trace; see Sampler.SampleTraced for the span
+// layout. The sample is bit-identical to an untraced draw.
+func (s *CSPSampler) SampleTraced() ([]int, *ShardStats, *Trace, error) {
+	return s.SampleTracedFrom(s.cfg.Seed)
+}
+
+// SampleTracedFrom is SampleTraced with an explicit seed.
+func (s *CSPSampler) SampleTracedFrom(seed uint64) ([]int, *ShardStats, *Trace, error) {
+	start := time.Now()
+	tr := obs.NewTrace("csp draw")
+	t0 := tr.Now()
+	out := make([]int, s.c.N)
+	if s.remote != nil {
+		st, err := s.remote.draw(seed, s.rounds, out, tr)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		s.observeDraw(start)
+		return out, &st, tr, nil
+	}
+	if s.plan != nil {
+		eng := s.engines.Get().(*cluster.CSPEngine)
+		rec := obs.NewRoundRecorder(s.plan.K, s.rounds)
+		eng.SetObserver(&obs.TeeRounds{A: rec, B: s.roundObs})
+		st, err := eng.Run(s.init, seed, s.rounds, out)
+		eng.SetObserver(s.engineObserver())
+		if err != nil {
+			eng.Close()
+			return nil, nil, nil, err
+		}
+		s.engines.Put(eng)
+		rec.FlushTo(tr, 0)
+		s.addDrawSpan(tr, t0, seed, s.plan.K)
+		s.observeDraw(start)
+		return out, &st, tr, nil
+	}
+	sc := s.scratch.Get().(*csp.Scratch)
+	rec := obs.NewRoundRecorder(1, s.rounds)
+	copy(out, s.init)
+	s.runChainObserved(out, seed, sc, &obs.TeeRounds{A: rec, B: s.roundObs})
+	s.scratch.Put(sc)
+	rec.FlushTo(tr, 0)
+	s.addDrawSpan(tr, t0, seed, 1)
+	s.observeDraw(start)
+	return out, nil, tr, nil
+}
+
+// engineObserver is the observer pooled engines idle with (nil unless
+// WithMetrics attached round metrics).
+func (s *CSPSampler) engineObserver() chains.RoundObserver {
+	if s.roundObs != nil {
+		return s.roundObs
+	}
+	return nil
+}
+
+// addDrawSpan closes a traced local draw with its draw-level span.
+func (s *CSPSampler) addDrawSpan(tr *obs.Trace, t0 int64, seed uint64, shards int) {
+	span := obs.Span{Name: "draw", PID: 0, TID: 0, StartNS: t0, DurNS: tr.Now() - t0}
+	span.SetArg("seed", int64(seed))
+	span.SetArg("rounds", int64(s.rounds))
+	span.SetArg("shards", int64(shards))
+	tr.Add(span)
 }
 
 // SampleN draws k independent samples concurrently with the compiled master
@@ -265,11 +379,13 @@ func (s *CSPSampler) SampleNFrom(seed uint64, k int) (*CSPBatch, error) {
 		// Remote draws serialize on the coordinator's control connections;
 		// each chain already fans out across the worker processes.
 		for i := 0; i < k; i++ {
-			st, err := s.remote.draw(core.ChainSeed(seed, uint64(i)), s.rounds, batch.Samples[i])
+			chainStart := time.Now()
+			st, err := s.remote.draw(core.ChainSeed(seed, uint64(i)), s.rounds, batch.Samples[i], nil)
 			if err != nil {
 				return nil, err
 			}
 			batch.Shard.Add(st)
+			s.observeDraw(chainStart)
 		}
 		return batch, nil
 	}
@@ -331,6 +447,7 @@ func (s *CSPSampler) SampleNFrom(seed uint64, k int) (*CSPBatch, error) {
 					return
 				}
 				chainSeed := core.ChainSeed(seed, uint64(i))
+				chainStart := time.Now()
 				if eng != nil {
 					st, err := eng.Run(s.init, chainSeed, s.rounds, batch.Samples[i])
 					if err != nil {
@@ -340,11 +457,13 @@ func (s *CSPSampler) SampleNFrom(seed uint64, k int) (*CSPBatch, error) {
 						return
 					}
 					shardStats[i] = st
+					s.observeDraw(chainStart)
 					continue
 				}
 				x := batch.Samples[i]
 				copy(x, s.init)
 				s.runChain(x, chainSeed, sc)
+				s.observeDraw(chainStart)
 			}
 		}()
 	}

@@ -5,10 +5,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"locsample/internal/chains"
 	"locsample/internal/cluster"
 	"locsample/internal/core"
+	"locsample/internal/obs"
 	"locsample/internal/partition"
 )
 
@@ -48,6 +50,13 @@ type Sampler struct {
 	// SampleNFrom calls, so the serving path's steady state — many calls
 	// with small k — constructs and allocates nothing per draw.
 	chainPool sync.Pool
+
+	// Metric series (nil without WithMetrics). roundObs is the
+	// allocation-free observer pooled chains and engines run with;
+	// mDraws/mDrawNS meter whole draws.
+	mDraws   *obs.Counter
+	mDrawNS  *obs.Histogram
+	roundObs *obs.RoundMetrics
 }
 
 // ShardStats reports a sharded draw's runtime profile: worker count,
@@ -165,9 +174,14 @@ func NewSampler(m *Model, opts ...Option) (*Sampler, error) {
 		// Copied: the caller may mutate the slice it passed WithInitial.
 		init: append([]int(nil), init...),
 	}
+	s.mDraws, s.mDrawNS, s.roundObs = newDrawMetrics(cfg.Obs, "mrf")
 	s.chainPool.New = func() any {
-		return chains.NewSampler(m, s.init, 0, cfg.Algorithm,
+		cs := chains.NewSampler(m, s.init, 0, cfg.Algorithm,
 			chains.Options{DropRule3: cfg.DropRule3, Parallel: cfg.Parallel})
+		if s.roundObs != nil {
+			cs.Obs = s.roundObs
+		}
+		return cs
 	}
 	if cfg.Shards > 1 {
 		if cfg.Distributed {
@@ -203,18 +217,26 @@ func NewSampler(m *Model, opts ...Option) (*Sampler, error) {
 			if err != nil {
 				return nil, err
 			}
+			s.remote.setObs(cfg.Obs, cfg.Log)
 			return s, nil
 		}
 		newEngine := func() (*cluster.Engine, error) {
+			var eng *cluster.Engine
+			var err error
 			if cfg.Transport != nil {
 				local := make([]int, plan.K)
 				for i := range local {
 					local[i] = i
 				}
-				return cluster.NewWithTransport(m, plan, cfg.Algorithm, cfg.DropRule3,
+				eng, err = cluster.NewWithTransport(m, plan, cfg.Algorithm, cfg.DropRule3,
 					local, cfg.Transport(plan.NeighborLists()))
+			} else {
+				eng, err = cluster.New(m, plan, cfg.Algorithm, cfg.DropRule3)
 			}
-			return cluster.New(m, plan, cfg.Algorithm, cfg.DropRule3)
+			if err == nil && s.roundObs != nil {
+				eng.SetObserver(s.roundObs)
+			}
+			return eng, err
 		}
 		// Construct one engine eagerly: it both validates the algorithm
 		// and pre-warms the pool for the first draw.
@@ -277,12 +299,14 @@ func (s *Sampler) Sample() (*Result, error) {
 }
 
 func (s *Sampler) sampleWithSeed(seed uint64) (*Result, error) {
+	start := time.Now()
 	if s.remote != nil {
 		out := make([]int, s.m.G.N())
-		st, err := s.remote.draw(seed, s.rounds, out)
+		st, err := s.remote.draw(seed, s.rounds, out, nil)
 		if err != nil {
 			return nil, err
 		}
+		s.observeDraw(start)
 		return &Result{
 			Sample:       out,
 			Rounds:       s.rounds,
@@ -301,6 +325,7 @@ func (s *Sampler) sampleWithSeed(seed uint64) (*Result, error) {
 			return nil, err
 		}
 		s.engines.Put(eng)
+		s.observeDraw(start)
 		return &Result{
 			Sample:       out,
 			Rounds:       s.rounds,
@@ -308,16 +333,149 @@ func (s *Sampler) sampleWithSeed(seed uint64) (*Result, error) {
 			Shard:        &st,
 		}, nil
 	}
-	cfg := s.cfg
-	cfg.Seed = seed
-	cfg.Rounds = s.rounds
-	cfg.Init = s.init
-	res, err := core.Sample(s.m, cfg)
-	if err != nil {
-		return nil, err
+	if s.cfg.Distributed {
+		cfg := s.cfg
+		cfg.Seed = seed
+		cfg.Rounds = s.rounds
+		cfg.Init = s.init
+		res, err := core.Sample(s.m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.TheoryRounds = s.theory
+		s.observeDraw(start)
+		return res, nil
 	}
-	res.TheoryRounds = s.theory
-	return res, nil
+	// Centralized draws reuse the pooled chain state (same state SampleN
+	// workers use), so they run instrumented when WithMetrics is set and
+	// allocate only the output slice.
+	cs := s.chainPool.Get().(*chains.Sampler)
+	cs.Reset(s.init, seed)
+	cs.Run(s.rounds)
+	out := append([]int(nil), cs.X...)
+	s.chainPool.Put(cs)
+	s.observeDraw(start)
+	return &Result{
+		Sample:       out,
+		Rounds:       s.rounds,
+		TheoryRounds: s.theory,
+	}, nil
+}
+
+// observeDraw meters one completed draw (no-op without WithMetrics).
+func (s *Sampler) observeDraw(start time.Time) {
+	if s.mDraws == nil {
+		return
+	}
+	s.mDraws.Inc()
+	s.mDrawNS.Observe(time.Since(start).Nanoseconds())
+}
+
+// SampleTraced draws one configuration exactly like Sample while
+// recording a timing trace: per-round compute (and, for sharded
+// draws, barrier) spans per shard lane, plus per-worker wire
+// attribution when the draw runs on remote workers. Tracing never
+// perturbs the trajectory — the sample is bit-identical to an
+// untraced draw at the same seed. Render the trace with
+// Trace.WriteChrome for chrome://tracing / Perfetto.
+func (s *Sampler) SampleTraced() (*Result, *Trace, error) {
+	return s.SampleTracedFrom(s.cfg.Seed)
+}
+
+// SampleTracedFrom is SampleTraced with an explicit master seed.
+func (s *Sampler) SampleTracedFrom(seed uint64) (*Result, *Trace, error) {
+	tr := obs.NewTrace("mrf draw")
+	res, err := s.sampleTraced(seed, tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tr, nil
+}
+
+func (s *Sampler) sampleTraced(seed uint64, tr *obs.Trace) (*Result, error) {
+	start := time.Now()
+	t0 := tr.Now()
+	if s.remote != nil {
+		out := make([]int, s.m.G.N())
+		st, err := s.remote.draw(seed, s.rounds, out, tr)
+		if err != nil {
+			return nil, err
+		}
+		s.observeDraw(start)
+		return &Result{
+			Sample:       out,
+			Rounds:       s.rounds,
+			TheoryRounds: s.theory,
+			Shard:        &st,
+		}, nil
+	}
+	if s.plan != nil {
+		eng := s.engines.Get().(*cluster.Engine)
+		rec := obs.NewRoundRecorder(s.plan.K, s.rounds)
+		eng.SetObserver(&obs.TeeRounds{A: rec, B: s.roundObs})
+		out := make([]int, s.m.G.N())
+		st, err := eng.Run(s.init, seed, s.rounds, out)
+		eng.SetObserver(s.engineObserver())
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		s.engines.Put(eng)
+		rec.FlushTo(tr, 0)
+		s.addDrawSpan(tr, t0, seed, s.plan.K)
+		s.observeDraw(start)
+		return &Result{
+			Sample:       out,
+			Rounds:       s.rounds,
+			TheoryRounds: s.theory,
+			Shard:        &st,
+		}, nil
+	}
+	if s.cfg.Distributed {
+		// The LOCAL-model runtime has no per-round hooks; a traced
+		// distributed draw records only the draw-level span.
+		res, err := s.sampleWithSeed(seed)
+		if err != nil {
+			return nil, err
+		}
+		s.addDrawSpan(tr, t0, seed, 1)
+		return res, nil
+	}
+	cs := s.chainPool.Get().(*chains.Sampler)
+	rec := obs.NewRoundRecorder(1, s.rounds)
+	prev := cs.Obs
+	cs.Obs = &obs.TeeRounds{A: rec, B: s.roundObs}
+	cs.Reset(s.init, seed)
+	cs.Run(s.rounds)
+	cs.Obs = prev
+	out := append([]int(nil), cs.X...)
+	s.chainPool.Put(cs)
+	rec.FlushTo(tr, 0)
+	s.addDrawSpan(tr, t0, seed, 1)
+	s.observeDraw(start)
+	return &Result{
+		Sample:       out,
+		Rounds:       s.rounds,
+		TheoryRounds: s.theory,
+	}, nil
+}
+
+// engineObserver is the observer pooled engines idle with (nil unless
+// WithMetrics attached round metrics).
+func (s *Sampler) engineObserver() chains.RoundObserver {
+	if s.roundObs != nil {
+		return s.roundObs
+	}
+	return nil
+}
+
+// addDrawSpan closes a traced local draw with its draw-level span.
+func (s *Sampler) addDrawSpan(tr *obs.Trace, t0 int64, seed uint64, shards int) {
+	span := obs.Span{Name: "draw", PID: 0, TID: 0, StartNS: t0, DurNS: tr.Now() - t0}
+	span.SetArg("seed", int64(seed))
+	span.SetArg("rounds", int64(s.rounds))
+	span.SetArg("shards", int64(shards))
+	tr.Add(span)
 }
 
 // SampleN draws k independent samples concurrently. Chain i runs with seed
@@ -356,11 +514,13 @@ func (s *Sampler) SampleNFrom(seed uint64, k int) (*Batch, error) {
 		// Remote draws serialize on the coordinator's control connections;
 		// each chain already fans out across the worker processes.
 		for i := 0; i < k; i++ {
-			st, err := s.remote.draw(core.ChainSeed(seed, uint64(i)), s.rounds, batch.Samples[i])
+			chainStart := time.Now()
+			st, err := s.remote.draw(core.ChainSeed(seed, uint64(i)), s.rounds, batch.Samples[i], nil)
 			if err != nil {
 				return nil, err
 			}
 			batch.Shard.Add(st)
+			s.observeDraw(chainStart)
 		}
 		return batch, nil
 	}
@@ -431,6 +591,7 @@ func (s *Sampler) SampleNFrom(seed uint64, k int) (*Batch, error) {
 					return
 				}
 				chainSeed := core.ChainSeed(seed, uint64(i))
+				chainStart := time.Now()
 				if eng != nil {
 					st, err := eng.Run(s.init, chainSeed, s.rounds, batch.Samples[i])
 					if err != nil {
@@ -440,6 +601,7 @@ func (s *Sampler) SampleNFrom(seed uint64, k int) (*Batch, error) {
 						return
 					}
 					shardStats[i] = st
+					s.observeDraw(chainStart)
 					continue
 				}
 				if s.cfg.Distributed {
@@ -456,6 +618,7 @@ func (s *Sampler) SampleNFrom(seed uint64, k int) (*Batch, error) {
 				cs.Reset(s.init, chainSeed)
 				cs.Run(s.rounds)
 				copy(batch.Samples[i], cs.X)
+				s.observeDraw(chainStart)
 			}
 		}()
 	}
@@ -477,4 +640,21 @@ func (s *Sampler) SampleNFrom(seed uint64, k int) (*Batch, error) {
 		batch.Shard.Add(st)
 	}
 	return batch, nil
+}
+
+// newDrawMetrics registers the sampler-level series under the given
+// engine label ("mrf" | "csp"). A nil registry disables them all.
+func newDrawMetrics(reg *obs.Registry, engine string) (draws *obs.Counter, drawNS *obs.Histogram, rounds *obs.RoundMetrics) {
+	if reg == nil {
+		return nil, nil, nil
+	}
+	draws = reg.Counter("locsample_draws_total", "completed sampler draws", "engine", engine)
+	drawNS = reg.Histogram("locsample_draw_seconds", "end-to-end draw latency", 1e-9, "engine", engine)
+	rounds = &obs.RoundMetrics{
+		ComputeNS: reg.Histogram("locsample_round_compute_seconds", "per-round kernel time", 1e-9, "engine", engine),
+		BarrierNS: reg.Histogram("locsample_round_barrier_seconds", "per-round barrier/exchange wait", 1e-9, "engine", engine),
+		Flips:     reg.Counter("locsample_round_flips_total", "accepted per-round vertex updates", "engine", engine),
+		Rounds:    reg.Counter("locsample_rounds_total", "chain rounds executed", "engine", engine),
+	}
+	return draws, drawNS, rounds
 }

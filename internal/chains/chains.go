@@ -14,11 +14,27 @@ package chains
 
 import (
 	"fmt"
+	"time"
 
 	"locsample/internal/graph"
 	"locsample/internal/mrf"
 	"locsample/internal/rng"
 )
+
+// RoundObserver receives one callback per completed round. It is the
+// nil-checked instrumentation seam shared by every engine tier: the
+// centralized Sampler here, the sharded cluster engines, and the CSP
+// chains all invoke it with the same signature, and internal/obs
+// provides implementations (trace recorder, metrics feeder) that
+// satisfy it structurally without this package importing them.
+//
+// Contract: RoundDone must not allocate or block — it runs on the hot
+// path of every instrumented round. shard is 0 for centralized chains;
+// barrierNS is 0 where there is no barrier; flips < 0 means the kernel
+// does not count accepted updates (the centralized baselines don't).
+type RoundObserver interface {
+	RoundDone(shard, round int, computeNS, barrierNS int64, flips int)
+}
 
 // PRF key tags. Distinct tags separate the randomness consumed by different
 // parts of a round.
@@ -106,6 +122,11 @@ type Sampler struct {
 	coloring bool    // LocalMetropolis: take the §4.2 three-rule fast path
 	par      int     // effective vertex-parallel worker count (<= 1: sequential)
 	scratch  *Scratch
+
+	// Obs, when non-nil, is called once per Step with the step's wall
+	// time. The nil check is the only per-step cost when disabled, and
+	// the centralized kernels don't count flips (reported as -1).
+	Obs RoundObserver
 }
 
 // Scratch holds the per-step working buffers shared by the round functions.
@@ -196,6 +217,17 @@ func (s *Sampler) Reset(init []int, seed uint64) {
 // Step advances the chain by one step (one single-site update for Glauber
 // and SystematicScan; one full parallel round otherwise).
 func (s *Sampler) Step() {
+	if s.Obs != nil {
+		t0 := time.Now()
+		round := s.round
+		s.step()
+		s.Obs.RoundDone(0, round, time.Since(t0).Nanoseconds(), 0, -1)
+		return
+	}
+	s.step()
+}
+
+func (s *Sampler) step() {
 	switch s.Alg {
 	case Glauber:
 		GlauberStep(s.M, s.X, s.seed, s.round, s.scratch)

@@ -1,0 +1,76 @@
+package chains
+
+import (
+	"testing"
+
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+)
+
+// countingObserver is a minimal allocation-free RoundObserver.
+type countingObserver struct {
+	rounds    int
+	computeNS int64
+}
+
+func (o *countingObserver) RoundDone(shard, round int, computeNS, barrierNS int64, flips int) {
+	o.rounds++
+	o.computeNS += computeNS
+}
+
+// TestSamplerObserverStepAllocFree gates the centralized hot path: an
+// instrumented Step (observer attached) must allocate exactly as much as
+// a bare one — nothing.
+func TestSamplerObserverStepAllocFree(t *testing.T) {
+	g := graph.Grid(16, 16)
+	m := mrf.Coloring(g, 3*g.MaxDeg()+1)
+	init, err := GreedyFeasible(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{LubyGlauber, LocalMetropolis} {
+		for _, instrumented := range []bool{false, true} {
+			s := NewSampler(m, init, 1, alg, Options{})
+			var o *countingObserver
+			if instrumented {
+				o = &countingObserver{}
+				s.Obs = o
+			}
+			if n := testing.AllocsPerRun(20, func() { s.Step() }); n != 0 {
+				t.Fatalf("%v instrumented=%v: %v allocs/step, want 0", alg, instrumented, n)
+			}
+			if instrumented && o.rounds != s.Round() {
+				t.Fatalf("%v: observer saw %d rounds, sampler ran %d", alg, o.rounds, s.Round())
+			}
+		}
+	}
+}
+
+// TestSamplerObserverDoesNotPerturb pins the determinism invariant: an
+// attached observer must not change the trajectory.
+func TestSamplerObserverDoesNotPerturb(t *testing.T) {
+	g := graph.Grid(8, 8)
+	m := mrf.Ising(g, 0.3, 0.9)
+	init := make([]int, g.N())
+	const rounds = 12
+
+	bare := NewSampler(m, init, 42, LocalMetropolis, Options{})
+	bare.Run(rounds)
+
+	o := &countingObserver{}
+	inst := NewSampler(m, init, 42, LocalMetropolis, Options{})
+	inst.Obs = o
+	inst.Run(rounds)
+
+	for v := range bare.X {
+		if bare.X[v] != inst.X[v] {
+			t.Fatalf("observer perturbed trajectory at vertex %d", v)
+		}
+	}
+	if o.rounds != rounds {
+		t.Fatalf("observer saw %d rounds, want %d", o.rounds, rounds)
+	}
+	if o.computeNS <= 0 {
+		t.Fatal("observer recorded no compute time")
+	}
+}

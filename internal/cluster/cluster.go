@@ -146,7 +146,19 @@ type Engine struct {
 	// are then read straight from the neighbors' publish buffers after
 	// the barrier.
 	bar *treeBarrier
+
+	// obs, when non-nil, receives one RoundDone per shard per round with
+	// that round's compute/barrier split and accepted-update count. Set
+	// via SetObserver before Run; the nil check is the only cost when
+	// unset. Implementations must be safe for concurrent calls from all
+	// shard goroutines and must not allocate (obs.RoundRecorder and
+	// obs.RoundMetrics both qualify).
+	obs chains.RoundObserver
 }
+
+// SetObserver installs (or, with nil, removes) the engine's per-round
+// observer. Not safe to call while a Run is in flight.
+func (e *Engine) SetObserver(o chains.RoundObserver) { e.obs = o }
 
 // TreeBarrierMinShards is the shard count from which the engine swaps the
 // pairwise channel exchange for the publish-buffer + tree-reduce barrier:
@@ -362,14 +374,22 @@ func (e *Engine) Close() error {
 func (e *Engine) runShard(s int, seed uint64, rounds int, out []int) error {
 	w := e.ws[s]
 	sh := w.sh
+	obs := e.obs
 	for r := 0; r < rounds; r++ {
+		var roundStart time.Time
+		var waitBefore int64
+		if obs != nil {
+			roundStart = time.Now()
+			waitBefore = w.waitNS
+		}
+		var flips int
 		switch {
 		case e.alg == chains.LubyGlauber:
-			e.lubyRound(w, seed, r)
+			flips = e.lubyRound(w, seed, r)
 		case e.coloring:
-			e.coloringRound(w, seed, r)
+			flips = e.coloringRound(w, seed, r)
 		default:
-			e.metropolisRound(w, seed, r)
+			flips = e.metropolisRound(w, seed, r)
 		}
 		for _, j := range sh.Neighbors {
 			buf := w.sendBuf[j][r&1]
@@ -407,6 +427,12 @@ func (e *Engine) runShard(s int, seed uint64, rounds int, out []int) error {
 				}
 			}
 		}
+		if obs != nil {
+			// compute = round wall time minus barrier wait, so the two
+			// spans tile the round exactly.
+			barrierNS := w.waitNS - waitBefore
+			obs.RoundDone(s, r, time.Since(roundStart).Nanoseconds()-barrierNS, barrierNS, flips)
+		}
 	}
 	for l := 0; l < sh.NOwned; l++ {
 		out[sh.Global[l]] = w.x[l]
@@ -423,21 +449,25 @@ func (e *Engine) runShard(s int, seed uint64, rounds int, out []int) error {
 // Randomness streams through the same partial round keys as the
 // centralized kernel (keyed by GLOBAL vertex IDs), and membership goes
 // through the shared chains.BetaLocalMax, so the two runtimes cannot drift.
-func (e *Engine) lubyRound(w *worker, seed uint64, round int) {
+// It returns the number of owned vertices resampled this round.
+func (e *Engine) lubyRound(w *worker, seed uint64, round int) int {
 	sh := w.sh
 	kb := rng.Key(seed, chains.TagBeta, uint64(round))
 	for l, gv := range sh.Global {
 		w.beta[l] = kb.Float64(uint64(gv))
 	}
 	ku := rng.Key(seed, chains.TagUpdate, uint64(round))
+	flips := 0
 	for v := 0; v < sh.NOwned; v++ {
 		if !chains.BetaLocalMax(w.beta, v, sh.Nbr[sh.RowPtr[v]:sh.RowPtr[v+1]]) {
 			continue
 		}
 		if e.marginalInto(w, v) {
 			w.x[v] = rng.CategoricalU(w.marg, ku.Float64(uint64(sh.Global[v])))
+			flips++
 		}
 	}
+	return flips
 }
 
 // marginalInto fills w.marg with owned vertex v's conditional marginal. It
@@ -483,7 +513,8 @@ func (e *Engine) marginalInto(w *worker, v int) bool {
 // shards from the shared PRF coin. Proposals route through the same
 // mrf.ProposeU cumulative-table kernel and coins through the same partial
 // round keys as the centralized chain.
-func (e *Engine) metropolisRound(w *worker, seed uint64, round int) {
+// It returns the number of owned vertices that accepted their proposal.
+func (e *Engine) metropolisRound(w *worker, seed uint64, round int) int {
 	m := e.m
 	sh := w.sh
 	ku := rng.Key(seed, chains.TagUpdate, uint64(round))
@@ -496,12 +527,12 @@ func (e *Engine) metropolisRound(w *worker, seed uint64, round int) {
 		p := chains.EdgePassProb(m, int(ed.ID), w.x[ed.U], w.x[ed.V], w.prop[ed.U], w.prop[ed.V], e.dropRule3)
 		w.pass[le] = kc.Float64(uint64(ed.ID)) < p
 	}
-	e.accept(w)
+	return e.accept(w)
 }
 
 // coloringRound mirrors chains.ColoringLocalMetropolisRound (the §4.2
 // three-rule fast path) on one shard.
-func (e *Engine) coloringRound(w *worker, seed uint64, round int) {
+func (e *Engine) coloringRound(w *worker, seed uint64, round int) int {
 	sh := w.sh
 	qf := float64(e.m.Q)
 	ku := rng.Key(seed, chains.TagUpdate, uint64(round))
@@ -517,13 +548,15 @@ func (e *Engine) coloringRound(w *worker, seed uint64, round int) {
 		}
 		w.pass[le] = ok
 	}
-	e.accept(w)
+	return e.accept(w)
 }
 
 // accept applies the LocalMetropolis acceptance rule to the owned band:
-// vertex v adopts its proposal iff every incident edge passed.
-func (e *Engine) accept(w *worker) {
+// vertex v adopts its proposal iff every incident edge passed. Returns
+// the number of acceptances.
+func (e *Engine) accept(w *worker) int {
 	sh := w.sh
+	flips := 0
 	for v := 0; v < sh.NOwned; v++ {
 		ok := true
 		for t := sh.RowPtr[v]; t < sh.RowPtr[v+1]; t++ {
@@ -534,6 +567,8 @@ func (e *Engine) accept(w *worker) {
 		}
 		if ok {
 			w.x[v] = w.prop[v]
+			flips++
 		}
 	}
+	return flips
 }

@@ -67,7 +67,16 @@ type CSPEngine struct {
 	local []int
 	tr    transport.Transport
 	bar   *treeBarrier
+
+	// obs mirrors Engine.obs: one RoundDone per shard per round, nil
+	// check only when unset, implementations must be concurrency-safe
+	// and allocation-free.
+	obs chains.RoundObserver
 }
+
+// SetObserver installs (or, with nil, removes) the engine's per-round
+// observer. Not safe to call while a Run is in flight.
+func (e *CSPEngine) SetObserver(o chains.RoundObserver) { e.obs = o }
 
 // NewCSP compiles a sharded engine hosting every shard of plan. Only the
 // two hypergraph chains shard.
@@ -207,11 +216,19 @@ func (e *CSPEngine) Close() error {
 func (e *CSPEngine) runShard(s int, seed uint64, rounds int, out []int) error {
 	w := e.ws[s]
 	sh := w.sh
+	obs := e.obs
 	for r := 0; r < rounds; r++ {
+		var roundStart time.Time
+		var waitBefore int64
+		if obs != nil {
+			roundStart = time.Now()
+			waitBefore = w.waitNS
+		}
+		var flips int
 		if e.alg == chains.LubyGlauber {
-			e.lubyRound(w, seed, r)
+			flips = e.lubyRound(w, seed, r)
 		} else {
-			e.metropolisRound(w, seed, r)
+			flips = e.metropolisRound(w, seed, r)
 		}
 		for _, j := range sh.Neighbors {
 			buf := w.sendBuf[j][r&1]
@@ -249,6 +266,12 @@ func (e *CSPEngine) runShard(s int, seed uint64, rounds int, out []int) error {
 				}
 			}
 		}
+		if obs != nil {
+			// compute = round wall time minus barrier wait, so the two
+			// spans tile the round exactly.
+			barrierNS := w.waitNS - waitBefore
+			obs.RoundDone(s, r, time.Since(roundStart).Nanoseconds()-barrierNS, barrierNS, flips)
+		}
 	}
 	for l := 0; l < sh.NOwned; l++ {
 		out[sh.Global[l]] = w.x[l]
@@ -263,21 +286,25 @@ func (e *CSPEngine) runShard(s int, seed uint64, rounds int, out []int) error {
 // updates are exact because the Luby step over the constraint hypergraph is
 // strongly independent: no resampled vertex shares a constraint with —
 // hence reads — another resampled vertex.
-func (e *CSPEngine) lubyRound(w *cspWorker, seed uint64, round int) {
+// It returns the number of owned vertices resampled this round.
+func (e *CSPEngine) lubyRound(w *cspWorker, seed uint64, round int) int {
 	sh := w.sh
 	kb := rng.Key(seed, csp.TagBeta, uint64(round))
 	for l, gv := range sh.Global {
 		w.beta[l] = kb.Float64(uint64(gv))
 	}
 	ku := rng.Key(seed, csp.TagUpdate, uint64(round))
+	flips := 0
 	for v := 0; v < sh.NOwned; v++ {
 		if !chains.BetaLocalMax(w.beta, v, sh.Nbr[sh.NbrPtr[v]:sh.NbrPtr[v+1]]) {
 			continue
 		}
 		if e.marginalInto(w, v) {
 			w.x[v] = rng.CategoricalU(w.marg, ku.Float64(uint64(sh.Global[v])))
+			flips++
 		}
 	}
+	return flips
 }
 
 // marginalInto fills w.marg with owned vertex v's conditional marginal. It
@@ -326,7 +353,8 @@ func (e *CSPEngine) marginalInto(w *cspWorker, v int) bool {
 // recomputed locally through the same cumulative-table draw; cut-scope
 // checks are evaluated redundantly on every incident shard from the shared
 // PRF coin keyed by the global constraint ID.
-func (e *CSPEngine) metropolisRound(w *cspWorker, seed uint64, round int) {
+// It returns the number of owned vertices that accepted their proposal.
+func (e *CSPEngine) metropolisRound(w *cspWorker, seed uint64, round int) int {
 	c := e.c
 	sh := w.sh
 	ku := rng.Key(seed, csp.TagUpdate, uint64(round))
@@ -341,6 +369,7 @@ func (e *CSPEngine) metropolisRound(w *cspWorker, seed uint64, round int) {
 		p := c.CheckProbOn(int(ci), w.x, w.prop, scope, w.eval)
 		w.pass[slot] = kc.Float64(uint64(ci)) < p
 	}
+	flips := 0
 	for v := 0; v < sh.NOwned; v++ {
 		ok := true
 		for t := sh.VconPtr[v]; t < sh.VconPtr[v+1]; t++ {
@@ -351,6 +380,8 @@ func (e *CSPEngine) metropolisRound(w *cspWorker, seed uint64, round int) {
 		}
 		if ok {
 			w.x[v] = w.prop[v]
+			flips++
 		}
 	}
+	return flips
 }

@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"testing"
+
+	"locsample/internal/chains"
+	"locsample/internal/csp"
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+	"locsample/internal/obs"
+	"locsample/internal/partition"
+)
+
+// obsObserver builds the full instrumentation stack a traced+metered
+// draw attaches: a trace recorder teed with a metrics feeder. Also the
+// compile-time check that obs satisfies chains.RoundObserver
+// structurally.
+func obsObserver(shards, rounds int) (chains.RoundObserver, *obs.RoundRecorder) {
+	rec := obs.NewRoundRecorder(shards, rounds)
+	r := obs.NewRegistry()
+	rm := &obs.RoundMetrics{
+		ComputeNS: r.Histogram("compute_seconds", "", 1e-9),
+		BarrierNS: r.Histogram("barrier_seconds", "", 1e-9),
+		Flips:     r.Counter("flips_total", ""),
+		Rounds:    r.Counter("rounds_total", ""),
+	}
+	return &obs.TeeRounds{A: rec, B: rm}, rec
+}
+
+// TestClusterRoundsAllocFree extends the TestCSPRoundsAllocFree gate to
+// the sharded engines: a full instrumented round (kernel + observer
+// callback) must allocate nothing, with instrumentation both disabled
+// (nil observer) and enabled (recorder + metrics). Uses a single-shard
+// plan so runShard can drive rounds synchronously.
+func TestClusterRoundsAllocFree(t *testing.T) {
+	g := graph.Grid(16, 16)
+	m := mrf.Coloring(g, 3*g.MaxDeg()+1)
+	init, err := chains.GreedyFeasible(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int, g.N())
+	for _, alg := range []chains.Algorithm{chains.LubyGlauber, chains.LocalMetropolis} {
+		for _, instrumented := range []bool{false, true} {
+			plan, err := partition.Build(g, 1, partition.Range, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := New(m, plan, alg, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if instrumented {
+				o, _ := obsObserver(1, 64)
+				eng.SetObserver(o)
+			}
+			w := eng.ws[0]
+			for l, gv := range w.sh.Global {
+				w.x[l] = init[gv]
+			}
+			if n := testing.AllocsPerRun(20, func() {
+				if err := eng.runShard(0, 1, 1, out); err != nil {
+					t.Fatal(err)
+				}
+			}); n != 0 {
+				t.Fatalf("%v instrumented=%v: %v allocs/round, want 0", alg, instrumented, n)
+			}
+			eng.Close()
+		}
+	}
+}
+
+// TestClusterCSPRoundsAllocFree is the CSP-engine counterpart.
+func TestClusterCSPRoundsAllocFree(t *testing.T) {
+	c := csp.DominatingSet(graph.Grid(16, 16))
+	init := make([]int, c.N)
+	for i := range init {
+		init[i] = 1
+	}
+	out := make([]int, c.N)
+	for _, alg := range []chains.Algorithm{chains.LubyGlauber, chains.LocalMetropolis} {
+		for _, instrumented := range []bool{false, true} {
+			plan, err := partition.BuildCSP(c, 1, partition.Range, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := NewCSP(c, plan, alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if instrumented {
+				o, _ := obsObserver(1, 64)
+				eng.SetObserver(o)
+			}
+			w := eng.ws[0]
+			for l, gv := range w.sh.Global {
+				w.x[l] = init[gv]
+			}
+			if n := testing.AllocsPerRun(20, func() {
+				if err := eng.runShard(0, 1, 1, out); err != nil {
+					t.Fatal(err)
+				}
+			}); n != 0 {
+				t.Fatalf("CSP %v instrumented=%v: %v allocs/round, want 0", alg, instrumented, n)
+			}
+			eng.Close()
+		}
+	}
+}
+
+// TestObserverSeesRounds checks the observer wiring end to end on a real
+// multi-shard Run: every shard reports every round, barrier wait is
+// attributed, and flips stay within the owned-vertex budget — while the
+// draw stays bit-identical to an unobserved one.
+func TestObserverSeesRounds(t *testing.T) {
+	const k, rounds = 3, 8
+	g := graph.Grid(12, 12)
+	m := mrf.Coloring(g, 3*g.MaxDeg()+1)
+	init, err := chains.GreedyFeasible(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := partition.Build(g, k, partition.Range, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bare, err := New(m, plan, chains.LocalMetropolis, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int, g.N())
+	if _, err := bare.Run(init, 7, rounds, want); err != nil {
+		t.Fatal(err)
+	}
+	bare.Close()
+
+	eng, err := New(m, plan, chains.LocalMetropolis, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	o, rec := obsObserver(k, rounds)
+	eng.SetObserver(o)
+	got := make([]int, g.N())
+	st, err := eng.Run(init, 7, rounds, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("instrumented draw diverged at vertex %d: %d != %d", i, got[i], want[i])
+		}
+	}
+	var barrierTotal int64
+	for sh := 0; sh < k; sh++ {
+		compute, _, flips, _ := rec.ShardRounds(sh)
+		if len(compute) != rounds {
+			t.Fatalf("shard %d recorded %d rounds, want %d", sh, len(compute), rounds)
+		}
+		owned := plan.Shards[sh].NOwned
+		for r, f := range flips {
+			if f < 0 || f > int64(owned) {
+				t.Fatalf("shard %d round %d: flips=%d outside [0,%d]", sh, r, f, owned)
+			}
+		}
+		_, bNS, _, n := rec.ShardTotals(sh)
+		if n != rounds {
+			t.Fatalf("shard %d totals cover %d rounds", sh, n)
+		}
+		barrierTotal += bNS
+	}
+	if barrierTotal > st.BarrierWaitNS {
+		t.Fatalf("observer barrier total %d exceeds engine stat %d", barrierTotal, st.BarrierWaitNS)
+	}
+
+	// Flushing produces per-shard spans on the coordinator pid.
+	tr := obs.NewTrace("test")
+	rec.FlushTo(tr, 0)
+	if n := len(tr.Spans()); n < k*rounds {
+		t.Fatalf("trace has %d spans, want >= %d", n, k*rounds)
+	}
+}

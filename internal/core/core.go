@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 
 	"locsample/internal/chains"
@@ -25,6 +26,7 @@ import (
 	"locsample/internal/exact"
 	"locsample/internal/localmodel"
 	"locsample/internal/mrf"
+	"locsample/internal/obs"
 	"locsample/internal/partition"
 	"locsample/internal/rng"
 	"locsample/internal/spec"
@@ -93,6 +95,15 @@ type Config struct {
 	// already holds the canonical spec). Remote workers rebuild the
 	// model from this spec.
 	ModelSpec *spec.Spec
+	// Obs, when non-nil, is the registry compiled samplers publish their
+	// runtime metrics into (WithMetrics): draw counts and latency
+	// histograms, per-round compute/barrier series, and — for remote
+	// draws — worker up/down gauges and per-stage WorkerError counters.
+	// Nil disables metrics at zero hot-path cost.
+	Obs *obs.Registry
+	// Log, when non-nil, receives the samplers' structured logs
+	// (WithLogger); nil means silent.
+	Log *slog.Logger
 }
 
 // TagChain keys the seed-splitting PRF of the batch engine: chain i of a

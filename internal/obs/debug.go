@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// MetricsHandler serves the registry in Prometheus text exposition
+// format. Safe with a nil registry (empty body).
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if req.Method == http.MethodHead {
+			return
+		}
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// TraceHandler serves GET /debug/trace/{id} (Chrome trace-event JSON)
+// from a store. The handler expects to be mounted at prefix
+// "/debug/trace/" and treats the remainder of the path as the ID.
+func TraceHandler(ts *TraceStore) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.Header().Set("Allow", "GET")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		id := strings.TrimPrefix(req.URL.Path, "/debug/trace/")
+		if id == "" || strings.Contains(id, "/") {
+			http.Error(w, "trace id required", http.StatusBadRequest)
+			return
+		}
+		t := ts.Get(id)
+		if t == nil {
+			http.Error(w, "trace not found", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = t.WriteChrome(w)
+	})
+}
+
+// TraceListHandler serves GET /debug/traces as a JSON listing of the
+// stored traces, newest first.
+func TraceListHandler(ts *TraceStore) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.Header().Set("Allow", "GET")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		list := ts.List()
+		if list == nil {
+			list = []TraceInfo{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(list)
+	})
+}
+
+// RegisterDebug mounts the standard debug surface on a mux: /metrics,
+// /debug/trace/{id}, /debug/traces, and the net/http/pprof handlers
+// under /debug/pprof/. Registry and store may be nil (the endpoints
+// then serve empty data). This is the mux lsharded's -debug-addr and
+// lserved's built-in server both use, so the two tiers expose the same
+// shape.
+func RegisterDebug(mux *http.ServeMux, r *Registry, ts *TraceStore) {
+	mux.Handle("/metrics", MetricsHandler(r))
+	mux.Handle("/debug/trace/", TraceHandler(ts))
+	mux.Handle("/debug/traces", TraceListHandler(ts))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newDebugServer(r *Registry, ts *TraceStore) *httptest.Server {
+	mux := http.NewServeMux()
+	RegisterDebug(mux, r, ts)
+	return httptest.NewServer(mux)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "requests").Add(3)
+	r.Histogram("lat_seconds", "latency", 1e-9).Observe(1_000_000)
+	srv := newDebugServer(r, NewTraceStore(4))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	checkExposition(t, string(body))
+	if !strings.Contains(string(body), "reqs_total 3") {
+		t.Fatalf("missing counter:\n%s", body)
+	}
+
+	// POST is rejected.
+	resp2, err := http.Post(srv.URL+"/metrics", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d, want 405", resp2.StatusCode)
+	}
+}
+
+func TestTraceEndpoints(t *testing.T) {
+	ts := NewTraceStore(4)
+	tr := NewTrace("draw")
+	tr.Add(Span{Name: "s", DurNS: 10})
+	ts.Put(tr)
+	srv := newDebugServer(NewRegistry(), ts)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/trace/" + tr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var chrome struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &chrome); err != nil {
+		t.Fatalf("trace body not chrome JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+
+	for path, want := range map[string]int{
+		"/debug/trace/nope": http.StatusNotFound,
+		"/debug/trace/":     http.StatusBadRequest,
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("GET %s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+
+	resp3, err := http.Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []TraceInfo
+	if err := json.NewDecoder(resp3.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if len(list) != 1 || list[0].ID != tr.ID || list[0].Spans != 1 {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	srv := newDebugServer(nil, nil)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline status %d", resp.StatusCode)
+	}
+}
+
+func TestLogHelpers(t *testing.T) {
+	// NopLogger must swallow everything without panicking.
+	l := NopLogger()
+	l.Info("dropped", "k", "v")
+	l.With("a", 1).WithGroup("g").Error("also dropped")
+
+	var b strings.Builder
+	lg := NewLogger(&b, ParseLevel("debug"), "testcomp")
+	lg.Debug("visible", "trace_id", "abc")
+	out := b.String()
+	if !strings.Contains(out, "component=testcomp") || !strings.Contains(out, "trace_id=abc") {
+		t.Fatalf("log output missing attrs: %q", out)
+	}
+	b.Reset()
+	lgInfo := NewLogger(&b, ParseLevel("warn"), "")
+	lgInfo.Info("suppressed")
+	if b.Len() != 0 {
+		t.Fatalf("info leaked past warn level: %q", b.String())
+	}
+	if ParseLevel("bogus") != ParseLevel("info") {
+		t.Fatal("unknown level must default to info")
+	}
+}

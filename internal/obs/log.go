@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// discardHandler is a slog.Handler that drops everything. (The stdlib
+// gained slog.DiscardHandler only in Go 1.24; this module targets 1.21.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// NopLogger returns a logger that discards all records — the default
+// wherever a *slog.Logger is optional, so call sites never nil-check.
+func NopLogger() *slog.Logger { return slog.New(discardHandler{}) }
+
+// ParseLevel maps a -log-level flag value to a slog.Level; unknown
+// values (and "") default to info.
+func ParseLevel(s string) slog.Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// NewLogger builds a text-format slog.Logger at the given level writing
+// to w (stderr when nil). The component attr tags every record with the
+// emitting tier (lserved, lsharded, coordinator).
+func NewLogger(w io.Writer, level slog.Level, component string) *slog.Logger {
+	if w == nil {
+		w = os.Stderr
+	}
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})
+	l := slog.New(h)
+	if component != "" {
+		l = l.With("component", component)
+	}
+	return l
+}

@@ -1,0 +1,376 @@
+package obs
+
+import (
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	// Get-or-create returns the same instance.
+	if r.Counter("reqs_total", "requests") != c {
+		t.Fatal("counter not deduped")
+	}
+	if r.Gauge("depth", "") != g {
+		t.Fatal("gauge not deduped")
+	}
+	// Labeled series are distinct.
+	a := r.Counter("errs_total", "errors", "stage", "dial")
+	b := r.Counter("errs_total", "errors", "stage", "run")
+	if a == b {
+		t.Fatal("labeled series collided")
+	}
+	if a != r.Counter("errs_total", "errors", "stage", "dial") {
+		t.Fatal("labeled series not deduped")
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x", "", 1)
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram stats must be zero")
+	}
+	var tr *Trace
+	tr.Add(Span{Name: "x"})
+	if tr.Now() != 0 || tr.Spans() != nil {
+		t.Fatal("nil trace must be inert")
+	}
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Fatalf("nil registry exposition: %v", err)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := &Histogram{scale: 1}
+	// 1000 observations of value i → near-uniform over [0,1000).
+	for i := int64(0); i < 1000; i++ {
+		h.Observe(i)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 999*1000/2 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	if m := h.Mean(); math.Abs(m-499.5) > 1e-9 {
+		t.Fatalf("mean = %g", m)
+	}
+	// Log2 buckets bound relative error by 2x.
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 500}, {0.95, 950}, {0.99, 990},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.want/2 || got > tc.want*2 {
+			t.Fatalf("q%.2f = %g, want within 2x of %g", tc.q, got, tc.want)
+		}
+	}
+	if q := h.Quantile(0); q < 0 {
+		t.Fatalf("q0 = %g", q)
+	}
+	// Negative values clamp to the zero bucket.
+	h2 := &Histogram{scale: 1}
+	h2.Observe(-5)
+	if h2.Count() != 1 || h2.Sum() != 0 {
+		t.Fatalf("negative observe: count=%d sum=%d", h2.Count(), h2.Sum())
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := &Histogram{scale: 1}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+}
+
+func TestRegistryPanicsOnBadUse(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	mustPanic("bad metric name", func() { r.Counter("1bad", "") })
+	mustPanic("bad label name", func() { r.Counter("ok", "", "1bad", "v") })
+	mustPanic("odd labels", func() { r.Counter("ok", "", "only_key") })
+	r.Counter("dual", "")
+	mustPanic("kind conflict", func() { r.Gauge("dual", "") })
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "h", "k", `a"b\c`+"\n").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{k="a\"b\\c\n"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("exposition missing %q:\n%s", want, b.String())
+	}
+}
+
+// expositionLine matches a Prometheus text-format sample line.
+var expositionLine = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (-?[0-9.eE+]+|\+Inf|-Inf|NaN)$`)
+
+// checkExposition validates Prometheus text-format well-formedness:
+// every line is a comment or a grammar-conforming sample, every sample
+// belongs to a # TYPE'd family, histogram buckets are cumulative with
+// a trailing +Inf that equals _count. Used here and by the service
+// /metrics test.
+func checkExposition(t *testing.T, body string) {
+	t.Helper()
+	typed := map[string]string{} // family → type
+	var bucketPrev int64
+	var bucketFam string
+	sawInf := map[string]bool{}
+	counts := map[string]int64{}
+	infs := map[string]int64{}
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line in exposition", ln+1)
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown type %q", ln+1, parts[3])
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment %q", ln+1, line)
+		}
+		m := expositionLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed sample %q", ln+1, line)
+		}
+		name, labels, val := m[1], m[2], m[3]
+		fam := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name && typed[base] == "histogram" {
+				fam = base
+				break
+			}
+		}
+		if _, ok := typed[fam]; !ok {
+			t.Fatalf("line %d: sample %q has no # TYPE", ln+1, name)
+		}
+		if typed[fam] == "histogram" && strings.HasSuffix(name, "_bucket") {
+			series := fam + stripLe(labels)
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				t.Fatalf("line %d: bucket value %q: %v", ln+1, val, err)
+			}
+			if series != bucketFam {
+				bucketFam, bucketPrev = series, 0
+			}
+			if v < bucketPrev {
+				t.Fatalf("line %d: non-cumulative bucket %d < %d", ln+1, v, bucketPrev)
+			}
+			bucketPrev = v
+			if strings.Contains(labels, `le="+Inf"`) {
+				sawInf[series] = true
+				infs[series] = v
+			}
+		}
+		if typed[fam] == "histogram" && strings.HasSuffix(name, "_count") {
+			v, _ := strconv.ParseInt(val, 10, 64)
+			counts[fam+labels] = v
+		}
+	}
+	for series := range counts {
+		if !sawInf[series] {
+			t.Fatalf("histogram series %q missing le=+Inf bucket", series)
+		}
+		if infs[series] != counts[series] {
+			t.Fatalf("histogram %q: +Inf bucket %d != count %d", series, infs[series], counts[series])
+		}
+	}
+}
+
+// stripLe removes the le label from a rendered label set so bucket
+// lines group under their series.
+func stripLe(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var keep []string
+	for _, part := range splitLabels(inner) {
+		if !strings.HasPrefix(part, `le="`) {
+			keep = append(keep, part)
+		}
+	}
+	if len(keep) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(keep, ",") + "}"
+}
+
+// splitLabels splits k="v" pairs on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func TestPrometheusExpositionWellFormed(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("draws_total", "total draws").Add(12)
+	r.Counter("errs_total", "errors by stage", "stage", "dial").Add(2)
+	r.Counter("errs_total", "errors by stage", "stage", "run").Add(1)
+	r.Gauge("workers_up", "live workers", "addr", "127.0.0.1:9").Set(1)
+	h := r.Histogram("latency_seconds", "draw latency", 1e-9)
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i * 1_000_000) // 1..100ms in ns
+	}
+	r.Histogram("empty_seconds", "never observed", 1e-9)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	checkExposition(t, body)
+	for _, want := range []string{
+		"# TYPE draws_total counter",
+		"# TYPE workers_up gauge",
+		"# TYPE latency_seconds histogram",
+		"draws_total 12",
+		`errs_total{stage="dial"} 2`,
+		`workers_up{addr="127.0.0.1:9"} 1`,
+		"latency_seconds_count 100",
+		`latency_seconds_bucket{le="+Inf"} 100`,
+		`empty_seconds_bucket{le="+Inf"} 0`,
+		"empty_seconds_count 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+	// Histogram sum is scaled: sum of 1..100 ms = 5.05 s.
+	if !strings.Contains(body, "latency_seconds_sum 5.05") {
+		t.Fatalf("exposition missing scaled sum:\n%s", body)
+	}
+}
+
+func TestMetricsConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c_total", "").Inc()
+				r.Gauge("g", "").Add(1)
+				r.Histogram("h", "", 1).Observe(int64(i))
+				r.Counter("lbl_total", "", "g", strconv.Itoa(g%2)).Inc()
+			}
+		}(g)
+	}
+	// Render concurrently with the writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if got := r.Counter("c_total", "").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", "", 1).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkExposition(t, b.String())
+}
+
+func TestHotPathAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", 1)
+	rec := NewRoundRecorder(2, 64)
+	rm := &RoundMetrics{ComputeNS: h, BarrierNS: h, Flips: c, Rounds: c}
+	tee := &TeeRounds{A: rec, B: rm}
+	round := 0
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Set(int64(round))
+		h.Observe(int64(round) * 17)
+		rec.RoundDone(0, round, 100, 20, 3)
+		rm.RoundDone(1, round, 100, 20, 3)
+		tee.RoundDone(0, round, 100, 20, 3)
+		round++
+	}); n != 0 {
+		t.Fatalf("hot path allocates %v allocs/op, want 0", n)
+	}
+}

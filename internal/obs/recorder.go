@@ -1,0 +1,238 @@
+package obs
+
+import "time"
+
+// maxRoundsKept bounds per-round retention per shard; rounds past the
+// cap still accumulate into the shard totals but produce no spans.
+const maxRoundsKept = 8192
+
+// shardRow is one shard's recording lane. Each shard goroutine writes
+// only its own row, so RoundDone needs no synchronization; the pad
+// keeps adjacent rows off the same cache line.
+type shardRow struct {
+	n       int     // rounds recorded into the slices
+	compute []int64 // per-round kernel time, ns
+	barrier []int64 // per-round barrier/exchange wait, ns
+	flips   []int64 // per-round accepted updates (-1 = not counted)
+	end     []int64 // per-round end time, absolute UnixNano
+
+	totalCompute int64 // includes rounds past maxRoundsKept
+	totalBarrier int64
+	totalFlips   int64
+	totalRounds  int64
+
+	_ [64]byte
+}
+
+// RoundRecorder captures per-round timing per shard with zero
+// allocations and zero locks on the recording path: all slices are
+// sized at construction and each shard owns its row exclusively. It
+// satisfies the engines' round-observer interfaces structurally.
+//
+// The data is read back (ShardRounds, FlushTo) only after the run's
+// goroutines have been joined — the engines' Run methods return only
+// after every shard finishes, which is the happens-before edge that
+// makes the unlocked reads safe.
+type RoundRecorder struct {
+	rows []shardRow
+}
+
+// NewRoundRecorder sizes a recorder for the given shard and round
+// counts (rounds beyond maxRoundsKept only accumulate totals).
+func NewRoundRecorder(shards, rounds int) *RoundRecorder {
+	if shards < 1 {
+		shards = 1
+	}
+	keep := rounds
+	if keep < 0 {
+		keep = 0
+	}
+	if keep > maxRoundsKept {
+		keep = maxRoundsKept
+	}
+	r := &RoundRecorder{rows: make([]shardRow, shards)}
+	// One backing array per series keeps rows' slices disjoint.
+	for i := range r.rows {
+		buf := make([]int64, 4*keep)
+		r.rows[i].compute = buf[0*keep : 1*keep : 1*keep]
+		r.rows[i].barrier = buf[1*keep : 2*keep : 2*keep]
+		r.rows[i].flips = buf[2*keep : 3*keep : 3*keep]
+		r.rows[i].end = buf[3*keep : 4*keep : 4*keep]
+	}
+	return r
+}
+
+// RoundDone records one finished round for a shard. Safe to call
+// concurrently from different shards; allocation-free; no-op on a nil
+// recorder or out-of-range shard.
+func (r *RoundRecorder) RoundDone(shard, round int, computeNS, barrierNS int64, flips int) {
+	if r == nil || shard < 0 || shard >= len(r.rows) {
+		return
+	}
+	row := &r.rows[shard]
+	row.totalCompute += computeNS
+	row.totalBarrier += barrierNS
+	if flips > 0 {
+		row.totalFlips += int64(flips)
+	}
+	row.totalRounds++
+	if row.n < len(row.compute) {
+		i := row.n
+		row.compute[i] = computeNS
+		row.barrier[i] = barrierNS
+		row.flips[i] = int64(flips)
+		row.end[i] = time.Now().UnixNano()
+		row.n++
+	}
+}
+
+// Shards returns the shard count the recorder was sized for.
+func (r *RoundRecorder) Shards() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.rows)
+}
+
+// ShardRounds returns shard's recorded per-round series (compute ns,
+// barrier ns, flips, absolute end UnixNano), trimmed to the rounds
+// actually recorded. The slices alias the recorder's buffers: read only
+// after the run has been joined, and do not mutate.
+func (r *RoundRecorder) ShardRounds(shard int) (compute, barrier, flips, end []int64) {
+	if r == nil || shard < 0 || shard >= len(r.rows) {
+		return nil, nil, nil, nil
+	}
+	row := &r.rows[shard]
+	n := row.n
+	return row.compute[:n], row.barrier[:n], row.flips[:n], row.end[:n]
+}
+
+// ShardTotals returns shard's accumulated totals across all rounds,
+// including any past the retention cap.
+func (r *RoundRecorder) ShardTotals(shard int) (computeNS, barrierNS, flips, rounds int64) {
+	if r == nil || shard < 0 || shard >= len(r.rows) {
+		return 0, 0, 0, 0
+	}
+	row := &r.rows[shard]
+	return row.totalCompute, row.totalBarrier, row.totalFlips, row.totalRounds
+}
+
+// FlushTo converts the recorded rounds into trace spans under the given
+// pid: for every shard, a compute span and (when nonzero) a barrier
+// span per round, plus a shard summary span carrying the totals.
+// Allocation here is fine — it runs once, after the draw.
+func (r *RoundRecorder) FlushTo(t *Trace, pid int) {
+	if r == nil || t == nil {
+		return
+	}
+	for sh := range r.rows {
+		compute, barrier, flips, end := r.ShardRounds(sh)
+		AddShardRounds(t, pid, sh, compute, barrier, flips, end)
+	}
+}
+
+// AddShardRounds appends per-round compute/barrier spans for one shard
+// to a trace from raw series (as recorded by a RoundRecorder, possibly
+// in another process and shipped over the control protocol). end holds
+// absolute UnixNano round-end times; span offsets are computed against
+// the trace origin, so cross-process spans line up as long as the
+// hosts' clocks do — good enough on loopback, approximate across hosts.
+func AddShardRounds(t *Trace, pid, shard int, compute, barrier, flips, end []int64) {
+	if t == nil {
+		return
+	}
+	n := len(end)
+	if len(compute) < n {
+		n = len(compute)
+	}
+	if len(barrier) < n {
+		n = len(barrier)
+	}
+	if n == 0 {
+		return
+	}
+	origin := t.StartNS()
+	var totalCompute, totalBarrier, totalFlips int64
+	for i := 0; i < n; i++ {
+		endOff := end[i] - origin
+		barStart := endOff - barrier[i]
+		cs := Span{
+			Name: "round.compute", PID: pid, TID: shard,
+			StartNS: barStart - compute[i], DurNS: compute[i],
+		}
+		cs.SetArg("round", int64(i))
+		if i < len(flips) && flips[i] >= 0 {
+			cs.SetArg("flips", flips[i])
+			totalFlips += flips[i]
+		}
+		t.Add(cs)
+		if barrier[i] > 0 {
+			bs := Span{
+				Name: "round.barrier", PID: pid, TID: shard,
+				StartNS: barStart, DurNS: barrier[i],
+			}
+			bs.SetArg("round", int64(i))
+			t.Add(bs)
+		}
+		totalCompute += compute[i]
+		totalBarrier += barrier[i]
+	}
+	first := end[0] - origin - barrier[0] - compute[0]
+	sum := Span{
+		Name: "shard", PID: pid, TID: shard,
+		StartNS: first, DurNS: end[n-1] - origin - first,
+	}
+	sum.SetArg("rounds", int64(n))
+	sum.SetArg("compute_ns", totalCompute)
+	sum.SetArg("barrier_ns", totalBarrier)
+	sum.SetArg("flips", totalFlips)
+	t.Add(sum)
+}
+
+// RoundMetrics is a metrics-only round observer: per-round compute and
+// barrier times feed histograms, flips and rounds feed counters. Every
+// field may be nil (that series is skipped); Observe/Add on the metric
+// types are allocation-free, so this observer is safe on the hot path.
+type RoundMetrics struct {
+	ComputeNS *Histogram // per-round kernel time
+	BarrierNS *Histogram // per-round barrier wait
+	Flips     *Counter
+	Rounds    *Counter
+}
+
+// RoundDone records one round into the configured series.
+func (m *RoundMetrics) RoundDone(shard, round int, computeNS, barrierNS int64, flips int) {
+	if m == nil {
+		return
+	}
+	m.ComputeNS.Observe(computeNS)
+	m.BarrierNS.Observe(barrierNS)
+	if flips > 0 {
+		m.Flips.Add(int64(flips))
+	}
+	m.Rounds.Inc()
+}
+
+// TeeRounds fans one round-observer callback out to two observers —
+// used to trace and meter the same draw. Either field may be nil.
+type TeeRounds struct {
+	A interface {
+		RoundDone(shard, round int, computeNS, barrierNS int64, flips int)
+	}
+	B interface {
+		RoundDone(shard, round int, computeNS, barrierNS int64, flips int)
+	}
+}
+
+// RoundDone forwards to both observers.
+func (t *TeeRounds) RoundDone(shard, round int, computeNS, barrierNS int64, flips int) {
+	if t == nil {
+		return
+	}
+	if t.A != nil {
+		t.A.RoundDone(shard, round, computeNS, barrierNS, flips)
+	}
+	if t.B != nil {
+		t.B.RoundDone(shard, round, computeNS, barrierNS, flips)
+	}
+}

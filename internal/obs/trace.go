@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// SpanArg is one key/value attribute on a span. Args are fixed-size
+// arrays on Span (not maps or variadics) so building a span never
+// allocates on its own.
+type SpanArg struct {
+	Key string
+	Val int64
+}
+
+// maxSpanArgs bounds the per-span attribute count; unused slots have an
+// empty Key and are skipped at export.
+const maxSpanArgs = 6
+
+// Span is one timed region of a trace. PID/TID map onto the Chrome
+// trace-event process/thread axes: the coordinator is pid 0, each
+// remote worker pid 1+worker-index, and tid is the shard (or 0 for
+// process-level spans).
+type Span struct {
+	Name    string
+	PID     int
+	TID     int
+	StartNS int64 // offset from the trace origin
+	DurNS   int64
+	Args    [maxSpanArgs]SpanArg
+}
+
+// SetArg sets the first free arg slot (silently dropped when full).
+func (s *Span) SetArg(key string, val int64) {
+	for i := range s.Args {
+		if s.Args[i].Key == "" {
+			s.Args[i] = SpanArg{Key: key, Val: val}
+			return
+		}
+	}
+}
+
+// Trace accumulates the spans of one draw. Span appends under a mutex —
+// tracing is a debugging tool and traced draws run their chains
+// sequentially, so this lock is uncontended in practice; the zero-alloc
+// budget applies to the *disabled* path (a nil *Trace), where every
+// method is a no-op.
+type Trace struct {
+	ID      string
+	Name    string
+	startNS int64 // wall-clock origin, UnixNano
+	mu      sync.Mutex
+	spans   []Span
+	names   map[int]string // pid → process name
+}
+
+// NewTrace mints a trace with a fresh random 16-hex-digit ID.
+func NewTrace(name string) *Trace {
+	return &Trace{
+		ID:      NewTraceID(),
+		Name:    name,
+		startNS: time.Now().UnixNano(),
+		names:   map[int]string{0: "coordinator"},
+	}
+}
+
+// NewTraceID returns a fresh random 16-hex-digit trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back
+		// to the clock so tracing degrades instead of panicking.
+		binary.BigEndian.PutUint64(b[:], uint64(time.Now().UnixNano()))
+	}
+	return fmt.Sprintf("%016x", binary.BigEndian.Uint64(b[:]))
+}
+
+// StartNS returns the trace's wall-clock origin (UnixNano). Span
+// StartNS values are offsets from it.
+func (t *Trace) StartNS() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.startNS
+}
+
+// Now returns the current offset from the trace origin, for building
+// span start times. Safe on a nil trace (returns 0).
+func (t *Trace) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return time.Now().UnixNano() - t.startNS
+}
+
+// Add appends a span. No-op on a nil trace.
+func (t *Trace) Add(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// SetProcessName labels a pid for the Chrome export (e.g. "worker 1").
+func (t *Trace) SetProcessName(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.names == nil {
+		t.names = make(map[int]string)
+	}
+	t.names[pid] = name
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (catapult "trace event format", ph=X complete events plus M metadata).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent  `json:"traceEvents"`
+	Metadata    map[string]any `json:"metadata,omitempty"`
+}
+
+// WriteChrome renders the trace as Chrome trace-event JSON, loadable in
+// chrome://tracing and Perfetto.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := append([]Span(nil), t.spans...)
+	names := make(map[int]string, len(t.names))
+	for k, v := range t.names {
+		names[k] = v
+	}
+	t.mu.Unlock()
+
+	out := chromeTrace{
+		TraceEvents: make([]chromeEvent, 0, len(spans)+len(names)),
+		Metadata: map[string]any{
+			"trace_id":      t.ID,
+			"trace_name":    t.Name,
+			"origin_unixns": t.startNS,
+		},
+	}
+	for pid, name := range names {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	// Stable metadata order for golden tests.
+	meta := out.TraceEvents
+	for i := 0; i < len(meta); i++ {
+		for j := i + 1; j < len(meta); j++ {
+			if meta[j].PID < meta[i].PID {
+				meta[i], meta[j] = meta[j], meta[i]
+			}
+		}
+	}
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Name, Ph: "X",
+			Ts:  float64(s.StartNS) / 1e3,
+			Dur: float64(s.DurNS) / 1e3,
+			PID: s.PID, TID: s.TID,
+		}
+		for _, a := range s.Args {
+			if a.Key == "" {
+				continue
+			}
+			if ev.Args == nil {
+				ev.Args = make(map[string]any, maxSpanArgs)
+			}
+			ev.Args[a.Key] = a.Val
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// TraceStore retains the last Cap completed traces for /debug/trace/{id},
+// evicting oldest-first.
+type TraceStore struct {
+	mu    sync.Mutex
+	cap   int
+	order []string
+	byID  map[string]*Trace
+}
+
+// NewTraceStore returns a store retaining up to cap traces (cap <= 0
+// means a default of 32).
+func NewTraceStore(cap int) *TraceStore {
+	if cap <= 0 {
+		cap = 32
+	}
+	return &TraceStore{cap: cap, byID: make(map[string]*Trace)}
+}
+
+// Put stores a completed trace, evicting the oldest beyond capacity.
+func (ts *TraceStore) Put(t *Trace) {
+	if ts == nil || t == nil {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if _, ok := ts.byID[t.ID]; !ok {
+		ts.order = append(ts.order, t.ID)
+	}
+	ts.byID[t.ID] = t
+	for len(ts.order) > ts.cap {
+		delete(ts.byID, ts.order[0])
+		ts.order = ts.order[1:]
+	}
+}
+
+// Get returns the trace with the given ID, or nil.
+func (ts *TraceStore) Get(id string) *Trace {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.byID[id]
+}
+
+// TraceInfo is a listing entry for /debug/traces.
+type TraceInfo struct {
+	ID      string `json:"id"`
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_unixns"`
+	Spans   int    `json:"spans"`
+}
+
+// List returns the stored traces, newest first.
+func (ts *TraceStore) List() []TraceInfo {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]TraceInfo, 0, len(ts.order))
+	for i := len(ts.order) - 1; i >= 0; i-- {
+		t := ts.byID[ts.order[i]]
+		t.mu.Lock()
+		n := len(t.spans)
+		t.mu.Unlock()
+		out = append(out, TraceInfo{ID: t.ID, Name: t.Name, StartNS: t.startNS, Spans: n})
+	}
+	return out
+}

@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceIDFormat(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 32; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("trace id %q: want 16 hex chars", id)
+		}
+		for _, c := range id {
+			if !strings.ContainsRune("0123456789abcdef", c) {
+				t.Fatalf("trace id %q: non-hex char %q", id, c)
+			}
+		}
+		if seen[id] {
+			t.Fatalf("trace id %q repeated", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpanArgsFixedCapacity(t *testing.T) {
+	var s Span
+	for i := 0; i < maxSpanArgs+3; i++ {
+		s.SetArg(strings.Repeat("k", i+1), int64(i))
+	}
+	n := 0
+	for _, a := range s.Args {
+		if a.Key != "" {
+			n++
+		}
+	}
+	if n != maxSpanArgs {
+		t.Fatalf("kept %d args, want %d", n, maxSpanArgs)
+	}
+}
+
+func TestTraceChromeExport(t *testing.T) {
+	tr := NewTrace("draw")
+	tr.SetProcessName(1, "worker 0")
+	s := Span{Name: "round.compute", PID: 1, TID: 2, StartNS: 1000, DurNS: 500}
+	s.SetArg("round", 3)
+	s.SetArg("flips", 7)
+	tr.Add(s)
+	tr.Add(Span{Name: "draw", PID: 0, TID: 0, StartNS: 0, DurNS: 2000})
+
+	var b strings.Builder
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Metadata    map[string]any   `json:"metadata"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v\n%s", err, b.String())
+	}
+	if out.Metadata["trace_id"] != tr.ID {
+		t.Fatalf("metadata trace_id = %v, want %s", out.Metadata["trace_id"], tr.ID)
+	}
+	var metaNames []string
+	var sawCompute bool
+	for _, ev := range out.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			args := ev["args"].(map[string]any)
+			metaNames = append(metaNames, args["name"].(string))
+		case "X":
+			if ev["name"] == "round.compute" {
+				sawCompute = true
+				if ev["ts"].(float64) != 1.0 { // 1000ns = 1µs
+					t.Fatalf("ts = %v µs, want 1", ev["ts"])
+				}
+				if ev["dur"].(float64) != 0.5 {
+					t.Fatalf("dur = %v µs, want 0.5", ev["dur"])
+				}
+				args := ev["args"].(map[string]any)
+				if args["round"].(float64) != 3 || args["flips"].(float64) != 7 {
+					t.Fatalf("args = %v", args)
+				}
+			}
+		default:
+			t.Fatalf("unexpected phase %v", ev["ph"])
+		}
+	}
+	if !sawCompute {
+		t.Fatal("round.compute span missing from export")
+	}
+	if len(metaNames) != 2 || metaNames[0] != "coordinator" || metaNames[1] != "worker 0" {
+		t.Fatalf("process names = %v", metaNames)
+	}
+}
+
+func TestTraceStoreEviction(t *testing.T) {
+	ts := NewTraceStore(2)
+	a, b, c := NewTrace("a"), NewTrace("b"), NewTrace("c")
+	ts.Put(a)
+	ts.Put(b)
+	ts.Put(c)
+	if ts.Get(a.ID) != nil {
+		t.Fatal("oldest trace not evicted")
+	}
+	if ts.Get(b.ID) != b || ts.Get(c.ID) != c {
+		t.Fatal("recent traces lost")
+	}
+	list := ts.List()
+	if len(list) != 2 || list[0].ID != c.ID || list[1].ID != b.ID {
+		t.Fatalf("list = %+v, want [c b]", list)
+	}
+	// Re-putting an existing ID must not duplicate.
+	ts.Put(c)
+	if got := len(ts.List()); got != 2 {
+		t.Fatalf("after re-put: %d traces, want 2", got)
+	}
+}
+
+func TestTraceStoreConcurrency(t *testing.T) {
+	ts := NewTraceStore(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr := NewTrace("x")
+				tr.Add(Span{Name: "s"})
+				ts.Put(tr)
+				ts.Get(tr.ID)
+				ts.List()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(ts.List()); got != 8 {
+		t.Fatalf("store holds %d traces, want 8", got)
+	}
+}
+
+func TestRoundRecorderRecordsAndFlushes(t *testing.T) {
+	rec := NewRoundRecorder(2, 3)
+	base := time.Now().UnixNano()
+	for round := 0; round < 3; round++ {
+		rec.RoundDone(0, round, 1000, 200, 5)
+		rec.RoundDone(1, round, 900, 100, -1) // flips not counted
+	}
+	rec.RoundDone(5, 0, 1, 1, 1) // out of range: ignored
+	compute, barrier, flips, end := rec.ShardRounds(0)
+	if len(compute) != 3 || len(barrier) != 3 || len(flips) != 3 || len(end) != 3 {
+		t.Fatalf("shard 0 lengths = %d/%d/%d/%d", len(compute), len(barrier), len(flips), len(end))
+	}
+	if compute[1] != 1000 || barrier[1] != 200 || flips[1] != 5 {
+		t.Fatalf("shard 0 round 1 = %d/%d/%d", compute[1], barrier[1], flips[1])
+	}
+	if end[0] < base {
+		t.Fatalf("end time %d before test start %d", end[0], base)
+	}
+	cNS, bNS, f, n := rec.ShardTotals(1)
+	if cNS != 2700 || bNS != 300 || f != 0 || n != 3 {
+		t.Fatalf("shard 1 totals = %d/%d/%d/%d", cNS, bNS, f, n)
+	}
+
+	tr := NewTrace("draw")
+	rec.FlushTo(tr, 1)
+	spans := tr.Spans()
+	// Per shard: 3 compute + 3 barrier + 1 summary = 7 → 14 total.
+	if len(spans) != 14 {
+		t.Fatalf("flushed %d spans, want 14", len(spans))
+	}
+	var summaries int
+	for _, s := range spans {
+		if s.PID != 1 {
+			t.Fatalf("span pid = %d, want 1", s.PID)
+		}
+		if s.Name == "shard" {
+			summaries++
+		}
+		if s.Name == "round.barrier" && s.DurNS <= 0 {
+			t.Fatalf("barrier span with dur %d", s.DurNS)
+		}
+	}
+	if summaries != 2 {
+		t.Fatalf("%d shard summaries, want 2", summaries)
+	}
+}
+
+func TestRoundRecorderOverflowKeepsTotals(t *testing.T) {
+	rec := NewRoundRecorder(1, 2)
+	for round := 0; round < 10; round++ {
+		rec.RoundDone(0, round, 10, 1, 1)
+	}
+	compute, _, _, _ := rec.ShardRounds(0)
+	if len(compute) != 2 {
+		t.Fatalf("kept %d rounds, want 2", len(compute))
+	}
+	cNS, bNS, f, n := rec.ShardTotals(0)
+	if cNS != 100 || bNS != 10 || f != 10 || n != 10 {
+		t.Fatalf("totals = %d/%d/%d/%d, want 100/10/10/10", cNS, bNS, f, n)
+	}
+}
+
+func TestRoundRecorderConcurrentShards(t *testing.T) {
+	const shards, rounds = 8, 200
+	rec := NewRoundRecorder(shards, rounds)
+	var wg sync.WaitGroup
+	for sh := 0; sh < shards; sh++ {
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				rec.RoundDone(sh, round, int64(100+sh), int64(sh), sh)
+			}
+		}(sh)
+	}
+	wg.Wait()
+	for sh := 0; sh < shards; sh++ {
+		cNS, _, _, n := rec.ShardTotals(sh)
+		if n != rounds || cNS != int64(rounds*(100+sh)) {
+			t.Fatalf("shard %d: rounds=%d compute=%d", sh, n, cNS)
+		}
+	}
+}
+
+func TestAddShardRoundsCrossProcessShape(t *testing.T) {
+	// Simulates the coordinator merging series shipped from a worker:
+	// absolute end stamps against the coordinator's trace origin.
+	tr := NewTrace("draw")
+	origin := tr.StartNS()
+	end := []int64{origin + 2_000, origin + 4_000}
+	compute := []int64{1_500, 1_600}
+	barrier := []int64{300, 200}
+	flips := []int64{4, 6}
+	AddShardRounds(tr, 2, 1, compute, barrier, flips, end)
+	spans := tr.Spans()
+	if len(spans) != 5 { // 2 compute + 2 barrier + summary
+		t.Fatalf("got %d spans, want 5", len(spans))
+	}
+	for _, s := range spans {
+		if s.PID != 2 || s.TID != 1 {
+			t.Fatalf("span placed at pid=%d tid=%d, want 2/1", s.PID, s.TID)
+		}
+	}
+	// First compute span starts at end - barrier - compute.
+	if spans[0].Name != "round.compute" || spans[0].StartNS != 2_000-300-1_500 {
+		t.Fatalf("first span = %+v", spans[0])
+	}
+	// Mismatched series lengths are clipped, not panicked on.
+	tr2 := NewTrace("draw")
+	AddShardRounds(tr2, 0, 0, compute[:1], barrier, flips, end)
+	if n := len(tr2.Spans()); n != 3 {
+		t.Fatalf("clipped merge produced %d spans, want 3", n)
+	}
+	// Empty series add nothing.
+	AddShardRounds(tr2, 0, 0, nil, nil, nil, nil)
+	if n := len(tr2.Spans()); n != 3 {
+		t.Fatalf("empty merge changed span count to %d", n)
+	}
+}
+
+func TestRoundMetricsObserver(t *testing.T) {
+	r := NewRegistry()
+	rm := &RoundMetrics{
+		ComputeNS: r.Histogram("compute_seconds", "", 1e-9),
+		BarrierNS: r.Histogram("barrier_seconds", "", 1e-9),
+		Flips:     r.Counter("flips_total", ""),
+		Rounds:    r.Counter("rounds_total", ""),
+	}
+	rm.RoundDone(0, 0, 1000, 50, 3)
+	rm.RoundDone(1, 0, 2000, 70, -1)
+	if rm.ComputeNS.Count() != 2 || rm.BarrierNS.Count() != 2 {
+		t.Fatal("histograms not fed")
+	}
+	if rm.Flips.Value() != 3 {
+		t.Fatalf("flips = %d, want 3 (uncounted rounds skipped)", rm.Flips.Value())
+	}
+	if rm.Rounds.Value() != 2 {
+		t.Fatalf("rounds = %d", rm.Rounds.Value())
+	}
+	// Nil observer and nil fields are safe.
+	var nilRM *RoundMetrics
+	nilRM.RoundDone(0, 0, 1, 1, 1)
+	(&RoundMetrics{}).RoundDone(0, 0, 1, 1, 1)
+}

@@ -8,8 +8,10 @@ import (
 	"math/rand"
 	"net/http"
 	"strings"
+	"time"
 
 	"locsample"
+	"locsample/internal/obs"
 	"locsample/internal/spec"
 )
 
@@ -21,6 +23,10 @@ import (
 //	POST /v1/models/{id}/sample  draw k samples
 //	GET  /healthz                liveness
 //	GET  /statsz                 registry + cache + per-model counters
+//	GET  /metrics                Prometheus text exposition
+//	GET  /debug/trace/{id}       one draw's Chrome trace-event JSON
+//	GET  /debug/traces           stored trace listing
+//	GET  /debug/pprof/...        runtime profiles
 //
 // Model IDs are spec content hashes ("sha256:" + 64 hex digits), so
 // registration is idempotent and clients may pre-compute IDs offline.
@@ -64,6 +70,11 @@ type SampleRequest struct {
 	// knob — samples are bit-identical at every worker count — and
 	// mutually exclusive with Shards.
 	Parallel int `json:"parallel,omitempty"`
+	// Trace records a per-round timing trace of the draw (k must be 1).
+	// The response carries the trace ID; fetch the Chrome trace-event
+	// JSON at /debug/trace/{id}. The sample is bit-identical to an
+	// untraced draw with the same options.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // SampleResponse answers POST /v1/models/{id}/sample.
@@ -82,7 +93,10 @@ type SampleResponse struct {
 	// with (omitted for sequential rounds).
 	Parallel  int     `json:"parallel,omitempty"`
 	ElapsedMS float64 `json:"elapsedMs"`
-	Samples   [][]int `json:"samples"`
+	// TraceID identifies the recorded trace of a traced draw; GET
+	// /debug/trace/{id} returns it as Chrome trace-event JSON.
+	TraceID string  `json:"traceId,omitempty"`
+	Samples [][]int `json:"samples"`
 }
 
 // ModelListResponse answers GET /v1/models.
@@ -101,9 +115,13 @@ type errorResponse struct {
 }
 
 // NewServer returns the HTTP handler serving reg. Routing is hand-rolled
-// on the standard library only.
+// on the standard library only. The handler includes the debug surface
+// (/metrics, /debug/trace/{id}, /debug/pprof) over the registry's
+// metrics registry and trace store, and wraps everything in a
+// request-ID logging middleware over the registry's logger.
 func NewServer(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
+	obs.RegisterDebug(mux, reg.obs, reg.traces)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		if !allowMethod(w, req, http.MethodGet) {
 			return
@@ -153,7 +171,45 @@ func NewServer(reg *Registry) http.Handler {
 			writeError(w, http.StatusNotFound, fmt.Errorf("unknown endpoint %q", req.URL.Path))
 		}
 	})
-	return mux
+	return requestLog(reg, mux)
+}
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// requestLog assigns every request a random ID (echoed as
+// X-Request-Id) and logs method, path, status, and duration at debug
+// level — info for mutating calls. The debug/scrape surface
+// (/metrics, /healthz, /debug/...) is never logged above debug, so a
+// scraper's poll loop does not flood the log.
+func requestLog(reg *Registry, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		id := obs.NewTraceID()
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, req)
+		attrs := []any{
+			"request", id,
+			"method", req.Method,
+			"path", req.URL.Path,
+			"status", sw.status,
+			"elapsed", time.Since(start),
+		}
+		if req.Method == http.MethodPost && !strings.HasPrefix(req.URL.Path, "/debug/") {
+			reg.log.Info("request", attrs...)
+		} else {
+			reg.log.Debug("request", attrs...)
+		}
+	})
 }
 
 func handleRegister(reg *Registry, w http.ResponseWriter, req *http.Request) {
@@ -192,7 +248,7 @@ func handleSample(reg *Registry, m *Model, w http.ResponseWriter, req *http.Requ
 	if sr.Seed != nil {
 		seed = *sr.Seed
 	}
-	res, err := reg.Draw(m, DrawOptions{
+	opts := DrawOptions{
 		K:         sr.K,
 		Seed:      seed,
 		Algorithm: sr.Algorithm,
@@ -200,7 +256,13 @@ func handleSample(reg *Registry, m *Model, w http.ResponseWriter, req *http.Requ
 		Epsilon:   sr.Epsilon,
 		Shards:    sr.Shards,
 		Parallel:  sr.Parallel,
-	})
+	}
+	var res *DrawResult
+	if sr.Trace {
+		res, _, err = reg.DrawTraced(m, opts)
+	} else {
+		res, err = reg.Draw(m, opts)
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -213,6 +275,7 @@ func handleSample(reg *Registry, m *Model, w http.ResponseWriter, req *http.Requ
 		Rounds:       res.Rounds,
 		TheoryRounds: res.TheoryRounds,
 		ElapsedMS:    float64(res.Elapsed.Nanoseconds()) / 1e6,
+		TraceID:      res.TraceID,
 		Samples:      res.Samples,
 	}
 	if res.Shards > 1 {

@@ -20,14 +20,15 @@ package service
 import (
 	"container/list"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"locsample"
+	"locsample/internal/obs"
 	"locsample/internal/spec"
 )
 
@@ -57,6 +58,15 @@ type Config struct {
 	// shard count so each worker hosts at least one shard). Empty means
 	// all sharding stays in-process.
 	WorkerAddrs []string
+	// Obs is the metrics registry the serving counters live in. Nil
+	// means a private registry: the counters still run (they back
+	// /statsz), they are just not shared with an exposition endpoint.
+	Obs *obs.Registry
+	// Traces retains completed draw traces for /debug/trace/{id}
+	// (default: a fresh store holding the last 32).
+	Traces *obs.TraceStore
+	// Log receives the registry's structured logs (default: discard).
+	Log *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -89,33 +99,53 @@ type Model struct {
 	// Registered is the first registration time.
 	Registered time.Time
 
-	requests  atomic.Int64
-	samples   atomic.Int64
-	errors    atomic.Int64
-	latencyNS atomic.Int64
+	// Per-model serving series, labeled model=<hash> in the registry's
+	// metrics registry. /statsz snapshots read these same series (see
+	// Stats), so the JSON counters and the /metrics exposition can
+	// never drift apart.
+	requests *obs.Counter
+	samples  *obs.Counter
+	errors   *obs.Counter
+	drawNS   *obs.Histogram // end-to-end Draw latency, ns
 
-	// Sharded-runtime counters (satellite observability for /statsz):
-	// shardDraws counts chains that ran shard-parallel; boundaryMsgs and
-	// boundaryVals total their exchange traffic; barrierNS totals their
-	// round-barrier waits.
-	shardDraws   atomic.Int64
-	boundaryMsgs atomic.Int64
-	boundaryVals atomic.Int64
-	barrierNS    atomic.Int64
+	// Sharded-runtime counters: shardDraws counts chains that ran
+	// shard-parallel; boundaryMsgs and boundaryVals total their exchange
+	// traffic; barrierNS totals their round-barrier waits.
+	shardDraws   *obs.Counter
+	boundaryMsgs *obs.Counter
+	boundaryVals *obs.Counter
+	barrierNS    *obs.Counter
 }
 
 // ModelStats is a point-in-time snapshot of a model's counters.
 type ModelStats struct {
-	ID        string  `json:"id"`
-	Name      string  `json:"name,omitempty"`
-	Kind      string  `json:"kind"`
-	N         int     `json:"n"`
-	M         int     `json:"m"`
-	Q         int     `json:"q"`
-	Requests  int64   `json:"requests"`
-	Samples   int64   `json:"samples"`
-	Errors    int64   `json:"errors"`
+	ID       string `json:"id"`
+	Name     string `json:"name,omitempty"`
+	Kind     string `json:"kind"`
+	N        int    `json:"n"`
+	M        int    `json:"m"`
+	Q        int    `json:"q"`
+	Requests int64  `json:"requests"`
+	Samples  int64  `json:"samples"`
+	Errors   int64  `json:"errors"`
+	// LatencyMS is the CUMULATIVE draw wall-clock in milliseconds.
+	//
+	// Deprecated: the name long suggested a per-draw latency while the
+	// value has always been the running total — use LatencyMeanMS and
+	// the quantile fields for latency, and DrawCount to recover the
+	// total (mean × count). The field stays populated with the old
+	// cumulative semantics so existing scrapers keep working.
 	LatencyMS float64 `json:"latencyMs"`
+	// DrawCount is the number of successful draws behind the latency
+	// figures below.
+	DrawCount int64 `json:"drawCount"`
+	// LatencyMeanMS and the quantiles describe per-draw latency; the
+	// quantiles come from a log-bucket histogram, so they carry at most
+	// ~2× relative error.
+	LatencyMeanMS float64 `json:"latencyMeanMs"`
+	LatencyP50MS  float64 `json:"latencyP50Ms"`
+	LatencyP95MS  float64 `json:"latencyP95Ms"`
+	LatencyP99MS  float64 `json:"latencyP99Ms"`
 	// ShardDraws counts chains drawn shard-parallel; the boundary and
 	// barrier fields total their exchange traffic and round-barrier waits.
 	ShardDraws       int64   `json:"shardDraws,omitempty"`
@@ -132,22 +162,30 @@ func (m *Model) Stats() ModelStats {
 	} else if m.Built.CSP != nil {
 		q = m.Built.CSP.Q
 	}
-	return ModelStats{
+	st := ModelStats{
 		ID:               m.Hash,
 		Name:             m.Spec.Name,
 		Kind:             m.Spec.Model.Kind,
 		N:                m.Built.Graph.N(),
 		M:                m.Built.Graph.M(),
 		Q:                q,
-		Requests:         m.requests.Load(),
-		Samples:          m.samples.Load(),
-		Errors:           m.errors.Load(),
-		LatencyMS:        float64(m.latencyNS.Load()) / 1e6,
-		ShardDraws:       m.shardDraws.Load(),
-		BoundaryMessages: m.boundaryMsgs.Load(),
-		BoundaryValues:   m.boundaryVals.Load(),
-		BarrierWaitMS:    float64(m.barrierNS.Load()) / 1e6,
+		Requests:         m.requests.Value(),
+		Samples:          m.samples.Value(),
+		Errors:           m.errors.Value(),
+		LatencyMS:        float64(m.drawNS.Sum()) / 1e6,
+		DrawCount:        m.drawNS.Count(),
+		ShardDraws:       m.shardDraws.Value(),
+		BoundaryMessages: m.boundaryMsgs.Value(),
+		BoundaryValues:   m.boundaryVals.Value(),
+		BarrierWaitMS:    float64(m.barrierNS.Value()) / 1e6,
 	}
+	if st.DrawCount > 0 {
+		st.LatencyMeanMS = m.drawNS.Mean() / 1e6
+		st.LatencyP50MS = m.drawNS.Quantile(0.50) / 1e6
+		st.LatencyP95MS = m.drawNS.Quantile(0.95) / 1e6
+		st.LatencyP99MS = m.drawNS.Quantile(0.99) / 1e6
+	}
+	return st
 }
 
 // compileKey identifies one compiled sampler: everything that feeds
@@ -191,6 +229,10 @@ type Registry struct {
 	cfg   Config
 	start time.Time
 
+	obs    *obs.Registry
+	traces *obs.TraceStore
+	log    *slog.Logger
+
 	mu       sync.Mutex
 	models   map[string]*Model
 	order    []string // registration order, for stable listings
@@ -198,9 +240,15 @@ type Registry struct {
 	byKey    map[compileKey]*list.Element
 	inflight map[compileKey]*compileCall
 
-	compiles  atomic.Int64
-	cacheHits atomic.Int64
-	cacheMiss atomic.Int64
+	compiles    *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMiss   *obs.Counter
+	compileNS   *obs.Histogram
+	modelsGauge *obs.Gauge
+	// inflightDraws is the queue-depth signal: draws currently executing
+	// (including time spent waiting on a cold compile's singleflight).
+	inflightDraws *obs.Gauge
+	tracedDraws   *obs.Counter
 }
 
 type lruEntry struct {
@@ -219,20 +267,71 @@ type compileCall struct {
 
 // NewRegistry returns an empty registry.
 func NewRegistry(cfg Config) *Registry {
-	return &Registry{
-		cfg:      cfg.withDefaults(),
+	cfg = cfg.withDefaults()
+	o := cfg.Obs
+	if o == nil {
+		// The serving counters always run (they back /statsz); an
+		// unconfigured registry just keeps them private.
+		o = obs.NewRegistry()
+	}
+	traces := cfg.Traces
+	if traces == nil {
+		traces = obs.NewTraceStore(0)
+	}
+	log := cfg.Log
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	r := &Registry{
+		cfg:      cfg,
 		start:    time.Now(),
+		obs:      o,
+		traces:   traces,
+		log:      log,
 		models:   make(map[string]*Model),
 		lru:      list.New(),
 		byKey:    make(map[compileKey]*list.Element),
 		inflight: make(map[compileKey]*compileCall),
 	}
+	r.compiles = o.Counter("locserved_compiles_total", "sampler compilations (cold compile-cache keys)")
+	r.cacheHits = o.Counter("locserved_cache_hits_total", "compiled-sampler cache hits")
+	r.cacheMiss = o.Counter("locserved_cache_misses_total", "compiled-sampler cache misses")
+	r.compileNS = o.Histogram("locserved_compile_seconds", "sampler compile time", 1e-9)
+	r.modelsGauge = o.Gauge("locserved_models", "registered models")
+	r.inflightDraws = o.Gauge("locserved_inflight_draws", "draws currently executing")
+	r.tracedDraws = o.Counter("locserved_traced_draws_total", "draws served with tracing enabled")
+	return r
 }
+
+// Obs returns the registry's metrics registry (for mounting /metrics).
+func (r *Registry) Obs() *obs.Registry { return r.obs }
+
+// Traces returns the completed-trace store (for /debug/trace/{id}).
+func (r *Registry) Traces() *obs.TraceStore { return r.traces }
+
+// Logger returns the registry's logger.
+func (r *Registry) Logger() *slog.Logger { return r.log }
 
 // Compiles returns the number of sampler compilations performed so far —
 // the observable the cache tests pin to zero across repeat registrations
 // and repeat draws.
-func (r *Registry) Compiles() int64 { return r.compiles.Load() }
+func (r *Registry) Compiles() int64 { return r.compiles.Value() }
+
+// newModelMetrics wires a model's serving series into the registry's
+// metrics registry. Re-registrations of the same hash get the same
+// underlying series (the registry deduplicates by name+labels), so a
+// lost registration race never forks a model's counters.
+func (r *Registry) newModelMetrics(m *Model) {
+	o := r.obs
+	m.requests = o.Counter("locserved_requests_total", "draw requests", "model", m.Hash)
+	m.samples = o.Counter("locserved_samples_total", "samples served", "model", m.Hash)
+	m.errors = o.Counter("locserved_errors_total", "failed draw requests", "model", m.Hash)
+	m.drawNS = o.Histogram("locserved_draw_seconds", "end-to-end draw latency", 1e-9, "model", m.Hash)
+	m.shardDraws = o.Counter("locserved_shard_draws_total", "chains drawn shard-parallel", "model", m.Hash)
+	m.boundaryMsgs = o.Counter("locserved_boundary_messages_total", "sharded boundary messages", "model", m.Hash)
+	m.boundaryVals = o.Counter("locserved_boundary_values_total", "sharded boundary vertex states", "model", m.Hash)
+	m.barrierNS = o.Counter("locserved_barrier_wait_ns_total", "sharded round-barrier wait, ns", "model", m.Hash)
+}
 
 // Register decodes, validates, builds, and stores a spec, eagerly
 // compiling its default sampler so the first draw pays no compile either.
@@ -269,6 +368,7 @@ func (r *Registry) Register(data []byte) (m *Model, cached bool, err error) {
 		return nil, false, err
 	}
 	m = &Model{Hash: h, Spec: s, Built: built, Registered: time.Now()}
+	r.newModelMetrics(m)
 	// A CSP spec may leave the round budget entirely to requests; there is
 	// nothing to compile for it until a request supplies rounds.
 	if built.CSP == nil || built.Rounds > 0 {
@@ -289,6 +389,8 @@ func (r *Registry) Register(data []byte) (m *Model, cached bool, err error) {
 	}
 	r.models[h] = m
 	r.order = append(r.order, h)
+	r.modelsGauge.Set(int64(len(r.models)))
+	r.log.Info("model registered", "model", h, "kind", s.Model.Kind, "n", built.Graph.N())
 	return m, false, nil
 }
 
@@ -360,6 +462,9 @@ type DrawResult struct {
 	Shard locsample.ShardStats
 	// Elapsed is the draw's wall-clock time.
 	Elapsed time.Duration
+	// TraceID identifies the recorded trace of a traced draw
+	// (DrawTraced), fetchable at /debug/trace/{id}; empty otherwise.
+	TraceID string
 }
 
 func defaultDrawOptions(m *Model) DrawOptions {
@@ -391,14 +496,48 @@ func ParseAlgorithm(s string) (locsample.Algorithm, error) {
 // Draw serves one batch from m, compiling at most once per option set and
 // counting request, sample, latency, and error metrics.
 func (r *Registry) Draw(m *Model, opts DrawOptions) (*DrawResult, error) {
-	res, err := r.draw(m, opts)
-	m.requests.Add(1)
+	r.inflightDraws.Add(1)
+	res, err := r.draw(m, opts, nil)
+	r.inflightDraws.Add(-1)
+	return r.finishDraw(m, res, err)
+}
+
+// DrawTraced is Draw with per-round trace recording: the draw runs
+// sequentially (k must be 1), its trace is retained in the registry's
+// trace store, and the result carries the trace ID. The sample is
+// bit-identical to an untraced draw with the same options.
+func (r *Registry) DrawTraced(m *Model, opts DrawOptions) (*DrawResult, *obs.Trace, error) {
+	if opts.K > 1 {
+		err := fmt.Errorf("service: traced draws record one chain; k must be 1, got %d", opts.K)
+		m.requests.Inc()
+		m.errors.Inc()
+		return nil, nil, err
+	}
+	var tr trace
+	r.inflightDraws.Add(1)
+	res, err := r.draw(m, opts, &tr)
+	r.inflightDraws.Add(-1)
+	res, err = r.finishDraw(m, res, err)
 	if err != nil {
-		m.errors.Add(1)
+		return nil, nil, err
+	}
+	r.traces.Put(tr.t)
+	r.tracedDraws.Inc()
+	res.TraceID = tr.t.ID
+	r.log.Info("traced draw", "model", m.Hash, "trace", tr.t.ID, "elapsed", res.Elapsed)
+	return res, tr.t, nil
+}
+
+// finishDraw books one finished draw into the model's serving series.
+func (r *Registry) finishDraw(m *Model, res *DrawResult, err error) (*DrawResult, error) {
+	m.requests.Inc()
+	if err != nil {
+		m.errors.Inc()
+		r.log.Warn("draw failed", "model", m.Hash, "err", err)
 		return nil, err
 	}
 	m.samples.Add(int64(len(res.Samples)))
-	m.latencyNS.Add(res.Elapsed.Nanoseconds())
+	m.drawNS.Observe(res.Elapsed.Nanoseconds())
 	if res.Shards > 1 {
 		m.shardDraws.Add(int64(len(res.Samples)))
 		m.boundaryMsgs.Add(res.Shard.BoundaryMessages)
@@ -408,7 +547,11 @@ func (r *Registry) Draw(m *Model, opts DrawOptions) (*DrawResult, error) {
 	return res, nil
 }
 
-func (r *Registry) draw(m *Model, opts DrawOptions) (*DrawResult, error) {
+// trace is an out-parameter for draw: non-nil asks for a traced draw,
+// and the recorded trace comes back in t.
+type trace struct{ t *obs.Trace }
+
+func (r *Registry) draw(m *Model, opts DrawOptions, tr *trace) (*DrawResult, error) {
 	if opts.K == 0 {
 		opts.K = 1
 	}
@@ -433,6 +576,28 @@ func (r *Registry) draw(m *Model, opts DrawOptions) (*DrawResult, error) {
 	}
 	start := time.Now()
 	if c.sampler != nil {
+		if tr != nil {
+			// Chain 0 of an untraced k-batch runs with ChainSeed(seed, 0);
+			// the traced single chain must match it bit-for-bit.
+			res, t, err := c.sampler.SampleTracedFrom(locsample.ChainSeed(opts.Seed, 0))
+			if err != nil {
+				return nil, err
+			}
+			tr.t = t
+			out := &DrawResult{
+				Samples:      [][]int{res.Sample},
+				Rounds:       res.Rounds,
+				TheoryRounds: res.TheoryRounds,
+				Algorithm:    algorithmName(m, opts),
+				Shards:       c.sampler.Shards(),
+				Parallel:     c.sampler.ParallelRounds(),
+				Elapsed:      time.Since(start),
+			}
+			if res.Shard != nil {
+				out.Shard = *res.Shard
+			}
+			return out, nil
+		}
 		batch, err := c.sampler.SampleNFrom(opts.Seed, opts.K)
 		if err != nil {
 			return nil, err
@@ -447,6 +612,25 @@ func (r *Registry) draw(m *Model, opts DrawOptions) (*DrawResult, error) {
 			Shard:        batch.Shard,
 			Elapsed:      time.Since(start),
 		}, nil
+	}
+	if tr != nil {
+		sample, st, t, err := c.cspSampler.SampleTracedFrom(locsample.ChainSeed(opts.Seed, 0))
+		if err != nil {
+			return nil, err
+		}
+		tr.t = t
+		out := &DrawResult{
+			Samples:   [][]int{sample},
+			Rounds:    c.cspSampler.Rounds(),
+			Algorithm: "lubyglauber",
+			Shards:    c.cspSampler.Shards(),
+			Parallel:  c.cspSampler.ParallelRounds(),
+			Elapsed:   time.Since(start),
+		}
+		if st != nil {
+			out.Shard = *st
+		}
+		return out, nil
 	}
 	batch, err := c.cspSampler.SampleNFrom(opts.Seed, opts.K)
 	if err != nil {
@@ -485,7 +669,7 @@ func (r *Registry) getCompiled(m *Model, opts DrawOptions) (*compiled, error) {
 	r.mu.Lock()
 	if el, ok := r.byKey[key]; ok {
 		r.lru.MoveToFront(el)
-		r.cacheHits.Add(1)
+		r.cacheHits.Inc()
 		r.mu.Unlock()
 		return el.Value.(*lruEntry).c, nil
 	}
@@ -493,16 +677,21 @@ func (r *Registry) getCompiled(m *Model, opts DrawOptions) (*compiled, error) {
 		r.mu.Unlock()
 		<-call.done
 		if call.err == nil {
-			r.cacheHits.Add(1)
+			r.cacheHits.Inc()
 		}
 		return call.c, call.err
 	}
 	call := &compileCall{done: make(chan struct{})}
 	r.inflight[key] = call
-	r.cacheMiss.Add(1)
+	r.cacheMiss.Inc()
 	r.mu.Unlock()
 
+	compileStart := time.Now()
 	c, err := r.compile(m, key, opts)
+	if err == nil {
+		r.compileNS.Observe(time.Since(compileStart).Nanoseconds())
+		r.log.Debug("sampler compiled", "model", m.Hash, "elapsed", time.Since(compileStart))
+	}
 
 	r.mu.Lock()
 	delete(r.inflight, key)
@@ -602,7 +791,7 @@ func (r *Registry) resolveRuntime(m *Model, opts DrawOptions) (shards, parallel 
 // held (the caller serializes same-key compiles via the singleflight).
 func (r *Registry) compile(m *Model, key compileKey, opts DrawOptions) (*compiled, error) {
 	if m.Built.CSP != nil {
-		sopts := []locsample.Option{locsample.WithRounds(key.rounds)}
+		sopts := append(r.commonOptions(), locsample.WithRounds(key.rounds))
 		if key.shards > 1 {
 			sopts = append(sopts, locsample.WithShards(key.shards))
 			sopts = append(sopts, r.remoteOptions(m, key.shards)...)
@@ -610,14 +799,14 @@ func (r *Registry) compile(m *Model, key compileKey, opts DrawOptions) (*compile
 		if key.parallel > 1 {
 			sopts = append(sopts, locsample.WithParallelRounds(key.parallel))
 		}
-		r.compiles.Add(1)
+		r.compiles.Inc()
 		cs, err := locsample.NewCSPSampler(m.Built.Graph, m.Built.CSP, m.Built.Init, sopts...)
 		if err != nil {
 			return nil, err
 		}
 		return &compiled{cspSampler: cs}, nil
 	}
-	sopts := []locsample.Option{locsample.WithAlgorithm(key.algorithm)}
+	sopts := append(r.commonOptions(), locsample.WithAlgorithm(key.algorithm))
 	if key.rounds > 0 {
 		sopts = append(sopts, locsample.WithRounds(key.rounds))
 	}
@@ -631,12 +820,24 @@ func (r *Registry) compile(m *Model, key compileKey, opts DrawOptions) (*compile
 	if key.parallel > 1 {
 		sopts = append(sopts, locsample.WithParallelRounds(key.parallel))
 	}
-	r.compiles.Add(1)
+	r.compiles.Inc()
 	sampler, err := locsample.NewSampler(m.Built.Model, sopts...)
 	if err != nil {
 		return nil, err
 	}
 	return &compiled{sampler: sampler}, nil
+}
+
+// commonOptions are the observability options every compiled sampler
+// gets: the registry's logger always, and — when the server was
+// configured with a shared metrics registry — the sampler-level
+// metric series (draw/round histograms, worker gauges).
+func (r *Registry) commonOptions() []locsample.Option {
+	opts := []locsample.Option{locsample.WithLogger(r.log)}
+	if r.cfg.Obs != nil {
+		opts = append(opts, locsample.WithMetrics(r.obs))
+	}
+	return opts
 }
 
 // remoteOptions places a sharded compile on the server's lsharded
@@ -687,9 +888,9 @@ func (r *Registry) Stats() RegistryStats {
 		Cache: CacheStats{
 			Size:     size,
 			Capacity: r.cfg.CacheSize,
-			Hits:     r.cacheHits.Load(),
-			Misses:   r.cacheMiss.Load(),
-			Compiles: r.compiles.Load(),
+			Hits:     r.cacheHits.Value(),
+			Misses:   r.cacheMiss.Value(),
+			Compiles: r.compiles.Value(),
 		},
 	}
 	for _, m := range models {

@@ -13,12 +13,16 @@ package service
 
 import (
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"locsample"
+	"locsample/internal/chains"
 	"locsample/internal/cluster"
+	"locsample/internal/obs"
 	"locsample/internal/partition"
 	"locsample/internal/spec"
 	"locsample/internal/transport"
@@ -36,8 +40,12 @@ type WorkerConfig struct {
 	// WrapTransport, when non-nil, wraps each job's boundary fabric
 	// before the engine sees it — the fault-injection hook.
 	WrapTransport func(transport.Transport) transport.Transport
-	// Logf sinks worker logs (nil discards them).
-	Logf func(format string, args ...any)
+	// Log sinks worker logs (nil discards them).
+	Log *slog.Logger
+	// Obs receives the worker's metrics (jobs, draws, round timing).
+	// Nil disables metering — the obs metric types treat a nil registry
+	// as a no-op sink, so the worker code never branches on it.
+	Obs *obs.Registry
 }
 
 func (c WorkerConfig) withDefaults() WorkerConfig {
@@ -47,18 +55,52 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 	if c.RecvTimeout <= 0 {
 		c.RecvTimeout = 60 * time.Second
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Log == nil {
+		c.Log = obs.NopLogger()
 	}
 	return c
+}
+
+// workerMetrics is the lsharded metric family set. With a nil registry
+// every field is a typed nil whose methods are no-ops.
+type workerMetrics struct {
+	jobsActive   *obs.Gauge
+	jobsTotal    *obs.Counter
+	jobsRejected *obs.Counter
+	draws        *obs.Counter
+	drawErrors   *obs.Counter
+	drawSeconds  *obs.Histogram
+	rounds       *obs.RoundMetrics
+}
+
+func newWorkerMetrics(r *obs.Registry) workerMetrics {
+	return workerMetrics{
+		jobsActive:   r.Gauge("lsharded_jobs_active", "jobs currently hosted"),
+		jobsTotal:    r.Counter("lsharded_jobs_total", "jobs accepted since start"),
+		jobsRejected: r.Counter("lsharded_jobs_rejected_total", "jobs rejected (bad spec, mesh failure, draining)"),
+		draws:        r.Counter("lsharded_draws_total", "draws served"),
+		drawErrors:   r.Counter("lsharded_draw_errors_total", "draws that failed"),
+		drawSeconds:  r.Histogram("lsharded_draw_seconds", "per-draw wall time", 1e-9),
+		rounds: &obs.RoundMetrics{
+			ComputeNS: r.Histogram("lsharded_round_compute_seconds", "per-shard per-round kernel time", 1e-9),
+			BarrierNS: r.Histogram("lsharded_round_barrier_seconds", "per-shard per-round barrier wait", 1e-9),
+			Flips:     r.Counter("lsharded_round_flips_total", "accepted vertex updates"),
+			Rounds:    r.Counter("lsharded_rounds_total", "shard-rounds executed"),
+		},
+	}
 }
 
 // Worker is a running lsharded process: an accept loop demultiplexing
 // coordinator control connections and peer frame streams by their
 // opening magic.
 type Worker struct {
-	cfg WorkerConfig
-	ln  net.Listener
+	cfg     WorkerConfig
+	ln      net.Listener
+	metrics workerMetrics
+
+	// draining refuses new jobs while letting hosted ones finish — the
+	// SIGTERM half of graceful shutdown; Close is the other half.
+	draining atomic.Bool
 
 	mu      sync.Mutex
 	jobs    map[uint64]*workerJob
@@ -79,12 +121,18 @@ type pendingPeer struct {
 // workerJob is one hosted job: the engine over this process's shards
 // and the mesh it exchanges boundaries through.
 type workerJob struct {
-	id    uint64
-	tcp   *transport.TCP
-	eng   shardEngine
-	init  []int
-	out   []int
-	owned []int // global vertex IDs in result order
+	id     uint64
+	tcp    *transport.TCP
+	eng    shardEngine
+	init   []int
+	out    []int
+	owned  []int // global vertex IDs in result order
+	local  []int // shard IDs this process hosts, ascending
+	shards int   // total shard count of the plan
+
+	// metricsObs stays attached to the engine between draws; traced
+	// draws tee a per-draw recorder onto it.
+	metricsObs *obs.RoundMetrics
 
 	prevFrames, prevBytes int64
 }
@@ -92,6 +140,7 @@ type workerJob struct {
 // shardEngine is the slice of the cluster engines a job needs.
 type shardEngine interface {
 	Run(init []int, seed uint64, rounds int, out []int) (cluster.Stats, error)
+	SetObserver(chains.RoundObserver)
 	Close() error
 }
 
@@ -102,9 +151,11 @@ func NewWorker(addr string, cfg WorkerConfig) (*Worker, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg = cfg.withDefaults()
 	w := &Worker{
-		cfg:     cfg.withDefaults(),
+		cfg:     cfg,
 		ln:      ln,
+		metrics: newWorkerMetrics(cfg.Obs),
 		jobs:    make(map[uint64]*workerJob),
 		pending: make(map[uint64][]pendingPeer),
 		conns:   make(map[net.Conn]struct{}),
@@ -116,6 +167,21 @@ func NewWorker(addr string, cfg WorkerConfig) (*Worker, error) {
 
 // Addr returns the address the worker accepts connections on.
 func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// Drain puts the worker into draining mode: new jobs are rejected while
+// hosted jobs keep serving draws until their coordinators hang up. Call
+// Close once ActiveJobs reaches zero (or a drain deadline expires).
+func (w *Worker) Drain() { w.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (w *Worker) Draining() bool { return w.draining.Load() }
+
+// ActiveJobs returns the number of jobs currently hosted.
+func (w *Worker) ActiveJobs() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.jobs)
+}
 
 // Close stops the accept loop and tears down every hosted job.
 func (w *Worker) Close() error {
@@ -210,7 +276,7 @@ func (w *Worker) handleConn(c net.Conn) {
 		c.SetReadDeadline(time.Time{})
 		w.deliverPeer(jobID, from, c)
 	default:
-		w.cfg.Logf("worker: connection with unknown magic %q", magic[:])
+		w.cfg.Log.Warn("connection with unknown magic", "magic", fmt.Sprintf("%q", magic[:]), "remote", c.RemoteAddr().String())
 		c.Close()
 	}
 }
@@ -227,7 +293,7 @@ func (w *Worker) deliverPeer(jobID uint64, from int, c net.Conn) {
 	if j, ok := w.jobs[jobID]; ok {
 		w.mu.Unlock()
 		if err := j.tcp.AddConn(from, c); err != nil {
-			w.cfg.Logf("worker: job %x: attach peer %d: %v", jobID, from, err)
+			w.cfg.Log.Warn("attach peer failed", "job", fmt.Sprintf("%x", jobID), "peer", from, "err", err)
 			c.Close()
 		}
 		return
@@ -267,11 +333,17 @@ func (w *Worker) handleControl(c net.Conn) {
 		return
 	}
 	job := m.Job
+	jobID := fmt.Sprintf("%x", job.JobID)
 	reject := func(err error) {
-		w.cfg.Logf("worker: job %x rejected: %v", job.JobID, err)
+		w.cfg.Log.Warn("job rejected", "job", jobID, "err", err)
+		w.metrics.jobsRejected.Inc()
 		transport.WriteControl(c, &transport.ControlMsg{
 			Kind: "ready", Ready: &transport.ReadyMsg{OK: false, Error: err.Error()},
 		}, w.cfg.ReadyTimeout)
+	}
+	if w.Draining() {
+		reject(fmt.Errorf("worker: draining"))
+		return
 	}
 	js, err := w.buildJob(job)
 	if err != nil {
@@ -288,7 +360,11 @@ func (w *Worker) handleControl(c net.Conn) {
 	}, w.cfg.ReadyTimeout); err != nil {
 		return
 	}
-	w.cfg.Logf("worker: job %x ready (%d owned vertices)", js.id, len(js.owned))
+	w.metrics.jobsTotal.Inc()
+	w.metrics.jobsActive.Add(1)
+	defer w.metrics.jobsActive.Add(-1)
+	w.cfg.Log.Info("job ready", "job", jobID, "kind", job.Kind,
+		"shards", job.Shards, "local", len(js.local), "owned", len(js.owned))
 	for {
 		m, err := transport.ReadControl(c, 0) // idle between draws
 		if err != nil {
@@ -297,7 +373,18 @@ func (w *Worker) handleControl(c net.Conn) {
 		if m.Kind != "run" || m.Run == nil {
 			return
 		}
-		res := js.run(m.Run.Seed, m.Run.Rounds)
+		t0 := time.Now()
+		res := js.run(m.Run.Seed, m.Run.Rounds, m.Run.Trace)
+		elapsed := time.Since(t0)
+		w.metrics.draws.Inc()
+		w.metrics.drawSeconds.Observe(elapsed.Nanoseconds())
+		if !res.OK {
+			w.metrics.drawErrors.Inc()
+			w.cfg.Log.Error("draw failed", "job", jobID, "err", res.Error)
+		} else {
+			w.cfg.Log.Debug("draw served", "job", jobID, "rounds", m.Run.Rounds,
+				"traced", m.Run.Trace, "dur", elapsed)
+		}
 		if err := transport.WriteControl(c, &transport.ControlMsg{Kind: "result", Result: res}, w.cfg.ReadyTimeout); err != nil {
 			return
 		}
@@ -342,7 +429,13 @@ func (w *Worker) buildJob(job *transport.JobMsg) (*workerJob, error) {
 		}
 	}
 
-	js := &workerJob{id: job.JobID, init: append([]int(nil), job.Init...)}
+	js := &workerJob{
+		id:         job.JobID,
+		init:       append([]int(nil), job.Init...),
+		local:      local,
+		shards:     job.Shards,
+		metricsObs: w.metrics.rounds,
+	}
 	var neighbors [][]int
 	var mkEngine func(tr transport.Transport) (shardEngine, error)
 	switch job.Kind {
@@ -419,6 +512,9 @@ func (w *Worker) buildJob(job *transport.JobMsg) (*workerJob, error) {
 		return nil, err
 	}
 	js.eng = eng
+	// Round metrics stay attached for the job's lifetime; traced draws
+	// tee a per-draw recorder onto them in run.
+	eng.SetObserver(js.metricsObs)
 	return js, nil
 }
 
@@ -459,8 +555,20 @@ func (w *Worker) dropJob(js *workerJob) {
 
 // run executes one draw and packages this process's owned states (local
 // shards ascending, owned bands in ascending global order — the slot
-// order the coordinator reassembles by).
-func (j *workerJob) run(seed uint64, rounds int) *transport.ResultMsg {
+// order the coordinator reassembles by). With trace set it additionally
+// records per-shard round timing and ships the series back so the
+// coordinator can graft this process's spans into the draw's trace.
+func (j *workerJob) run(seed uint64, rounds int, trace bool) *transport.ResultMsg {
+	var rec *obs.RoundRecorder
+	if trace {
+		// The recorder is indexed by global shard ID; only this
+		// process's rows get written. Swapped in for this draw only —
+		// draws on one control session are serial, so this races
+		// nothing.
+		rec = obs.NewRoundRecorder(j.shards, rounds)
+		j.eng.SetObserver(&obs.TeeRounds{A: rec, B: j.metricsObs})
+		defer j.eng.SetObserver(j.metricsObs)
+	}
 	st, err := j.eng.Run(j.init, seed, rounds, j.out)
 	if err != nil {
 		return &transport.ResultMsg{Error: err.Error()}
@@ -480,5 +588,19 @@ func (j *workerJob) run(seed uint64, rounds int) *transport.ResultMsg {
 		WireBytes:  ctr.BytesSent - j.prevBytes,
 	}
 	j.prevFrames, j.prevBytes = ctr.FramesSent, ctr.BytesSent
+	if rec != nil {
+		tm := &transport.TraceMsg{Shards: make([]transport.ShardTraceMsg, 0, len(j.local))}
+		for _, s := range j.local {
+			compute, barrier, flips, end := rec.ShardRounds(s)
+			tm.Shards = append(tm.Shards, transport.ShardTraceMsg{
+				Shard:     s,
+				ComputeNS: compute,
+				BarrierNS: barrier,
+				Flips:     flips,
+				EndNS:     end,
+			})
+		}
+		res.Trace = tm
+	}
 	return res
 }

@@ -120,24 +120,48 @@ type ReadyMsg struct {
 	Error string `json:"error,omitempty"`
 }
 
-// RunMsg asks a worker for one draw of its shards.
+// RunMsg asks a worker for one draw of its shards. Trace asks the
+// worker to record per-shard round timing and return it in the result's
+// Trace field — an additive field older workers ignore (they simply
+// return no trace), so the protocol version is unchanged.
 type RunMsg struct {
 	Seed   uint64 `json:"seed"`
 	Rounds int    `json:"rounds"`
+	Trace  bool   `json:"trace,omitempty"`
 }
 
 // ResultMsg carries a worker's owned states back, concatenated over its
 // local shards in ascending shard order, each shard's owned vertices in
 // ascending global order.
 type ResultMsg struct {
-	OK         bool   `json:"ok"`
-	Error      string `json:"error,omitempty"`
-	States     []int  `json:"states,omitempty"`
-	Msgs       int64  `json:"msgs,omitempty"`
-	Vals       int64  `json:"vals,omitempty"`
-	WaitNS     int64  `json:"waitNs,omitempty"`
-	WireFrames int64  `json:"wireFrames,omitempty"`
-	WireBytes  int64  `json:"wireBytes,omitempty"`
+	OK         bool      `json:"ok"`
+	Error      string    `json:"error,omitempty"`
+	States     []int     `json:"states,omitempty"`
+	Msgs       int64     `json:"msgs,omitempty"`
+	Vals       int64     `json:"vals,omitempty"`
+	WaitNS     int64     `json:"waitNs,omitempty"`
+	WireFrames int64     `json:"wireFrames,omitempty"`
+	WireBytes  int64     `json:"wireBytes,omitempty"`
+	Trace      *TraceMsg `json:"trace,omitempty"`
+}
+
+// TraceMsg ships a worker's per-shard round timing back to the
+// coordinator so its spans join the coordinator's trace. Round-end
+// timestamps are absolute UnixNano from the worker's clock; on loopback
+// (the deployment the cross-process runtime targets today) that aligns
+// with the coordinator's clock, across hosts it is best-effort.
+type TraceMsg struct {
+	Shards []ShardTraceMsg `json:"shards"`
+}
+
+// ShardTraceMsg is one shard's round series: parallel arrays, one entry
+// per recorded round.
+type ShardTraceMsg struct {
+	Shard     int     `json:"shard"`
+	ComputeNS []int64 `json:"computeNs"`
+	BarrierNS []int64 `json:"barrierNs"`
+	Flips     []int64 `json:"flips"`
+	EndNS     []int64 `json:"endNs"` // absolute UnixNano round ends
 }
 
 // WriteControl writes one length-prefixed JSON control message.

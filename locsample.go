@@ -45,11 +45,14 @@
 package locsample
 
 import (
+	"log/slog"
+
 	"locsample/internal/chains"
 	"locsample/internal/core"
 	"locsample/internal/graph"
 	"locsample/internal/localmodel"
 	"locsample/internal/mrf"
+	"locsample/internal/obs"
 	"locsample/internal/rng"
 	"locsample/internal/transport"
 )
@@ -248,6 +251,39 @@ func WithRemoteWorkers(addrs ...string) Option {
 // address stable.
 func WithModelSpec(s *Spec) Option {
 	return func(c *core.Config) { c.ModelSpec = s }
+}
+
+// Metrics is a process-wide metrics registry: atomic counters, gauges,
+// and log-bucket histograms with Prometheus text exposition
+// (WritePrometheus / the debug handlers). One registry is typically
+// shared by every sampler in the process and scraped from one
+// /metrics endpoint.
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// Trace is one draw's timing trace: per-round compute/barrier spans
+// per shard (and per worker process for remote draws). WriteChrome
+// renders it as Chrome trace-event JSON for chrome://tracing and
+// Perfetto.
+type Trace = obs.Trace
+
+// WithMetrics publishes a compiled sampler's runtime series into reg:
+// draw counts and latency histograms, per-round compute/barrier
+// histograms and flip counters, and — for WithRemoteWorkers draws —
+// per-worker up/down gauges and per-stage WorkerError counters.
+// Recording is allocation-free on every hot path; without this option
+// no instrumentation runs at all.
+func WithMetrics(reg *Metrics) Option {
+	return func(c *core.Config) { c.Obs = reg }
+}
+
+// WithLogger routes a compiled sampler's structured logs (worker
+// session lifecycle, draw failures) to l. Without it samplers are
+// silent; errors still surface as returned values either way.
+func WithLogger(l *slog.Logger) Option {
+	return func(c *core.Config) { c.Log = l }
 }
 
 // Sample draws one configuration approximately distributed as the model's

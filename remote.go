@@ -13,11 +13,13 @@ package locsample
 
 import (
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"locsample/internal/obs"
 	"locsample/internal/partition"
 	"locsample/internal/transport"
 )
@@ -75,8 +77,56 @@ type remoteEngine struct {
 	// order — the same order AssignShards and the plan fix here).
 	slots [][]int
 
+	// log and the metric series below come from the sampler's Config
+	// (WithMetrics / WithLogger); all tolerate their zero state.
+	log *slog.Logger
+	// up[w] is the locsample_worker_up gauge for worker w: 1 from a
+	// successful ready until teardown.
+	up []*obs.Gauge
+	// errs[stage] counts WorkerErrors by failure stage.
+	errs map[string]*obs.Counter
+
 	mu    sync.Mutex
 	conns []net.Conn // nil until the first draw connects, nil again after teardown
+}
+
+// Coordinator-side WorkerError stages, the label values of
+// locsample_worker_errors_total.
+const (
+	errStageDial   = "dial"
+	errStageReady  = "ready"
+	errStageReject = "reject"
+	errStageRun    = "run"
+	errStageResult = "result"
+)
+
+// setObs wires the coordinator's metrics and logger (both optional;
+// reg may be nil — the obs accessors then return no-op metrics).
+func (r *remoteEngine) setObs(reg *obs.Registry, log *slog.Logger) {
+	if log != nil {
+		r.log = log
+	}
+	r.up = make([]*obs.Gauge, len(r.job.addrs))
+	for w, addr := range r.job.addrs {
+		r.up[w] = reg.Gauge("locsample_worker_up", "1 while the worker session is established", "addr", addr)
+	}
+	r.errs = map[string]*obs.Counter{}
+	for _, stage := range []string{errStageDial, errStageReady, errStageReject, errStageRun, errStageResult} {
+		r.errs[stage] = reg.Counter("locsample_worker_errors_total", "coordinator-side worker failures by stage", "stage", stage)
+	}
+}
+
+// workerErr builds the typed error for a worker failure, counts it, and
+// logs it.
+func (r *remoteEngine) workerErr(stage string, w int, err error) *WorkerError {
+	we := &WorkerError{Worker: w, Addr: r.job.addrs[w], Err: err}
+	if r.errs != nil {
+		r.errs[stage].Inc()
+	}
+	if r.log != nil {
+		r.log.Warn("worker failure", "stage", stage, "worker", w, "addr", we.Addr, "err", err)
+	}
+	return we
 }
 
 // mrfOwned extracts the per-shard owned bands (ascending global order)
@@ -140,7 +190,7 @@ func (r *remoteEngine) connect() error {
 		c, err := transport.DialControl(addr, remoteDialTimeout)
 		if err != nil {
 			cleanup()
-			return &WorkerError{Worker: w, Addr: addr, Err: err}
+			return r.workerErr(errStageDial, w, err)
 		}
 		conns[w] = c
 		msg := &transport.ControlMsg{Kind: "job", Job: &transport.JobMsg{
@@ -159,27 +209,32 @@ func (r *remoteEngine) connect() error {
 		}}
 		if err := transport.WriteControl(c, msg, remoteWriteTimeout); err != nil {
 			cleanup()
-			return &WorkerError{Worker: w, Addr: addr, Err: fmt.Errorf("sending job: %w", err)}
+			return r.workerErr(errStageDial, w, fmt.Errorf("sending job: %w", err))
 		}
 	}
 	for w, c := range conns {
 		m, err := transport.ReadControl(c, remoteReadyTimeout)
 		if err != nil {
 			cleanup()
-			return &WorkerError{Worker: w, Addr: r.job.addrs[w], Err: fmt.Errorf("awaiting ready: %w", err)}
+			return r.workerErr(errStageReady, w, fmt.Errorf("awaiting ready: %w", err))
 		}
 		if m.Kind != "ready" || m.Ready == nil {
 			cleanup()
-			return &WorkerError{Worker: w, Addr: r.job.addrs[w],
-				Err: fmt.Errorf("unexpected %q control message awaiting ready", m.Kind)}
+			return r.workerErr(errStageReady, w,
+				fmt.Errorf("unexpected %q control message awaiting ready", m.Kind))
 		}
 		if !m.Ready.OK {
 			cleanup()
-			return &WorkerError{Worker: w, Addr: r.job.addrs[w],
-				Err: fmt.Errorf("job rejected: %s", m.Ready.Error)}
+			return r.workerErr(errStageReject, w, fmt.Errorf("job rejected: %s", m.Ready.Error))
 		}
 	}
 	r.conns = conns
+	for _, g := range r.up {
+		g.Set(1)
+	}
+	if r.log != nil {
+		r.log.Info("worker session established", "workers", len(conns), "shards", r.job.shards, "kind", r.job.kind)
+	}
 	return nil
 }
 
@@ -192,6 +247,9 @@ func (r *remoteEngine) teardown() {
 		}
 	}
 	r.conns = nil
+	for _, g := range r.up {
+		g.Set(0)
+	}
 }
 
 // draw runs one cross-process draw, reassembling the configuration into
@@ -202,15 +260,19 @@ func (r *remoteEngine) teardown() {
 // session is left torn down and the retry's typed error is returned; out
 // is never partially current on error paths that matter (callers discard
 // it on error).
-func (r *remoteEngine) draw(seed uint64, rounds int, out []int) (ShardStats, error) {
+//
+// A non-nil tr makes the draw traced: the run requests ask workers to
+// record per-shard round timing, and the returned series are grafted
+// into tr as spans under one pid per worker process.
+func (r *remoteEngine) draw(seed uint64, rounds int, out []int, tr *obs.Trace) (ShardStats, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	st, err := r.drawOnce(seed, rounds, out)
+	st, err := r.drawOnce(seed, rounds, out, tr)
 	if err == nil {
 		return st, nil
 	}
 	r.teardown()
-	st, err = r.drawOnce(seed, rounds, out)
+	st, err = r.drawOnce(seed, rounds, out, tr)
 	if err != nil {
 		r.teardown()
 		return ShardStats{}, err
@@ -218,17 +280,18 @@ func (r *remoteEngine) draw(seed uint64, rounds int, out []int) (ShardStats, err
 	return st, nil
 }
 
-func (r *remoteEngine) drawOnce(seed uint64, rounds int, out []int) (ShardStats, error) {
+func (r *remoteEngine) drawOnce(seed uint64, rounds int, out []int, tr *obs.Trace) (ShardStats, error) {
 	if r.conns == nil {
 		if err := r.connect(); err != nil {
 			return ShardStats{}, err
 		}
 	}
-	run := &transport.ControlMsg{Kind: "run", Run: &transport.RunMsg{Seed: seed, Rounds: rounds}}
+	drawStart := tr.Now()
+	run := &transport.ControlMsg{Kind: "run", Run: &transport.RunMsg{Seed: seed, Rounds: rounds, Trace: tr != nil}}
 	for w, c := range r.conns {
 		if err := transport.WriteControl(c, run, remoteWriteTimeout); err != nil {
 			r.teardown()
-			return ShardStats{}, &WorkerError{Worker: w, Addr: r.job.addrs[w], Err: fmt.Errorf("sending run: %w", err)}
+			return ShardStats{}, r.workerErr(errStageRun, w, fmt.Errorf("sending run: %w", err))
 		}
 	}
 	st := ShardStats{Shards: r.job.shards, Rounds: rounds}
@@ -236,23 +299,22 @@ func (r *remoteEngine) drawOnce(seed uint64, rounds int, out []int) (ShardStats,
 		m, err := transport.ReadControl(c, remoteResultTimeout)
 		if err != nil {
 			r.teardown()
-			return ShardStats{}, &WorkerError{Worker: w, Addr: r.job.addrs[w], Err: fmt.Errorf("awaiting result: %w", err)}
+			return ShardStats{}, r.workerErr(errStageResult, w, fmt.Errorf("awaiting result: %w", err))
 		}
 		if m.Kind != "result" || m.Result == nil {
 			r.teardown()
-			return ShardStats{}, &WorkerError{Worker: w, Addr: r.job.addrs[w],
-				Err: fmt.Errorf("unexpected %q control message awaiting result", m.Kind)}
+			return ShardStats{}, r.workerErr(errStageResult, w,
+				fmt.Errorf("unexpected %q control message awaiting result", m.Kind))
 		}
 		res := m.Result
 		if !res.OK {
 			r.teardown()
-			return ShardStats{}, &WorkerError{Worker: w, Addr: r.job.addrs[w],
-				Err: fmt.Errorf("draw failed: %s", res.Error)}
+			return ShardStats{}, r.workerErr(errStageResult, w, fmt.Errorf("draw failed: %s", res.Error))
 		}
 		if len(res.States) != len(r.slots[w]) {
 			r.teardown()
-			return ShardStats{}, &WorkerError{Worker: w, Addr: r.job.addrs[w],
-				Err: fmt.Errorf("result carries %d states, want %d", len(res.States), len(r.slots[w]))}
+			return ShardStats{}, r.workerErr(errStageResult, w,
+				fmt.Errorf("result carries %d states, want %d", len(res.States), len(r.slots[w])))
 		}
 		for i, v := range res.States {
 			out[r.slots[w][i]] = v
@@ -262,8 +324,39 @@ func (r *remoteEngine) drawOnce(seed uint64, rounds int, out []int) (ShardStats,
 		st.BarrierWaitNS += res.WaitNS
 		st.WireFrames += res.WireFrames
 		st.WireBytes += res.WireBytes
+		if tr != nil && res.Trace != nil {
+			r.graftWorkerTrace(tr, w, res, drawStart)
+		}
+	}
+	if tr != nil {
+		span := obs.Span{Name: "remote.draw", PID: 0, TID: 0, StartNS: drawStart, DurNS: tr.Now() - drawStart}
+		span.SetArg("seed", int64(seed))
+		span.SetArg("rounds", int64(rounds))
+		span.SetArg("shards", int64(st.Shards))
+		span.SetArg("wire_frames", st.WireFrames)
+		span.SetArg("wire_bytes", st.WireBytes)
+		tr.Add(span)
 	}
 	return st, nil
+}
+
+// graftWorkerTrace merges one worker's round series into the
+// coordinator's trace. Worker w gets pid w+1 (the coordinator is pid 0);
+// each local shard becomes a tid with per-round compute/barrier spans,
+// and a process-level span carries the worker's wire attribution.
+func (r *remoteEngine) graftWorkerTrace(tr *obs.Trace, w int, res *transport.ResultMsg, drawStart int64) {
+	pid := w + 1
+	tr.SetProcessName(pid, fmt.Sprintf("worker %d (%s)", w, r.job.addrs[w]))
+	for _, sh := range res.Trace.Shards {
+		obs.AddShardRounds(tr, pid, sh.Shard, sh.ComputeNS, sh.BarrierNS, sh.Flips, sh.EndNS)
+	}
+	span := obs.Span{Name: "worker.result", PID: pid, TID: -1, StartNS: drawStart, DurNS: tr.Now() - drawStart}
+	span.SetArg("wire_frames", res.WireFrames)
+	span.SetArg("wire_bytes", res.WireBytes)
+	span.SetArg("barrier_wait_ns", res.WaitNS)
+	span.SetArg("boundary_msgs", res.Msgs)
+	span.SetArg("boundary_vals", res.Vals)
+	tr.Add(span)
 }
 
 // Close tears the worker session down.

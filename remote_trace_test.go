@@ -1,0 +1,168 @@
+package locsample_test
+
+// The distributed-tracing gate: a traced draw placed on real lsharded
+// worker processes over loopback TCP must come back as ONE trace — the
+// coordinator's draw span plus every worker's per-shard round series,
+// with barrier-wait and wire-byte attribution — and that trace must be
+// fetchable from the serving mux at /debug/trace/{id}. Tracing must not
+// perturb the draw: the traced configuration is bit-identical to the
+// untraced one at the same seed.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"locsample/internal/service"
+)
+
+const tracedGridSpec = `{
+	"version": "locsample/v1",
+	"name": "traced-grid",
+	"graph": {"family": "grid", "rows": 8, "cols": 8},
+	"model": {"kind": "coloring", "q": 16}
+}`
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+func TestCrossProcessTracedDraw(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	const workers, shards, rounds, seed = 2, 4, 20, 77
+
+	addrs := startWorkerProcs(t, workers)
+	reg := service.NewRegistry(service.Config{WorkerAddrs: addrs})
+	ts := httptest.NewServer(service.NewServer(reg))
+	defer ts.Close()
+
+	post := func(path, body string, out any) (int, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != nil && resp.StatusCode < 300 {
+			if err := json.Unmarshal(raw, out); err != nil {
+				t.Fatalf("decoding %q: %v", raw, err)
+			}
+		}
+		return resp.StatusCode, string(raw)
+	}
+
+	var rr service.RegisterResponse
+	if code, body := post("/v1/models", tracedGridSpec, &rr); code != http.StatusCreated {
+		t.Fatalf("register: code %d body %s", code, body)
+	}
+
+	drawBody := fmt.Sprintf(`{"seed":%d,"shards":%d,"rounds":%d`, seed, shards, rounds)
+	var bare service.SampleResponse
+	if code, body := post("/v1/models/"+rr.ID+"/sample", drawBody+`}`, &bare); code != http.StatusOK {
+		t.Fatalf("bare sharded sample: code %d body %s", code, body)
+	}
+	if bare.ShardStats == nil || bare.ShardStats.WireFrames == 0 {
+		t.Fatalf("bare draw did not cross the wire: %+v", bare.ShardStats)
+	}
+
+	var traced service.SampleResponse
+	if code, body := post("/v1/models/"+rr.ID+"/sample", drawBody+`,"trace":true}`, &traced); code != http.StatusOK {
+		t.Fatalf("traced sharded sample: code %d body %s", code, body)
+	}
+	if len(traced.TraceID) != 16 {
+		t.Fatalf("traced draw returned ID %q, want 16 hex chars", traced.TraceID)
+	}
+	if !reflect.DeepEqual(bare.Samples, traced.Samples) {
+		t.Fatal("traced cross-process draw diverged from untraced draw at the same seed")
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/trace/" + traced.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace/%s: code %d", traced.TraceID, resp.StatusCode)
+	}
+	var chrome struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&chrome); err != nil {
+		t.Fatalf("decoding Chrome trace JSON: %v", err)
+	}
+
+	// One trace, many processes: pid 0 is the coordinator, pid w+1 the
+	// workers. Every shard's rounds must land as compute spans on its
+	// worker's lane, and each worker's result span must attribute its
+	// wire traffic and barrier wait.
+	compute := map[int]int{}     // pid → round.compute spans
+	shardLanes := map[int]bool{} // (pid<<16|tid) lanes seen
+	var drawSpans, resultSpans int
+	var wireBytes, barrierNS float64
+	procNames := map[int]bool{}
+	for _, ev := range chrome.TraceEvents {
+		switch ev.Name {
+		case "round.compute":
+			compute[ev.PID]++
+			shardLanes[ev.PID<<16|ev.TID] = true
+		case "remote.draw":
+			drawSpans++
+		case "worker.result":
+			resultSpans++
+			if b, ok := ev.Args["wire_bytes"].(float64); ok {
+				wireBytes += b
+			}
+			if b, ok := ev.Args["barrier_wait_ns"].(float64); ok {
+				barrierNS += b
+			}
+		case "process_name":
+			if ev.Ph == "M" && ev.PID >= 1 {
+				procNames[ev.PID] = true
+			}
+		}
+	}
+	if compute[0] != 0 {
+		t.Fatalf("coordinator lane has %d compute spans; rounds ran on workers", compute[0])
+	}
+	var workerCompute int
+	for pid, n := range compute {
+		if pid >= 1 {
+			workerCompute += n
+		}
+	}
+	if workerCompute != shards*rounds {
+		t.Fatalf("%d worker compute spans, want %d (shards=%d rounds=%d)",
+			workerCompute, shards*rounds, shards, rounds)
+	}
+	if len(shardLanes) != shards {
+		t.Fatalf("compute spans span %d shard lanes, want %d", len(shardLanes), shards)
+	}
+	if drawSpans != 1 {
+		t.Fatalf("%d remote.draw spans, want 1", drawSpans)
+	}
+	if resultSpans != workers || len(procNames) != workers {
+		t.Fatalf("%d worker.result spans on %d named processes, want %d workers",
+			resultSpans, len(procNames), workers)
+	}
+	if wireBytes == 0 {
+		t.Fatal("trace carries no wire-byte attribution")
+	}
+	if barrierNS == 0 {
+		t.Fatal("trace carries no barrier-wait attribution")
+	}
+}
