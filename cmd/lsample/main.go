@@ -24,6 +24,8 @@
 //	lsample -graph grid -rows 512 -cols 512 -model domset -parallel 4 -rounds 100
 //	lsample -model-file spec.json -count 16 -seed 7 -json
 //	lsample -graph grid -rows 64 -cols 64 -model coloring -shards 4 -rounds 50 -trace out.json
+//	lsample -graph grid -rows 16 -cols 16 -model coloring -q 16 -diag
+//	lsample -graph grid -rows 16 -cols 16 -model coloring -q 16 -rounds auto -json
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -53,7 +56,7 @@ func main() {
 		field     = flag.Float64("h", 1, "Ising field")
 		algName   = flag.String("alg", "localmetropolis", "algorithm: glauber|lubyglauber|localmetropolis|scan|chromatic")
 		eps       = flag.Float64("eps", 0.05, "total-variation target for the automatic round budget")
-		rounds    = flag.Int("rounds", 0, "override the round budget (0 = use theory)")
+		roundsStr = flag.String("rounds", "", "round budget: an integer override, \"auto\" to measure it by coupling coalescence (the theory budget caps the search), or empty for theory")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		distr     = flag.Bool("distributed", false, "run on the LOCAL-model runtime and report message stats")
 		count     = flag.Int("count", 1, "number of independent samples (batch engine when > 1)")
@@ -65,14 +68,41 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the report and samples as JSON")
 		verbose   = flag.Bool("v", false, "print the full sample (text mode; JSON always includes samples)")
 		tracePath = flag.String("trace", "", "record the draw and write Chrome trace-event JSON to this file (single draws only; open in chrome://tracing or Perfetto; the traced draw is bit-identical to the untraced one)")
+		diag      = flag.Bool("diag", false, "run the draw as a coupled-chain diagnosed draw and report coalescence (single draws only; the sample is bit-identical to an undiagnosed draw)")
 	)
 	flag.Parse()
 	traceOut = *tracePath
+	diagOut = *diag
+	rounds := 0
+	switch v := strings.ToLower(strings.TrimSpace(*roundsStr)); v {
+	case "", "0":
+		// Theory budget (or each path's default).
+	case "auto":
+		roundsAuto = true
+	default:
+		r, err := strconv.Atoi(v)
+		if err != nil || r < 0 {
+			fatal(fmt.Errorf("-rounds must be a non-negative integer or \"auto\", got %q", *roundsStr))
+		}
+		rounds = r
+	}
 	if traceOut != "" && *count > 1 {
 		fatal(fmt.Errorf("-trace records a single draw; it is not supported with -count > 1"))
 	}
 	if traceOut != "" && *distr {
 		fatal(fmt.Errorf("-trace is not supported with -distributed (the LOCAL-model replay has no round kernel to time)"))
+	}
+	if diagOut && *count > 1 {
+		fatal(fmt.Errorf("-diag diagnoses a single draw; it is not supported with -count > 1"))
+	}
+	if diagOut && *distr {
+		fatal(fmt.Errorf("-diag is not supported with -distributed (couplings run on the chain runtime, not the LOCAL-model replay)"))
+	}
+	if diagOut && traceOut != "" {
+		fatal(fmt.Errorf("-diag and -trace are mutually exclusive (diagnosed draws record round series, not trace spans)"))
+	}
+	if roundsAuto && *distr {
+		fatal(fmt.Errorf("-rounds auto is not supported with -distributed"))
 	}
 
 	strat, err := locsample.ParseShardStrategy(*shardStr)
@@ -80,7 +110,7 @@ func main() {
 		fatal(err)
 	}
 	if *modelFile != "" {
-		runSpecFile(*modelFile, *algName, *eps, *rounds, *seed, *distr, *count, *workers,
+		runSpecFile(*modelFile, *algName, *eps, rounds, *seed, *distr, *count, *workers,
 			*shards, *parallel, strat, *jsonOut, *verbose)
 		return
 	}
@@ -96,7 +126,7 @@ func main() {
 			init[i] = 1
 		}
 		desc := fmt.Sprintf("dominating set λ=%g (weighted local CSP)", *lambda)
-		runCSP(g, c, init, desc, *rounds, *seed, *distr, *count, *workers,
+		runCSP(g, c, init, desc, rounds, *seed, *distr, *count, *workers,
 			*shards, *parallel, strat, *jsonOut, *verbose, true)
 		return
 	}
@@ -105,7 +135,7 @@ func main() {
 		fatal(err)
 	}
 	runMRF(g, m, *graphKind, modelDesc, reportKeyForFlag(*model),
-		*algName, *eps, *rounds, *seed, *distr, *count, *workers, *shards, *parallel, strat, *jsonOut, *verbose)
+		*algName, *eps, rounds, *seed, *distr, *count, *workers, *shards, *parallel, strat, *jsonOut, *verbose)
 }
 
 // runSpecFile loads a workload from a spec file and dispatches to the MRF
@@ -183,6 +213,8 @@ type jsonReport struct {
 	ElapsedMS    float64               `json:"elapsedMs,omitempty"`
 	Stats        *locsample.Stats      `json:"stats,omitempty"`
 	ShardStats   *locsample.ShardStats `json:"shardStats,omitempty"`
+	CapRounds    int                   `json:"capRounds,omitempty"`
+	Diagnosis    *locsample.Diagnosis  `json:"diagnosis,omitempty"`
 	Samples      [][]int               `json:"samples"`
 }
 
@@ -218,6 +250,9 @@ func runMRF(g *locsample.Graph, m *locsample.Model, graphKind, modelDesc, report
 	if rounds > 0 {
 		opts = append(opts, locsample.WithRounds(rounds))
 	}
+	if roundsAuto {
+		opts = append(opts, locsample.WithRoundsAuto())
+	}
 	if distr {
 		opts = append(opts, locsample.Distributed())
 	}
@@ -233,18 +268,35 @@ func runMRF(g *locsample.Graph, m *locsample.Model, graphKind, modelDesc, report
 		return
 	}
 
-	var res *locsample.Result
-	if traceOut != "" {
+	var (
+		res       *locsample.Result
+		diagnosis *locsample.Diagnosis
+		capRounds int
+	)
+	if traceOut != "" || diagOut || roundsAuto {
+		// Paths that need a Sampler: tracing, diagnosed draws, and auto
+		// budgets (CapRounds lives on the sampler, not the result).
 		s, err := locsample.NewSampler(m, opts...)
 		if err != nil {
 			fatal(err)
 		}
-		var tr *locsample.Trace
-		res, tr, err = s.SampleTraced()
+		capRounds = s.CapRounds()
+		switch {
+		case diagOut:
+			res, diagnosis, err = s.SampleDiagnosed()
+		case traceOut != "":
+			var tr *locsample.Trace
+			res, tr, err = s.SampleTraced()
+			if err == nil {
+				writeTraceFile(traceOut, tr)
+			}
+		default:
+			res, err = s.Sample()
+		}
+		s.Close()
 		if err != nil {
 			fatal(err)
 		}
-		writeTraceFile(traceOut, tr)
 	} else {
 		var err error
 		res, err = locsample.Sample(m, opts...)
@@ -258,6 +310,8 @@ func runMRF(g *locsample.Graph, m *locsample.Model, graphKind, modelDesc, report
 		r.Rounds = res.Rounds
 		r.TheoryRounds = res.TheoryRounds
 		r.Count = 1
+		r.CapRounds = capRounds
+		r.Diagnosis = diagnosis
 		if distr {
 			r.Stats = &res.Stats
 		}
@@ -275,10 +329,16 @@ func runMRF(g *locsample.Graph, m *locsample.Model, graphKind, modelDesc, report
 	fmt.Printf("graph: %s  n=%d  m=%d  Δ=%d\n", graphKind, g.N(), g.M(), g.MaxDeg())
 	fmt.Printf("model: %s\n", modelDesc)
 	fmt.Printf("algorithm: %v  rounds=%d", alg, res.Rounds)
-	if res.TheoryRounds > 0 {
+	switch {
+	case roundsAuto:
+		fmt.Printf("  (measured by coupling coalescence, cap %d)", capRounds)
+	case res.TheoryRounds > 0:
 		fmt.Printf("  (theory budget for ε=%g)", eps)
 	}
 	fmt.Println()
+	if diagnosis != nil {
+		printDiagnosis(diagnosis)
+	}
 	if distr {
 		fmt.Printf("communication: %d messages, %d bytes total, max message %d bytes\n",
 			res.Stats.Messages, res.Stats.Bytes, res.Stats.MaxMessageBytes)
@@ -508,6 +568,9 @@ func runCSP(g *locsample.Graph, c *locsample.CSPModel, init []int, modelDesc str
 		rounds = 200
 	}
 	var opts []locsample.Option
+	if roundsAuto {
+		opts = append(opts, locsample.WithRoundsAuto())
+	}
 	if shards > 1 {
 		opts = append(opts, locsample.WithShards(shards), locsample.WithShardStrategy(strat))
 	}
@@ -555,8 +618,15 @@ func runCSP(g *locsample.Graph, c *locsample.CSPModel, init []int, modelDesc str
 	var (
 		out        []int
 		shardStats *locsample.ShardStats
+		diagnosis  *locsample.Diagnosis
 	)
-	if traceOut != "" {
+	capRounds := s.CapRounds()
+	drawRounds := s.Rounds()
+	if diagOut {
+		if out, diagnosis, err = s.SampleDiagnosed(); err != nil {
+			fatal(err)
+		}
+	} else if traceOut != "" {
 		var tr *locsample.Trace
 		out, shardStats, tr, err = s.SampleTraced()
 		if err != nil {
@@ -569,8 +639,10 @@ func runCSP(g *locsample.Graph, c *locsample.CSPModel, init []int, modelDesc str
 	if jsonOut {
 		r := newJSONReport(g, "", modelDesc, "hypergraph lubyglauber", seed)
 		r.Graph.Kind = "csp"
-		r.Rounds = rounds
+		r.Rounds = drawRounds
 		r.Count = 1
+		r.CapRounds = capRounds
+		r.Diagnosis = diagnosis
 		if shardStats != nil {
 			r.Shards = shardStats.Shards
 			r.ShardStats = shardStats
@@ -584,7 +656,14 @@ func runCSP(g *locsample.Graph, c *locsample.CSPModel, init []int, modelDesc str
 	}
 	fmt.Printf("graph: n=%d m=%d Δ=%d\n", g.N(), g.M(), g.MaxDeg())
 	fmt.Printf("model: %s\n", modelDesc)
-	fmt.Printf("algorithm: hypergraph LubyGlauber, %d chain iterations\n", rounds)
+	fmt.Printf("algorithm: hypergraph LubyGlauber, %d chain iterations", drawRounds)
+	if roundsAuto {
+		fmt.Printf("  (measured by coupling coalescence, cap %d)", capRounds)
+	}
+	fmt.Println()
+	if diagnosis != nil {
+		printDiagnosis(diagnosis)
+	}
 	if shardStats != nil {
 		printShardStats(shardStats)
 	}
@@ -667,8 +746,31 @@ func reportCSP(g *locsample.Graph, c *locsample.CSPModel, out []int, domset bool
 }
 
 // traceOut is the -trace flag: a path to write the single draw's Chrome
-// trace-event JSON to ("" = tracing off).
-var traceOut string
+// trace-event JSON to ("" = tracing off). diagOut is the -diag flag
+// (diagnosed draw with coalescence report) and roundsAuto the
+// -rounds auto spelling (coupling-measured round budget); all three are
+// resolved once in main.
+var (
+	traceOut   string
+	diagOut    bool
+	roundsAuto bool
+)
+
+// printDiagnosis reports a diagnosed draw's coalescence verdict in text
+// mode.
+func printDiagnosis(d *locsample.Diagnosis) {
+	if d.Coalesced {
+		fmt.Printf("mixing: %d coupled chains coalesced at round %d  (measured budget %d, ran %d, cap %d)\n",
+			d.Chains, d.CoalescenceRound, d.MeasuredRounds, d.Rounds, d.MaxRounds)
+		return
+	}
+	final := 0
+	if n := len(d.Series.Disagree); n > 0 {
+		final = d.Series.Disagree[n-1]
+	}
+	fmt.Printf("mixing: %d coupled chains did NOT coalesce within %d rounds  (final disagreement %d sites)\n",
+		d.Chains, d.Rounds, final)
+}
 
 // writeTraceFile exports a recorded trace as Chrome trace-event JSON.
 func writeTraceFile(path string, tr *locsample.Trace) {

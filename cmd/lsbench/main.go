@@ -85,11 +85,15 @@ type Entry struct {
 	// SpeedupVs is baseline-ns/op ÷ this-ns/op for the same-named benchmark
 	// in the -baseline report (same host class only; absent otherwise).
 	SpeedupVs float64 `json:"speedup_vs,omitempty"`
+	// Underprovisioned marks parallel/sharded entries whose worker count
+	// exceeds GOMAXPROCS: the workers time-sliced, so the number measures
+	// scheduling overhead, not parallel speedup.
+	Underprovisioned bool `json:"underprovisioned,omitempty"`
 }
 
 func main() {
 	var (
-		out        = flag.String("out", "BENCH_PR7.json", "output JSON path")
+		out        = flag.String("out", "BENCH_PR8.json", "output JSON path")
 		quick      = flag.Bool("quick", false, "small sizes for CI smoke runs")
 		baseline   = flag.String("baseline", "", "earlier report to compute per-benchmark speedup_vs against")
 		maxRegress = flag.Float64("max-regress", 0, "fail if a matched benchmark's vertices/sec regresses more than this fraction vs -baseline on the same host class (0 = report only)")
@@ -119,6 +123,7 @@ func main() {
 	cspSmoke(rep)
 	transportSuite(rep, *quick)
 	obsSuite(rep, *quick)
+	diagSuite(rep, *quick)
 
 	regressions := applyBaseline(rep, *baseline, *maxRegress)
 
@@ -830,6 +835,48 @@ func obsSuite(rep *Report, quick bool) {
 	}
 }
 
+// diagSuite measures the mixing-diagnostics path on proved-regime
+// colorings (q = 16 > (2+√2)Δ at grid Δ = 4, where the paper's coupling
+// argument holds): a coupled diagnosed draw per seed at the
+// coupling-measured round budget. The speedup map entry diag/<name>
+// records measured_rounds against theory_rounds — the empirical
+// measured-vs-theory budget gap this suite exists to track — plus their
+// ratio; the benchmark entry itself carries the diagnosed draw's cost
+// at the measured budget.
+func diagSuite(rep *Report, quick bool) {
+	sides := []int{32, 64}
+	if quick {
+		sides = []int{16}
+	}
+	for _, side := range sides {
+		g := locsample.GridGraph(side, side)
+		m := locsample.NewColoring(g, 16)
+		s, err := locsample.NewSampler(m, locsample.WithSeed(3), locsample.WithRoundsAuto())
+		if err != nil {
+			fatal(err)
+		}
+		measured, theory := s.Rounds(), s.CapRounds()
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.SampleDiagnosedFrom(uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		name := fmt.Sprintf("grid%dx%d-coloring-q16", side, side)
+		rep.add("Diag/"+name+"/diagnosed-draw", g.N(), g.M(), measured, 1, 0, 0, res)
+		budgets := map[string]float64{
+			"measured_rounds": float64(measured),
+			"theory_rounds":   float64(theory),
+		}
+		if theory > 0 {
+			budgets["budget_ratio"] = float64(measured) / float64(theory)
+		}
+		rep.Speedup["diag/"+name] = budgets
+	}
+}
+
 // add appends one benchmark result with derived vertex-update throughput.
 func (r *Report) add(name string, n, m, rounds, k, shards, parallel int, res testing.BenchmarkResult) {
 	e := Entry{
@@ -849,6 +896,9 @@ func (r *Report) add(name string, n, m, rounds, k, shards, parallel int, res tes
 	}
 	if rounds > 0 && e.NsPerOp > 0 {
 		e.VerticesPerSec = float64(n) * float64(rounds) * float64(k) / (e.NsPerOp / 1e9)
+	}
+	if (shards > 1 && r.GOMAXPROCS < shards) || (parallel > 1 && r.GOMAXPROCS < parallel) {
+		e.Underprovisioned = true
 	}
 	fmt.Fprintf(os.Stderr, "lsbench: %-48s %12.0f ns/op  %6d allocs/op\n", name, e.NsPerOp, e.AllocsPerOp)
 	r.Benchmarks = append(r.Benchmarks, e)

@@ -76,6 +76,8 @@ func main() {
 	}
 
 	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel), "lserved")
+	metrics := obs.NewRegistry()
+	obs.RegisterBuildInfo(metrics, "locsampled")
 	reg := service.NewRegistry(service.Config{
 		CacheSize:       *cacheSize,
 		MaxModels:       *maxModels,
@@ -83,7 +85,7 @@ func main() {
 		DefaultShards:   defaultShards,
 		DefaultParallel: *parallel,
 		WorkerAddrs:     workerAddrs,
-		Obs:             obs.NewRegistry(),
+		Obs:             metrics,
 		Traces:          obs.NewTraceStore(*maxTraces),
 		Log:             logger,
 	})

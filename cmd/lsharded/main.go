@@ -50,6 +50,7 @@ func main() {
 		logger = obs.NopLogger()
 	}
 	registry := obs.NewRegistry()
+	obs.RegisterBuildInfo(registry, "lsharded")
 	w, err := service.NewWorker(*addr, service.WorkerConfig{
 		ReadyTimeout: *readyTimeout,
 		RecvTimeout:  *recvTimeout,
@@ -67,7 +68,7 @@ func main() {
 	var debugSrv *http.Server
 	if *debugAddr != "" {
 		mux := http.NewServeMux()
-		obs.RegisterDebug(mux, registry, nil)
+		obs.RegisterDebug(mux, registry, nil, nil)
 		mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
 			if w.Draining() {
 				http.Error(rw, "draining", http.StatusServiceUnavailable)

@@ -11,6 +11,7 @@ import (
 	"locsample/internal/cluster"
 	"locsample/internal/core"
 	"locsample/internal/csp"
+	"locsample/internal/diag"
 	"locsample/internal/dist"
 	"locsample/internal/localmodel"
 	"locsample/internal/obs"
@@ -60,6 +61,9 @@ type CSPSampler struct {
 	init   []int
 	cfg    core.Config
 	rounds int
+	// capRounds is the worst-case budget a WithRoundsAuto measurement was
+	// capped by (0 when the budget is fixed).
+	capRounds int
 
 	plan    *partition.CSPPlan
 	engines sync.Pool // *cluster.CSPEngine, sharded mode
@@ -101,6 +105,19 @@ func NewCSPSampler(g *Graph, c *CSPModel, init []int, opts ...Option) (*CSPSampl
 		init:   append([]int(nil), init...),
 		cfg:    cfg,
 		rounds: rounds,
+	}
+	if cfg.RoundsAuto {
+		// Measure the budget once at compile time: run a grand coupling
+		// under the draw seed and stop at coalescence, capped by the
+		// explicit budget. Draws then run the measured round count, so
+		// they stay bit-identical to WithRounds(measured).
+		d, err := diag.NewCoupledCSP(c, s.init, cfg.Seed,
+			diag.Options{Chains: cfg.Coupling, MaxRounds: rounds})
+		if err != nil {
+			return nil, err
+		}
+		s.capRounds = rounds
+		s.rounds = d.RunToCoalescence()
 	}
 	s.mDraws, s.mDrawNS, s.roundObs = newDrawMetrics(cfg.Obs, "csp")
 	s.scratch.New = func() any { return csp.NewScratch(c) }
@@ -181,6 +198,10 @@ func (s *CSPSampler) Close() error {
 
 // Rounds returns the per-chain round budget the sampler resolved.
 func (s *CSPSampler) Rounds() int { return s.rounds }
+
+// CapRounds returns the worst-case budget a WithRoundsAuto measurement
+// was capped by, or 0 when the budget is fixed (no measurement ran).
+func (s *CSPSampler) CapRounds() int { return s.capRounds }
 
 // Shards returns the shard count draws run with (1 when unsharded).
 func (s *CSPSampler) Shards() int {
@@ -333,6 +354,39 @@ func (s *CSPSampler) SampleTracedFrom(seed uint64) ([]int, *ShardStats, *Trace, 
 	s.addDrawSpan(tr, t0, seed, 1)
 	s.observeDraw(start)
 	return out, nil, tr, nil
+}
+
+// SampleDiagnosed draws one configuration exactly like Sample while
+// running a grand coupling alongside it; see Sampler.SampleDiagnosed for
+// the contract. The sample is bit-identical to an undiagnosed draw at
+// the same seed. Diagnosed CSP draws run centralized and sequential.
+func (s *CSPSampler) SampleDiagnosed() ([]int, *Diagnosis, error) {
+	return s.sampleDiagnosed(s.cfg.Seed, nil)
+}
+
+// SampleDiagnosedFrom is SampleDiagnosed with an explicit master seed.
+func (s *CSPSampler) SampleDiagnosedFrom(seed uint64) ([]int, *Diagnosis, error) {
+	return s.sampleDiagnosed(seed, nil)
+}
+
+// SampleDiagnosedObserved is SampleDiagnosedFrom with a per-round probe —
+// the live-streaming seam. The probe runs on the round hot path; see
+// CouplingProbe for the contract.
+func (s *CSPSampler) SampleDiagnosedObserved(seed uint64, probe CouplingProbe) ([]int, *Diagnosis, error) {
+	return s.sampleDiagnosed(seed, probe)
+}
+
+func (s *CSPSampler) sampleDiagnosed(seed uint64, probe diag.Probe) ([]int, *Diagnosis, error) {
+	start := time.Now()
+	d, err := diag.NewCoupledCSP(s.c, s.init, seed,
+		diag.Options{Chains: s.cfg.Coupling, MaxRounds: s.rounds, Probe: probe, Obs: s.engineObserver()})
+	if err != nil {
+		return nil, nil, err
+	}
+	d.Run(s.rounds)
+	out := append([]int(nil), d.X()...)
+	s.observeDraw(start)
+	return out, d.Finish(), nil
 }
 
 // engineObserver is the observer pooled engines idle with (nil unless
@@ -529,6 +583,12 @@ func newCSPSamplerFromConfig(g *Graph, c *CSPModel, init []int, cfg core.Config)
 	}
 	if cfg.Parallel > 1 {
 		opts = append(opts, WithParallelRounds(cfg.Parallel))
+	}
+	if cfg.RoundsAuto {
+		opts = append(opts, WithRoundsAuto())
+	}
+	if cfg.Coupling != 0 {
+		opts = append(opts, WithCoupling(cfg.Coupling))
 	}
 	return NewCSPSampler(g, c, init, opts...)
 }

@@ -10,6 +10,7 @@ import (
 	"locsample/internal/chains"
 	"locsample/internal/cluster"
 	"locsample/internal/core"
+	"locsample/internal/diag"
 	"locsample/internal/obs"
 	"locsample/internal/partition"
 )
@@ -35,6 +36,10 @@ type Sampler struct {
 	rounds int
 	theory int
 	init   []int
+	// capRounds is the worst-case budget a WithRoundsAuto compile measured
+	// under (0 when the budget was not auto-measured); rounds then holds
+	// the coupling-measured count.
+	capRounds int
 
 	// plan is the compiled shard layout (nil when unsharded). engines
 	// pools reusable cluster engines over it: one engine serves one draw
@@ -174,6 +179,22 @@ func NewSampler(m *Model, opts ...Option) (*Sampler, error) {
 		// Copied: the caller may mutate the slice it passed WithInitial.
 		init: append([]int(nil), init...),
 	}
+	if cfg.RoundsAuto {
+		// Measure the coupling-coalescence budget once, at compile time,
+		// under the worst-case cap Compile just resolved. The measurement
+		// is centralized and deterministic in (model, init, seed, k, cap),
+		// so every sampler compiled with these options resolves the same
+		// measured count — and a draw at that count is bit-identical to a
+		// WithRounds(measured) draw by construction.
+		d, err := diag.NewCoupledMRF(m, s.init, cfg.Seed, cfg.Algorithm,
+			chains.Options{DropRule3: cfg.DropRule3},
+			diag.Options{Chains: cfg.Coupling, MaxRounds: rounds})
+		if err != nil {
+			return nil, err
+		}
+		s.capRounds = rounds
+		s.rounds = d.RunToCoalescence()
+	}
 	s.mDraws, s.mDrawNS, s.roundObs = newDrawMetrics(cfg.Obs, "mrf")
 	s.chainPool.New = func() any {
 		cs := chains.NewSampler(m, s.init, 0, cfg.Algorithm,
@@ -275,6 +296,11 @@ func (s *Sampler) Rounds() int { return s.rounds }
 // pinned the budget explicitly.
 func (s *Sampler) TheoryRounds() int { return s.theory }
 
+// CapRounds returns the worst-case budget a WithRoundsAuto compile
+// measured under — Rounds() then holds the coupling-measured count.
+// 0 when the budget was not auto-measured.
+func (s *Sampler) CapRounds() int { return s.capRounds }
+
 // Shards returns the shard count draws run with (1 when unsharded).
 func (s *Sampler) Shards() int {
 	if s.plan == nil {
@@ -336,7 +362,8 @@ func (s *Sampler) sampleWithSeed(seed uint64) (*Result, error) {
 	if s.cfg.Distributed {
 		cfg := s.cfg
 		cfg.Seed = seed
-		cfg.Rounds = s.rounds
+		cfg.Rounds = s.rounds // measured count when auto; core re-resolves nothing
+		cfg.RoundsAuto = false
 		cfg.Init = s.init
 		res, err := core.Sample(s.m, cfg)
 		if err != nil {
@@ -476,6 +503,51 @@ func (s *Sampler) addDrawSpan(tr *obs.Trace, t0 int64, seed uint64, shards int) 
 	span.SetArg("rounds", int64(s.rounds))
 	span.SetArg("shards", int64(shards))
 	tr.Add(span)
+}
+
+// SampleDiagnosed draws one configuration exactly like Sample while
+// running a grand coupling alongside it: WithCoupling(k) chains (default
+// 4) advance from adversarial initial states under the draw's own PRF
+// coins, and the returned Diagnosis carries the per-round mixing series
+// (Hamming disagreement, flip-rate EWMA, per-shard compute/barrier
+// attribution) plus the coalescence verdict. Chain 0 of the coupling IS
+// the draw — it starts from the compiled init with the draw's seed — so
+// the sample is bit-identical to an undiagnosed Sample at the same seed
+// (pinned). Diagnosed draws always run the full compiled budget and run
+// centralized (sharding is a latency runtime, not a distribution one);
+// Result.Shard is therefore nil.
+func (s *Sampler) SampleDiagnosed() (*Result, *Diagnosis, error) {
+	return s.sampleDiagnosed(s.cfg.Seed, nil)
+}
+
+// SampleDiagnosedFrom is SampleDiagnosed with an explicit master seed.
+func (s *Sampler) SampleDiagnosedFrom(seed uint64) (*Result, *Diagnosis, error) {
+	return s.sampleDiagnosed(seed, nil)
+}
+
+// SampleDiagnosedObserved is SampleDiagnosedFrom with a per-round probe —
+// the live-streaming seam (the service's SSE endpoint is such a probe).
+// The probe runs on the round hot path; see diag.Probe for the contract.
+func (s *Sampler) SampleDiagnosedObserved(seed uint64, probe CouplingProbe) (*Result, *Diagnosis, error) {
+	return s.sampleDiagnosed(seed, probe)
+}
+
+func (s *Sampler) sampleDiagnosed(seed uint64, probe diag.Probe) (*Result, *Diagnosis, error) {
+	start := time.Now()
+	d, err := diag.NewCoupledMRF(s.m, s.init, seed, s.cfg.Algorithm,
+		chains.Options{DropRule3: s.cfg.DropRule3},
+		diag.Options{Chains: s.cfg.Coupling, MaxRounds: s.rounds, Probe: probe, Obs: s.engineObserver()})
+	if err != nil {
+		return nil, nil, err
+	}
+	d.Run(s.rounds)
+	out := append([]int(nil), d.X()...)
+	s.observeDraw(start)
+	return &Result{
+		Sample:       out,
+		Rounds:       s.rounds,
+		TheoryRounds: s.theory,
+	}, d.Finish(), nil
 }
 
 // SampleN draws k independent samples concurrently. Chain i runs with seed

@@ -42,6 +42,18 @@ type Config struct {
 	Epsilon float64
 	// Rounds overrides the automatic budget when positive.
 	Rounds int
+	// RoundsAuto replaces the worst-case round budget with a measured one:
+	// at compile time the engine runs a grand coupling (Coupling chains,
+	// shared PRF coins, adversarial starts — internal/diag) under the
+	// compiled seed, capped at the budget the other fields resolve to
+	// (explicit Rounds, or the theory/heuristic budget), and every draw
+	// then runs the measured round count. Draws stay bit-identical to a
+	// fixed-budget sampler pinned to the same round count. Only compiled
+	// samplers honor it; the package-level Sample routes through one.
+	RoundsAuto bool
+	// Coupling is the coupled-chain count diagnosed draws and RoundsAuto
+	// measurements run with (default 4; must be ≥ 2 when set).
+	Coupling int
 	// Seed drives all randomness. Two runs with equal seeds coincide.
 	Seed uint64
 	// Distributed executes the protocol on the LOCAL-model runtime instead

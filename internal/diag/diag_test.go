@@ -1,0 +1,249 @@
+package diag
+
+import (
+	"testing"
+
+	"locsample/internal/chains"
+	"locsample/internal/csp"
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+)
+
+func gridColoring(t *testing.T, rows, cols, q int) (*mrf.MRF, []int) {
+	t.Helper()
+	m := mrf.Coloring(graph.Grid(rows, cols), q)
+	init, err := chains.GreedyFeasible(m)
+	if err != nil {
+		t.Fatalf("greedy init: %v", err)
+	}
+	return m, init
+}
+
+// TestCouplingCoalescesColoringProvedRegime is the headline acceptance
+// check: on a grid coloring inside the paper's proved LocalMetropolis
+// regime (q=16 > (2+√2)Δ ≈ 13.66 at Δ=4), the grand coupling must observe
+// full coalescence well inside a generous cap, and the series must be
+// internally consistent.
+func TestCouplingCoalescesColoringProvedRegime(t *testing.T) {
+	m, init := gridColoring(t, 8, 8, 16)
+	const cap = 4000
+	d, err := NewCoupledMRF(m, init, 42, chains.LocalMetropolis, chains.Options{},
+		Options{Chains: 4, MaxRounds: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := d.RunToCoalescence()
+	if !d.Coalesced() {
+		t.Fatalf("no coalescence within %d rounds on a proved-regime coloring", cap)
+	}
+	if measured != d.CoalescenceRound()+1 {
+		t.Fatalf("measured = %d, want coalescence round %d + 1", measured, d.CoalescenceRound())
+	}
+	if measured >= cap {
+		t.Fatalf("measured budget %d did not beat the cap %d", measured, cap)
+	}
+	diag := d.Finish()
+	if !diag.Coalesced || diag.MeasuredRounds != measured || diag.Chains != 4 {
+		t.Fatalf("diagnosis mismatch: %+v", diag)
+	}
+	if len(diag.Series.Disagree) != d.Round() || len(diag.Series.Flips) != d.Round() || len(diag.Series.FlipEWMA) != d.Round() {
+		t.Fatalf("series lengths %d/%d/%d, want %d rounds",
+			len(diag.Series.Disagree), len(diag.Series.Flips), len(diag.Series.FlipEWMA), d.Round())
+	}
+	if last := diag.Series.Disagree[len(diag.Series.Disagree)-1]; last != 0 {
+		t.Fatalf("final disagreement %d, want 0", last)
+	}
+	if diag.Series.Disagree[0] == 0 {
+		t.Fatal("adversarial companions already agreed at round 0 — inits are not adversarial")
+	}
+	if len(diag.Series.Shards) != 1 || len(diag.Series.Shards[0].ComputeNS) != d.Round() {
+		t.Fatalf("shard attribution missing or mis-sized: %+v", diag.Series.Shards)
+	}
+}
+
+// TestChain0BitIdenticalToPlainSampler pins the determinism contract that
+// lets the engines serve diagnosed draws: chain 0 of a coupling IS the
+// plain chain — same model, init, seed, same trajectory, byte for byte.
+func TestChain0BitIdenticalToPlainSampler(t *testing.T) {
+	for _, alg := range []chains.Algorithm{chains.LocalMetropolis, chains.LubyGlauber} {
+		m, init := gridColoring(t, 6, 6, 16)
+		const rounds = 60
+		plain := chains.NewSampler(m, init, 7, alg, chains.Options{})
+		plain.Run(rounds)
+		d, err := NewCoupledMRF(m, init, 7, alg, chains.Options{}, Options{Chains: 3, MaxRounds: rounds})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Run(rounds)
+		for v := range plain.X {
+			if plain.X[v] != d.X()[v] {
+				t.Fatalf("%v: coupled chain 0 diverged from plain sampler at vertex %d", alg, v)
+			}
+		}
+	}
+}
+
+// TestRotatedInitProper checks the structural adversarial start: on a
+// coloring model the companions begin from cyclic color rotations, which
+// stay proper while disagreeing with chain 0 at every vertex.
+func TestRotatedInitProper(t *testing.T) {
+	m, init := gridColoring(t, 5, 5, 15)
+	for j := 1; j < 4; j++ {
+		rot := rotatedInit(m, init, j)
+		if rot == nil {
+			t.Fatalf("companion %d: rotation unavailable on a coloring model", j)
+		}
+		if !m.Feasible(rot) {
+			t.Fatalf("companion %d: rotated init infeasible", j)
+		}
+		for v := range init {
+			if rot[v] == init[v] {
+				t.Fatalf("companion %d agrees with chain 0 at vertex %d", j, v)
+			}
+		}
+	}
+	if rotatedInit(mrf.Hardcore(graph.Grid(3, 3), 0.5), make([]int, 9), 1) != nil {
+		t.Fatal("rotation must be unavailable for non-coloring models")
+	}
+}
+
+// TestBurnInFallbackNonColoring exercises the burn-in companion path on a
+// hardcore model (no rotation exists): the coupling must construct, chain
+// 0 must still match the plain sampler, and companions must start
+// feasible.
+func TestBurnInFallbackNonColoring(t *testing.T) {
+	m := mrf.Hardcore(graph.Grid(4, 4), 0.7)
+	init := make([]int, 16) // empty set: feasible for hardcore
+	const rounds = 40
+	plain := chains.NewSampler(m, init, 11, chains.LubyGlauber, chains.Options{})
+	plain.Run(rounds)
+	d, err := NewCoupledMRF(m, init, 11, chains.LubyGlauber, chains.Options{}, Options{MaxRounds: rounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(rounds)
+	for v := range plain.X {
+		if plain.X[v] != d.X()[v] {
+			t.Fatalf("coupled chain 0 diverged from plain sampler at vertex %d", v)
+		}
+	}
+}
+
+// TestCSPCouplingChain0Identity pins the CSP mirror of the contract:
+// chain 0 advances exactly as the raw hypergraph LubyGlauber kernel.
+func TestCSPCouplingChain0Identity(t *testing.T) {
+	c := csp.DominatingSet(graph.Grid(4, 4))
+	init := make([]int, c.N)
+	for v := range init {
+		init[v] = 1 // full set dominates
+	}
+	const rounds = 80
+	x := append([]int(nil), init...)
+	sc := csp.NewScratch(c)
+	for r := 0; r < rounds; r++ {
+		csp.LubyGlauberRoundPRF(c, x, 13, r, sc)
+	}
+	d, err := NewCoupledCSP(c, init, 13, Options{Chains: 3, MaxRounds: rounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run(rounds)
+	for v := range x {
+		if x[v] != d.X()[v] {
+			t.Fatalf("coupled CSP chain 0 diverged from raw kernel at vertex %d", v)
+		}
+	}
+	diag := d.Finish()
+	if diag.Rounds != rounds || len(diag.Series.Flips) != rounds {
+		t.Fatalf("diagnosis rounds %d / series %d, want %d", diag.Rounds, len(diag.Series.Flips), rounds)
+	}
+}
+
+// countProbe is a deliberately allocation-free probe for the alloc gate.
+type countProbe struct {
+	calls     int
+	lastRound int
+	lastDis   int
+}
+
+func (p *countProbe) CouplingRound(round, disagree, flips int, flipEWMA float64) {
+	p.calls++
+	p.lastRound = round
+	p.lastDis = disagree
+}
+
+// TestStepRoundAllocs is the PR's alloc gate: a coupled round allocates
+// nothing, with the probe detached AND attached.
+func TestStepRoundAllocs(t *testing.T) {
+	m, init := gridColoring(t, 4, 4, 6)
+	mk := func(p Probe) *Coupled {
+		d, err := NewCoupledMRF(m, init, 3, chains.LocalMetropolis, chains.Options{},
+			Options{Chains: 3, MaxRounds: 4096, Probe: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	if n := testing.AllocsPerRun(50, mk(nil).StepRound); n != 0 {
+		t.Fatalf("StepRound allocates %v/round with probe off, want 0", n)
+	}
+	p := &countProbe{}
+	if n := testing.AllocsPerRun(50, mk(p).StepRound); n != 0 {
+		t.Fatalf("StepRound allocates %v/round with probe on, want 0", n)
+	}
+	if p.calls == 0 {
+		t.Fatal("probe never invoked")
+	}
+
+	c := csp.DominatingSet(graph.Grid(4, 4))
+	initC := make([]int, c.N)
+	for v := range initC {
+		initC[v] = 1
+	}
+	dc, err := NewCoupledCSP(c, initC, 3, Options{MaxRounds: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(50, dc.StepRound); n != 0 {
+		t.Fatalf("CSP StepRound allocates %v/round, want 0", n)
+	}
+}
+
+// TestProbeSeesSeries checks the probe receives the same values the
+// series record.
+func TestProbeSeesSeries(t *testing.T) {
+	m, init := gridColoring(t, 5, 5, 16)
+	p := &countProbe{}
+	d, err := NewCoupledMRF(m, init, 9, chains.LocalMetropolis, chains.Options{},
+		Options{Chains: 3, MaxRounds: 500, Probe: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.RunToCoalescence()
+	if p.calls != d.Round() {
+		t.Fatalf("probe called %d times over %d rounds", p.calls, d.Round())
+	}
+	diag := d.Finish()
+	if p.lastRound != d.Round()-1 || p.lastDis != diag.Series.Disagree[d.Round()-1] {
+		t.Fatalf("probe saw (round %d, dis %d), series end (round %d, dis %d)",
+			p.lastRound, p.lastDis, d.Round()-1, diag.Series.Disagree[d.Round()-1])
+	}
+}
+
+// TestOptionsValidation covers the constructor error paths.
+func TestOptionsValidation(t *testing.T) {
+	m, init := gridColoring(t, 3, 3, 6)
+	if _, err := NewCoupledMRF(m, init, 1, chains.LocalMetropolis, chains.Options{}, Options{Chains: 1, MaxRounds: 10}); err == nil {
+		t.Fatal("Chains=1 must be rejected")
+	}
+	if _, err := NewCoupledMRF(m, init, 1, chains.LocalMetropolis, chains.Options{}, Options{MaxRounds: 0}); err == nil {
+		t.Fatal("MaxRounds=0 must be rejected")
+	}
+	if _, err := NewCoupledMRF(m, init[:3], 1, chains.LocalMetropolis, chains.Options{}, Options{MaxRounds: 10}); err == nil {
+		t.Fatal("short init must be rejected")
+	}
+	c := csp.DominatingSet(graph.Grid(3, 3))
+	if _, err := NewCoupledCSP(c, make([]int, c.N), 1, Options{MaxRounds: 10}); err == nil {
+		t.Fatal("infeasible CSP init must be rejected")
+	}
+}

@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strconv"
+)
+
+// RegisterBuildInfo publishes the standard <name>_build_info gauge: a
+// constant-1 series whose labels carry the binary's module version, the
+// Go toolchain it was built with, and the GOMAXPROCS it runs under. The
+// gauge exists so dashboards can join runtime series against deploy
+// metadata (and spot underprovisioned hosts) without shelling into the
+// box. GOMAXPROCS is sampled once at registration — it is a process
+// fact, not a time series.
+func RegisterBuildInfo(r *Registry, name string) {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	r.Gauge(name+"_build_info",
+		"build and runtime metadata for the "+name+" binary (value fixed at 1)",
+		"version", version,
+		"goversion", runtime.Version(),
+		"gomaxprocs", strconv.Itoa(runtime.GOMAXPROCS(0)),
+	).Set(1)
+}

@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r, "testbin")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	checkExposition(t, out)
+	if !strings.Contains(out, "testbin_build_info{") {
+		t.Fatalf("build info gauge missing:\n%s", out)
+	}
+	for _, label := range []string{"version=", "goversion=", "gomaxprocs="} {
+		if !strings.Contains(out, label) {
+			t.Fatalf("build info gauge missing %s label:\n%s", label, out)
+		}
+	}
+	if !strings.Contains(out, "} 1") {
+		t.Fatalf("build info gauge not fixed at 1:\n%s", out)
+	}
+}

@@ -70,15 +70,17 @@ func TraceListHandler(ts *TraceStore) http.Handler {
 }
 
 // RegisterDebug mounts the standard debug surface on a mux: /metrics,
-// /debug/trace/{id}, /debug/traces, and the net/http/pprof handlers
-// under /debug/pprof/. Registry and store may be nil (the endpoints
-// then serve empty data). This is the mux lsharded's -debug-addr and
-// lserved's built-in server both use, so the two tiers expose the same
-// shape.
-func RegisterDebug(mux *http.ServeMux, r *Registry, ts *TraceStore) {
+// /debug/trace/{id}, /debug/traces, /debug/mixing[/{id}], and the
+// net/http/pprof handlers under /debug/pprof/. Registry and stores may
+// be nil (the endpoints then serve empty data). This is the mux
+// lsharded's -debug-addr and lserved's built-in server both use, so the
+// two tiers expose the same shape.
+func RegisterDebug(mux *http.ServeMux, r *Registry, ts *TraceStore, ms *MixingStore) {
 	mux.Handle("/metrics", MetricsHandler(r))
 	mux.Handle("/debug/trace/", TraceHandler(ts))
 	mux.Handle("/debug/traces", TraceListHandler(ts))
+	mux.Handle("/debug/mixing/", MixingHandler(ms))
+	mux.Handle("/debug/mixing", MixingListHandler(ms))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

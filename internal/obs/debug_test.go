@@ -11,7 +11,7 @@ import (
 
 func newDebugServer(r *Registry, ts *TraceStore) *httptest.Server {
 	mux := http.NewServeMux()
-	RegisterDebug(mux, r, ts)
+	RegisterDebug(mux, r, ts, nil)
 	return httptest.NewServer(mux)
 }
 
@@ -102,6 +102,60 @@ func TestTraceEndpoints(t *testing.T) {
 	resp3.Body.Close()
 	if len(list) != 1 || list[0].ID != tr.ID || list[0].Spans != 1 {
 		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestMixingEndpoints(t *testing.T) {
+	ms := NewMixingStore(2)
+	ms.Put(MixingSummary{ID: "a", Chains: 4, Rounds: 10, Coalesced: true, CoalescenceRound: 7, MeasuredRounds: 8})
+	ms.Put(MixingSummary{ID: "b", Chains: 2, Rounds: 5})
+	ms.Put(MixingSummary{ID: "a", Chains: 4, Rounds: 12, Coalesced: true, CoalescenceRound: 9, MeasuredRounds: 10})
+	ms.Put(MixingSummary{ID: "c", Chains: 3, Rounds: 3}) // evicts b (least recently updated)
+	if _, ok := ms.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if s, ok := ms.Get("a"); !ok || s.MeasuredRounds != 10 || s.RecordedUnixNS == 0 {
+		t.Fatalf("a = %+v, ok %v", s, ok)
+	}
+
+	mux := http.NewServeMux()
+	RegisterDebug(mux, nil, nil, ms)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var sum MixingSummary
+	resp, err := http.Get(srv.URL + "/debug/mixing/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || sum.ID != "a" || sum.MeasuredRounds != 10 {
+		t.Fatalf("GET mixing/a: code %d, %+v", resp.StatusCode, sum)
+	}
+
+	resp2, err := http.Get(srv.URL + "/debug/mixing/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET mixing/nope: code %d, want 404", resp2.StatusCode)
+	}
+
+	var list []MixingSummary
+	resp3, err := http.Get(srv.URL + "/debug/mixing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp3.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if len(list) != 2 || list[0].ID != "c" || list[1].ID != "a" {
+		t.Fatalf("mixing list = %+v", list)
 	}
 }
 

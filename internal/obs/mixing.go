@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// MixingSummary is the retained result of one diagnosed draw's grand
+// coupling: how many chains ran, whether they coalesced, and how the
+// measured round budget compares to theory. The obs package owns the
+// struct (internal/diag cannot be imported from here without a cycle
+// through the engines); the serving layer fills it from a Diagnosis.
+type MixingSummary struct {
+	// ID is the model the diagnosed draw ran on.
+	ID   string `json:"id"`
+	Seed uint64 `json:"seed"`
+	// Chains is the coupled-chain count (chain 0 is the draw).
+	Chains int `json:"chains"`
+	// Rounds is the number of rounds the coupling actually advanced.
+	Rounds int `json:"rounds"`
+	// MaxRounds is the worst-case budget the coupling was capped by.
+	MaxRounds int `json:"maxRounds"`
+	// Coalesced reports whether every companion collided with chain 0.
+	Coalesced bool `json:"coalesced"`
+	// CoalescenceRound is the round the last companion collided
+	// (meaningful only when Coalesced).
+	CoalescenceRound int `json:"coalescenceRound"`
+	// MeasuredRounds is the budget the coupling certifies: coalescence
+	// round + 1, or MaxRounds when the coupling never coalesced.
+	MeasuredRounds int `json:"measuredRounds"`
+	// TheoryRounds is the paper's worst-case budget for the workload
+	// (0 when rounds were pinned and no theory budget exists).
+	TheoryRounds int `json:"theoryRounds,omitempty"`
+	// FinalDisagree is the Hamming disagreement at the last round (0
+	// exactly when Coalesced).
+	FinalDisagree int `json:"finalDisagree"`
+	// RecordedUnixNS is when the summary was stored.
+	RecordedUnixNS int64 `json:"recorded_unixns"`
+}
+
+// MixingStore retains the latest mixing summary per model for
+// /debug/mixing/{id}, evicting least-recently-updated models beyond
+// capacity. All methods are nil-safe, mirroring TraceStore.
+type MixingStore struct {
+	mu    sync.Mutex
+	cap   int
+	order []string // least-recently-updated first
+	byID  map[string]MixingSummary
+}
+
+// NewMixingStore returns a store retaining summaries for up to cap
+// models (cap <= 0 means a default of 128).
+func NewMixingStore(cap int) *MixingStore {
+	if cap <= 0 {
+		cap = 128
+	}
+	return &MixingStore{cap: cap, byID: make(map[string]MixingSummary)}
+}
+
+// Put stores a model's latest summary, stamping the record time.
+func (ms *MixingStore) Put(s MixingSummary) {
+	if ms == nil {
+		return
+	}
+	s.RecordedUnixNS = time.Now().UnixNano()
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if _, ok := ms.byID[s.ID]; ok {
+		for i, id := range ms.order {
+			if id == s.ID {
+				ms.order = append(ms.order[:i], ms.order[i+1:]...)
+				break
+			}
+		}
+	}
+	ms.order = append(ms.order, s.ID)
+	ms.byID[s.ID] = s
+	for len(ms.order) > ms.cap {
+		delete(ms.byID, ms.order[0])
+		ms.order = ms.order[1:]
+	}
+}
+
+// Get returns the stored summary for a model.
+func (ms *MixingStore) Get(id string) (MixingSummary, bool) {
+	if ms == nil {
+		return MixingSummary{}, false
+	}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	s, ok := ms.byID[id]
+	return s, ok
+}
+
+// List returns the stored summaries, most recently updated first.
+func (ms *MixingStore) List() []MixingSummary {
+	if ms == nil {
+		return nil
+	}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	out := make([]MixingSummary, 0, len(ms.order))
+	for i := len(ms.order) - 1; i >= 0; i-- {
+		out = append(out, ms.byID[ms.order[i]])
+	}
+	return out
+}
+
+// MixingHandler serves GET /debug/mixing/{id}: the model's latest
+// diagnosed-draw summary as JSON. Expects to be mounted at prefix
+// "/debug/mixing/".
+func MixingHandler(ms *MixingStore) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.Header().Set("Allow", "GET")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		id := strings.TrimPrefix(req.URL.Path, "/debug/mixing/")
+		if id == "" || strings.Contains(id, "/") {
+			http.Error(w, "model id required", http.StatusBadRequest)
+			return
+		}
+		s, ok := ms.Get(id)
+		if !ok {
+			http.Error(w, "no mixing summary for model", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s)
+	})
+}
+
+// MixingListHandler serves GET /debug/mixing as a JSON listing of all
+// stored summaries, most recently updated first.
+func MixingListHandler(ms *MixingStore) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.Header().Set("Allow", "GET")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		list := ms.List()
+		if list == nil {
+			list = []MixingSummary{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(list)
+	})
+}

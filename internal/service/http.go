@@ -21,11 +21,15 @@ import (
 //	GET  /v1/models              list registered models
 //	GET  /v1/models/{id}         one model's spec + counters
 //	POST /v1/models/{id}/sample  draw k samples
+//	POST /v1/models/{id}/sample/stream  draw one sample, streaming mixing
+//	                             telemetry as SSE round events (final
+//	                             event carries the draw)
 //	GET  /healthz                liveness
 //	GET  /statsz                 registry + cache + per-model counters
 //	GET  /metrics                Prometheus text exposition
 //	GET  /debug/trace/{id}       one draw's Chrome trace-event JSON
 //	GET  /debug/traces           stored trace listing
+//	GET  /debug/mixing/{id}      one model's latest mixing summary
 //	GET  /debug/pprof/...        runtime profiles
 //
 // Model IDs are spec content hashes ("sha256:" + 64 hex digits), so
@@ -54,8 +58,17 @@ type SampleRequest struct {
 	Seed *uint64 `json:"seed,omitempty"`
 	// Algorithm overrides the chain (MRF models only).
 	Algorithm string `json:"algorithm,omitempty"`
-	// Rounds overrides the round budget.
+	// Rounds overrides the round budget. On the wire it also accepts the
+	// string "auto" (see RoundsAuto); the typed field stays an int so
+	// literal SampleRequest values keep working.
 	Rounds int `json:"rounds,omitempty"`
+	// RoundsAuto is the parsed form of rounds:"auto": the budget is
+	// measured by a grand coupling at compile time instead of taken from
+	// worst-case theory, capped by the budget the other options resolve.
+	RoundsAuto bool `json:"-"`
+	// Every is the round-event cadence of the streaming endpoint: one SSE
+	// round event per Every rounds (default 16; ignored by plain sample).
+	Every int `json:"every,omitempty"`
 	// Epsilon overrides the total-variation target of the automatic
 	// budget.
 	Epsilon float64 `json:"epsilon,omitempty"`
@@ -77,6 +90,35 @@ type SampleRequest struct {
 	Trace bool `json:"trace,omitempty"`
 }
 
+// UnmarshalJSON accepts both spellings of rounds — a number, or the
+// string "auto" for a coupling-measured budget.
+func (sr *SampleRequest) UnmarshalJSON(data []byte) error {
+	type alias SampleRequest
+	aux := struct {
+		*alias
+		Rounds json.RawMessage `json:"rounds,omitempty"`
+	}{alias: (*alias)(sr)}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	raw := strings.TrimSpace(string(aux.Rounds))
+	if raw == "" || raw == "null" {
+		return nil
+	}
+	if strings.HasPrefix(raw, `"`) {
+		var s string
+		if err := json.Unmarshal(aux.Rounds, &s); err != nil {
+			return err
+		}
+		if s != "auto" {
+			return fmt.Errorf("rounds must be a number or \"auto\", got %q", s)
+		}
+		sr.RoundsAuto = true
+		return nil
+	}
+	return json.Unmarshal(aux.Rounds, &sr.Rounds)
+}
+
 // SampleResponse answers POST /v1/models/{id}/sample.
 type SampleResponse struct {
 	ID           string `json:"id"`
@@ -85,6 +127,9 @@ type SampleResponse struct {
 	Algorithm    string `json:"algorithm"`
 	Rounds       int    `json:"rounds"`
 	TheoryRounds int    `json:"theoryRounds,omitempty"`
+	// CapRounds is the worst-case budget a rounds:"auto" draw was capped
+	// by (omitted for fixed-budget draws).
+	CapRounds int `json:"capRounds,omitempty"`
 	// Shards is the shard count each chain ran with; ShardStats profiles
 	// the sharded runtime (both omitted for centralized draws).
 	Shards     int                   `json:"shards,omitempty"`
@@ -121,7 +166,7 @@ type errorResponse struct {
 // request-ID logging middleware over the registry's logger.
 func NewServer(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
-	obs.RegisterDebug(mux, reg.obs, reg.traces)
+	obs.RegisterDebug(mux, reg.obs, reg.traces, reg.mixing)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		if !allowMethod(w, req, http.MethodGet) {
 			return
@@ -167,6 +212,11 @@ func NewServer(reg *Registry) http.Handler {
 				return
 			}
 			handleSample(reg, m, w, req)
+		case "sample/stream":
+			if !allowMethod(w, req, http.MethodPost) {
+				return
+			}
+			handleSampleStream(reg, m, w, req)
 		default:
 			writeError(w, http.StatusNotFound, fmt.Errorf("unknown endpoint %q", req.URL.Path))
 		}
@@ -183,6 +233,14 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(status int) {
 	w.status = status
 	w.ResponseWriter.WriteHeader(status)
+}
+
+// Flush forwards to the wrapped writer so SSE streaming works through
+// the logging middleware.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // requestLog assigns every request a random ID (echoed as
@@ -249,13 +307,14 @@ func handleSample(reg *Registry, m *Model, w http.ResponseWriter, req *http.Requ
 		seed = *sr.Seed
 	}
 	opts := DrawOptions{
-		K:         sr.K,
-		Seed:      seed,
-		Algorithm: sr.Algorithm,
-		Rounds:    sr.Rounds,
-		Epsilon:   sr.Epsilon,
-		Shards:    sr.Shards,
-		Parallel:  sr.Parallel,
+		K:          sr.K,
+		Seed:       seed,
+		Algorithm:  sr.Algorithm,
+		Rounds:     sr.Rounds,
+		Epsilon:    sr.Epsilon,
+		Shards:     sr.Shards,
+		Parallel:   sr.Parallel,
+		RoundsAuto: sr.RoundsAuto,
 	}
 	var res *DrawResult
 	if sr.Trace {
@@ -267,6 +326,11 @@ func handleSample(reg *Registry, m *Model, w http.ResponseWriter, req *http.Requ
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	writeJSON(w, http.StatusOK, sampleResponseFor(m, seed, res))
+}
+
+// sampleResponseFor shapes a DrawResult into the wire response.
+func sampleResponseFor(m *Model, seed uint64, res *DrawResult) SampleResponse {
 	resp := SampleResponse{
 		ID:           m.Hash,
 		Seed:         seed,
@@ -274,6 +338,7 @@ func handleSample(reg *Registry, m *Model, w http.ResponseWriter, req *http.Requ
 		Algorithm:    res.Algorithm,
 		Rounds:       res.Rounds,
 		TheoryRounds: res.TheoryRounds,
+		CapRounds:    res.CapRounds,
 		ElapsedMS:    float64(res.Elapsed.Nanoseconds()) / 1e6,
 		TraceID:      res.TraceID,
 		Samples:      res.Samples,
@@ -286,7 +351,123 @@ func handleSample(reg *Registry, m *Model, w http.ResponseWriter, req *http.Requ
 	if res.Parallel > 1 {
 		resp.Parallel = res.Parallel
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+// RoundEvent is the data of one SSE "round" event on the streaming
+// endpoint: the coupling's live mixing signal at that round.
+type RoundEvent struct {
+	Round    int     `json:"round"`
+	Disagree int     `json:"disagree"`
+	Flips    int     `json:"flips"`
+	FlipEWMA float64 `json:"flipEwma"`
+}
+
+// StreamDrawEvent is the data of the final SSE "draw" event: the full
+// sample response plus the coupling's diagnosis.
+type StreamDrawEvent struct {
+	SampleResponse
+	Diagnosis *locsample.Diagnosis `json:"diagnosis"`
+}
+
+// writeSSE emits one server-sent event and flushes it to the client.
+func writeSSE(w io.Writer, fl http.Flusher, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	fl.Flush()
+}
+
+// sseProbe streams round events over an open SSE connection. It
+// implements locsample.CouplingProbe; unlike metric probes it
+// deliberately does IO on the round path — live telemetry is the point
+// of the streaming endpoint, and the cadence bounds the cost.
+type sseProbe struct {
+	w     http.ResponseWriter
+	fl    http.Flusher
+	every int
+}
+
+func (p *sseProbe) CouplingRound(round, disagree, flips int, flipEWMA float64) {
+	if round%p.every != 0 {
+		return
+	}
+	writeSSE(p.w, p.fl, "round", RoundEvent{Round: round, Disagree: disagree, Flips: flips, FlipEWMA: flipEWMA})
+}
+
+// handleSampleStream serves POST /v1/models/{id}/sample/stream: a
+// diagnosed single draw streamed as SSE — one "round" event per Every
+// rounds (round 0 always fires, so every stream carries at least one),
+// then a final "draw" event with the sample and its diagnosis. The
+// sample is bit-identical to a plain draw with the same options.
+func handleSampleStream(reg *Registry, m *Model, w http.ResponseWriter, req *http.Request) {
+	var sr SampleRequest
+	body, err := readBody(w, req, 1<<20)
+	if err != nil {
+		return
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &sr); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid sample request: %w", err))
+			return
+		}
+	}
+	if sr.K > 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("streaming draws run one chain; k must be 1, got %d", sr.K))
+		return
+	}
+	if sr.Trace {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("streaming draws cannot also be traced"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("response writer does not support streaming"))
+		return
+	}
+	seed := rand.Uint64()
+	if sr.Seed != nil {
+		seed = *sr.Seed
+	}
+	every := sr.Every
+	if every <= 0 {
+		every = 16
+	}
+	opts := DrawOptions{
+		K:          1,
+		Seed:       seed,
+		Algorithm:  sr.Algorithm,
+		Rounds:     sr.Rounds,
+		Epsilon:    sr.Epsilon,
+		Shards:     sr.Shards,
+		Parallel:   sr.Parallel,
+		RoundsAuto: sr.RoundsAuto,
+	}
+	// Validate and compile before committing to the stream so invalid
+	// options still get a proper HTTP error status instead of a broken
+	// event stream.
+	if err := reg.validateDrawOptions(opts); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, err := reg.getCompiled(m, opts); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	res, diag, err := reg.DrawDiagnosed(m, opts, &sseProbe{w: w, fl: fl, every: every})
+	if err != nil {
+		// The stream is already open (status sent); report in-band.
+		writeSSE(w, fl, "error", errorResponse{Error: err.Error()})
+		return
+	}
+	writeSSE(w, fl, "draw", StreamDrawEvent{SampleResponse: sampleResponseFor(m, seed, res), Diagnosis: diag})
 }
 
 func readBody(w http.ResponseWriter, req *http.Request, limit int64) ([]byte, error) {

@@ -65,6 +65,9 @@ type Config struct {
 	// Traces retains completed draw traces for /debug/trace/{id}
 	// (default: a fresh store holding the last 32).
 	Traces *obs.TraceStore
+	// Mixing retains the latest diagnosed-draw mixing summary per model
+	// for /debug/mixing/{id} (default: a fresh store).
+	Mixing *obs.MixingStore
 	// Log receives the registry's structured logs (default: discard).
 	Log *slog.Logger
 }
@@ -202,6 +205,9 @@ type compileKey struct {
 	// parallel is the resolved vertex-parallel worker count, canonicalized
 	// the same way (0 and 1 both mean sequential rounds).
 	parallel int
+	// auto marks a measured-budget (rounds:"auto") compile — a distinct
+	// workload from the same options with a fixed budget.
+	auto bool
 }
 
 // compiled is one cache entry: a reusable MRF batch sampler or a reusable
@@ -231,6 +237,7 @@ type Registry struct {
 
 	obs    *obs.Registry
 	traces *obs.TraceStore
+	mixing *obs.MixingStore
 	log    *slog.Logger
 
 	mu       sync.Mutex
@@ -247,8 +254,9 @@ type Registry struct {
 	modelsGauge *obs.Gauge
 	// inflightDraws is the queue-depth signal: draws currently executing
 	// (including time spent waiting on a cold compile's singleflight).
-	inflightDraws *obs.Gauge
-	tracedDraws   *obs.Counter
+	inflightDraws  *obs.Gauge
+	tracedDraws    *obs.Counter
+	diagnosedDraws *obs.Counter
 }
 
 type lruEntry struct {
@@ -278,6 +286,10 @@ func NewRegistry(cfg Config) *Registry {
 	if traces == nil {
 		traces = obs.NewTraceStore(0)
 	}
+	mixing := cfg.Mixing
+	if mixing == nil {
+		mixing = obs.NewMixingStore(0)
+	}
 	log := cfg.Log
 	if log == nil {
 		log = obs.NopLogger()
@@ -287,6 +299,7 @@ func NewRegistry(cfg Config) *Registry {
 		start:    time.Now(),
 		obs:      o,
 		traces:   traces,
+		mixing:   mixing,
 		log:      log,
 		models:   make(map[string]*Model),
 		lru:      list.New(),
@@ -300,6 +313,7 @@ func NewRegistry(cfg Config) *Registry {
 	r.modelsGauge = o.Gauge("locserved_models", "registered models")
 	r.inflightDraws = o.Gauge("locserved_inflight_draws", "draws currently executing")
 	r.tracedDraws = o.Counter("locserved_traced_draws_total", "draws served with tracing enabled")
+	r.diagnosedDraws = o.Counter("locserved_diagnosed_draws_total", "draws served with coupling diagnostics")
 	return r
 }
 
@@ -308,6 +322,9 @@ func (r *Registry) Obs() *obs.Registry { return r.obs }
 
 // Traces returns the completed-trace store (for /debug/trace/{id}).
 func (r *Registry) Traces() *obs.TraceStore { return r.traces }
+
+// Mixing returns the mixing-summary store (for /debug/mixing/{id}).
+func (r *Registry) Mixing() *obs.MixingStore { return r.mixing }
 
 // Logger returns the registry's logger.
 func (r *Registry) Logger() *slog.Logger { return r.log }
@@ -440,6 +457,12 @@ type DrawOptions struct {
 	// server's). Like Shards it never changes the samples, and the two are
 	// mutually exclusive per draw.
 	Parallel int
+	// RoundsAuto replaces the worst-case round budget with one measured
+	// by a grand coupling at compile time, capped by the budget the
+	// options would otherwise resolve (the wire spelling is
+	// rounds:"auto"). Draws under the measured budget are bit-identical
+	// to explicit-rounds draws at the same seed and round count.
+	RoundsAuto bool
 }
 
 // DrawResult is one served batch.
@@ -465,6 +488,9 @@ type DrawResult struct {
 	// TraceID identifies the recorded trace of a traced draw
 	// (DrawTraced), fetchable at /debug/trace/{id}; empty otherwise.
 	TraceID string
+	// CapRounds is the worst-case budget a rounds:"auto" compile was
+	// capped by (0 for fixed-budget draws).
+	CapRounds int
 }
 
 func defaultDrawOptions(m *Model) DrawOptions {
@@ -528,6 +554,101 @@ func (r *Registry) DrawTraced(m *Model, opts DrawOptions) (*DrawResult, *obs.Tra
 	return res, tr.t, nil
 }
 
+// DrawDiagnosed is Draw with a grand coupling running alongside the
+// chain: the draw runs sequentially (k must be 1) and comes back with a
+// mixing Diagnosis, whose summary is retained for /debug/mixing/{id}.
+// The sample is bit-identical to an undiagnosed draw with the same
+// options — chain 0 of the coupling, seeded ChainSeed(seed, 0), IS the
+// draw. A non-nil probe observes the coupling live, one call per round
+// (the SSE streaming endpoint passes one).
+func (r *Registry) DrawDiagnosed(m *Model, opts DrawOptions, probe locsample.CouplingProbe) (*DrawResult, *locsample.Diagnosis, error) {
+	if opts.K > 1 {
+		err := fmt.Errorf("service: diagnosed draws run one chain; k must be 1, got %d", opts.K)
+		m.requests.Inc()
+		m.errors.Inc()
+		return nil, nil, err
+	}
+	r.inflightDraws.Add(1)
+	res, diag, err := r.drawDiagnosed(m, opts, probe)
+	r.inflightDraws.Add(-1)
+	res, err = r.finishDraw(m, res, err)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.diagnosedDraws.Inc()
+	r.mixing.Put(obs.MixingSummary{
+		ID:               m.Hash,
+		Seed:             opts.Seed,
+		Chains:           diag.Chains,
+		Rounds:           diag.Rounds,
+		MaxRounds:        diag.MaxRounds,
+		Coalesced:        diag.Coalesced,
+		CoalescenceRound: diag.CoalescenceRound,
+		MeasuredRounds:   diag.MeasuredRounds,
+		TheoryRounds:     res.TheoryRounds,
+		FinalDisagree:    lastDisagree(diag),
+	})
+	r.log.Info("diagnosed draw", "model", m.Hash,
+		"coalesced", diag.Coalesced, "measured", diag.MeasuredRounds,
+		"rounds", diag.Rounds, "elapsed", res.Elapsed)
+	return res, diag, nil
+}
+
+func lastDisagree(d *locsample.Diagnosis) int {
+	if n := len(d.Series.Disagree); n > 0 {
+		return d.Series.Disagree[n-1]
+	}
+	return 0
+}
+
+// drawDiagnosed runs the diagnosed draw proper (validation and metrics
+// live in DrawDiagnosed).
+func (r *Registry) drawDiagnosed(m *Model, opts DrawOptions, probe locsample.CouplingProbe) (*DrawResult, *locsample.Diagnosis, error) {
+	if opts.K == 0 {
+		opts.K = 1
+	}
+	if err := r.validateDrawOptions(opts); err != nil {
+		return nil, nil, err
+	}
+	c, err := r.getCompiled(m, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	// Chain 0 of an untraced k-batch runs with ChainSeed(seed, 0); the
+	// diagnosed single chain must match it bit-for-bit.
+	seed := locsample.ChainSeed(opts.Seed, 0)
+	if c.sampler != nil {
+		res, diag, err := c.sampler.SampleDiagnosedObserved(seed, probe)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &DrawResult{
+			Samples:      [][]int{res.Sample},
+			Rounds:       res.Rounds,
+			TheoryRounds: res.TheoryRounds,
+			Algorithm:    algorithmName(m, opts),
+			Shards:       1, // diagnosed draws run the coupling centralized
+			Parallel:     1,
+			Elapsed:      time.Since(start),
+			CapRounds:    c.sampler.CapRounds(),
+		}, diag, nil
+	}
+	sample, diag, err := c.cspSampler.SampleDiagnosedObserved(seed, probe)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &DrawResult{
+		Samples:   [][]int{sample},
+		Rounds:    c.cspSampler.Rounds(),
+		Algorithm: "lubyglauber",
+		Shards:    1,
+		Parallel:  1,
+		Elapsed:   time.Since(start),
+		CapRounds: c.cspSampler.CapRounds(),
+	}, diag, nil
+}
+
 // finishDraw books one finished draw into the model's serving series.
 func (r *Registry) finishDraw(m *Model, res *DrawResult, err error) (*DrawResult, error) {
 	m.requests.Inc()
@@ -551,24 +672,33 @@ func (r *Registry) finishDraw(m *Model, res *DrawResult, err error) (*DrawResult
 // and the recorded trace comes back in t.
 type trace struct{ t *obs.Trace }
 
+// validateDrawOptions range-checks the request-level knobs shared by
+// every draw flavor (plain, traced, diagnosed, streamed).
+func (r *Registry) validateDrawOptions(opts DrawOptions) error {
+	if opts.K < 1 || opts.K > r.cfg.MaxK {
+		return fmt.Errorf("service: k must be in [1,%d], got %d", r.cfg.MaxK, opts.K)
+	}
+	if opts.Rounds < 0 {
+		return fmt.Errorf("service: rounds must be >= 0, got %d", opts.Rounds)
+	}
+	if opts.Epsilon < 0 || opts.Epsilon >= 1 || math.IsNaN(opts.Epsilon) {
+		return fmt.Errorf("service: epsilon must be in [0,1), got %v", opts.Epsilon)
+	}
+	if opts.Shards < 0 || opts.Shards > r.cfg.MaxShards {
+		return fmt.Errorf("service: shards must be in [0,%d], got %d", r.cfg.MaxShards, opts.Shards)
+	}
+	if opts.Parallel < 0 || opts.Parallel > r.cfg.MaxParallel {
+		return fmt.Errorf("service: parallel must be in [0,%d], got %d", r.cfg.MaxParallel, opts.Parallel)
+	}
+	return nil
+}
+
 func (r *Registry) draw(m *Model, opts DrawOptions, tr *trace) (*DrawResult, error) {
 	if opts.K == 0 {
 		opts.K = 1
 	}
-	if opts.K < 1 || opts.K > r.cfg.MaxK {
-		return nil, fmt.Errorf("service: k must be in [1,%d], got %d", r.cfg.MaxK, opts.K)
-	}
-	if opts.Rounds < 0 {
-		return nil, fmt.Errorf("service: rounds must be >= 0, got %d", opts.Rounds)
-	}
-	if opts.Epsilon < 0 || opts.Epsilon >= 1 || math.IsNaN(opts.Epsilon) {
-		return nil, fmt.Errorf("service: epsilon must be in [0,1), got %v", opts.Epsilon)
-	}
-	if opts.Shards < 0 || opts.Shards > r.cfg.MaxShards {
-		return nil, fmt.Errorf("service: shards must be in [0,%d], got %d", r.cfg.MaxShards, opts.Shards)
-	}
-	if opts.Parallel < 0 || opts.Parallel > r.cfg.MaxParallel {
-		return nil, fmt.Errorf("service: parallel must be in [0,%d], got %d", r.cfg.MaxParallel, opts.Parallel)
+	if err := r.validateDrawOptions(opts); err != nil {
+		return nil, err
 	}
 	c, err := r.getCompiled(m, opts)
 	if err != nil {
@@ -592,6 +722,7 @@ func (r *Registry) draw(m *Model, opts DrawOptions, tr *trace) (*DrawResult, err
 				Shards:       c.sampler.Shards(),
 				Parallel:     c.sampler.ParallelRounds(),
 				Elapsed:      time.Since(start),
+				CapRounds:    c.sampler.CapRounds(),
 			}
 			if res.Shard != nil {
 				out.Shard = *res.Shard
@@ -611,6 +742,7 @@ func (r *Registry) draw(m *Model, opts DrawOptions, tr *trace) (*DrawResult, err
 			Parallel:     c.sampler.ParallelRounds(),
 			Shard:        batch.Shard,
 			Elapsed:      time.Since(start),
+			CapRounds:    c.sampler.CapRounds(),
 		}, nil
 	}
 	if tr != nil {
@@ -626,6 +758,7 @@ func (r *Registry) draw(m *Model, opts DrawOptions, tr *trace) (*DrawResult, err
 			Shards:    c.cspSampler.Shards(),
 			Parallel:  c.cspSampler.ParallelRounds(),
 			Elapsed:   time.Since(start),
+			CapRounds: c.cspSampler.CapRounds(),
 		}
 		if st != nil {
 			out.Shard = *st
@@ -644,6 +777,7 @@ func (r *Registry) draw(m *Model, opts DrawOptions, tr *trace) (*DrawResult, err
 		Parallel:  c.cspSampler.ParallelRounds(),
 		Shard:     batch.Shard,
 		Elapsed:   time.Since(start),
+		CapRounds: c.cspSampler.CapRounds(),
 	}, nil
 }
 
@@ -713,7 +847,7 @@ func (r *Registry) getCompiled(m *Model, opts DrawOptions) (*compiled, error) {
 }
 
 func (r *Registry) compileKeyFor(m *Model, opts DrawOptions) (compileKey, error) {
-	key := compileKey{hash: m.Hash, rounds: opts.Rounds, epsBits: math.Float64bits(opts.Epsilon)}
+	key := compileKey{hash: m.Hash, rounds: opts.Rounds, epsBits: math.Float64bits(opts.Epsilon), auto: opts.RoundsAuto}
 	if m.Built.CSP != nil {
 		if opts.Algorithm != "" {
 			// Accept any spelling of the one chain CSPs run.
@@ -799,6 +933,12 @@ func (r *Registry) compile(m *Model, key compileKey, opts DrawOptions) (*compile
 		if key.parallel > 1 {
 			sopts = append(sopts, locsample.WithParallelRounds(key.parallel))
 		}
+		if key.auto {
+			// The coupling measures under the sampler's compile seed (the
+			// service leaves it at 0), so the measured budget depends only
+			// on (model, options) — per-request seeds still reseed draws.
+			sopts = append(sopts, locsample.WithRoundsAuto())
+		}
 		r.compiles.Inc()
 		cs, err := locsample.NewCSPSampler(m.Built.Graph, m.Built.CSP, m.Built.Init, sopts...)
 		if err != nil {
@@ -819,6 +959,9 @@ func (r *Registry) compile(m *Model, key compileKey, opts DrawOptions) (*compile
 	}
 	if key.parallel > 1 {
 		sopts = append(sopts, locsample.WithParallelRounds(key.parallel))
+	}
+	if key.auto {
+		sopts = append(sopts, locsample.WithRoundsAuto())
 	}
 	r.compiles.Inc()
 	sampler, err := locsample.NewSampler(m.Built.Model, sopts...)

@@ -1,0 +1,221 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"locsample/internal/obs"
+)
+
+// q=16 at Δ=4 keeps the grid coloring inside the LocalMetropolis proved
+// regime, so auto budgets and couplings actually coalesce fast.
+const provedColoringSpec = `{
+	"version": "locsample/v1",
+	"name": "grid-coloring-16",
+	"graph": {"family": "grid", "rows": 6, "cols": 6},
+	"model": {"kind": "coloring", "q": 16}
+}`
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	event string
+	data  string
+}
+
+func parseSSE(t *testing.T, body string) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	for _, block := range strings.Split(body, "\n\n") {
+		block = strings.TrimSpace(block)
+		if block == "" {
+			continue
+		}
+		var ev sseEvent
+		for _, line := range strings.Split(block, "\n") {
+			if v, ok := strings.CutPrefix(line, "event: "); ok {
+				ev.event = v
+			}
+			if v, ok := strings.CutPrefix(line, "data: "); ok {
+				ev.data = v
+			}
+		}
+		if ev.event == "" && ev.data == "" {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// TestSampleStreamSSE drives POST /v1/models/{id}/sample/stream and pins
+// the stream's shape and determinism: ≥1 round event, exactly one final
+// draw event, the streamed sample bit-identical to a plain draw with the
+// same options, and the mixing summary retained at /debug/mixing/{id}.
+func TestSampleStreamSSE(t *testing.T) {
+	ts, reg := newTestServer(t)
+	var rr RegisterResponse
+	if code, body := postJSON(t, ts.URL+"/v1/models", provedColoringSpec, &rr); code != http.StatusCreated {
+		t.Fatalf("register: code %d, body %s", code, body)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/models/"+rr.ID+"/sample/stream",
+		"application/json", strings.NewReader(`{"seed":42,"rounds":120,"every":8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: code %d, body %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	events := parseSSE(t, string(raw))
+	var rounds int
+	var draws []StreamDrawEvent
+	for _, ev := range events {
+		switch ev.event {
+		case "round":
+			var re RoundEvent
+			if err := json.Unmarshal([]byte(ev.data), &re); err != nil {
+				t.Fatalf("round event %q: %v", ev.data, err)
+			}
+			if re.Round%8 != 0 {
+				t.Fatalf("round event off cadence: %+v", re)
+			}
+			rounds++
+		case "draw":
+			var de StreamDrawEvent
+			if err := json.Unmarshal([]byte(ev.data), &de); err != nil {
+				t.Fatalf("draw event %q: %v", ev.data, err)
+			}
+			draws = append(draws, de)
+		default:
+			t.Fatalf("unexpected event %q", ev.event)
+		}
+	}
+	if rounds < 1 {
+		t.Fatalf("no round events in stream:\n%s", raw)
+	}
+	if len(draws) != 1 {
+		t.Fatalf("got %d draw events, want exactly 1", len(draws))
+	}
+	draw := draws[0]
+	if draw.Diagnosis == nil || draw.Diagnosis.Rounds != 120 || draw.Diagnosis.Chains < 2 {
+		t.Fatalf("draw diagnosis: %+v", draw.Diagnosis)
+	}
+	if draw.Rounds != 120 || draw.Seed != 42 || len(draw.Samples) != 1 {
+		t.Fatalf("draw event shape: %+v", draw.SampleResponse)
+	}
+
+	// Bit-identity: the streamed sample is the plain draw.
+	var plain SampleResponse
+	if code, body := postJSON(t, ts.URL+"/v1/models/"+rr.ID+"/sample", `{"seed":42,"rounds":120}`, &plain); code != http.StatusOK {
+		t.Fatalf("plain sample: code %d, body %s", code, body)
+	}
+	if !reflect.DeepEqual(plain.Samples[0], draw.Samples[0]) {
+		t.Fatal("streamed draw diverged from plain draw at the same seed")
+	}
+
+	// The mixing summary is retained and served.
+	var sum obs.MixingSummary
+	if code := getJSON(t, ts.URL+"/debug/mixing/"+rr.ID, &sum); code != http.StatusOK {
+		t.Fatalf("debug/mixing: code %d", code)
+	}
+	if sum.ID != rr.ID || sum.Chains != draw.Diagnosis.Chains || sum.Rounds != 120 {
+		t.Fatalf("mixing summary: %+v", sum)
+	}
+	if sum.Coalesced != draw.Diagnosis.Coalesced || sum.MeasuredRounds != draw.Diagnosis.MeasuredRounds {
+		t.Fatalf("mixing summary disagrees with diagnosis: %+v vs %+v", sum, draw.Diagnosis)
+	}
+	if reg.diagnosedDraws.Value() != 1 {
+		t.Fatalf("diagnosed draws counter = %d, want 1", reg.diagnosedDraws.Value())
+	}
+
+	// Invalid options fail before the stream commits (proper status).
+	resp2, err := http.Post(ts.URL+"/v1/models/"+rr.ID+"/sample/stream",
+		"application/json", strings.NewReader(`{"algorithm":"bogus"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus algorithm over stream: code %d, want 400", resp2.StatusCode)
+	}
+
+	// Out-of-range knobs hit the same pre-commit validation the plain
+	// endpoint applies (a negative round count must not stream).
+	resp3, err := http.Post(ts.URL+"/v1/models/"+rr.ID+"/sample/stream",
+		"application/json", strings.NewReader(`{"seed":3,"rounds":-5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative rounds over stream: code %d, want 400", resp3.StatusCode)
+	}
+}
+
+// TestRoundsAutoOverWire pins the wire spelling rounds:"auto": the
+// response reports the measured budget plus its cap, and the draw is
+// bit-identical to an explicit-rounds draw at the measured count.
+func TestRoundsAutoOverWire(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var rr RegisterResponse
+	if code, body := postJSON(t, ts.URL+"/v1/models", provedColoringSpec, &rr); code != http.StatusCreated {
+		t.Fatalf("register: code %d, body %s", code, body)
+	}
+	var auto SampleResponse
+	if code, body := postJSON(t, ts.URL+"/v1/models/"+rr.ID+"/sample", `{"seed":7,"rounds":"auto"}`, &auto); code != http.StatusOK {
+		t.Fatalf("auto sample: code %d, body %s", code, body)
+	}
+	if auto.CapRounds <= 0 || auto.Rounds <= 0 || auto.Rounds > auto.CapRounds {
+		t.Fatalf("auto budget: rounds %d, cap %d", auto.Rounds, auto.CapRounds)
+	}
+	if auto.Rounds == auto.CapRounds {
+		t.Fatalf("measured budget %d did not beat the cap in the proved regime", auto.Rounds)
+	}
+	var fixed SampleResponse
+	body := `{"seed":7,"rounds":` + jsonInt(auto.Rounds) + `}`
+	if code, b := postJSON(t, ts.URL+"/v1/models/"+rr.ID+"/sample", body, &fixed); code != http.StatusOK {
+		t.Fatalf("fixed sample: code %d, body %s", code, b)
+	}
+	if fixed.CapRounds != 0 {
+		t.Fatalf("fixed draw reports capRounds %d, want 0", fixed.CapRounds)
+	}
+	if !reflect.DeepEqual(auto.Samples, fixed.Samples) {
+		t.Fatal("auto draw diverged from fixed-budget draw at the measured count")
+	}
+}
+
+func jsonInt(v int) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+// TestSampleRequestRoundsSpellings covers the custom unmarshal.
+func TestSampleRequestRoundsSpellings(t *testing.T) {
+	var sr SampleRequest
+	if err := json.Unmarshal([]byte(`{"rounds":40,"k":2}`), &sr); err != nil || sr.Rounds != 40 || sr.RoundsAuto || sr.K != 2 {
+		t.Fatalf("numeric rounds: %+v, err %v", sr, err)
+	}
+	sr = SampleRequest{}
+	if err := json.Unmarshal([]byte(`{"rounds":"auto"}`), &sr); err != nil || !sr.RoundsAuto || sr.Rounds != 0 {
+		t.Fatalf("auto rounds: %+v, err %v", sr, err)
+	}
+	sr = SampleRequest{}
+	if err := json.Unmarshal([]byte(`{"rounds":"fast"}`), &sr); err == nil {
+		t.Fatal("bogus rounds string must be rejected")
+	}
+	sr = SampleRequest{}
+	if err := json.Unmarshal([]byte(`{"k":1}`), &sr); err != nil || sr.Rounds != 0 || sr.RoundsAuto {
+		t.Fatalf("omitted rounds: %+v, err %v", sr, err)
+	}
+}

@@ -49,6 +49,7 @@ import (
 
 	"locsample/internal/chains"
 	"locsample/internal/core"
+	"locsample/internal/diag"
 	"locsample/internal/graph"
 	"locsample/internal/localmodel"
 	"locsample/internal/mrf"
@@ -286,12 +287,51 @@ func WithLogger(l *slog.Logger) Option {
 	return func(c *core.Config) { c.Log = l }
 }
 
+// Diagnosis is the mixing report a diagnosed draw returns alongside the
+// sample: per-round Hamming-disagreement and flip-rate series over the
+// coupled chains, per-shard compute/barrier attribution, and the
+// coalescence verdict with the measured round budget.
+type Diagnosis = diag.Diagnosis
+
+// CouplingProbe observes a diagnosed draw's coupling live, one call per
+// round. It runs on the round hot path and must not allocate or block;
+// the service's SSE streaming endpoint is implemented as one.
+type CouplingProbe = diag.Probe
+
+// WithCoupling sets the number of coupled chains diagnosed draws and
+// WithRoundsAuto measurements advance (default 4, minimum 2). Chain 0 is
+// always the draw itself; the others start from adversarial initial
+// states and share its PRF coins.
+func WithCoupling(k int) Option {
+	return func(c *core.Config) { c.Coupling = k }
+}
+
+// WithRoundsAuto replaces the worst-case round budget with a measured
+// one: at compile time the sampler runs a grand coupling under the
+// configured seed and stops at coalescence, capped by what the fixed
+// budget would have been (CapRounds). A draw under the measured budget is
+// bit-identical to WithRounds(measured) at the same seed. Honored by
+// compiled samplers (NewSampler / NewCSPSampler); the one-shot Sample
+// routes through one.
+func WithRoundsAuto() Option {
+	return func(c *core.Config) { c.RoundsAuto = true }
+}
+
 // Sample draws one configuration approximately distributed as the model's
 // Gibbs distribution.
 func Sample(m *Model, opts ...Option) (*Result, error) {
 	cfg := core.Config{Algorithm: chains.LocalMetropolis}
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	if cfg.RoundsAuto {
+		// Measured budgets live in the compiled-sampler path; route there.
+		s, err := NewSampler(m, opts...)
+		if err != nil {
+			return nil, err
+		}
+		defer s.Close()
+		return s.Sample()
 	}
 	return core.Sample(m, cfg)
 }

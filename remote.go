@@ -257,9 +257,10 @@ func (r *remoteEngine) teardown() {
 // connections — the draw is a pure function of (seed, rounds), so a
 // rerun after a transient failure (worker restart, dropped connection)
 // returns the identical configuration. If the retry also fails the
-// session is left torn down and the retry's typed error is returned; out
-// is never partially current on error paths that matter (callers discard
-// it on error).
+// session is left torn down and the retry's typed error is returned. A
+// failed attempt writes nothing into out or tr — results are buffered
+// until every worker has returned OK — so the retry starts from a clean
+// trace and a partial failure can never duplicate round spans.
 //
 // A non-nil tr makes the draw traced: the run requests ask workers to
 // record per-shard round timing, and the returned series are grafted
@@ -294,7 +295,14 @@ func (r *remoteEngine) drawOnce(seed uint64, rounds int, out []int, tr *obs.Trac
 			return ShardStats{}, r.workerErr(errStageRun, w, fmt.Errorf("sending run: %w", err))
 		}
 	}
+	// Collect every worker's result before touching out or tr: a draw
+	// can fail on worker w after workers 0..w-1 returned fine, and the
+	// caller then retries with the same output buffer and trace. Scatter
+	// or graft inside this loop and a partial failure would leave stale
+	// states in out and duplicate the successful workers' round spans on
+	// the retried trace.
 	st := ShardStats{Shards: r.job.shards, Rounds: rounds}
+	results := make([]*transport.ResultMsg, len(r.conns))
 	for w, c := range r.conns {
 		m, err := transport.ReadControl(c, remoteResultTimeout)
 		if err != nil {
@@ -316,6 +324,9 @@ func (r *remoteEngine) drawOnce(seed uint64, rounds int, out []int, tr *obs.Trac
 			return ShardStats{}, r.workerErr(errStageResult, w,
 				fmt.Errorf("result carries %d states, want %d", len(res.States), len(r.slots[w])))
 		}
+		results[w] = res
+	}
+	for w, res := range results {
 		for i, v := range res.States {
 			out[r.slots[w][i]] = v
 		}
