@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench-json bench-json-quick bit-identity fmt vet
+.PHONY: build test race chaos bench-json bench-json-quick bit-identity fmt vet
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,20 @@ test:
 race:
 	GOMAXPROCS=4 $(GO) test -race ./internal/cluster/... ./internal/partition/... ./internal/transport/... ./internal/obs/...
 	GOMAXPROCS=4 $(GO) test -race -run 'Parallel|CSP|Remote|Worker|Trace|Metrics|Drain' ./internal/chains/ ./internal/csp/ ./internal/service/ .
+
+# The self-healing gate, under the race detector: real lsharded worker
+# processes are SIGKILLed and SIGSTOPped in the middle of draws, and the
+# draws must recover via standby replacement with byte-identical output
+# (MRF and CSP, two shard counts each); a dead fleet with no standby
+# must fail with a typed WorkerError, never a partial sample; a dead
+# fleet behind lserved must degrade to the bit-identical local fallback
+# and open the circuit breaker; and the transport dial/deadline paths
+# must stay bounded against refused, late-accepting, and half-open
+# peers.
+chaos:
+	GOMAXPROCS=4 $(GO) test -race -count=1 -timeout 10m \
+		-run 'TestChaos|TestDialRetry|TestDialControl|TestPingHalfOpenPeerTimesOut|TestReadControlHalfOpenPeerTimesOut|TestPingLiveWorkerLoopback|TestBreakerStateMachine|TestDegradedFallbackBitIdentical|TestCentralizedDrawsBypassBreaker|TestProbeWorkersDeadFleet|TestSampleContext' \
+		./internal/transport/ ./internal/service/ .
 
 bit-identity:
 	GOMAXPROCS=4 $(GO) test -count=1 -run 'TestShardedBitIdentical|TestWithShardsBitIdentical|TestServerShardedDrawBitIdentical|TestParallelRoundsMatchSequential|TestWithParallelRoundsBitIdentical|TestServerParallelDrawBitIdentical|TestTransportEngineBitIdentical|TestRemoteMRFBitIdentical|TestRegistryRemoteWorkers|TestCrossProcessShardedBitIdentical|TestSampleDiagnosedBitIdentical|TestRoundsAuto' \

@@ -41,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"locsample"
 	"locsample/internal/obs"
 	"locsample/internal/service"
 )
@@ -56,17 +57,39 @@ func main() {
 		shards    = flag.Int("shards", 0, "default shard count for draws whose request and spec name none (0 = centralized; MRF and CSP models alike; samples are bit-identical at every shard count)")
 		parallel  = flag.Int("parallel", 0, "default vertex-parallel worker count for centralized draws whose request and spec name none (0 = sequential rounds; MRF and CSP models alike; samples are bit-identical at every worker count)")
 		workers   = flag.String("workers", "", "comma-separated lsharded worker addresses; sharded draws place their shards across these processes over TCP (bit-identical to in-process draws)")
+		standby   = flag.String("standby-workers", "", "comma-separated spare lsharded addresses; when a worker dies mid-draw the coordinator swaps a spare into its shard band and redraws (samples stay bit-identical)")
 		timeout   = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown grace period")
+
+		retryAttempts = flag.Int("retry-attempts", 0, "coordinator draw attempts before a worker fault fails over to the local fallback (0 = default 2)")
+		retryBackoff  = flag.Duration("retry-backoff", 0, "base delay between coordinator attempts, doubled per attempt with jitter (0 = default 100ms)")
+		drawTimeout   = flag.Duration("draw-timeout", 0, "per-draw coordinator result deadline (0 = default 2m)")
+		heartbeat     = flag.Duration("worker-heartbeat", 0, "coordinator heartbeat interval driving the locsample_worker_up gauges (0 = off)")
+
+		breakerThreshold = flag.Int("breaker-threshold", 0, "consecutive coordinator draw failures that open a model's circuit breaker (0 = default 3)")
+		breakerCooldown  = flag.Duration("breaker-cooldown", 0, "open-breaker wait before a probe draw retries the coordinator (0 = default 30s)")
+		probeTimeout     = flag.Duration("probe-timeout", 2*time.Second, "startup worker-probe dial deadline")
 	)
 	flag.Parse()
 
-	var workerAddrs []string
-	if *workers != "" {
-		for _, a := range strings.Split(*workers, ",") {
+	splitAddrs := func(s string) []string {
+		var out []string
+		for _, a := range strings.Split(s, ",") {
 			if a = strings.TrimSpace(a); a != "" {
-				workerAddrs = append(workerAddrs, a)
+				out = append(out, a)
 			}
 		}
+		return out
+	}
+	var workerAddrs []string
+	if *workers != "" {
+		workerAddrs = splitAddrs(*workers)
+	}
+	var standbyAddrs []string
+	if *standby != "" {
+		standbyAddrs = splitAddrs(*standby)
+	}
+	if len(standbyAddrs) > 0 && len(workerAddrs) == 0 {
+		fatal(errors.New("-standby-workers requires -workers"))
 	}
 	defaultShards := *shards
 	if defaultShards == 0 && len(workerAddrs) > 1 {
@@ -78,17 +101,42 @@ func main() {
 	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel), "lserved")
 	metrics := obs.NewRegistry()
 	obs.RegisterBuildInfo(metrics, "locsampled")
+	var retry *locsample.RetryPolicy
+	if *retryAttempts > 0 || *retryBackoff > 0 || *drawTimeout > 0 || *heartbeat > 0 {
+		retry = &locsample.RetryPolicy{
+			Attempts:      *retryAttempts,
+			Backoff:       *retryBackoff,
+			ResultTimeout: *drawTimeout,
+			Heartbeat:     *heartbeat,
+		}
+	}
 	reg := service.NewRegistry(service.Config{
-		CacheSize:       *cacheSize,
-		MaxModels:       *maxModels,
-		MaxK:            *maxK,
-		DefaultShards:   defaultShards,
-		DefaultParallel: *parallel,
-		WorkerAddrs:     workerAddrs,
-		Obs:             metrics,
-		Traces:          obs.NewTraceStore(*maxTraces),
-		Log:             logger,
+		CacheSize:        *cacheSize,
+		MaxModels:        *maxModels,
+		MaxK:             *maxK,
+		DefaultShards:    defaultShards,
+		DefaultParallel:  *parallel,
+		WorkerAddrs:      workerAddrs,
+		StandbyAddrs:     standbyAddrs,
+		Retry:            retry,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		Obs:              metrics,
+		Traces:           obs.NewTraceStore(*maxTraces),
+		Log:              logger,
 	})
+	if len(workerAddrs) > 0 {
+		// Probe the fleet before serving: a mistyped or down worker shows
+		// up in the log and in /statsz immediately, not on the first
+		// sharded draw.
+		up := 0
+		for _, w := range reg.ProbeWorkers(*probeTimeout) {
+			if w.Up {
+				up++
+			}
+		}
+		logger.Info("worker probe", "up", up, "configured", len(workerAddrs)+len(standbyAddrs))
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           service.NewServer(reg),

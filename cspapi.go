@@ -1,6 +1,7 @@
 package locsample
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -143,7 +144,7 @@ func NewCSPSampler(g *Graph, c *CSPModel, init []int, opts ...Option) (*CSPSampl
 				planSeed: cfg.Seed,
 				init:     s.init,
 				addrs:    cfg.WorkerAddrs,
-			}, cspOwned(plan), c.N)
+			}, cspOwned(plan), c.N, resolveRetry(&cfg), cfg.StandbyAddrs)
 			if err != nil {
 				return nil, err
 			}
@@ -233,19 +234,27 @@ type CSPBatch struct {
 }
 
 // runChain advances one centralized chain in place: sequential kernels, or
-// vertex-parallel round phases when WithParallelRounds is set.
-func (s *CSPSampler) runChain(x []int, seed uint64, sc *csp.Scratch) {
+// vertex-parallel round phases when WithParallelRounds is set. A non-nil
+// abort is polled between rounds (the cancellation seam — one atomic load
+// per round); the caller decides what a stopped chain means.
+func (s *CSPSampler) runChain(x []int, seed uint64, sc *csp.Scratch, abort *atomic.Bool) {
 	if s.roundObs != nil {
-		s.runChainObserved(x, seed, sc, s.roundObs)
+		s.runChainObserved(x, seed, sc, s.roundObs, abort)
 		return
 	}
 	if s.cfg.Parallel > 1 {
 		for r := 0; r < s.rounds; r++ {
+			if abort != nil && abort.Load() {
+				return
+			}
 			csp.LubyGlauberRoundParallel(s.c, x, seed, r, sc, s.cfg.Parallel)
 		}
 		return
 	}
 	for r := 0; r < s.rounds; r++ {
+		if abort != nil && abort.Load() {
+			return
+		}
 		csp.LubyGlauberRoundPRF(s.c, x, seed, r, sc)
 	}
 }
@@ -253,8 +262,11 @@ func (s *CSPSampler) runChain(x []int, seed uint64, sc *csp.Scratch) {
 // runChainObserved is runChain with a per-round observer: identical
 // trajectory (the observer never touches the chain's randomness), two
 // extra clock reads per round, zero allocations.
-func (s *CSPSampler) runChainObserved(x []int, seed uint64, sc *csp.Scratch, o chains.RoundObserver) {
+func (s *CSPSampler) runChainObserved(x []int, seed uint64, sc *csp.Scratch, o chains.RoundObserver, abort *atomic.Bool) {
 	for r := 0; r < s.rounds; r++ {
+		if abort != nil && abort.Load() {
+			return
+		}
 		t0 := time.Now()
 		if s.cfg.Parallel > 1 {
 			csp.LubyGlauberRoundParallel(s.c, x, seed, r, sc, s.cfg.Parallel)
@@ -277,10 +289,21 @@ func (s *CSPSampler) observeDraw(start time.Time) {
 // Sample draws one configuration with the compiled settings and the master
 // seed, exactly as the package-level SampleCSP would.
 func (s *CSPSampler) Sample() ([]int, *ShardStats, error) {
+	return s.SampleContext(context.Background())
+}
+
+// SampleContext is Sample under a context: a canceled ctx aborts the
+// draw (coordinator connections are closed, sharded engines torn down,
+// centralized chains stop at the next round boundary) and returns
+// ctx.Err(). Cancellation never yields a partial sample.
+func (s *CSPSampler) SampleContext(ctx context.Context) ([]int, *ShardStats, error) {
 	start := time.Now()
+	if err := ctxErr(ctx); err != nil {
+		return nil, nil, err
+	}
 	out := make([]int, s.c.N)
 	if s.remote != nil {
-		st, err := s.remote.draw(s.cfg.Seed, s.rounds, out, nil)
+		st, err := s.remote.draw(ctx, s.cfg.Seed, s.rounds, out, nil)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -289,7 +312,16 @@ func (s *CSPSampler) Sample() ([]int, *ShardStats, error) {
 	}
 	if s.plan != nil {
 		eng := s.engines.Get().(*cluster.CSPEngine)
+		// Cancellation closes the engine's transport: the lockstep
+		// workers fail their next exchange and Run returns. The closed
+		// engine is discarded, never re-pooled.
+		stop := ctxWatch(ctx, func() { eng.Close() })
 		st, err := eng.Run(s.init, s.cfg.Seed, s.rounds, out)
+		stop()
+		if cerr := ctxErr(ctx); cerr != nil {
+			eng.Close()
+			return nil, nil, cerr
+		}
 		if err != nil {
 			// A failed engine is poisoned (its transport is closed); it
 			// must not go back in the pool.
@@ -302,8 +334,14 @@ func (s *CSPSampler) Sample() ([]int, *ShardStats, error) {
 	}
 	sc := s.scratch.Get().(*csp.Scratch)
 	copy(out, s.init)
-	s.runChain(out, s.cfg.Seed, sc)
+	var abort atomic.Bool
+	stop := ctxWatch(ctx, func() { abort.Store(true) })
+	s.runChain(out, s.cfg.Seed, sc, &abort)
+	stop()
 	s.scratch.Put(sc)
+	if cerr := ctxErr(ctx); cerr != nil {
+		return nil, nil, cerr
+	}
 	s.observeDraw(start)
 	return out, nil, nil
 }
@@ -317,12 +355,22 @@ func (s *CSPSampler) SampleTraced() ([]int, *ShardStats, *Trace, error) {
 
 // SampleTracedFrom is SampleTraced with an explicit seed.
 func (s *CSPSampler) SampleTracedFrom(seed uint64) ([]int, *ShardStats, *Trace, error) {
+	return s.SampleTracedContext(context.Background(), seed)
+}
+
+// SampleTracedContext is SampleTracedFrom under a context; a canceled
+// ctx aborts the draw exactly as in SampleContext and returns
+// ctx.Err().
+func (s *CSPSampler) SampleTracedContext(ctx context.Context, seed uint64) ([]int, *ShardStats, *Trace, error) {
 	start := time.Now()
+	if err := ctxErr(ctx); err != nil {
+		return nil, nil, nil, err
+	}
 	tr := obs.NewTrace("csp draw")
 	t0 := tr.Now()
 	out := make([]int, s.c.N)
 	if s.remote != nil {
-		st, err := s.remote.draw(seed, s.rounds, out, tr)
+		st, err := s.remote.draw(ctx, seed, s.rounds, out, tr)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -333,8 +381,14 @@ func (s *CSPSampler) SampleTracedFrom(seed uint64) ([]int, *ShardStats, *Trace, 
 		eng := s.engines.Get().(*cluster.CSPEngine)
 		rec := obs.NewRoundRecorder(s.plan.K, s.rounds)
 		eng.SetObserver(&obs.TeeRounds{A: rec, B: s.roundObs})
+		stop := ctxWatch(ctx, func() { eng.Close() })
 		st, err := eng.Run(s.init, seed, s.rounds, out)
+		stop()
 		eng.SetObserver(s.engineObserver())
+		if cerr := ctxErr(ctx); cerr != nil {
+			eng.Close()
+			return nil, nil, nil, cerr
+		}
 		if err != nil {
 			eng.Close()
 			return nil, nil, nil, err
@@ -348,8 +402,14 @@ func (s *CSPSampler) SampleTracedFrom(seed uint64) ([]int, *ShardStats, *Trace, 
 	sc := s.scratch.Get().(*csp.Scratch)
 	rec := obs.NewRoundRecorder(1, s.rounds)
 	copy(out, s.init)
-	s.runChainObserved(out, seed, sc, &obs.TeeRounds{A: rec, B: s.roundObs})
+	var abort atomic.Bool
+	stop := ctxWatch(ctx, func() { abort.Store(true) })
+	s.runChainObserved(out, seed, sc, &obs.TeeRounds{A: rec, B: s.roundObs}, &abort)
+	stop()
 	s.scratch.Put(sc)
+	if cerr := ctxErr(ctx); cerr != nil {
+		return nil, nil, nil, cerr
+	}
 	rec.FlushTo(tr, 0)
 	s.addDrawSpan(tr, t0, seed, 1)
 	s.observeDraw(start)
@@ -417,8 +477,20 @@ func (s *CSPSampler) SampleN(k int) (*CSPBatch, error) {
 // seed ChainSeed(seed, i). It does not mutate the sampler, so concurrent
 // calls (the serving path) are safe.
 func (s *CSPSampler) SampleNFrom(seed uint64, k int) (*CSPBatch, error) {
+	return s.SampleNContext(context.Background(), seed, k)
+}
+
+// SampleNContext is SampleNFrom under a context: a canceled ctx stops
+// workers from claiming further chains, aborts in-flight ones (sharded
+// engines are closed and discarded; centralized chains stop at the next
+// round boundary), and returns ctx.Err(). A canceled batch never
+// returns partial samples.
+func (s *CSPSampler) SampleNContext(ctx context.Context, seed uint64, k int) (*CSPBatch, error) {
 	if k < 0 {
 		return nil, fmt.Errorf("locsample: SampleN needs k >= 0, got %d", k)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
 	}
 	batch := &CSPBatch{Samples: make([][]int, k), Rounds: s.rounds}
 	if k == 0 {
@@ -434,7 +506,7 @@ func (s *CSPSampler) SampleNFrom(seed uint64, k int) (*CSPBatch, error) {
 		// each chain already fans out across the worker processes.
 		for i := 0; i < k; i++ {
 			chainStart := time.Now()
-			st, err := s.remote.draw(core.ChainSeed(seed, uint64(i)), s.rounds, batch.Samples[i], nil)
+			st, err := s.remote.draw(ctx, core.ChainSeed(seed, uint64(i)), s.rounds, batch.Samples[i], nil)
 			if err != nil {
 				return nil, err
 			}
@@ -468,6 +540,16 @@ func (s *CSPSampler) SampleNFrom(seed uint64, k int) (*CSPBatch, error) {
 		runErr  error
 		aborted atomic.Bool
 	)
+	// One shared abort flag serves both the claim loop (no worker takes
+	// another chain) and the centralized chains (stop at the next round
+	// boundary); sharded workers additionally close their engines so
+	// in-flight lockstep rounds unblock.
+	var chainAbort atomic.Bool
+	stopWatch := ctxWatch(ctx, func() {
+		aborted.Store(true)
+		chainAbort.Store(true)
+	})
+	defer stopWatch()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -477,10 +559,13 @@ func (s *CSPSampler) SampleNFrom(seed uint64, k int) (*CSPBatch, error) {
 			engDead := false
 			if s.plan != nil {
 				eng = s.engines.Get().(*cluster.CSPEngine)
+				stopEng := ctxWatch(ctx, func() { eng.Close() })
 				// A failed engine is poisoned (transport closed) and must
-				// not be re-pooled for the next batch.
+				// not be re-pooled for the next batch; neither may one a
+				// cancellation closed (or is about to close).
 				defer func() {
-					if engDead {
+					stopEng()
+					if engDead || ctxErr(ctx) != nil {
 						eng.Close()
 					} else {
 						s.engines.Put(eng)
@@ -516,12 +601,17 @@ func (s *CSPSampler) SampleNFrom(seed uint64, k int) (*CSPBatch, error) {
 				}
 				x := batch.Samples[i]
 				copy(x, s.init)
-				s.runChain(x, chainSeed, sc)
+				s.runChain(x, chainSeed, sc, &chainAbort)
 				s.observeDraw(chainStart)
 			}
 		}()
 	}
 	wg.Wait()
+	if cerr := ctxErr(ctx); cerr != nil {
+		// Cancellation wins over whatever secondary errors closing the
+		// engines provoked — the caller asked for the abort it got.
+		return nil, cerr
+	}
 	if runErr != nil {
 		return nil, runErr
 	}

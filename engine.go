@@ -1,6 +1,7 @@
 package locsample
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -234,7 +235,7 @@ func NewSampler(m *Model, opts ...Option) (*Sampler, error) {
 				planSeed:  cfg.Seed,
 				init:      s.init,
 				addrs:     cfg.WorkerAddrs,
-			}, mrfOwned(plan), m.G.N())
+			}, mrfOwned(plan), m.G.N(), resolveRetry(&cfg), cfg.StandbyAddrs)
 			if err != nil {
 				return nil, err
 			}
@@ -321,14 +322,53 @@ func (s *Sampler) ParallelRounds() int {
 // Sample draws one configuration with the compiled settings and the master
 // seed, exactly as the package-level Sample would.
 func (s *Sampler) Sample() (*Result, error) {
-	return s.sampleWithSeed(s.cfg.Seed)
+	return s.sampleWithSeed(context.Background(), s.cfg.Seed)
 }
 
-func (s *Sampler) sampleWithSeed(seed uint64) (*Result, error) {
+// SampleContext is Sample under a context: a cancel or deadline aborts
+// the draw — remote draws unblock their control reads and stop
+// retrying, sharded draws close their engine, centralized chains stop
+// at the next round boundary — and ctx.Err() is returned. Cancellation
+// never yields a partial sample.
+func (s *Sampler) SampleContext(ctx context.Context) (*Result, error) {
+	return s.sampleWithSeed(ctx, s.cfg.Seed)
+}
+
+// runChainCtx advances a centralized chain by the compiled budget,
+// honoring ctx: a cancel flips the chain's abort flag so the loop
+// stops at the next round boundary, and the draw returns ctx.Err().
+// Without a cancelable ctx it is exactly cs.Run.
+func runChainCtx(ctx context.Context, cs *chains.Sampler, rounds int) error {
+	if ctx == nil || ctx.Done() == nil {
+		cs.Run(rounds)
+		return nil
+	}
+	var abort atomic.Bool
+	stop := context.AfterFunc(ctx, func() { abort.Store(true) })
+	cs.Abort = &abort
+	cs.Run(rounds)
+	cs.Abort = nil
+	stop()
+	return ctx.Err()
+}
+
+// ctxWatch arms f to run on ctx cancellation; the returned stop
+// releases the watcher. A nil or non-cancelable ctx arms nothing.
+func ctxWatch(ctx context.Context, f func()) func() bool {
+	if ctx == nil || ctx.Done() == nil {
+		return func() bool { return true }
+	}
+	return context.AfterFunc(ctx, f)
+}
+
+func (s *Sampler) sampleWithSeed(ctx context.Context, seed uint64) (*Result, error) {
 	start := time.Now()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	if s.remote != nil {
 		out := make([]int, s.m.G.N())
-		st, err := s.remote.draw(seed, s.rounds, out, nil)
+		st, err := s.remote.draw(ctx, seed, s.rounds, out, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -342,8 +382,17 @@ func (s *Sampler) sampleWithSeed(seed uint64) (*Result, error) {
 	}
 	if s.plan != nil {
 		eng := s.engines.Get().(*cluster.Engine)
+		// Cancellation closes the engine's transport: the lockstep
+		// workers fail their next exchange and Run returns. The closed
+		// engine is discarded, never re-pooled.
+		stop := ctxWatch(ctx, func() { eng.Close() })
 		out := make([]int, s.m.G.N())
 		st, err := eng.Run(s.init, seed, s.rounds, out)
+		stop()
+		if cerr := ctxErr(ctx); cerr != nil {
+			eng.Close()
+			return nil, cerr
+		}
 		if err != nil {
 			// A failed engine is poisoned (its transport is closed); it
 			// must not go back in the pool.
@@ -369,6 +418,9 @@ func (s *Sampler) sampleWithSeed(seed uint64) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		if cerr := ctxErr(ctx); cerr != nil {
+			return nil, cerr
+		}
 		res.TheoryRounds = s.theory
 		s.observeDraw(start)
 		return res, nil
@@ -378,9 +430,12 @@ func (s *Sampler) sampleWithSeed(seed uint64) (*Result, error) {
 	// allocate only the output slice.
 	cs := s.chainPool.Get().(*chains.Sampler)
 	cs.Reset(s.init, seed)
-	cs.Run(s.rounds)
+	err := runChainCtx(ctx, cs, s.rounds)
 	out := append([]int(nil), cs.X...)
 	s.chainPool.Put(cs)
+	if err != nil {
+		return nil, err
+	}
 	s.observeDraw(start)
 	return &Result{
 		Sample:       out,
@@ -411,20 +466,30 @@ func (s *Sampler) SampleTraced() (*Result, *Trace, error) {
 
 // SampleTracedFrom is SampleTraced with an explicit master seed.
 func (s *Sampler) SampleTracedFrom(seed uint64) (*Result, *Trace, error) {
+	return s.SampleTracedContext(context.Background(), seed)
+}
+
+// SampleTracedContext is SampleTracedFrom under a context; a canceled
+// ctx aborts the draw exactly as in SampleContext and returns
+// ctx.Err().
+func (s *Sampler) SampleTracedContext(ctx context.Context, seed uint64) (*Result, *Trace, error) {
 	tr := obs.NewTrace("mrf draw")
-	res, err := s.sampleTraced(seed, tr)
+	res, err := s.sampleTraced(ctx, seed, tr)
 	if err != nil {
 		return nil, nil, err
 	}
 	return res, tr, nil
 }
 
-func (s *Sampler) sampleTraced(seed uint64, tr *obs.Trace) (*Result, error) {
+func (s *Sampler) sampleTraced(ctx context.Context, seed uint64, tr *obs.Trace) (*Result, error) {
 	start := time.Now()
 	t0 := tr.Now()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	if s.remote != nil {
 		out := make([]int, s.m.G.N())
-		st, err := s.remote.draw(seed, s.rounds, out, tr)
+		st, err := s.remote.draw(ctx, seed, s.rounds, out, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -440,9 +505,15 @@ func (s *Sampler) sampleTraced(seed uint64, tr *obs.Trace) (*Result, error) {
 		eng := s.engines.Get().(*cluster.Engine)
 		rec := obs.NewRoundRecorder(s.plan.K, s.rounds)
 		eng.SetObserver(&obs.TeeRounds{A: rec, B: s.roundObs})
+		stop := ctxWatch(ctx, func() { eng.Close() })
 		out := make([]int, s.m.G.N())
 		st, err := eng.Run(s.init, seed, s.rounds, out)
+		stop()
 		eng.SetObserver(s.engineObserver())
+		if cerr := ctxErr(ctx); cerr != nil {
+			eng.Close()
+			return nil, cerr
+		}
 		if err != nil {
 			eng.Close()
 			return nil, err
@@ -461,7 +532,7 @@ func (s *Sampler) sampleTraced(seed uint64, tr *obs.Trace) (*Result, error) {
 	if s.cfg.Distributed {
 		// The LOCAL-model runtime has no per-round hooks; a traced
 		// distributed draw records only the draw-level span.
-		res, err := s.sampleWithSeed(seed)
+		res, err := s.sampleWithSeed(ctx, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -473,10 +544,13 @@ func (s *Sampler) sampleTraced(seed uint64, tr *obs.Trace) (*Result, error) {
 	prev := cs.Obs
 	cs.Obs = &obs.TeeRounds{A: rec, B: s.roundObs}
 	cs.Reset(s.init, seed)
-	cs.Run(s.rounds)
+	err := runChainCtx(ctx, cs, s.rounds)
 	cs.Obs = prev
 	out := append([]int(nil), cs.X...)
 	s.chainPool.Put(cs)
+	if err != nil {
+		return nil, err
+	}
 	rec.FlushTo(tr, 0)
 	s.addDrawSpan(tr, t0, seed, 1)
 	s.observeDraw(start)
@@ -566,8 +640,21 @@ func (s *Sampler) SampleN(k int) (*Batch, error) {
 // not mutate the Sampler, so concurrent calls (the serving path, where one
 // compiled sampler answers many requests with per-request seeds) are safe.
 func (s *Sampler) SampleNFrom(seed uint64, k int) (*Batch, error) {
+	return s.SampleNContext(context.Background(), seed, k)
+}
+
+// SampleNContext is SampleNFrom under a context. A cancel aborts the
+// batch and returns ctx.Err(): no worker claims another chain,
+// centralized chains stop at their next round boundary, remote chains
+// abort through the coordinator, and in-flight sharded chains have
+// their engines closed. A canceled batch never returns partial
+// samples.
+func (s *Sampler) SampleNContext(ctx context.Context, seed uint64, k int) (*Batch, error) {
 	if k < 0 {
 		return nil, fmt.Errorf("locsample: SampleN needs k >= 0, got %d", k)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
 	}
 	batch := &Batch{
 		Samples:      make([][]int, k),
@@ -587,7 +674,7 @@ func (s *Sampler) SampleNFrom(seed uint64, k int) (*Batch, error) {
 		// each chain already fans out across the worker processes.
 		for i := 0; i < k; i++ {
 			chainStart := time.Now()
-			st, err := s.remote.draw(core.ChainSeed(seed, uint64(i)), s.rounds, batch.Samples[i], nil)
+			st, err := s.remote.draw(ctx, core.ChainSeed(seed, uint64(i)), s.rounds, batch.Samples[i], nil)
 			if err != nil {
 				return nil, err
 			}
@@ -628,6 +715,16 @@ func (s *Sampler) SampleNFrom(seed uint64, k int) (*Batch, error) {
 		runErr  error
 		aborted atomic.Bool
 	)
+	// One shared abort flag serves both the claim loop (no worker takes
+	// another chain) and the centralized chains (stop at the next round
+	// boundary); sharded workers additionally close their engines so
+	// in-flight lockstep rounds unblock.
+	var chainAbort atomic.Bool
+	stopWatch := ctxWatch(ctx, func() {
+		aborted.Store(true)
+		chainAbort.Store(true)
+	})
+	defer stopWatch()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -637,10 +734,13 @@ func (s *Sampler) SampleNFrom(seed uint64, k int) (*Batch, error) {
 			engDead := false
 			if s.plan != nil {
 				eng = s.engines.Get().(*cluster.Engine)
+				stopEng := ctxWatch(ctx, func() { eng.Close() })
 				// A failed engine is poisoned (transport closed) and must
-				// not be re-pooled for the next batch.
+				// not be re-pooled for the next batch; neither may one a
+				// cancellation closed (or is about to close).
 				defer func() {
-					if engDead {
+					stopEng()
+					if engDead || ctxErr(ctx) != nil {
 						eng.Close()
 					} else {
 						s.engines.Put(eng)
@@ -648,7 +748,13 @@ func (s *Sampler) SampleNFrom(seed uint64, k int) (*Batch, error) {
 				}()
 			} else if !s.cfg.Distributed {
 				cs = s.chainPool.Get().(*chains.Sampler)
-				defer s.chainPool.Put(cs)
+				if ctx != nil && ctx.Done() != nil {
+					cs.Abort = &chainAbort
+				}
+				defer func() {
+					cs.Abort = nil
+					s.chainPool.Put(cs)
+				}()
 			}
 			for {
 				// Fail fast: once any chain errors, no worker claims
@@ -677,7 +783,7 @@ func (s *Sampler) SampleNFrom(seed uint64, k int) (*Batch, error) {
 					continue
 				}
 				if s.cfg.Distributed {
-					res, err := s.sampleWithSeed(chainSeed)
+					res, err := s.sampleWithSeed(ctx, chainSeed)
 					if err != nil {
 						errOnce.Do(func() { runErr = err })
 						aborted.Store(true)
@@ -695,6 +801,11 @@ func (s *Sampler) SampleNFrom(seed uint64, k int) (*Batch, error) {
 		}()
 	}
 	wg.Wait()
+	if cerr := ctxErr(ctx); cerr != nil {
+		// Cancellation wins over whatever secondary errors closing the
+		// engines provoked — the caller asked for the abort it got.
+		return nil, cerr
+	}
 	if runErr != nil {
 		return nil, runErr
 	}

@@ -14,6 +14,7 @@ package chains
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"locsample/internal/graph"
@@ -127,6 +128,14 @@ type Sampler struct {
 	// time. The nil check is the only per-step cost when disabled, and
 	// the centralized kernels don't count flips (reported as -1).
 	Obs RoundObserver
+
+	// Abort, when non-nil, is polled between steps by Run: once it
+	// reads true the loop returns early. It is the cancellation seam
+	// for context-aware draws — a canceled request stops burning rounds
+	// at the next round boundary. The chain state is then mid-run and
+	// must be Reset before reuse (which every pooled caller does
+	// anyway). Nil costs one pointer check per round.
+	Abort *atomic.Bool
 }
 
 // Scratch holds the per-step working buffers shared by the round functions.
@@ -261,6 +270,9 @@ func (s *Sampler) step() {
 // Run advances the chain by t steps.
 func (s *Sampler) Run(t int) {
 	for i := 0; i < t; i++ {
+		if s.Abort != nil && s.Abort.Load() {
+			return
+		}
 		s.Step()
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log/slog"
 	"math"
+	"time"
 
 	"locsample/internal/chains"
 	"locsample/internal/cluster"
@@ -102,6 +103,19 @@ type Config struct {
 	// fault-injection testing; it is mutually exclusive with WorkerAddrs,
 	// Parallel, and Distributed.
 	Transport func(neighbors [][]int) transport.Transport
+	// StandbyAddrs lists spare lsharded workers for WorkerAddrs draws.
+	// When a draw fails on a worker, the coordinator swaps the next
+	// standby into that worker's slot in the address list and redraws —
+	// shard state is a pure function of (spec, plan, seed), so the
+	// recovered draw is bit-identical to a fault-free one. Requires
+	// WorkerAddrs.
+	StandbyAddrs []string
+	// Retry tunes the coordinator's failure handling for WorkerAddrs
+	// draws: attempt budget, jittered exponential backoff between
+	// attempts, per-stage deadlines, and the heartbeat interval. Nil
+	// means DefaultRetryPolicy (two attempts — the historical
+	// retry-once).
+	Retry *RetryPolicy
 	// ModelSpec optionally carries the model's wire spec for WorkerAddrs
 	// draws, sparing the sampler the export step (the serving layer
 	// already holds the canonical spec). Remote workers rebuild the
@@ -116,6 +130,94 @@ type Config struct {
 	// Log, when non-nil, receives the samplers' structured logs
 	// (WithLogger); nil means silent.
 	Log *slog.Logger
+}
+
+// RetryPolicy tunes how the cross-process coordinator treats worker
+// failures: how many times a draw is attempted, how the coordinator
+// backs off between attempts, the per-stage control deadlines, and the
+// heartbeat cadence of the worker supervisor. The zero value of any
+// field means "use the default"; Jitter < 0 disables jitter. None of
+// these knobs touch sampling randomness — backoff jitter comes from a
+// throwaway PRNG, never from the chain's PRF — so retried draws remain
+// bit-identical to fault-free ones.
+type RetryPolicy struct {
+	// Attempts is the total draw attempts before the typed WorkerError
+	// surfaces (default 2: the original try plus one retry).
+	Attempts int
+	// Backoff is the pause before the second attempt; it doubles per
+	// subsequent attempt up to MaxBackoff (default 100ms).
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (default 2s).
+	MaxBackoff time.Duration
+	// Jitter is the uniformly random fraction of the backoff added to
+	// each pause, decorrelating retry storms (default 0.2; negative
+	// disables).
+	Jitter float64
+	// DialTimeout bounds each worker control dial, retries included
+	// (default 10s).
+	DialTimeout time.Duration
+	// WriteTimeout bounds each control write (default 30s).
+	WriteTimeout time.Duration
+	// ReadyTimeout bounds the wait for a worker's ready after the job is
+	// shipped — it covers the workers' mutual mesh dialing (default 60s).
+	ReadyTimeout time.Duration
+	// ResultTimeout bounds the wait for a draw result — a full draw's
+	// rounds (default 120s). This is the deadline that turns a stalled
+	// (SIGSTOPped, wedged) worker into a typed error and a replacement.
+	ResultTimeout time.Duration
+	// Heartbeat, when positive, runs a supervisor that pings every
+	// worker address at this interval over short-lived control
+	// connections, keeping the locsample_worker_up gauges live between
+	// draws (default 0: no heartbeat).
+	Heartbeat time.Duration
+}
+
+// DefaultRetryPolicy is the policy a nil Config.Retry resolves to.
+func DefaultRetryPolicy() RetryPolicy { return RetryPolicy{}.WithDefaults() }
+
+// WithDefaults fills every unset field with its default.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 2
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.2
+	} else if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.DialTimeout <= 0 {
+		p.DialTimeout = 10 * time.Second
+	}
+	if p.WriteTimeout <= 0 {
+		p.WriteTimeout = 30 * time.Second
+	}
+	if p.ReadyTimeout <= 0 {
+		p.ReadyTimeout = 60 * time.Second
+	}
+	if p.ResultTimeout <= 0 {
+		p.ResultTimeout = 120 * time.Second
+	}
+	return p
+}
+
+// Delay returns the backoff before attempt `attempt` (1-based count of
+// failures so far): Backoff · 2^(attempt-1), capped at MaxBackoff.
+// Jitter is applied by the caller.
+func (p RetryPolicy) Delay(attempt int) time.Duration {
+	d := p.Backoff
+	for i := 1; i < attempt && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
 }
 
 // TagChain keys the seed-splitting PRF of the batch engine: chain i of a
@@ -238,6 +340,9 @@ func validateFabric(cfg Config) error {
 		if cfg.Parallel > 1 {
 			return fmt.Errorf("core: Parallel and WorkerAddrs are mutually exclusive")
 		}
+	}
+	if len(cfg.StandbyAddrs) > 0 && len(cfg.WorkerAddrs) == 0 {
+		return fmt.Errorf("core: StandbyAddrs without WorkerAddrs (standbys are spares for a remote worker fleet)")
 	}
 	if cfg.Transport != nil {
 		if cfg.Shards <= 1 {

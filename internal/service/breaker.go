@@ -1,0 +1,124 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"locsample/internal/obs"
+)
+
+// Breaker states, exported as the locserved_breaker_state gauge and, by
+// name, in /statsz.
+const (
+	breakerClosed   = 0 // coordinator draws flow normally
+	breakerHalfOpen = 1 // one probe draw is trying the coordinator
+	breakerOpen     = 2 // coordinator skipped; draws serve locally
+)
+
+// breaker is a per-model circuit breaker over the coordinator path.
+// The coordinator already retries and replaces workers inside one draw;
+// the breaker handles the regime where that budget keeps losing — after
+// threshold CONSECUTIVE draw-level worker failures it opens, and draws
+// serve the bit-identical local fallback without paying the
+// coordinator's timeout ladder first. After cooldown one probe draw is
+// let through: success closes the circuit, failure re-opens it for
+// another cooldown.
+//
+// Determinism makes this degradation safe: a local draw of (spec, seed)
+// is bit-identical to the coordinator's, so flipping paths mid-traffic
+// is invisible to clients except in latency.
+type breaker struct {
+	threshold int           // consecutive failures that open the circuit
+	cooldown  time.Duration // open → half-open wait
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    int
+	failures int
+	openedAt time.Time
+	gauge    *obs.Gauge
+}
+
+func newBreaker(threshold int, cooldown time.Duration, gauge *obs.Gauge) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now, gauge: gauge}
+}
+
+// allow reports whether this draw may try the coordinator. In the open
+// state it trips to half-open once the cooldown has elapsed and admits
+// exactly one probe; concurrent draws keep serving locally until that
+// probe resolves via success or failure.
+func (b *breaker) allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerHalfOpen:
+		return false
+	default: // open
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.setState(breakerHalfOpen)
+		return true
+	}
+}
+
+// success records a coordinator draw that completed: the failure streak
+// resets and the circuit closes (a successful half-open probe heals it).
+func (b *breaker) success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.setState(breakerClosed)
+}
+
+// failure records a coordinator draw that died on a worker fault.
+func (b *breaker) failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		// The probe failed: straight back to open, fresh cooldown.
+		b.openedAt = b.now()
+		b.setState(breakerOpen)
+		return
+	}
+	b.failures++
+	if b.state == breakerClosed && b.failures >= b.threshold {
+		b.openedAt = b.now()
+		b.setState(breakerOpen)
+	}
+}
+
+func (b *breaker) setState(s int) {
+	b.state = s
+	if b.gauge != nil {
+		b.gauge.Set(int64(s))
+	}
+}
+
+// name returns the state's /statsz spelling.
+func (b *breaker) name() string {
+	if b == nil {
+		return ""
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

@@ -1,0 +1,231 @@
+package service
+
+// Graceful-degradation coverage: the per-model circuit breaker's state
+// machine, the bit-identical local fallback behind it, and the startup
+// worker probe. The fleet here is always dead-by-construction (refused
+// loopback ports), so every coordinator attempt fails fast on dial and
+// the degraded path is the one doing the serving.
+
+import (
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"locsample"
+	"locsample/internal/obs"
+)
+
+// deadAddrs returns n loopback addresses that refuse connections.
+func deadAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+// fastRetry is a coordinator policy that spends milliseconds, not the
+// default seconds, discovering that a dead fleet is dead.
+func fastRetry() *locsample.RetryPolicy {
+	return &locsample.RetryPolicy{
+		Attempts:    1,
+		Backoff:     10 * time.Millisecond,
+		Jitter:      -1,
+		DialTimeout: 200 * time.Millisecond,
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	clock := time.Unix(0, 0)
+	b := newBreaker(2, time.Minute, nil)
+	b.now = func() time.Time { return clock }
+
+	if !b.allow() || b.name() != "closed" {
+		t.Fatal("new breaker must be closed and allowing")
+	}
+	b.failure()
+	if b.name() != "closed" {
+		t.Fatal("one failure under a threshold of two must not open")
+	}
+	b.failure()
+	if b.name() != "open" {
+		t.Fatalf("two consecutive failures must open, state %q", b.name())
+	}
+	if b.allow() {
+		t.Fatal("open breaker allowed a draw before cooldown")
+	}
+
+	clock = clock.Add(time.Minute)
+	if !b.allow() {
+		t.Fatal("cooled-down breaker must admit a probe")
+	}
+	if b.name() != "half-open" {
+		t.Fatalf("probe admission must go half-open, state %q", b.name())
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	b.failure()
+	if b.name() != "open" {
+		t.Fatal("failed probe must re-open")
+	}
+	if b.allow() {
+		t.Fatal("re-opened breaker must start a fresh cooldown")
+	}
+	clock = clock.Add(time.Minute)
+	if !b.allow() {
+		t.Fatal("second cooldown must admit another probe")
+	}
+	b.success()
+	if b.name() != "closed" || !b.allow() {
+		t.Fatal("successful probe must close the circuit")
+	}
+
+	// A success streak also clears partial failure counts.
+	b.failure()
+	b.success()
+	b.failure()
+	if b.name() != "closed" {
+		t.Fatal("non-consecutive failures must not accumulate")
+	}
+
+	// Nil breaker (registry without remote workers) is inert.
+	var nb *breaker
+	if !nb.allow() || nb.name() != "" {
+		t.Fatal("nil breaker must allow everything")
+	}
+	nb.failure()
+	nb.success()
+}
+
+// A registry whose entire fleet is unreachable must keep serving: each
+// draw fails over to the bit-identical local fallback, the degraded
+// counter advances, and after threshold consecutive worker faults the
+// breaker opens so later draws skip the coordinator's timeout ladder
+// entirely.
+func TestDegradedFallbackBitIdentical(t *testing.T) {
+	for _, spec := range []struct{ name, json string }{
+		{"mrf", coloringSpec},
+		{"csp", cspSpec},
+	} {
+		t.Run(spec.name, func(t *testing.T) {
+			central := NewRegistry(Config{})
+			mc, _, err := central.Register([]byte(spec.json))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := central.Draw(mc, DrawOptions{K: 2, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			metrics := obs.NewRegistry()
+			remote := NewRegistry(Config{
+				WorkerAddrs:      deadAddrs(t, 2),
+				DefaultShards:    2,
+				Retry:            fastRetry(),
+				BreakerThreshold: 2,
+				BreakerCooldown:  time.Hour,
+				Obs:              metrics,
+			})
+			mr, _, err := remote.Register([]byte(spec.json))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for i := 1; i <= 3; i++ {
+				got, err := remote.Draw(mr, DrawOptions{K: 2, Seed: 5})
+				if err != nil {
+					t.Fatalf("draw %d against a dead fleet did not degrade: %v", i, err)
+				}
+				if !reflect.DeepEqual(got.Samples, want.Samples) {
+					t.Fatalf("degraded draw %d diverges from centralized reference", i)
+				}
+			}
+
+			st := mr.Stats()
+			if st.DegradedDraws != 3 {
+				t.Fatalf("degradedDraws = %d, want 3", st.DegradedDraws)
+			}
+			// Threshold 2 was crossed on the second draw; the third was
+			// served with the breaker already open.
+			if st.Breaker != "open" {
+				t.Fatalf("breaker = %q, want open", st.Breaker)
+			}
+			if n := metrics.Counter("locserved_degraded_draws_total", "", "model", mr.Hash).Value(); n != 3 {
+				t.Fatalf("locserved_degraded_draws_total = %d, want 3", n)
+			}
+			if s := metrics.Gauge("locserved_breaker_state", "", "model", mr.Hash).Value(); s != breakerOpen {
+				t.Fatalf("locserved_breaker_state = %d, want %d", s, breakerOpen)
+			}
+		})
+	}
+}
+
+// Draws that never touch the coordinator — centralized, or explicitly
+// shards=1 — must not trip the breaker even when the fleet is dead.
+func TestCentralizedDrawsBypassBreaker(t *testing.T) {
+	remote := NewRegistry(Config{
+		WorkerAddrs:      deadAddrs(t, 2),
+		Retry:            fastRetry(),
+		BreakerThreshold: 1,
+	})
+	m, _, err := remote.Register([]byte(coloringSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DefaultShards is 0 here, so this draw is centralized and must not
+	// count as a coordinator failure (or even try the fleet).
+	if _, err := remote.Draw(m, DrawOptions{K: 1, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := remote.Draw(m, DrawOptions{K: 1, Seed: 7, Shards: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Breaker != "closed" || st.DegradedDraws != 0 {
+		t.Fatalf("centralized draws moved the breaker: %+v", st)
+	}
+}
+
+// ProbeWorkers against a dead fleet: every status comes back down with
+// an error, standby addresses are flagged, the locserved_worker_up
+// gauges read 0, and the snapshot lands in Stats for /statsz.
+func TestProbeWorkersDeadFleet(t *testing.T) {
+	metrics := obs.NewRegistry()
+	addrs := deadAddrs(t, 2)
+	standby := deadAddrs(t, 1)
+	reg := NewRegistry(Config{
+		WorkerAddrs:  addrs,
+		StandbyAddrs: standby,
+		Obs:          metrics,
+	})
+	statuses := reg.ProbeWorkers(200 * time.Millisecond)
+	if len(statuses) != 3 {
+		t.Fatalf("probed %d workers, want 3", len(statuses))
+	}
+	for i, st := range statuses {
+		if st.Up || st.Error == "" {
+			t.Fatalf("worker %d (%s) probed up against a dead fleet: %+v", i, st.Addr, st)
+		}
+		if wantStandby := i == 2; st.Standby != wantStandby {
+			t.Fatalf("worker %d standby = %v, want %v", i, st.Standby, wantStandby)
+		}
+		if v := metrics.Gauge("locserved_worker_up", "", "addr", st.Addr).Value(); v != 0 {
+			t.Fatalf("locserved_worker_up{%s} = %d, want 0", st.Addr, v)
+		}
+	}
+	if got := reg.Stats().Workers; !reflect.DeepEqual(got, statuses) {
+		t.Fatal("Stats().Workers does not carry the probe snapshot")
+	}
+	if reg2 := NewRegistry(Config{}); reg2.ProbeWorkers(0) != nil {
+		t.Fatal("workerless registry must probe to nil")
+	}
+}

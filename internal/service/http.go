@@ -317,10 +317,13 @@ func handleSample(reg *Registry, m *Model, w http.ResponseWriter, req *http.Requ
 		RoundsAuto: sr.RoundsAuto,
 	}
 	var res *DrawResult
+	// The request context cancels in-flight work when the client
+	// disconnects or the server drains — local chains stop at the next
+	// round boundary, coordinator sessions are torn down.
 	if sr.Trace {
-		res, _, err = reg.DrawTraced(m, opts)
+		res, _, err = reg.DrawTracedContext(req.Context(), m, opts)
 	} else {
-		res, err = reg.Draw(m, opts)
+		res, err = reg.DrawContext(req.Context(), m, opts)
 	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -461,7 +464,7 @@ func handleSampleStream(reg *Registry, m *Model, w http.ResponseWriter, req *htt
 	w.Header().Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
-	res, diag, err := reg.DrawDiagnosed(m, opts, &sseProbe{w: w, fl: fl, every: every})
+	res, diag, err := reg.DrawDiagnosedContext(req.Context(), m, opts, &sseProbe{w: w, fl: fl, every: every})
 	if err != nil {
 		// The stream is already open (status sent); report in-band.
 		writeSSE(w, fl, "error", errorResponse{Error: err.Error()})

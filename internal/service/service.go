@@ -19,6 +19,8 @@ package service
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"math"
@@ -30,6 +32,7 @@ import (
 	"locsample"
 	"locsample/internal/obs"
 	"locsample/internal/spec"
+	"locsample/internal/transport"
 )
 
 // Config bounds the registry.
@@ -58,6 +61,21 @@ type Config struct {
 	// shard count so each worker hosts at least one shard). Empty means
 	// all sharding stays in-process.
 	WorkerAddrs []string
+	// StandbyAddrs lists spare lsharded workers the coordinator may swap
+	// into a failed worker's shard band mid-session (see
+	// locsample.WithStandbyWorkers). Ignored without WorkerAddrs.
+	StandbyAddrs []string
+	// Retry overrides the retry/deadline/backoff policy coordinator draws
+	// run with (nil means the locsample defaults).
+	Retry *locsample.RetryPolicy
+	// BreakerThreshold is the number of CONSECUTIVE coordinator draw
+	// failures after which a model's circuit breaker opens and its draws
+	// serve the bit-identical local fallback without trying the workers
+	// (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before admitting
+	// a single probe draw back onto the coordinator (default 30s).
+	BreakerCooldown time.Duration
 	// Obs is the metrics registry the serving counters live in. Nil
 	// means a private registry: the counters still run (they back
 	// /statsz), they are just not shared with an exposition endpoint.
@@ -87,6 +105,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxParallel <= 0 {
 		c.MaxParallel = 1024
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 30 * time.Second
 	}
 	return c
 }
@@ -118,6 +142,13 @@ type Model struct {
 	boundaryMsgs *obs.Counter
 	boundaryVals *obs.Counter
 	barrierNS    *obs.Counter
+
+	// Degradation machinery: remote marks a model whose sharded draws
+	// may run on the server's lsharded workers, breaker gates that path,
+	// degraded counts draws the local fallback served instead.
+	remote   bool
+	breaker  *breaker
+	degraded *obs.Counter
 }
 
 // ModelStats is a point-in-time snapshot of a model's counters.
@@ -155,6 +186,13 @@ type ModelStats struct {
 	BoundaryMessages int64   `json:"boundaryMessages,omitempty"`
 	BoundaryValues   int64   `json:"boundaryValues,omitempty"`
 	BarrierWaitMS    float64 `json:"barrierWaitMs,omitempty"`
+	// DegradedDraws counts draws served by the bit-identical local
+	// fallback after a coordinator failure (or while the breaker held
+	// the coordinator path open-circuited).
+	DegradedDraws int64 `json:"degradedDraws,omitempty"`
+	// Breaker is the coordinator circuit state ("closed", "half-open",
+	// "open"); empty when the server has no remote workers.
+	Breaker string `json:"breaker,omitempty"`
 }
 
 // Stats reports the model's counters.
@@ -181,6 +219,10 @@ func (m *Model) Stats() ModelStats {
 		BoundaryMessages: m.boundaryMsgs.Value(),
 		BoundaryValues:   m.boundaryVals.Value(),
 		BarrierWaitMS:    float64(m.barrierNS.Value()) / 1e6,
+		DegradedDraws:    m.degraded.Value(),
+	}
+	if m.remote {
+		st.Breaker = m.breaker.name()
 	}
 	if st.DrawCount > 0 {
 		st.LatencyMeanMS = m.drawNS.Mean() / 1e6
@@ -208,6 +250,11 @@ type compileKey struct {
 	// auto marks a measured-budget (rounds:"auto") compile — a distinct
 	// workload from the same options with a fixed budget.
 	auto bool
+	// local forces a sharded compile to stay in-process even when the
+	// server has remote workers — the degraded-fallback variant. The
+	// samples are bit-identical either way; the flag only keys a second
+	// cache entry so a broken coordinator never poisons the healthy one.
+	local bool
 }
 
 // compiled is one cache entry: a reusable MRF batch sampler or a reusable
@@ -246,6 +293,8 @@ type Registry struct {
 	lru      *list.List
 	byKey    map[compileKey]*list.Element
 	inflight map[compileKey]*compileCall
+	// workers is the last ProbeWorkers result (nil before any probe).
+	workers []WorkerStatus
 
 	compiles    *obs.Counter
 	cacheHits   *obs.Counter
@@ -348,6 +397,12 @@ func (r *Registry) newModelMetrics(m *Model) {
 	m.boundaryMsgs = o.Counter("locserved_boundary_messages_total", "sharded boundary messages", "model", m.Hash)
 	m.boundaryVals = o.Counter("locserved_boundary_values_total", "sharded boundary vertex states", "model", m.Hash)
 	m.barrierNS = o.Counter("locserved_barrier_wait_ns_total", "sharded round-barrier wait, ns", "model", m.Hash)
+	// The degradation series exist from registration (at 0, closed) so
+	// dashboards and the CI smoke can always find them.
+	m.remote = len(r.cfg.WorkerAddrs) > 0
+	m.degraded = o.Counter("locserved_degraded_draws_total", "draws served by the local fallback after a coordinator failure", "model", m.Hash)
+	m.breaker = newBreaker(r.cfg.BreakerThreshold, r.cfg.BreakerCooldown,
+		o.Gauge("locserved_breaker_state", "coordinator circuit state (0 closed, 1 half-open, 2 open)", "model", m.Hash))
 }
 
 // Register decodes, validates, builds, and stores a spec, eagerly
@@ -522,8 +577,17 @@ func ParseAlgorithm(s string) (locsample.Algorithm, error) {
 // Draw serves one batch from m, compiling at most once per option set and
 // counting request, sample, latency, and error metrics.
 func (r *Registry) Draw(m *Model, opts DrawOptions) (*DrawResult, error) {
+	return r.DrawContext(context.Background(), m, opts)
+}
+
+// DrawContext is Draw under a context: a canceled ctx (client
+// disconnect, server drain) aborts the in-flight draw — local chains
+// stop at the next round boundary, sharded engines are torn down, and
+// coordinator sessions are closed — and the request fails with
+// ctx.Err(). Cancellation never produces a partial batch.
+func (r *Registry) DrawContext(ctx context.Context, m *Model, opts DrawOptions) (*DrawResult, error) {
 	r.inflightDraws.Add(1)
-	res, err := r.draw(m, opts, nil)
+	res, err := r.draw(ctx, m, opts, nil)
 	r.inflightDraws.Add(-1)
 	return r.finishDraw(m, res, err)
 }
@@ -533,6 +597,12 @@ func (r *Registry) Draw(m *Model, opts DrawOptions) (*DrawResult, error) {
 // trace store, and the result carries the trace ID. The sample is
 // bit-identical to an untraced draw with the same options.
 func (r *Registry) DrawTraced(m *Model, opts DrawOptions) (*DrawResult, *obs.Trace, error) {
+	return r.DrawTracedContext(context.Background(), m, opts)
+}
+
+// DrawTracedContext is DrawTraced under a context; cancellation behaves
+// as in DrawContext.
+func (r *Registry) DrawTracedContext(ctx context.Context, m *Model, opts DrawOptions) (*DrawResult, *obs.Trace, error) {
 	if opts.K > 1 {
 		err := fmt.Errorf("service: traced draws record one chain; k must be 1, got %d", opts.K)
 		m.requests.Inc()
@@ -541,7 +611,7 @@ func (r *Registry) DrawTraced(m *Model, opts DrawOptions) (*DrawResult, *obs.Tra
 	}
 	var tr trace
 	r.inflightDraws.Add(1)
-	res, err := r.draw(m, opts, &tr)
+	res, err := r.draw(ctx, m, opts, &tr)
 	r.inflightDraws.Add(-1)
 	res, err = r.finishDraw(m, res, err)
 	if err != nil {
@@ -562,8 +632,21 @@ func (r *Registry) DrawTraced(m *Model, opts DrawOptions) (*DrawResult, *obs.Tra
 // draw. A non-nil probe observes the coupling live, one call per round
 // (the SSE streaming endpoint passes one).
 func (r *Registry) DrawDiagnosed(m *Model, opts DrawOptions, probe locsample.CouplingProbe) (*DrawResult, *locsample.Diagnosis, error) {
+	return r.DrawDiagnosedContext(context.Background(), m, opts, probe)
+}
+
+// DrawDiagnosedContext is DrawDiagnosed under a context. The coupling
+// itself runs to completion once started (it is centralized and
+// in-process); the context is checked before the draw begins, so a
+// disconnected client never starts one.
+func (r *Registry) DrawDiagnosedContext(ctx context.Context, m *Model, opts DrawOptions, probe locsample.CouplingProbe) (*DrawResult, *locsample.Diagnosis, error) {
 	if opts.K > 1 {
 		err := fmt.Errorf("service: diagnosed draws run one chain; k must be 1, got %d", opts.K)
+		m.requests.Inc()
+		m.errors.Inc()
+		return nil, nil, err
+	}
+	if err := ctxDone(ctx); err != nil {
 		m.requests.Inc()
 		m.errors.Inc()
 		return nil, nil, err
@@ -693,14 +776,78 @@ func (r *Registry) validateDrawOptions(opts DrawOptions) error {
 	return nil
 }
 
-func (r *Registry) draw(m *Model, opts DrawOptions, tr *trace) (*DrawResult, error) {
+// ctxDone returns ctx.Err for possibly-nil contexts.
+func ctxDone(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// remoteKey reports whether a compile key places its shards on the
+// server's lsharded workers.
+func (r *Registry) remoteKey(key compileKey) bool {
+	return key.shards > 1 && !key.local && len(r.cfg.WorkerAddrs) > 0
+}
+
+func (r *Registry) draw(ctx context.Context, m *Model, opts DrawOptions, tr *trace) (*DrawResult, error) {
 	if opts.K == 0 {
 		opts.K = 1
 	}
 	if err := r.validateDrawOptions(opts); err != nil {
 		return nil, err
 	}
-	c, err := r.getCompiled(m, opts)
+	key, err := r.compileKeyFor(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !r.remoteKey(key) {
+		return r.drawCompiled(ctx, m, key, opts, tr)
+	}
+	// Coordinator-backed draw. The coordinator retries and replaces
+	// workers inside the draw; the service layer handles the regime
+	// where that budget loses anyway: a draw that still dies on a
+	// worker fault degrades to the bit-identical local fallback instead
+	// of failing the request, and the per-model breaker stops sending
+	// draws into a known-broken fleet at all.
+	if !m.breaker.allow() {
+		return r.drawDegraded(ctx, m, key, opts, tr, nil)
+	}
+	res, err := r.drawCompiled(ctx, m, key, opts, tr)
+	if err == nil {
+		m.breaker.success()
+		return res, nil
+	}
+	var we *locsample.WorkerError
+	if !errors.As(err, &we) || ctxDone(ctx) != nil {
+		// Not a worker fault (or the client is gone): the breaker has
+		// no opinion and there is nothing to degrade to.
+		return nil, err
+	}
+	m.breaker.failure()
+	return r.drawDegraded(ctx, m, key, opts, tr, err)
+}
+
+// drawDegraded serves a coordinator-keyed draw from the in-process
+// fallback sampler — same spec, same seeds, bit-identical samples.
+// cause is the worker fault that forced the detour (nil when the
+// breaker short-circuited before trying).
+func (r *Registry) drawDegraded(ctx context.Context, m *Model, key compileKey, opts DrawOptions, tr *trace, cause error) (*DrawResult, error) {
+	local := key
+	local.local = true
+	res, err := r.drawCompiled(ctx, m, local, opts, tr)
+	if err != nil {
+		return nil, err
+	}
+	m.degraded.Inc()
+	r.log.Warn("degraded draw: coordinator unavailable, served locally",
+		"model", m.Hash, "breaker", m.breaker.name(), "cause", cause)
+	return res, nil
+}
+
+// drawCompiled runs one validated draw on the sampler the key names.
+func (r *Registry) drawCompiled(ctx context.Context, m *Model, key compileKey, opts DrawOptions, tr *trace) (*DrawResult, error) {
+	c, err := r.getCompiledKey(m, key, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -709,7 +856,7 @@ func (r *Registry) draw(m *Model, opts DrawOptions, tr *trace) (*DrawResult, err
 		if tr != nil {
 			// Chain 0 of an untraced k-batch runs with ChainSeed(seed, 0);
 			// the traced single chain must match it bit-for-bit.
-			res, t, err := c.sampler.SampleTracedFrom(locsample.ChainSeed(opts.Seed, 0))
+			res, t, err := c.sampler.SampleTracedContext(ctx, locsample.ChainSeed(opts.Seed, 0))
 			if err != nil {
 				return nil, err
 			}
@@ -729,7 +876,7 @@ func (r *Registry) draw(m *Model, opts DrawOptions, tr *trace) (*DrawResult, err
 			}
 			return out, nil
 		}
-		batch, err := c.sampler.SampleNFrom(opts.Seed, opts.K)
+		batch, err := c.sampler.SampleNContext(ctx, opts.Seed, opts.K)
 		if err != nil {
 			return nil, err
 		}
@@ -746,7 +893,7 @@ func (r *Registry) draw(m *Model, opts DrawOptions, tr *trace) (*DrawResult, err
 		}, nil
 	}
 	if tr != nil {
-		sample, st, t, err := c.cspSampler.SampleTracedFrom(locsample.ChainSeed(opts.Seed, 0))
+		sample, st, t, err := c.cspSampler.SampleTracedContext(ctx, locsample.ChainSeed(opts.Seed, 0))
 		if err != nil {
 			return nil, err
 		}
@@ -765,7 +912,7 @@ func (r *Registry) draw(m *Model, opts DrawOptions, tr *trace) (*DrawResult, err
 		}
 		return out, nil
 	}
-	batch, err := c.cspSampler.SampleNFrom(opts.Seed, opts.K)
+	batch, err := c.cspSampler.SampleNContext(ctx, opts.Seed, opts.K)
 	if err != nil {
 		return nil, err
 	}
@@ -800,6 +947,13 @@ func (r *Registry) getCompiled(m *Model, opts DrawOptions) (*compiled, error) {
 	if err != nil {
 		return nil, err
 	}
+	return r.getCompiledKey(m, key, opts)
+}
+
+// getCompiledKey is getCompiled for an already-resolved key (the draw
+// path resolves keys itself to route between the coordinator and the
+// degraded-fallback variants).
+func (r *Registry) getCompiledKey(m *Model, key compileKey, opts DrawOptions) (*compiled, error) {
 	r.mu.Lock()
 	if el, ok := r.byKey[key]; ok {
 		r.lru.MoveToFront(el)
@@ -928,7 +1082,9 @@ func (r *Registry) compile(m *Model, key compileKey, opts DrawOptions) (*compile
 		sopts := append(r.commonOptions(), locsample.WithRounds(key.rounds))
 		if key.shards > 1 {
 			sopts = append(sopts, locsample.WithShards(key.shards))
-			sopts = append(sopts, r.remoteOptions(m, key.shards)...)
+			if !key.local {
+				sopts = append(sopts, r.remoteOptions(m, key.shards)...)
+			}
 		}
 		if key.parallel > 1 {
 			sopts = append(sopts, locsample.WithParallelRounds(key.parallel))
@@ -955,7 +1111,9 @@ func (r *Registry) compile(m *Model, key compileKey, opts DrawOptions) (*compile
 	}
 	if key.shards > 1 {
 		sopts = append(sopts, locsample.WithShards(key.shards))
-		sopts = append(sopts, r.remoteOptions(m, key.shards)...)
+		if !key.local {
+			sopts = append(sopts, r.remoteOptions(m, key.shards)...)
+		}
 	}
 	if key.parallel > 1 {
 		sopts = append(sopts, locsample.WithParallelRounds(key.parallel))
@@ -996,10 +1154,68 @@ func (r *Registry) remoteOptions(m *Model, shards int) []locsample.Option {
 	if len(addrs) > shards {
 		addrs = addrs[:shards]
 	}
-	return []locsample.Option{
+	opts := []locsample.Option{
 		locsample.WithRemoteWorkers(addrs...),
 		locsample.WithModelSpec(m.Spec),
 	}
+	if len(r.cfg.StandbyAddrs) > 0 {
+		opts = append(opts, locsample.WithStandbyWorkers(r.cfg.StandbyAddrs...))
+	}
+	if r.cfg.Retry != nil {
+		opts = append(opts, locsample.WithRetryPolicy(*r.cfg.Retry))
+	}
+	return opts
+}
+
+// WorkerStatus is one worker-probe result; see ProbeWorkers.
+type WorkerStatus struct {
+	Addr     string `json:"addr"`
+	Standby  bool   `json:"standby,omitempty"`
+	Up       bool   `json:"up"`
+	Draining bool   `json:"draining,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// ProbeWorkers pings every configured lsharded worker — live and
+// standby — over the control protocol and records the result: the
+// locserved_worker_up{addr} gauge flips per address, unreachable
+// workers are logged immediately, and the probe snapshot is exposed in
+// Stats (/statsz). lserved runs one probe at startup so a mistyped or
+// down worker is visible before the first draw discovers it; callers
+// may re-probe at any time. A server with no workers returns nil.
+func (r *Registry) ProbeWorkers(timeout time.Duration) []WorkerStatus {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	probe := func(addr string, standby bool) WorkerStatus {
+		st := WorkerStatus{Addr: addr, Standby: standby}
+		pong, err := transport.Ping(addr, timeout)
+		if err != nil {
+			st.Error = err.Error()
+			r.log.Warn("worker unreachable", "addr", addr, "standby", standby, "err", err)
+		} else {
+			st.Up = true
+			st.Draining = pong.Draining
+			r.log.Info("worker up", "addr", addr, "standby", standby, "draining", pong.Draining)
+		}
+		up := int64(0)
+		if st.Up {
+			up = 1
+		}
+		r.obs.Gauge("locserved_worker_up", "1 while the worker answers control pings", "addr", addr).Set(up)
+		return st
+	}
+	var out []WorkerStatus
+	for _, a := range r.cfg.WorkerAddrs {
+		out = append(out, probe(a, false))
+	}
+	for _, a := range r.cfg.StandbyAddrs {
+		out = append(out, probe(a, true))
+	}
+	r.mu.Lock()
+	r.workers = out
+	r.mu.Unlock()
+	return out
 }
 
 // RegistryStats is the /statsz payload.
@@ -1008,6 +1224,9 @@ type RegistryStats struct {
 	Models        int          `json:"models"`
 	Cache         CacheStats   `json:"cache"`
 	PerModel      []ModelStats `json:"perModel"`
+	// Workers is the latest worker-probe snapshot (absent when the
+	// server has no remote workers or no probe has run).
+	Workers []WorkerStatus `json:"workers,omitempty"`
 }
 
 // CacheStats reports the compiled-sampler cache counters.
@@ -1024,6 +1243,7 @@ func (r *Registry) Stats() RegistryStats {
 	models := r.List()
 	r.mu.Lock()
 	size := r.lru.Len()
+	workers := append([]WorkerStatus(nil), r.workers...)
 	r.mu.Unlock()
 	st := RegistryStats{
 		UptimeSeconds: time.Since(r.start).Seconds(),
@@ -1035,6 +1255,7 @@ func (r *Registry) Stats() RegistryStats {
 			Misses:   r.cacheMiss.Value(),
 			Compiles: r.compiles.Value(),
 		},
+		Workers: workers,
 	}
 	for _, m := range models {
 		st.PerModel = append(st.PerModel, m.Stats())

@@ -320,14 +320,33 @@ func (w *Worker) deliverPeer(jobID uint64, from int, c net.Conn) {
 	w.mu.Unlock()
 }
 
+// pong answers a liveness probe. Draining workers still answer — a
+// draining worker is alive, it just won't take jobs — and report the
+// drain bit so supervisors can steer new work elsewhere.
+func (w *Worker) pong(c net.Conn) error {
+	return transport.WriteControl(c, &transport.ControlMsg{
+		Kind: "pong", Pong: &transport.PongMsg{Draining: w.Draining(), ActiveJobs: w.ActiveJobs()},
+	}, w.cfg.ReadyTimeout)
+}
+
 // handleControl runs one coordinator session: job, ready, then a run
 // loop until the connection drops (which tears the job down — a
-// coordinator teardown is how jobs end).
+// coordinator teardown is how jobs end). A session may also be a bare
+// liveness probe: "ping" messages get a "pong" both before a job lands
+// (heartbeat connections) and between draws.
 func (w *Worker) handleControl(c net.Conn) {
 	defer c.Close()
 	m, err := transport.ReadControl(c, w.cfg.ReadyTimeout)
 	if err != nil {
 		return
+	}
+	for m.Kind == "ping" {
+		if err := w.pong(c); err != nil {
+			return
+		}
+		if m, err = transport.ReadControl(c, w.cfg.ReadyTimeout); err != nil {
+			return
+		}
 	}
 	if m.Kind != "job" || m.Job == nil {
 		return
@@ -369,6 +388,12 @@ func (w *Worker) handleControl(c net.Conn) {
 		m, err := transport.ReadControl(c, 0) // idle between draws
 		if err != nil {
 			return
+		}
+		if m.Kind == "ping" {
+			if err := w.pong(c); err != nil {
+				return
+			}
+			continue
 		}
 		if m.Kind != "run" || m.Run == nil {
 			return

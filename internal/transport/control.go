@@ -86,11 +86,12 @@ func DialControl(addr string, timeout time.Duration) (net.Conn, error) {
 // ControlMsg is one length-prefixed JSON message on a control
 // connection. Kind selects which body field is set.
 type ControlMsg struct {
-	Kind   string     `json:"kind"` // "job" | "ready" | "run" | "result"
+	Kind   string     `json:"kind"` // "job" | "ready" | "run" | "result" | "ping" | "pong"
 	Job    *JobMsg    `json:"job,omitempty"`
 	Ready  *ReadyMsg  `json:"ready,omitempty"`
 	Run    *RunMsg    `json:"run,omitempty"`
 	Result *ResultMsg `json:"result,omitempty"`
+	Pong   *PongMsg   `json:"pong,omitempty"`
 }
 
 // JobMsg tells a worker which slice of a sharded chain it hosts. The
@@ -162,6 +163,52 @@ type ShardTraceMsg struct {
 	BarrierNS []int64 `json:"barrierNs"`
 	Flips     []int64 `json:"flips"`
 	EndNS     []int64 `json:"endNs"` // absolute UnixNano round ends
+}
+
+// PongMsg is a worker's answer to a "ping" control message: a liveness
+// probe for supervisors (coordinator heartbeats, lserved startup checks)
+// that also reports whether the worker would accept a new job right now.
+type PongMsg struct {
+	Draining   bool `json:"draining,omitempty"`
+	ActiveJobs int  `json:"activeJobs,omitempty"`
+}
+
+// Ping opens a short-lived control connection to a worker, sends a
+// "ping", and waits for the "pong". The whole exchange — dial, write,
+// read — shares one timeout budget. It never disturbs hosted jobs: the
+// worker answers pings from its accept loop, off the draw path.
+func Ping(addr string, timeout time.Duration) (*PongMsg, error) {
+	start := time.Now()
+	c, err := DialControl(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	remain := func() time.Duration {
+		if timeout <= 0 {
+			return 0
+		}
+		d := timeout - time.Since(start)
+		if d <= 0 {
+			return time.Nanosecond // budget spent: fail fast, not block forever
+		}
+		return d
+	}
+	if err := WriteControl(c, &ControlMsg{Kind: "ping"}, remain()); err != nil {
+		return nil, fmt.Errorf("transport: ping %s: %w", addr, err)
+	}
+	m, err := ReadControl(c, remain())
+	if err != nil {
+		return nil, fmt.Errorf("transport: ping %s: %w", addr, err)
+	}
+	if m.Kind != "pong" {
+		return nil, fmt.Errorf("transport: ping %s: unexpected %q control message", addr, m.Kind)
+	}
+	pong := m.Pong
+	if pong == nil {
+		pong = &PongMsg{}
+	}
+	return pong, nil
 }
 
 // WriteControl writes one length-prefixed JSON control message.

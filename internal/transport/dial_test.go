@@ -1,0 +1,183 @@
+package transport
+
+// Deadline and retry coverage for the dial paths: refused peers must
+// spend the whole (bounded) budget and come back as typed ErrTimeout,
+// late-accepting peers must be connected by the in-budget retry loop,
+// and half-open peers — accepted but mute — must be cut off by the read
+// deadline instead of hanging a caller forever.
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// refusedAddr returns a loopback address that actively refuses
+// connections: bind an ephemeral port, then close the listener.
+func refusedAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestDialRetryRefusedSpendsBoundedBudget(t *testing.T) {
+	addr := refusedAddr(t)
+	const budget = 300 * time.Millisecond
+	start := time.Now()
+	_, err := dialRetry(addr, budget)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("dialRetry connected to a refusing address")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if elapsed < budget {
+		t.Fatalf("gave up after %v, before the %v budget was spent", elapsed, budget)
+	}
+	// Bounded: the budget plus one max backoff sleep plus slack. A
+	// runaway retry loop (or a forgotten deadline) blows well past this.
+	if elapsed > budget+2*time.Second {
+		t.Fatalf("dialRetry took %v for a %v budget", elapsed, budget)
+	}
+}
+
+func TestDialRetryConnectsToLateListener(t *testing.T) {
+	addr := refusedAddr(t)
+	// The listener appears only after a few refused attempts; the retry
+	// loop must pick it up within the budget.
+	errc := make(chan error, 1)
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			errc <- err
+			return
+		}
+		defer ln.Close()
+		c, err := ln.Accept()
+		if err == nil {
+			c.Close()
+		}
+		errc <- err
+	}()
+	c, err := dialRetry(addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dialRetry never reached the late listener: %v", err)
+	}
+	c.Close()
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDialControlRefusedFailsFast(t *testing.T) {
+	addr := refusedAddr(t)
+	start := time.Now()
+	_, err := DialControl(addr, 250*time.Millisecond)
+	if err == nil {
+		t.Fatal("DialControl connected to a refusing address")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("DialControl took %v for a 250ms timeout", elapsed)
+	}
+}
+
+// halfOpenListener accepts connections and then never writes a byte —
+// the shape of a SIGSTOPped or wedged worker.
+func halfOpenListener(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestPingHalfOpenPeerTimesOut(t *testing.T) {
+	addr := halfOpenListener(t)
+	const budget = 300 * time.Millisecond
+	start := time.Now()
+	_, err := Ping(addr, budget)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Ping succeeded against a mute peer")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("want a net timeout, got %v", err)
+	}
+	if elapsed > budget+2*time.Second {
+		t.Fatalf("Ping took %v for a %v budget", elapsed, budget)
+	}
+}
+
+func TestReadControlHalfOpenPeerTimesOut(t *testing.T) {
+	addr := halfOpenListener(t)
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, err = ReadControl(c, 200*time.Millisecond)
+	if err == nil {
+		t.Fatal("ReadControl returned from a mute peer")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("want a net timeout, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("ReadControl took %v for a 200ms deadline", elapsed)
+	}
+}
+
+func TestPingLiveWorkerLoopback(t *testing.T) {
+	// A minimal in-process control server answering ping → pong, to pin
+	// the client half of the heartbeat protocol without a real lsharded.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		const timeout = time.Minute
+		if magic, err := ReadMagic(c, timeout); err != nil || magic != MagicControl {
+			return
+		}
+		m, err := ReadControl(c, timeout)
+		if err != nil || m.Kind != "ping" {
+			return
+		}
+		WriteControl(c, &ControlMsg{Kind: "pong", Pong: &PongMsg{Draining: true, ActiveJobs: 2}}, timeout)
+	}()
+	pong, err := Ping(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pong.Draining || pong.ActiveJobs != 2 {
+		t.Fatalf("pong round-trip lost fields: %+v", pong)
+	}
+}

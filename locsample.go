@@ -246,6 +246,33 @@ func WithRemoteWorkers(addrs ...string) Option {
 	return func(c *core.Config) { c.WorkerAddrs = append([]string(nil), addrs...) }
 }
 
+// WithStandbyWorkers keeps a pool of spare lsharded workers behind a
+// WithRemoteWorkers fleet. When a draw fails on a worker — it was
+// killed, stalled past the result deadline, or dropped its connection —
+// the coordinator tears the session down, swaps the next standby into
+// the dead worker's slot of the address list, re-ships the job, and
+// redraws. Because every shard's state is a pure function of
+// (spec, plan, seed), the recovered draw is bit-identical to the
+// fault-free one. Requires WithRemoteWorkers.
+func WithStandbyWorkers(addrs ...string) Option {
+	return func(c *core.Config) { c.StandbyAddrs = append([]string(nil), addrs...) }
+}
+
+// RetryPolicy tunes the cross-process coordinator's failure handling:
+// attempt budget, jittered exponential backoff, per-stage control
+// deadlines, and the supervisor heartbeat interval. Zero fields take
+// defaults; the zero policy is the historical retry-once behavior.
+type RetryPolicy = core.RetryPolicy
+
+// WithRetryPolicy replaces the coordinator's default failure handling
+// (two attempts, 100ms base backoff, 10s/60s/120s dial/ready/result
+// deadlines, no heartbeat) for WithRemoteWorkers draws. The policy
+// never touches sampling randomness, so draws that needed retries are
+// still bit-identical to undisturbed draws.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *core.Config) { cp := p; c.Retry = &cp }
+}
+
 // WithModelSpec pins the wire spec WithRemoteWorkers ships to the
 // workers, for models that were themselves built from a spec (the
 // serving path) — skipping the re-derivation and keeping the content

@@ -59,11 +59,22 @@ func buildLsharded(t *testing.T) string {
 // startWorkerProcs spawns n lsharded processes on ephemeral loopback
 // ports and scrapes their bound addresses from stdout.
 func startWorkerProcs(t *testing.T, n int) []string {
+	addrs, _ := startWorkerProcsArgs(t, n)
+	return addrs
+}
+
+// startWorkerProcsArgs is startWorkerProcs with extra lsharded flags
+// and access to the spawned processes — the chaos suite signals them
+// (SIGSTOP/SIGKILL) mid-draw.
+func startWorkerProcsArgs(t *testing.T, n int, extra ...string) ([]string, []*exec.Cmd) {
 	t.Helper()
 	bin := buildLsharded(t)
 	addrs := make([]string, n)
+	cmds := make([]*exec.Cmd, n)
 	for i := range addrs {
-		cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-quiet")
+		args := append([]string{"-addr", "127.0.0.1:0", "-quiet"}, extra...)
+		cmd := exec.Command(bin, args...)
+		cmds[i] = cmd
 		stdout, err := cmd.StdoutPipe()
 		if err != nil {
 			t.Fatal(err)
@@ -98,7 +109,7 @@ func startWorkerProcs(t *testing.T, n int) []string {
 			}
 		}()
 	}
-	return addrs
+	return addrs, cmds
 }
 
 // TestCrossProcessShardedBitIdentical is the MRF half of the gate: a
