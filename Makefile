@@ -15,7 +15,7 @@ test:
 # sequential draws byte-for-byte.
 race:
 	GOMAXPROCS=4 $(GO) test -race ./internal/cluster/... ./internal/partition/... ./internal/transport/... ./internal/obs/...
-	GOMAXPROCS=4 $(GO) test -race -run 'Parallel|CSP|Remote|Worker|Trace|Metrics|Drain' ./internal/chains/ ./internal/csp/ ./internal/service/ .
+	GOMAXPROCS=4 $(GO) test -race -run 'Parallel|CSP|Remote|Worker|Trace|Metrics|Drain|SoA' ./internal/chains/ ./internal/csp/ ./internal/service/ .
 
 # The self-healing gate, under the race detector: real lsharded worker
 # processes are SIGKILLed and SIGSTOPped in the middle of draws, and the
@@ -32,9 +32,9 @@ chaos:
 		./internal/transport/ ./internal/service/ .
 
 bit-identity:
-	GOMAXPROCS=4 $(GO) test -count=1 -run 'TestShardedBitIdentical|TestWithShardsBitIdentical|TestServerShardedDrawBitIdentical|TestParallelRoundsMatchSequential|TestWithParallelRoundsBitIdentical|TestServerParallelDrawBitIdentical|TestTransportEngineBitIdentical|TestRemoteMRFBitIdentical|TestRegistryRemoteWorkers|TestCrossProcessShardedBitIdentical|TestSampleDiagnosedBitIdentical|TestRoundsAuto' \
+	GOMAXPROCS=4 $(GO) test -count=1 -run 'TestShardedBitIdentical|TestWithShardsBitIdentical|TestServerShardedDrawBitIdentical|TestParallelRoundsMatchSequential|TestWithParallelRoundsBitIdentical|TestServerParallelDrawBitIdentical|TestTransportEngineBitIdentical|TestRemoteMRFBitIdentical|TestRegistryRemoteWorkers|TestCrossProcessShardedBitIdentical|TestSampleDiagnosedBitIdentical|TestRoundsAuto|TestSoARoundsMatchSequential|TestSampleNSoABitIdentical' \
 		./internal/cluster/ ./internal/chains/ ./internal/service/ .
-	GOMAXPROCS=4 $(GO) test -count=1 -run 'MatchesReference|TestCSPShardedBitIdentical|TestCSPParallelRoundsMatchSequential|TestWithShardsCSPBitIdentical|TestWithParallelRoundsCSPBitIdentical|TestCSPSamplerBatchDeterminism|TestServerCSPShardedDrawBitIdentical|TestServerCSPParallelDrawBitIdentical|TestRemoteCSPBitIdentical|TestCrossProcessCSPBitIdentical|TestCSPSampleDiagnosedBitIdentical|TestCSPRoundsAuto' \
+	GOMAXPROCS=4 $(GO) test -count=1 -run 'MatchesReference|TestCSPShardedBitIdentical|TestCSPParallelRoundsMatchSequential|TestWithShardsCSPBitIdentical|TestWithParallelRoundsCSPBitIdentical|TestCSPSamplerBatchDeterminism|TestServerCSPShardedDrawBitIdentical|TestServerCSPParallelDrawBitIdentical|TestRemoteCSPBitIdentical|TestCrossProcessCSPBitIdentical|TestCSPSampleDiagnosedBitIdentical|TestCSPRoundsAuto|TestCSPSoARoundsMatchSequential|TestSampleCSPNSoABitIdentical' \
 		./internal/csp/ ./internal/cluster/ ./internal/service/ .
 
 # Perf trajectory: run the core benchmark suite and write machine-readable
@@ -42,13 +42,13 @@ bit-identity:
 # chain suite, the observability-overhead suite, and speedup_vs the previous
 # PR's report) to the repo root.
 bench-json:
-	GOMAXPROCS=4 $(GO) run ./cmd/lsbench -out BENCH_PR8.json -baseline BENCH_PR7.json
+	GOMAXPROCS=4 $(GO) run ./cmd/lsbench -out BENCH_PR10.json -baseline BENCH_PR8.json
 
 # CI smoke variant: small sizes, throwaway output. Fails if a benchmark
 # matched in the checked-in baseline regresses >20% on the same host class
 # (cross-class runs skip the comparison — see lsbench -baseline).
 bench-json-quick:
-	GOMAXPROCS=4 $(GO) run ./cmd/lsbench -quick -baseline BENCH_PR8.json -max-regress 0.20 -out /tmp/locsample-bench.json
+	GOMAXPROCS=4 $(GO) run ./cmd/lsbench -quick -baseline BENCH_PR10.json -max-regress 0.20 -out /tmp/locsample-bench.json
 
 fmt:
 	gofmt -l .

@@ -67,6 +67,9 @@ type Entry struct {
 	// Parallel is the vertex-parallel worker count per chain (0/absent:
 	// sequential rounds).
 	Parallel int `json:"parallel,omitempty"`
+	// SoAWidth is the batch-engine lane width of a Batch/BatchSmoke entry
+	// (1: the per-chain AoS reference path).
+	SoAWidth int `json:"soaWidth,omitempty"`
 	// CPUs/GOMAXPROCS record the host class per entry, so entries stay
 	// self-describing when reports are merged or compared across machines.
 	CPUs        int     `json:"cpus"`
@@ -77,6 +80,11 @@ type Entry struct {
 	AllocsPerOp int64   `json:"allocsPerOp"`
 	// VerticesPerSec is vertex-updates per second: n·rounds·k / seconds.
 	VerticesPerSec float64 `json:"verticesPerSec,omitempty"`
+	// ChainsPerSec / NsPerChainRound describe the batch suite: whole
+	// chains delivered per second and the per-chain cost of one round —
+	// the two numbers the SoA width sweep exists to compare.
+	ChainsPerSec    float64 `json:"chainsPerSec,omitempty"`
+	NsPerChainRound float64 `json:"nsPerChainRound,omitempty"`
 	// FramesPerSec / WireBytesPerRound describe the transport suite:
 	// boundary frames moved per second and bytes a lockstep round puts on
 	// the wire (0 for the in-process Chan fabric — nothing is encoded).
@@ -93,7 +101,7 @@ type Entry struct {
 
 func main() {
 	var (
-		out        = flag.String("out", "BENCH_PR8.json", "output JSON path")
+		out        = flag.String("out", "BENCH_PR10.json", "output JSON path")
 		quick      = flag.Bool("quick", false, "small sizes for CI smoke runs")
 		baseline   = flag.String("baseline", "", "earlier report to compute per-benchmark speedup_vs against")
 		maxRegress = flag.Float64("max-regress", 0, "fail if a matched benchmark's vertices/sec regresses more than this fraction vs -baseline on the same host class (0 = report only)")
@@ -117,6 +125,8 @@ func main() {
 
 	benchSampleN(rep, *quick)
 	benchService(rep)
+	batchSuite(rep, *quick)
+	batchSmoke(rep)
 	shardSuite(rep, *quick)
 	parallelSuite(rep, *quick)
 	cspSuite(rep, *quick)
@@ -246,6 +256,152 @@ func benchService(rep *Report) {
 		}
 	})
 	rep.add("ServiceSample/grid16x16-coloring-k8", 256, 480, 0, k, 0, 0, res)
+}
+
+// batchSuite measures multi-chain batch throughput across the SoA width
+// sweep: the same 64-chain draw at width 1 (the per-chain AoS reference)
+// and at 8, 16, 32, and 64 lanes per block, over the tentpole grid and
+// G(n,p) colorings and the dominating-set CSP. Entries report chains/sec
+// and per-chain ns/round; the per-workload speedup map records each
+// width's throughput against the AoS entry — the one-CSR-walk-serves-W-
+// chains win this report exists to audit. Chain i is bit-identical at
+// every width (CI-gated), so the sweep compares cost, never output.
+func batchSuite(rep *Report, quick bool) {
+	const k = 64
+	workloads, rounds := benchWorkloads(quick)
+	type batchRun struct {
+		name string
+		n, m int
+		mk   func(width int) func(b *testing.B)
+	}
+	var runs []batchRun
+	for _, wl := range workloads {
+		wl := wl
+		runs = append(runs, batchRun{wl.name, wl.g.N(), wl.g.M(), func(width int) func(b *testing.B) {
+			s, err := locsample.NewSampler(wl.m,
+				locsample.WithSeed(3), locsample.WithRounds(rounds),
+				locsample.WithBatchWidth(width))
+			if err != nil {
+				fatal(err)
+			}
+			// Warm the block/chain pools: these ops run at b.N=1, so an
+			// unwarmed first draw would bill gigabytes of block
+			// construction and first-touch page faults to the measurement.
+			if _, err := s.SampleNFrom(0, k); err != nil {
+				fatal(err)
+			}
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.SampleNFrom(uint64(i), k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}})
+	}
+	cspSide := 512
+	if quick {
+		cspSide = 48
+	}
+	cspGrid := locsample.GridGraph(cspSide, cspSide)
+	dom := locsample.NewDominatingSet(cspGrid)
+	ones := make([]int, cspGrid.N())
+	for i := range ones {
+		ones[i] = 1
+	}
+	runs = append(runs, batchRun{
+		fmt.Sprintf("domset-grid%dx%d", cspSide, cspSide), cspGrid.N(), len(dom.Cons),
+		func(width int) func(b *testing.B) {
+			s, err := locsample.NewCSPSampler(cspGrid, dom, ones,
+				locsample.WithSeed(3), locsample.WithRounds(rounds),
+				locsample.WithBatchWidth(width))
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := s.SampleNFrom(0, k); err != nil {
+				fatal(err)
+			}
+			return func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.SampleNFrom(uint64(i), k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}})
+	for _, r := range runs {
+		base := 0.0
+		speed := map[string]float64{}
+		for _, width := range []int{1, 8, 16, 32, 64} {
+			res := testing.Benchmark(r.mk(width))
+			rep.addBatch(fmt.Sprintf("Batch/%s/soa=%d", r.name, width),
+				r.n, r.m, rounds, k, width, res)
+			ns := float64(res.NsPerOp())
+			if width == 1 {
+				base = ns
+			} else if ns > 0 && base > 0 {
+				speed[fmt.Sprintf("soa%d", width)] = base / ns
+			}
+		}
+		rep.Speedup["batch/"+r.name] = speed
+	}
+}
+
+// batchSmoke measures fixed-size batch draws that run identically in full
+// and quick reports — the Batch entries CI's quick run matches by name
+// against the checked-in full-run baseline, so >20% regressions on either
+// side of the AoS/SoA split fail the smoke for both kernel families.
+func batchSmoke(rep *Report) {
+	const k, rounds = 64, 8
+	grid := locsample.GridGraph(48, 48)
+	coloring := locsample.NewColoring(grid, 13)
+	dom := locsample.NewDominatingSet(grid)
+	ones := make([]int, grid.N())
+	for i := range ones {
+		ones[i] = 1
+	}
+	for _, width := range []int{1, 16} {
+		s, err := locsample.NewSampler(coloring,
+			locsample.WithSeed(3), locsample.WithRounds(rounds),
+			locsample.WithBatchWidth(width))
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := s.SampleNFrom(0, k); err != nil {
+			fatal(err)
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.SampleNFrom(uint64(i), k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.addBatch(fmt.Sprintf("BatchSmoke/grid48x48-coloring-k%d/soa=%d", k, width),
+			grid.N(), grid.M(), rounds, k, width, res)
+		cs, err := locsample.NewCSPSampler(grid, dom, ones,
+			locsample.WithSeed(3), locsample.WithRounds(rounds),
+			locsample.WithBatchWidth(width))
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := cs.SampleNFrom(0, k); err != nil {
+			fatal(err)
+		}
+		res = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cs.SampleNFrom(uint64(i), k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.addBatch(fmt.Sprintf("BatchSmoke/domset-grid48x48-k%d/soa=%d", k, width),
+			grid.N(), len(dom.Cons), rounds, k, width, res)
+	}
 }
 
 // benchWorkloads returns the tentpole single-chain workloads: ≥10⁶-vertex
@@ -902,6 +1058,18 @@ func (r *Report) add(name string, n, m, rounds, k, shards, parallel int, res tes
 	}
 	fmt.Fprintf(os.Stderr, "lsbench: %-48s %12.0f ns/op  %6d allocs/op\n", name, e.NsPerOp, e.AllocsPerOp)
 	r.Benchmarks = append(r.Benchmarks, e)
+}
+
+// addBatch appends a batch-suite entry: add plus the lane width and the
+// chains/sec and per-chain ns/round derived rates.
+func (r *Report) addBatch(name string, n, m, rounds, k, width int, res testing.BenchmarkResult) {
+	r.add(name, n, m, rounds, k, 0, 0, res)
+	e := &r.Benchmarks[len(r.Benchmarks)-1]
+	e.SoAWidth = width
+	if e.NsPerOp > 0 {
+		e.ChainsPerSec = float64(k) / (e.NsPerOp / 1e9)
+		e.NsPerChainRound = e.NsPerOp / (float64(k) * float64(rounds))
+	}
 }
 
 func fatal(err error) {

@@ -69,6 +69,9 @@ type CSPSampler struct {
 	plan    *partition.CSPPlan
 	engines sync.Pool // *cluster.CSPEngine, sharded mode
 	scratch sync.Pool // *csp.Scratch, centralized mode
+	// soaPool pools SoA batch blocks across SampleNFrom calls, grow-only
+	// on width (see Sampler.soaPool).
+	soaPool sync.Pool
 	// remote is the cross-process coordinator (nil unless WithRemoteWorkers
 	// placed the shards on lsharded processes).
 	remote *remoteEngine
@@ -231,6 +234,10 @@ type CSPBatch struct {
 	// Shard aggregates the sharded runtime's profile across all chains
 	// (zero for unsharded batches).
 	Shard ShardStats
+	// SoAWidth is the lane width of the SoA block engine the batch ran
+	// through (0 when chains ran the per-chain reference path). Purely
+	// informational: the samples are bit-identical either way.
+	SoAWidth int
 }
 
 // runChain advances one centralized chain in place: sequential kernels, or
@@ -526,9 +533,12 @@ func (s *CSPSampler) SampleNContext(ctx context.Context, seed uint64, k int) (*C
 			workers = max(1, workers/s.cfg.Parallel)
 		}
 	}
-	if workers > k {
-		workers = k
+	if s.plan == nil && s.cfg.Parallel <= 1 {
+		if width := batchWidth(s.cfg.BatchWidth, k, workers); width > 0 {
+			return s.sampleNSoA(ctx, seed, k, width, workers, batch)
+		}
 	}
+	workers = batchWorkers(workers, k)
 	var shardStats []ShardStats
 	if s.plan != nil {
 		shardStats = make([]ShardStats, k)
@@ -621,6 +631,99 @@ func (s *CSPSampler) SampleNContext(ctx context.Context, seed uint64, k int) (*C
 	return batch, nil
 }
 
+// getSoABlock borrows a pooled SoA block at least `width` lanes wide,
+// building one when the pool is empty or its block is too narrow.
+func (s *CSPSampler) getSoABlock(width int) *csp.SoABlock {
+	if b, _ := s.soaPool.Get().(*csp.SoABlock); b != nil && b.MaxWidth() >= width {
+		return b
+	}
+	return csp.NewSoABlock(s.c, width)
+}
+
+// runBlock advances an SoA block by the compiled budget — the block
+// counterpart of runChain: same abort polling at round boundaries, same
+// per-round observation (one RoundDone per block round).
+func (s *CSPSampler) runBlock(blk *csp.SoABlock, abort *atomic.Bool) {
+	if s.roundObs != nil {
+		for r := 0; r < s.rounds; r++ {
+			if abort.Load() {
+				return
+			}
+			t0 := time.Now()
+			blk.Step()
+			s.roundObs.RoundDone(0, r, time.Since(t0).Nanoseconds(), 0, -1)
+		}
+		return
+	}
+	for r := 0; r < s.rounds; r++ {
+		if abort.Load() {
+			return
+		}
+		blk.Step()
+	}
+}
+
+// sampleNSoA runs a centralized CSP batch through the SoA block engine —
+// the CSP counterpart of Sampler.sampleNSoA: ceil(k/width) lockstep
+// blocks claimed by a pool clamped to the block count, the tail block
+// running with its natural lane count. Chain i's lane is bit-identical
+// to the per-chain path at ChainSeed(seed, i).
+func (s *CSPSampler) sampleNSoA(ctx context.Context, seed uint64, k, width, workers int, batch *CSPBatch) (*CSPBatch, error) {
+	batch.SoAWidth = width
+	blocks := (k + width - 1) / width
+	workers = batchWorkers(workers, blocks)
+	var (
+		next       atomic.Int64
+		wg         sync.WaitGroup
+		chainAbort atomic.Bool
+	)
+	stopWatch := ctxWatch(ctx, func() { chainAbort.Store(true) })
+	defer stopWatch()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			blk := s.getSoABlock(width)
+			defer s.soaPool.Put(blk)
+			seeds := make([]uint64, width)
+			for {
+				if chainAbort.Load() {
+					return
+				}
+				bi := int(next.Add(1)) - 1
+				if bi >= blocks {
+					return
+				}
+				lo := bi * width
+				lanes := min(width, k-lo)
+				for c := 0; c < lanes; c++ {
+					seeds[c] = core.ChainSeed(seed, uint64(lo+c))
+				}
+				blockStart := time.Now()
+				blk.Reset(s.init, seeds[:lanes])
+				s.runBlock(blk, &chainAbort)
+				blk.Scatter(batch.Samples[lo : lo+lanes])
+				s.observeDrawN(blockStart, lanes)
+			}
+		}()
+	}
+	wg.Wait()
+	if cerr := ctxErr(ctx); cerr != nil {
+		return nil, cerr
+	}
+	return batch, nil
+}
+
+// observeDrawN meters `lanes` draws that completed together as one SoA
+// block (see Sampler.observeDrawN).
+func (s *CSPSampler) observeDrawN(start time.Time, lanes int) {
+	if s.mDraws == nil {
+		return
+	}
+	s.mDraws.Add(int64(lanes))
+	s.mDrawNS.Observe(time.Since(start).Nanoseconds())
+}
+
 // SampleCSP draws one configuration approximately distributed as the CSP's
 // Gibbs distribution using the hypergraph LubyGlauber chain (§3 remark).
 // When distributed is true the chain runs as a LOCAL protocol on network g
@@ -673,6 +776,9 @@ func newCSPSamplerFromConfig(g *Graph, c *CSPModel, init []int, cfg core.Config)
 	}
 	if cfg.Parallel > 1 {
 		opts = append(opts, WithParallelRounds(cfg.Parallel))
+	}
+	if cfg.BatchWidth != 0 {
+		opts = append(opts, WithBatchWidth(cfg.BatchWidth))
 	}
 	if cfg.RoundsAuto {
 		opts = append(opts, WithRoundsAuto())

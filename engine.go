@@ -56,6 +56,11 @@ type Sampler struct {
 	// SampleNFrom calls, so the serving path's steady state — many calls
 	// with small k — constructs and allocates nothing per draw.
 	chainPool sync.Pool
+	// soaPool pools SoA batch blocks across SampleNFrom calls, grow-only
+	// on width: a pooled block serves any batch no wider than it was
+	// built for (lanes pack at the run width), and an undersized one is
+	// dropped and rebuilt wider.
+	soaPool sync.Pool
 
 	// Metric series (nil without WithMetrics). roundObs is the
 	// allocation-free observer pooled chains and engines run with;
@@ -101,6 +106,10 @@ type Batch struct {
 	// (messages, values, and barrier waits are summed). Zero for
 	// unsharded batches.
 	Shard ShardStats
+	// SoAWidth is the lane width of the SoA block engine the batch ran
+	// through (0 when chains ran the per-chain reference path). Purely
+	// informational: the samples are bit-identical either way.
+	SoAWidth int
 }
 
 // ChainSeed derives the seed batch chain i runs with under master seed s:
@@ -697,9 +706,12 @@ func (s *Sampler) SampleNContext(ctx context.Context, seed uint64, k int) (*Batc
 			workers = max(1, workers/s.cfg.Parallel)
 		}
 	}
-	if workers > k {
-		workers = k
+	if s.plan == nil && !s.cfg.Distributed && s.cfg.Parallel <= 1 && soaBatchable(s.cfg.Algorithm) {
+		if width := batchWidth(s.cfg.BatchWidth, k, workers); width > 0 {
+			return s.sampleNSoA(ctx, seed, k, width, workers, batch)
+		}
 	}
+	workers = batchWorkers(workers, k)
 	var chainStats []Stats
 	if s.cfg.Distributed {
 		chainStats = make([]Stats, k)
@@ -823,6 +835,145 @@ func (s *Sampler) SampleNContext(ctx context.Context, seed uint64, k int) (*Batc
 		batch.Shard.Add(st)
 	}
 	return batch, nil
+}
+
+// soaBatchable reports whether alg has an SoA batch kernel (the round
+// shapes with marginal/propose/filter phases; the scan and chromatic
+// baselines stay per-chain).
+func soaBatchable(alg chains.Algorithm) bool {
+	return alg == chains.Glauber || alg == chains.LubyGlauber || alg == chains.LocalMetropolis
+}
+
+// soaWidths are the block widths the auto-picker considers, widest first.
+var soaWidths = [...]int{64, 32, 16, 8}
+
+// batchWidth resolves the SoA lane width for a k-chain batch under a
+// worker budget. explicit is Config.BatchWidth: 1 forces the per-chain
+// path, w ≥ 2 pins the width (honored whenever the batch has at least w
+// chains), 0 auto-picks the widest block that still cuts the batch into
+// at least `workers` blocks — wider blocks amortize the CSR walk harder,
+// but a batch with fewer blocks than workers would idle cores. Returns 0
+// for "run per-chain".
+func batchWidth(explicit, k, workers int) int {
+	if explicit == 1 {
+		return 0
+	}
+	if explicit >= 2 {
+		if k >= explicit {
+			return explicit
+		}
+		return 0
+	}
+	for _, w := range soaWidths {
+		if k >= w && (k+w-1)/w >= workers {
+			return w
+		}
+	}
+	if k >= soaWidths[len(soaWidths)-1] {
+		// Fewer blocks than workers at every width: take the narrowest
+		// block rather than falling back to per-chain — lane amortization
+		// beats perfect occupancy once a block fills.
+		return soaWidths[len(soaWidths)-1]
+	}
+	return 0
+}
+
+// batchWorkers clamps the worker pool to the number of claimable work
+// items — chains on the per-chain path, blocks on the SoA path — so a
+// small batch never spins goroutines that could not claim work. Pinned
+// by TestSampleNWorkerPoolClamped.
+func batchWorkers(workers, items int) int {
+	if workers > items {
+		return items
+	}
+	return workers
+}
+
+// getSoABlock borrows a pooled SoA block at least `width` lanes wide,
+// building one when the pool is empty or its block is too narrow (the
+// undersized block is dropped for the collector — widths only grow).
+func (s *Sampler) getSoABlock(width int) *chains.SoABlock {
+	if b, _ := s.soaPool.Get().(*chains.SoABlock); b != nil && b.MaxWidth() >= width {
+		return b
+	}
+	b := chains.NewSoABlock(s.m, s.cfg.Algorithm, chains.Options{DropRule3: s.cfg.DropRule3}, width)
+	b.Obs = s.engineObserver()
+	return b
+}
+
+// sampleNSoA runs a centralized batch through the SoA block engine: the
+// k chains are cut into ceil(k/width) lockstep blocks, and the worker
+// pool (clamped to the block count) claims blocks exactly as the
+// per-chain path claims chains. The tail block, when k is not a multiple
+// of width, runs with its natural lane count — lanes pack at the run
+// width, so no dead lanes are computed. Chain i's lane is bit-identical
+// to the per-chain path at ChainSeed(seed, i) (pinned at widths 8/16/33
+// by TestSampleNSoABitIdentical).
+func (s *Sampler) sampleNSoA(ctx context.Context, seed uint64, k, width, workers int, batch *Batch) (*Batch, error) {
+	batch.SoAWidth = width
+	blocks := (k + width - 1) / width
+	workers = batchWorkers(workers, blocks)
+	var (
+		next       atomic.Int64
+		wg         sync.WaitGroup
+		chainAbort atomic.Bool
+	)
+	// One flag serves both the claim loop and the blocks' round
+	// boundaries, mirroring the per-chain path (SoA batches cannot error:
+	// the only exit besides completion is cancellation).
+	stopWatch := ctxWatch(ctx, func() { chainAbort.Store(true) })
+	defer stopWatch()
+	cancelable := ctx != nil && ctx.Done() != nil
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			blk := s.getSoABlock(width)
+			if cancelable {
+				blk.Abort = &chainAbort
+			}
+			defer func() {
+				blk.Abort = nil
+				s.soaPool.Put(blk)
+			}()
+			seeds := make([]uint64, width)
+			for {
+				if chainAbort.Load() {
+					return
+				}
+				bi := int(next.Add(1)) - 1
+				if bi >= blocks {
+					return
+				}
+				lo := bi * width
+				lanes := min(width, k-lo)
+				for c := 0; c < lanes; c++ {
+					seeds[c] = core.ChainSeed(seed, uint64(lo+c))
+				}
+				blockStart := time.Now()
+				blk.Reset(s.init, seeds[:lanes])
+				blk.Run(s.rounds)
+				blk.Scatter(batch.Samples[lo : lo+lanes])
+				s.observeDrawN(blockStart, lanes)
+			}
+		}()
+	}
+	wg.Wait()
+	if cerr := ctxErr(ctx); cerr != nil {
+		return nil, cerr
+	}
+	return batch, nil
+}
+
+// observeDrawN meters `lanes` draws that completed together as one SoA
+// block: the draw counter advances per chain, the latency histogram gets
+// one observation — the block is the unit of work.
+func (s *Sampler) observeDrawN(start time.Time, lanes int) {
+	if s.mDraws == nil {
+		return
+	}
+	s.mDraws.Add(int64(lanes))
+	s.mDrawNS.Observe(time.Since(start).Nanoseconds())
 }
 
 // newDrawMetrics registers the sampler-level series under the given

@@ -1,0 +1,161 @@
+package chains
+
+import (
+	"testing"
+
+	"locsample/internal/graph"
+	"locsample/internal/mrf"
+	"locsample/internal/rng"
+)
+
+// soaTestCases spans every SoA kernel branch: Glauber, LubyGlauber, the
+// symmetric coloring LocalMetropolis fast path, its dropRule3 edge-mask
+// variant, and the general (non-coloring) LocalMetropolis filter.
+func soaTestCases() []struct {
+	name string
+	m    *mrf.MRF
+	alg  Algorithm
+	opts Options
+} {
+	g := graph.Grid(5, 6)
+	return []struct {
+		name string
+		m    *mrf.MRF
+		alg  Algorithm
+		opts Options
+	}{
+		{"glauber-coloring", mrf.Coloring(g, 15), Glauber, Options{}},
+		{"lubyglauber-coloring", mrf.Coloring(g, 9), LubyGlauber, Options{}},
+		{"lubyglauber-hardcore", mrf.Hardcore(g, 1.1), LubyGlauber, Options{}},
+		{"localmetropolis-coloring", mrf.Coloring(g, 15), LocalMetropolis, Options{}},
+		{"localmetropolis-coloring-droprule3", mrf.Coloring(g, 15), LocalMetropolis, Options{DropRule3: true}},
+		{"localmetropolis-ising", mrf.Ising(g, 1.1, 0.5), LocalMetropolis, Options{}},
+	}
+}
+
+// TestSoARoundsMatchSequential pins the block engine's determinism
+// contract at the kernel level: lane i of an SoA block seeded
+// {s_0..s_{w-1}} reproduces the per-chain Sampler at seed s_i
+// bit-for-bit, at every tested width (including widths that are not
+// powers of two and a full 64-lane block on the widest case).
+func TestSoARoundsMatchSequential(t *testing.T) {
+	const rounds = 25
+	for _, tc := range soaTestCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			init, err := GreedyFeasible(tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			widths := []int{1, 3, 8, 33}
+			if tc.name == "lubyglauber-coloring" {
+				widths = append(widths, 64)
+			}
+			for _, w := range widths {
+				seeds := make([]uint64, w)
+				for i := range seeds {
+					seeds[i] = rng.PRF(1234, uint64(i))
+				}
+				blk := NewSoABlock(tc.m, tc.alg, tc.opts, w)
+				blk.Reset(init, seeds)
+				blk.Run(rounds)
+				got := make([][]int, w)
+				for i := range got {
+					got[i] = make([]int, tc.m.G.N())
+				}
+				blk.Scatter(got)
+				for i, seed := range seeds {
+					ref := NewSampler(tc.m, init, seed, tc.alg, tc.opts)
+					ref.Run(rounds)
+					for v := range ref.X {
+						if got[i][v] != ref.X[v] {
+							t.Fatalf("w=%d lane=%d: diverges from per-chain sampler at vertex %d (round budget %d)", w, i, v, rounds)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSoABlockReuseAcrossWidths: one block serves successive runs at any
+// width up to its construction width, with no state leaking between runs.
+func TestSoABlockReuseAcrossWidths(t *testing.T) {
+	m := mrf.Coloring(graph.Grid(4, 4), 9)
+	init, _ := GreedyFeasible(m)
+	blk := NewSoABlock(m, LubyGlauber, Options{}, 16)
+	for _, w := range []int{16, 5, 1, 12} {
+		seeds := make([]uint64, w)
+		for i := range seeds {
+			seeds[i] = rng.PRF(7, uint64(w), uint64(i))
+		}
+		blk.Reset(init, seeds)
+		blk.Run(10)
+		got := make([][]int, w)
+		for i := range got {
+			got[i] = make([]int, m.G.N())
+		}
+		blk.Scatter(got)
+		for i, seed := range seeds {
+			ref := NewSampler(m, init, seed, LubyGlauber, Options{})
+			ref.Run(10)
+			for v := range ref.X {
+				if got[i][v] != ref.X[v] {
+					t.Fatalf("reused block at w=%d lane=%d diverges at vertex %d", w, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestSoABlockStepAllocFree gates the block hot path at zero allocations
+// per round — bare and instrumented (the alloc-gate satellite of the SoA
+// engine).
+func TestSoABlockStepAllocFree(t *testing.T) {
+	for _, tc := range soaTestCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			init, err := GreedyFeasible(tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seeds := make([]uint64, 8)
+			for i := range seeds {
+				seeds[i] = uint64(i + 1)
+			}
+			blk := NewSoABlock(tc.m, tc.alg, tc.opts, 8)
+			blk.Reset(init, seeds)
+			if n := testing.AllocsPerRun(20, func() { blk.Step() }); n != 0 {
+				t.Fatalf("bare SoA Step allocates %v/round, want 0", n)
+			}
+			obs := &countingObserver{}
+			blk.Obs = obs
+			if n := testing.AllocsPerRun(20, func() { blk.Step() }); n != 0 {
+				t.Fatalf("instrumented SoA Step allocates %v/round, want 0", n)
+			}
+			if obs.rounds == 0 {
+				t.Fatal("observer saw no rounds")
+			}
+		})
+	}
+}
+
+// TestSoABlockPanics: construction and Reset reject out-of-range widths
+// and unsupported algorithms.
+func TestSoABlockPanics(t *testing.T) {
+	m := mrf.Coloring(graph.Cycle(6), 4)
+	init, _ := GreedyFeasible(m)
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("width 0", func() { NewSoABlock(m, LubyGlauber, Options{}, 0) })
+	expectPanic("width 65", func() { NewSoABlock(m, LubyGlauber, Options{}, 65) })
+	expectPanic("scan", func() { NewSoABlock(m, SystematicScan, Options{}, 8) })
+	blk := NewSoABlock(m, LubyGlauber, Options{}, 8)
+	expectPanic("too many seeds", func() { blk.Reset(init, make([]uint64, 9)) })
+	expectPanic("no seeds", func() { blk.Reset(init, nil) })
+	expectPanic("bad init", func() { blk.Reset(init[:2], make([]uint64, 4)) })
+}

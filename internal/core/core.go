@@ -90,6 +90,15 @@ type Config struct {
 	// ShardStrategy selects the graph partitioner for Shards > 1
 	// (default partition.Range).
 	ShardStrategy partition.Strategy
+	// BatchWidth steers the SoA multi-chain batch engine compiled samplers
+	// use for SampleN / SampleCSPN: 0 (default) auto-picks the lane width
+	// from the batch size and GOMAXPROCS, 1 forces the per-chain reference
+	// path, and 2..64 pins the block width (used whenever the batch has at
+	// least that many chains). Purely a throughput knob: SoA chain i is
+	// bit-identical to the per-chain path at seed ChainSeed(s, i) at every
+	// width. Only centralized batches batch — shards, Parallel, Distributed,
+	// and remote draws ignore it.
+	BatchWidth int
 	// WorkerAddrs lists lsharded worker addresses; when non-empty (and
 	// Shards > 1) a compiled sampler places the shards across those
 	// processes and runs the lockstep rounds over TCP instead of
@@ -354,6 +363,12 @@ func validateFabric(cfg Config) error {
 		if cfg.Parallel > 1 {
 			return fmt.Errorf("core: Parallel and Transport are mutually exclusive")
 		}
+	}
+	// BatchWidth rides along here because both Compile paths funnel
+	// through validateFabric: lane sets are uint64 bitmasks, so 64 is the
+	// hard ceiling (chains.MaxBatchWidth / csp.MaxBatchWidth).
+	if cfg.BatchWidth < 0 || cfg.BatchWidth > 64 {
+		return fmt.Errorf("core: BatchWidth must be in [0, 64], got %d", cfg.BatchWidth)
 	}
 	return nil
 }

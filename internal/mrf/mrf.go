@@ -313,6 +313,53 @@ func (m *MRF) ResampleU(v int, x []int, scratch []float64, u float64) (c int, ok
 	return rng.CategoricalU(scratch, u), true
 }
 
+// MarginalLaneInto is MarginalInto over one lane of a structure-of-arrays
+// multi-chain state: x holds w interleaved chains laid out [vertex][chain]
+// (chain c's value at vertex v is x[v*w+c]), and the marginal is computed
+// for lane `lane`. The CSR walk, the per-slot multiplication order, the
+// zero-skip, and the normalization are those of MarginalInto verbatim —
+// only the state load is strided — so each lane's marginal is bit-identical
+// to the per-chain kernel's (pinned by TestMarginalLaneMatchesSequential).
+func (m *MRF) MarginalLaneInto(v int, x []int32, w, lane int, out []float64) bool {
+	b := m.VertexB[v]
+	q := m.Q
+	for c := 0; c < q; c++ {
+		out[c] = b[c]
+	}
+	for t, end := m.rowPtr[v], m.rowPtr[v+1]; t < end; t++ {
+		a := m.EdgeA[m.inc[t]].A
+		xu := int(x[int(m.nbr[t])*w+lane])
+		for c := 0; c < q; c++ {
+			if out[c] != 0 {
+				out[c] *= a[c*q+xu]
+			}
+		}
+	}
+	total := 0.0
+	for c := 0; c < q; c++ {
+		total += out[c]
+	}
+	if total <= 0 {
+		return false
+	}
+	inv := 1 / total
+	for c := 0; c < q; c++ {
+		out[c] *= inv
+	}
+	return true
+}
+
+// ResampleLaneU is ResampleU over one lane of an SoA multi-chain state
+// (see MarginalLaneInto for the layout): marginal into scratch, then a
+// CategoricalU draw with the supplied uniform — the fused heat-bath
+// kernel the SoA batch rounds call per winning lane.
+func (m *MRF) ResampleLaneU(v int, x []int32, w, lane int, scratch []float64, u float64) (c int, ok bool) {
+	if !m.MarginalLaneInto(v, x, w, lane, scratch) {
+		return 0, false
+	}
+	return rng.CategoricalU(scratch, u), true
+}
+
 // EdgeCheckProb returns the LocalMetropolis pass probability of edge id
 // given current spins (xu, xv) and proposals (su, sv):
 //

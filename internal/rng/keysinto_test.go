@@ -1,0 +1,27 @@
+package rng
+
+import "testing"
+
+// TestKeysIntoMatchesKey pins the hoisted block key schedule to per-chain
+// Key derivation: entry i must be exactly Key(seeds[i], tag, round), so SoA
+// lane variates are bit-identical to per-chain draws.
+func TestKeysIntoMatchesKey(t *testing.T) {
+	seeds := []uint64{0, 1, 42, ^uint64(0), 0x9e3779b97f4a7c15}
+	dst := make([]RoundKey, len(seeds))
+	for _, tag := range []uint64{0x1001, 0x3002} {
+		for _, round := range []uint64{0, 7, 1 << 40} {
+			KeysInto(dst, seeds, tag, round)
+			for i, s := range seeds {
+				want := Key(s, tag, round)
+				if dst[i] != want {
+					t.Fatalf("tag=%#x round=%d seed=%d: KeysInto diverges from Key", tag, round, s)
+				}
+				for v := uint64(0); v < 5; v++ {
+					if dst[i].Uint64(v) != PRF(s, tag, v, round) {
+						t.Fatalf("tag=%#x round=%d seed=%d v=%d: keyed variate diverges from PRF", tag, round, s, v)
+					}
+				}
+			}
+		}
+	}
+}

@@ -224,6 +224,19 @@ func (k RoundKey) FillFloat64s(dst []float64, base uint64) {
 	}
 }
 
+// KeysInto hoists one round's key schedule for a block of chains:
+// dst[i] = Key(seeds[i], tag, round). The SoA batch kernels call it once
+// per block per round — W key derivations amortized over one CSR walk
+// that serves all W lanes — instead of deriving inside each chain's
+// round as the per-chain kernels do. Each entry is exactly the RoundKey
+// the corresponding single chain would compute, so lane variates stay
+// bit-identical to per-chain draws.
+func KeysInto(dst []RoundKey, seeds []uint64, tag, round uint64) {
+	for i, s := range seeds {
+		dst[i] = Key(s, tag, round)
+	}
+}
+
 // CategoricalCumU is CategoricalU evaluated against a precomputed cumulative
 // weight table: cum[i] must equal w[0]+...+w[i] accumulated left to right in
 // that exact order, which makes cum[len-1] bitwise equal to the total

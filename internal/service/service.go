@@ -143,6 +143,12 @@ type Model struct {
 	boundaryVals *obs.Counter
 	barrierNS    *obs.Counter
 
+	// soaChains counts chains served through the SoA batch engine —
+	// coalesced same-spec draws land there when the batch is wide enough,
+	// so this series is how operators confirm the fast path is actually
+	// taken.
+	soaChains *obs.Counter
+
 	// Degradation machinery: remote marks a model whose sharded draws
 	// may run on the server's lsharded workers, breaker gates that path,
 	// degraded counts draws the local fallback served instead.
@@ -186,6 +192,9 @@ type ModelStats struct {
 	BoundaryMessages int64   `json:"boundaryMessages,omitempty"`
 	BoundaryValues   int64   `json:"boundaryValues,omitempty"`
 	BarrierWaitMS    float64 `json:"barrierWaitMs,omitempty"`
+	// SoAChains counts chains served through the SoA multi-chain batch
+	// engine (batched draws wide enough for the lane kernels).
+	SoAChains int64 `json:"soaChains,omitempty"`
 	// DegradedDraws counts draws served by the bit-identical local
 	// fallback after a coordinator failure (or while the breaker held
 	// the coordinator path open-circuited).
@@ -219,6 +228,7 @@ func (m *Model) Stats() ModelStats {
 		BoundaryMessages: m.boundaryMsgs.Value(),
 		BoundaryValues:   m.boundaryVals.Value(),
 		BarrierWaitMS:    float64(m.barrierNS.Value()) / 1e6,
+		SoAChains:        m.soaChains.Value(),
 		DegradedDraws:    m.degraded.Value(),
 	}
 	if m.remote {
@@ -397,6 +407,7 @@ func (r *Registry) newModelMetrics(m *Model) {
 	m.boundaryMsgs = o.Counter("locserved_boundary_messages_total", "sharded boundary messages", "model", m.Hash)
 	m.boundaryVals = o.Counter("locserved_boundary_values_total", "sharded boundary vertex states", "model", m.Hash)
 	m.barrierNS = o.Counter("locserved_barrier_wait_ns_total", "sharded round-barrier wait, ns", "model", m.Hash)
+	m.soaChains = o.Counter("locserved_soa_chains_total", "chains served through the SoA batch engine", "model", m.Hash)
 	// The degradation series exist from registration (at 0, closed) so
 	// dashboards and the CI smoke can always find them.
 	m.remote = len(r.cfg.WorkerAddrs) > 0
@@ -546,6 +557,10 @@ type DrawResult struct {
 	// CapRounds is the worst-case budget a rounds:"auto" compile was
 	// capped by (0 for fixed-budget draws).
 	CapRounds int
+	// SoAWidth is the lane width of the SoA batch engine the draw ran
+	// through (0 when chains ran the per-chain reference path). The
+	// samples are bit-identical either way.
+	SoAWidth int
 }
 
 func defaultDrawOptions(m *Model) DrawOptions {
@@ -748,6 +763,9 @@ func (r *Registry) finishDraw(m *Model, res *DrawResult, err error) (*DrawResult
 		m.boundaryVals.Add(res.Shard.BoundaryValues)
 		m.barrierNS.Add(res.Shard.BarrierWaitNS)
 	}
+	if res.SoAWidth > 0 {
+		m.soaChains.Add(int64(len(res.Samples)))
+	}
 	return res, nil
 }
 
@@ -890,6 +908,7 @@ func (r *Registry) drawCompiled(ctx context.Context, m *Model, key compileKey, o
 			Shard:        batch.Shard,
 			Elapsed:      time.Since(start),
 			CapRounds:    c.sampler.CapRounds(),
+			SoAWidth:     batch.SoAWidth,
 		}, nil
 	}
 	if tr != nil {
@@ -925,6 +944,7 @@ func (r *Registry) drawCompiled(ctx context.Context, m *Model, key compileKey, o
 		Shard:     batch.Shard,
 		Elapsed:   time.Since(start),
 		CapRounds: c.cspSampler.CapRounds(),
+		SoAWidth:  batch.SoAWidth,
 	}, nil
 }
 

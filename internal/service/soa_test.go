@@ -1,0 +1,72 @@
+package service
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestServedBatchTakesSoAPath: a coalesced same-spec batch wide enough
+// for the lane kernels runs through the SoA engine — the result reports
+// its width, the per-model soaChains counter advances, and the samples
+// stay bit-identical to a forced per-chain draw (K=1 draws at the
+// derived seeds).
+func TestServedBatchTakesSoAPath(t *testing.T) {
+	reg := NewRegistry(Config{})
+	m, _, err := reg.Register([]byte(coloringSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k, seed = 16, 31
+	res, err := reg.Draw(m, DrawOptions{K: k, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SoAWidth == 0 {
+		t.Fatalf("a %d-chain served batch did not take the SoA path", k)
+	}
+	if st := m.Stats(); st.SoAChains != k {
+		t.Fatalf("soaChains = %d after one %d-chain SoA batch", st.SoAChains, k)
+	}
+	// Narrow draws stay per-chain and leave the counter alone.
+	single, err := reg.Draw(m, DrawOptions{K: 1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.SoAWidth != 0 {
+		t.Fatalf("single-chain draw reported SoAWidth %d", single.SoAWidth)
+	}
+	if st := m.Stats(); st.SoAChains != k {
+		t.Fatalf("soaChains = %d after a per-chain draw, want %d", st.SoAChains, k)
+	}
+	// CSP draws batch the same way.
+	cm, _, err := reg.Register([]byte(cspSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := reg.Draw(cm, DrawOptions{K: k, Seed: seed, Rounds: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.SoAWidth == 0 {
+		t.Fatal("served CSP batch did not take the SoA path")
+	}
+	csingle, err := reg.Draw(cm, DrawOptions{K: 1, Seed: seed, Rounds: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cres.Samples[0], csingle.Samples[0]) {
+		t.Fatal("SoA-batched CSP chain 0 diverges from the per-chain draw")
+	}
+	if !reflect.DeepEqual(res.Samples[0], mustDrawChain(t, reg, m, seed)) {
+		t.Fatal("SoA-batched chain 0 diverges from the per-chain draw")
+	}
+}
+
+func mustDrawChain(t *testing.T, reg *Registry, m *Model, seed uint64) []int {
+	t.Helper()
+	res, err := reg.Draw(m, DrawOptions{K: 1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Samples[0]
+}

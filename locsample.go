@@ -212,6 +212,20 @@ func WithInitial(init []int) Option {
 	return func(c *core.Config) { c.Init = init }
 }
 
+// WithBatchWidth steers the SoA multi-chain batch engine SampleN and
+// SampleCSPN run their centralized chains through: chains are advanced in
+// lockstep blocks of W lanes stored [vertex][chain], so one CSR (or
+// constraint-incidence) walk serves the whole block. w = 0 (the default)
+// auto-picks the width from the batch size and GOMAXPROCS; w = 1 forces
+// the per-chain reference path; 2 ≤ w ≤ 64 pins the block width, used
+// whenever a batch has at least w chains. Purely a throughput knob:
+// batch chain i is bit-identical to Sample(WithSeed(ChainSeed(s, i))) at
+// every width. Sharded, vertex-parallel, distributed, and remote batches
+// ignore it (those runtimes parallelize within a chain instead).
+func WithBatchWidth(w int) Option {
+	return func(c *core.Config) { c.BatchWidth = w }
+}
+
 // Distributed runs the sampler as a message-passing protocol on the
 // LOCAL-model runtime and collects communication statistics. Identical
 // seeds give identical samples in both modes.
